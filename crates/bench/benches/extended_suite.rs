@@ -1,0 +1,61 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Timing of the extension heuristics (tabu search, greedy marginal-cost
+//! construction, LP-relaxation rounding, simulated annealing) against the
+//! paper's H1 and H32Jump baselines, on the small and medium workload
+//! classes. Complements the `ablation_heuristics` bench: that one sweeps the
+//! budgets of the paper's heuristics, this one compares the alternative
+//! algorithms at their default budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_bench::{medium_instance, small_instance};
+use rental_core::Instance;
+use rental_solvers::heuristics::{
+    BestGraphSolver, GreedyMarginalSolver, LpRoundingSolver, SimulatedAnnealingSolver,
+    SteepestGradientJumpSolver, TabuSearchSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn solvers() -> Vec<Box<dyn MinCostSolver>> {
+    vec![
+        Box::new(BestGraphSolver),
+        Box::new(SteepestGradientJumpSolver::with_seed(9)),
+        Box::new(SimulatedAnnealingSolver::with_seed(9)),
+        Box::new(TabuSearchSolver::default()),
+        Box::new(GreedyMarginalSolver::default()),
+        Box::new(LpRoundingSolver::default()),
+    ]
+}
+
+fn bench_class(c: &mut Criterion, class: &str, instance: &Instance, target: u64) {
+    let mut group = c.benchmark_group(format!("extended_suite_{class}"));
+    for solver in solvers() {
+        group.bench_with_input(
+            BenchmarkId::new(solver.name().to_string(), target),
+            &target,
+            |b, &rho| {
+                b.iter(|| {
+                    solver
+                        .solve(std::hint::black_box(instance), std::hint::black_box(rho))
+                        .expect("generated instances are solvable")
+                        .cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_small(c: &mut Criterion) {
+    let instance = small_instance();
+    bench_class(c, "small", &instance, 150);
+}
+
+fn bench_medium(c: &mut Criterion) {
+    let instance = medium_instance();
+    bench_class(c, "medium", &instance, 150);
+}
+
+criterion_group!(benches, bench_small, bench_medium);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Figures 3 and 4 harness benchmark: the end-to-end randomized experiment on
+//! *small* application graphs (normalised cost and win counts are computed by
+//! the harness; the benchmark measures the cost of regenerating the data).
+//!
+//! The full-scale figure (100 configurations, ρ = 20..200) is produced by
+//! `cargo run -p rental-experiments --bin repro -- fig3 --configs 100`; the
+//! benchmark uses a reduced number of configurations and targets so that
+//! `cargo bench` stays affordable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rental_experiments::{run_experiment, ExperimentSpec};
+use rental_simgen::GeneratorConfig;
+use rental_solvers::SuiteConfig;
+
+fn bench_fig3(c: &mut Criterion) {
+    // A tight ILP time limit keeps one harness iteration affordable for
+    // Criterion; the full-accuracy run is the repro binary's job.
+    let mut suite = SuiteConfig::with_seed(2016);
+    suite.ilp_time_limit = Some(1.0);
+    let spec = ExperimentSpec {
+        name: "fig3-bench".to_string(),
+        generator: GeneratorConfig::small_graphs(),
+        num_configs: 2,
+        targets: vec![50, 200],
+        seed: 2016,
+        suite,
+        threads: Some(1),
+    };
+    c.bench_function("fig3_small_experiment", |b| {
+        b.iter(|| {
+            let results = run_experiment(std::hint::black_box(&spec));
+            // Touch the Figure 3 and Figure 4 outputs so they cannot be optimised away.
+            (
+                results.mean_normalised("H32Jump").unwrap_or(0.0),
+                results.cell("H1", 100).map(|cell| cell.wins).unwrap_or(0),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Figure 5: computation time of the ILP and every heuristic on *small*
+//! application graphs (§VIII-C parameters), as a function of the target
+//! throughput. The paper's ordering — H1 almost instant, H31 a little faster
+//! than the ILP, H2/H32 close, H32Jump slowest — is what this benchmark
+//! regenerates on the local machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_bench::small_instance;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::heuristics::{
+    BestGraphSolver, RandomWalkSolver, SteepestGradientJumpSolver, SteepestGradientSolver,
+    StochasticDescentSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn bench_fig5(c: &mut Criterion) {
+    let instance = small_instance();
+    let solvers: Vec<Box<dyn MinCostSolver>> = vec![
+        // Same safety limit as the repro presets; on small instances the ILP
+        // usually proves optimality well before it.
+        Box::new(IlpSolver::with_time_limit(1.0)),
+        Box::new(BestGraphSolver),
+        Box::new(RandomWalkSolver::with_seed(5)),
+        Box::new(StochasticDescentSolver::with_seed(5)),
+        Box::new(SteepestGradientSolver::default()),
+        Box::new(SteepestGradientJumpSolver::with_seed(5)),
+    ];
+
+    let mut group = c.benchmark_group("fig5_small_timing");
+    for &target in &[50u64, 100, 200] {
+        for solver in &solvers {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), target),
+                &target,
+                |b, &rho| {
+                    b.iter(|| {
+                        solver
+                            .solve(std::hint::black_box(&instance), std::hint::black_box(rho))
+                            .expect("small instances are solvable")
+                            .cost()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Figure 6 benchmark: solver cost/time on *medium* application graphs
+//! (§VIII-D parameters: 20 recipes of 10–20 tasks, 8 machine types).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_bench::medium_instance;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::heuristics::{
+    BestGraphSolver, RandomWalkSolver, SteepestGradientJumpSolver, SteepestGradientSolver,
+    StochasticDescentSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn bench_fig6(c: &mut Criterion) {
+    let instance = medium_instance();
+    let solvers: Vec<Box<dyn MinCostSolver>> = vec![
+        // Bounded like the Figure 7/8 benches so an unlucky fixture cannot
+        // stall `cargo bench`; the solver normally proves optimality sooner.
+        Box::new(IlpSolver::with_time_limit(2.0)),
+        Box::new(BestGraphSolver),
+        Box::new(RandomWalkSolver::with_seed(6)),
+        Box::new(StochasticDescentSolver::with_seed(6)),
+        Box::new(SteepestGradientSolver::default()),
+        Box::new(SteepestGradientJumpSolver::with_seed(6)),
+    ];
+
+    let mut group = c.benchmark_group("fig6_medium");
+    for &target in &[100u64, 200] {
+        for solver in &solvers {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), target),
+                &target,
+                |b, &rho| {
+                    b.iter(|| {
+                        solver
+                            .solve(std::hint::black_box(&instance), std::hint::black_box(rho))
+                            .expect("medium instances are solvable")
+                            .cost()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig6
+}
+criterion_main!(benches);

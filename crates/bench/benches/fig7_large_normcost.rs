@@ -1,0 +1,57 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Figure 7 benchmark: solver cost/time on *large* application graphs
+//! (§VIII-E parameters: 20 recipes of 50–100 tasks, 8 machine types,
+//! throughputs 10–50). The paper observes that on such instances all
+//! heuristics land within 1 % of the optimum for large targets; the harness
+//! (`repro -- fig7`) reports the cost side, this benchmark the time side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_bench::large_instance;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::heuristics::{
+    BestGraphSolver, RandomWalkSolver, SteepestGradientJumpSolver, SteepestGradientSolver,
+    StochasticDescentSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn bench_fig7(c: &mut Criterion) {
+    let instance = large_instance();
+    let solvers: Vec<Box<dyn MinCostSolver>> = vec![
+        // A generous but bounded budget keeps the benchmark predictable even
+        // if branch-and-bound struggles on an unlucky fixture.
+        Box::new(IlpSolver::with_time_limit(3.0)),
+        Box::new(BestGraphSolver),
+        Box::new(RandomWalkSolver::with_seed(7)),
+        Box::new(StochasticDescentSolver::with_seed(7)),
+        Box::new(SteepestGradientSolver::default()),
+        Box::new(SteepestGradientJumpSolver::with_seed(7)),
+    ];
+
+    let mut group = c.benchmark_group("fig7_large");
+    for &target in &[100u64, 200] {
+        for solver in &solvers {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), target),
+                &target,
+                |b, &rho| {
+                    b.iter(|| {
+                        solver
+                            .solve(std::hint::black_box(&instance), std::hint::black_box(rho))
+                            .expect("large instances are solvable")
+                            .cost()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig7
+}
+criterion_main!(benches);

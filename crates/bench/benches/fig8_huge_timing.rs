@@ -1,0 +1,59 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Figure 8 benchmark: computation time on the *very large* instances
+//! (10 recipes of 100–200 tasks, 50 machine types). In the paper the ILP hits
+//! its 100 s time limit for targets above ~100 while the heuristics stay
+//! fast; here the ILP runs with a small time limit so the benchmark remains
+//! affordable while exhibiting the same "ILP saturates at its budget,
+//! heuristics do not" shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rental_bench::huge_instance;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::heuristics::{
+    BestGraphSolver, RandomWalkSolver, SteepestGradientJumpSolver, SteepestGradientSolver,
+    StochasticDescentSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn bench_fig8(c: &mut Criterion) {
+    let instance = huge_instance();
+    let solvers: Vec<Box<dyn MinCostSolver>> = vec![
+        Box::new(IlpSolver::with_time_limit(1.0)),
+        Box::new(BestGraphSolver),
+        Box::new(RandomWalkSolver::with_seed(8)),
+        Box::new(StochasticDescentSolver::with_seed(8)),
+        Box::new(SteepestGradientSolver::default()),
+        Box::new(SteepestGradientJumpSolver::with_seed(8)),
+    ];
+
+    let mut group = c.benchmark_group("fig8_huge");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for &target in &[100u64, 200] {
+        for solver in &solvers {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), target),
+                &target,
+                |b, &rho| {
+                    b.iter(|| {
+                        solver
+                            .solve(std::hint::black_box(&instance), std::hint::black_box(rho))
+                            .map(|outcome| outcome.cost())
+                            .unwrap_or(u64::MAX)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Micro-benchmarks of the LP / MILP substrate: the simplex relaxation and
+//! the branch-and-bound solve of the MinCost MILP (§V-C) at increasing
+//! instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_bench::{medium_instance, small_instance};
+use rental_lp::{simplex, MipSolver};
+use rental_solvers::exact::IlpSolver;
+
+fn bench_lp(c: &mut Criterion) {
+    let small = small_instance();
+    let medium = medium_instance();
+
+    let mut group = c.benchmark_group("lp");
+    for (label, instance) in [("small", &small), ("medium", &medium)] {
+        let model = IlpSolver::build_model(instance, 150);
+        group.bench_with_input(
+            BenchmarkId::new("simplex_relaxation", label),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    simplex::solve(std::hint::black_box(model))
+                        .expect("relaxations are valid models")
+                        .objective
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_and_bound", label),
+            &model,
+            |b, model| {
+                // Without a heuristic warm start (that is the IlpSolver's job)
+                // a raw branch-and-bound solve can be slow on the medium
+                // fixture; the time limit keeps the micro-benchmark bounded.
+                let solver = MipSolver::with_limits(rental_lp::SolveLimits::with_time_limit(2.0));
+                b.iter(|| {
+                    solver
+                        .solve(std::hint::black_box(model))
+                        .expect("MILPs are valid models")
+                        .objective
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_lp
+}
+criterion_main!(benches);

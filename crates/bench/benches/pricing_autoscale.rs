@@ -1,0 +1,91 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Micro-benchmarks of the extension substrates:
+//!
+//! * billing a provisioning plan over a horizon and optimising the per-machine
+//!   billing choice (`rental-pricing`), as a function of the fleet size;
+//! * replaying a diurnal workload trace through the autoscaling controller
+//!   (`rental-stream::autoscale`), as a function of the trace length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_bench::small_instance;
+use rental_core::{ProvisioningPlan, Solution};
+use rental_pricing::billing::OnDemand;
+use rental_pricing::horizon::{bill_plan, RentalHorizon};
+use rental_pricing::optimizer::{optimize_billing, BillingOptions};
+use rental_solvers::heuristics::BestGraphSolver;
+use rental_solvers::MinCostSolver;
+use rental_stream::{Autoscaler, WorkloadTrace};
+
+/// A plan whose fleet grows with the target throughput.
+fn plan_for_target(target: u64) -> (Solution, ProvisioningPlan) {
+    let instance = small_instance();
+    let outcome = BestGraphSolver
+        .solve(&instance, target)
+        .expect("generated instances are solvable");
+    let plan = ProvisioningPlan::build(&instance, &outcome.solution)
+        .expect("the solution belongs to the instance");
+    (outcome.solution, plan)
+}
+
+fn bench_billing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pricing_bill_plan");
+    for &target in &[100u64, 1_000, 10_000] {
+        let (_, plan) = plan_for_target(target);
+        group.bench_with_input(
+            BenchmarkId::new("on_demand_bill", plan.total_machines()),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    bill_plan(
+                        std::hint::black_box(plan),
+                        RentalHorizon::days(30.0),
+                        &OnDemand::hourly(),
+                    )
+                    .total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimize_billing", plan.total_machines()),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    optimize_billing(
+                        std::hint::black_box(plan),
+                        RentalHorizon::days(30.0),
+                        &BillingOptions::default(),
+                    )
+                    .total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_autoscaler(c: &mut Criterion) {
+    let instance = small_instance();
+    let (solution, _) = plan_for_target(150);
+    let fractions = Autoscaler::split_fractions(&solution);
+    let mut group = c.benchmark_group("autoscale_trace_replay");
+    for &days in &[1u32, 7, 30] {
+        let trace = WorkloadTrace::diurnal(50.0, 150.0, 12.0, 2 * days as usize);
+        group.bench_with_input(BenchmarkId::new("diurnal_days", days), &trace, |b, trace| {
+            b.iter(|| {
+                Autoscaler::default()
+                    .run(
+                        std::hint::black_box(&instance),
+                        std::hint::black_box(&fractions),
+                        std::hint::black_box(trace),
+                    )
+                    .total_cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_billing, bench_autoscaler);
+criterion_main!(benches);

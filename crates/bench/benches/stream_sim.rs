@@ -1,0 +1,51 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Benchmark of the discrete-event streaming simulator: executing the optimal
+//! allocation of the illustrating example and of a generated medium instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_bench::medium_instance;
+use rental_core::examples::illustrating_example;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::MinCostSolver;
+use rental_stream::{SimulationConfig, StreamSimulator};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_sim");
+    let simulator = StreamSimulator::new(SimulationConfig::new(30.0, 10.0));
+
+    let table2 = illustrating_example();
+    let table2_solution = IlpSolver::new()
+        .solve(&table2, 70)
+        .expect("illustrating example is solvable")
+        .solution;
+    group.bench_function(BenchmarkId::new("illustrating_example", 70), |b| {
+        b.iter(|| {
+            simulator
+                .simulate(std::hint::black_box(&table2), std::hint::black_box(&table2_solution))
+                .items_released
+        })
+    });
+
+    let medium = medium_instance();
+    let medium_solution = IlpSolver::new()
+        .solve(&medium, 100)
+        .expect("medium instance is solvable")
+        .solution;
+    group.bench_function(BenchmarkId::new("medium_instance", 100), |b| {
+        b.iter(|| {
+            simulator
+                .simulate(std::hint::black_box(&medium), std::hint::black_box(&medium_solution))
+                .items_released
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_stream
+}
+criterion_main!(benches);

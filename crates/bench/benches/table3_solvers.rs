@@ -1,0 +1,53 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Table III benchmark: every solver of the paper on the illustrating example
+//! (§VII), at a low, a medium and the maximum target throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rental_core::examples::illustrating_example;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::heuristics::{
+    BestGraphSolver, RandomWalkSolver, SteepestGradientJumpSolver, SteepestGradientSolver,
+    StochasticDescentSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn bench_table3(c: &mut Criterion) {
+    let instance = illustrating_example();
+    let solvers: Vec<Box<dyn MinCostSolver>> = vec![
+        // The illustrating example is tiny; the limit is a pure safety net.
+        Box::new(IlpSolver::with_time_limit(1.0)),
+        Box::new(BestGraphSolver),
+        Box::new(RandomWalkSolver::with_seed(1)),
+        Box::new(StochasticDescentSolver::with_seed(1)),
+        Box::new(SteepestGradientSolver::default()),
+        Box::new(SteepestGradientJumpSolver::with_seed(1)),
+    ];
+
+    let mut group = c.benchmark_group("table3");
+    for &target in &[20u64, 100, 200] {
+        for solver in &solvers {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), target),
+                &target,
+                |b, &rho| {
+                    b.iter(|| {
+                        solver
+                            .solve(std::hint::black_box(&instance), std::hint::black_box(rho))
+                            .expect("illustrating example is solvable")
+                            .cost()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! # rental-bench
+//!
+//! Criterion benchmarks regenerating the timing-oriented figures of the paper
+//! (Figures 5 and 8) and providing per-table / per-figure harness benchmarks
+//! for the remaining experiments, plus micro-benchmarks of the LP substrate
+//! and of the streaming simulator.
+//!
+//! The library part only contains shared fixture helpers; the benchmarks live
+//! in `benches/`.
+
+use rental_core::Instance;
+use rental_simgen::{GeneratorConfig, InstanceGenerator};
+
+/// A deterministic instance for each of the paper's workload classes.
+/// Benchmarks use a fixed seed so successive runs measure the same instance.
+pub fn fixture(config: GeneratorConfig, seed: u64) -> Instance {
+    InstanceGenerator::new(config, seed).generate_instance()
+}
+
+/// The small-graphs fixture (§VIII-C parameters).
+pub fn small_instance() -> Instance {
+    fixture(GeneratorConfig::small_graphs(), 0xBEEF)
+}
+
+/// The medium-graphs fixture (§VIII-D parameters).
+pub fn medium_instance() -> Instance {
+    fixture(GeneratorConfig::medium_graphs(), 0xBEEF)
+}
+
+/// The large-graphs fixture (§VIII-E parameters).
+pub fn large_instance() -> Instance {
+    fixture(GeneratorConfig::large_graphs(), 0xBEEF)
+}
+
+/// The huge-graphs fixture (Figure 8 parameters).
+pub fn huge_instance() -> Instance {
+    fixture(GeneratorConfig::huge_graphs(), 0xBEEF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_the_expected_shape() {
+        assert_eq!(small_instance().num_types(), 5);
+        assert_eq!(medium_instance().num_types(), 8);
+        assert_eq!(large_instance().num_types(), 8);
+        assert_eq!(huge_instance().num_types(), 50);
+        assert_eq!(huge_instance().num_recipes(), 10);
+    }
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(small_instance(), small_instance());
+    }
+}

@@ -1,0 +1,301 @@
+//! Solution representation: throughput splits, machine allocations and the
+//! resulting rental cost.
+
+use std::fmt;
+
+use crate::error::{ModelError, ModelResult};
+use crate::platform::Platform;
+use crate::types::{Cost, RecipeId, Throughput, TypeId};
+
+/// A throughput split `(ρ_1, …, ρ_J)`: how much of the target throughput each
+/// recipe carries. A recipe with `ρ_j = 0` is simply unused.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThroughputSplit {
+    shares: Vec<Throughput>,
+}
+
+impl ThroughputSplit {
+    /// Creates a split from per-recipe shares.
+    pub fn new(shares: Vec<Throughput>) -> Self {
+        ThroughputSplit { shares }
+    }
+
+    /// A split with `num_recipes` entries, all zero.
+    pub fn zeros(num_recipes: usize) -> Self {
+        ThroughputSplit {
+            shares: vec![0; num_recipes],
+        }
+    }
+
+    /// A split that assigns the whole target throughput to a single recipe.
+    pub fn single(num_recipes: usize, recipe: RecipeId, rho: Throughput) -> Self {
+        let mut shares = vec![0; num_recipes];
+        shares[recipe.index()] = rho;
+        ThroughputSplit { shares }
+    }
+
+    /// Number of recipes covered by the split.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// True if the split covers no recipe at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// The share of recipe `j`.
+    #[inline]
+    pub fn share(&self, recipe: RecipeId) -> Throughput {
+        self.shares[recipe.index()]
+    }
+
+    /// Mutable access to the share of recipe `j`.
+    #[inline]
+    pub fn share_mut(&mut self, recipe: RecipeId) -> &mut Throughput {
+        &mut self.shares[recipe.index()]
+    }
+
+    /// The shares as a slice, indexed by recipe.
+    #[inline]
+    pub fn shares(&self) -> &[Throughput] {
+        &self.shares
+    }
+
+    /// Total throughput `Σ_j ρ_j` delivered by the split.
+    pub fn total(&self) -> Throughput {
+        self.shares.iter().sum()
+    }
+
+    /// True if the split delivers at least the target throughput
+    /// (constraint (1) of the paper).
+    pub fn covers(&self, target: Throughput) -> bool {
+        self.total() >= target
+    }
+
+    /// Number of recipes actually used (non-zero share).
+    pub fn active_recipes(&self) -> usize {
+        self.shares.iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Checks that the split has one entry per recipe of an application with
+    /// `expected` recipes.
+    pub fn check_arity(&self, expected: usize) -> ModelResult<()> {
+        if self.shares.len() == expected {
+            Ok(())
+        } else {
+            Err(ModelError::SplitArityMismatch {
+                got: self.shares.len(),
+                expected,
+            })
+        }
+    }
+
+    /// Moves `delta` units of throughput from recipe `from` to recipe `to`,
+    /// clamping to the available share (as described for H2 in §VI: if
+    /// `ρ_from < δ`, everything is moved). Returns the amount actually moved.
+    pub fn transfer(&mut self, from: RecipeId, to: RecipeId, delta: Throughput) -> Throughput {
+        let moved = delta.min(self.shares[from.index()]);
+        self.shares[from.index()] -= moved;
+        self.shares[to.index()] += moved;
+        moved
+    }
+}
+
+impl fmt::Display for ThroughputSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (j, share) in self.shares.iter().enumerate() {
+            if j > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{share}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Throughput>> for ThroughputSplit {
+    fn from(shares: Vec<Throughput>) -> Self {
+        ThroughputSplit::new(shares)
+    }
+}
+
+/// The machines rented from the cloud: `x_q` machines of each type, plus the
+/// resulting total cost `Σ_q x_q c_q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    machine_counts: Vec<u64>,
+    total_cost: Cost,
+}
+
+impl Allocation {
+    /// Builds an allocation from per-type machine counts, computing its cost
+    /// against the given platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CostOverflow`] if the total cost does not fit in
+    /// a `u64`.
+    pub fn from_counts(machine_counts: Vec<u64>, platform: &Platform) -> ModelResult<Self> {
+        let mut total: u64 = 0;
+        for (q, &count) in machine_counts.iter().enumerate() {
+            let cost = platform
+                .cost(TypeId(q))
+                .checked_mul(count)
+                .ok_or(ModelError::CostOverflow)?;
+            total = total.checked_add(cost).ok_or(ModelError::CostOverflow)?;
+        }
+        Ok(Allocation {
+            machine_counts,
+            total_cost: total,
+        })
+    }
+
+    /// Number of machines of type `q` rented.
+    #[inline]
+    pub fn machines(&self, type_id: TypeId) -> u64 {
+        self.machine_counts[type_id.index()]
+    }
+
+    /// Per-type machine counts, indexed by type.
+    #[inline]
+    pub fn machine_counts(&self) -> &[u64] {
+        &self.machine_counts
+    }
+
+    /// Total number of machines rented, all types considered.
+    pub fn total_machines(&self) -> u64 {
+        self.machine_counts.iter().sum()
+    }
+
+    /// Total hourly rental cost of the allocation.
+    #[inline]
+    pub fn total_cost(&self) -> Cost {
+        self.total_cost
+    }
+}
+
+/// A complete solution to the MinCost problem: the throughput split, the
+/// machines rented to support it, and the target it was computed for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Target throughput `ρ` the solution was computed for.
+    pub target: Throughput,
+    /// The per-recipe throughput split.
+    pub split: ThroughputSplit,
+    /// The rented machines and their cost.
+    pub allocation: Allocation,
+}
+
+impl Solution {
+    /// Total hourly rental cost of the solution.
+    #[inline]
+    pub fn cost(&self) -> Cost {
+        self.allocation.total_cost()
+    }
+
+    /// True if the split delivers at least the target throughput.
+    pub fn is_feasible(&self) -> bool {
+        self.split.covers(self.target)
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "target {} split {} cost {}",
+            self.target,
+            self.split,
+            self.cost()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::from_pairs(&[(10, 10), (20, 18), (30, 25), (40, 33)]).unwrap()
+    }
+
+    #[test]
+    fn split_total_and_cover() {
+        let split = ThroughputSplit::new(vec![10, 30, 30]);
+        assert_eq!(split.total(), 70);
+        assert!(split.covers(70));
+        assert!(split.covers(60));
+        assert!(!split.covers(71));
+        assert_eq!(split.active_recipes(), 3);
+    }
+
+    #[test]
+    fn single_split_puts_everything_on_one_recipe() {
+        let split = ThroughputSplit::single(3, RecipeId(1), 120);
+        assert_eq!(split.shares(), &[0, 120, 0]);
+        assert_eq!(split.active_recipes(), 1);
+        assert_eq!(split.share(RecipeId(1)), 120);
+    }
+
+    #[test]
+    fn transfer_moves_and_clamps() {
+        let mut split = ThroughputSplit::new(vec![15, 5]);
+        let moved = split.transfer(RecipeId(0), RecipeId(1), 10);
+        assert_eq!(moved, 10);
+        assert_eq!(split.shares(), &[5, 15]);
+        // Moving more than available moves only what is there (H2 rule).
+        let moved = split.transfer(RecipeId(0), RecipeId(1), 10);
+        assert_eq!(moved, 5);
+        assert_eq!(split.shares(), &[0, 20]);
+        assert_eq!(split.total(), 20);
+    }
+
+    #[test]
+    fn arity_check() {
+        let split = ThroughputSplit::zeros(3);
+        assert!(split.check_arity(3).is_ok());
+        assert_eq!(
+            split.check_arity(4).unwrap_err(),
+            ModelError::SplitArityMismatch { got: 3, expected: 4 }
+        );
+    }
+
+    #[test]
+    fn allocation_cost_matches_table3_row() {
+        // rho = 70 ILP row of Table III: 3×P1 + 2×P2 + 1×P3 + 1×P4 = 124.
+        let alloc = Allocation::from_counts(vec![3, 2, 1, 1], &platform()).unwrap();
+        assert_eq!(alloc.total_cost(), 124);
+        assert_eq!(alloc.total_machines(), 7);
+        assert_eq!(alloc.machines(TypeId(0)), 3);
+    }
+
+    #[test]
+    fn allocation_overflow_is_detected() {
+        let platform = Platform::from_pairs(&[(1, u64::MAX)]).unwrap();
+        let err = Allocation::from_counts(vec![2], &platform).unwrap_err();
+        assert_eq!(err, ModelError::CostOverflow);
+    }
+
+    #[test]
+    fn solution_display_and_feasibility() {
+        let solution = Solution {
+            target: 70,
+            split: ThroughputSplit::new(vec![10, 30, 30]),
+            allocation: Allocation::from_counts(vec![3, 2, 1, 1], &platform()).unwrap(),
+        };
+        assert!(solution.is_feasible());
+        assert_eq!(solution.cost(), 124);
+        let text = solution.to_string();
+        assert!(text.contains("70"));
+        assert!(text.contains("124"));
+    }
+
+    #[test]
+    fn display_split_is_parenthesised() {
+        assert_eq!(ThroughputSplit::new(vec![1, 2, 3]).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,470 @@
+//! Exact rental-cost functions of §IV and the general shared-type evaluation
+//! used by every solver, plus an incremental evaluator for local-search
+//! heuristics.
+//!
+//! All arithmetic is exact integer arithmetic (`u64`) with overflow checks, as
+//! the paper's model assumes integer throughputs and costs.
+
+use crate::application::{GlobalApplication, TypeDemandMatrix};
+use crate::allocation::{Allocation, Solution, ThroughputSplit};
+use crate::error::{ModelError, ModelResult};
+use crate::platform::Platform;
+use crate::recipe::Recipe;
+use crate::types::{Cost, RecipeId, Throughput, TypeId};
+
+/// Number of machines of throughput `r` needed to absorb `demand` units of
+/// work per time unit: `⌈demand / r⌉`.
+///
+/// # Panics
+///
+/// Panics if `r == 0`; platforms are validated so this indicates a bug.
+#[inline]
+pub fn machines_for_demand(demand: u64, r: Throughput) -> u64 {
+    assert!(r > 0, "machine throughput must be positive");
+    demand.div_ceil(r)
+}
+
+/// Cost of supporting a throughput `rho` with a **single** recipe (§IV-A):
+/// `C(ρ) = Σ_q ⌈n_q/r_q · ρ⌉ · c_q`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::CostOverflow`] on arithmetic overflow.
+pub fn single_recipe_cost(
+    recipe: &Recipe,
+    platform: &Platform,
+    rho: Throughput,
+) -> ModelResult<Cost> {
+    let counts = recipe.type_counts(platform.num_types());
+    cost_from_type_counts(&counts, platform, rho)
+}
+
+/// Same as [`single_recipe_cost`] but starting from a pre-computed type-count
+/// row (`n_jq` for a fixed `j`). This is the hot path of the heuristics'
+/// baseline (H1) and of the dynamic programs.
+pub fn cost_from_type_counts(
+    counts: &[u64],
+    platform: &Platform,
+    rho: Throughput,
+) -> ModelResult<Cost> {
+    let mut total: u64 = 0;
+    for (q, &n_q) in counts.iter().enumerate() {
+        if n_q == 0 {
+            continue;
+        }
+        let type_id = TypeId(q);
+        let demand = n_q.checked_mul(rho).ok_or(ModelError::CostOverflow)?;
+        let machines = machines_for_demand(demand, platform.throughput(type_id));
+        let cost = machines
+            .checked_mul(platform.cost(type_id))
+            .ok_or(ModelError::CostOverflow)?;
+        total = total.checked_add(cost).ok_or(ModelError::CostOverflow)?;
+    }
+    Ok(total)
+}
+
+/// Machine counts needed to support a throughput `rho` with a single recipe.
+pub fn machines_for_single_recipe(
+    recipe: &Recipe,
+    platform: &Platform,
+    rho: Throughput,
+) -> ModelResult<Vec<u64>> {
+    let counts = recipe.type_counts(platform.num_types());
+    machines_from_demand(&demand_from_counts(&counts, rho)?, platform)
+}
+
+/// Cost of several **independent** applications with prescribed throughputs
+/// (§IV-B): `C(ρ_1..ρ_J) = Σ_q ⌈(Σ_j n_jq ρ_j) / r_q⌉ · c_q`.
+///
+/// This is also the exact evaluation of a throughput split in the general
+/// shared-type case (§V-C): once the split is fixed, machines of a given type
+/// are shared between recipes and the cost expression is identical.
+///
+/// # Errors
+///
+/// Returns [`ModelError::SplitArityMismatch`] if the split length does not
+/// match the matrix, or [`ModelError::CostOverflow`] on overflow.
+pub fn shared_split_cost(
+    demand: &TypeDemandMatrix,
+    platform: &Platform,
+    split: &[Throughput],
+) -> ModelResult<Cost> {
+    if split.len() != demand.num_recipes() {
+        return Err(ModelError::SplitArityMismatch {
+            got: split.len(),
+            expected: demand.num_recipes(),
+        });
+    }
+    let per_type = demand
+        .demand_per_type(split)
+        .ok_or(ModelError::CostOverflow)?;
+    let machines = machines_from_demand(&per_type, platform)?;
+    let mut total: u64 = 0;
+    for (q, &count) in machines.iter().enumerate() {
+        let cost = count
+            .checked_mul(platform.cost(TypeId(q)))
+            .ok_or(ModelError::CostOverflow)?;
+        total = total.checked_add(cost).ok_or(ModelError::CostOverflow)?;
+    }
+    Ok(total)
+}
+
+/// Builds the full [`Solution`] (machines, cost) realised by a throughput
+/// split for the given application and platform.
+///
+/// # Errors
+///
+/// Same error conditions as [`shared_split_cost`].
+pub fn solution_for_split(
+    app: &GlobalApplication,
+    platform: &Platform,
+    target: Throughput,
+    split: ThroughputSplit,
+) -> ModelResult<Solution> {
+    split.check_arity(app.num_recipes())?;
+    let per_type = app
+        .demand()
+        .demand_per_type(split.shares())
+        .ok_or(ModelError::CostOverflow)?;
+    let machines = machines_from_demand(&per_type, platform)?;
+    let allocation = Allocation::from_counts(machines, platform)?;
+    Ok(Solution {
+        target,
+        split,
+        allocation,
+    })
+}
+
+/// Per-type demand `n_q · ρ` induced by running a single recipe (described by
+/// its type counts) at throughput `rho`.
+fn demand_from_counts(counts: &[u64], rho: Throughput) -> ModelResult<Vec<u64>> {
+    counts
+        .iter()
+        .map(|&n_q| n_q.checked_mul(rho).ok_or(ModelError::CostOverflow))
+        .collect()
+}
+
+/// Machine counts `x_q = ⌈demand_q / r_q⌉` for a per-type demand vector.
+pub fn machines_from_demand(demand: &[u64], platform: &Platform) -> ModelResult<Vec<u64>> {
+    if demand.len() != platform.num_types() {
+        // A demand vector of the wrong width is a programming error upstream,
+        // but surface it as an overflow-free model error rather than panicking.
+        return Err(ModelError::SplitArityMismatch {
+            got: demand.len(),
+            expected: platform.num_types(),
+        });
+    }
+    Ok(demand
+        .iter()
+        .enumerate()
+        .map(|(q, &d)| machines_for_demand(d, platform.throughput(TypeId(q))))
+        .collect())
+}
+
+/// Incremental cost evaluator for local-search heuristics (H2, H31, H32,
+/// H32Jump).
+///
+/// The evaluator maintains the per-type demand `Σ_j n_jq ρ_j` of the current
+/// split so that moving `δ` units of throughput from one recipe to another is
+/// an `O(Q)` update instead of an `O(J·Q)` re-aggregation, and so that a
+/// candidate move can be *costed without being applied*.
+#[derive(Debug, Clone)]
+pub struct IncrementalEvaluator<'a> {
+    demand_matrix: &'a TypeDemandMatrix,
+    platform: &'a Platform,
+    split: ThroughputSplit,
+    per_type_demand: Vec<u64>,
+    cost: Cost,
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Creates an evaluator positioned on the given split.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the split arity is wrong or the cost overflows.
+    pub fn new(
+        demand_matrix: &'a TypeDemandMatrix,
+        platform: &'a Platform,
+        split: ThroughputSplit,
+    ) -> ModelResult<Self> {
+        split.check_arity(demand_matrix.num_recipes())?;
+        let per_type_demand = demand_matrix
+            .demand_per_type(split.shares())
+            .ok_or(ModelError::CostOverflow)?;
+        let cost = cost_of_demand(&per_type_demand, platform)?;
+        Ok(IncrementalEvaluator {
+            demand_matrix,
+            platform,
+            split,
+            per_type_demand,
+            cost,
+        })
+    }
+
+    /// The current split.
+    #[inline]
+    pub fn split(&self) -> &ThroughputSplit {
+        &self.split
+    }
+
+    /// The cost of the current split.
+    #[inline]
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// The per-type demand of the current split.
+    #[inline]
+    pub fn per_type_demand(&self) -> &[u64] {
+        &self.per_type_demand
+    }
+
+    /// Cost of the split obtained by moving `delta` from `from` to `to`,
+    /// **without** modifying the current state. The amount actually moved is
+    /// clamped to the available share, as in H2. Returns `(moved, cost)`.
+    pub fn cost_after_transfer(
+        &self,
+        from: RecipeId,
+        to: RecipeId,
+        delta: Throughput,
+    ) -> ModelResult<(Throughput, Cost)> {
+        let moved = delta.min(self.split.share(from));
+        if moved == 0 || from == to {
+            return Ok((moved, self.cost));
+        }
+        let from_row = self.demand_matrix.row(from);
+        let to_row = self.demand_matrix.row(to);
+        let mut total: u64 = 0;
+        for q in 0..self.demand_matrix.num_types() {
+            let removed = from_row[q]
+                .checked_mul(moved)
+                .ok_or(ModelError::CostOverflow)?;
+            let added = to_row[q]
+                .checked_mul(moved)
+                .ok_or(ModelError::CostOverflow)?;
+            let demand = self.per_type_demand[q]
+                .checked_sub(removed)
+                .ok_or(ModelError::CostOverflow)?
+                .checked_add(added)
+                .ok_or(ModelError::CostOverflow)?;
+            let type_id = TypeId(q);
+            let machines = machines_for_demand(demand, self.platform.throughput(type_id));
+            let cost = machines
+                .checked_mul(self.platform.cost(type_id))
+                .ok_or(ModelError::CostOverflow)?;
+            total = total.checked_add(cost).ok_or(ModelError::CostOverflow)?;
+        }
+        Ok((moved, total))
+    }
+
+    /// Applies a transfer of (up to) `delta` from `from` to `to`, updating the
+    /// cached demand and cost. Returns the amount actually moved.
+    pub fn apply_transfer(
+        &mut self,
+        from: RecipeId,
+        to: RecipeId,
+        delta: Throughput,
+    ) -> ModelResult<Throughput> {
+        let moved = delta.min(self.split.share(from));
+        if moved == 0 || from == to {
+            return Ok(moved);
+        }
+        let num_types = self.demand_matrix.num_types();
+        for q in 0..num_types {
+            let removed = self.demand_matrix.row(from)[q]
+                .checked_mul(moved)
+                .ok_or(ModelError::CostOverflow)?;
+            let added = self.demand_matrix.row(to)[q]
+                .checked_mul(moved)
+                .ok_or(ModelError::CostOverflow)?;
+            self.per_type_demand[q] = self.per_type_demand[q]
+                .checked_sub(removed)
+                .ok_or(ModelError::CostOverflow)?
+                .checked_add(added)
+                .ok_or(ModelError::CostOverflow)?;
+        }
+        self.split.transfer(from, to, moved);
+        self.cost = cost_of_demand(&self.per_type_demand, self.platform)?;
+        Ok(moved)
+    }
+
+    /// Replaces the current split entirely (used when a heuristic restarts
+    /// from a stored best solution).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`IncrementalEvaluator::new`].
+    pub fn reset(&mut self, split: ThroughputSplit) -> ModelResult<()> {
+        split.check_arity(self.demand_matrix.num_recipes())?;
+        self.per_type_demand = self
+            .demand_matrix
+            .demand_per_type(split.shares())
+            .ok_or(ModelError::CostOverflow)?;
+        self.cost = cost_of_demand(&self.per_type_demand, self.platform)?;
+        self.split = split;
+        Ok(())
+    }
+}
+
+fn cost_of_demand(per_type_demand: &[u64], platform: &Platform) -> ModelResult<Cost> {
+    let mut total: u64 = 0;
+    for (q, &demand) in per_type_demand.iter().enumerate() {
+        let type_id = TypeId(q);
+        let machines = machines_for_demand(demand, platform.throughput(type_id));
+        let cost = machines
+            .checked_mul(platform.cost(type_id))
+            .ok_or(ModelError::CostOverflow)?;
+        total = total.checked_add(cost).ok_or(ModelError::CostOverflow)?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::illustrating_example;
+
+    #[test]
+    fn ceil_division_matches_definition() {
+        assert_eq!(machines_for_demand(0, 10), 0);
+        assert_eq!(machines_for_demand(1, 10), 1);
+        assert_eq!(machines_for_demand(10, 10), 1);
+        assert_eq!(machines_for_demand(11, 10), 2);
+        assert_eq!(machines_for_demand(100, 7), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_panics() {
+        machines_for_demand(5, 0);
+    }
+
+    #[test]
+    fn single_recipe_costs_match_table3_h1_baselines() {
+        let instance = illustrating_example();
+        let (app, platform) = (instance.application(), instance.platform());
+        // Recipe 3 (types 1 and 2) at rho = 10 costs 10 + 18 = 28 (Table III row 1).
+        assert_eq!(
+            single_recipe_cost(app.recipe(RecipeId(2)), platform, 10).unwrap(),
+            28
+        );
+        // Recipe 2 (types 3 and 4) at rho = 30 costs 25 + 33 = 58 (row rho=30).
+        assert_eq!(
+            single_recipe_cost(app.recipe(RecipeId(1)), platform, 30).unwrap(),
+            58
+        );
+        // Recipe 1 (types 2 and 4) at rho = 40 costs 2*18 + 33 = 69 (row rho=40).
+        assert_eq!(
+            single_recipe_cost(app.recipe(RecipeId(0)), platform, 40).unwrap(),
+            69
+        );
+    }
+
+    #[test]
+    fn shared_split_cost_matches_ilp_rows_of_table3() {
+        let instance = illustrating_example();
+        let demand = instance.application().demand();
+        let platform = instance.platform();
+        // rho = 70: split (10, 30, 30) costs 124.
+        assert_eq!(shared_split_cost(demand, platform, &[10, 30, 30]).unwrap(), 124);
+        // rho = 100: split (20, 60, 20) costs 172.
+        assert_eq!(shared_split_cost(demand, platform, &[20, 60, 20]).unwrap(), 172);
+        // rho = 200: split (20, 180, 0) costs 333.
+        assert_eq!(shared_split_cost(demand, platform, &[20, 180, 0]).unwrap(), 333);
+    }
+
+    #[test]
+    fn split_arity_is_checked() {
+        let instance = illustrating_example();
+        let err =
+            shared_split_cost(instance.application().demand(), instance.platform(), &[10, 20])
+                .unwrap_err();
+        assert_eq!(err, ModelError::SplitArityMismatch { got: 2, expected: 3 });
+    }
+
+    #[test]
+    fn solution_for_split_builds_machine_counts() {
+        let instance = illustrating_example();
+        let solution = solution_for_split(
+            instance.application(),
+            instance.platform(),
+            70,
+            ThroughputSplit::new(vec![10, 30, 30]),
+        )
+        .unwrap();
+        assert_eq!(solution.allocation.machine_counts(), &[3, 2, 1, 1]);
+        assert_eq!(solution.cost(), 124);
+        assert!(solution.is_feasible());
+    }
+
+    #[test]
+    fn incremental_evaluator_matches_full_evaluation() {
+        let instance = illustrating_example();
+        let demand = instance.application().demand();
+        let platform = instance.platform();
+        let mut eval =
+            IncrementalEvaluator::new(demand, platform, ThroughputSplit::new(vec![70, 0, 0]))
+                .unwrap();
+        assert_eq!(
+            eval.cost(),
+            shared_split_cost(demand, platform, &[70, 0, 0]).unwrap()
+        );
+        // Peek at a candidate move, then apply it and compare with the full recomputation.
+        let (moved, peeked) = eval
+            .cost_after_transfer(RecipeId(0), RecipeId(1), 30)
+            .unwrap();
+        assert_eq!(moved, 30);
+        eval.apply_transfer(RecipeId(0), RecipeId(1), 30).unwrap();
+        assert_eq!(eval.cost(), peeked);
+        assert_eq!(
+            eval.cost(),
+            shared_split_cost(demand, platform, &[40, 30, 0]).unwrap()
+        );
+        assert_eq!(eval.split().shares(), &[40, 30, 0]);
+    }
+
+    #[test]
+    fn incremental_evaluator_clamps_transfers() {
+        let instance = illustrating_example();
+        let mut eval = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(vec![10, 0, 0]),
+        )
+        .unwrap();
+        let moved = eval.apply_transfer(RecipeId(0), RecipeId(2), 50).unwrap();
+        assert_eq!(moved, 10);
+        assert_eq!(eval.split().shares(), &[0, 0, 10]);
+        assert_eq!(eval.cost(), 28);
+    }
+
+    #[test]
+    fn incremental_reset_restores_state() {
+        let instance = illustrating_example();
+        let demand = instance.application().demand();
+        let platform = instance.platform();
+        let mut eval =
+            IncrementalEvaluator::new(demand, platform, ThroughputSplit::new(vec![0, 0, 10]))
+                .unwrap();
+        eval.apply_transfer(RecipeId(2), RecipeId(0), 10).unwrap();
+        eval.reset(ThroughputSplit::new(vec![0, 0, 10])).unwrap();
+        assert_eq!(eval.cost(), 28);
+        assert_eq!(eval.split().shares(), &[0, 0, 10]);
+    }
+
+    #[test]
+    fn transfer_to_self_changes_nothing() {
+        let instance = illustrating_example();
+        let mut eval = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(vec![20, 0, 0]),
+        )
+        .unwrap();
+        let before = eval.cost();
+        eval.apply_transfer(RecipeId(0), RecipeId(0), 10).unwrap();
+        assert_eq!(eval.cost(), before);
+        assert_eq!(eval.split().shares(), &[20, 0, 0]);
+    }
+}

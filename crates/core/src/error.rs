@@ -1,0 +1,141 @@
+//! Error types for model construction and validation.
+
+use std::fmt;
+
+use crate::types::{RecipeId, TaskId, TypeId};
+
+/// Errors raised while building or validating the application / platform model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A task references a type that does not exist on the platform.
+    UnknownType {
+        /// Recipe containing the offending task.
+        recipe: RecipeId,
+        /// The offending task.
+        task: TaskId,
+        /// The referenced (out-of-range) type.
+        type_id: TypeId,
+        /// Number of types actually available.
+        available: usize,
+    },
+    /// A dependency edge references a task index outside the recipe.
+    DanglingEdge {
+        /// Recipe containing the offending edge.
+        recipe: RecipeId,
+        /// Source task index of the edge.
+        from: usize,
+        /// Destination task index of the edge.
+        to: usize,
+        /// Number of tasks in the recipe.
+        tasks: usize,
+    },
+    /// The dependency graph of a recipe contains a cycle, so it is not a DAG.
+    CyclicRecipe {
+        /// The recipe whose dependency graph is cyclic.
+        recipe: RecipeId,
+    },
+    /// A recipe contains no task at all.
+    EmptyRecipe {
+        /// The empty recipe.
+        recipe: RecipeId,
+    },
+    /// The global application contains no recipe.
+    NoRecipes,
+    /// A machine type has a null throughput and therefore can never process
+    /// any task.
+    ZeroThroughput {
+        /// The offending machine type.
+        type_id: TypeId,
+    },
+    /// The platform declares no machine type at all.
+    EmptyPlatform,
+    /// A throughput split does not have one entry per recipe.
+    SplitArityMismatch {
+        /// Number of entries in the split.
+        got: usize,
+        /// Number of recipes in the application.
+        expected: usize,
+    },
+    /// An arithmetic overflow occurred while evaluating a cost. Costs are
+    /// exact u64 integers; overflow indicates an absurdly large instance.
+    CostOverflow,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownType {
+                recipe,
+                task,
+                type_id,
+                available,
+            } => write!(
+                f,
+                "{recipe}/{task} references type {type_id} but the platform only has {available} types"
+            ),
+            ModelError::DanglingEdge {
+                recipe,
+                from,
+                to,
+                tasks,
+            } => write!(
+                f,
+                "{recipe} has an edge {from} -> {to} but only {tasks} tasks"
+            ),
+            ModelError::CyclicRecipe { recipe } => {
+                write!(f, "{recipe} has a cyclic dependency graph (not a DAG)")
+            }
+            ModelError::EmptyRecipe { recipe } => write!(f, "{recipe} contains no task"),
+            ModelError::NoRecipes => write!(f, "the global application contains no recipe"),
+            ModelError::ZeroThroughput { type_id } => {
+                write!(f, "machine type {type_id} has zero throughput")
+            }
+            ModelError::EmptyPlatform => write!(f, "the platform declares no machine type"),
+            ModelError::SplitArityMismatch { got, expected } => write!(
+                f,
+                "throughput split has {got} entries but the application has {expected} recipes"
+            ),
+            ModelError::CostOverflow => write!(f, "cost evaluation overflowed u64"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenient result alias for model operations.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_information() {
+        let err = ModelError::UnknownType {
+            recipe: RecipeId(0),
+            task: TaskId(1),
+            type_id: TypeId(9),
+            available: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains("phi1"));
+        assert!(text.contains("task2"));
+        assert!(text.contains("t10"));
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ModelError::NoRecipes, ModelError::NoRecipes);
+        assert_ne!(
+            ModelError::NoRecipes,
+            ModelError::EmptyRecipe { recipe: RecipeId(0) }
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(ModelError::EmptyPlatform);
+        assert!(err.to_string().contains("no machine type"));
+    }
+}

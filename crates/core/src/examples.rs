@@ -1,0 +1,146 @@
+//! Ready-made instances taken from the paper, used by tests, examples and the
+//! experiment harness.
+
+use crate::instance::Instance;
+use crate::platform::Platform;
+use crate::recipe::{Edge, Recipe, Task};
+use crate::types::{RecipeId, TypeId};
+
+/// The illustrating example of §VII (Figure 2 + Table II).
+///
+/// Three alternative recipes of two chained tasks each:
+///
+/// * ϕ¹: type 2 → type 4
+/// * ϕ²: type 3 → type 4
+/// * ϕ³: type 1 → type 2
+///
+/// Platform (Table II): P1 = (r 10, c 10), P2 = (20, 18), P3 = (30, 25),
+/// P4 = (40, 33).
+///
+/// Table III of the paper lists the optimal costs of this instance for
+/// ρ = 10..200 by steps of 10; the integration tests reproduce that table.
+pub fn illustrating_example() -> Instance {
+    let platform = Platform::from_pairs(&[(10, 10), (20, 18), (30, 25), (40, 33)])
+        .expect("Table II platform is valid");
+    let recipes = vec![
+        Recipe::chain(RecipeId(0), &[TypeId(1), TypeId(3)]).expect("phi1 is a valid chain"),
+        Recipe::chain(RecipeId(1), &[TypeId(2), TypeId(3)]).expect("phi2 is a valid chain"),
+        Recipe::chain(RecipeId(2), &[TypeId(0), TypeId(1)]).expect("phi3 is a valid chain"),
+    ];
+    Instance::new(recipes, platform).expect("illustrating example is consistent")
+}
+
+/// The three alternative task graphs of Figure 1 (§III), used to illustrate
+/// shared task types. Types are 1-based in the figure; here 0-based.
+///
+/// * ϕ¹: five tasks of types (1, 1, 1, 2, 3) with a diamond-ish structure,
+/// * ϕ²: four tasks of types (1, 3, 3, 3) in a chain,
+/// * ϕ³: seven tasks of types (1, 1, 1, 1, 4, 4, 4).
+///
+/// The exact edge structure is not fully specified by the figure; what matters
+/// to the cost model is the type multiset, and to the streaming substrate that
+/// the graphs are DAGs. We use a faithful plausible wiring.
+pub fn figure1_example() -> Instance {
+    // A platform with four types; throughputs/costs are not given in the
+    // figure, so we use a spread similar to Table II.
+    let platform = Platform::from_pairs(&[(10, 10), (20, 18), (30, 25), (40, 33)])
+        .expect("figure 1 platform is valid");
+
+    // ϕ¹: 1 → {1, 1} → 2 → 3 (five tasks).
+    let phi1 = Recipe::new(
+        RecipeId(0),
+        vec![
+            Task::new(TypeId(0)),
+            Task::new(TypeId(0)),
+            Task::new(TypeId(0)),
+            Task::new(TypeId(1)),
+            Task::new(TypeId(2)),
+        ],
+        vec![
+            Edge { from: 0, to: 1 },
+            Edge { from: 0, to: 2 },
+            Edge { from: 1, to: 3 },
+            Edge { from: 2, to: 3 },
+            Edge { from: 3, to: 4 },
+        ],
+    )
+    .expect("phi1 of figure 1 is a DAG");
+
+    // ϕ²: 1 → 3 → 3 → 3 (four tasks, chain).
+    let phi2 = Recipe::chain(
+        RecipeId(1),
+        &[TypeId(0), TypeId(2), TypeId(2), TypeId(2)],
+    )
+    .expect("phi2 of figure 1 is a chain");
+
+    // ϕ³: four tasks of type 1 feeding three tasks of type 4.
+    let phi3 = Recipe::new(
+        RecipeId(2),
+        vec![
+            Task::new(TypeId(0)),
+            Task::new(TypeId(0)),
+            Task::new(TypeId(0)),
+            Task::new(TypeId(0)),
+            Task::new(TypeId(3)),
+            Task::new(TypeId(3)),
+            Task::new(TypeId(3)),
+        ],
+        vec![
+            Edge { from: 0, to: 1 },
+            Edge { from: 0, to: 2 },
+            Edge { from: 1, to: 4 },
+            Edge { from: 2, to: 5 },
+            Edge { from: 3, to: 6 },
+            Edge { from: 1, to: 3 },
+        ],
+    )
+    .expect("phi3 of figure 1 is a DAG");
+
+    Instance::new(vec![phi1, phi2, phi3], platform).expect("figure 1 instance is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn illustrating_example_dimensions() {
+        let instance = illustrating_example();
+        assert_eq!(instance.num_recipes(), 3);
+        assert_eq!(instance.num_types(), 4);
+        assert_eq!(instance.application().total_tasks(), 6);
+        assert!(instance.application().has_shared_types());
+    }
+
+    #[test]
+    fn illustrating_example_type_rows() {
+        let instance = illustrating_example();
+        let demand = instance.application().demand();
+        assert_eq!(demand.row(RecipeId(0)), &[0, 1, 0, 1]);
+        assert_eq!(demand.row(RecipeId(1)), &[0, 0, 1, 1]);
+        assert_eq!(demand.row(RecipeId(2)), &[1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn figure1_type_counts_match_paper() {
+        let instance = figure1_example();
+        let demand = instance.application().demand();
+        // n^3_1 = 4 is the example given in §III of the paper.
+        assert_eq!(demand.count(RecipeId(2), TypeId(0)), 4);
+        assert_eq!(demand.row(RecipeId(0)), &[3, 1, 1, 0]);
+        assert_eq!(demand.row(RecipeId(1)), &[1, 0, 3, 0]);
+        assert_eq!(demand.row(RecipeId(2)), &[4, 0, 0, 3]);
+        // Type 1 is shared by all three graphs, as stated in the paper.
+        assert!(instance.application().has_shared_types());
+    }
+
+    #[test]
+    fn figure1_recipes_are_dags() {
+        let instance = figure1_example();
+        for recipe in instance.application().recipes() {
+            assert!(recipe.critical_path_len() >= 1);
+            assert!(!recipe.sources().is_empty());
+            assert!(!recipe.sinks().is_empty());
+        }
+    }
+}

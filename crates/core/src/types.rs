@@ -1,0 +1,121 @@
+//! Strongly-typed identifiers used across the model.
+//!
+//! The paper indexes task/processor types by `q ∈ {1..Q}`, recipes (alternative
+//! application graphs) by `j ∈ {1..J}` and tasks within a recipe by
+//! `i ∈ {1..I_j}`. Internally we use zero-based indices wrapped in newtypes so
+//! that the different index spaces cannot be mixed up silently.
+
+use std::fmt;
+
+/// Identifier of a task type / processor type (`q` in the paper).
+///
+/// Task types and processor types coincide in the model: a task of type `q`
+/// can only run on a machine of type `q`, and a machine of type `q` only runs
+/// tasks of type `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub usize);
+
+/// Identifier of a recipe, i.e. one of the alternative application graphs
+/// (`j` in the paper, `ϕ^j`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecipeId(pub usize);
+
+/// Identifier of a task within a given recipe (`i` in the paper, `ϕ^j_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl TypeId {
+    /// Returns the zero-based index of this type.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl RecipeId {
+    /// Returns the zero-based index of this recipe.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl TaskId {
+    /// Returns the zero-based index of this task within its recipe.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display 1-based, as in the paper ("type 1".."type Q").
+        write!(f, "t{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for RecipeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phi{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for TypeId {
+    fn from(value: usize) -> Self {
+        TypeId(value)
+    }
+}
+
+impl From<usize> for RecipeId {
+    fn from(value: usize) -> Self {
+        RecipeId(value)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(value: usize) -> Self {
+        TaskId(value)
+    }
+}
+
+/// Throughput expressed in data sets per time unit.
+///
+/// All throughputs in the model (machine throughputs `r_q`, recipe throughputs
+/// `ρ_j`, target throughput `ρ`) are integers, as stated in §III of the paper.
+pub type Throughput = u64;
+
+/// Hourly rental cost. Costs (`c_q`) and total platform costs are integers.
+pub type Cost = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(TypeId(0).to_string(), "t1");
+        assert_eq!(RecipeId(2).to_string(), "phi3");
+        assert_eq!(TaskId(4).to_string(), "task5");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(TypeId::from(7).index(), 7);
+        assert_eq!(RecipeId::from(3).index(), 3);
+        assert_eq!(TaskId::from(0).index(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TypeId(1) < TypeId(2));
+        assert!(RecipeId(0) < RecipeId(5));
+        assert!(TaskId(3) > TaskId(1));
+    }
+}

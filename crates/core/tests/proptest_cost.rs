@@ -1,0 +1,152 @@
+//! Property-based tests of the cost algebra of `rental-core`.
+
+use proptest::prelude::*;
+
+use rental_core::cost::{
+    cost_from_type_counts, machines_for_demand, machines_from_demand, shared_split_cost,
+    solution_for_split,
+};
+use rental_core::{Instance, Platform, Recipe, RecipeId, ThroughputSplit, TypeId};
+
+fn arbitrary_platform(num_types: usize) -> impl Strategy<Value = Platform> {
+    proptest::collection::vec((1u64..=50, 1u64..=100), num_types)
+        .prop_map(|pairs| Platform::from_pairs(&pairs).expect("throughputs >= 1"))
+}
+
+fn arbitrary_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=5).prop_flat_map(|num_types| {
+        let platform = arbitrary_platform(num_types);
+        let recipes = proptest::collection::vec(
+            proptest::collection::vec(0usize..num_types, 1..=5),
+            1..=4,
+        );
+        (platform, recipes).prop_map(|(platform, type_lists)| {
+            let recipes = type_lists
+                .into_iter()
+                .enumerate()
+                .map(|(j, types)| {
+                    let ids: Vec<TypeId> = types.into_iter().map(TypeId).collect();
+                    Recipe::independent_tasks(RecipeId(j), &ids).unwrap()
+                })
+                .collect();
+            Instance::new(recipes, platform).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ceil_division_bounds(demand in 0u64..1_000_000, r in 1u64..10_000) {
+        let machines = machines_for_demand(demand, r);
+        // Enough capacity...
+        prop_assert!(machines * r >= demand);
+        // ...but not a whole spare machine more than needed.
+        prop_assert!(machines == 0 || (machines - 1) * r < demand);
+    }
+
+    #[test]
+    fn zero_throughput_costs_nothing(instance in arbitrary_instance()) {
+        let zeros = vec![0u64; instance.num_recipes()];
+        prop_assert_eq!(instance.split_cost(&zeros).unwrap(), 0);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_each_share(
+        instance in arbitrary_instance(),
+        shares in proptest::collection::vec(0u64..50, 4),
+        bump in 1u64..10,
+        which in 0usize..4,
+    ) {
+        let mut shares: Vec<u64> = shares.into_iter().take(instance.num_recipes()).collect();
+        prop_assume!(shares.len() == instance.num_recipes());
+        let base = instance.split_cost(&shares).unwrap();
+        let index = which % shares.len();
+        shares[index] += bump;
+        let bumped = instance.split_cost(&shares).unwrap();
+        prop_assert!(bumped >= base);
+    }
+
+    #[test]
+    fn cost_is_subadditive_across_splits(
+        instance in arbitrary_instance(),
+        a in proptest::collection::vec(0u64..40, 4),
+        b in proptest::collection::vec(0u64..40, 4),
+    ) {
+        let n = instance.num_recipes();
+        let a: Vec<u64> = a.into_iter().take(n).collect();
+        let b: Vec<u64> = b.into_iter().take(n).collect();
+        prop_assume!(a.len() == n && b.len() == n);
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let cost_a = instance.split_cost(&a).unwrap();
+        let cost_b = instance.split_cost(&b).unwrap();
+        let cost_sum = instance.split_cost(&sum).unwrap();
+        // Pooling two platforms can only save machines (ceil is subadditive).
+        prop_assert!(cost_sum <= cost_a + cost_b);
+    }
+
+    #[test]
+    fn solution_allocation_is_exactly_sufficient(
+        instance in arbitrary_instance(),
+        shares in proptest::collection::vec(0u64..60, 4),
+    ) {
+        let n = instance.num_recipes();
+        let shares: Vec<u64> = shares.into_iter().take(n).collect();
+        prop_assume!(shares.len() == n);
+        let target: u64 = shares.iter().sum();
+        let solution = solution_for_split(
+            instance.application(),
+            instance.platform(),
+            target,
+            ThroughputSplit::new(shares.clone()),
+        ).unwrap();
+        let demand = instance.application().demand().demand_per_type(&shares).unwrap();
+        for (q, &d) in demand.iter().enumerate() {
+            let type_id = TypeId(q);
+            let capacity = solution.allocation.machines(type_id) * instance.platform().throughput(type_id);
+            // Sufficient capacity, and not one machine more than necessary.
+            prop_assert!(capacity >= d);
+            if solution.allocation.machines(type_id) > 0 {
+                let one_less = (solution.allocation.machines(type_id) - 1)
+                    * instance.platform().throughput(type_id);
+                prop_assert!(one_less < d);
+            }
+        }
+        // Cost consistency between the two evaluation paths.
+        prop_assert_eq!(
+            solution.cost(),
+            shared_split_cost(instance.application().demand(), instance.platform(), &shares).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_recipe_cost_equals_shared_cost_with_one_active_recipe(
+        instance in arbitrary_instance(),
+        rho in 0u64..200,
+    ) {
+        let platform = instance.platform();
+        let demand = instance.application().demand();
+        for j in 0..instance.num_recipes() {
+            let counts = demand.row(RecipeId(j));
+            let single = cost_from_type_counts(counts, platform, rho).unwrap();
+            let mut shares = vec![0u64; instance.num_recipes()];
+            shares[j] = rho;
+            let shared = shared_split_cost(demand, platform, &shares).unwrap();
+            prop_assert_eq!(single, shared);
+        }
+    }
+
+    #[test]
+    fn machines_from_demand_matches_per_type_ceil(
+        pairs in proptest::collection::vec((1u64..=30, 1u64..=50), 1..=6),
+        demand_seed in proptest::collection::vec(0u64..500, 1..=6),
+    ) {
+        prop_assume!(demand_seed.len() == pairs.len());
+        let platform = Platform::from_pairs(&pairs).unwrap();
+        let machines = machines_from_demand(&demand_seed, &platform).unwrap();
+        for (q, &d) in demand_seed.iter().enumerate() {
+            prop_assert_eq!(machines[q], d.div_ceil(pairs[q].0));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! `repro` — regenerate the paper's tables and figures from the command line.
+//!
+//! ```text
+//! repro table3                         # Table III (illustrating example)
+//! repro fig3 [--configs N] [--seed S]  # normalised cost, small graphs
+//! repro fig4                           # win counts, small graphs
+//! repro fig5                           # computation time, small graphs
+//! repro fig6                           # normalised cost, medium graphs
+//! repro fig7                           # normalised cost, large graphs
+//! repro fig8 [--ilp-time-limit SECS]   # computation time, huge graphs
+//! repro all                            # everything above
+//! ```
+//!
+//! ```text
+//! repro summary [--configs N]          # headline comparison (paper §VIII-F)
+//! repro ablation-delta                 # δ-step sweep (extension, DESIGN.md)
+//! repro ablation-escape                # escape-mechanism comparison (extension)
+//! repro ablation-mutation              # recipe-similarity sweep (extension)
+//! ```
+//!
+//! Options:
+//! * `--configs N`         number of random configurations (default 10; the paper uses 100)
+//! * `--seed S`            base RNG seed (default 2016)
+//! * `--ilp-time-limit S`  ILP wall-clock limit in seconds for fig8 (default 5, paper uses 100)
+//! * `--csv`               emit CSV instead of Markdown
+//! * `--output-dir DIR`    also write every emitted table/series into DIR
+//! * `--threads N`         worker threads (default: all cores)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rental_experiments::{
+    delta_sweep, escape_mechanisms, figure_csv, figure_markdown, mutation_sweep, presets,
+    run_experiment, run_table3, table3_csv, table3_markdown, table3_targets, write_artifact,
+    AblationResults, AblationSpec, ExperimentResults, Metric,
+};
+use rental_solvers::SuiteConfig;
+
+#[derive(Debug, Clone)]
+struct Options {
+    command: String,
+    configs: usize,
+    seed: u64,
+    ilp_time_limit: f64,
+    csv: bool,
+    threads: Option<usize>,
+    output_dir: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: "all".to_string(),
+            configs: 10,
+            seed: 2016,
+            ilp_time_limit: 5.0,
+            csv: false,
+            threads: None,
+            output_dir: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = args.iter().peekable();
+    let mut command_seen = false;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--configs" => {
+                let value = iter.next().ok_or("--configs needs a value")?;
+                options.configs = value.parse().map_err(|_| "invalid --configs value")?;
+            }
+            "--seed" => {
+                let value = iter.next().ok_or("--seed needs a value")?;
+                options.seed = value.parse().map_err(|_| "invalid --seed value")?;
+            }
+            "--ilp-time-limit" => {
+                let value = iter.next().ok_or("--ilp-time-limit needs a value")?;
+                options.ilp_time_limit =
+                    value.parse().map_err(|_| "invalid --ilp-time-limit value")?;
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads needs a value")?;
+                options.threads = Some(value.parse().map_err(|_| "invalid --threads value")?);
+            }
+            "--output-dir" => {
+                let value = iter.next().ok_or("--output-dir needs a value")?;
+                options.output_dir = Some(PathBuf::from(value));
+            }
+            "--csv" => options.csv = true,
+            "--help" | "-h" => {
+                options.command = "help".to_string();
+                command_seen = true;
+            }
+            other if !other.starts_with("--") && !command_seen => {
+                options.command = other.to_string();
+                command_seen = true;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn print_usage() {
+    println!(
+        "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|all|\
+         ablation-delta|ablation-escape|ablation-mutation> \
+         [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--output-dir DIR] [--threads N]"
+    );
+}
+
+fn persist(options: &Options, file_name: &str, content: &str) {
+    if let Some(dir) = &options.output_dir {
+        match write_artifact(dir, file_name, content) {
+            Ok(path) => eprintln!("[repro] wrote {}", path.display()),
+            Err(err) => eprintln!("[repro] could not write {file_name}: {err}"),
+        }
+    }
+}
+
+fn emit_table3(options: &Options) {
+    let rows = run_table3(&table3_targets(), &SuiteConfig::with_seed(options.seed));
+    let csv = table3_csv(&rows);
+    let markdown = table3_markdown(&rows);
+    if options.csv {
+        print!("{csv}");
+    } else {
+        println!("## Table III — illustrating example (ILP vs heuristics)");
+        print!("{markdown}");
+    }
+    persist(options, "table3.csv", &csv);
+    persist(options, "table3.md", &markdown);
+}
+
+fn run_preset(options: &Options, which: &str) -> ExperimentResults {
+    let mut spec = match which {
+        "small" => presets::small_graphs(options.configs, options.seed),
+        "medium" => presets::medium_graphs(options.configs, options.seed),
+        "large" => presets::large_graphs(options.configs, options.seed),
+        "huge" => presets::huge_graphs(options.configs, options.seed, options.ilp_time_limit),
+        other => unreachable!("unknown preset {other}"),
+    };
+    spec.threads = options.threads;
+    eprintln!(
+        "[repro] running {} with {} configurations (seed {}) ...",
+        spec.name, spec.num_configs, spec.seed
+    );
+    run_experiment(&spec)
+}
+
+fn emit_figure(options: &Options, results: &ExperimentResults, metric: Metric, title: &str) {
+    let csv = figure_csv(results, metric);
+    let markdown = figure_markdown(results, metric);
+    if options.csv {
+        print!("{csv}");
+    } else {
+        println!("## {title}");
+        print!("{markdown}");
+    }
+    // "Figure 3 — normalised cost, small graphs" -> "figure_3"
+    let stem: String = title
+        .split('—')
+        .next()
+        .unwrap_or(title)
+        .trim()
+        .to_lowercase()
+        .replace(' ', "_");
+    persist(options, &format!("{stem}_{}.csv", metric.label()), &csv);
+    persist(options, &format!("{stem}_{}.md", metric.label()), &markdown);
+}
+
+fn emit_summary(options: &Options, results: &ExperimentResults) {
+    // The qualitative claims of §VIII-F, computed from the measured data.
+    let mut lines = String::new();
+    for solver in &results.solvers {
+        let normalised = results.mean_normalised(solver).unwrap_or(0.0);
+        lines.push_str(&format!(
+            "  {:<8} mean normalised cost {:.4}  (within {:.1}% of the best known)\n",
+            solver,
+            normalised,
+            100.0 * (1.0 - normalised)
+        ));
+    }
+    println!("## Summary (paper §VIII-F) — {} configurations", results.num_configs);
+    print!("{lines}");
+    persist(options, "summary.txt", &lines);
+    let h1 = results.mean_normalised("H1").unwrap_or(0.0);
+    let best_heuristic = results
+        .solvers
+        .iter()
+        .filter(|s| *s != "ILP")
+        .filter_map(|s| results.mean_normalised(s))
+        .fold(0.0f64, f64::max);
+    println!(
+        "  improved heuristics gain {:.1}% over the naive H1 baseline on average",
+        100.0 * (best_heuristic - h1)
+    );
+}
+
+fn ablation_spec(options: &Options) -> AblationSpec {
+    AblationSpec {
+        num_configs: options.configs,
+        seed: options.seed,
+        ..AblationSpec::default()
+    }
+}
+
+fn emit_ablation(options: &Options, results: &AblationResults, title: &str) {
+    let csv = results.csv();
+    let markdown = results.markdown();
+    if options.csv {
+        print!("{csv}");
+    } else {
+        println!("## {title}");
+        print!("{markdown}");
+    }
+    let stem = results.name.replace('-', "_");
+    persist(options, &format!("{stem}.csv"), &csv);
+    persist(options, &format!("{stem}.md"), &markdown);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match options.command.as_str() {
+        "help" => print_usage(),
+        "table3" => emit_table3(&options),
+        "fig3" => {
+            let results = run_preset(&options, "small");
+            emit_figure(&options, &results, Metric::NormalisedCost, "Figure 3 — normalised cost, small graphs");
+        }
+        "fig4" => {
+            let results = run_preset(&options, "small");
+            emit_figure(&options, &results, Metric::WinCount, "Figure 4 — win counts, small graphs");
+        }
+        "fig5" => {
+            let results = run_preset(&options, "small");
+            emit_figure(&options, &results, Metric::TimeSeconds, "Figure 5 — computation time, small graphs");
+        }
+        "fig6" => {
+            let results = run_preset(&options, "medium");
+            emit_figure(&options, &results, Metric::NormalisedCost, "Figure 6 — normalised cost, medium graphs");
+        }
+        "fig7" => {
+            let results = run_preset(&options, "large");
+            emit_figure(&options, &results, Metric::NormalisedCost, "Figure 7 — normalised cost, large graphs");
+        }
+        "fig8" => {
+            let results = run_preset(&options, "huge");
+            emit_figure(&options, &results, Metric::TimeSeconds, "Figure 8 — computation time, huge graphs");
+        }
+        "summary" => {
+            let results = run_preset(&options, "small");
+            emit_summary(&options, &results);
+        }
+        "ablation-delta" => {
+            let results = delta_sweep(&ablation_spec(&options), &[1, 5, 10, 20]);
+            emit_ablation(&options, &results, "Ablation — δ step of the local-search heuristics");
+        }
+        "ablation-escape" => {
+            let results = escape_mechanisms(&ablation_spec(&options));
+            emit_ablation(&options, &results, "Ablation — escape mechanisms beyond H32");
+        }
+        "ablation-mutation" => {
+            let results = mutation_sweep(&ablation_spec(&options), &[10, 30, 50, 70]);
+            emit_ablation(&options, &results, "Ablation — recipe similarity (mutation percentage)");
+        }
+        "all" => {
+            emit_table3(&options);
+            let small = run_preset(&options, "small");
+            emit_figure(&options, &small, Metric::NormalisedCost, "Figure 3 — normalised cost, small graphs");
+            emit_figure(&options, &small, Metric::WinCount, "Figure 4 — win counts, small graphs");
+            emit_figure(&options, &small, Metric::TimeSeconds, "Figure 5 — computation time, small graphs");
+            let medium = run_preset(&options, "medium");
+            emit_figure(&options, &medium, Metric::NormalisedCost, "Figure 6 — normalised cost, medium graphs");
+            let large = run_preset(&options, "large");
+            emit_figure(&options, &large, Metric::NormalisedCost, "Figure 7 — normalised cost, large graphs");
+            let huge = run_preset(&options, "huge");
+            emit_figure(&options, &huge, Metric::TimeSeconds, "Figure 8 — computation time, huge graphs");
+            emit_summary(&options, &small);
+        }
+        other => {
+            eprintln!("error: unknown command {other}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_without_arguments() {
+        let options = parse_args(&[]).unwrap();
+        assert_eq!(options.command, "all");
+        assert_eq!(options.configs, 10);
+        assert!(!options.csv);
+    }
+
+    #[test]
+    fn command_and_flags_are_parsed() {
+        let options = parse_args(&args(&[
+            "fig3",
+            "--configs",
+            "25",
+            "--seed",
+            "9",
+            "--csv",
+            "--ilp-time-limit",
+            "2.5",
+            "--threads",
+            "4",
+            "--output-dir",
+            "/tmp/repro-out",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, "fig3");
+        assert_eq!(options.configs, 25);
+        assert_eq!(options.seed, 9);
+        assert!(options.csv);
+        assert_eq!(options.ilp_time_limit, 2.5);
+        assert_eq!(options.threads, Some(4));
+        assert_eq!(options.output_dir.as_deref(), Some(std::path::Path::new("/tmp/repro-out")));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--configs"])).is_err());
+        assert!(parse_args(&args(&["--configs", "x"])).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # rental-experiments
+//!
+//! Experiment harness reproducing the evaluation of *"Minimizing Rental Cost
+//! for Multiple Recipe Applications in the Cloud"* (Hanna et al., IPDPSW
+//! 2016):
+//!
+//! * [`table3`] — the illustrating example of §VII (Table II platform,
+//!   Figure 2 recipes) solved by the ILP and every heuristic for
+//!   ρ = 10..200, i.e. Table III;
+//! * [`runner`] — the randomized experiments of §VIII: batches of generated
+//!   `(application, cloud)` configurations solved by the full suite, with
+//!   normalised-cost (Figures 3, 6, 7), win-count (Figure 4) and timing
+//!   (Figures 5, 8) aggregation, processed in parallel across configurations;
+//! * [`report`] — Markdown / CSV emitters for every table and figure;
+//! * [`stats`] — the aggregation helpers;
+//! * [`ablation`] — the δ-step, escape-mechanism and recipe-similarity
+//!   ablation studies described in DESIGN.md (extensions beyond the paper).
+//!
+//! The `repro` binary glues these together:
+//!
+//! ```text
+//! cargo run --release -p rental-experiments --bin repro -- table3
+//! cargo run --release -p rental-experiments --bin repro -- fig3 --configs 100
+//! cargo run --release -p rental-experiments --bin repro -- all --configs 20 --seed 1
+//! ```
+
+pub mod ablation;
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod table3;
+
+pub use ablation::{
+    delta_sweep, escape_mechanisms, mutation_sweep, AblationResults, AblationRow, AblationSpec,
+};
+pub use report::{figure_csv, figure_markdown, table3_csv, table3_markdown, write_artifact, Metric};
+pub use runner::{presets, run_experiment, CellResult, ExperimentResults, ExperimentSpec};
+pub use table3::{run_table3, table3_targets, Table3Row, PAPER_TABLE3_H1, PAPER_TABLE3_OPTIMAL};

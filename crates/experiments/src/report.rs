@@ -1,0 +1,250 @@
+//! Plain-text emitters: Markdown tables and CSV series for every experiment,
+//! matching the rows/series of the paper's Table III and Figures 3–8.
+
+use std::fmt::Write as _;
+
+use crate::runner::ExperimentResults;
+use crate::table3::Table3Row;
+
+/// Renders Table III as a Markdown table (one row per target, one pair of
+/// columns — split and cost — per solver).
+pub fn table3_markdown(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    let solvers: Vec<&str> = rows[0].cells.iter().map(|c| c.solver.as_str()).collect();
+    let _ = write!(out, "| rho |");
+    for solver in &solvers {
+        let _ = write!(out, " {solver} split | {solver} cost |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &solvers {
+        let _ = write!(out, "---|---|");
+    }
+    let _ = writeln!(out);
+    for row in rows {
+        let _ = write!(out, "| {} |", row.target);
+        for cell in &row.cells {
+            let _ = write!(out, " {} | {} |", cell.split, cell.cost);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Table III as CSV: `rho,solver,split,cost`.
+pub fn table3_csv(rows: &[Table3Row]) -> String {
+    let mut out = String::from("rho,solver,split,cost\n");
+    for row in rows {
+        for cell in &row.cells {
+            let split = cell
+                .split
+                .shares()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(out, "{},{},{},{}", row.target, cell.solver, split, cell.cost);
+        }
+    }
+    out
+}
+
+/// Which metric of an experiment to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean normalised cost (Figures 3, 6, 7).
+    NormalisedCost,
+    /// Win counts: number of configurations solved best (Figure 4).
+    WinCount,
+    /// Mean computation time in seconds (Figures 5, 8).
+    TimeSeconds,
+    /// Mean raw cost (not plotted in the paper, useful for debugging).
+    RawCost,
+}
+
+impl Metric {
+    /// Column header used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::NormalisedCost => "normalised_cost",
+            Metric::WinCount => "wins",
+            Metric::TimeSeconds => "time_seconds",
+            Metric::RawCost => "mean_cost",
+        }
+    }
+}
+
+fn metric_value(results: &ExperimentResults, solver_idx: usize, target_idx: usize, metric: Metric) -> f64 {
+    let cell = &results.cells[solver_idx][target_idx];
+    match metric {
+        Metric::NormalisedCost => cell.normalised.mean,
+        Metric::WinCount => cell.wins as f64,
+        Metric::TimeSeconds => cell.seconds.mean,
+        Metric::RawCost => cell.cost.mean,
+    }
+}
+
+/// Renders one metric of an experiment as CSV with one line per
+/// `(target, solver)` pair: `target,solver,value`. This is the format the
+/// paper's figures are plotted from (one series per solver).
+pub fn figure_csv(results: &ExperimentResults, metric: Metric) -> String {
+    let mut out = format!("target,solver,{}\n", metric.label());
+    for (t, &target) in results.targets.iter().enumerate() {
+        for (s, solver) in results.solvers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6}",
+                target,
+                solver,
+                metric_value(results, s, t, metric)
+            );
+        }
+    }
+    out
+}
+
+/// Renders one metric of an experiment as a Markdown table with targets as
+/// rows and solvers as columns.
+pub fn figure_markdown(results: &ExperimentResults, metric: Metric) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### {} — {} ({} configurations)",
+        results.name,
+        metric.label(),
+        results.num_configs
+    );
+    let _ = write!(out, "| rho |");
+    for solver in &results.solvers {
+        let _ = write!(out, " {solver} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &results.solvers {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (t, &target) in results.targets.iter().enumerate() {
+        let _ = write!(out, "| {target} |");
+        for s in 0..results.solvers.len() {
+            let value = metric_value(results, s, t, metric);
+            match metric {
+                Metric::WinCount => {
+                    let _ = write!(out, " {} |", value as usize);
+                }
+                Metric::TimeSeconds => {
+                    let _ = write!(out, " {value:.5} |");
+                }
+                _ => {
+                    let _ = write!(out, " {value:.4} |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes an artifact (CSV or Markdown) into `dir`, creating the directory if
+/// needed. Returns the full path of the written file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, full disk, ...).
+pub fn write_artifact(
+    dir: &std::path::Path,
+    file_name: &str,
+    content: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file_name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_experiment, ExperimentSpec};
+    use crate::table3::{run_table3, table3_targets};
+    use rental_simgen::GeneratorConfig;
+    use rental_solvers::SuiteConfig;
+
+    fn small_results() -> ExperimentResults {
+        let spec = ExperimentSpec {
+            name: "report-test".to_string(),
+            generator: GeneratorConfig::tiny(),
+            num_configs: 2,
+            targets: vec![20, 40],
+            seed: 5,
+            suite: SuiteConfig::default(),
+            threads: Some(1),
+        };
+        run_experiment(&spec)
+    }
+
+    #[test]
+    fn table3_markdown_contains_all_rows_and_solvers() {
+        let rows = run_table3(&table3_targets()[..3], &SuiteConfig::default());
+        let markdown = table3_markdown(&rows);
+        assert!(markdown.contains("| 10 |"));
+        assert!(markdown.contains("| 30 |"));
+        assert!(markdown.contains("ILP"));
+        assert!(markdown.contains("H32Jump"));
+    }
+
+    #[test]
+    fn table3_markdown_of_no_rows_is_empty() {
+        assert!(table3_markdown(&[]).is_empty());
+    }
+
+    #[test]
+    fn table3_csv_has_one_line_per_cell() {
+        let rows = run_table3(&[10, 20], &SuiteConfig::default());
+        let csv = table3_csv(&rows);
+        // Header + 2 targets x 6 solvers.
+        assert_eq!(csv.lines().count(), 1 + 2 * 6);
+        assert!(csv.starts_with("rho,solver,split,cost"));
+    }
+
+    #[test]
+    fn figure_csv_lists_every_target_solver_pair() {
+        let results = small_results();
+        let csv = figure_csv(&results, Metric::NormalisedCost);
+        assert_eq!(csv.lines().count(), 1 + 2 * results.solvers.len());
+        assert!(csv.contains("H31"));
+    }
+
+    #[test]
+    fn figure_markdown_mentions_the_metric_and_config_count() {
+        let results = small_results();
+        let md = figure_markdown(&results, Metric::WinCount);
+        assert!(md.contains("wins"));
+        assert!(md.contains("2 configurations"));
+        let md_time = figure_markdown(&results, Metric::TimeSeconds);
+        assert!(md_time.contains("time_seconds"));
+    }
+
+    #[test]
+    fn metric_labels_are_stable() {
+        assert_eq!(Metric::NormalisedCost.label(), "normalised_cost");
+        assert_eq!(Metric::WinCount.label(), "wins");
+        assert_eq!(Metric::TimeSeconds.label(), "time_seconds");
+        assert_eq!(Metric::RawCost.label(), "mean_cost");
+    }
+
+    #[test]
+    fn artifacts_are_written_to_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "rental-experiments-test-{}",
+            std::process::id()
+        ));
+        let path = write_artifact(&dir, "table3.csv", "rho,solver,split,cost\n").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("rho,solver"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

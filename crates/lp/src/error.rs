@@ -1,0 +1,67 @@
+//! Error types for the LP / MILP solver.
+
+use std::fmt;
+
+/// Errors raised while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// A constraint or the objective references a variable that was never
+    /// declared on the model.
+    UnknownVariable {
+        /// Index of the unknown variable.
+        var: usize,
+        /// Number of declared variables.
+        declared: usize,
+    },
+    /// A variable was declared with a lower bound greater than its upper bound.
+    InvalidBounds {
+        /// Index of the offending variable.
+        var: usize,
+    },
+    /// The model has no variable.
+    EmptyModel,
+    /// A coefficient or bound is NaN or infinite where a finite value is required.
+    NonFiniteCoefficient,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable { var, declared } => write!(
+                f,
+                "variable x{var} referenced but only {declared} variables are declared"
+            ),
+            LpError::InvalidBounds { var } => {
+                write!(f, "variable x{var} has lower bound greater than upper bound")
+            }
+            LpError::EmptyModel => write!(f, "the model declares no variable"),
+            LpError::NonFiniteCoefficient => {
+                write!(f, "a coefficient, bound or right-hand side is NaN or infinite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Result alias for LP operations.
+pub type LpResult<T> = Result<T, LpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LpError::UnknownVariable { var: 3, declared: 2 };
+        assert!(err.to_string().contains("x3"));
+        assert!(err.to_string().contains('2'));
+        assert!(LpError::EmptyModel.to_string().contains("no variable"));
+    }
+
+    #[test]
+    fn errors_compare() {
+        assert_eq!(LpError::EmptyModel, LpError::EmptyModel);
+        assert_ne!(LpError::EmptyModel, LpError::NonFiniteCoefficient);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rental-lp
+//!
+//! A small, dependency-free linear-programming and mixed-integer-programming
+//! solver used as the substitute for the Gurobi solver in the paper's
+//! experiments.
+//!
+//! * [`model`] — LP/MILP builder: variables with bounds and integrality,
+//!   linear constraints, minimize/maximize objective.
+//! * [`simplex`] — dense two-phase primal simplex for the LP relaxation.
+//! * [`mip`] — best-first branch-and-bound with an LP-rounding primal
+//!   heuristic, time/node/gap limits (the 100 s time limit of the paper's
+//!   Figure 8 maps to [`mip::SolveLimits::with_time_limit`]).
+//!
+//! The solver is deliberately sized for the MinCost MILPs of the paper
+//! (tens of variables and constraints); it is exact, pure Rust, and fast
+//! enough for the experiment harness, but it is not a general-purpose
+//! industrial solver.
+//!
+//! ```
+//! use rental_lp::model::{Model, Relation};
+//! use rental_lp::mip::MipSolver;
+//!
+//! // minimize 10 x1 + 18 x2  subject to  x1 + x2 >= 3.5, integers.
+//! let mut model = Model::minimize();
+//! let x1 = model.add_nonneg_int_var("x1", 10.0);
+//! let x2 = model.add_nonneg_int_var("x2", 18.0);
+//! model.add_constraint(vec![(x1, 1.0), (x2, 1.0)], Relation::GreaterEq, 3.5);
+//! let solution = MipSolver::new().solve(&model).unwrap();
+//! assert_eq!(solution.rounded_values(), vec![4, 0]);
+//! ```
+
+pub mod error;
+pub mod mip;
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+pub use error::{LpError, LpResult};
+pub use mip::{MipSolver, SolveLimits};
+pub use model::{Model, Relation, Sense, VarId};
+pub use simplex::SimplexOptions;
+pub use solution::{LpSolution, LpStatus, MipSolution, MipStatus};

@@ -1,0 +1,724 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver targets the small LPs produced by the MinCost MILP relaxations
+//! (tens of variables, tens of constraints), so a dense tableau with
+//! Dantzig pricing (falling back to Bland's rule to guarantee termination)
+//! is simple, robust and more than fast enough.
+//!
+//! General variable bounds are handled by presolve transformations:
+//!
+//! * a finite lower bound `l ≤ x` is shifted away (`x = l + y`, `y ≥ 0`);
+//! * a free variable is split into the difference of two non-negative ones;
+//! * a finite upper bound becomes an explicit `≤` row.
+
+use crate::error::LpResult;
+use crate::model::{Model, Relation, Sense};
+use crate::solution::{LpSolution, LpStatus};
+
+/// Tunable parameters of the simplex solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexOptions {
+    /// Numerical tolerance used for optimality / feasibility tests.
+    pub tol: f64,
+    /// Hard cap on the number of pivots (per phase).
+    pub max_iterations: usize,
+    /// Number of Dantzig-pricing pivots before switching to Bland's rule
+    /// (which cannot cycle).
+    pub bland_after: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tol: 1e-9,
+            max_iterations: 50_000,
+            bland_after: 10_000,
+        }
+    }
+}
+
+/// How an original model variable maps onto the non-negative standard-form
+/// variables.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = shift + y[col]`
+    Shifted { col: usize, shift: f64 },
+    /// `x = y[pos] - y[neg]` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+/// A constraint row in standard form (`Σ a_i y_i (≤|≥|=) b` over non-negative
+/// `y`), before sign normalisation.
+struct StdRow {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// Solves a linear program (ignoring any integrality flags) with default options.
+///
+/// # Errors
+///
+/// Returns a model-validation error if the model is structurally invalid.
+pub fn solve(model: &Model) -> LpResult<LpSolution> {
+    solve_with(model, &SimplexOptions::default())
+}
+
+/// Solves a linear program (ignoring integrality flags) with explicit options.
+///
+/// # Errors
+///
+/// Returns a model-validation error if the model is structurally invalid.
+pub fn solve_with(model: &Model, options: &SimplexOptions) -> LpResult<LpSolution> {
+    model.validate()?;
+
+    // ------------------------------------------------------------------
+    // 1. Standard-form conversion: non-negative variables only.
+    // ------------------------------------------------------------------
+    let n_orig = model.num_vars();
+    let mut var_map = Vec::with_capacity(n_orig);
+    let mut n_std = 0usize;
+    for var in model.variables() {
+        if var.lower.is_finite() {
+            var_map.push(VarMap::Shifted {
+                col: n_std,
+                shift: var.lower,
+            });
+            n_std += 1;
+        } else {
+            var_map.push(VarMap::Split {
+                pos: n_std,
+                neg: n_std + 1,
+            });
+            n_std += 2;
+        }
+    }
+
+    // Objective over standard variables (constant offset recovered later by
+    // re-evaluating the objective on the recovered point).
+    let minimize = model.sense() == Sense::Minimize;
+    let mut costs = vec![0.0; n_std];
+    for (i, &c) in model.objective().iter().enumerate() {
+        let c = if minimize { c } else { -c };
+        match var_map[i] {
+            VarMap::Shifted { col, .. } => costs[col] += c,
+            VarMap::Split { pos, neg } => {
+                costs[pos] += c;
+                costs[neg] -= c;
+            }
+        }
+    }
+
+    // Constraint rows: model constraints plus finite upper bounds.
+    let mut rows: Vec<StdRow> = Vec::new();
+    for constraint in model.constraints() {
+        let mut coeffs = vec![0.0; n_std];
+        let mut rhs = constraint.rhs;
+        for &(var, coeff) in &constraint.terms {
+            match var_map[var.index()] {
+                VarMap::Shifted { col, shift } => {
+                    coeffs[col] += coeff;
+                    rhs -= coeff * shift;
+                }
+                VarMap::Split { pos, neg } => {
+                    coeffs[pos] += coeff;
+                    coeffs[neg] -= coeff;
+                }
+            }
+        }
+        rows.push(StdRow {
+            coeffs,
+            relation: constraint.relation,
+            rhs,
+        });
+    }
+    for (i, var) in model.variables().iter().enumerate() {
+        if var.upper.is_finite() {
+            match var_map[i] {
+                VarMap::Shifted { col, shift } => {
+                    // y_col <= upper - lower
+                    let mut coeffs = vec![0.0; n_std];
+                    coeffs[col] = 1.0;
+                    rows.push(StdRow {
+                        coeffs,
+                        relation: Relation::LessEq,
+                        rhs: var.upper - shift,
+                    });
+                }
+                VarMap::Split { pos, neg } => {
+                    let mut coeffs = vec![0.0; n_std];
+                    coeffs[pos] = 1.0;
+                    coeffs[neg] = -1.0;
+                    rows.push(StdRow {
+                        coeffs,
+                        relation: Relation::LessEq,
+                        rhs: var.upper,
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Tableau construction with slack / surplus / artificial columns.
+    // ------------------------------------------------------------------
+    let m = rows.len();
+    // Count extra columns.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for row in &rows {
+        let rhs_negative = row.rhs < 0.0;
+        let relation = effective_relation(row.relation, rhs_negative);
+        match relation {
+            Relation::LessEq => n_slack += 1,
+            Relation::GreaterEq => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Equal => n_art += 1,
+        }
+    }
+    let total = n_std + n_slack + n_art;
+    let rhs_col = total;
+
+    let mut tableau = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut artificial_cols = Vec::with_capacity(n_art);
+    let mut slack_cursor = n_std;
+    let mut art_cursor = n_std + n_slack;
+
+    for (r, row) in rows.iter().enumerate() {
+        let negate = row.rhs < 0.0;
+        let sign = if negate { -1.0 } else { 1.0 };
+        for (c, &a) in row.coeffs.iter().enumerate() {
+            tableau[r][c] = sign * a;
+        }
+        tableau[r][rhs_col] = sign * row.rhs;
+        match effective_relation(row.relation, negate) {
+            Relation::LessEq => {
+                tableau[r][slack_cursor] = 1.0;
+                basis[r] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Relation::GreaterEq => {
+                tableau[r][slack_cursor] = -1.0; // surplus
+                slack_cursor += 1;
+                tableau[r][art_cursor] = 1.0;
+                basis[r] = art_cursor;
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+            Relation::Equal => {
+                tableau[r][art_cursor] = 1.0;
+                basis[r] = art_cursor;
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+        }
+    }
+
+    let mut iterations = 0usize;
+
+    // ------------------------------------------------------------------
+    // 3. Phase 1: drive artificial variables to zero.
+    // ------------------------------------------------------------------
+    if !artificial_cols.is_empty() {
+        let mut phase1_costs = vec![0.0; total];
+        for &col in &artificial_cols {
+            phase1_costs[col] = 1.0;
+        }
+        let mut z_row = build_z_row(&tableau, &basis, &phase1_costs, total);
+        let status = run_pivots(
+            &mut tableau,
+            &mut z_row,
+            &mut basis,
+            total,
+            options,
+            &mut iterations,
+            Some(&artificial_cols),
+        );
+        if status == InnerStatus::IterationLimit {
+            return Ok(LpSolution {
+                status: LpStatus::IterationLimit,
+                objective: f64::NAN,
+                values: vec![],
+                iterations,
+            });
+        }
+        // Phase-1 objective value is -z_row[rhs].
+        let phase1_value = -z_row[rhs_col];
+        if phase1_value > options.tol.max(1e-7) {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::NAN,
+                values: vec![],
+                iterations,
+            });
+        }
+        // Drive any basic artificial out of the basis when possible.
+        for r in 0..m {
+            if artificial_cols.contains(&basis[r]) {
+                // Find a non-artificial column with a non-zero entry.
+                if let Some(col) = (0..n_std + n_slack)
+                    .find(|&c| tableau[r][c].abs() > options.tol && !artificial_cols.contains(&c))
+                {
+                    pivot(&mut tableau, &mut None, &mut basis, r, col);
+                } // else: redundant row; artificial stays basic at zero.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Phase 2: optimize the real objective. Artificial columns are
+    //    blocked from entering the basis.
+    // ------------------------------------------------------------------
+    let mut phase2_costs = vec![0.0; total];
+    phase2_costs[..n_std].copy_from_slice(&costs);
+    let mut z_row = build_z_row(&tableau, &basis, &phase2_costs, total);
+    let status = run_pivots(
+        &mut tableau,
+        &mut z_row,
+        &mut basis,
+        total,
+        options,
+        &mut iterations,
+        if artificial_cols.is_empty() {
+            None
+        } else {
+            Some(&artificial_cols)
+        },
+    );
+    match status {
+        InnerStatus::IterationLimit => {
+            return Ok(LpSolution {
+                status: LpStatus::IterationLimit,
+                objective: f64::NAN,
+                values: vec![],
+                iterations,
+            })
+        }
+        InnerStatus::Unbounded => {
+            return Ok(LpSolution {
+                status: LpStatus::Unbounded,
+                objective: if minimize {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                },
+                values: vec![],
+                iterations,
+            })
+        }
+        InnerStatus::Optimal => {}
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Recover the solution in the original variable space.
+    // ------------------------------------------------------------------
+    let mut std_values = vec![0.0; total];
+    for (r, &b) in basis.iter().enumerate() {
+        if b < total {
+            std_values[b] = tableau[r][rhs_col];
+        }
+    }
+    let mut values = vec![0.0; n_orig];
+    for (i, map) in var_map.iter().enumerate() {
+        values[i] = match *map {
+            VarMap::Shifted { col, shift } => shift + std_values[col],
+            VarMap::Split { pos, neg } => std_values[pos] - std_values[neg],
+        };
+    }
+    let objective = model.objective_value(&values);
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        values,
+        iterations,
+    })
+}
+
+/// When a row's right-hand side is negative the whole row is negated, which
+/// flips inequality directions.
+fn effective_relation(relation: Relation, negated: bool) -> Relation {
+    if !negated {
+        return relation;
+    }
+    match relation {
+        Relation::LessEq => Relation::GreaterEq,
+        Relation::GreaterEq => Relation::LessEq,
+        Relation::Equal => Relation::Equal,
+    }
+}
+
+/// Builds the reduced-cost row for the given basis: `z_j = c_j - c_B B⁻¹ A_j`
+/// stored as `c_j` priced out by the basic rows, with the negated objective
+/// value in the last entry.
+fn build_z_row(tableau: &[Vec<f64>], basis: &[usize], costs: &[f64], total: usize) -> Vec<f64> {
+    let mut z = vec![0.0; total + 1];
+    z[..total].copy_from_slice(costs);
+    for (r, &b) in basis.iter().enumerate() {
+        let cb = costs[b];
+        if cb != 0.0 {
+            for c in 0..=total {
+                z[c] -= cb * tableau[r][c];
+            }
+        }
+    }
+    z
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InnerStatus {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Runs primal simplex pivots until optimality, unboundedness or the
+/// iteration limit. `blocked` columns (artificials in phase 2) never enter
+/// the basis.
+fn run_pivots(
+    tableau: &mut [Vec<f64>],
+    z_row: &mut Vec<f64>,
+    basis: &mut [usize],
+    total: usize,
+    options: &SimplexOptions,
+    iterations: &mut usize,
+    blocked: Option<&[usize]>,
+) -> InnerStatus {
+    let m = tableau.len();
+    let rhs_col = total;
+    for local_iter in 0..options.max_iterations {
+        let use_bland = local_iter >= options.bland_after;
+        // Entering column: most negative reduced cost (Dantzig) or first
+        // negative (Bland).
+        let mut entering = None;
+        let mut best = -options.tol;
+        for c in 0..total {
+            if let Some(blocked_cols) = blocked {
+                if blocked_cols.contains(&c) {
+                    continue;
+                }
+            }
+            let rc = z_row[c];
+            if rc < -options.tol {
+                if use_bland {
+                    entering = Some(c);
+                    break;
+                }
+                if rc < best {
+                    best = rc;
+                    entering = Some(c);
+                }
+            }
+        }
+        let Some(col) = entering else {
+            return InnerStatus::Optimal;
+        };
+
+        // Leaving row: minimum ratio test, breaking ties on the smallest basis
+        // index (Bland-style) to avoid cycling.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m {
+            let a = tableau[r][col];
+            if a > options.tol {
+                let ratio = tableau[r][rhs_col] / a;
+                match leaving {
+                    None => {
+                        leaving = Some(r);
+                        best_ratio = ratio;
+                    }
+                    Some(current) => {
+                        if ratio < best_ratio - options.tol {
+                            leaving = Some(r);
+                            best_ratio = ratio;
+                        } else if (ratio - best_ratio).abs() <= options.tol
+                            && basis[r] < basis[current]
+                        {
+                            leaving = Some(r);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            return InnerStatus::Unbounded;
+        };
+
+        pivot(tableau, &mut Some(z_row), basis, row, col);
+        *iterations += 1;
+    }
+    InnerStatus::IterationLimit
+}
+
+/// Performs one pivot on (`row`, `col`), updating the tableau, the optional
+/// reduced-cost row and the basis.
+fn pivot(
+    tableau: &mut [Vec<f64>],
+    z_row: &mut Option<&mut Vec<f64>>,
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+) {
+    let m = tableau.len();
+    let width = tableau[0].len();
+    let pivot_value = tableau[row][col];
+    debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
+    // Normalise the pivot row.
+    for c in 0..width {
+        tableau[row][c] /= pivot_value;
+    }
+    // Eliminate the pivot column from the other rows.
+    for r in 0..m {
+        if r != row {
+            let factor = tableau[r][col];
+            if factor != 0.0 {
+                for c in 0..width {
+                    tableau[r][c] -= factor * tableau[row][c];
+                }
+            }
+        }
+    }
+    if let Some(z) = z_row.as_deref_mut() {
+        let factor = z[col];
+        if factor != 0.0 {
+            for c in 0..width {
+                z[c] -= factor * tableau[row][c];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn maximization_with_slacks_only() {
+        // maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2, 6).
+        let mut model = Model::maximize();
+        let x = model.add_nonneg_var("x", 3.0);
+        let y = model.add_nonneg_var("y", 5.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+        model.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+        model.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.values[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_greater_equal_constraints() {
+        // minimize 3x + 2y s.t. x + y >= 4, x <= 3 -> optimum 8 at (0, 4).
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 3.0);
+        let y = model.add_nonneg_var("y", 2.0);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 4.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::LessEq, 3.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 8.0);
+        assert_close(sol.values[0], 0.0);
+        assert_close(sol.values[1], 4.0);
+    }
+
+    #[test]
+    fn equality_constraints_are_respected() {
+        // minimize x + 2y s.t. x + y = 10, x - y >= 2 -> optimum at y as small as possible?
+        // x + y = 10, x >= y + 2 -> x = 10 - y, 10 - y >= y + 2 -> y <= 4.
+        // objective x + 2y = 10 - y + 2y = 10 + y minimized at y = 0 -> 10, x = 10.
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 1.0);
+        let y = model.add_nonneg_var("y", 2.0);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 10.0);
+        model.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::GreaterEq, 2.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 10.0);
+        assert_close(sol.values[0], 10.0);
+        assert_close(sol.values[1], 0.0);
+    }
+
+    #[test]
+    fn infeasible_problem_is_detected() {
+        // x <= 1 and x >= 3 cannot both hold.
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 1.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::LessEq, 1.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 3.0);
+        let sol = solve(&model).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_is_detected() {
+        // maximize x with only x >= 0: unbounded.
+        let mut model = Model::maximize();
+        let x = model.add_nonneg_var("x", 1.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 0.0);
+        let sol = solve(&model).unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn variable_bounds_are_enforced() {
+        // minimize x + y with x in [2, 5], y in [1, inf), x + y >= 7.
+        // Optimum: x = 5? No: minimize so x as small as allowed while meeting x+y>=7.
+        // Any (x, y) with x+y = 7, x in [2,5], y >= 1 gives objective 7.
+        let mut model = Model::minimize();
+        let x = model.add_var("x", 1.0, 2.0, 5.0);
+        let y = model.add_var("y", 1.0, 1.0, f64::INFINITY);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 7.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 7.0);
+        assert!(sol.values[0] >= 2.0 - 1e-6 && sol.values[0] <= 5.0 + 1e-6);
+        assert!(sol.values[1] >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn lower_bounds_shift_the_optimum() {
+        // minimize 2x + 3y, x >= 4, y >= 1, x + y >= 6 -> x = 5, y = 1 -> 13.
+        let mut model = Model::minimize();
+        let x = model.add_var("x", 2.0, 4.0, f64::INFINITY);
+        let y = model.add_var("y", 3.0, 1.0, f64::INFINITY);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 6.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 13.0);
+        assert_close(sol.values[0], 5.0);
+        assert_close(sol.values[1], 1.0);
+    }
+
+    #[test]
+    fn free_variables_are_split() {
+        // minimize x s.t. x >= -5 is not expressible with non-negative vars alone;
+        // use a free variable with constraint x >= -5 -> optimum -5.
+        let mut model = Model::minimize();
+        let x = model.add_var("x", 1.0, f64::NEG_INFINITY, f64::INFINITY);
+        model.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, -5.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, -5.0);
+        assert_close(sol.values[0], -5.0);
+    }
+
+    #[test]
+    fn fixed_variables_via_equal_bounds() {
+        // x fixed to 3 by bounds, minimize x + y with y >= 0 and x + y >= 5 -> y = 2.
+        let mut model = Model::minimize();
+        let x = model.add_var("x", 1.0, 3.0, 3.0);
+        let y = model.add_nonneg_var("y", 1.0);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 5.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.values[0], 3.0);
+        assert_close(sol.values[1], 2.0);
+        assert_close(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; just check we terminate at the optimum.
+        let mut model = Model::maximize();
+        let x1 = model.add_nonneg_var("x1", 10.0);
+        let x2 = model.add_nonneg_var("x2", -57.0);
+        let x3 = model.add_nonneg_var("x3", -9.0);
+        let x4 = model.add_nonneg_var("x4", -24.0);
+        model.add_constraint(
+            vec![(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Relation::LessEq,
+            0.0,
+        );
+        model.add_constraint(
+            vec![(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Relation::LessEq,
+            0.0,
+        );
+        model.add_constraint(vec![(x1, 1.0)], Relation::LessEq, 1.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // minimize x + y s.t. -x - y <= -4  (i.e. x + y >= 4).
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 1.0);
+        let y = model.add_nonneg_var("y", 1.0);
+        model.add_constraint(vec![(x, -1.0), (y, -1.0)], Relation::LessEq, -4.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 4.0);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_the_model() {
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 2.0);
+        let y = model.add_nonneg_var("y", 3.0);
+        let z = model.add_nonneg_var("z", 1.0);
+        model.add_constraint(vec![(x, 1.0), (y, 2.0), (z, 1.0)], Relation::GreaterEq, 10.0);
+        model.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::LessEq, 3.0);
+        model.add_constraint(vec![(z, 1.0)], Relation::LessEq, 4.0);
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        assert!(model.is_feasible(&sol.values, 1e-6));
+        // z is the cheapest way to cover demand, capped at 4; remainder via y.
+        assert_close(sol.values[2], 4.0);
+    }
+
+    #[test]
+    fn relaxation_of_mincost_milp_matches_hand_computation() {
+        // LP relaxation of the illustrating example at rho = 70 (no integrality):
+        // every machine count can be fractional, so the cost is
+        // min over splits of sum_q (demand_q / r_q) * c_q; recipe 2 alone is
+        // the cheapest direction: (25/30 + 33/40) per unit = 1.658.. -> 116.08 at rho=70.
+        let mut model = Model::minimize();
+        // rho_j variables.
+        let r1 = model.add_nonneg_var("rho1", 0.0);
+        let r2 = model.add_nonneg_var("rho2", 0.0);
+        let r3 = model.add_nonneg_var("rho3", 0.0);
+        // x_q variables.
+        let costs = [10.0, 18.0, 25.0, 33.0];
+        let thr = [10.0, 20.0, 30.0, 40.0];
+        let xs: Vec<_> = (0..4)
+            .map(|q| model.add_nonneg_var(format!("x{q}"), costs[q]))
+            .collect();
+        // Coverage constraint.
+        model.add_constraint(
+            vec![(r1, 1.0), (r2, 1.0), (r3, 1.0)],
+            Relation::GreaterEq,
+            70.0,
+        );
+        // Capacity constraints: x_q * r_q >= sum_j n_jq rho_j.
+        // n: recipe1 uses types 2,4; recipe2 types 3,4; recipe3 types 1,2.
+        let demands: [Vec<(crate::model::VarId, f64)>; 4] = [
+            vec![(r3, 1.0)],
+            vec![(r1, 1.0), (r3, 1.0)],
+            vec![(r2, 1.0)],
+            vec![(r1, 1.0), (r2, 1.0)],
+        ];
+        for q in 0..4 {
+            let mut terms = vec![(xs[q], thr[q])];
+            for &(v, c) in &demands[q] {
+                terms.push((v, -c));
+            }
+            model.add_constraint(terms, Relation::GreaterEq, 0.0);
+        }
+        let sol = solve(&model).unwrap();
+        assert!(sol.is_optimal());
+        let expected = 70.0 * (25.0 / 30.0 + 33.0 / 40.0);
+        assert!((sol.objective - expected).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Solution types returned by the LP and MILP solvers.
+
+/// Outcome of a linear-program solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints are mutually inconsistent.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was reached before convergence.
+    IterationLimit,
+}
+
+/// Result of solving a linear program (the relaxation, for MILPs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Status of the solve.
+    pub status: LpStatus,
+    /// Objective value (meaningful only when `status == Optimal`).
+    pub objective: f64,
+    /// Variable values in the original model space (meaningful only when
+    /// `status == Optimal`).
+    pub values: Vec<f64>,
+    /// Number of simplex pivots performed.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// True if an optimal solution is available.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+}
+
+/// Outcome of a mixed-integer solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// The incumbent is proven optimal.
+    Optimal,
+    /// A feasible incumbent exists but optimality was not proven before a
+    /// limit (time, node or gap) was hit. This mirrors the behaviour the paper
+    /// observes with Gurobi on the large Figure-8 instances.
+    Feasible,
+    /// The problem has no integer-feasible point.
+    Infeasible,
+    /// The relaxation (and hence the MILP) is unbounded.
+    Unbounded,
+    /// No feasible point was found before a limit was hit; the problem may or
+    /// may not be feasible.
+    LimitReached,
+}
+
+/// Result of a branch-and-bound solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MipSolution {
+    /// Status of the solve.
+    pub status: MipStatus,
+    /// Best integer-feasible objective found (meaningful for `Optimal` and
+    /// `Feasible`).
+    pub objective: f64,
+    /// Values of the best incumbent (meaningful for `Optimal` and `Feasible`).
+    pub values: Vec<f64>,
+    /// Best proven bound on the optimal objective (lower bound for
+    /// minimization problems).
+    pub best_bound: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations over all nodes.
+    pub lp_iterations: usize,
+    /// Wall-clock time spent, in seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl MipSolution {
+    /// True if an incumbent (optimal or not) is available.
+    pub fn has_incumbent(&self) -> bool {
+        matches!(self.status, MipStatus::Optimal | MipStatus::Feasible)
+    }
+
+    /// Relative optimality gap `|objective - best_bound| / max(|objective|, ε)`.
+    /// Zero when the incumbent is proven optimal.
+    pub fn gap(&self) -> f64 {
+        if !self.has_incumbent() {
+            return f64::INFINITY;
+        }
+        let denom = self.objective.abs().max(1e-9);
+        (self.objective - self.best_bound).abs() / denom
+    }
+
+    /// Rounds the incumbent values to the nearest integers. Useful when the
+    /// caller knows every variable of interest is integer (as in the MinCost
+    /// MILP) and wants exact integer outputs.
+    pub fn rounded_values(&self) -> Vec<u64> {
+        self.values
+            .iter()
+            .map(|&v| if v <= 0.0 { 0 } else { v.round() as u64 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_solution_optimal_flag() {
+        let sol = LpSolution {
+            status: LpStatus::Optimal,
+            objective: 3.5,
+            values: vec![1.0, 2.5],
+            iterations: 4,
+        };
+        assert!(sol.is_optimal());
+        let sol = LpSolution {
+            status: LpStatus::Infeasible,
+            objective: 0.0,
+            values: vec![],
+            iterations: 2,
+        };
+        assert!(!sol.is_optimal());
+    }
+
+    #[test]
+    fn mip_gap_is_zero_when_bound_matches() {
+        let sol = MipSolution {
+            status: MipStatus::Optimal,
+            objective: 124.0,
+            values: vec![10.0, 30.0, 30.0],
+            best_bound: 124.0,
+            nodes: 5,
+            lp_iterations: 42,
+            elapsed_seconds: 0.01,
+        };
+        assert!(sol.has_incumbent());
+        assert!(sol.gap() < 1e-12);
+        assert_eq!(sol.rounded_values(), vec![10, 30, 30]);
+    }
+
+    #[test]
+    fn mip_gap_without_incumbent_is_infinite() {
+        let sol = MipSolution {
+            status: MipStatus::LimitReached,
+            objective: f64::INFINITY,
+            values: vec![],
+            best_bound: 10.0,
+            nodes: 1,
+            lp_iterations: 3,
+            elapsed_seconds: 0.0,
+        };
+        assert!(!sol.has_incumbent());
+        assert!(sol.gap().is_infinite());
+    }
+
+    #[test]
+    fn rounded_values_clamp_negatives() {
+        let sol = MipSolution {
+            status: MipStatus::Feasible,
+            objective: 1.0,
+            values: vec![-1e-9, 2.9999999, 3.0000001],
+            best_bound: 0.5,
+            nodes: 1,
+            lp_iterations: 1,
+            elapsed_seconds: 0.0,
+        };
+        assert_eq!(sol.rounded_values(), vec![0, 3, 3]);
+    }
+}

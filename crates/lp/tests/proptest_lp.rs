@@ -1,0 +1,162 @@
+//! Property-based tests of the simplex and branch-and-bound solvers on
+//! randomly generated covering problems (the structure of the MinCost MILP).
+
+use proptest::prelude::*;
+
+use rental_lp::model::{Model, Relation};
+use rental_lp::{simplex, LpStatus, MipSolver, MipStatus};
+
+/// A random covering problem: minimize `c·x` subject to `A x ≥ b`, `x ≥ 0`,
+/// with non-negative data. Such problems are always feasible (scale x up) and
+/// bounded below by 0, so the simplex must return `Optimal`.
+fn covering_problem() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(n, m)| {
+        let costs = proptest::collection::vec(1.0f64..50.0, n);
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, n),
+            m,
+        );
+        let rhs = proptest::collection::vec(0.0f64..100.0, m);
+        (costs, rows, rhs)
+    })
+}
+
+fn build_model(costs: &[f64], rows: &[Vec<f64>], rhs: &[f64], integer: bool) -> Option<Model> {
+    let mut model = Model::minimize();
+    let vars: Vec<_> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            if integer {
+                model.add_nonneg_int_var(format!("x{i}"), c)
+            } else {
+                model.add_nonneg_var(format!("x{i}"), c)
+            }
+        })
+        .collect();
+    for (row, &b) in rows.iter().zip(rhs) {
+        // Skip rows whose coefficients are all ~zero but rhs is positive:
+        // those make the problem genuinely infeasible.
+        if row.iter().all(|&a| a < 1e-6) && b > 1e-6 {
+            return None;
+        }
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(row)
+            .filter(|(_, &a)| a > 1e-9)
+            .map(|(&v, &a)| (v, a))
+            .collect();
+        model.add_constraint(terms, Relation::GreaterEq, b);
+    }
+    Some(model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn simplex_solutions_are_feasible_and_optimality_certified(
+        (costs, rows, rhs) in covering_problem(),
+    ) {
+        let Some(model) = build_model(&costs, &rows, &rhs, false) else {
+            return Ok(());
+        };
+        let solution = simplex::solve(&model).unwrap();
+        prop_assert_eq!(solution.status, LpStatus::Optimal);
+        prop_assert!(model.is_feasible(&solution.values, 1e-5));
+        prop_assert!(solution.objective >= -1e-9);
+        // Scaling any feasible point down is impossible, but scaling up must
+        // not be cheaper: the reported objective is a minimum over the tested
+        // corner points, so doubling the solution can only cost more.
+        let doubled: Vec<f64> = solution.values.iter().map(|v| v * 2.0).collect();
+        prop_assert!(model.objective_value(&doubled) >= solution.objective - 1e-6);
+    }
+
+    #[test]
+    fn branch_and_bound_dominates_the_relaxation_and_respects_integrality(
+        (costs, rows, rhs) in covering_problem(),
+    ) {
+        let Some(int_model) = build_model(&costs, &rows, &rhs, true) else {
+            return Ok(());
+        };
+        let Some(relaxed_model) = build_model(&costs, &rows, &rhs, false) else {
+            return Ok(());
+        };
+        let relaxation = simplex::solve(&relaxed_model).unwrap();
+        let mip = MipSolver::new().solve(&int_model).unwrap();
+        prop_assert_eq!(mip.status, MipStatus::Optimal);
+        // Integer optimum can never beat the LP relaxation.
+        prop_assert!(mip.objective >= relaxation.objective - 1e-6);
+        // The incumbent is integral and feasible.
+        for &v in &mip.values {
+            prop_assert!((v - v.round()).abs() < 1e-5);
+        }
+        prop_assert!(int_model.is_feasible(&mip.values, 1e-5));
+        // The reported bound brackets the objective.
+        prop_assert!(mip.best_bound <= mip.objective + 1e-6);
+    }
+
+    #[test]
+    fn rounding_up_the_relaxation_is_an_upper_bound_for_covering_milps(
+        (costs, rows, rhs) in covering_problem(),
+    ) {
+        let Some(int_model) = build_model(&costs, &rows, &rhs, true) else {
+            return Ok(());
+        };
+        let Some(relaxed_model) = build_model(&costs, &rows, &rhs, false) else {
+            return Ok(());
+        };
+        let relaxation = simplex::solve(&relaxed_model).unwrap();
+        let rounded: Vec<f64> = relaxation.values.iter().map(|v| v.ceil()).collect();
+        // For a covering problem, rounding up stays feasible.
+        prop_assert!(int_model.is_feasible(&rounded, 1e-6));
+        let mip = MipSolver::new().solve(&int_model).unwrap();
+        prop_assert!(mip.objective <= int_model.objective_value(&rounded) + 1e-6);
+    }
+
+    #[test]
+    fn warm_starts_never_change_the_optimum(
+        (costs, rows, rhs) in covering_problem(),
+    ) {
+        let Some(int_model) = build_model(&costs, &rows, &rhs, true) else {
+            return Ok(());
+        };
+        let cold = MipSolver::new().solve(&int_model).unwrap();
+        prop_assume!(cold.status == MipStatus::Optimal);
+        // Warm-start with the optimal solution itself: same optimum, and the
+        // search may terminate with fewer explored nodes but never more.
+        let warm = MipSolver::new()
+            .solve_with_start(&int_model, Some(&cold.values))
+            .unwrap();
+        prop_assert_eq!(warm.status, MipStatus::Optimal);
+        prop_assert!((warm.objective - cold.objective).abs() < 1e-6);
+        prop_assert!(warm.nodes <= cold.nodes);
+        // A nonsensical warm start must be ignored, not believed.
+        let bogus = vec![-1.0; int_model.num_vars()];
+        let ignored = MipSolver::new()
+            .solve_with_start(&int_model, Some(&bogus))
+            .unwrap();
+        prop_assert_eq!(ignored.status, MipStatus::Optimal);
+        prop_assert!((ignored.objective - cold.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constrained_lps_are_tight(
+        targets in proptest::collection::vec(1.0f64..30.0, 1..=3),
+    ) {
+        // minimize sum x_i with x_i = target_i: objective equals sum of targets.
+        let mut model = Model::minimize();
+        let vars: Vec<_> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, _)| model.add_nonneg_var(format!("x{i}"), 1.0))
+            .collect();
+        for (&v, &t) in vars.iter().zip(&targets) {
+            model.add_constraint(vec![(v, 1.0)], Relation::Equal, t);
+        }
+        let solution = simplex::solve(&model).unwrap();
+        prop_assert_eq!(solution.status, LpStatus::Optimal);
+        let expected: f64 = targets.iter().sum();
+        prop_assert!((solution.objective - expected).abs() < 1e-6);
+    }
+}

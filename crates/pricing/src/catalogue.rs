@@ -1,0 +1,189 @@
+//! A named machine catalogue bridging the paper's abstract platform and an
+//! IaaS provider's instance offering.
+//!
+//! The paper's platform is a list of `(r_q, c_q)` pairs. Real catalogues name
+//! their instance types and describe them with vCPU and memory figures; this
+//! module keeps both views consistent: a [`Catalogue`] can always be lowered
+//! to a [`Platform`] (losing the names), and the experiment generators can be
+//! pointed at a realistic catalogue instead of uniformly random machines.
+
+use rental_core::{Cost, ModelResult, Platform, Throughput, TypeId};
+
+/// One named instance type of the catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogueEntry {
+    /// Provider-facing name of the instance type (e.g. `"compute.large"`).
+    pub name: String,
+    /// Number of virtual CPUs.
+    pub vcpus: u32,
+    /// Memory in GiB.
+    pub memory_gib: u32,
+    /// Throughput `r_q` of the instance for its task type.
+    pub throughput: Throughput,
+    /// Hourly rental cost `c_q` (same abstract unit as the paper).
+    pub hourly_cost: Cost,
+}
+
+impl CatalogueEntry {
+    /// Creates a catalogue entry.
+    pub fn new(
+        name: impl Into<String>,
+        vcpus: u32,
+        memory_gib: u32,
+        throughput: Throughput,
+        hourly_cost: Cost,
+    ) -> Self {
+        CatalogueEntry {
+            name: name.into(),
+            vcpus,
+            memory_gib,
+            throughput,
+            hourly_cost,
+        }
+    }
+
+    /// Cost per unit of delivered throughput (`c_q / r_q`).
+    pub fn cost_per_throughput(&self) -> f64 {
+        if self.throughput == 0 {
+            f64::INFINITY
+        } else {
+            self.hourly_cost as f64 / self.throughput as f64
+        }
+    }
+}
+
+/// An ordered catalogue of named instance types; the position of an entry is
+/// its [`TypeId`] in the corresponding platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Catalogue {
+    entries: Vec<CatalogueEntry>,
+}
+
+impl Catalogue {
+    /// Builds a catalogue from entries.
+    pub fn new(entries: Vec<CatalogueEntry>) -> Self {
+        Catalogue { entries }
+    }
+
+    /// An EC2-like catalogue of eight instance families covering the CPU /
+    /// memory / GPU heterogeneity the paper's introduction motivates. The
+    /// throughput and cost figures are on the paper's abstract scale
+    /// (throughputs 10–100, costs 1–100) so the catalogue slots directly into
+    /// the experiment presets.
+    pub fn ec2_like() -> Self {
+        Catalogue::new(vec![
+            CatalogueEntry::new("general.medium", 2, 4, 10, 8),
+            CatalogueEntry::new("general.large", 4, 8, 20, 15),
+            CatalogueEntry::new("compute.large", 8, 16, 35, 24),
+            CatalogueEntry::new("compute.xlarge", 16, 32, 60, 45),
+            CatalogueEntry::new("memory.large", 8, 64, 30, 30),
+            CatalogueEntry::new("memory.xlarge", 16, 128, 55, 55),
+            CatalogueEntry::new("gpu.small", 8, 32, 70, 60),
+            CatalogueEntry::new("gpu.large", 32, 128, 100, 95),
+        ])
+    }
+
+    /// Number of instance types.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the catalogue has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in type order.
+    pub fn entries(&self) -> &[CatalogueEntry] {
+        &self.entries
+    }
+
+    /// The entry for a given platform type, if it exists.
+    pub fn entry(&self, type_id: TypeId) -> Option<&CatalogueEntry> {
+        self.entries.get(type_id.index())
+    }
+
+    /// The name of a platform type, if it exists.
+    pub fn name(&self, type_id: TypeId) -> Option<&str> {
+        self.entry(type_id).map(|e| e.name.as_str())
+    }
+
+    /// Lowers the catalogue to the paper's abstract [`Platform`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Platform::from_pairs`] validation errors (empty catalogue
+    /// or an entry with zero throughput).
+    pub fn to_platform(&self) -> ModelResult<Platform> {
+        Platform::from_pairs(
+            &self
+                .entries
+                .iter()
+                .map(|e| (e.throughput, e.hourly_cost))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rental_core::ModelError;
+
+    #[test]
+    fn ec2_like_catalogue_lowers_to_a_valid_platform() {
+        let catalogue = Catalogue::ec2_like();
+        assert_eq!(catalogue.len(), 8);
+        assert!(!catalogue.is_empty());
+        let platform = catalogue.to_platform().unwrap();
+        assert_eq!(platform.num_types(), 8);
+        for (q, entry) in catalogue.entries().iter().enumerate() {
+            assert_eq!(platform.throughput(TypeId(q)), entry.throughput);
+            assert_eq!(platform.cost(TypeId(q)), entry.hourly_cost);
+        }
+    }
+
+    #[test]
+    fn entries_are_addressable_by_type_id() {
+        let catalogue = Catalogue::ec2_like();
+        assert_eq!(catalogue.name(TypeId(0)), Some("general.medium"));
+        assert_eq!(catalogue.name(TypeId(7)), Some("gpu.large"));
+        assert_eq!(catalogue.name(TypeId(8)), None);
+        assert_eq!(catalogue.entry(TypeId(2)).unwrap().vcpus, 8);
+    }
+
+    #[test]
+    fn empty_catalogue_cannot_become_a_platform() {
+        let err = Catalogue::new(vec![]).to_platform().unwrap_err();
+        assert_eq!(err, ModelError::EmptyPlatform);
+    }
+
+    #[test]
+    fn zero_throughput_entries_are_rejected_at_lowering() {
+        let catalogue = Catalogue::new(vec![CatalogueEntry::new("broken", 1, 1, 0, 5)]);
+        let err = catalogue.to_platform().unwrap_err();
+        assert_eq!(err, ModelError::ZeroThroughput { type_id: TypeId(0) });
+    }
+
+    #[test]
+    fn cost_per_throughput_reflects_efficiency() {
+        let catalogue = Catalogue::ec2_like();
+        let general = catalogue.entry(TypeId(0)).unwrap();
+        assert!(general.cost_per_throughput() > 0.0);
+        let broken = CatalogueEntry::new("zero", 1, 1, 0, 5);
+        assert!(broken.cost_per_throughput().is_infinite());
+    }
+
+    #[test]
+    fn bigger_instances_deliver_more_throughput_in_the_builtin_catalogue() {
+        let catalogue = Catalogue::ec2_like();
+        // Within a family, the larger size has strictly more throughput and a
+        // strictly higher price.
+        for &(small, large) in &[(0usize, 1usize), (2, 3), (4, 5), (6, 7)] {
+            let s = &catalogue.entries()[small];
+            let l = &catalogue.entries()[large];
+            assert!(l.throughput > s.throughput, "{} vs {}", l.name, s.name);
+            assert!(l.hourly_cost > s.hourly_cost, "{} vs {}", l.name, s.name);
+        }
+    }
+}

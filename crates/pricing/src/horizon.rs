@@ -1,0 +1,217 @@
+//! Projecting a provisioning plan over a rental horizon.
+//!
+//! The paper minimises the *hourly* bill because the stream runs for an
+//! unknown but long time. Once a concrete horizon is known (a campaign of a
+//! week, a quarter, a year), the hourly solution can be projected into a
+//! total bill under any [`BillingModel`], and different billing mechanisms
+//! can be compared through their break-even points.
+
+use rental_core::{ProvisioningPlan, TypeId};
+
+use crate::billing::{BillingModel, OnDemand, Reserved, UsageWindow};
+
+/// A rental horizon: how long the stream application will run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RentalHorizon {
+    /// Duration in hours.
+    pub hours: f64,
+}
+
+impl RentalHorizon {
+    /// A horizon of the given number of hours.
+    pub fn hours(hours: f64) -> Self {
+        RentalHorizon {
+            hours: hours.max(0.0),
+        }
+    }
+
+    /// A horizon of the given number of days (24 h each).
+    pub fn days(days: f64) -> Self {
+        RentalHorizon::hours(days * 24.0)
+    }
+
+    /// A horizon of the given number of weeks (168 h each).
+    pub fn weeks(weeks: f64) -> Self {
+        RentalHorizon::hours(weeks * 168.0)
+    }
+}
+
+/// The bill of one rented machine over the horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineBill {
+    /// Machine (and task) type of the instance.
+    pub type_id: TypeId,
+    /// Nominal hourly rate of the instance (`c_q`).
+    pub hourly_rate: u64,
+    /// Expected utilisation of the instance under the plan.
+    pub utilisation: f64,
+    /// Name of the billing model used.
+    pub model: String,
+    /// Total charge over the horizon.
+    pub charge: f64,
+}
+
+/// The bill of a whole provisioning plan over a horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizonBill {
+    /// The horizon the bill covers.
+    pub horizon: RentalHorizon,
+    /// Per-machine charges, in the order of the plan's machines.
+    pub machines: Vec<MachineBill>,
+    /// Total charge over the horizon.
+    pub total: f64,
+}
+
+impl HorizonBill {
+    /// Mean hourly spend implied by the bill (total divided by the horizon).
+    pub fn mean_hourly_cost(&self) -> f64 {
+        if self.horizon.hours <= 0.0 {
+            0.0
+        } else {
+            self.total / self.horizon.hours
+        }
+    }
+
+    /// Total charge for machines of one type.
+    pub fn cost_of_type(&self, type_id: TypeId) -> f64 {
+        self.machines
+            .iter()
+            .filter(|m| m.type_id == type_id)
+            .map(|m| m.charge)
+            .sum()
+    }
+}
+
+/// Bills every machine of the plan over the horizon with a single billing
+/// model.
+pub fn bill_plan(
+    plan: &ProvisioningPlan,
+    horizon: RentalHorizon,
+    model: &dyn BillingModel,
+) -> HorizonBill {
+    let mut machines = Vec::with_capacity(plan.machines.len());
+    let mut total = 0.0;
+    for machine in &plan.machines {
+        let usage = UsageWindow::with_utilisation(horizon.hours, machine.utilisation());
+        let charge = model.charge(machine.hourly_cost, &usage);
+        total += charge;
+        machines.push(MachineBill {
+            type_id: machine.type_id,
+            hourly_rate: machine.hourly_cost,
+            utilisation: machine.utilisation(),
+            model: model.name().to_string(),
+            charge,
+        });
+    }
+    HorizonBill {
+        horizon,
+        machines,
+        total,
+    }
+}
+
+/// Horizon length (in hours) beyond which a reserved commitment becomes
+/// cheaper than on-demand rental for a machine with the given hourly rate.
+///
+/// Returns `None` when the reservation never pays off (zero discount) or when
+/// the rate is zero (both options are free).
+pub fn break_even_hours(hourly_rate: u64, on_demand: &OnDemand, reserved: &Reserved) -> Option<f64> {
+    if hourly_rate == 0 || reserved.discount <= 0.0 {
+        return None;
+    }
+    // On-demand cost grows as rate × hours (ignoring the sub-hour rounding,
+    // negligible over multi-day horizons); reserved cost is flat at
+    // rate × (1 − discount) × term until the term ends, then grows at the
+    // discounted rate. The curves cross while the reserved cost is still
+    // flat, at hours = (1 − discount) × term.
+    let _ = on_demand;
+    let crossing = (1.0 - reserved.discount) * reserved.term_hours;
+    Some(crossing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::Spot;
+    use rental_core::examples::illustrating_example;
+    use rental_core::{ProvisioningPlan, ThroughputSplit};
+
+    fn table3_plan() -> (ProvisioningPlan, u64) {
+        let instance = illustrating_example();
+        let solution = instance
+            .solution(70, ThroughputSplit::new(vec![10, 30, 30]))
+            .unwrap();
+        (ProvisioningPlan::build(&instance, &solution).unwrap(), 124)
+    }
+
+    #[test]
+    fn hourly_on_demand_bill_matches_the_paper_cost() {
+        let (plan, hourly) = table3_plan();
+        let bill = bill_plan(&plan, RentalHorizon::hours(1.0), &OnDemand::hourly());
+        assert!((bill.total - hourly as f64).abs() < 1e-9);
+        assert!((bill.mean_hourly_cost() - hourly as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_scales_the_bill_linearly() {
+        let (plan, hourly) = table3_plan();
+        let week = bill_plan(&plan, RentalHorizon::weeks(1.0), &OnDemand::hourly());
+        assert!((week.total - hourly as f64 * 168.0).abs() < 1e-6);
+        let day = bill_plan(&plan, RentalHorizon::days(1.0), &OnDemand::hourly());
+        assert!((day.total - hourly as f64 * 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_machine_bills_sum_to_the_total() {
+        let (plan, _) = table3_plan();
+        let bill = bill_plan(&plan, RentalHorizon::days(3.0), &Spot::typical());
+        let sum: f64 = bill.machines.iter().map(|m| m.charge).sum();
+        assert!((sum - bill.total).abs() < 1e-9);
+        assert_eq!(bill.machines.len(), plan.total_machines());
+    }
+
+    #[test]
+    fn cost_of_type_partitions_the_total() {
+        let (plan, _) = table3_plan();
+        let bill = bill_plan(&plan, RentalHorizon::days(1.0), &OnDemand::hourly());
+        let sum: f64 = (0..4).map(|q| bill.cost_of_type(TypeId(q))).sum();
+        assert!((sum - bill.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserved_bill_is_flat_before_the_term() {
+        let (plan, _) = table3_plan();
+        let reserved = Reserved::with_term(1000.0, 0.4);
+        let short = bill_plan(&plan, RentalHorizon::hours(100.0), &reserved);
+        let longer = bill_plan(&plan, RentalHorizon::hours(900.0), &reserved);
+        assert!((short.total - longer.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_matches_the_crossing_point() {
+        let on_demand = OnDemand::hourly();
+        let reserved = Reserved::with_term(1000.0, 0.4);
+        let crossing = break_even_hours(10, &on_demand, &reserved).unwrap();
+        assert!((crossing - 600.0).abs() < 1e-9);
+        // Just below the crossing on-demand is cheaper, just above reserved is.
+        let usage_below = UsageWindow::full(crossing - 1.0);
+        let usage_above = UsageWindow::full(crossing + 1.0);
+        use crate::billing::BillingModel;
+        assert!(on_demand.charge(10, &usage_below) < reserved.charge(10, &usage_below));
+        assert!(on_demand.charge(10, &usage_above) > reserved.charge(10, &usage_above));
+    }
+
+    #[test]
+    fn break_even_is_none_without_a_discount() {
+        assert!(break_even_hours(10, &OnDemand::hourly(), &Reserved::with_term(100.0, 0.0)).is_none());
+        assert!(break_even_hours(0, &OnDemand::hourly(), &Reserved::with_term(100.0, 0.5)).is_none());
+    }
+
+    #[test]
+    fn zero_horizon_bills_are_zero_for_usage_based_models() {
+        let (plan, _) = table3_plan();
+        let bill = bill_plan(&plan, RentalHorizon::hours(0.0), &OnDemand::hourly());
+        assert_eq!(bill.total, 0.0);
+        assert_eq!(bill.mean_hourly_cost(), 0.0);
+    }
+}

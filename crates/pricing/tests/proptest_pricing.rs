@@ -1,0 +1,121 @@
+//! Property tests on the billing models and the billing-plan optimizer.
+
+use proptest::prelude::*;
+
+use rental_core::examples::illustrating_example;
+use rental_core::{ProvisioningPlan, ThroughputSplit};
+use rental_pricing::billing::{BillingModel, OnDemand, PerSecond, Reserved, Spot, UsageWindow};
+use rental_pricing::horizon::{bill_plan, RentalHorizon};
+use rental_pricing::optimizer::{optimize_billing, BillingOptions};
+
+fn plan_for_target(rho: u64) -> ProvisioningPlan {
+    let instance = illustrating_example();
+    // An arbitrary feasible split: everything on recipe 2 (types 3 and 4).
+    let solution = instance
+        .solution(rho, ThroughputSplit::new(vec![0, rho, 0]))
+        .unwrap();
+    ProvisioningPlan::build(&instance, &solution).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn charges_are_never_negative(
+        rate in 0u64..1_000,
+        hours in 0.0f64..10_000.0,
+        utilisation in 0.0f64..1.0,
+    ) {
+        let usage = UsageWindow::with_utilisation(hours, utilisation);
+        prop_assert!(OnDemand::hourly().charge(rate, &usage) >= 0.0);
+        prop_assert!(PerSecond::default().charge(rate, &usage) >= 0.0);
+        prop_assert!(Reserved::one_year(0.4).charge(rate, &usage) >= 0.0);
+        prop_assert!(Spot::typical().charge(rate, &usage) >= 0.0);
+    }
+
+    #[test]
+    fn on_demand_charge_is_monotone_in_duration(
+        rate in 1u64..1_000,
+        hours_a in 0.0f64..1_000.0,
+        extra in 0.0f64..1_000.0,
+    ) {
+        let a = OnDemand::hourly().charge(rate, &UsageWindow::full(hours_a));
+        let b = OnDemand::hourly().charge(rate, &UsageWindow::full(hours_a + extra));
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn per_second_never_exceeds_hourly_on_demand_beyond_the_minimum(
+        rate in 1u64..1_000,
+        hours in 1.0f64..1_000.0,
+    ) {
+        let usage = UsageWindow::full(hours);
+        let per_second = PerSecond::default().charge(rate, &usage);
+        let hourly = OnDemand::hourly().charge(rate, &usage);
+        prop_assert!(per_second <= hourly + 1e-9);
+    }
+
+    #[test]
+    fn spot_with_discount_is_cheaper_than_on_demand_for_long_runs(
+        rate in 1u64..1_000,
+        hours in 10.0f64..10_000.0,
+    ) {
+        // Typical spot: 70 % discount, 0.5 % expected overhead — always wins.
+        let usage = UsageWindow::full(hours);
+        let spot = Spot::typical().charge(rate, &usage);
+        let on_demand = OnDemand::hourly().charge(rate, &usage);
+        prop_assert!(spot < on_demand);
+    }
+
+    #[test]
+    fn reserved_charge_is_monotone_in_the_discount(
+        rate in 1u64..1_000,
+        hours in 1.0f64..20_000.0,
+        discount_lo in 0.0f64..0.5,
+        discount_gap in 0.0f64..0.5,
+    ) {
+        let usage = UsageWindow::full(hours);
+        let lo = Reserved::with_term(8760.0, discount_lo).charge(rate, &usage);
+        let hi = Reserved::with_term(8760.0, discount_lo + discount_gap).charge(rate, &usage);
+        prop_assert!(hi <= lo + 1e-9);
+    }
+
+    #[test]
+    fn plan_bill_scales_linearly_with_on_demand_horizon(
+        rho in 1u64..200,
+        days in 1u32..60,
+    ) {
+        let plan = plan_for_target(rho);
+        let one_day = bill_plan(&plan, RentalHorizon::days(1.0), &OnDemand::hourly());
+        let many = bill_plan(&plan, RentalHorizon::days(days as f64), &OnDemand::hourly());
+        prop_assert!((many.total - one_day.total * days as f64).abs() < 1e-6 * many.total.max(1.0));
+    }
+
+    #[test]
+    fn optimizer_is_never_worse_than_on_demand(
+        rho in 1u64..200,
+        hours in 1.0f64..30_000.0,
+        spot_fraction in 0.0f64..1.0,
+    ) {
+        let plan = plan_for_target(rho);
+        let options = BillingOptions {
+            max_spot_fraction: spot_fraction,
+            ..BillingOptions::default()
+        };
+        let assignment = optimize_billing(&plan, RentalHorizon::hours(hours), &options);
+        prop_assert!(assignment.total <= assignment.on_demand_total + 1e-6);
+        prop_assert!(assignment.savings_fraction() >= -1e-12);
+        prop_assert!(assignment.savings_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn optimizer_decisions_sum_to_the_total(
+        rho in 1u64..200,
+        hours in 1.0f64..30_000.0,
+    ) {
+        let plan = plan_for_target(rho);
+        let assignment =
+            optimize_billing(&plan, RentalHorizon::hours(hours), &BillingOptions::default());
+        let sum: f64 = assignment.decisions.iter().map(|d| d.charge).sum();
+        prop_assert!((sum - assignment.total).abs() < 1e-6 * assignment.total.max(1.0));
+        prop_assert_eq!(assignment.decisions.len(), plan.total_machines());
+    }
+}

@@ -1,0 +1,183 @@
+//! Generator configurations, including the four parameter settings used in
+//! the paper's experiments (§VIII-C, §VIII-D, §VIII-E).
+
+use std::ops::RangeInclusive;
+
+/// Parameters controlling random instance generation, mirroring the knobs of
+/// the paper's Python simulator (§VIII-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of alternative recipes generated per application (`J`).
+    pub num_recipes: usize,
+    /// Range of the number of tasks per recipe (`[min_tasks, max_tasks]`).
+    pub tasks_per_recipe: RangeInclusive<usize>,
+    /// Percentage (0–100) of tasks whose type is re-rolled when deriving an
+    /// alternative recipe from the initial one.
+    pub mutation_percent: u8,
+    /// Number of task / machine types available on the platform (`Q`).
+    pub num_types: usize,
+    /// Range of machine throughputs (`r_q`).
+    pub throughput_range: RangeInclusive<u64>,
+    /// Range of machine hourly costs (`c_q`).
+    pub cost_range: RangeInclusive<u64>,
+    /// Probability (0.0–1.0) of adding a dependency edge between two tasks of
+    /// consecutive positions when wiring the recipe DAG. The paper's cost
+    /// model ignores edges; they only matter to the streaming substrate.
+    pub edge_probability: f64,
+}
+
+impl GeneratorConfig {
+    /// Validates that the configuration is internally consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or a percentage/probability is out of
+    /// range. Configurations are static data; a panic is a programming error.
+    pub fn validate(&self) {
+        assert!(self.num_recipes > 0, "need at least one recipe");
+        assert!(
+            self.tasks_per_recipe.start() <= self.tasks_per_recipe.end()
+                && *self.tasks_per_recipe.start() > 0,
+            "invalid tasks_per_recipe range"
+        );
+        assert!(self.mutation_percent <= 100, "mutation_percent is 0..=100");
+        assert!(self.num_types > 0, "need at least one type");
+        assert!(
+            self.throughput_range.start() <= self.throughput_range.end()
+                && *self.throughput_range.start() > 0,
+            "invalid throughput range"
+        );
+        assert!(
+            self.cost_range.start() <= self.cost_range.end() && *self.cost_range.start() > 0,
+            "invalid cost range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.edge_probability),
+            "edge_probability is a probability"
+        );
+    }
+
+    /// §VIII-C *small application graphs*: 20 alternative recipes of 5–8
+    /// tasks, 50 % mutation, 5 machine types, costs 1–100, throughputs 10–100.
+    pub fn small_graphs() -> Self {
+        GeneratorConfig {
+            num_recipes: 20,
+            tasks_per_recipe: 5..=8,
+            mutation_percent: 50,
+            num_types: 5,
+            throughput_range: 10..=100,
+            cost_range: 1..=100,
+            edge_probability: 0.3,
+        }
+    }
+
+    /// §VIII-D *medium application graphs*: 20 recipes of 10–20 tasks, 30 %
+    /// mutation, 8 machine types, costs 1–100, throughputs 10–100.
+    pub fn medium_graphs() -> Self {
+        GeneratorConfig {
+            num_recipes: 20,
+            tasks_per_recipe: 10..=20,
+            mutation_percent: 30,
+            num_types: 8,
+            throughput_range: 10..=100,
+            cost_range: 1..=100,
+            edge_probability: 0.25,
+        }
+    }
+
+    /// §VIII-E *large application graphs*: 20 recipes of 50–100 tasks, 50 %
+    /// mutation, 8 machine types, costs 1–100, throughputs 10–50.
+    pub fn large_graphs() -> Self {
+        GeneratorConfig {
+            num_recipes: 20,
+            tasks_per_recipe: 50..=100,
+            mutation_percent: 50,
+            num_types: 8,
+            throughput_range: 10..=50,
+            cost_range: 1..=100,
+            edge_probability: 0.1,
+        }
+    }
+
+    /// §VIII-E *ILP limit* experiment (Figure 8): 10 recipes of 100–200
+    /// tasks, 30 % mutation, 50 machine types, costs 1–100, throughputs 5–25.
+    pub fn huge_graphs() -> Self {
+        GeneratorConfig {
+            num_recipes: 10,
+            tasks_per_recipe: 100..=200,
+            mutation_percent: 30,
+            num_types: 50,
+            throughput_range: 5..=25,
+            cost_range: 1..=100,
+            edge_probability: 0.05,
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        GeneratorConfig {
+            num_recipes: 3,
+            tasks_per_recipe: 2..=4,
+            mutation_percent: 50,
+            num_types: 4,
+            throughput_range: 10..=40,
+            cost_range: 5..=40,
+            edge_probability: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_section_viii() {
+        let small = GeneratorConfig::small_graphs();
+        assert_eq!(small.num_recipes, 20);
+        assert_eq!(small.tasks_per_recipe, 5..=8);
+        assert_eq!(small.mutation_percent, 50);
+        assert_eq!(small.num_types, 5);
+        assert_eq!(small.throughput_range, 10..=100);
+
+        let medium = GeneratorConfig::medium_graphs();
+        assert_eq!(medium.tasks_per_recipe, 10..=20);
+        assert_eq!(medium.mutation_percent, 30);
+        assert_eq!(medium.num_types, 8);
+
+        let large = GeneratorConfig::large_graphs();
+        assert_eq!(large.tasks_per_recipe, 50..=100);
+        assert_eq!(large.throughput_range, 10..=50);
+
+        let huge = GeneratorConfig::huge_graphs();
+        assert_eq!(huge.num_recipes, 10);
+        assert_eq!(huge.tasks_per_recipe, 100..=200);
+        assert_eq!(huge.num_types, 50);
+        assert_eq!(huge.throughput_range, 5..=25);
+    }
+
+    #[test]
+    fn presets_validate() {
+        GeneratorConfig::small_graphs().validate();
+        GeneratorConfig::medium_graphs().validate();
+        GeneratorConfig::large_graphs().validate();
+        GeneratorConfig::huge_graphs().validate();
+        GeneratorConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutation_percent")]
+    fn invalid_mutation_percentage_panics() {
+        let mut config = GeneratorConfig::tiny();
+        config.mutation_percent = 150;
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput")]
+    fn zero_throughput_panics() {
+        let mut config = GeneratorConfig::tiny();
+        config.throughput_range = 0..=10;
+        config.validate();
+    }
+}

@@ -1,0 +1,25 @@
+//! # rental-simgen
+//!
+//! Random instance generator reproducing the workload generator of the
+//! paper's Python simulator (§VIII-A): a random *initial* recipe whose
+//! alternatives are derived by re-rolling a percentage of task types, plus a
+//! random cloud with uniformly drawn machine throughputs and costs.
+//!
+//! The four experiment presets of the paper are available as
+//! [`GeneratorConfig::small_graphs`], [`GeneratorConfig::medium_graphs`],
+//! [`GeneratorConfig::large_graphs`] and [`GeneratorConfig::huge_graphs`].
+//!
+//! ```
+//! use rental_simgen::{GeneratorConfig, InstanceGenerator};
+//!
+//! let mut generator = InstanceGenerator::new(GeneratorConfig::small_graphs(), 42);
+//! let instance = generator.generate_instance();
+//! assert_eq!(instance.num_recipes(), 20);
+//! assert_eq!(instance.num_types(), 5);
+//! ```
+
+pub mod config;
+pub mod generator;
+
+pub use config::GeneratorConfig;
+pub use generator::InstanceGenerator;

@@ -1,0 +1,98 @@
+//! Property-based tests of the instance generator: generated instances are
+//! always valid, respect the configured dimensions, and are solvable by the
+//! downstream algorithms.
+
+use proptest::prelude::*;
+
+use rental_simgen::{GeneratorConfig, InstanceGenerator};
+
+fn arbitrary_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        1usize..=6,     // recipes
+        1usize..=6,     // min tasks
+        0usize..=5,     // extra tasks (max = min + extra)
+        0u8..=100,      // mutation percent
+        1usize..=6,     // types
+        1u64..=20,      // min throughput
+        0u64..=30,      // extra throughput
+        1u64..=20,      // min cost
+        0u64..=50,      // extra cost
+    )
+        .prop_map(
+            |(recipes, min_tasks, extra_tasks, mutation, types, min_thr, extra_thr, min_cost, extra_cost)| {
+                GeneratorConfig {
+                    num_recipes: recipes,
+                    tasks_per_recipe: min_tasks..=(min_tasks + extra_tasks),
+                    mutation_percent: mutation,
+                    num_types: types,
+                    throughput_range: min_thr..=(min_thr + extra_thr),
+                    cost_range: min_cost..=(min_cost + extra_cost),
+                    edge_probability: 0.3,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_instances_respect_their_configuration(
+        config in arbitrary_config(),
+        seed in 0u64..10_000,
+    ) {
+        let mut generator = InstanceGenerator::new(config.clone(), seed);
+        let instance = generator.generate_instance();
+        prop_assert_eq!(instance.num_recipes(), config.num_recipes);
+        prop_assert_eq!(instance.num_types(), config.num_types);
+        for recipe in instance.application().recipes() {
+            prop_assert!(config.tasks_per_recipe.contains(&recipe.num_tasks()));
+            // Every task type is valid for the platform (Instance::new checked it,
+            // but assert the invariant explicitly).
+            for task in recipe.tasks() {
+                prop_assert!(task.type_id.index() < config.num_types);
+            }
+        }
+        for (_, machine) in instance.platform().iter() {
+            prop_assert!(config.throughput_range.contains(&machine.throughput));
+            prop_assert!(config.cost_range.contains(&machine.cost));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed(config in arbitrary_config(), seed in 0u64..10_000) {
+        let a = InstanceGenerator::new(config.clone(), seed).generate_instance();
+        let b = InstanceGenerator::new(config, seed).generate_instance();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_instances_are_solvable_by_the_baseline_heuristic(
+        config in arbitrary_config(),
+        seed in 0u64..10_000,
+        target in 1u64..60,
+    ) {
+        use rental_solvers::heuristics::BestGraphSolver;
+        use rental_solvers::MinCostSolver;
+        let mut generator = InstanceGenerator::new(config, seed);
+        let instance = generator.generate_instance();
+        let outcome = BestGraphSolver.solve(&instance, target).unwrap();
+        prop_assert!(outcome.solution.split.covers(target));
+        prop_assert!(outcome.cost() > 0);
+    }
+
+    #[test]
+    fn alternative_recipes_keep_the_initial_size(
+        config in arbitrary_config(),
+        seed in 0u64..10_000,
+    ) {
+        // Alternatives are produced by re-typing tasks of the initial recipe,
+        // so every recipe of an instance has the same number of tasks.
+        let mut generator = InstanceGenerator::new(config, seed);
+        let instance = generator.generate_instance();
+        let first_size = instance.application().recipes()[0].num_tasks();
+        for recipe in instance.application().recipes() {
+            prop_assert_eq!(recipe.num_tasks(), first_size);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Exhaustive enumeration of throughput splits, used as a test oracle.
+//!
+//! The enumeration walks every composition of the target throughput into `J`
+//! non-negative multiples of a step `δ`, evaluates the exact shared cost of
+//! each and keeps the cheapest. Its complexity is `O((ρ/δ + J)^J)`, so it is
+//! only practical for small instances — which is exactly what a ground-truth
+//! oracle is for.
+//!
+//! When `δ` divides all machine throughputs **and** the target, restricting
+//! the search to multiples of `δ` is lossless for the *total* cost (every
+//! capacity constraint involves `⌈·/r_q⌉` of multiples of `δ`), so the oracle
+//! is exact for the paper's illustrating example with `δ = 10`. With `δ = 1`
+//! it is exact for any instance.
+
+use std::time::Instant;
+
+use rental_core::{Instance, Throughput, ThroughputSplit};
+
+use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+
+/// Exhaustive-search solver (test oracle).
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForceSolver {
+    /// Step used to discretise the split. `1` makes the search exact on every
+    /// instance, larger values make it exponentially cheaper.
+    pub step: Throughput,
+    /// Safety valve: the solver refuses to enumerate more than this many
+    /// candidate splits.
+    pub max_candidates: u64,
+}
+
+impl Default for BruteForceSolver {
+    fn default() -> Self {
+        BruteForceSolver {
+            step: 1,
+            max_candidates: 20_000_000,
+        }
+    }
+}
+
+impl BruteForceSolver {
+    /// Creates an oracle enumerating every split with the given step.
+    pub fn with_step(step: Throughput) -> Self {
+        BruteForceSolver {
+            step: step.max(1),
+            ..BruteForceSolver::default()
+        }
+    }
+
+    fn candidate_count(&self, buckets: u64, recipes: u32) -> u64 {
+        // Number of compositions of `buckets` into `recipes` parts:
+        // C(buckets + recipes - 1, recipes - 1); computed with saturation.
+        let mut result: u64 = 1;
+        for i in 0..(recipes as u64 - 1) {
+            result = result.saturating_mul(buckets + i + 1) / (i + 1);
+            if result > self.max_candidates {
+                return u64::MAX;
+            }
+        }
+        result
+    }
+}
+
+impl MinCostSolver for BruteForceSolver {
+    fn name(&self) -> &str {
+        "BruteForce"
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        let start = Instant::now();
+        let num_recipes = instance.num_recipes();
+        let buckets = target.div_ceil(self.step);
+        if self.candidate_count(buckets, num_recipes as u32) > self.max_candidates {
+            return Err(SolveError::UnsupportedInstance {
+                solver: self.name().to_string(),
+                reason: format!(
+                    "enumerating {} buckets over {} recipes exceeds the candidate budget",
+                    buckets, num_recipes
+                ),
+            });
+        }
+
+        let mut best: Option<(u64, Vec<Throughput>)> = None;
+        let mut current = vec![0u64; num_recipes];
+        enumerate(
+            instance,
+            target,
+            self.step,
+            0,
+            buckets,
+            &mut current,
+            &mut best,
+        )?;
+        let (_, shares) = best.ok_or_else(|| SolveError::NoSolutionFound {
+            solver: self.name().to_string(),
+        })?;
+        let solution = instance.solution(target, ThroughputSplit::new(shares))?;
+        Ok(SolverOutcome::exact(solution, start.elapsed()))
+    }
+}
+
+/// Recursively assigns `remaining_buckets × step` units of throughput to the
+/// recipes starting at `index`.
+fn enumerate(
+    instance: &Instance,
+    target: Throughput,
+    step: Throughput,
+    index: usize,
+    remaining_buckets: u64,
+    current: &mut Vec<Throughput>,
+    best: &mut Option<(u64, Vec<Throughput>)>,
+) -> SolveResult<()> {
+    let num_recipes = instance.num_recipes();
+    if index == num_recipes - 1 {
+        // Last recipe takes whatever is left, clamped so the total is exactly
+        // the target (the last bucket may overshoot when step ∤ target).
+        let assigned: u64 = current[..index].iter().sum();
+        current[index] = target.saturating_sub(assigned);
+        let cost = instance.split_cost(current)?;
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            *best = Some((cost, current.clone()));
+        }
+        return Ok(());
+    }
+    for buckets in 0..=remaining_buckets {
+        current[index] = (buckets * step).min(target);
+        enumerate(
+            instance,
+            target,
+            step,
+            index + 1,
+            remaining_buckets - buckets,
+            current,
+            best,
+        )?;
+    }
+    current[index] = 0;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ilp::IlpSolver;
+    use rental_core::examples::illustrating_example;
+
+    #[test]
+    fn oracle_matches_table3_on_step_ten() {
+        let instance = illustrating_example();
+        let oracle = BruteForceSolver::with_step(10);
+        for &(rho, expected) in &[(10u64, 28u64), (50, 86), (70, 124), (120, 199), (160, 268)] {
+            let outcome = oracle.solve(&instance, rho).unwrap();
+            assert_eq!(outcome.cost(), expected, "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_with_ilp_at_fine_granularity() {
+        let instance = illustrating_example();
+        let oracle = BruteForceSolver::with_step(1);
+        let ilp = IlpSolver::new();
+        for rho in [7u64, 23, 55] {
+            let brute = oracle.solve(&instance, rho).unwrap();
+            let exact = ilp.solve(&instance, rho).unwrap();
+            assert_eq!(brute.cost(), exact.cost(), "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn refuses_oversized_enumerations() {
+        let instance = illustrating_example();
+        let oracle = BruteForceSolver {
+            step: 1,
+            max_candidates: 10,
+        };
+        let err = oracle.solve(&instance, 1000).unwrap_err();
+        assert!(matches!(err, SolveError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn zero_target_is_free() {
+        let instance = illustrating_example();
+        let outcome = BruteForceSolver::default().solve(&instance, 0).unwrap();
+        assert_eq!(outcome.cost(), 0);
+    }
+
+    #[test]
+    fn split_total_matches_target_exactly() {
+        let instance = illustrating_example();
+        let outcome = BruteForceSolver::with_step(10).solve(&instance, 90).unwrap();
+        assert_eq!(outcome.solution.split.total(), 90);
+        assert_eq!(outcome.cost(), 155); // Table III, rho = 90.
+    }
+}

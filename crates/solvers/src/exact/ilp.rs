@@ -1,0 +1,227 @@
+//! The integer linear program of §V-C for the general case (shared task
+//! types), solved with the `rental-lp` branch-and-bound solver.
+//!
+//! ```text
+//! minimize   Σ_q x_q c_q
+//! subject to Σ_j ρ_j ≥ ρ                       (coverage)
+//!            x_q r_q ≥ Σ_j n_jq ρ_j   ∀q        (capacity)
+//!            ρ_j ∈ ℕ, x_q ∈ ℕ
+//! ```
+//!
+//! In the paper this MILP is handed to Gurobi; here it is handed to
+//! [`rental_lp::MipSolver`]. With the default (unlimited) limits the solver
+//! proves optimality on the paper's small and medium instances; with a time
+//! limit (`IlpSolver::with_time_limit`, 100 s in the paper's Figure-8
+//! experiment) it returns its best incumbent, exactly like Gurobi does.
+
+use std::time::Instant;
+
+use rental_core::{Instance, RecipeId, Throughput, ThroughputSplit};
+use rental_lp::model::{Model, Relation};
+use rental_lp::{MipSolver, MipStatus, SolveLimits};
+
+use crate::heuristics::SteepestGradientSolver;
+use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+
+/// Exact (or time-limited) solver for the general shared-type case (§V-C).
+#[derive(Debug, Clone, Default)]
+pub struct IlpSolver {
+    limits: SolveLimits,
+}
+
+impl IlpSolver {
+    /// Creates an ILP solver with no limits: it runs until optimality is
+    /// proven.
+    pub fn new() -> Self {
+        IlpSolver {
+            limits: SolveLimits::default(),
+        }
+    }
+
+    /// Creates an ILP solver with the given limits.
+    pub fn with_limits(limits: SolveLimits) -> Self {
+        IlpSolver { limits }
+    }
+
+    /// Creates an ILP solver with a wall-clock time limit in seconds, as used
+    /// for the large instances of §VIII-E (100 s in the paper).
+    pub fn with_time_limit(seconds: f64) -> Self {
+        IlpSolver {
+            limits: SolveLimits::with_time_limit(seconds),
+        }
+    }
+
+    /// Builds the §V-C MILP for an instance and a target throughput.
+    pub fn build_model(instance: &Instance, target: Throughput) -> Model {
+        let app = instance.application();
+        let platform = instance.platform();
+        let num_recipes = app.num_recipes();
+        let num_types = platform.num_types();
+
+        let mut model = Model::minimize();
+        // ρ_j variables: no objective cost, bounded by the target (WLOG an
+        // optimal solution never gives one recipe more than the whole target).
+        let rho_vars: Vec<_> = (0..num_recipes)
+            .map(|j| model.add_int_var(format!("rho{j}"), 0.0, 0.0, target as f64))
+            .collect();
+        // x_q variables carry the rental cost.
+        let x_vars: Vec<_> = (0..num_types)
+            .map(|q| {
+                model.add_int_var(
+                    format!("x{q}"),
+                    platform.cost(rental_core::TypeId(q)) as f64,
+                    0.0,
+                    f64::INFINITY,
+                )
+            })
+            .collect();
+
+        // Coverage: Σ_j ρ_j ≥ ρ.
+        model.add_constraint(
+            rho_vars.iter().map(|&v| (v, 1.0)).collect(),
+            Relation::GreaterEq,
+            target as f64,
+        );
+        // Capacity per type: x_q r_q - Σ_j n_jq ρ_j ≥ 0.
+        for q in 0..num_types {
+            let mut terms = vec![(
+                x_vars[q],
+                platform.throughput(rental_core::TypeId(q)) as f64,
+            )];
+            for (j, &rho_var) in rho_vars.iter().enumerate() {
+                let n_jq = app.demand().count(RecipeId(j), rental_core::TypeId(q));
+                if n_jq > 0 {
+                    terms.push((rho_var, -(n_jq as f64)));
+                }
+            }
+            model.add_constraint(terms, Relation::GreaterEq, 0.0);
+        }
+        model
+    }
+}
+
+impl MinCostSolver for IlpSolver {
+    fn name(&self) -> &str {
+        "ILP"
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        let start = Instant::now();
+        let model = Self::build_model(instance, target);
+        // Warm start: a cheap steepest-descent solution gives branch-and-bound
+        // a strong incumbent to prune against from the very first node. This
+        // mirrors how MILP solvers are primed with heuristic solutions and
+        // keeps the search tractable on the paper's larger instances.
+        let warm_start = SteepestGradientSolver::default()
+            .solve(instance, target)
+            .ok()
+            .map(|outcome| {
+                let mut values: Vec<f64> = outcome
+                    .solution
+                    .split
+                    .shares()
+                    .iter()
+                    .map(|&s| s as f64)
+                    .collect();
+                values.extend(
+                    outcome
+                        .solution
+                        .allocation
+                        .machine_counts()
+                        .iter()
+                        .map(|&x| x as f64),
+                );
+                values
+            });
+        let mip = MipSolver::with_limits(self.limits)
+            .solve_with_start(&model, warm_start.as_deref())?;
+        if !mip.has_incumbent() {
+            return Err(SolveError::NoSolutionFound {
+                solver: self.name().to_string(),
+            });
+        }
+        // Recover the split from the first `J` variables; machine counts are
+        // re-derived exactly from the split so that rounding noise in the MILP
+        // cannot corrupt the reported cost.
+        let num_recipes = instance.num_recipes();
+        let rounded = mip.rounded_values();
+        let shares: Vec<Throughput> = rounded[..num_recipes].to_vec();
+        let solution = instance.solution(target, ThroughputSplit::new(shares))?;
+        let proven_optimal = mip.status == MipStatus::Optimal;
+        Ok(SolverOutcome {
+            solution,
+            proven_optimal,
+            lower_bound: Some(mip.best_bound),
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rental_core::examples::illustrating_example;
+
+    #[test]
+    fn model_dimensions_match_instance() {
+        let instance = illustrating_example();
+        let model = IlpSolver::build_model(&instance, 70);
+        // 3 rho vars + 4 x vars; 1 coverage + 4 capacity constraints.
+        assert_eq!(model.num_vars(), 7);
+        assert_eq!(model.num_constraints(), 5);
+        assert!(model.has_integer_vars());
+    }
+
+    #[test]
+    fn matches_selected_optimal_rows_of_table3() {
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        // (rho, optimal cost) pairs from the ILP column of Table III.
+        for &(rho, expected) in &[
+            (10u64, 28u64),
+            (40, 69),
+            (50, 86),
+            (70, 124),
+            (100, 172),
+            (160, 268),
+            (200, 333),
+        ] {
+            let outcome = solver.solve(&instance, rho).unwrap();
+            assert_eq!(outcome.cost(), expected, "rho = {rho}");
+            assert!(outcome.proven_optimal, "rho = {rho}");
+            assert!(outcome.solution.split.covers(rho));
+        }
+    }
+
+    #[test]
+    fn zero_target_costs_nothing() {
+        let instance = illustrating_example();
+        let outcome = IlpSolver::new().solve(&instance, 0).unwrap();
+        assert_eq!(outcome.cost(), 0);
+    }
+
+    #[test]
+    fn lower_bound_is_consistent() {
+        let instance = illustrating_example();
+        let outcome = IlpSolver::new().solve(&instance, 130).unwrap();
+        assert_eq!(outcome.cost(), 220); // Table III, rho = 130.
+        let bound = outcome.lower_bound.unwrap();
+        assert!(bound <= outcome.cost() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn time_limited_solver_still_returns_a_feasible_solution() {
+        let instance = illustrating_example();
+        // An extremely small time limit: the solver may not prove optimality
+        // but must still hand back a feasible incumbent or a clean error.
+        let solver = IlpSolver::with_time_limit(0.000_001);
+        match solver.solve(&instance, 150) {
+            Ok(outcome) => {
+                assert!(outcome.solution.split.covers(150));
+                assert!(outcome.cost() >= 257); // can't beat the optimum
+            }
+            Err(SolveError::NoSolutionFound { .. }) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+}

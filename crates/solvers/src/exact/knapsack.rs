@@ -1,0 +1,186 @@
+//! Pseudo-polynomial dynamic program for the *black box* case of §V-A.
+//!
+//! When every recipe is a single task with a type of its own, choosing
+//! `x_q` machines of type `q` yields throughput `x_q · r_q` at cost
+//! `x_q · c_q`, and the problem
+//!
+//! ```text
+//! minimize Σ_q x_q c_q   s.t.   Σ_q x_q r_q ≥ ρ
+//! ```
+//!
+//! is an unbounded *covering* knapsack (the paper phrases it as a knapsack
+//! with negative weights and values). The classic `O(Q·ρ)` dynamic program
+//! solves it exactly.
+
+use std::time::Instant;
+
+use rental_core::{Instance, RecipeId, Throughput, ThroughputSplit, TypeId};
+
+use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+
+/// Exact solver for black-box instances (§V-A): every recipe is a single task
+/// and no two recipes share a type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlackBoxKnapsackSolver;
+
+impl BlackBoxKnapsackSolver {
+    /// Checks the §V-A structural conditions and returns, for each recipe,
+    /// its unique task type.
+    fn recipe_types(&self, instance: &Instance) -> SolveResult<Vec<TypeId>> {
+        let demand = instance.application().demand();
+        if !demand.is_black_box() {
+            return Err(SolveError::UnsupportedInstance {
+                solver: self.name().to_string(),
+                reason: "recipes must consist of exactly one task each, with pairwise distinct types"
+                    .to_string(),
+            });
+        }
+        let mut types = Vec::with_capacity(demand.num_recipes());
+        for j in 0..demand.num_recipes() {
+            let row = demand.row(RecipeId(j));
+            let q = row
+                .iter()
+                .position(|&n| n == 1)
+                .expect("black-box recipes have exactly one task");
+            types.push(TypeId(q));
+        }
+        Ok(types)
+    }
+}
+
+impl MinCostSolver for BlackBoxKnapsackSolver {
+    fn name(&self) -> &str {
+        "KnapsackDP"
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        let start = Instant::now();
+        let recipe_types = self.recipe_types(instance)?;
+        let platform = instance.platform();
+
+        // dp[t] = minimal cost to provide at least `t` units of throughput.
+        // choice[t] = recipe used for the last machine in an optimal solution.
+        let t_max = target as usize;
+        let mut dp = vec![u64::MAX; t_max + 1];
+        let mut choice: Vec<Option<usize>> = vec![None; t_max + 1];
+        dp[0] = 0;
+        for t in 1..=t_max {
+            for (j, &type_id) in recipe_types.iter().enumerate() {
+                let r = platform.throughput(type_id) as usize;
+                let c = platform.cost(type_id);
+                let prev = t.saturating_sub(r);
+                if dp[prev] != u64::MAX {
+                    let cost = dp[prev].saturating_add(c);
+                    if cost < dp[t] {
+                        dp[t] = cost;
+                        choice[t] = Some(j);
+                    }
+                }
+            }
+        }
+
+        if dp[t_max] == u64::MAX && t_max > 0 {
+            return Err(SolveError::NoSolutionFound {
+                solver: self.name().to_string(),
+            });
+        }
+
+        // Reconstruct machine counts per recipe, then express the result as a
+        // throughput split: recipe j delivers x_j · r_j.
+        let mut machines = vec![0u64; recipe_types.len()];
+        let mut t = t_max;
+        while t > 0 {
+            let j = choice[t].expect("reachable states have a recorded choice");
+            machines[j] += 1;
+            let r = platform.throughput(recipe_types[j]) as usize;
+            t = t.saturating_sub(r);
+        }
+        let shares: Vec<Throughput> = machines
+            .iter()
+            .zip(&recipe_types)
+            .map(|(&x, &type_id)| x * platform.throughput(type_id))
+            .collect();
+        let solution = instance.solution(target, ThroughputSplit::new(shares))?;
+        debug_assert_eq!(solution.cost(), dp[t_max]);
+        Ok(SolverOutcome::exact(solution, start.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rental_core::examples::illustrating_example;
+    use rental_core::{Platform, Recipe};
+
+    /// One single-task recipe per platform type.
+    fn black_box_instance(pairs: &[(u64, u64)]) -> Instance {
+        let platform = Platform::from_pairs(pairs).unwrap();
+        let recipes = (0..pairs.len())
+            .map(|q| Recipe::independent_tasks(RecipeId(q), &[TypeId(q)]).unwrap())
+            .collect();
+        Instance::new(recipes, platform).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_black_box_instances() {
+        let err = BlackBoxKnapsackSolver
+            .solve(&illustrating_example(), 50)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn single_type_rounds_up() {
+        let instance = black_box_instance(&[(10, 7)]);
+        let outcome = BlackBoxKnapsackSolver.solve(&instance, 35).unwrap();
+        // 4 machines of throughput 10 are needed for 35 -> cost 28.
+        assert_eq!(outcome.cost(), 28);
+        assert_eq!(outcome.solution.allocation.machine_counts(), &[4]);
+        assert!(outcome.solution.split.covers(35));
+    }
+
+    #[test]
+    fn prefers_cheaper_per_unit_machines_but_exploits_granularity() {
+        // Type A: r=10, c=10 (1.0 per unit). Type B: r=25, c=20 (0.8 per unit).
+        // For rho = 30: 2xB = 50 throughput at cost 40, or B+A = 35 at cost 30,
+        // or 3xA = 30 at cost 30. DP must find cost 30.
+        let instance = black_box_instance(&[(10, 10), (25, 20)]);
+        let outcome = BlackBoxKnapsackSolver.solve(&instance, 30).unwrap();
+        assert_eq!(outcome.cost(), 30);
+    }
+
+    #[test]
+    fn exact_on_table2_machine_park() {
+        // Black-box variant of Table II: four single-task recipes, one per type.
+        let instance = black_box_instance(&[(10, 10), (20, 18), (30, 25), (40, 33)]);
+        // rho = 70: best is 40 + 30 (cost 33 + 25 = 58).
+        let outcome = BlackBoxKnapsackSolver.solve(&instance, 70).unwrap();
+        assert_eq!(outcome.cost(), 58);
+        // rho = 50: 40 + 10 = 43, or 30 + 20 = 43, or 2x30 = 50 -> 43 is optimal.
+        let outcome = BlackBoxKnapsackSolver.solve(&instance, 50).unwrap();
+        assert_eq!(outcome.cost(), 43);
+    }
+
+    #[test]
+    fn zero_target_is_free() {
+        let instance = black_box_instance(&[(10, 10), (20, 18)]);
+        let outcome = BlackBoxKnapsackSolver.solve(&instance, 0).unwrap();
+        assert_eq!(outcome.cost(), 0);
+        assert_eq!(outcome.solution.allocation.total_machines(), 0);
+    }
+
+    #[test]
+    fn solution_split_matches_machine_capacity() {
+        let instance = black_box_instance(&[(7, 5), (13, 8)]);
+        let outcome = BlackBoxKnapsackSolver.solve(&instance, 40).unwrap();
+        // Every share must be a multiple of the corresponding machine throughput.
+        let shares = outcome.solution.split.shares();
+        assert_eq!(shares[0] % 7, 0);
+        assert_eq!(shares[1] % 13, 0);
+        assert!(outcome.solution.split.covers(40));
+        // And the DP must beat or match the single-type fallbacks.
+        let only_a = 40u64.div_ceil(7) * 5;
+        let only_b = 40u64.div_ceil(13) * 8;
+        assert!(outcome.cost() <= only_a.min(only_b));
+    }
+}

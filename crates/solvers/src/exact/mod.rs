@@ -1,0 +1,14 @@
+//! Exact algorithms: the closed forms of §IV, the dynamic programs of §V-A
+//! and §V-B, the ILP of §V-C and an exhaustive oracle for tests.
+
+pub mod brute_force;
+pub mod dp_no_shared;
+pub mod ilp;
+pub mod knapsack;
+pub mod single;
+
+pub use brute_force::BruteForceSolver;
+pub use dp_no_shared::DpNoSharedSolver;
+pub use ilp::IlpSolver;
+pub use knapsack::BlackBoxKnapsackSolver;
+pub use single::{independent_applications_solution, SingleRecipeSolver};

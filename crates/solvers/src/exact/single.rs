@@ -1,0 +1,123 @@
+//! Exact closed forms for the simple cases of §IV.
+//!
+//! * §IV-A: a single application graph — the cost is
+//!   `C(ρ) = Σ_q ⌈n_q/r_q · ρ⌉ c_q` and the "solver" just instantiates it.
+//! * §IV-B: several *independent* applications with prescribed throughputs —
+//!   machines of a shared type are pooled, the cost is
+//!   `Σ_q ⌈(Σ_j n_jq ρ_j)/r_q⌉ c_q`.
+
+use std::time::Instant;
+
+use rental_core::cost::solution_for_split;
+use rental_core::{Instance, RecipeId, Solution, Throughput, ThroughputSplit};
+
+use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+
+/// Exact solver for instances with a **single** recipe (§IV-A).
+///
+/// For a single recipe there is nothing to optimize: the whole target
+/// throughput goes to the only graph and the machine counts follow from the
+/// closed form.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleRecipeSolver;
+
+impl MinCostSolver for SingleRecipeSolver {
+    fn name(&self) -> &str {
+        "SingleRecipe"
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        let start = Instant::now();
+        if instance.num_recipes() != 1 {
+            return Err(SolveError::UnsupportedInstance {
+                solver: self.name().to_string(),
+                reason: format!(
+                    "expected exactly one recipe, the instance has {}",
+                    instance.num_recipes()
+                ),
+            });
+        }
+        let split = ThroughputSplit::single(1, RecipeId(0), target);
+        let solution = instance.solution(target, split)?;
+        Ok(SolverOutcome::exact(solution, start.elapsed()))
+    }
+}
+
+/// Exact cost of several **independent** applications with *prescribed*
+/// throughputs (§IV-B). This is not a MinCost solver (there is nothing to
+/// decide: the throughput of every application is given) but the paper's
+/// second simple case, exposed for completeness and reused by the tests.
+///
+/// # Errors
+///
+/// Propagates arity/overflow errors from the cost evaluation.
+pub fn independent_applications_solution(
+    instance: &Instance,
+    prescribed: &[Throughput],
+) -> SolveResult<Solution> {
+    let split = ThroughputSplit::new(prescribed.to_vec());
+    let target = split.total();
+    let solution = solution_for_split(
+        instance.application(),
+        instance.platform(),
+        target,
+        split,
+    )?;
+    Ok(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rental_core::examples::illustrating_example;
+    use rental_core::{Platform, Recipe, TypeId};
+
+    fn single_recipe_instance() -> Instance {
+        let platform = Platform::from_pairs(&[(10, 10), (20, 18), (30, 25), (40, 33)]).unwrap();
+        let recipe = Recipe::chain(RecipeId(0), &[TypeId(1), TypeId(3)]).unwrap();
+        Instance::new(vec![recipe], platform).unwrap()
+    }
+
+    #[test]
+    fn single_recipe_closed_form() {
+        let instance = single_recipe_instance();
+        let outcome = SingleRecipeSolver.solve(&instance, 40).unwrap();
+        // 40/20 = 2 machines of type 2 (36) + 40/40 = 1 machine of type 4 (33).
+        assert_eq!(outcome.cost(), 69);
+        assert!(outcome.proven_optimal);
+        assert_eq!(outcome.solution.allocation.machine_counts(), &[0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn single_recipe_rejects_multi_recipe_instances() {
+        let instance = illustrating_example();
+        let err = SingleRecipeSolver.solve(&instance, 10).unwrap_err();
+        assert!(matches!(err, SolveError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn zero_target_costs_nothing() {
+        let instance = single_recipe_instance();
+        let outcome = SingleRecipeSolver.solve(&instance, 0).unwrap();
+        assert_eq!(outcome.cost(), 0);
+        assert_eq!(outcome.solution.allocation.total_machines(), 0);
+    }
+
+    #[test]
+    fn independent_applications_pool_shared_machines() {
+        // The illustrating example with prescribed throughputs (10, 30, 30):
+        // this is exactly the ILP split of Table III at rho = 70, cost 124.
+        let instance = illustrating_example();
+        let solution = independent_applications_solution(&instance, &[10, 30, 30]).unwrap();
+        assert_eq!(solution.cost(), 124);
+        assert_eq!(solution.target, 70);
+        assert!(solution.is_feasible());
+    }
+
+    #[test]
+    fn independent_applications_with_zero_throughputs() {
+        let instance = illustrating_example();
+        let solution = independent_applications_solution(&instance, &[0, 0, 0]).unwrap();
+        assert_eq!(solution.cost(), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! H32 (*steepest gradient*) and H32Jump (§VI-e).
+//!
+//! H32 starts from the H1 split and, at each iteration, evaluates **all**
+//! possible `δ`-transfers between ordered pairs of recipes, applying the one
+//! that decreases the cost the most; it stops at the first local minimum.
+//!
+//! H32Jump restarts the descent several times: whenever a local minimum is
+//! reached it applies a fixed number of random transfers (accepted without
+//! looking at the cost), then descends again, and finally returns the best
+//! solution encountered over all descents.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rental_core::cost::IncrementalEvaluator;
+use rental_core::{Cost, Instance, ModelResult, RecipeId, Throughput, ThroughputSplit};
+
+use crate::heuristics::h1_best_graph::best_graph_split;
+use crate::solver::{MinCostSolver, SolveResult, SolverOutcome};
+
+/// The H32 heuristic: steepest-descent local search.
+#[derive(Debug, Clone, Copy)]
+pub struct SteepestGradientSolver {
+    /// Amount of throughput moved by each exchange; `None` uses the platform's
+    /// throughput granularity.
+    pub delta: Option<Throughput>,
+    /// Safety cap on the number of descent steps.
+    pub max_steps: usize,
+}
+
+impl Default for SteepestGradientSolver {
+    fn default() -> Self {
+        SteepestGradientSolver {
+            delta: None,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// The H32Jump heuristic: steepest descent with random restarts ("jumps").
+#[derive(Debug, Clone, Copy)]
+pub struct SteepestGradientJumpSolver {
+    /// Parameters of the underlying steepest descent.
+    pub descent: SteepestGradientSolver,
+    /// Number of jump-and-descend rounds performed after the first descent.
+    pub jumps: usize,
+    /// Number of random transfers applied (without cost check) at each jump.
+    pub jump_length: usize,
+    /// RNG seed for the jumps.
+    pub seed: u64,
+}
+
+impl Default for SteepestGradientJumpSolver {
+    fn default() -> Self {
+        SteepestGradientJumpSolver {
+            descent: SteepestGradientSolver::default(),
+            jumps: 15,
+            jump_length: 3,
+            seed: 0x32,
+        }
+    }
+}
+
+impl SteepestGradientJumpSolver {
+    /// Creates an H32Jump solver with the given seed and default budget.
+    pub fn with_seed(seed: u64) -> Self {
+        SteepestGradientJumpSolver {
+            seed,
+            ..SteepestGradientJumpSolver::default()
+        }
+    }
+}
+
+/// Runs a steepest descent in place: repeatedly applies the best improving
+/// `δ`-transfer until none exists (or the step cap is hit). Returns the cost
+/// of the local minimum reached.
+fn steepest_descent(
+    evaluator: &mut IncrementalEvaluator<'_>,
+    num_recipes: usize,
+    delta: Throughput,
+    max_steps: usize,
+) -> ModelResult<Cost> {
+    for _ in 0..max_steps {
+        let current = evaluator.cost();
+        let mut best_move: Option<(RecipeId, RecipeId, Cost)> = None;
+        for from in 0..num_recipes {
+            let from = RecipeId(from);
+            if evaluator.split().share(from) == 0 {
+                continue;
+            }
+            for to in 0..num_recipes {
+                let to = RecipeId(to);
+                if to == from {
+                    continue;
+                }
+                let (moved, cost) = evaluator.cost_after_transfer(from, to, delta)?;
+                if moved == 0 || cost >= current {
+                    continue;
+                }
+                if best_move.is_none_or(|(_, _, best)| cost < best) {
+                    best_move = Some((from, to, cost));
+                }
+            }
+        }
+        match best_move {
+            Some((from, to, _)) => {
+                evaluator.apply_transfer(from, to, delta)?;
+            }
+            None => break,
+        }
+    }
+    Ok(evaluator.cost())
+}
+
+impl MinCostSolver for SteepestGradientSolver {
+    fn name(&self) -> &str {
+        "H32"
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        let start = Instant::now();
+        let num_recipes = instance.num_recipes();
+        let delta = self
+            .delta
+            .unwrap_or_else(|| instance.throughput_granularity())
+            .max(1);
+        let initial = best_graph_split(instance, target)?;
+        let mut evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            initial,
+        )?;
+        steepest_descent(&mut evaluator, num_recipes, delta, self.max_steps)?;
+        let solution = instance.solution(target, evaluator.split().clone())?;
+        Ok(SolverOutcome::heuristic(solution, start.elapsed()))
+    }
+}
+
+impl MinCostSolver for SteepestGradientJumpSolver {
+    fn name(&self) -> &str {
+        "H32Jump"
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        let start = Instant::now();
+        let num_recipes = instance.num_recipes();
+        let delta = self
+            .descent
+            .delta
+            .unwrap_or_else(|| instance.throughput_granularity())
+            .max(1);
+        let initial = best_graph_split(instance, target)?;
+        let mut evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            initial,
+        )?;
+
+        // First descent from the H1 starting point.
+        let mut best_cost =
+            steepest_descent(&mut evaluator, num_recipes, delta, self.descent.max_steps)?;
+        let mut best_split: ThroughputSplit = evaluator.split().clone();
+
+        if num_recipes > 1 {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            for _ in 0..self.jumps {
+                // Jump from the neighbourhood of the best local minimum found
+                // so far: a burst of random transfers accepted unconditionally.
+                // Transfers always originate from a recipe that currently
+                // carries throughput, so the jump genuinely leaves the basin.
+                evaluator.reset(best_split.clone())?;
+                for _ in 0..self.jump_length {
+                    let active: Vec<usize> = (0..num_recipes)
+                        .filter(|&j| evaluator.split().share(RecipeId(j)) > 0)
+                        .collect();
+                    if active.is_empty() {
+                        break;
+                    }
+                    let from = RecipeId(active[rng.random_range(0..active.len())]);
+                    let mut to = RecipeId(rng.random_range(0..num_recipes));
+                    while to == from {
+                        to = RecipeId(rng.random_range(0..num_recipes));
+                    }
+                    evaluator.apply_transfer(from, to, delta)?;
+                }
+                // Descend again from the perturbed split.
+                let cost = steepest_descent(
+                    &mut evaluator,
+                    num_recipes,
+                    delta,
+                    self.descent.max_steps,
+                )?;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_split = evaluator.split().clone();
+                }
+            }
+        }
+
+        let solution = instance.solution(target, best_split)?;
+        debug_assert_eq!(solution.cost(), best_cost);
+        Ok(SolverOutcome::heuristic(solution, start.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::h1_best_graph::BestGraphSolver;
+    use rental_core::examples::illustrating_example;
+
+    const TABLE3_OPTIMAL: [(u64, u64); 20] = [
+        (10, 28),
+        (20, 38),
+        (30, 58),
+        (40, 69),
+        (50, 86),
+        (60, 107),
+        (70, 124),
+        (80, 134),
+        (90, 155),
+        (100, 172),
+        (110, 192),
+        (120, 199),
+        (130, 220),
+        (140, 237),
+        (150, 257),
+        (160, 268),
+        (170, 285),
+        (180, 306),
+        (190, 323),
+        (200, 333),
+    ];
+
+    #[test]
+    fn h32_never_does_worse_than_h1() {
+        let instance = illustrating_example();
+        for rho in (10u64..=200).step_by(10) {
+            let h1 = BestGraphSolver.solve(&instance, rho).unwrap();
+            let h32 = SteepestGradientSolver::default().solve(&instance, rho).unwrap();
+            assert!(h32.cost() <= h1.cost(), "rho = {rho}");
+            assert!(h32.solution.split.covers(rho));
+        }
+    }
+
+    #[test]
+    fn h32jump_never_does_worse_than_h32() {
+        let instance = illustrating_example();
+        for rho in (10u64..=200).step_by(10) {
+            let h32 = SteepestGradientSolver::default().solve(&instance, rho).unwrap();
+            let jump = SteepestGradientJumpSolver::with_seed(3)
+                .solve(&instance, rho)
+                .unwrap();
+            assert!(jump.cost() <= h32.cost(), "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn h32jump_finds_most_table3_optima() {
+        // The paper reports H32Jump finding the optimum on 19 of the 20 rows
+        // (all but rho = 160). Require at least 15 hits to keep the test
+        // robust to δ-step interpretation differences.
+        let instance = illustrating_example();
+        let solver = SteepestGradientJumpSolver {
+            jumps: 20,
+            jump_length: 3,
+            seed: 123,
+            descent: SteepestGradientSolver::default(),
+        };
+        let mut hits = 0;
+        for &(rho, opt) in &TABLE3_OPTIMAL {
+            let outcome = solver.solve(&instance, rho).unwrap();
+            assert!(outcome.cost() >= opt, "rho = {rho}");
+            if outcome.cost() == opt {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 15, "H32Jump matched only {hits}/20 optima");
+    }
+
+    #[test]
+    fn h32_reaches_a_local_minimum() {
+        // At a local minimum no single δ-transfer may improve the cost.
+        let instance = illustrating_example();
+        let outcome = SteepestGradientSolver::default().solve(&instance, 140).unwrap();
+        let delta = instance.throughput_granularity();
+        let base = outcome.cost();
+        let shares = outcome.solution.split.shares().to_vec();
+        for from in 0..shares.len() {
+            if shares[from] == 0 {
+                continue;
+            }
+            for to in 0..shares.len() {
+                if from == to {
+                    continue;
+                }
+                let mut candidate = shares.clone();
+                let moved = delta.min(candidate[from]);
+                candidate[from] -= moved;
+                candidate[to] += moved;
+                assert!(instance.split_cost(&candidate).unwrap() >= base);
+            }
+        }
+    }
+
+    #[test]
+    fn h32jump_is_deterministic_for_a_fixed_seed() {
+        let instance = illustrating_example();
+        let a = SteepestGradientJumpSolver::with_seed(8).solve(&instance, 90).unwrap();
+        let b = SteepestGradientJumpSolver::with_seed(8).solve(&instance, 90).unwrap();
+        assert_eq!(a.solution, b.solution);
+    }
+
+    #[test]
+    fn jump_preserves_the_target_total() {
+        let instance = illustrating_example();
+        let outcome = SteepestGradientJumpSolver::with_seed(21)
+            .solve(&instance, 170)
+            .unwrap();
+        assert_eq!(outcome.solution.split.total(), 170);
+    }
+}

@@ -1,0 +1,258 @@
+//! LP-relaxation rounding — an extension of the paper's suite.
+//!
+//! The §V-C MILP is small, so its continuous relaxation can be solved exactly
+//! with the two-phase simplex of `rental-lp` in microseconds. This heuristic
+//! does exactly that and then repairs the fractional split:
+//!
+//! 1. solve the LP relaxation (integrality of `ρ_j` and `x_q` dropped);
+//! 2. round every `ρ_j` *down* to the `δ` grid (never over-committing);
+//! 3. greedily hand the uncovered remainder of the target, `δ` at a time, to
+//!    the recipe whose cost increase is the smallest;
+//! 4. polish with one steepest-descent pass (the H32 neighbourhood).
+//!
+//! The LP objective is also a valid lower bound on the optimal cost, which
+//! the solver reports in [`SolverOutcome::lower_bound`]; the ratio between
+//! the returned cost and that bound is an a-posteriori quality certificate
+//! even when the exact ILP is too slow to run.
+
+use std::time::Instant;
+
+use rental_core::cost::IncrementalEvaluator;
+use rental_core::{Cost, Instance, RecipeId, Throughput, ThroughputSplit};
+use rental_lp::simplex;
+
+use crate::exact::IlpSolver;
+use crate::heuristics::h1_best_graph::best_graph_split;
+use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+
+/// Heuristic based on rounding the LP relaxation of the §V-C MILP.
+#[derive(Debug, Clone, Copy)]
+pub struct LpRoundingSolver {
+    /// Grid used for the rounding and repair steps; `None` uses the
+    /// platform's throughput granularity.
+    pub delta: Option<Throughput>,
+    /// Whether to run a steepest-descent polish after the repair step.
+    pub polish: bool,
+}
+
+impl Default for LpRoundingSolver {
+    fn default() -> Self {
+        LpRoundingSolver {
+            delta: None,
+            polish: true,
+        }
+    }
+}
+
+impl LpRoundingSolver {
+    /// An LP-rounding solver without the final local-search polish, useful to
+    /// measure how much the rounding alone achieves.
+    pub fn without_polish() -> Self {
+        LpRoundingSolver {
+            delta: None,
+            polish: false,
+        }
+    }
+}
+
+impl MinCostSolver for LpRoundingSolver {
+    fn name(&self) -> &str {
+        "LPRound"
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        let start = Instant::now();
+        let num_recipes = instance.num_recipes();
+        let delta = self
+            .delta
+            .unwrap_or_else(|| instance.throughput_granularity())
+            .max(1);
+
+        // 1. Solve the LP relaxation of the §V-C MILP.
+        let model = IlpSolver::build_model(instance, target);
+        let relaxation = simplex::solve(&model).map_err(SolveError::Lp)?;
+        if !relaxation.is_optimal() {
+            return Err(SolveError::NoSolutionFound {
+                solver: self.name().to_string(),
+            });
+        }
+        let lower_bound = relaxation.objective;
+
+        // 2. Round the fractional recipe throughputs down to the δ grid.
+        let mut shares: Vec<Throughput> = relaxation.values[..num_recipes]
+            .iter()
+            .map(|&v| {
+                let v = v.max(0.0).floor() as Throughput;
+                (v / delta) * delta
+            })
+            .collect();
+
+        // 3. Repair: greedily hand the uncovered remainder to the cheapest
+        //    recipe, δ at a time.
+        let covered: Throughput = shares.iter().sum();
+        let mut remaining = target.saturating_sub(covered);
+        let mut evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(shares.clone()),
+        )?;
+        while remaining > 0 {
+            let step = delta.min(remaining);
+            let mut best: Option<(usize, Cost)> = None;
+            for j in 0..num_recipes {
+                let mut candidate = evaluator.split().shares().to_vec();
+                candidate[j] += step;
+                let cost = instance.split_cost(&candidate)?;
+                if best.is_none_or(|(_, best_cost)| cost < best_cost) {
+                    best = Some((j, cost));
+                }
+            }
+            let (j, _) = best.expect("instance has at least one recipe");
+            shares = evaluator.split().shares().to_vec();
+            shares[j] += step;
+            evaluator.reset(ThroughputSplit::new(shares))?;
+            remaining -= step;
+        }
+
+        // 4. Optional steepest-descent polish (the H32 neighbourhood).
+        if self.polish && num_recipes > 1 {
+            loop {
+                let current = evaluator.cost();
+                let mut best_move: Option<(RecipeId, RecipeId, Cost)> = None;
+                for from in 0..num_recipes {
+                    let from_id = RecipeId(from);
+                    if evaluator.split().share(from_id) == 0 {
+                        continue;
+                    }
+                    for to in 0..num_recipes {
+                        if to == from {
+                            continue;
+                        }
+                        let to_id = RecipeId(to);
+                        let (moved, cost) = evaluator.cost_after_transfer(from_id, to_id, delta)?;
+                        if moved == 0 || cost >= current {
+                            continue;
+                        }
+                        if best_move.is_none_or(|(_, _, best)| cost < best) {
+                            best_move = Some((from_id, to_id, cost));
+                        }
+                    }
+                }
+                match best_move {
+                    Some((from, to, _)) => {
+                        evaluator.apply_transfer(from, to, delta)?;
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // The rounded split can lose to the plain H1 split at small targets,
+        // where the ceiling effects dominate the fractional LP geometry; keep
+        // whichever of the two is cheaper so the heuristic is never worse
+        // than H1.
+        let rounded_split = evaluator.split().clone();
+        let rounded_cost = evaluator.cost();
+        let h1_split = best_graph_split(instance, target)?;
+        let h1_cost = instance.split_cost(h1_split.shares())?;
+        let chosen = if h1_cost < rounded_cost {
+            h1_split
+        } else {
+            rounded_split
+        };
+
+        let solution = instance.solution(target, chosen)?;
+        Ok(SolverOutcome {
+            solution,
+            proven_optimal: false,
+            lower_bound: Some(lower_bound),
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::IlpSolver;
+    use rental_core::examples::illustrating_example;
+
+    #[test]
+    fn lp_rounding_covers_the_target() {
+        let instance = illustrating_example();
+        for rho in (10u64..=200).step_by(10) {
+            let outcome = LpRoundingSolver::default().solve(&instance, rho).unwrap();
+            assert!(outcome.solution.split.covers(rho), "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn lp_bound_sandwiches_the_optimum() {
+        // LP relaxation ≤ ILP optimum ≤ LP-rounding heuristic.
+        let instance = illustrating_example();
+        for rho in (10u64..=200).step_by(20) {
+            let opt = IlpSolver::new().solve(&instance, rho).unwrap();
+            let rounded = LpRoundingSolver::default().solve(&instance, rho).unwrap();
+            let bound = rounded.lower_bound.unwrap();
+            assert!(
+                bound <= opt.cost() as f64 + 1e-6,
+                "rho = {rho}: LP bound {bound} above optimum {}",
+                opt.cost()
+            );
+            assert!(rounded.cost() >= opt.cost(), "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn lp_rounding_is_close_to_optimal_on_table3() {
+        let instance = illustrating_example();
+        for rho in (10u64..=200).step_by(10) {
+            let opt = IlpSolver::new().solve(&instance, rho).unwrap();
+            let rounded = LpRoundingSolver::default().solve(&instance, rho).unwrap();
+            assert!(
+                (rounded.cost() as f64) <= 1.25 * opt.cost() as f64,
+                "rho = {rho}: LPRound {} vs optimum {}",
+                rounded.cost(),
+                opt.cost()
+            );
+        }
+    }
+
+    #[test]
+    fn lp_rounding_never_does_worse_than_h1() {
+        use crate::heuristics::h1_best_graph::BestGraphSolver;
+        let instance = illustrating_example();
+        for rho in (10u64..=200).step_by(10) {
+            let h1 = BestGraphSolver.solve(&instance, rho).unwrap();
+            let rounded = LpRoundingSolver::default().solve(&instance, rho).unwrap();
+            assert!(rounded.cost() <= h1.cost(), "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn polish_never_hurts() {
+        let instance = illustrating_example();
+        for rho in (10u64..=200).step_by(10) {
+            let raw = LpRoundingSolver::without_polish()
+                .solve(&instance, rho)
+                .unwrap();
+            let polished = LpRoundingSolver::default().solve(&instance, rho).unwrap();
+            assert!(polished.cost() <= raw.cost(), "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn zero_target_costs_nothing() {
+        let instance = illustrating_example();
+        let outcome = LpRoundingSolver::default().solve(&instance, 0).unwrap();
+        assert_eq!(outcome.cost(), 0);
+    }
+
+    #[test]
+    fn lp_rounding_is_deterministic() {
+        let instance = illustrating_example();
+        let a = LpRoundingSolver::default().solve(&instance, 170).unwrap();
+        let b = LpRoundingSolver::default().solve(&instance, 170).unwrap();
+        assert_eq!(a.solution, b.solution);
+    }
+}

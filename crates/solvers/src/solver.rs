@@ -1,0 +1,195 @@
+//! The common interface implemented by every MinCost algorithm, exact or
+//! heuristic.
+
+use std::fmt;
+use std::time::Duration;
+
+use rental_core::{Instance, ModelError, Solution, Throughput};
+use rental_lp::LpError;
+
+/// Errors produced while solving a MinCost instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The instance or a produced split is inconsistent.
+    Model(ModelError),
+    /// The underlying LP/MILP solver failed (invalid formulation).
+    Lp(LpError),
+    /// The algorithm is only defined for a restricted class of instances
+    /// (e.g. the black-box knapsack DP of §V-A) and this instance is outside
+    /// that class.
+    UnsupportedInstance {
+        /// Name of the algorithm that rejected the instance.
+        solver: String,
+        /// Why the instance is outside the supported class.
+        reason: String,
+    },
+    /// No feasible solution could be produced (e.g. the ILP hit its time
+    /// limit before finding an incumbent).
+    NoSolutionFound {
+        /// Name of the algorithm.
+        solver: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Model(err) => write!(f, "model error: {err}"),
+            SolveError::Lp(err) => write!(f, "lp error: {err}"),
+            SolveError::UnsupportedInstance { solver, reason } => {
+                write!(f, "{solver} does not support this instance: {reason}")
+            }
+            SolveError::NoSolutionFound { solver } => {
+                write!(f, "{solver} found no feasible solution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<ModelError> for SolveError {
+    fn from(err: ModelError) -> Self {
+        SolveError::Model(err)
+    }
+}
+
+impl From<LpError> for SolveError {
+    fn from(err: LpError) -> Self {
+        SolveError::Lp(err)
+    }
+}
+
+/// Result alias for solver operations.
+pub type SolveResult<T> = Result<T, SolveError>;
+
+/// Outcome of a solve: the solution plus quality metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOutcome {
+    /// The best solution found by the algorithm.
+    pub solution: Solution,
+    /// True if the algorithm *proved* that the solution is optimal (the exact
+    /// algorithms, or the ILP when it closes the gap before its time limit).
+    pub proven_optimal: bool,
+    /// Lower bound on the optimal cost proven during the solve, if any.
+    pub lower_bound: Option<f64>,
+    /// Wall-clock time spent inside the algorithm.
+    pub elapsed: Duration,
+}
+
+impl SolverOutcome {
+    /// Convenience constructor for heuristic outcomes (no optimality proof).
+    pub fn heuristic(solution: Solution, elapsed: Duration) -> Self {
+        SolverOutcome {
+            solution,
+            proven_optimal: false,
+            lower_bound: None,
+            elapsed,
+        }
+    }
+
+    /// Convenience constructor for exact outcomes.
+    pub fn exact(solution: Solution, elapsed: Duration) -> Self {
+        let bound = solution.cost() as f64;
+        SolverOutcome {
+            solution,
+            proven_optimal: true,
+            lower_bound: Some(bound),
+            elapsed,
+        }
+    }
+
+    /// Total rental cost of the returned solution.
+    pub fn cost(&self) -> u64 {
+        self.solution.cost()
+    }
+}
+
+/// An algorithm that solves the MinCost problem: given an instance and a
+/// target throughput, produce a feasible throughput split and its allocation.
+pub trait MinCostSolver {
+    /// Short identifier used in reports ("ILP", "H1", "H32Jump", ...).
+    fn name(&self) -> &str;
+
+    /// Solves the instance for the given target throughput.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SolveError`] when the instance is outside the
+    /// class they support or when no feasible solution can be produced.
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome>;
+}
+
+/// Blanket implementation so `Box<dyn MinCostSolver>` can be used wherever a
+/// solver is expected.
+impl<S: MinCostSolver + ?Sized> MinCostSolver for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        (**self).solve(instance, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rental_core::examples::illustrating_example;
+    use rental_core::ThroughputSplit;
+
+    struct FixedSolver;
+
+    impl MinCostSolver for FixedSolver {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+            let split = ThroughputSplit::single(instance.num_recipes(), 0.into(), target);
+            let solution = instance.solution(target, split)?;
+            Ok(SolverOutcome::heuristic(solution, Duration::ZERO))
+        }
+    }
+
+    #[test]
+    fn boxed_solvers_delegate() {
+        let solver: Box<dyn MinCostSolver> = Box::new(FixedSolver);
+        let instance = illustrating_example();
+        let outcome = solver.solve(&instance, 40).unwrap();
+        assert_eq!(solver.name(), "fixed");
+        assert_eq!(outcome.cost(), 69); // recipe 1 at rho = 40 (Table III H1 row).
+        assert!(!outcome.proven_optimal);
+    }
+
+    #[test]
+    fn exact_outcome_carries_bound() {
+        let instance = illustrating_example();
+        let solution = instance
+            .solution(10, ThroughputSplit::new(vec![0, 0, 10]))
+            .unwrap();
+        let outcome = SolverOutcome::exact(solution, Duration::from_millis(1));
+        assert!(outcome.proven_optimal);
+        assert_eq!(outcome.lower_bound, Some(28.0));
+    }
+
+    #[test]
+    fn errors_convert_from_model_and_lp() {
+        let model_err: SolveError = ModelError::NoRecipes.into();
+        assert!(matches!(model_err, SolveError::Model(_)));
+        let lp_err: SolveError = LpError::EmptyModel.into();
+        assert!(matches!(lp_err, SolveError::Lp(_)));
+        assert!(model_err.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn unsupported_instance_error_mentions_solver() {
+        let err = SolveError::UnsupportedInstance {
+            solver: "KnapsackDP".to_string(),
+            reason: "recipes share task types".to_string(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("KnapsackDP"));
+        assert!(text.contains("share"));
+    }
+}

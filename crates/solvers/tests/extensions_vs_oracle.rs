@@ -1,0 +1,107 @@
+//! Property tests of the extension heuristics (tabu search, greedy
+//! marginal-cost construction, LP rounding, simulated annealing) against the
+//! brute-force oracle and against the invariants they are designed to keep.
+
+use proptest::prelude::*;
+
+use rental_core::{Instance, Platform, Recipe, RecipeId, TypeId};
+use rental_solvers::exact::BruteForceSolver;
+use rental_solvers::heuristics::{
+    BestGraphSolver, GreedyMarginalSolver, LpRoundingSolver, SimulatedAnnealingSolver,
+    SteepestGradientSolver, TabuSearchSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn small_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=3, 2usize..=3).prop_flat_map(|(num_types, num_recipes)| {
+        let platform = proptest::collection::vec((2u64..=10, 1u64..=25), num_types);
+        let recipes = proptest::collection::vec(
+            proptest::collection::vec(0usize..num_types, 1..=3),
+            num_recipes,
+        );
+        (platform, recipes).prop_map(|(pairs, type_lists)| {
+            let platform = Platform::from_pairs(&pairs).unwrap();
+            let recipes = type_lists
+                .into_iter()
+                .enumerate()
+                .map(|(j, types)| {
+                    let ids: Vec<TypeId> = types.into_iter().map(TypeId).collect();
+                    Recipe::chain(RecipeId(j), &ids).unwrap()
+                })
+                .collect();
+            Instance::new(recipes, platform).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extensions_never_beat_the_brute_force_oracle(
+        instance in small_instance(),
+        target in 1u64..30,
+        seed in 0u64..500,
+    ) {
+        let oracle = BruteForceSolver::with_step(1).solve(&instance, target).unwrap().cost();
+        for solver in [
+            Box::new(TabuSearchSolver::default()) as Box<dyn MinCostSolver>,
+            Box::new(GreedyMarginalSolver::default()),
+            Box::new(LpRoundingSolver::default()),
+            Box::new(SimulatedAnnealingSolver::with_seed(seed)),
+        ] {
+            let outcome = solver.solve(&instance, target).unwrap();
+            prop_assert!(outcome.cost() >= oracle, "{} beat the oracle", solver.name());
+            prop_assert!(outcome.solution.split.covers(target), "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn tabu_is_never_worse_than_plain_steepest_descent(
+        instance in small_instance(),
+        target in 1u64..40,
+    ) {
+        let h32 = SteepestGradientSolver::default().solve(&instance, target).unwrap().cost();
+        let tabu = TabuSearchSolver::default().solve(&instance, target).unwrap().cost();
+        prop_assert!(tabu <= h32);
+    }
+
+    #[test]
+    fn lp_rounding_is_never_worse_than_h1_and_its_bound_is_valid(
+        instance in small_instance(),
+        target in 1u64..30,
+    ) {
+        let h1 = BestGraphSolver.solve(&instance, target).unwrap().cost();
+        let oracle = BruteForceSolver::with_step(1).solve(&instance, target).unwrap().cost();
+        let rounded = LpRoundingSolver::default().solve(&instance, target).unwrap();
+        prop_assert!(rounded.cost() <= h1);
+        let bound = rounded.lower_bound.expect("LPRound always reports its LP bound");
+        prop_assert!(bound <= oracle as f64 + 1e-6,
+            "LP bound {bound} exceeds the optimum {oracle}");
+    }
+
+    #[test]
+    fn greedy_split_totals_exactly_the_target(
+        instance in small_instance(),
+        target in 0u64..60,
+    ) {
+        let outcome = GreedyMarginalSolver::default().solve(&instance, target).unwrap();
+        prop_assert_eq!(outcome.solution.split.total(), target);
+    }
+
+    #[test]
+    fn greedy_cost_is_monotone_in_the_target(
+        instance in small_instance(),
+        target in 1u64..30,
+        extra in 1u64..10,
+    ) {
+        // The greedy construction for a larger target reproduces the same
+        // full-δ prefix and then only adds demand, so its cost can never
+        // decrease when the target grows. (The local-search heuristics do not
+        // carry this guarantee: a larger target can snap into a better basin.)
+        let greedy = GreedyMarginalSolver::default();
+        let low = greedy.solve(&instance, target).unwrap().cost();
+        let high = greedy.solve(&instance, target + extra).unwrap().cost();
+        prop_assert!(high >= low, "greedy cost decreased when the target grew");
+    }
+}

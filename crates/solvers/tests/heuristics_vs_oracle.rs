@@ -1,0 +1,115 @@
+//! Integration tests of the solver suite against the brute-force oracle on
+//! small random instances, plus property-style checks of the qualitative
+//! claims the paper makes about the heuristics.
+
+use proptest::prelude::*;
+
+use rental_core::{Instance, Platform, Recipe, RecipeId, TypeId};
+use rental_solvers::exact::{BruteForceSolver, IlpSolver};
+use rental_solvers::heuristics::{
+    BestGraphSolver, RandomWalkSolver, SteepestGradientJumpSolver, SteepestGradientSolver,
+    StochasticDescentSolver,
+};
+use rental_solvers::MinCostSolver;
+
+fn small_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=3, 2usize..=3).prop_flat_map(|(num_types, num_recipes)| {
+        let platform = proptest::collection::vec((2u64..=10, 1u64..=25), num_types);
+        let recipes = proptest::collection::vec(
+            proptest::collection::vec(0usize..num_types, 1..=3),
+            num_recipes,
+        );
+        (platform, recipes).prop_map(|(pairs, type_lists)| {
+            let platform = Platform::from_pairs(&pairs).unwrap();
+            let recipes = type_lists
+                .into_iter()
+                .enumerate()
+                .map(|(j, types)| {
+                    let ids: Vec<TypeId> = types.into_iter().map(TypeId).collect();
+                    Recipe::chain(RecipeId(j), &ids).unwrap()
+                })
+                .collect();
+            Instance::new(recipes, platform).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ilp_matches_the_brute_force_oracle(instance in small_instance(), target in 1u64..30) {
+        let oracle = BruteForceSolver::with_step(1).solve(&instance, target).unwrap();
+        let ilp = IlpSolver::new().solve(&instance, target).unwrap();
+        prop_assert_eq!(ilp.cost(), oracle.cost());
+        prop_assert!(ilp.proven_optimal);
+    }
+
+    #[test]
+    fn heuristic_quality_ordering_holds_on_average(
+        instance in small_instance(),
+        target in 1u64..40,
+        seed in 0u64..500,
+    ) {
+        // The paper's hierarchy: H1 is the baseline, H2/H31 improve on it or
+        // tie, H32Jump is at least as good as H32, and nothing beats the ILP.
+        let h1 = BestGraphSolver.solve(&instance, target).unwrap().cost();
+        let h2 = RandomWalkSolver { iterations: 300, delta: None, seed }
+            .solve(&instance, target).unwrap().cost();
+        let h31 = StochasticDescentSolver { max_iterations: 300, patience: 60, delta: None, seed }
+            .solve(&instance, target).unwrap().cost();
+        let h32 = SteepestGradientSolver::default().solve(&instance, target).unwrap().cost();
+        let jump = SteepestGradientJumpSolver { jumps: 5, jump_length: 2, seed, ..Default::default() }
+            .solve(&instance, target).unwrap().cost();
+        let ilp = IlpSolver::new().solve(&instance, target).unwrap().cost();
+
+        prop_assert!(h2 <= h1);
+        prop_assert!(h31 <= h1);
+        prop_assert!(h32 <= h1);
+        prop_assert!(jump <= h32);
+        for cost in [h1, h2, h31, h32, jump] {
+            prop_assert!(cost >= ilp);
+        }
+    }
+
+    #[test]
+    fn steepest_descent_with_unit_delta_reaches_a_true_local_minimum(
+        instance in small_instance(),
+        target in 1u64..25,
+    ) {
+        let solver = SteepestGradientSolver { delta: Some(1), max_steps: 10_000 };
+        let outcome = solver.solve(&instance, target).unwrap();
+        let shares = outcome.solution.split.shares().to_vec();
+        let base = outcome.cost();
+        for from in 0..shares.len() {
+            if shares[from] == 0 { continue; }
+            for to in 0..shares.len() {
+                if from == to { continue; }
+                let mut candidate = shares.clone();
+                candidate[from] -= 1;
+                candidate[to] += 1;
+                prop_assert!(instance.split_cost(&candidate).unwrap() >= base);
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_members_are_consistent_across_repeated_invocations() {
+    // Determinism matters for the experiment harness: the same solver object
+    // must return the same answer when called twice on the same input.
+    let instance = rental_core::examples::illustrating_example();
+    let solvers: Vec<Box<dyn MinCostSolver>> = vec![
+        Box::new(IlpSolver::new()),
+        Box::new(BestGraphSolver),
+        Box::new(RandomWalkSolver::with_seed(5)),
+        Box::new(StochasticDescentSolver::with_seed(5)),
+        Box::new(SteepestGradientSolver::default()),
+        Box::new(SteepestGradientJumpSolver::with_seed(5)),
+    ];
+    for solver in &solvers {
+        let first = solver.solve(&instance, 130).unwrap();
+        let second = solver.solve(&instance, 130).unwrap();
+        assert_eq!(first.solution, second.solution, "{}", solver.name());
+    }
+}

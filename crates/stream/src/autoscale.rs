@@ -1,0 +1,434 @@
+//! Epoch-based autoscaling on top of a MinCost solution.
+//!
+//! The paper sizes a platform once, for a constant target throughput. When
+//! the demanded throughput varies over time (a [`WorkloadTrace`]), the cloud's
+//! elasticity lets the platform follow the demand: every epoch the controller
+//! recomputes how many machines of each type the current rate requires —
+//! keeping the *recipe mix* of the underlying MinCost solution — scales up
+//! immediately, and scales down only after the demand has stayed low for a
+//! configurable number of epochs (hysteresis). Optionally, an outage trace
+//! from [`crate::failure`] erodes the rented capacity and the report records
+//! the epochs in which the surviving machines could no longer carry the
+//! demand.
+//!
+//! The controller is analytical (it uses the exact cost/capacity arithmetic
+//! of `rental-core`, not the discrete-event simulator), which keeps whole
+//! multi-week traces cheap to evaluate; the discrete-event simulator remains
+//! the tool for validating a single steady-state epoch in detail.
+
+use rental_core::{Instance, RecipeId, Solution, TypeId};
+
+use crate::event::SimTime;
+use crate::failure::FailureTrace;
+use crate::workload::WorkloadTrace;
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Epoch length: how often the controller re-evaluates the fleet.
+    pub epoch: SimTime,
+    /// Capacity head-room: the controller provisions for `rate × headroom`
+    /// (1.0 = provision exactly, 1.2 = 20 % slack).
+    pub headroom: f64,
+    /// Number of consecutive epochs the demand must stay below the current
+    /// fleet before the controller scales down.
+    pub scale_down_patience: usize,
+    /// Extra machines kept per *used* type as failure redundancy (N+k).
+    pub redundancy: u64,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            epoch: 1.0,
+            headroom: 1.0,
+            scale_down_patience: 2,
+            redundancy: 0,
+        }
+    }
+}
+
+/// What the controller did in one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub index: usize,
+    /// Start time of the epoch.
+    pub start: SimTime,
+    /// Peak demanded rate inside the epoch.
+    pub demand_rate: f64,
+    /// Machines rented per type during the epoch.
+    pub machines: Vec<u64>,
+    /// Machines per type that were up for the whole epoch (rented minus the
+    /// peak number simultaneously down).
+    pub available: Vec<u64>,
+    /// Rental cost of the epoch (`Σ_q x_q c_q × epoch length`).
+    pub cost: f64,
+    /// True if the surviving capacity could not carry the demand.
+    pub violated: bool,
+}
+
+/// The outcome of replaying a workload trace under the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleReport {
+    /// Per-epoch decisions.
+    pub epochs: Vec<EpochRecord>,
+    /// Total rental cost over the trace with autoscaling.
+    pub total_cost: f64,
+    /// Rental cost of the static alternative: provisioning for the trace's
+    /// peak rate over the whole duration (the paper's approach applied to the
+    /// worst case).
+    pub static_peak_cost: f64,
+    /// Number of epochs whose demand could not be carried.
+    pub violations: usize,
+}
+
+impl AutoscaleReport {
+    /// Absolute savings of autoscaling over static peak provisioning.
+    pub fn savings(&self) -> f64 {
+        self.static_peak_cost - self.total_cost
+    }
+
+    /// Fraction of the static bill saved (0.0 when the static bill is zero).
+    pub fn savings_fraction(&self) -> f64 {
+        if self.static_peak_cost <= 0.0 {
+            0.0
+        } else {
+            self.savings() / self.static_peak_cost
+        }
+    }
+
+    /// Largest fleet (total machines) rented in any epoch.
+    pub fn peak_fleet(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| e.machines.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean fleet size over the epochs.
+    pub fn mean_fleet(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs
+            .iter()
+            .map(|e| e.machines.iter().sum::<u64>() as f64)
+            .sum::<f64>()
+            / self.epochs.len() as f64
+    }
+}
+
+/// The autoscaling controller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Autoscaler {
+    /// Controller parameters.
+    pub policy: AutoscalePolicy,
+}
+
+impl Autoscaler {
+    /// Creates a controller with the given policy.
+    pub fn new(policy: AutoscalePolicy) -> Self {
+        Autoscaler { policy }
+    }
+
+    /// Per-recipe throughput fractions of a solution (`ρ_j / Σ ρ_j`). Returns
+    /// an all-zero vector when the split is empty.
+    pub fn split_fractions(solution: &Solution) -> Vec<f64> {
+        let total: u64 = solution.split.shares().iter().sum();
+        if total == 0 {
+            return vec![0.0; solution.split.len()];
+        }
+        solution
+            .split
+            .shares()
+            .iter()
+            .map(|&s| s as f64 / total as f64)
+            .collect()
+    }
+
+    /// Replays `trace` on `instance`, keeping the recipe mix of `fractions`
+    /// (as produced by [`Autoscaler::split_fractions`]), without failures.
+    pub fn run(
+        &self,
+        instance: &Instance,
+        fractions: &[f64],
+        trace: &WorkloadTrace,
+    ) -> AutoscaleReport {
+        let failures = FailureTrace::empty(trace.duration());
+        self.run_with_failures(instance, fractions, trace, &failures)
+    }
+
+    /// Replays `trace` on `instance` while the machines suffer the outages of
+    /// `failures`.
+    pub fn run_with_failures(
+        &self,
+        instance: &Instance,
+        fractions: &[f64],
+        trace: &WorkloadTrace,
+        failures: &FailureTrace,
+    ) -> AutoscaleReport {
+        assert_eq!(
+            fractions.len(),
+            instance.num_recipes(),
+            "one fraction per recipe is required"
+        );
+        let platform = instance.platform();
+        let demand_matrix = instance.application().demand();
+        let num_types = instance.num_types();
+        let peaks = trace.epoch_peaks(self.policy.epoch);
+
+        // Demand per type for a unit of total throughput, under the fixed
+        // recipe mix: Σ_j n_jq × f_j.
+        let unit_demand: Vec<f64> = (0..num_types)
+            .map(|q| {
+                (0..instance.num_recipes())
+                    .map(|j| demand_matrix.count(RecipeId(j), TypeId(q)) as f64 * fractions[j])
+                    .sum()
+            })
+            .collect();
+
+        let required_for = |rate: f64| -> Vec<u64> {
+            (0..num_types)
+                .map(|q| {
+                    let demand = unit_demand[q] * rate * self.policy.headroom;
+                    if demand <= 0.0 {
+                        0
+                    } else {
+                        let machines =
+                            (demand / platform.throughput(TypeId(q)) as f64).ceil() as u64;
+                        machines + self.policy.redundancy
+                    }
+                })
+                .collect()
+        };
+
+        let mut fleet: Vec<u64> = vec![0; num_types];
+        let mut below_count: Vec<usize> = vec![0; num_types];
+        let mut epochs = Vec::with_capacity(peaks.len());
+        let mut total_cost = 0.0;
+        let mut violations = 0;
+
+        for (index, &rate) in peaks.iter().enumerate() {
+            let start = index as f64 * self.policy.epoch;
+            let end = start + self.policy.epoch;
+            let required = required_for(rate);
+            for q in 0..num_types {
+                if required[q] > fleet[q] {
+                    // Scale up immediately.
+                    fleet[q] = required[q];
+                    below_count[q] = 0;
+                } else if required[q] < fleet[q] {
+                    below_count[q] += 1;
+                    if below_count[q] >= self.policy.scale_down_patience {
+                        fleet[q] = required[q];
+                        below_count[q] = 0;
+                    }
+                } else {
+                    below_count[q] = 0;
+                }
+            }
+
+            let cost_rate: f64 = (0..num_types)
+                .map(|q| fleet[q] as f64 * platform.cost(TypeId(q)) as f64)
+                .sum();
+            let cost = cost_rate * self.policy.epoch;
+            total_cost += cost;
+
+            let available: Vec<u64> = (0..num_types)
+                .map(|q| {
+                    let down = failures.peak_down_in_window(TypeId(q), start, end);
+                    fleet[q].saturating_sub(down)
+                })
+                .collect();
+            let violated = (0..num_types).any(|q| {
+                let needed = unit_demand[q] * rate;
+                let capacity = (available[q] as f64) * (platform.throughput(TypeId(q)) as f64);
+                needed > 1e-9 && capacity < needed - 1e-9
+            });
+            if violated {
+                violations += 1;
+            }
+
+            epochs.push(EpochRecord {
+                index,
+                start,
+                demand_rate: rate,
+                machines: fleet.clone(),
+                available,
+                cost,
+                violated,
+            });
+        }
+
+        // Static alternative: provision once for the peak rate, keep it for
+        // the whole trace.
+        let peak_fleet = required_for(trace.peak_rate());
+        let static_rate: f64 = (0..num_types)
+            .map(|q| peak_fleet[q] as f64 * platform.cost(TypeId(q)) as f64)
+            .sum();
+        let static_peak_cost = static_rate * self.policy.epoch * peaks.len() as f64;
+
+        AutoscaleReport {
+            epochs,
+            total_cost,
+            static_peak_cost,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureModel;
+    use rental_core::examples::illustrating_example;
+    use rental_core::ThroughputSplit;
+
+    fn instance_and_fractions() -> (Instance, Vec<f64>) {
+        let instance = illustrating_example();
+        let solution = instance
+            .solution(70, ThroughputSplit::new(vec![10, 30, 30]))
+            .unwrap();
+        let fractions = Autoscaler::split_fractions(&solution);
+        (instance, fractions)
+    }
+
+    #[test]
+    fn split_fractions_sum_to_one() {
+        let (_, fractions) = instance_and_fractions();
+        let sum: f64 = fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((fractions[0] - 10.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_trace_reproduces_the_static_cost() {
+        // At a constant rate the autoscaler and the static peak provisioning
+        // rent the same fleet in every epoch, so the two bills coincide.
+        let (instance, fractions) = instance_and_fractions();
+        let trace = WorkloadTrace::constant(70.0, 24.0);
+        let report = Autoscaler::default().run(&instance, &fractions, &trace);
+        assert_eq!(report.violations, 0);
+        assert!((report.total_cost - report.static_peak_cost).abs() < 1e-9);
+        assert_eq!(report.savings_fraction(), 0.0);
+        // The fleet matches the Table III allocation for the (10, 30, 30)
+        // split: 3, 2, 1, 1 machines → hourly cost 124.
+        assert_eq!(report.epochs[0].machines, vec![3, 2, 1, 1]);
+        assert!((report.epochs[0].cost - 124.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_traces_save_money_over_static_peak_provisioning() {
+        let (instance, fractions) = instance_and_fractions();
+        let trace = WorkloadTrace::diurnal(20.0, 80.0, 12.0, 4);
+        let report = Autoscaler::default().run(&instance, &fractions, &trace);
+        assert_eq!(report.violations, 0);
+        assert!(report.savings() > 0.0);
+        assert!(report.savings_fraction() > 0.1);
+        assert!(report.mean_fleet() < report.peak_fleet() as f64);
+    }
+
+    #[test]
+    fn hysteresis_delays_scale_down() {
+        let (instance, fractions) = instance_and_fractions();
+        // One high epoch followed by low epochs.
+        let trace = WorkloadTrace::new(vec![
+            crate::workload::TraceSegment {
+                duration: 1.0,
+                rate: 80.0,
+            },
+            crate::workload::TraceSegment {
+                duration: 5.0,
+                rate: 20.0,
+            },
+        ]);
+        let patient = Autoscaler::new(AutoscalePolicy {
+            scale_down_patience: 3,
+            ..AutoscalePolicy::default()
+        })
+        .run(&instance, &fractions, &trace);
+        let eager = Autoscaler::new(AutoscalePolicy {
+            scale_down_patience: 1,
+            ..AutoscalePolicy::default()
+        })
+        .run(&instance, &fractions, &trace);
+        // The patient controller keeps the large fleet longer, so it spends
+        // at least as much as the eager one.
+        assert!(patient.total_cost >= eager.total_cost);
+        // Both eventually shrink to the low-rate fleet.
+        assert_eq!(
+            patient.epochs.last().unwrap().machines,
+            eager.epochs.last().unwrap().machines
+        );
+    }
+
+    #[test]
+    fn headroom_increases_cost_but_never_reduces_capacity() {
+        let (instance, fractions) = instance_and_fractions();
+        let trace = WorkloadTrace::diurnal(20.0, 80.0, 6.0, 2);
+        let exact = Autoscaler::default().run(&instance, &fractions, &trace);
+        let slack = Autoscaler::new(AutoscalePolicy {
+            headroom: 1.3,
+            ..AutoscalePolicy::default()
+        })
+        .run(&instance, &fractions, &trace);
+        assert!(slack.total_cost >= exact.total_cost);
+        for (a, b) in slack.epochs.iter().zip(exact.epochs.iter()) {
+            for q in 0..a.machines.len() {
+                assert!(a.machines[q] >= b.machines[q]);
+            }
+        }
+    }
+
+    #[test]
+    fn failures_without_redundancy_can_violate_the_demand() {
+        let (instance, fractions) = instance_and_fractions();
+        let trace = WorkloadTrace::constant(70.0, 200.0);
+        // Very fragile machines: failures every ~5 time units, slow repairs.
+        let counts = vec![3, 2, 1, 1];
+        let failures = FailureModel::new(5.0, 3.0, 9).generate(&counts, trace.duration());
+        let bare = Autoscaler::default().run_with_failures(&instance, &fractions, &trace, &failures);
+        assert!(bare.violations > 0);
+        // Adding one redundant machine per used type removes most violations.
+        let hardened = Autoscaler::new(AutoscalePolicy {
+            redundancy: 1,
+            ..AutoscalePolicy::default()
+        })
+        .run_with_failures(&instance, &fractions, &trace, &failures);
+        assert!(hardened.violations <= bare.violations);
+        assert!(hardened.total_cost > bare.total_cost);
+    }
+
+    #[test]
+    fn zero_rate_trace_rents_nothing() {
+        let (instance, fractions) = instance_and_fractions();
+        let trace = WorkloadTrace::constant(0.0, 10.0);
+        let report = Autoscaler::default().run(&instance, &fractions, &trace);
+        assert_eq!(report.total_cost, 0.0);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.peak_fleet(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one fraction per recipe")]
+    fn wrong_fraction_arity_panics() {
+        let (instance, _) = instance_and_fractions();
+        let trace = WorkloadTrace::constant(10.0, 1.0);
+        Autoscaler::default().run(&instance, &[1.0], &trace);
+    }
+
+    #[test]
+    fn empty_report_statistics_are_zero() {
+        let report = AutoscaleReport {
+            epochs: vec![],
+            total_cost: 0.0,
+            static_peak_cost: 0.0,
+            violations: 0,
+        };
+        assert_eq!(report.mean_fleet(), 0.0);
+        assert_eq!(report.peak_fleet(), 0);
+        assert_eq!(report.savings_fraction(), 0.0);
+    }
+}

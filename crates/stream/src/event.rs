@@ -1,0 +1,158 @@
+//! Discrete-event queue used by the streaming simulator.
+//!
+//! Events are ordered by simulated time; ties are broken by a monotonically
+//! increasing sequence number so that the simulation is fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in abstract time units (the same unit as throughputs:
+/// a machine of throughput `r` serves a task in `1/r` time units).
+pub type SimTime = f64;
+
+/// What happens at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new data item enters the system.
+    ItemArrival {
+        /// Global index of the item (0-based, also its output order).
+        item: usize,
+    },
+    /// A machine of the given type finishes the given task of the given item.
+    TaskCompletion {
+        /// Global index of the item.
+        item: usize,
+        /// Task index inside the item's recipe.
+        task: usize,
+        /// Machine type that processed the task.
+        machine_type: usize,
+    },
+    /// End of the simulation horizon.
+    Horizon,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Tie-breaking sequence number (assigned by the queue).
+    pub sequence: u64,
+    /// What the event does.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event at the given time.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        debug_assert!(time.is_finite() && time >= 0.0, "event times must be finite");
+        let event = Event {
+            time,
+            sequence: self.next_sequence,
+            kind,
+        };
+        self.next_sequence += 1;
+        self.heap.push(event);
+    }
+
+    /// Pops the earliest scheduled event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule(3.0, EventKind::Horizon);
+        queue.schedule(1.0, EventKind::ItemArrival { item: 0 });
+        queue.schedule(2.0, EventKind::ItemArrival { item: 1 });
+        let times: Vec<f64> = std::iter::from_fn(|| queue.pop().map(|e| e.time)).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule(1.0, EventKind::ItemArrival { item: 10 });
+        queue.schedule(1.0, EventKind::ItemArrival { item: 20 });
+        queue.schedule(1.0, EventKind::ItemArrival { item: 30 });
+        let items: Vec<usize> = std::iter::from_fn(|| {
+            queue.pop().map(|e| match e.kind {
+                EventKind::ItemArrival { item } => item,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(items, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_content() {
+        let mut queue = EventQueue::new();
+        assert!(queue.is_empty());
+        queue.schedule(0.5, EventKind::Horizon);
+        assert_eq!(queue.len(), 1);
+        queue.pop();
+        assert!(queue.is_empty());
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    #[cfg(debug_assertions)]
+    fn non_finite_times_are_rejected_in_debug() {
+        let mut queue = EventQueue::new();
+        queue.schedule(f64::NAN, EventKind::Horizon);
+    }
+}

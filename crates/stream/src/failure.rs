@@ -1,0 +1,298 @@
+//! Machine failure injection.
+//!
+//! The paper assumes perfectly reliable instances; related work on streaming
+//! applications (Benoit et al., cited in §II) shows that failures matter on
+//! long-running platforms. This module generates reproducible outage traces
+//! — each rented machine alternates exponentially-distributed up-times with a
+//! fixed repair time — so that the autoscaling controller and the validation
+//! experiments can measure how much head-room an allocation needs to survive
+//! realistic failure rates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rental_core::TypeId;
+
+use crate::event::SimTime;
+
+/// Failure characteristics of the rented machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Mean time between failures of one machine, in time units.
+    /// `f64::INFINITY` disables failures.
+    pub mtbf: f64,
+    /// Time to bring a failed machine back, in time units.
+    pub repair_time: f64,
+    /// Seed of the outage sampling.
+    pub seed: u64,
+}
+
+impl FailureModel {
+    /// No failures at all (the paper's implicit assumption).
+    pub fn none() -> Self {
+        FailureModel {
+            mtbf: f64::INFINITY,
+            repair_time: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Failures with the given mean time between failures and repair time.
+    pub fn new(mtbf: f64, repair_time: f64, seed: u64) -> Self {
+        FailureModel {
+            mtbf: mtbf.max(f64::MIN_POSITIVE),
+            repair_time: repair_time.max(0.0),
+            seed,
+        }
+    }
+
+    /// True when the model never produces outages.
+    pub fn is_disabled(&self) -> bool {
+        !self.mtbf.is_finite()
+    }
+
+    /// Steady-state availability of one machine under this model
+    /// (`mtbf / (mtbf + repair_time)`).
+    pub fn availability(&self) -> f64 {
+        if self.is_disabled() {
+            1.0
+        } else {
+            self.mtbf / (self.mtbf + self.repair_time)
+        }
+    }
+
+    /// Samples the outages of `machine_counts[q]` machines of every type over
+    /// `horizon` time units. The result is deterministic for a fixed seed.
+    pub fn generate(&self, machine_counts: &[u64], horizon: SimTime) -> FailureTrace {
+        let mut outages = Vec::new();
+        if !self.is_disabled() && horizon > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            for (q, &count) in machine_counts.iter().enumerate() {
+                for machine in 0..count {
+                    let mut t = 0.0;
+                    loop {
+                        // Exponential up-time with mean `mtbf`, sampled by
+                        // inverse transform so only `random::<f64>` is needed.
+                        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                        let uptime = -self.mtbf * u.ln();
+                        t += uptime;
+                        if t >= horizon {
+                            break;
+                        }
+                        let end = (t + self.repair_time).min(horizon);
+                        outages.push(Outage {
+                            type_id: TypeId(q),
+                            machine,
+                            start: t,
+                            end,
+                        });
+                        t = end;
+                        if t >= horizon {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        outages.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap_or(std::cmp::Ordering::Equal));
+        FailureTrace { outages, horizon }
+    }
+}
+
+/// One outage of one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// Machine type of the failed instance.
+    pub type_id: TypeId,
+    /// Index of the machine within its type's pool.
+    pub machine: u64,
+    /// Time the machine goes down.
+    pub start: SimTime,
+    /// Time the machine is back up.
+    pub end: SimTime,
+}
+
+impl Outage {
+    /// Duration of the outage.
+    pub fn duration(&self) -> SimTime {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// All outages over a horizon, sorted by start time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureTrace {
+    outages: Vec<Outage>,
+    horizon: SimTime,
+}
+
+impl FailureTrace {
+    /// A trace with no outages over the given horizon.
+    pub fn empty(horizon: SimTime) -> Self {
+        FailureTrace {
+            outages: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// The outages, sorted by start time.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// The horizon the trace covers.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of machines of type `q` that are down at time `t`.
+    pub fn machines_down(&self, type_id: TypeId, t: SimTime) -> u64 {
+        self.outages
+            .iter()
+            .filter(|o| o.type_id == type_id && o.start <= t && t < o.end)
+            .count() as u64
+    }
+
+    /// Maximum number of machines of type `q` that are simultaneously down
+    /// inside the window `[start, end)`.
+    pub fn peak_down_in_window(&self, type_id: TypeId, start: SimTime, end: SimTime) -> u64 {
+        // The count only changes at outage boundaries, so it suffices to
+        // evaluate it at the window start and at every outage start inside
+        // the window.
+        let mut peak = self.machines_down(type_id, start);
+        for outage in &self.outages {
+            if outage.type_id == type_id && outage.start >= start && outage.start < end {
+                peak = peak.max(self.machines_down(type_id, outage.start));
+            }
+        }
+        peak
+    }
+
+    /// Fraction of machine-hours lost to outages for a pool of
+    /// `machine_count` machines of type `q`.
+    pub fn unavailability(&self, type_id: TypeId, machine_count: u64) -> f64 {
+        if machine_count == 0 || self.horizon <= 0.0 {
+            return 0.0;
+        }
+        let lost: f64 = self
+            .outages
+            .iter()
+            .filter(|o| o.type_id == type_id)
+            .map(Outage::duration)
+            .sum();
+        lost / (machine_count as f64 * self.horizon)
+    }
+
+    /// Total number of outages across all types.
+    pub fn num_outages(&self) -> usize {
+        self.outages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_produces_no_outages() {
+        let trace = FailureModel::none().generate(&[5, 3], 1000.0);
+        assert_eq!(trace.num_outages(), 0);
+        assert_eq!(trace.machines_down(TypeId(0), 500.0), 0);
+        assert_eq!(trace.unavailability(TypeId(0), 5), 0.0);
+        assert_eq!(FailureModel::none().availability(), 1.0);
+    }
+
+    #[test]
+    fn outage_generation_is_deterministic_for_a_seed() {
+        let model = FailureModel::new(50.0, 2.0, 42);
+        let a = model.generate(&[4, 4], 500.0);
+        let b = model.generate(&[4, 4], 500.0);
+        assert_eq!(a, b);
+        let c = FailureModel::new(50.0, 2.0, 43).generate(&[4, 4], 500.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn outages_stay_inside_the_horizon_and_have_positive_duration() {
+        let model = FailureModel::new(20.0, 1.5, 7);
+        let trace = model.generate(&[3, 2, 1], 200.0);
+        assert!(trace.num_outages() > 0);
+        for outage in trace.outages() {
+            assert!(outage.start >= 0.0);
+            assert!(outage.end <= 200.0 + 1e-9);
+            assert!(outage.duration() >= 0.0);
+            assert!(outage.duration() <= 1.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_unavailability_tracks_the_analytical_availability() {
+        // MTBF 50, repair 5 → availability ≈ 0.909; over a long horizon the
+        // sampled unavailability should be in the right ballpark.
+        let model = FailureModel::new(50.0, 5.0, 11);
+        let trace = model.generate(&[10], 5000.0);
+        let unavailability = trace.unavailability(TypeId(0), 10);
+        let expected = 1.0 - model.availability();
+        assert!(
+            (unavailability - expected).abs() < 0.03,
+            "sampled {unavailability}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn machines_down_counts_overlapping_outages() {
+        let trace = FailureTrace {
+            outages: vec![
+                Outage {
+                    type_id: TypeId(0),
+                    machine: 0,
+                    start: 10.0,
+                    end: 20.0,
+                },
+                Outage {
+                    type_id: TypeId(0),
+                    machine: 1,
+                    start: 15.0,
+                    end: 25.0,
+                },
+                Outage {
+                    type_id: TypeId(1),
+                    machine: 0,
+                    start: 12.0,
+                    end: 14.0,
+                },
+            ],
+            horizon: 100.0,
+        };
+        assert_eq!(trace.machines_down(TypeId(0), 5.0), 0);
+        assert_eq!(trace.machines_down(TypeId(0), 16.0), 2);
+        assert_eq!(trace.machines_down(TypeId(0), 22.0), 1);
+        assert_eq!(trace.machines_down(TypeId(1), 13.0), 1);
+        assert_eq!(trace.peak_down_in_window(TypeId(0), 0.0, 100.0), 2);
+        assert_eq!(trace.peak_down_in_window(TypeId(0), 21.0, 100.0), 1);
+        assert_eq!(trace.peak_down_in_window(TypeId(1), 20.0, 100.0), 0);
+    }
+
+    #[test]
+    fn more_fragile_machines_fail_more_often() {
+        let fragile = FailureModel::new(10.0, 1.0, 3).generate(&[5], 1000.0);
+        let sturdy = FailureModel::new(200.0, 1.0, 3).generate(&[5], 1000.0);
+        assert!(fragile.num_outages() > sturdy.num_outages());
+    }
+
+    #[test]
+    fn availability_formula() {
+        let model = FailureModel::new(90.0, 10.0, 0);
+        assert!((model.availability() - 0.9).abs() < 1e-12);
+        assert!(!model.is_disabled());
+        assert!(FailureModel::none().is_disabled());
+    }
+
+    #[test]
+    fn empty_trace_constructor() {
+        let trace = FailureTrace::empty(50.0);
+        assert_eq!(trace.horizon(), 50.0);
+        assert_eq!(trace.num_outages(), 0);
+        assert_eq!(trace.peak_down_in_window(TypeId(0), 0.0, 50.0), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the elasticity substrate: workload traces, failure
+//! injection and the autoscaling controller.
+
+use proptest::prelude::*;
+
+use rental_core::examples::illustrating_example;
+use rental_core::TypeId;
+use rental_stream::{
+    Autoscaler, AutoscalePolicy, FailureModel, TraceSegment, WorkloadTrace,
+};
+
+fn arbitrary_trace() -> impl Strategy<Value = WorkloadTrace> {
+    proptest::collection::vec((0.5f64..20.0, 0.0f64..120.0), 1..8).prop_map(|segments| {
+        WorkloadTrace::new(
+            segments
+                .into_iter()
+                .map(|(duration, rate)| TraceSegment { duration, rate })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_statistics_are_consistent(trace in arbitrary_trace()) {
+        let mean = trace.mean_rate();
+        let peak = trace.peak_rate();
+        prop_assert!(mean >= 0.0);
+        prop_assert!(peak >= mean - 1e-9);
+        prop_assert!((trace.total_items() - mean * trace.duration()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn epoch_peaks_never_exceed_the_global_peak(trace in arbitrary_trace(), epoch in 0.5f64..10.0) {
+        let peaks = trace.epoch_peaks(epoch);
+        let expected_len = (trace.duration() / epoch).ceil() as usize;
+        prop_assert_eq!(peaks.len(), expected_len);
+        for &p in &peaks {
+            prop_assert!(p <= trace.peak_rate() + 1e-9);
+            prop_assert!(p >= 0.0);
+        }
+        // The global peak must appear in some epoch.
+        if trace.duration() > 0.0 && trace.peak_rate() > 0.0 {
+            let max_epoch = peaks.iter().copied().fold(0.0f64, f64::max);
+            prop_assert!((max_epoch - trace.peak_rate()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rate_at_any_time_is_bounded_by_the_peak(trace in arbitrary_trace(), t in 0.0f64..200.0) {
+        prop_assert!(trace.rate_at(t) <= trace.peak_rate() + 1e-9);
+        prop_assert!(trace.rate_at(t) >= 0.0);
+    }
+
+    #[test]
+    fn failure_unavailability_is_a_fraction(
+        mtbf in 2.0f64..100.0,
+        repair in 0.1f64..10.0,
+        seed in 0u64..1000,
+        machines in 1u64..6,
+        horizon in 10.0f64..500.0,
+    ) {
+        let trace = FailureModel::new(mtbf, repair, seed).generate(&[machines], horizon);
+        let unavailability = trace.unavailability(TypeId(0), machines);
+        prop_assert!((0.0..=1.0).contains(&unavailability));
+        for outage in trace.outages() {
+            prop_assert!(outage.start >= 0.0 && outage.end <= horizon + 1e-9);
+            prop_assert!(outage.machine < machines);
+        }
+        // At any instant, no more machines can be down than exist.
+        prop_assert!(trace.machines_down(TypeId(0), horizon / 2.0) <= machines);
+    }
+
+    #[test]
+    fn autoscaler_without_failures_never_violates_and_never_exceeds_static_cost(
+        trace in arbitrary_trace(),
+        headroom in 1.0f64..1.5,
+        patience in 1usize..4,
+    ) {
+        let instance = illustrating_example();
+        // An arbitrary but fixed recipe mix: everything through recipe 3.
+        let fractions = vec![0.0, 0.0, 1.0];
+        let policy = AutoscalePolicy {
+            epoch: 1.0,
+            headroom,
+            scale_down_patience: patience,
+            redundancy: 0,
+        };
+        let report = Autoscaler::new(policy).run(&instance, &fractions, &trace);
+        prop_assert_eq!(report.violations, 0);
+        prop_assert!(report.total_cost <= report.static_peak_cost + 1e-6);
+        prop_assert!(report.savings_fraction() >= -1e-12);
+        prop_assert!(report.savings_fraction() <= 1.0);
+        // Every epoch's fleet covers its own demand by construction.
+        for epoch in &report.epochs {
+            prop_assert!(epoch.cost >= 0.0);
+            prop_assert_eq!(epoch.machines.len(), instance.num_types());
+        }
+    }
+
+    #[test]
+    fn redundancy_and_headroom_never_reduce_the_fleet(
+        trace in arbitrary_trace(),
+        redundancy in 0u64..3,
+    ) {
+        let instance = illustrating_example();
+        let fractions = vec![0.5, 0.5, 0.0];
+        let base = Autoscaler::default().run(&instance, &fractions, &trace);
+        let hardened = Autoscaler::new(AutoscalePolicy {
+            redundancy,
+            ..AutoscalePolicy::default()
+        })
+        .run(&instance, &fractions, &trace);
+        prop_assert!(hardened.total_cost >= base.total_cost - 1e-9);
+        prop_assert!(hardened.peak_fleet() >= base.peak_fleet());
+    }
+}

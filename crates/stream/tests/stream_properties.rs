@@ -1,0 +1,102 @@
+//! Property-based and scenario tests of the streaming simulator: conservation
+//! of items, in-order output, stability of cost-model-feasible allocations.
+
+use proptest::prelude::*;
+
+use rental_core::{Instance, Platform, Recipe, RecipeId, ThroughputSplit, TypeId};
+use rental_stream::{SimulationConfig, StreamSimulator};
+
+fn chain_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=3, 2usize..=3).prop_flat_map(|(num_types, num_recipes)| {
+        let platform = proptest::collection::vec((5u64..=20, 1u64..=20), num_types);
+        let recipes = proptest::collection::vec(
+            proptest::collection::vec(0usize..num_types, 1..=3),
+            num_recipes,
+        );
+        (platform, recipes).prop_map(|(pairs, type_lists)| {
+            let platform = Platform::from_pairs(&pairs).unwrap();
+            let recipes = type_lists
+                .into_iter()
+                .enumerate()
+                .map(|(j, types)| {
+                    let ids: Vec<TypeId> = types.into_iter().map(TypeId).collect();
+                    Recipe::chain(RecipeId(j), &ids).unwrap()
+                })
+                .collect();
+            Instance::new(recipes, platform).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn items_are_conserved_and_dispatch_matches_the_split(
+        instance in chain_instance(),
+        shares in proptest::collection::vec(0u64..15, 3),
+        ) {
+        let shares: Vec<u64> = shares.into_iter().take(instance.num_recipes()).collect();
+        prop_assume!(shares.len() == instance.num_recipes());
+        let target: u64 = shares.iter().sum();
+        let solution = instance.solution(target, ThroughputSplit::new(shares.clone())).unwrap();
+        let report = StreamSimulator::new(SimulationConfig::new(15.0, 5.0))
+            .simulate(&instance, &solution);
+        // Conservation: released <= injected; dispatch counts sum to injected.
+        prop_assert!(report.items_released <= report.items_injected);
+        prop_assert_eq!(report.per_recipe_items.iter().sum::<usize>(), report.items_injected);
+        // Recipes with zero share never receive items.
+        for (j, &share) in shares.iter().enumerate() {
+            if share == 0 {
+                prop_assert_eq!(report.per_recipe_items[j], 0);
+            }
+        }
+        // Utilisation is a fraction.
+        for &u in &report.utilisation {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn cost_model_feasible_allocations_are_stable(
+        instance in chain_instance(),
+        target in 1u64..30,
+    ) {
+        // Put the whole target on recipe 0 and rent exactly the machines the
+        // cost model says are needed; the simulation must sustain ~target.
+        let mut shares = vec![0u64; instance.num_recipes()];
+        shares[0] = target;
+        let solution = instance.solution(target, ThroughputSplit::new(shares)).unwrap();
+        let report = StreamSimulator::new(SimulationConfig::new(40.0, 15.0))
+            .simulate(&instance, &solution);
+        prop_assert!(
+            report.sustains(target, 0.85),
+            "sustained {} of {target}", report.sustained_throughput
+        );
+    }
+}
+
+#[test]
+fn deterministic_reruns_produce_identical_reports() {
+    let instance = rental_core::examples::illustrating_example();
+    let solution = instance
+        .solution(70, ThroughputSplit::new(vec![10, 30, 30]))
+        .unwrap();
+    let simulator = StreamSimulator::new(SimulationConfig::new(30.0, 10.0));
+    let a = simulator.simulate(&instance, &solution);
+    let b = simulator.simulate(&instance, &solution);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn longer_horizons_do_not_degrade_sustained_throughput() {
+    let instance = rental_core::examples::illustrating_example();
+    let solution = instance
+        .solution(70, ThroughputSplit::new(vec![10, 30, 30]))
+        .unwrap();
+    let short = StreamSimulator::new(SimulationConfig::new(30.0, 10.0)).simulate(&instance, &solution);
+    let long = StreamSimulator::new(SimulationConfig::new(120.0, 10.0)).simulate(&instance, &solution);
+    // Steady state: the long-run estimate is at least as close to the target.
+    assert!(long.sustained_throughput >= short.sustained_throughput - 1.0);
+    assert!(long.sustains(70, 0.97));
+}

@@ -1,0 +1,79 @@
+//! Elastic autoscaling (extension): follow a diurnal workload with the
+//! epoch-based controller, keeping the recipe mix of the MinCost solution,
+//! and measure the savings over static peak provisioning — with and without
+//! machine failures.
+//!
+//! ```text
+//! cargo run --release --example elastic_autoscaling
+//! ```
+
+use multi_recipe_cloud::prelude::*;
+use rental_core::examples::illustrating_example;
+use rental_stream::{Autoscaler, AutoscalePolicy, FailureModel, WorkloadTrace};
+
+fn main() {
+    // The recipe mix comes from the paper's optimal solution at the peak rate.
+    let instance = illustrating_example();
+    let peak_rate = 80u64;
+    let outcome = IlpSolver::new()
+        .solve(&instance, peak_rate)
+        .expect("ILP solves the example");
+    let fractions = Autoscaler::split_fractions(&outcome.solution);
+    println!(
+        "Recipe mix from the MinCost solution at rho = {peak_rate}: split {} -> fractions {:?}",
+        outcome.solution.split,
+        fractions
+            .iter()
+            .map(|f| format!("{f:.2}"))
+            .collect::<Vec<_>>()
+    );
+
+    // A week of diurnal load: 12 h at 20 items/t.u., 12 h at 80 items/t.u.
+    let trace = WorkloadTrace::diurnal(20.0, peak_rate as f64, 12.0, 7);
+    println!(
+        "Workload: {:.0} time units, mean rate {:.1}, peak rate {:.0}",
+        trace.duration(),
+        trace.mean_rate(),
+        trace.peak_rate()
+    );
+
+    // 1. Autoscaling without failures.
+    let controller = Autoscaler::new(AutoscalePolicy {
+        epoch: 1.0,
+        headroom: 1.0,
+        scale_down_patience: 2,
+        redundancy: 0,
+    });
+    let report = controller.run(&instance, &fractions, &trace);
+    println!(
+        "\nAutoscaling:   total cost {:>9.0}  (static peak provisioning: {:.0})",
+        report.total_cost, report.static_peak_cost
+    );
+    println!(
+        "               savings {:.1}%, fleet {:.1} machines on average (peak {})",
+        100.0 * report.savings_fraction(),
+        report.mean_fleet(),
+        report.peak_fleet()
+    );
+    assert_eq!(report.violations, 0);
+
+    // 2. The same trace with fragile machines: without redundancy some epochs
+    //    lose too much capacity; one spare machine per used type absorbs it.
+    let peak_allocation = outcome.solution.allocation.machine_counts().to_vec();
+    let failures = FailureModel::new(40.0, 2.0, 7).generate(&peak_allocation, trace.duration());
+    println!(
+        "\nInjecting {} outages (MTBF 40 t.u., repair 2 t.u.):",
+        failures.num_outages()
+    );
+    for (label, redundancy) in [("no redundancy", 0u64), ("N+1 redundancy", 1u64)] {
+        let hardened = Autoscaler::new(AutoscalePolicy {
+            redundancy,
+            ..controller.policy
+        })
+        .run_with_failures(&instance, &fractions, &trace, &failures);
+        println!(
+            "  {label:>15}: cost {:>9.0}, {:>3} epochs with insufficient surviving capacity",
+            hardened.total_cost, hardened.violations
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Closing the loop: generate a random instance, optimise the rental with the
+//! ILP, then *execute* the resulting allocation in the discrete-event
+//! streaming simulator and check that the prescribed throughput is actually
+//! sustained — including the output reorder buffer that §I of the paper
+//! assumes exists.
+//!
+//! The example also shows what happens when the allocation is under-sized:
+//! renting the machines chosen for a lower target and injecting the full
+//! stream makes the sustained throughput collapse to the bottleneck capacity.
+//!
+//! ```text
+//! cargo run --release --example validate_with_stream_sim
+//! ```
+
+use multi_recipe_cloud::prelude::*;
+
+fn main() {
+    // A random medium-sized instance, as generated for the paper's Figure 6.
+    let mut generator = InstanceGenerator::new(GeneratorConfig::medium_graphs(), 42);
+    let instance = generator.generate_instance();
+    println!(
+        "Random instance: {} recipes ({} tasks in total), {} machine types",
+        instance.num_recipes(),
+        instance.application().total_tasks(),
+        instance.num_types()
+    );
+
+    let target = 120u64;
+    let outcome = IlpSolver::new()
+        .solve(&instance, target)
+        .expect("the generated instance is solvable");
+    println!(
+        "ILP optimum for rho = {target}: cost {} with {} machines over {} active recipes",
+        outcome.cost(),
+        outcome.solution.allocation.total_machines(),
+        outcome.solution.split.active_recipes()
+    );
+
+    // Execute the allocation.
+    let simulator = StreamSimulator::new(SimulationConfig::new(20.0, 5.0));
+    let report = simulator.simulate(&instance, &outcome.solution);
+    println!(
+        "Simulated execution: injected {} items, released {} in order, \
+         sustained {:.1} items/t.u. (target {target})",
+        report.items_injected, report.items_released, report.sustained_throughput
+    );
+    println!(
+        "Peak reorder buffer occupancy: {} items; peak per-type queue: {:?}",
+        report.peak_reorder_occupancy, report.peak_queue
+    );
+    assert!(
+        report.sustains(target, 0.9),
+        "a cost-model-feasible allocation must sustain the target"
+    );
+
+    // Now deliberately under-provision: keep the machines sized for half the
+    // target but inject the full stream.
+    let undersized = instance
+        .solution(target / 2, outcome.solution.split.clone())
+        .map(|s| s.allocation)
+        .expect("resizing the allocation");
+    let half_machines = instance
+        .solution(
+            target / 2,
+            ThroughputSplit::new(
+                outcome
+                    .solution
+                    .split
+                    .shares()
+                    .iter()
+                    .map(|&s| s / 2)
+                    .collect(),
+            ),
+        )
+        .expect("half-sized solution");
+    drop(undersized);
+    let overloaded = Solution {
+        target,
+        split: outcome.solution.split.clone(),
+        allocation: half_machines.allocation,
+    };
+    let degraded = simulator.simulate(&instance, &overloaded);
+    println!(
+        "\nUnder-provisioned run (machines sized for rho = {}): sustained only {:.1} items/t.u.",
+        target / 2,
+        degraded.sustained_throughput
+    );
+    assert!(degraded.sustained_throughput < target as f64 * 0.95);
+    println!("The cost model and the executed stream agree: you get what you rent.");
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests for the extension heuristics (tabu search,
+//! greedy marginal-cost construction, LP rounding, simulated annealing):
+//! every member of the extended suite must produce feasible solutions that
+//! never beat the exact optimum, and the useful ones must land close to it on
+//! the paper's workload classes.
+
+use multi_recipe_cloud::prelude::*;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::registry::{extended_suite, extended_suite_names};
+
+fn generated_instance(seed: u64) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::small_graphs(), seed).generate_instance()
+}
+
+#[test]
+fn extended_suite_has_the_expected_lineup() {
+    let names = extended_suite_names(&SuiteConfig::default());
+    assert_eq!(
+        names,
+        vec!["ILP", "H1", "H2", "H31", "H32", "H32Jump", "SA", "Tabu", "Greedy", "LPRound"]
+    );
+}
+
+#[test]
+fn every_extension_is_feasible_and_never_beats_the_optimum() {
+    for seed in [1u64, 2, 3] {
+        let instance = generated_instance(seed);
+        for target in [40u64, 120, 200] {
+            let optimum = IlpSolver::with_time_limit(20.0)
+                .solve(&instance, target)
+                .expect("small instances are solvable")
+                .cost();
+            for solver in extended_suite(&SuiteConfig::with_seed(seed)) {
+                let outcome = solver
+                    .solve(&instance, target)
+                    .unwrap_or_else(|err| panic!("{} failed: {err}", solver.name()));
+                assert!(
+                    outcome.solution.split.covers(target),
+                    "{} under-covers at rho = {target}",
+                    solver.name()
+                );
+                assert!(
+                    outcome.cost() >= optimum,
+                    "{} reported {} below the optimum {optimum}",
+                    solver.name(),
+                    outcome.cost()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn local_search_extensions_stay_close_to_the_optimum_on_small_graphs() {
+    // The paper's heuristics stay within ~6 % of the ILP on the small-graphs
+    // class *on average*; the extensions that start from H1 and improve (SA,
+    // Tabu, LPRound) should achieve a comparable average quality, with no
+    // single sample collapsing far below the optimum.
+    let mut ratios: Vec<f64> = Vec::new();
+    for seed in [11u64, 12, 13, 14] {
+        let instance = generated_instance(seed);
+        for target in [60u64, 140] {
+            let optimum = IlpSolver::with_time_limit(20.0)
+                .solve(&instance, target)
+                .expect("small instances are solvable")
+                .cost() as f64;
+            if optimum == 0.0 {
+                continue;
+            }
+            for solver in [
+                Box::new(SimulatedAnnealingSolver::with_seed(seed)) as Box<dyn MinCostSolver>,
+                Box::new(TabuSearchSolver::default()),
+                Box::new(LpRoundingSolver::default()),
+            ] {
+                let cost = solver.solve(&instance, target).unwrap().cost() as f64;
+                ratios.push(optimum / cost);
+            }
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let worst = ratios.iter().copied().fold(1.0f64, f64::min);
+    assert!(
+        mean >= 0.90,
+        "extension heuristics average only {:.1}% of the optimum",
+        100.0 * mean
+    );
+    assert!(
+        worst >= 0.70,
+        "an extension heuristic fell to {:.1}% of the optimum",
+        100.0 * worst
+    );
+}
+
+#[test]
+fn lp_rounding_bound_certifies_heuristic_quality() {
+    // The LP relaxation objective reported by LPRound is a valid lower bound:
+    // ILP optimum and every heuristic cost sit above it.
+    let instance = generated_instance(21);
+    for target in [50u64, 150] {
+        let rounded = LpRoundingSolver::default().solve(&instance, target).unwrap();
+        let bound = rounded.lower_bound.expect("LP bound is always reported");
+        let optimum = IlpSolver::with_time_limit(20.0)
+            .solve(&instance, target)
+            .unwrap()
+            .cost() as f64;
+        assert!(bound <= optimum + 1e-6, "bound {bound} above optimum {optimum}");
+        assert!(rounded.cost() as f64 >= bound - 1e-6);
+        // The certificate is informative: the gap between the heuristic and
+        // its own bound stays moderate on this class.
+        assert!(rounded.cost() as f64 <= 1.5 * bound.max(1.0));
+    }
+}
+
+#[test]
+fn greedy_and_tabu_are_deterministic_across_runs() {
+    let instance = generated_instance(33);
+    for target in [70u64, 170] {
+        let g1 = GreedyMarginalSolver::default().solve(&instance, target).unwrap();
+        let g2 = GreedyMarginalSolver::default().solve(&instance, target).unwrap();
+        assert_eq!(g1.solution, g2.solution);
+        let t1 = TabuSearchSolver::default().solve(&instance, target).unwrap();
+        let t2 = TabuSearchSolver::default().solve(&instance, target).unwrap();
+        assert_eq!(t1.solution, t2.solution);
+    }
+}
+
+#[test]
+fn extensions_compose_with_the_provisioning_plan_and_stream_simulator() {
+    // The full downstream pipeline (plan + discrete-event validation) accepts
+    // solutions produced by the extension heuristics exactly like the paper's.
+    let instance = rental_core::examples::illustrating_example();
+    for solver in [
+        Box::new(TabuSearchSolver::default()) as Box<dyn MinCostSolver>,
+        Box::new(GreedyMarginalSolver::default()),
+        Box::new(LpRoundingSolver::default()),
+    ] {
+        let outcome = solver.solve(&instance, 70).unwrap();
+        let plan = ProvisioningPlan::build(&instance, &outcome.solution).unwrap();
+        assert_eq!(plan.hourly_cost, outcome.cost());
+        assert!(plan.total_machines() > 0);
+        let report = StreamSimulator::new(SimulationConfig::new(60.0, 20.0))
+            .simulate(&instance, &outcome.solution);
+        assert!(
+            report.sustains(70, 0.9),
+            "{} allocation does not sustain the target ({} items/t.u.)",
+            solver.name(),
+            report.sustained_throughput
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests for the extension substrates: billing a
+//! MinCost solution over a rental horizon (`rental-pricing`) and following a
+//! time-varying workload with the autoscaling controller
+//! (`rental-stream::autoscale`), including a discrete-event validation of the
+//! autoscaler's peak-epoch fleet.
+
+use multi_recipe_cloud::prelude::*;
+use rental_core::examples::illustrating_example;
+use rental_core::{Solution, ThroughputSplit};
+use rental_pricing::billing::Spot;
+use rental_pricing::horizon::break_even_hours;
+use rental_pricing::optimizer::BillingChoice;
+use rental_stream::{Autoscaler, AutoscalePolicy, FailureModel, WorkloadTrace};
+
+fn optimal_solution(target: u64) -> (Instance, Solution) {
+    let instance = illustrating_example();
+    let solution = IlpSolver::new()
+        .solve(&instance, target)
+        .expect("ILP solves the illustrating example")
+        .solution;
+    (instance, solution)
+}
+
+#[test]
+fn one_hour_on_demand_bill_equals_the_paper_cost() {
+    // The paper's objective is exactly the hourly on-demand bill.
+    for target in [70u64, 130, 200] {
+        let (instance, solution) = optimal_solution(target);
+        let plan = ProvisioningPlan::build(&instance, &solution).unwrap();
+        let bill = bill_plan(&plan, RentalHorizon::hours(1.0), &OnDemand::hourly());
+        assert!((bill.total - solution.cost() as f64).abs() < 1e-9, "rho = {target}");
+    }
+}
+
+#[test]
+fn billing_optimizer_savings_grow_with_the_horizon() {
+    let (instance, solution) = optimal_solution(100);
+    let plan = ProvisioningPlan::build(&instance, &solution).unwrap();
+    let options = BillingOptions::default();
+    let week = optimize_billing(&plan, RentalHorizon::weeks(1.0), &options);
+    let year = optimize_billing(&plan, RentalHorizon::hours(8760.0), &options);
+    assert!(week.savings_fraction() <= year.savings_fraction() + 1e-9);
+    // Over a year, reserved or spot capacity must be in play.
+    assert!(
+        year.count_of(BillingChoice::Reserved) + year.count_of(BillingChoice::Spot) > 0,
+        "a one-year horizon should not stay fully on-demand"
+    );
+}
+
+#[test]
+fn break_even_points_are_consistent_with_the_bills() {
+    let (instance, solution) = optimal_solution(70);
+    let plan = ProvisioningPlan::build(&instance, &solution).unwrap();
+    let reserved = Reserved::one_year(0.4);
+    let crossing = break_even_hours(
+        instance.platform().cost(rental_core::TypeId(0)),
+        &OnDemand::hourly(),
+        &reserved,
+    )
+    .unwrap();
+    let before = bill_plan(&plan, RentalHorizon::hours(crossing * 0.5), &OnDemand::hourly());
+    let before_reserved = bill_plan(&plan, RentalHorizon::hours(crossing * 0.5), &reserved);
+    assert!(before.total < before_reserved.total);
+    let after = bill_plan(&plan, RentalHorizon::hours(crossing * 2.0), &OnDemand::hourly());
+    let after_reserved = bill_plan(&plan, RentalHorizon::hours(crossing * 2.0), &reserved);
+    assert!(after.total > after_reserved.total);
+}
+
+#[test]
+fn spot_billing_is_cheaper_but_spot_only_fleets_are_capped_by_policy() {
+    let (instance, solution) = optimal_solution(150);
+    let plan = ProvisioningPlan::build(&instance, &solution).unwrap();
+    let horizon = RentalHorizon::days(30.0);
+    let all_spot = bill_plan(&plan, horizon, &Spot::typical());
+    let on_demand = bill_plan(&plan, horizon, &OnDemand::hourly());
+    assert!(all_spot.total < on_demand.total);
+
+    let capped = optimize_billing(
+        &plan,
+        horizon,
+        &BillingOptions {
+            max_spot_fraction: 0.5,
+            reserved: None,
+            ..BillingOptions::default()
+        },
+    );
+    assert!(capped.count_of(BillingChoice::Spot) <= plan.total_machines() / 2 + 1);
+    assert!(capped.total >= all_spot.total - 1e-9);
+    assert!(capped.total <= on_demand.total + 1e-9);
+}
+
+#[test]
+fn autoscaler_follows_a_diurnal_trace_and_saves_over_static_provisioning() {
+    let (instance, solution) = optimal_solution(80);
+    let fractions = Autoscaler::split_fractions(&solution);
+    let trace = WorkloadTrace::diurnal(20.0, 80.0, 12.0, 7);
+    let report = Autoscaler::default().run(&instance, &fractions, &trace);
+    assert_eq!(report.violations, 0);
+    assert!(report.savings() > 0.0);
+    assert!(report.total_cost < report.static_peak_cost);
+    assert_eq!(report.epochs.len(), trace.epoch_peaks(1.0).len());
+}
+
+#[test]
+fn autoscaler_peak_epoch_fleet_sustains_the_peak_rate_in_the_stream_simulator() {
+    // Closing the loop between the analytical controller and the
+    // discrete-event simulator: the fleet rented during a peak epoch must
+    // actually sustain the peak rate when executed.
+    let (instance, solution) = optimal_solution(80);
+    let fractions = Autoscaler::split_fractions(&solution);
+    let trace = WorkloadTrace::diurnal(20.0, 80.0, 12.0, 2);
+    let report = Autoscaler::default().run(&instance, &fractions, &trace);
+    let peak_epoch = report
+        .epochs
+        .iter()
+        .max_by(|a, b| a.demand_rate.partial_cmp(&b.demand_rate).unwrap())
+        .expect("trace has epochs");
+    assert_eq!(peak_epoch.demand_rate, 80.0);
+
+    // Rebuild a Solution from the epoch's fleet and run the simulator at the
+    // peak rate with the same split proportions.
+    let peak_split: Vec<u64> = fractions.iter().map(|f| (f * 80.0).round() as u64).collect();
+    let allocation =
+        rental_core::Allocation::from_counts(peak_epoch.machines.clone(), instance.platform())
+            .unwrap();
+    let peak_solution = Solution {
+        target: 80,
+        split: ThroughputSplit::new(peak_split),
+        allocation,
+    };
+    let sim = StreamSimulator::new(SimulationConfig::new(60.0, 20.0))
+        .simulate(&instance, &peak_solution);
+    assert!(
+        sim.sustains(80, 0.9),
+        "peak-epoch fleet sustains only {} items/t.u.",
+        sim.sustained_throughput
+    );
+}
+
+#[test]
+fn redundancy_trades_cost_for_fewer_failure_violations() {
+    let (instance, solution) = optimal_solution(70);
+    let fractions = Autoscaler::split_fractions(&solution);
+    let trace = WorkloadTrace::constant(70.0, 300.0);
+    let failures = FailureModel::new(8.0, 4.0, 5)
+        .generate(solution.allocation.machine_counts(), trace.duration());
+    let bare = Autoscaler::default().run_with_failures(&instance, &fractions, &trace, &failures);
+    let hardened = Autoscaler::new(AutoscalePolicy {
+        redundancy: 1,
+        ..AutoscalePolicy::default()
+    })
+    .run_with_failures(&instance, &fractions, &trace, &failures);
+    assert!(bare.violations > 0, "fragile machines should cause violations");
+    assert!(hardened.violations < bare.violations);
+    assert!(hardened.total_cost > bare.total_cost);
+}
+
+#[test]
+fn billing_the_autoscaled_fleet_never_exceeds_billing_the_static_fleet() {
+    // End-to-end composition: autoscale the fleet over a diurnal week, then
+    // charge every epoch at the on-demand rate; the result must not exceed
+    // the statically provisioned fleet billed over the same period.
+    let (instance, solution) = optimal_solution(80);
+    let fractions = Autoscaler::split_fractions(&solution);
+    let trace = WorkloadTrace::diurnal(20.0, 80.0, 12.0, 7);
+    let report = Autoscaler::default().run(&instance, &fractions, &trace);
+
+    let plan = ProvisioningPlan::build(&instance, &solution).unwrap();
+    let static_bill = bill_plan(
+        &plan,
+        RentalHorizon::hours(trace.duration()),
+        &OnDemand::hourly(),
+    );
+    assert!(report.total_cost <= static_bill.total + 1e-6);
+}

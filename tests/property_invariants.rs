@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) over the core invariants of the model and
+//! the solvers:
+//!
+//! * cost monotonicity in the target throughput,
+//! * exactness of the incremental evaluator against the closed form,
+//! * heuristics always feasible and never better than the ILP,
+//! * the ILP optimum is a lower bound of every explicit split,
+//! * the streaming reorder buffer releases items exactly once, in order.
+
+use proptest::prelude::*;
+
+use multi_recipe_cloud::prelude::*;
+use rental_core::cost::{shared_split_cost, IncrementalEvaluator};
+use rental_stream::ReorderBuffer;
+
+/// A strategy generating small but non-trivial instances: 2–4 recipes of 1–4
+/// tasks over 2–4 machine types with small throughputs/costs.
+fn small_instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..=4, 2usize..=4).prop_flat_map(|(num_types, num_recipes)| {
+        let platform_strategy = proptest::collection::vec((1u64..=12, 1u64..=30), num_types);
+        let recipes_strategy = proptest::collection::vec(
+            proptest::collection::vec(0usize..num_types, 1..=4),
+            num_recipes,
+        );
+        (platform_strategy, recipes_strategy).prop_map(|(machines, recipe_types)| {
+            let platform = Platform::from_pairs(&machines).expect("throughputs are >= 1");
+            let recipes = recipe_types
+                .into_iter()
+                .enumerate()
+                .map(|(j, types)| {
+                    let type_ids: Vec<TypeId> = types.into_iter().map(TypeId).collect();
+                    Recipe::chain(RecipeId(j), &type_ids).expect("chains are valid")
+                })
+                .collect();
+            Instance::new(recipes, platform).expect("types are in range")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_is_monotone_in_the_target(instance in small_instance_strategy(), target in 0u64..60) {
+        let h1_lo = BestGraphSolver.solve(&instance, target).unwrap().cost();
+        let h1_hi = BestGraphSolver.solve(&instance, target + 1).unwrap().cost();
+        prop_assert!(h1_hi >= h1_lo);
+        let ilp_lo = IlpSolver::new().solve(&instance, target).unwrap().cost();
+        let ilp_hi = IlpSolver::new().solve(&instance, target + 1).unwrap().cost();
+        prop_assert!(ilp_hi >= ilp_lo);
+    }
+
+    #[test]
+    fn ilp_is_a_lower_bound_of_every_explicit_split(
+        instance in small_instance_strategy(),
+        shares in proptest::collection::vec(0u64..30, 4),
+        ) {
+        let shares: Vec<u64> = shares.into_iter().take(instance.num_recipes()).collect();
+        prop_assume!(shares.len() == instance.num_recipes());
+        let target: u64 = shares.iter().sum();
+        let split_cost = instance.split_cost(&shares).unwrap();
+        let ilp = IlpSolver::new().solve(&instance, target).unwrap();
+        prop_assert!(ilp.cost() <= split_cost);
+    }
+
+    #[test]
+    fn heuristics_are_feasible_and_dominated_by_the_ilp(
+        instance in small_instance_strategy(),
+        target in 1u64..80,
+        seed in 0u64..1_000,
+    ) {
+        let ilp = IlpSolver::new().solve(&instance, target).unwrap();
+        let solvers: Vec<Box<dyn MinCostSolver>> = vec![
+            Box::new(RandomSplitSolver::with_seed(seed)),
+            Box::new(BestGraphSolver),
+            Box::new(RandomWalkSolver { iterations: 200, delta: None, seed }),
+            Box::new(StochasticDescentSolver { max_iterations: 200, patience: 50, delta: None, seed }),
+            Box::new(SteepestGradientSolver::default()),
+            Box::new(SteepestGradientJumpSolver { jumps: 3, jump_length: 2, seed, ..Default::default() }),
+        ];
+        for solver in &solvers {
+            let outcome = solver.solve(&instance, target).unwrap();
+            prop_assert!(outcome.solution.split.covers(target), "{} infeasible", solver.name());
+            prop_assert!(outcome.cost() >= ilp.cost(), "{} beat the ILP", solver.name());
+        }
+    }
+
+    #[test]
+    fn incremental_evaluator_matches_the_closed_form(
+        instance in small_instance_strategy(),
+        shares in proptest::collection::vec(0u64..25, 4),
+        moves in proptest::collection::vec((0usize..4, 0usize..4, 1u64..10), 0..8),
+    ) {
+        let shares: Vec<u64> = shares.into_iter().take(instance.num_recipes()).collect();
+        prop_assume!(shares.len() == instance.num_recipes());
+        let mut evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(shares),
+        ).unwrap();
+        for (from, to, delta) in moves {
+            let from = RecipeId(from % instance.num_recipes());
+            let to = RecipeId(to % instance.num_recipes());
+            evaluator.apply_transfer(from, to, delta).unwrap();
+            let reference = shared_split_cost(
+                instance.application().demand(),
+                instance.platform(),
+                evaluator.split().shares(),
+            ).unwrap();
+            prop_assert_eq!(evaluator.cost(), reference);
+        }
+    }
+
+    #[test]
+    fn dp_no_shared_is_optimal_on_disjoint_type_instances(
+        machines in proptest::collection::vec((1u64..=10, 1u64..=20), 4),
+        sizes in proptest::collection::vec(1usize..=2, 2),
+        target in 1u64..25,
+    ) {
+        // Build two recipes over disjoint halves of the platform types.
+        let platform = Platform::from_pairs(&machines).unwrap();
+        let mut recipes = Vec::new();
+        for (j, &size) in sizes.iter().enumerate() {
+            let base = j * 2;
+            let types: Vec<TypeId> = (0..size).map(|k| TypeId(base + (k % 2))).collect();
+            recipes.push(Recipe::chain(RecipeId(j), &types).unwrap());
+        }
+        let instance = Instance::new(recipes, platform).unwrap();
+        let dp = DpNoSharedSolver::new().solve(&instance, target).unwrap();
+        let ilp = IlpSolver::new().solve(&instance, target).unwrap();
+        prop_assert_eq!(dp.cost(), ilp.cost());
+    }
+
+    #[test]
+    fn reorder_buffer_releases_every_item_once_in_order(
+        permutation_seed in proptest::collection::vec(0u64..1_000_000, 2..40),
+    ) {
+        // Build a permutation of 0..n from the random keys.
+        let n = permutation_seed.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| permutation_seed[i]);
+        let mut buffer = ReorderBuffer::new();
+        let mut released = Vec::new();
+        for &item in &order {
+            released.extend(buffer.complete(item));
+        }
+        prop_assert_eq!(released, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(buffer.occupancy(), 0);
+        prop_assert!(buffer.peak_occupancy() <= n);
+    }
+
+    #[test]
+    fn solutions_scale_linearly_with_integer_multiples_of_machine_capacity(
+        instance in small_instance_strategy(),
+        factor in 1u64..4,
+    ) {
+        // Renting k times the machines supports k times the demand: the cost of
+        // target k*T is at most k times the cost of target T.
+        let base_target = 10u64;
+        let base = IlpSolver::new().solve(&instance, base_target).unwrap().cost();
+        let scaled = IlpSolver::new().solve(&instance, base_target * factor).unwrap().cost();
+        prop_assert!(scaled <= base * factor);
+    }
+}
