@@ -72,17 +72,21 @@ fn bench_autoscaler(c: &mut Criterion) {
     let mut group = c.benchmark_group("autoscale_trace_replay");
     for &days in &[1u32, 7, 30] {
         let trace = WorkloadTrace::diurnal(50.0, 150.0, 12.0, 2 * days as usize);
-        group.bench_with_input(BenchmarkId::new("diurnal_days", days), &trace, |b, trace| {
-            b.iter(|| {
-                Autoscaler::default()
-                    .run(
-                        std::hint::black_box(&instance),
-                        std::hint::black_box(&fractions),
-                        std::hint::black_box(trace),
-                    )
-                    .total_cost
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("diurnal_days", days),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    Autoscaler::default()
+                        .run(
+                            std::hint::black_box(&instance),
+                            std::hint::black_box(&fractions),
+                            std::hint::black_box(trace),
+                        )
+                        .total_cost
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -23,7 +23,10 @@ fn bench_stream(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("illustrating_example", 70), |b| {
         b.iter(|| {
             simulator
-                .simulate(std::hint::black_box(&table2), std::hint::black_box(&table2_solution))
+                .simulate(
+                    std::hint::black_box(&table2),
+                    std::hint::black_box(&table2_solution),
+                )
                 .items_released
         })
     });
@@ -36,7 +39,10 @@ fn bench_stream(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("medium_instance", 100), |b| {
         b.iter(|| {
             simulator
-                .simulate(std::hint::black_box(&medium), std::hint::black_box(&medium_solution))
+                .simulate(
+                    std::hint::black_box(&medium),
+                    std::hint::black_box(&medium_solution),
+                )
                 .items_released
         })
     });

@@ -37,6 +37,28 @@ pub fn huge_instance() -> Instance {
     fixture(GeneratorConfig::huge_graphs(), 0xBEEF)
 }
 
+/// A many-tenants serving fixture beyond the paper's classes: many
+/// alternative recipes (J = 32) over a wide platform (Q = 48), with the
+/// paper's "alternatives are small mutations of a common parent" structure
+/// (3 % mutation). This is the regime where the O(J²) candidate scans of the
+/// local-search heuristics dominate and where recipe pairs differ in only a
+/// few of the 48 types, so the sparse kernel pays off most. Used by the
+/// `kernel_speedup` benchmark.
+pub fn many_tenants_instance() -> Instance {
+    fixture(
+        GeneratorConfig {
+            num_recipes: 32,
+            tasks_per_recipe: 30..=60,
+            mutation_percent: 3,
+            num_types: 48,
+            throughput_range: 10..=100,
+            cost_range: 1..=100,
+            edge_probability: 0.15,
+        },
+        0xBEEF,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +70,8 @@ mod tests {
         assert_eq!(large_instance().num_types(), 8);
         assert_eq!(huge_instance().num_types(), 50);
         assert_eq!(huge_instance().num_recipes(), 10);
+        assert_eq!(many_tenants_instance().num_recipes(), 32);
+        assert_eq!(many_tenants_instance().num_types(), 48);
     }
 
     #[test]

@@ -260,7 +260,10 @@ mod tests {
         assert!(split.check_arity(3).is_ok());
         assert_eq!(
             split.check_arity(4).unwrap_err(),
-            ModelError::SplitArityMismatch { got: 3, expected: 4 }
+            ModelError::SplitArityMismatch {
+                got: 3,
+                expected: 4
+            }
         );
     }
 

@@ -2,6 +2,9 @@
 //! the same result, together with the pre-aggregated type demand matrix
 //! `n_jq` used by every solver.
 
+use std::sync::{Arc, OnceLock};
+
+use crate::cost::PairDiffTable;
 use crate::error::{ModelError, ModelResult};
 use crate::platform::Platform;
 use crate::recipe::Recipe;
@@ -11,13 +14,41 @@ use crate::types::{RecipeId, Throughput, TypeId};
 /// type `q` in recipe `j`.
 ///
 /// Every cost evaluation of the shared-type case reads this matrix, so it is
-/// computed once per instance and stored row-major.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// computed once per instance and stored row-major. The matrix also owns the
+/// lazily built, instance-wide [`PairDiffTable`] of the search kernel, so the
+/// `O(J²·Q)` table construction is paid once per instance — not once per
+/// solve — across restarts, jumps and whole solver portfolios.
+#[derive(Debug)]
 pub struct TypeDemandMatrix {
     num_recipes: usize,
     num_types: usize,
     counts: Vec<u64>,
+    diffs: OnceLock<Arc<PairDiffTable>>,
 }
+
+impl Clone for TypeDemandMatrix {
+    fn clone(&self) -> Self {
+        TypeDemandMatrix {
+            num_recipes: self.num_recipes,
+            num_types: self.num_types,
+            counts: self.counts.clone(),
+            // The cached table is shared, not rebuilt: it depends only on the
+            // counts, which are immutable.
+            diffs: self.diffs.clone(),
+        }
+    }
+}
+
+impl PartialEq for TypeDemandMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // The diff cache is derived state; equality is defined by the counts.
+        self.num_recipes == other.num_recipes
+            && self.num_types == other.num_types
+            && self.counts == other.counts
+    }
+}
+
+impl Eq for TypeDemandMatrix {}
 
 impl TypeDemandMatrix {
     /// Builds the matrix from a list of recipes and the number of platform types.
@@ -30,7 +61,17 @@ impl TypeDemandMatrix {
             num_recipes: recipes.len(),
             num_types,
             counts,
+            diffs: OnceLock::new(),
         }
+    }
+
+    /// The search kernel's sparse pair-diff table for this matrix, built on
+    /// first use and shared by every evaluator afterwards.
+    pub fn pair_diffs(&self) -> Arc<PairDiffTable> {
+        Arc::clone(
+            self.diffs
+                .get_or_init(|| Arc::new(PairDiffTable::new(self))),
+        )
     }
 
     /// Number of recipes `J`.
@@ -79,6 +120,13 @@ impl TypeDemandMatrix {
             }
         }
         Some(demand)
+    }
+
+    /// Largest entry of the matrix: `max_jq n_jq`. Used by the incremental
+    /// evaluator's one-time overflow bound proof (any reachable per-type
+    /// demand is at most `max_count · Σ_j ρ_j`).
+    pub fn max_count(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
     }
 
     /// True if two distinct recipes use at least one common task type.

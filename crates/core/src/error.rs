@@ -59,6 +59,16 @@ pub enum ModelError {
     /// An arithmetic overflow occurred while evaluating a cost. Costs are
     /// exact u64 integers; overflow indicates an absurdly large instance.
     CostOverflow,
+    /// A transfer would drive the aggregated demand of a machine type below
+    /// zero. Demands of reachable splits are non-negative by construction, so
+    /// this indicates an internal inconsistency (e.g. an evaluator driven
+    /// with a split it was never positioned on) — distinct from
+    /// [`ModelError::CostOverflow`], which indicates an absurdly large
+    /// instance.
+    DemandUnderflow {
+        /// The machine type whose demand would become negative.
+        type_id: TypeId,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -96,6 +106,10 @@ impl fmt::Display for ModelError {
                 "throughput split has {got} entries but the application has {expected} recipes"
             ),
             ModelError::CostOverflow => write!(f, "cost evaluation overflowed u64"),
+            ModelError::DemandUnderflow { type_id } => write!(
+                f,
+                "transfer would drive the demand of machine type {type_id} below zero (internal inconsistency)"
+            ),
         }
     }
 }
@@ -129,8 +143,19 @@ mod tests {
         assert_eq!(ModelError::NoRecipes, ModelError::NoRecipes);
         assert_ne!(
             ModelError::NoRecipes,
-            ModelError::EmptyRecipe { recipe: RecipeId(0) }
+            ModelError::EmptyRecipe {
+                recipe: RecipeId(0)
+            }
         );
+    }
+
+    #[test]
+    fn demand_underflow_is_distinct_from_overflow() {
+        let underflow = ModelError::DemandUnderflow { type_id: TypeId(2) };
+        assert_ne!(underflow, ModelError::CostOverflow);
+        let text = underflow.to_string();
+        assert!(text.contains("t3"));
+        assert!(text.contains("below zero"));
     }
 
     #[test]

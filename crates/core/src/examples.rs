@@ -67,11 +67,8 @@ pub fn figure1_example() -> Instance {
     .expect("phi1 of figure 1 is a DAG");
 
     // ϕ²: 1 → 3 → 3 → 3 (four tasks, chain).
-    let phi2 = Recipe::chain(
-        RecipeId(1),
-        &[TypeId(0), TypeId(2), TypeId(2), TypeId(2)],
-    )
-    .expect("phi2 of figure 1 is a chain");
+    let phi2 = Recipe::chain(RecipeId(1), &[TypeId(0), TypeId(2), TypeId(2), TypeId(2)])
+        .expect("phi2 of figure 1 is a chain");
 
     // ϕ³: four tasks of type 1 feeding three tasks of type 4.
     let phi3 = Recipe::new(

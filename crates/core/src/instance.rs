@@ -3,8 +3,8 @@
 //! Solvers consume an [`Instance`] plus a target throughput `ρ` and produce a
 //! [`Solution`](crate::allocation::Solution).
 
-use crate::application::GlobalApplication;
 use crate::allocation::{Solution, ThroughputSplit};
+use crate::application::GlobalApplication;
 use crate::cost::{shared_split_cost, solution_for_split};
 use crate::error::ModelResult;
 use crate::platform::Platform;
@@ -132,10 +132,8 @@ mod tests {
     #[test]
     fn from_parts_round_trips() {
         let instance = illustrating_example();
-        let rebuilt = Instance::from_parts(
-            instance.application().clone(),
-            instance.platform().clone(),
-        );
+        let rebuilt =
+            Instance::from_parts(instance.application().clone(), instance.platform().clone());
         assert_eq!(rebuilt, instance);
     }
 }

@@ -17,11 +17,12 @@
 //!   total cost `Σ_q x_q c_q` is minimal.
 //!
 //! This crate provides the data model ([`Recipe`], [`Platform`],
-//! [`GlobalApplication`], [`Instance`]), the exact cost algebra of §IV
-//! ([`cost`]), the solution representation ([`ThroughputSplit`],
-//! [`Allocation`], [`Solution`]) and the instances used in the paper's
-//! illustrating examples ([`examples`]). The optimization algorithms live in
-//! the `rental-solvers` crate.
+//! [`GlobalApplication`], [`Instance`]), the exact cost algebra of §IV and
+//! the sparse delta-evaluation search kernel ([`cost`]), the parallel
+//! steepest-descent candidate scan ([`search`]), the solution representation
+//! ([`ThroughputSplit`], [`Allocation`], [`Solution`]) and the instances used
+//! in the paper's illustrating examples ([`examples`]). The optimization
+//! algorithms live in the `rental-solvers` crate.
 //!
 //! ## Quick example
 //!
@@ -45,13 +46,14 @@ pub mod instance;
 pub mod plan;
 pub mod platform;
 pub mod recipe;
+pub mod search;
 pub mod types;
 
 pub use allocation::{Allocation, Solution, ThroughputSplit};
-pub use plan::ProvisioningPlan;
 pub use application::{GlobalApplication, TypeDemandMatrix};
 pub use error::{ModelError, ModelResult};
 pub use instance::Instance;
+pub use plan::ProvisioningPlan;
 pub use platform::{MachineType, Platform};
 pub use recipe::{Edge, Recipe, Task};
 pub use types::{Cost, RecipeId, TaskId, Throughput, TypeId};

@@ -99,7 +99,7 @@ impl ProvisioningPlan {
 
         let mut machines = Vec::new();
         let mut per_type = Vec::with_capacity(platform.num_types());
-        for q in 0..platform.num_types() {
+        for (q, &demand_q) in demand.iter().enumerate() {
             let type_id = TypeId(q);
             let count = solution.allocation.machines(type_id);
             let capacity_each = platform.throughput(type_id);
@@ -107,7 +107,7 @@ impl ProvisioningPlan {
             let load_each = if count == 0 {
                 0.0
             } else {
-                demand[q] as f64 / count as f64
+                demand_q as f64 / count as f64
             };
             for _ in 0..count {
                 machines.push(PlannedMachine {
@@ -145,7 +145,10 @@ impl ProvisioningPlan {
         if self.machines.is_empty() {
             return 0.0;
         }
-        self.machines.iter().map(PlannedMachine::utilisation).sum::<f64>()
+        self.machines
+            .iter()
+            .map(PlannedMachine::utilisation)
+            .sum::<f64>()
             / self.machines.len() as f64
     }
 
@@ -275,9 +278,7 @@ mod tests {
     #[test]
     fn empty_solution_yields_an_empty_plan() {
         let instance = illustrating_example();
-        let solution = instance
-            .solution(0, ThroughputSplit::zeros(3))
-            .unwrap();
+        let solution = instance.solution(0, ThroughputSplit::zeros(3)).unwrap();
         let plan = ProvisioningPlan::build(&instance, &solution).unwrap();
         assert_eq!(plan.total_machines(), 0);
         assert_eq!(plan.hourly_cost, 0);

@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_platform() {
-        assert_eq!(Platform::new(vec![]).unwrap_err(), ModelError::EmptyPlatform);
+        assert_eq!(
+            Platform::new(vec![]).unwrap_err(),
+            ModelError::EmptyPlatform
+        );
     }
 
     #[test]

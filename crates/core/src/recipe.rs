@@ -294,7 +294,12 @@ mod tests {
     #[test]
     fn empty_recipe_is_rejected() {
         let err = Recipe::new(RecipeId(3), vec![], vec![]).unwrap_err();
-        assert_eq!(err, ModelError::EmptyRecipe { recipe: RecipeId(3) });
+        assert_eq!(
+            err,
+            ModelError::EmptyRecipe {
+                recipe: RecipeId(3)
+            }
+        );
     }
 
     #[test]
@@ -316,7 +321,12 @@ mod tests {
             vec![Edge { from: 0, to: 1 }, Edge { from: 1, to: 0 }],
         )
         .unwrap_err();
-        assert_eq!(err, ModelError::CyclicRecipe { recipe: RecipeId(1) });
+        assert_eq!(
+            err,
+            ModelError::CyclicRecipe {
+                recipe: RecipeId(1)
+            }
+        );
     }
 
     #[test]
@@ -327,7 +337,12 @@ mod tests {
             vec![Edge { from: 0, to: 0 }],
         )
         .unwrap_err();
-        assert_eq!(err, ModelError::CyclicRecipe { recipe: RecipeId(0) });
+        assert_eq!(
+            err,
+            ModelError::CyclicRecipe {
+                recipe: RecipeId(0)
+            }
+        );
     }
 
     #[test]
@@ -363,10 +378,7 @@ mod tests {
         assert_eq!(recipe.type_counts(4), vec![1, 2, 1, 0]);
         assert_eq!(recipe.count_of_type(TypeId(1)), 2);
         assert_eq!(recipe.count_of_type(TypeId(3)), 0);
-        assert_eq!(
-            recipe.used_types(),
-            vec![TypeId(0), TypeId(1), TypeId(2)]
-        );
+        assert_eq!(recipe.used_types(), vec![TypeId(0), TypeId(1), TypeId(2)]);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Steepest-descent candidate scans over the sparse kernel.
+//!
+//! H32-style searches ("evaluate **all** ordered `δ`-transfers, apply the
+//! best") and tabu search share the same inner loop: for every ordered recipe
+//! pair, cost the candidate transfer with
+//! [`IncrementalEvaluator::cost_after_transfer`] and keep the admissible
+//! candidate with the lowest cost. [`best_transfer`] centralises that loop
+//! and, for large recipe counts, fans the per-`from` row scans out across
+//! worker threads — each row only reads the evaluator, which is `Sync`.
+//!
+//! Determinism: ties are broken towards the lexicographically smallest
+//! `(from, to)` pair, in both the sequential and the parallel path, so a
+//! parallel scan returns bit-identical moves to the sequential double loop
+//! (and therefore identical final solutions for fixed seeds).
+
+use crate::cost::IncrementalEvaluator;
+use crate::error::ModelResult;
+use crate::types::{Cost, RecipeId, Throughput};
+
+/// Recipe count from which [`best_transfer`] scans rows in parallel.
+///
+/// A scan costs `O(J² · |diff|)`; below this threshold the work is cheaper
+/// than fanning it out (worker threads are spawned per scan), above it the
+/// quadratic candidate count dominates. At the threshold a scan examines
+/// ~4k pairs.
+pub const PARALLEL_SCAN_MIN_RECIPES: usize = 64;
+
+/// The best admissible `δ`-transfer, over all ordered recipe pairs.
+///
+/// A candidate `(from, to)` is considered when `from` currently carries
+/// throughput, the clamped move is non-empty, and
+/// `admissible(from, to, candidate_cost)` returns true; among those the
+/// lowest-cost candidate is returned (ties towards the smallest pair).
+/// Returns `Ok(None)` when no candidate is admissible — e.g. at a local
+/// minimum when `admissible` demands strict improvement.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (overflow on absurd instances).
+pub fn best_transfer<F>(
+    evaluator: &IncrementalEvaluator<'_>,
+    delta: Throughput,
+    admissible: &F,
+) -> ModelResult<Option<(RecipeId, RecipeId, Cost)>>
+where
+    F: Fn(RecipeId, RecipeId, Cost) -> bool + Sync,
+{
+    let num_recipes = evaluator.split().len();
+    let rows: Vec<ModelResult<Option<(RecipeId, Cost)>>> =
+        if num_recipes >= PARALLEL_SCAN_MIN_RECIPES {
+            rayon::parallel_map_indexed(num_recipes, None, |from| {
+                scan_row(evaluator, RecipeId(from), delta, admissible)
+            })
+        } else {
+            (0..num_recipes)
+                .map(|from| scan_row(evaluator, RecipeId(from), delta, admissible))
+                .collect()
+        };
+    let mut best: Option<(RecipeId, RecipeId, Cost)> = None;
+    for (from, row) in rows.into_iter().enumerate() {
+        if let Some((to, cost)) = row? {
+            if best.is_none_or(|(_, _, best_cost)| cost < best_cost) {
+                best = Some((RecipeId(from), to, cost));
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Scans all transfers out of `from`, returning the best admissible
+/// destination (ties towards the smallest `to`).
+fn scan_row<F>(
+    evaluator: &IncrementalEvaluator<'_>,
+    from: RecipeId,
+    delta: Throughput,
+    admissible: &F,
+) -> ModelResult<Option<(RecipeId, Cost)>>
+where
+    F: Fn(RecipeId, RecipeId, Cost) -> bool + Sync,
+{
+    if evaluator.split().share(from) == 0 {
+        return Ok(None);
+    }
+    let mut best: Option<(RecipeId, Cost)> = None;
+    for to in 0..evaluator.split().len() {
+        let to = RecipeId(to);
+        if to == from {
+            continue;
+        }
+        let (moved, cost) = evaluator.cost_after_transfer(from, to, delta)?;
+        if moved == 0 || !admissible(from, to, cost) {
+            continue;
+        }
+        if best.is_none_or(|(_, best_cost)| cost < best_cost) {
+            best = Some((to, cost));
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::ThroughputSplit;
+    use crate::examples::illustrating_example;
+
+    #[test]
+    fn best_transfer_matches_a_naive_double_loop() {
+        let instance = illustrating_example();
+        let evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(vec![70, 0, 0]),
+        )
+        .unwrap();
+        let current = evaluator.cost();
+        // delta = 30 admits improving moves from (70, 0, 0), e.g. moving 30
+        // onto recipe 2 reaches (40, 30, 0) at cost 127 < 138.
+        let found = best_transfer(&evaluator, 30, &|_, _, cost| cost < current)
+            .unwrap()
+            .expect("an improving 30-transfer exists from the all-on-one split");
+
+        let mut naive: Option<(RecipeId, RecipeId, u64)> = None;
+        for from in 0..3 {
+            let from = RecipeId(from);
+            if evaluator.split().share(from) == 0 {
+                continue;
+            }
+            for to in 0..3 {
+                let to = RecipeId(to);
+                if to == from {
+                    continue;
+                }
+                let (moved, cost) = evaluator.cost_after_transfer(from, to, 30).unwrap();
+                if moved == 0 || cost >= current {
+                    continue;
+                }
+                if naive.is_none_or(|(_, _, best)| cost < best) {
+                    naive = Some((from, to, cost));
+                }
+            }
+        }
+        assert_eq!(Some(found), naive);
+    }
+
+    #[test]
+    fn local_minima_yield_no_move() {
+        let instance = illustrating_example();
+        // (10, 30, 30) is the ILP optimum for rho = 70 (Table III), so no
+        // single 10-transfer can improve it.
+        let evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(vec![10, 30, 30]),
+        )
+        .unwrap();
+        let current = evaluator.cost();
+        assert_eq!(
+            best_transfer(&evaluator, 10, &|_, _, cost| cost < current).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn admissibility_filter_is_respected() {
+        let instance = illustrating_example();
+        let evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(vec![70, 0, 0]),
+        )
+        .unwrap();
+        // Forbid every pair: no move may be returned even though improving
+        // transfers exist.
+        assert_eq!(
+            best_transfer(&evaluator, 10, &|_, _, _| false).unwrap(),
+            None
+        );
+        // Allow only moves into recipe 3 (index 2).
+        let restricted = best_transfer(&evaluator, 10, &|_, to, _| to == RecipeId(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(restricted.1, RecipeId(2));
+    }
+}

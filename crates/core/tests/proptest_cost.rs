@@ -16,10 +16,8 @@ fn arbitrary_platform(num_types: usize) -> impl Strategy<Value = Platform> {
 fn arbitrary_instance() -> impl Strategy<Value = Instance> {
     (2usize..=5).prop_flat_map(|num_types| {
         let platform = arbitrary_platform(num_types);
-        let recipes = proptest::collection::vec(
-            proptest::collection::vec(0usize..num_types, 1..=5),
-            1..=4,
-        );
+        let recipes =
+            proptest::collection::vec(proptest::collection::vec(0usize..num_types, 1..=5), 1..=4);
         (platform, recipes).prop_map(|(platform, type_lists)| {
             let recipes = type_lists
                 .into_iter()

@@ -1,0 +1,188 @@
+//! Property-based equivalence tests for the sparse delta-evaluation search
+//! kernel: after *arbitrary* sequences of transfers, undos, increments and
+//! resets, the evaluator's cached cost must equal a from-scratch
+//! `shared_split_cost` recomputation, and the sparse candidate evaluation
+//! must agree with the dense reference.
+
+use proptest::prelude::*;
+
+use rental_core::cost::{shared_split_cost, IncrementalEvaluator};
+use rental_core::search::best_transfer;
+use rental_core::{Instance, Platform, Recipe, RecipeId, ThroughputSplit, TypeId};
+
+/// Small but non-degenerate instances: 2–5 recipes of 1–6 tasks over 2–5
+/// types, with some recipes sharing types (the general §V-C case).
+fn arbitrary_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=5, 2usize..=5).prop_flat_map(|(num_types, num_recipes)| {
+        let platform = proptest::collection::vec((1u64..=40, 1u64..=60), num_types)
+            .prop_map(|pairs| Platform::from_pairs(&pairs).expect("throughputs >= 1"));
+        let recipes = proptest::collection::vec(
+            proptest::collection::vec(0usize..num_types, 1..=6),
+            num_recipes,
+        );
+        (platform, recipes).prop_map(|(platform, type_lists)| {
+            let recipes = type_lists
+                .into_iter()
+                .enumerate()
+                .map(|(j, types)| {
+                    let ids: Vec<TypeId> = types.into_iter().map(TypeId).collect();
+                    Recipe::independent_tasks(RecipeId(j), &ids).unwrap()
+                })
+                .collect();
+            Instance::new(recipes, platform).unwrap()
+        })
+    })
+}
+
+/// One scripted move: (from, to, delta, undo-after-applying?).
+type WalkMove = (usize, usize, u64, bool);
+
+/// A scripted walk: initial shares plus a sequence of moves, reindexed modulo
+/// the instance dimensions at replay time.
+fn arbitrary_walk() -> impl Strategy<Value = (Instance, Vec<u64>, Vec<WalkMove>)> {
+    (
+        arbitrary_instance(),
+        proptest::collection::vec(0u64..60, 5),
+        proptest::collection::vec((0usize..5, 0usize..5, 0u64..40, any::<bool>()), 0..24),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn kernel_cost_tracks_from_scratch_recomputation_through_walks(
+        (instance, raw_shares, moves) in arbitrary_walk(),
+    ) {
+        let demand = instance.application().demand();
+        let platform = instance.platform();
+        let shares: Vec<u64> = (0..instance.num_recipes())
+            .map(|j| raw_shares[j % raw_shares.len()])
+            .collect();
+        let mut evaluator = IncrementalEvaluator::new(
+            demand,
+            platform,
+            ThroughputSplit::new(shares),
+        ).unwrap();
+        for (from, to, delta, undo) in moves {
+            let from = RecipeId(from % instance.num_recipes());
+            let to = RecipeId(to % instance.num_recipes());
+            // Sparse candidate evaluation agrees with the dense reference…
+            let sparse = evaluator.cost_after_transfer(from, to, delta).unwrap();
+            let dense = evaluator.cost_after_transfer_dense(from, to, delta).unwrap();
+            prop_assert_eq!(sparse, dense);
+            // …and with a from-scratch evaluation of the candidate split.
+            let mut candidate = evaluator.split().clone();
+            candidate.transfer(from, to, delta);
+            prop_assert_eq!(
+                sparse.1,
+                shared_split_cost(demand, platform, candidate.shares()).unwrap()
+            );
+            // Apply, then — depending on the script — roll back.
+            let before_cost = evaluator.cost();
+            let before_split = evaluator.split().clone();
+            let token = evaluator.apply_transfer_undoable(from, to, delta).unwrap();
+            prop_assert_eq!(token.previous_cost(), before_cost);
+            prop_assert_eq!(evaluator.cost(), sparse.1);
+            if undo {
+                evaluator.undo_transfer(token).unwrap();
+                prop_assert_eq!(evaluator.cost(), before_cost);
+                prop_assert_eq!(evaluator.split(), &before_split);
+            }
+            // The cached state always matches a full recomputation.
+            prop_assert_eq!(
+                evaluator.cost(),
+                shared_split_cost(demand, platform, evaluator.split().shares()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn increments_track_from_scratch_recomputation(
+        instance in arbitrary_instance(),
+        increments in proptest::collection::vec((0usize..5, 1u64..30), 1..16),
+    ) {
+        let demand = instance.application().demand();
+        let platform = instance.platform();
+        let capacity: u64 = increments.iter().map(|&(_, delta)| delta).sum();
+        let mut evaluator = IncrementalEvaluator::with_capacity(
+            demand,
+            platform,
+            ThroughputSplit::zeros(instance.num_recipes()),
+            capacity,
+        ).unwrap();
+        for (recipe, delta) in increments {
+            let recipe = RecipeId(recipe % instance.num_recipes());
+            let peeked = evaluator.cost_after_increment(recipe, delta).unwrap();
+            evaluator.apply_increment(recipe, delta).unwrap();
+            prop_assert_eq!(evaluator.cost(), peeked);
+            prop_assert_eq!(
+                evaluator.cost(),
+                shared_split_cost(demand, platform, evaluator.split().shares()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_exact_state(
+        instance in arbitrary_instance(),
+        shares_a in proptest::collection::vec(0u64..50, 5),
+        shares_b in proptest::collection::vec(0u64..90, 5),
+    ) {
+        let demand = instance.application().demand();
+        let platform = instance.platform();
+        let truncate = |shares: &[u64]| -> Vec<u64> {
+            (0..instance.num_recipes()).map(|j| shares[j % shares.len()]).collect()
+        };
+        let mut evaluator = IncrementalEvaluator::new(
+            demand,
+            platform,
+            ThroughputSplit::new(truncate(&shares_a)),
+        ).unwrap();
+        evaluator.reset(ThroughputSplit::new(truncate(&shares_b))).unwrap();
+        prop_assert_eq!(
+            evaluator.cost(),
+            shared_split_cost(demand, platform, evaluator.split().shares()).unwrap()
+        );
+    }
+
+    #[test]
+    fn scan_result_is_a_true_minimum(
+        instance in arbitrary_instance(),
+        raw_shares in proptest::collection::vec(1u64..40, 5),
+        delta in 1u64..20,
+    ) {
+        let demand = instance.application().demand();
+        let platform = instance.platform();
+        let shares: Vec<u64> = (0..instance.num_recipes())
+            .map(|j| raw_shares[j % raw_shares.len()])
+            .collect();
+        let evaluator = IncrementalEvaluator::new(
+            demand,
+            platform,
+            ThroughputSplit::new(shares),
+        ).unwrap();
+        let current = evaluator.cost();
+        let found = best_transfer(&evaluator, delta, &|_, _, cost| cost < current).unwrap();
+        if let Some((from, to, cost)) = found {
+            prop_assert!(cost < current);
+            let (_, expected) = evaluator.cost_after_transfer(from, to, delta).unwrap();
+            prop_assert_eq!(cost, expected);
+        }
+        // Whatever the scan returned, no candidate beats it.
+        let floor = found.map(|(_, _, cost)| cost).unwrap_or(current);
+        for from in 0..instance.num_recipes() {
+            for to in 0..instance.num_recipes() {
+                if from == to {
+                    continue;
+                }
+                let (moved, cost) = evaluator
+                    .cost_after_transfer(RecipeId(from), RecipeId(to), delta)
+                    .unwrap();
+                if moved > 0 && cost < current {
+                    prop_assert!(cost >= floor);
+                }
+            }
+        }
+    }
+}

@@ -243,7 +243,8 @@ fn run_sweep(
 /// GCD default, labelled "gcd").
 pub fn delta_sweep(spec: &AblationSpec, deltas: &[u64]) -> AblationResults {
     let instances = spec.generate_instances(&spec.generator);
-    let mut parameter_sets: Vec<(String, Vec<Instance>)> = vec![("gcd".to_string(), instances.clone())];
+    let mut parameter_sets: Vec<(String, Vec<Instance>)> =
+        vec![("gcd".to_string(), instances.clone())];
     for &delta in deltas {
         parameter_sets.push((format!("delta={delta}"), instances.clone()));
     }
@@ -331,7 +332,10 @@ pub fn mutation_sweep(spec: &AblationSpec, percents: &[u8]) -> AblationResults {
     for &percent in percents {
         let mut generator = spec.generator.clone();
         generator.mutation_percent = percent;
-        parameter_sets.push((format!("mutation={percent}%"), spec.generate_instances(&generator)));
+        parameter_sets.push((
+            format!("mutation={percent}%"),
+            spec.generate_instances(&generator),
+        ));
     }
     let seed = spec.seed;
     run_sweep(
@@ -406,7 +410,10 @@ mod tests {
             let rows = results.rows_for(percent);
             let h1 = rows.iter().find(|r| r.solver == "H1").unwrap();
             let jump = rows.iter().find(|r| r.solver == "H32Jump").unwrap();
-            assert!(jump.mean_normalised >= h1.mean_normalised - 1e-9, "{percent}");
+            assert!(
+                jump.mean_normalised >= h1.mean_normalised - 1e-9,
+                "{percent}"
+            );
         }
     }
 

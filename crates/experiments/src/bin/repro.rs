@@ -77,8 +77,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--ilp-time-limit" => {
                 let value = iter.next().ok_or("--ilp-time-limit needs a value")?;
-                options.ilp_time_limit =
-                    value.parse().map_err(|_| "invalid --ilp-time-limit value")?;
+                options.ilp_time_limit = value
+                    .parse()
+                    .map_err(|_| "invalid --ilp-time-limit value")?;
             }
             "--threads" => {
                 let value = iter.next().ok_or("--threads needs a value")?;
@@ -183,7 +184,10 @@ fn emit_summary(options: &Options, results: &ExperimentResults) {
             100.0 * (1.0 - normalised)
         ));
     }
-    println!("## Summary (paper §VIII-F) — {} configurations", results.num_configs);
+    println!(
+        "## Summary (paper §VIII-F) — {} configurations",
+        results.num_configs
+    );
     print!("{lines}");
     persist(options, "summary.txt", &lines);
     let h1 = results.mean_normalised("H1").unwrap_or(0.0);
@@ -237,27 +241,57 @@ fn main() -> ExitCode {
         "table3" => emit_table3(&options),
         "fig3" => {
             let results = run_preset(&options, "small");
-            emit_figure(&options, &results, Metric::NormalisedCost, "Figure 3 — normalised cost, small graphs");
+            emit_figure(
+                &options,
+                &results,
+                Metric::NormalisedCost,
+                "Figure 3 — normalised cost, small graphs",
+            );
         }
         "fig4" => {
             let results = run_preset(&options, "small");
-            emit_figure(&options, &results, Metric::WinCount, "Figure 4 — win counts, small graphs");
+            emit_figure(
+                &options,
+                &results,
+                Metric::WinCount,
+                "Figure 4 — win counts, small graphs",
+            );
         }
         "fig5" => {
             let results = run_preset(&options, "small");
-            emit_figure(&options, &results, Metric::TimeSeconds, "Figure 5 — computation time, small graphs");
+            emit_figure(
+                &options,
+                &results,
+                Metric::TimeSeconds,
+                "Figure 5 — computation time, small graphs",
+            );
         }
         "fig6" => {
             let results = run_preset(&options, "medium");
-            emit_figure(&options, &results, Metric::NormalisedCost, "Figure 6 — normalised cost, medium graphs");
+            emit_figure(
+                &options,
+                &results,
+                Metric::NormalisedCost,
+                "Figure 6 — normalised cost, medium graphs",
+            );
         }
         "fig7" => {
             let results = run_preset(&options, "large");
-            emit_figure(&options, &results, Metric::NormalisedCost, "Figure 7 — normalised cost, large graphs");
+            emit_figure(
+                &options,
+                &results,
+                Metric::NormalisedCost,
+                "Figure 7 — normalised cost, large graphs",
+            );
         }
         "fig8" => {
             let results = run_preset(&options, "huge");
-            emit_figure(&options, &results, Metric::TimeSeconds, "Figure 8 — computation time, huge graphs");
+            emit_figure(
+                &options,
+                &results,
+                Metric::TimeSeconds,
+                "Figure 8 — computation time, huge graphs",
+            );
         }
         "summary" => {
             let results = run_preset(&options, "small");
@@ -265,28 +299,70 @@ fn main() -> ExitCode {
         }
         "ablation-delta" => {
             let results = delta_sweep(&ablation_spec(&options), &[1, 5, 10, 20]);
-            emit_ablation(&options, &results, "Ablation — δ step of the local-search heuristics");
+            emit_ablation(
+                &options,
+                &results,
+                "Ablation — δ step of the local-search heuristics",
+            );
         }
         "ablation-escape" => {
             let results = escape_mechanisms(&ablation_spec(&options));
-            emit_ablation(&options, &results, "Ablation — escape mechanisms beyond H32");
+            emit_ablation(
+                &options,
+                &results,
+                "Ablation — escape mechanisms beyond H32",
+            );
         }
         "ablation-mutation" => {
             let results = mutation_sweep(&ablation_spec(&options), &[10, 30, 50, 70]);
-            emit_ablation(&options, &results, "Ablation — recipe similarity (mutation percentage)");
+            emit_ablation(
+                &options,
+                &results,
+                "Ablation — recipe similarity (mutation percentage)",
+            );
         }
         "all" => {
             emit_table3(&options);
             let small = run_preset(&options, "small");
-            emit_figure(&options, &small, Metric::NormalisedCost, "Figure 3 — normalised cost, small graphs");
-            emit_figure(&options, &small, Metric::WinCount, "Figure 4 — win counts, small graphs");
-            emit_figure(&options, &small, Metric::TimeSeconds, "Figure 5 — computation time, small graphs");
+            emit_figure(
+                &options,
+                &small,
+                Metric::NormalisedCost,
+                "Figure 3 — normalised cost, small graphs",
+            );
+            emit_figure(
+                &options,
+                &small,
+                Metric::WinCount,
+                "Figure 4 — win counts, small graphs",
+            );
+            emit_figure(
+                &options,
+                &small,
+                Metric::TimeSeconds,
+                "Figure 5 — computation time, small graphs",
+            );
             let medium = run_preset(&options, "medium");
-            emit_figure(&options, &medium, Metric::NormalisedCost, "Figure 6 — normalised cost, medium graphs");
+            emit_figure(
+                &options,
+                &medium,
+                Metric::NormalisedCost,
+                "Figure 6 — normalised cost, medium graphs",
+            );
             let large = run_preset(&options, "large");
-            emit_figure(&options, &large, Metric::NormalisedCost, "Figure 7 — normalised cost, large graphs");
+            emit_figure(
+                &options,
+                &large,
+                Metric::NormalisedCost,
+                "Figure 7 — normalised cost, large graphs",
+            );
             let huge = run_preset(&options, "huge");
-            emit_figure(&options, &huge, Metric::TimeSeconds, "Figure 8 — computation time, huge graphs");
+            emit_figure(
+                &options,
+                &huge,
+                Metric::TimeSeconds,
+                "Figure 8 — computation time, huge graphs",
+            );
             emit_summary(&options, &small);
         }
         other => {
@@ -337,7 +413,10 @@ mod tests {
         assert!(options.csv);
         assert_eq!(options.ilp_time_limit, 2.5);
         assert_eq!(options.threads, Some(4));
-        assert_eq!(options.output_dir.as_deref(), Some(std::path::Path::new("/tmp/repro-out")));
+        assert_eq!(
+            options.output_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/repro-out"))
+        );
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub mod table3;
 pub use ablation::{
     delta_sweep, escape_mechanisms, mutation_sweep, AblationResults, AblationRow, AblationSpec,
 };
-pub use report::{figure_csv, figure_markdown, table3_csv, table3_markdown, write_artifact, Metric};
+pub use report::{
+    figure_csv, figure_markdown, table3_csv, table3_markdown, write_artifact, Metric,
+};
 pub use runner::{presets, run_experiment, CellResult, ExperimentResults, ExperimentSpec};
 pub use table3::{run_table3, table3_targets, Table3Row, PAPER_TABLE3_H1, PAPER_TABLE3_OPTIMAL};

@@ -46,7 +46,11 @@ pub fn table3_csv(rows: &[Table3Row]) -> String {
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>()
                 .join(" ");
-            let _ = writeln!(out, "{},{},{},{}", row.target, cell.solver, split, cell.cost);
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                row.target, cell.solver, split, cell.cost
+            );
         }
     }
     out
@@ -77,7 +81,12 @@ impl Metric {
     }
 }
 
-fn metric_value(results: &ExperimentResults, solver_idx: usize, target_idx: usize, metric: Metric) -> f64 {
+fn metric_value(
+    results: &ExperimentResults,
+    solver_idx: usize,
+    target_idx: usize,
+    metric: Metric,
+) -> f64 {
     let cell = &results.cells[solver_idx][target_idx];
     match metric {
         Metric::NormalisedCost => cell.normalised.mean,
@@ -238,10 +247,8 @@ mod tests {
 
     #[test]
     fn artifacts_are_written_to_disk() {
-        let dir = std::env::temp_dir().join(format!(
-            "rental-experiments-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("rental-experiments-test-{}", std::process::id()));
         let path = write_artifact(&dir, "table3.csv", "rho,solver,split,cost\n").unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("rho,solver"));

@@ -9,16 +9,14 @@
 //! * **win counts** (Figure 4): how many instances each solver solved best;
 //! * **computation time** (Figures 5, 8): mean wall-clock time per solve.
 //!
-//! Instances are processed in parallel with crossbeam scoped threads — the
-//! experiments are embarrassingly parallel across configurations.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use crossbeam::thread;
-use parking_lot::Mutex;
+//! The experiments are embarrassingly parallel across `(configuration,
+//! target, solver)` triples, so the runner delegates the whole grid to the
+//! batch-solve engine ([`rental_solvers::solve_batch_with`]), which fans the
+//! flattened work list out over a dynamic thread pool.
 
 use rental_core::{Instance, Throughput};
 use rental_simgen::{GeneratorConfig, InstanceGenerator};
+use rental_solvers::batch::{solve_batch_timed, BatchItem};
 use rental_solvers::registry::{standard_suite, standard_suite_names, SuiteConfig};
 
 use crate::stats::{normalised_cost, Aggregate};
@@ -38,8 +36,8 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Which solvers to run.
     pub suite: SuiteConfig,
-    /// Number of worker threads (`None`: one per available CPU, capped at the
-    /// number of configurations).
+    /// Cap on the number of batch-solve worker threads (`None`: one per
+    /// available CPU).
     pub threads: Option<usize>,
 }
 
@@ -129,45 +127,64 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResults {
     let num_solvers = solver_names.len();
     let num_targets = spec.targets.len();
 
-    // observations[config][solver][target]
-    let observations: Mutex<Vec<Option<Vec<Vec<Observation>>>>> =
-        Mutex::new(vec![None; spec.num_configs]);
-    let next_config = AtomicUsize::new(0);
-
-    let worker_count = spec
-        .threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+    // Instance generation is cheap relative to solving and must consume the
+    // per-configuration seeds in a fixed order, so it stays sequential.
+    let instances: Vec<Instance> = (0..spec.num_configs)
+        .map(|config_index| {
+            InstanceGenerator::new(
+                spec.generator.clone(),
+                spec.seed.wrapping_add(config_index as u64),
+            )
+            .generate_instance()
         })
-        .clamp(1, spec.num_configs.max(1));
+        .collect();
 
-    thread::scope(|scope| {
-        for _ in 0..worker_count {
-            scope.spawn(|_| {
-                // Each worker owns its own solver suite (solvers are stateless
-                // between solves but not Sync-shareable by design).
-                let suite = standard_suite(&spec.suite);
-                loop {
-                    let config_index = next_config.fetch_add(1, Ordering::Relaxed);
-                    if config_index >= spec.num_configs {
-                        break;
-                    }
-                    let mut generator = InstanceGenerator::new(
-                        spec.generator.clone(),
-                        spec.seed.wrapping_add(config_index as u64),
-                    );
-                    let instance = generator.generate_instance();
-                    let config_obs = evaluate_instance(&instance, &suite, &spec.targets);
-                    observations.lock()[config_index] = Some(config_obs);
-                }
-            });
-        }
-    })
-    .expect("experiment workers do not panic");
+    // Flatten the (configuration × target) grid into one batch; the batch
+    // engine parallelises over (item × solver) units.
+    let suite = standard_suite(&spec.suite);
+    let items: Vec<BatchItem<'_>> = instances
+        .iter()
+        .flat_map(|instance| {
+            spec.targets
+                .iter()
+                .map(move |&target| BatchItem::new(instance, target))
+        })
+        .collect();
+    let batch = solve_batch_timed(&suite, &items, spec.threads);
 
-    let observations = observations.into_inner();
+    // Regroup batch rows (indexed [config * T + t][solver]) into the
+    // observations[config][solver][target] layout the aggregation expects.
+    // Failed solves keep their measured wall time (an ILP that burns its
+    // whole budget without an incumbent must not count as instantaneous in
+    // the Figure 5/8 timing curves).
+    let observations: Vec<Option<Vec<Vec<Observation>>>> = (0..spec.num_configs)
+        .map(|config_index| {
+            Some(
+                (0..num_solvers)
+                    .map(|s| {
+                        (0..num_targets)
+                            .map(|t| {
+                                let row = &batch[config_index * num_targets + t];
+                                match &row[s] {
+                                    (Ok(outcome), _) => Observation {
+                                        cost: outcome.cost() as f64,
+                                        seconds: outcome.elapsed.as_secs_f64(),
+                                        proven_optimal: outcome.proven_optimal,
+                                    },
+                                    (Err(_), elapsed) => Observation {
+                                        cost: f64::INFINITY,
+                                        seconds: elapsed.as_secs_f64(),
+                                        proven_optimal: false,
+                                    },
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+
     aggregate(
         &spec.name,
         solver_names,
@@ -176,37 +193,6 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResults {
         num_targets,
         observations,
     )
-}
-
-/// Solves one instance with every solver at every target.
-fn evaluate_instance(
-    instance: &Instance,
-    suite: &[Box<dyn rental_solvers::MinCostSolver + Send + Sync>],
-    targets: &[Throughput],
-) -> Vec<Vec<Observation>> {
-    suite
-        .iter()
-        .map(|solver| {
-            targets
-                .iter()
-                .map(|&target| {
-                    let start = std::time::Instant::now();
-                    match solver.solve(instance, target) {
-                        Ok(outcome) => Observation {
-                            cost: outcome.cost() as f64,
-                            seconds: start.elapsed().as_secs_f64(),
-                            proven_optimal: outcome.proven_optimal,
-                        },
-                        Err(_) => Observation {
-                            cost: f64::INFINITY,
-                            seconds: start.elapsed().as_secs_f64(),
-                            proven_optimal: false,
-                        },
-                    }
-                })
-                .collect()
-        })
-        .collect()
 }
 
 fn aggregate(
@@ -274,7 +260,8 @@ pub mod presets {
     /// generous safety time limit per solve; on these instances it normally
     /// proves optimality well within it (as Gurobi does in the paper).
     pub fn small_graphs(num_configs: usize, seed: u64) -> ExperimentSpec {
-        let mut spec = ExperimentSpec::new("small-graphs", GeneratorConfig::small_graphs(), num_configs);
+        let mut spec =
+            ExperimentSpec::new("small-graphs", GeneratorConfig::small_graphs(), num_configs);
         spec.seed = seed;
         spec.suite.ilp_time_limit = Some(30.0);
         spec
@@ -282,8 +269,11 @@ pub mod presets {
 
     /// Figure 6: medium application graphs (§VIII-D).
     pub fn medium_graphs(num_configs: usize, seed: u64) -> ExperimentSpec {
-        let mut spec =
-            ExperimentSpec::new("medium-graphs", GeneratorConfig::medium_graphs(), num_configs);
+        let mut spec = ExperimentSpec::new(
+            "medium-graphs",
+            GeneratorConfig::medium_graphs(),
+            num_configs,
+        );
         spec.seed = seed;
         spec.suite.ilp_time_limit = Some(30.0);
         spec
@@ -302,7 +292,8 @@ pub mod presets {
     /// paper uses a 100 s limit; the default here is configurable because the
     /// full-scale setting is expensive.
     pub fn huge_graphs(num_configs: usize, seed: u64, ilp_time_limit: f64) -> ExperimentSpec {
-        let mut spec = ExperimentSpec::new("huge-graphs", GeneratorConfig::huge_graphs(), num_configs);
+        let mut spec =
+            ExperimentSpec::new("huge-graphs", GeneratorConfig::huge_graphs(), num_configs);
         spec.seed = seed;
         spec.suite.ilp_time_limit = Some(ilp_time_limit);
         spec

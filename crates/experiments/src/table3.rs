@@ -155,7 +155,12 @@ mod tests {
         for row in &rows {
             let ilp_cost = row.cells[0].cost;
             for cell in &row.cells {
-                assert!(cell.cost >= ilp_cost, "{} at rho {}", cell.solver, row.target);
+                assert!(
+                    cell.cost >= ilp_cost,
+                    "{} at rho {}",
+                    cell.solver,
+                    row.target
+                );
             }
             assert_eq!(row.best_cost(), ilp_cost);
         }

@@ -32,11 +32,17 @@ impl fmt::Display for LpError {
                 "variable x{var} referenced but only {declared} variables are declared"
             ),
             LpError::InvalidBounds { var } => {
-                write!(f, "variable x{var} has lower bound greater than upper bound")
+                write!(
+                    f,
+                    "variable x{var} has lower bound greater than upper bound"
+                )
             }
             LpError::EmptyModel => write!(f, "the model declares no variable"),
             LpError::NonFiniteCoefficient => {
-                write!(f, "a coefficient, bound or right-hand side is NaN or infinite")
+                write!(
+                    f,
+                    "a coefficient, bound or right-hand side is NaN or infinite"
+                )
             }
         }
     }
@@ -53,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = LpError::UnknownVariable { var: 3, declared: 2 };
+        let err = LpError::UnknownVariable {
+            var: 3,
+            declared: 2,
+        };
         assert!(err.to_string().contains("x3"));
         assert!(err.to_string().contains('2'));
         assert!(LpError::EmptyModel.to_string().contains("no variable"));

@@ -185,9 +185,11 @@ impl MipSolver {
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         // Warm start: adopt the caller-provided point if it is integral and feasible.
         if let Some(point) = warm_start {
-            let integral = integer_vars
-                .iter()
-                .all(|&v| point.get(v.index()).is_some_and(|x| (x - x.round()).abs() < 1e-6));
+            let integral = integer_vars.iter().all(|&v| {
+                point
+                    .get(v.index())
+                    .is_some_and(|x| (x - x.round()).abs() < 1e-6)
+            });
             if integral && work_model.is_feasible(point, 1e-6) {
                 let obj = work_model.objective_value(point);
                 incumbent = Some((obj, point.to_vec()));
@@ -425,7 +427,11 @@ fn negate_objective(model: &Model) -> Model {
         }
     }
     for constraint in model.constraints() {
-        negated.add_constraint(constraint.terms.clone(), constraint.relation, constraint.rhs);
+        negated.add_constraint(
+            constraint.terms.clone(),
+            constraint.relation,
+            constraint.rhs,
+        );
     }
     negated
 }
@@ -438,11 +444,7 @@ fn apply_bounds(model: &Model, bounds: &[(VarId, f64, f64)]) -> Model {
     result
 }
 
-fn most_fractional(
-    integer_vars: &[VarId],
-    values: &[f64],
-    tol: f64,
-) -> Option<(VarId, f64)> {
+fn most_fractional(integer_vars: &[VarId], values: &[f64], tol: f64) -> Option<(VarId, f64)> {
     let mut best: Option<(VarId, f64, f64)> = None;
     for &var in integer_vars {
         let value = values[var.index()];

@@ -202,11 +202,7 @@ impl Model {
 
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(x)
-            .map(|(c, v)| c * v)
-            .sum()
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
     /// Checks whether a point satisfies all constraints and bounds within
@@ -350,7 +346,10 @@ mod tests {
         model.add_constraint(vec![(VarId(5), 1.0)], Relation::LessEq, 1.0);
         assert_eq!(
             model.validate().unwrap_err(),
-            LpError::UnknownVariable { var: 5, declared: 1 }
+            LpError::UnknownVariable {
+                var: 5,
+                declared: 1
+            }
         );
     }
 
@@ -358,16 +357,19 @@ mod tests {
     fn validation_catches_bad_bounds_and_nan() {
         let mut model = Model::minimize();
         let _ = model.add_var("x", 1.0, 5.0, 2.0);
-        assert_eq!(model.validate().unwrap_err(), LpError::InvalidBounds { var: 0 });
+        assert_eq!(
+            model.validate().unwrap_err(),
+            LpError::InvalidBounds { var: 0 }
+        );
 
         let mut model = Model::minimize();
         let _ = model.add_var("x", f64::NAN, 0.0, 1.0);
-        assert_eq!(
-            model.validate().unwrap_err(),
-            LpError::NonFiniteCoefficient
-        );
+        assert_eq!(model.validate().unwrap_err(), LpError::NonFiniteCoefficient);
 
-        assert_eq!(Model::minimize().validate().unwrap_err(), LpError::EmptyModel);
+        assert_eq!(
+            Model::minimize().validate().unwrap_err(),
+            LpError::EmptyModel
+        );
     }
 
     #[test]

@@ -394,13 +394,12 @@ fn run_pivots(
         // negative (Bland).
         let mut entering = None;
         let mut best = -options.tol;
-        for c in 0..total {
+        for (c, &rc) in z_row.iter().enumerate().take(total) {
             if let Some(blocked_cols) = blocked {
                 if blocked_cols.contains(&c) {
                     continue;
                 }
             }
-            let rc = z_row[c];
             if rc < -options.tol {
                 if use_bland {
                     entering = Some(c);
@@ -466,16 +465,19 @@ fn pivot(
     let pivot_value = tableau[row][col];
     debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
     // Normalise the pivot row.
-    for c in 0..width {
-        tableau[row][c] /= pivot_value;
+    for value in tableau[row].iter_mut().take(width) {
+        *value /= pivot_value;
     }
-    // Eliminate the pivot column from the other rows.
-    for r in 0..m {
+    // Eliminate the pivot column from the other rows. A copy of the
+    // normalised pivot row sidesteps the aliasing between `tableau[r]` and
+    // `tableau[row]` (and keeps the inner loop a straight zip).
+    let pivot_row = tableau[row].clone();
+    for (r, current_row) in tableau.iter_mut().enumerate().take(m) {
         if r != row {
-            let factor = tableau[r][col];
+            let factor = current_row[col];
             if factor != 0.0 {
-                for c in 0..width {
-                    tableau[r][c] -= factor * tableau[row][c];
+                for (value, &pivot_entry) in current_row.iter_mut().zip(&pivot_row) {
+                    *value -= factor * pivot_entry;
                 }
             }
         }
@@ -668,7 +670,11 @@ mod tests {
         let x = model.add_nonneg_var("x", 2.0);
         let y = model.add_nonneg_var("y", 3.0);
         let z = model.add_nonneg_var("z", 1.0);
-        model.add_constraint(vec![(x, 1.0), (y, 2.0), (z, 1.0)], Relation::GreaterEq, 10.0);
+        model.add_constraint(
+            vec![(x, 1.0), (y, 2.0), (z, 1.0)],
+            Relation::GreaterEq,
+            10.0,
+        );
         model.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::LessEq, 3.0);
         model.add_constraint(vec![(z, 1.0)], Relation::LessEq, 4.0);
         let sol = solve(&model).unwrap();

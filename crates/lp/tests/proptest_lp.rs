@@ -12,10 +12,7 @@ use rental_lp::{simplex, LpStatus, MipSolver, MipStatus};
 fn covering_problem() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
     (1usize..=5, 1usize..=5).prop_flat_map(|(n, m)| {
         let costs = proptest::collection::vec(1.0f64..50.0, n);
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0.0f64..10.0, n),
-            m,
-        );
+        let rows = proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, n), m);
         let rhs = proptest::collection::vec(0.0f64..100.0, m);
         (costs, rows, rhs)
     })

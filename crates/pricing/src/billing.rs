@@ -212,8 +212,8 @@ impl BillingModel for Spot {
         }
         // Only the busy fraction of the window needs to be redone after an
         // interruption, so the overhead scales with utilisation.
-        let overhead = 1.0 + self.interruptions_per_hour * self.restart_overhead_hours
-            * usage.utilisation;
+        let overhead =
+            1.0 + self.interruptions_per_hour * self.restart_overhead_hours * usage.utilisation;
         usage.hours * overhead * hourly_rate as f64 * (1.0 - self.discount)
     }
 }

@@ -115,7 +115,11 @@ pub fn bill_plan(
 ///
 /// Returns `None` when the reservation never pays off (zero discount) or when
 /// the rate is zero (both options are free).
-pub fn break_even_hours(hourly_rate: u64, on_demand: &OnDemand, reserved: &Reserved) -> Option<f64> {
+pub fn break_even_hours(
+    hourly_rate: u64,
+    on_demand: &OnDemand,
+    reserved: &Reserved,
+) -> Option<f64> {
     if hourly_rate == 0 || reserved.discount <= 0.0 {
         return None;
     }
@@ -203,8 +207,12 @@ mod tests {
 
     #[test]
     fn break_even_is_none_without_a_discount() {
-        assert!(break_even_hours(10, &OnDemand::hourly(), &Reserved::with_term(100.0, 0.0)).is_none());
-        assert!(break_even_hours(0, &OnDemand::hourly(), &Reserved::with_term(100.0, 0.5)).is_none());
+        assert!(
+            break_even_hours(10, &OnDemand::hourly(), &Reserved::with_term(100.0, 0.0)).is_none()
+        );
+        assert!(
+            break_even_hours(0, &OnDemand::hourly(), &Reserved::with_term(100.0, 0.5)).is_none()
+        );
     }
 
     #[test]

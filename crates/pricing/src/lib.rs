@@ -59,5 +59,7 @@ pub mod prelude {
     pub use crate::billing::{BillingModel, OnDemand, PerSecond, Reserved, Spot, UsageWindow};
     pub use crate::catalogue::{Catalogue, CatalogueEntry};
     pub use crate::horizon::{bill_plan, break_even_hours, HorizonBill, RentalHorizon};
-    pub use crate::optimizer::{optimize_billing, BillingAssignment, BillingChoice, BillingOptions};
+    pub use crate::optimizer::{
+        optimize_billing, BillingAssignment, BillingChoice, BillingOptions,
+    };
 }

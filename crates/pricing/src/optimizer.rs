@@ -252,15 +252,21 @@ mod tests {
         let assignment = optimize_billing(&plan, horizon, &BillingOptions::on_demand_only());
         assert!((assignment.total - 124.0 * 168.0).abs() < 1e-6);
         assert_eq!(assignment.savings(), 0.0);
-        assert_eq!(assignment.count_of(BillingChoice::OnDemand), plan.total_machines());
+        assert_eq!(
+            assignment.count_of(BillingChoice::OnDemand),
+            plan.total_machines()
+        );
     }
 
     #[test]
     fn optimizer_never_exceeds_the_on_demand_bill() {
         let plan = table3_plan();
         for &hours in &[1.0, 24.0, 168.0, 8760.0, 20_000.0] {
-            let assignment =
-                optimize_billing(&plan, RentalHorizon::hours(hours), &BillingOptions::default());
+            let assignment = optimize_billing(
+                &plan,
+                RentalHorizon::hours(hours),
+                &BillingOptions::default(),
+            );
             assert!(
                 assignment.total <= assignment.on_demand_total + 1e-9,
                 "hours = {hours}"
@@ -279,7 +285,10 @@ mod tests {
         let short = optimize_billing(&plan, RentalHorizon::days(7.0), &options);
         let long = optimize_billing(&plan, RentalHorizon::hours(2.0 * 8760.0), &options);
         assert_eq!(short.count_of(BillingChoice::Reserved), 0);
-        assert_eq!(long.count_of(BillingChoice::Reserved), plan.total_machines());
+        assert_eq!(
+            long.count_of(BillingChoice::Reserved),
+            plan.total_machines()
+        );
         assert!(long.savings() > 0.0);
     }
 
@@ -320,7 +329,10 @@ mod tests {
             ..BillingOptions::default()
         };
         let assignment = optimize_billing(&plan, RentalHorizon::days(30.0), &options);
-        assert_eq!(assignment.count_of(BillingChoice::Spot), plan.total_machines());
+        assert_eq!(
+            assignment.count_of(BillingChoice::Spot),
+            plan.total_machines()
+        );
         assert!(assignment.savings_fraction() > 0.5);
     }
 

@@ -1,0 +1,286 @@
+//! Self-contained stand-in for the subset of the [`criterion`] benchmark API
+//! used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal wall-clock harness with the same source-level interface:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros
+//! (both the list form and the `name/config/targets` form).
+//!
+//! Measurement model: each benchmark is warmed up for the configured warm-up
+//! time (at least one iteration), then timed samples of single iterations are
+//! collected until either the configured sample count is reached or the
+//! measurement-time budget is exhausted. Mean and minimum are printed to
+//! stdout — there is no statistical analysis, HTML report or saved baseline.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// instance parameter (e.g. a target throughput).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.settings.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.settings.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.into().id, self.settings, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement-time budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.settings, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in this harness; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then timed single-iteration samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_up_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_up_start.elapsed() >= self.settings.warm_up_time {
+                break;
+            }
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() >= self.settings.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark(label: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::with_capacity(settings.sample_size),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<60} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_within_budget() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(200));
+        let mut runs = 0usize;
+        criterion.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // At least warm-up + one timed sample ran.
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("H32", 200).id, "H32/200");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn groups_inherit_and_override_settings() {
+        let mut criterion = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(100));
+        let mut group = criterion.benchmark_group("group");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("fn", 1), &7usize, |b, &v| {
+            b.iter(|| {
+                runs += 1;
+                black_box(v)
+            })
+        });
+        group.finish();
+        assert!(runs >= 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Inclusive length bounds for a generated collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange { min: len, max: len }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec length range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty vec length range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+        let len = runner.rng().random_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.sample(runner)).collect()
+    }
+}
+
+/// Strategy for `Vec`s with `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut runner = TestRunner::new_deterministic("collection::bounds");
+        for _ in 0..500 {
+            let fixed = vec(0u64..5, 3).sample(&mut runner);
+            assert_eq!(fixed.len(), 3);
+            let ranged = vec(0u64..5, 1..=4).sample(&mut runner);
+            assert!((1..=4).contains(&ranged.len()));
+            let half_open = vec(0u64..5, 2..6).sample(&mut runner);
+            assert!((2..=5).contains(&half_open.len()));
+            assert!(ranged.iter().all(|&v| v < 5));
+        }
+    }
+}

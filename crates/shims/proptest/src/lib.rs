@@ -1,0 +1,123 @@
+//! Self-contained stand-in for the subset of the [`proptest`] crate API used
+//! by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal property-testing harness with the same *source-level* interface
+//! as the upstream crate for the features the tests consume:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`Strategy`](strategy::Strategy) with `prop_map` / `prop_flat_map`,
+//!   implemented for integer and float ranges, tuples and
+//!   [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! sampled values left to the assertion message) and a deterministic per-test
+//! RNG seeded from the test's module path, so failures are reproducible
+//! across runs.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Why a generated case did not run to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; another one is drawn.
+    Reject,
+}
+
+/// Defines property tests.
+///
+/// Supports the two forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0u64..10, 1..=5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __runner = $crate::test_runner::TestRunner::new_deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __executed: u32 = 0;
+                // Bounded rejection budget so a never-satisfiable
+                // `prop_assume!` fails loudly instead of spinning forever.
+                let mut __remaining_rejects: u32 = __config.cases.saturating_mul(16).max(1024);
+                while __executed < __config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __runner);)*
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __executed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            __remaining_rejects -= 1;
+                            assert!(
+                                __remaining_rejects > 0,
+                                "prop_assume! rejected too many cases in {}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case unless the condition holds; the harness draws a
+/// replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

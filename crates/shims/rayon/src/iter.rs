@@ -1,0 +1,215 @@
+//! The `ParallelIterator` subset: indexed sources + `map`, consumed by
+//! `collect`, `for_each` or `min_by`.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::ops::Range;
+
+use crate::parallel_map_indexed;
+
+/// An indexed parallel source: a known length and random access per index.
+///
+/// Unlike upstream rayon's demand-driven design, every combinator here stays
+/// indexed, which keeps the implementation tiny while preserving the
+/// order-determinism the workspace relies on.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// True if the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index` (called at most once per index).
+    fn item(&self, index: usize) -> Self::Item;
+
+    /// Maps every item through `f`.
+    fn map<F, U>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Evaluates all items in parallel and collects them, in index order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        parallel_map_indexed(self.len(), None, |i| self.item(i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Evaluates all items in parallel for their side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        parallel_map_indexed(self.len(), None, |i| f(self.item(i)));
+    }
+
+    /// Minimum item under `compare`; on ties the lowest-index item wins, so
+    /// the result matches a sequential strict-`<` scan.
+    fn min_by<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> CmpOrdering + Sync,
+    {
+        parallel_map_indexed(self.len(), None, |i| self.item(i))
+            .into_iter()
+            .reduce(|best, candidate| {
+                if compare(&candidate, &best) == CmpOrdering::Less {
+                    candidate
+                } else {
+                    best
+                }
+            })
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, F, U> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> U + Sync,
+    U: Send,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn item(&self, index: usize) -> U {
+        (self.f)(self.inner.item(index))
+    }
+}
+
+/// Parallel iteration over `&self` (slices).
+pub trait IntoParallelRefIterator<'a> {
+    /// The per-item type (`&'a T` for slices).
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// By-value parallel iteration.
+pub trait IntoParallelIterator {
+    /// The per-item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn item(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let input: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter_covers_all_indices() {
+        let squares: Vec<usize> = (3..40).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (3..40).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_by_breaks_ties_towards_the_lowest_index() {
+        let values = [(3u64, 'a'), (1, 'b'), (1, 'c'), (2, 'd')];
+        let min = values
+            .par_iter()
+            .min_by(|x, y| x.0.cmp(&y.0))
+            .copied()
+            .unwrap();
+        assert_eq!(min, (1, 'b'));
+    }
+
+    #[test]
+    fn empty_sources_are_harmless() {
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        assert!((5..5).into_par_iter().min_by(|a, b| a.cmp(b)).is_none());
+    }
+}

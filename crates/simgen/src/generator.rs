@@ -49,9 +49,7 @@ impl InstanceGenerator {
     pub fn generate_platform(&mut self) -> Platform {
         let machines = (0..self.config.num_types)
             .map(|_| {
-                let throughput = self
-                    .rng
-                    .random_range(self.config.throughput_range.clone());
+                let throughput = self.rng.random_range(self.config.throughput_range.clone());
                 let cost = self.rng.random_range(self.config.cost_range.clone());
                 MachineType::new(throughput, cost)
             })
@@ -61,9 +59,7 @@ impl InstanceGenerator {
 
     /// Generates the type sequence of the initial recipe.
     fn generate_initial_types(&mut self) -> Vec<TypeId> {
-        let num_tasks = self
-            .rng
-            .random_range(self.config.tasks_per_recipe.clone());
+        let num_tasks = self.rng.random_range(self.config.tasks_per_recipe.clone());
         (0..num_tasks)
             .map(|_| TypeId(self.rng.random_range(0..self.config.num_types)))
             .collect()
@@ -198,11 +194,7 @@ mod tests {
         let mut sharing = 0;
         for j in 1..instance.num_recipes() {
             let row = demand.row(RecipeId(j));
-            if row
-                .iter()
-                .zip(&initial_row)
-                .any(|(&a, &b)| a > 0 && b > 0)
-            {
+            if row.iter().zip(&initial_row).any(|(&a, &b)| a > 0 && b > 0) {
                 sharing += 1;
             }
         }
@@ -219,8 +211,8 @@ mod tests {
         let instance = generator.generate_instance();
         let demand = instance.application().demand();
         let initial_row = demand.row(RecipeId(0)).to_vec();
-        let any_different = (1..instance.num_recipes())
-            .any(|j| demand.row(RecipeId(j)) != initial_row.as_slice());
+        let any_different =
+            (1..instance.num_recipes()).any(|j| demand.row(RecipeId(j)) != initial_row.as_slice());
         assert!(any_different);
     }
 

@@ -8,18 +8,28 @@ use rental_simgen::{GeneratorConfig, InstanceGenerator};
 
 fn arbitrary_config() -> impl Strategy<Value = GeneratorConfig> {
     (
-        1usize..=6,     // recipes
-        1usize..=6,     // min tasks
-        0usize..=5,     // extra tasks (max = min + extra)
-        0u8..=100,      // mutation percent
-        1usize..=6,     // types
-        1u64..=20,      // min throughput
-        0u64..=30,      // extra throughput
-        1u64..=20,      // min cost
-        0u64..=50,      // extra cost
+        1usize..=6, // recipes
+        1usize..=6, // min tasks
+        0usize..=5, // extra tasks (max = min + extra)
+        0u8..=100,  // mutation percent
+        1usize..=6, // types
+        1u64..=20,  // min throughput
+        0u64..=30,  // extra throughput
+        1u64..=20,  // min cost
+        0u64..=50,  // extra cost
     )
         .prop_map(
-            |(recipes, min_tasks, extra_tasks, mutation, types, min_thr, extra_thr, min_cost, extra_cost)| {
+            |(
+                recipes,
+                min_tasks,
+                extra_tasks,
+                mutation,
+                types,
+                min_thr,
+                extra_thr,
+                min_cost,
+                extra_cost,
+            )| {
                 GeneratorConfig {
                     num_recipes: recipes,
                     tasks_per_recipe: min_tasks..=(min_tasks + extra_tasks),

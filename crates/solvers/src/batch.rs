@@ -1,0 +1,237 @@
+//! Parallel batch solving: a solver portfolio applied to many `(instance,
+//! target)` pairs at once.
+//!
+//! The paper's evaluation — and the multi-tenant serving scenario the
+//! ROADMAP targets — repeatedly solves *batches*: one hundred generated
+//! configurations × nineteen targets × the full solver suite. Every such
+//! `(instance, target, solver)` triple is independent, so the batch engine
+//! flattens them into one work list and fans it out with rayon, pulling units
+//! off a shared queue so an expensive ILP solve does not serialise a lane of
+//! cheap heuristic solves behind it.
+//!
+//! Results are returned **in input order** (`results[item][solver]`), and
+//! every individual solve is deterministic for a fixed solver seed, so a
+//! batch solve is observationally identical to the sequential double loop —
+//! a property covered by the `batch_matches_sequential` tests.
+
+use std::time::{Duration, Instant};
+
+use rental_core::{Instance, Throughput};
+
+use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+
+/// One unit of batch work: an instance and the target throughput to solve
+/// it for.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// The MinCost instance to solve.
+    pub instance: &'a Instance,
+    /// The target throughput ρ.
+    pub target: Throughput,
+}
+
+impl<'a> BatchItem<'a> {
+    /// Creates a batch item.
+    pub fn new(instance: &'a Instance, target: Throughput) -> Self {
+        BatchItem { instance, target }
+    }
+}
+
+/// Solves every item with every solver of the portfolio in parallel.
+///
+/// Returns `results[item][solver]`, aligned with the input orders.
+pub fn solve_batch<S: MinCostSolver + Sync>(
+    portfolio: &[S],
+    items: &[BatchItem<'_>],
+) -> Vec<Vec<SolveResult<SolverOutcome>>> {
+    solve_batch_with(portfolio, items, None)
+}
+
+/// [`solve_batch`] with an explicit cap on the number of worker threads
+/// (`None`: one per available CPU).
+pub fn solve_batch_with<S: MinCostSolver + Sync>(
+    portfolio: &[S],
+    items: &[BatchItem<'_>],
+    max_threads: Option<usize>,
+) -> Vec<Vec<SolveResult<SolverOutcome>>> {
+    solve_batch_timed(portfolio, items, max_threads)
+        .into_iter()
+        .map(|row| row.into_iter().map(|(result, _)| result).collect())
+        .collect()
+}
+
+/// [`solve_batch_with`], additionally reporting the wall-clock time of every
+/// unit — including *failed* solves (an ILP hitting its time limit without an
+/// incumbent spends its whole budget; timing-oriented experiments must not
+/// count that as zero).
+pub fn solve_batch_timed<S: MinCostSolver + Sync>(
+    portfolio: &[S],
+    items: &[BatchItem<'_>],
+    max_threads: Option<usize>,
+) -> Vec<Vec<(SolveResult<SolverOutcome>, Duration)>> {
+    if portfolio.is_empty() || items.is_empty() {
+        return items.iter().map(|_| Vec::new()).collect();
+    }
+    let units = items.len() * portfolio.len();
+    let flat = rayon::parallel_map_indexed(units, max_threads, |unit| {
+        let item = &items[unit / portfolio.len()];
+        let solver = &portfolio[unit % portfolio.len()];
+        let start = Instant::now();
+        let result = solver.solve(item.instance, item.target);
+        (result, start.elapsed())
+    });
+    let mut flat = flat.into_iter();
+    items
+        .iter()
+        .map(|_| flat.by_ref().take(portfolio.len()).collect())
+        .collect()
+}
+
+/// Solves every item with every solver and keeps, per item, the outcome with
+/// the lowest cost (ties broken towards the earliest solver in the
+/// portfolio). An item only yields an error if every solver failed on it (the
+/// first solver's error is returned), or if the portfolio is empty
+/// ([`SolveError::NoSolutionFound`]).
+pub fn solve_batch_portfolio<S: MinCostSolver + Sync>(
+    portfolio: &[S],
+    items: &[BatchItem<'_>],
+    max_threads: Option<usize>,
+) -> Vec<SolveResult<SolverOutcome>> {
+    solve_batch_with(portfolio, items, max_threads)
+        .into_iter()
+        .map(|outcomes| {
+            let mut best: Option<SolverOutcome> = None;
+            let mut first_error: Option<SolveError> = None;
+            for outcome in outcomes {
+                match outcome {
+                    Ok(candidate) => {
+                        if best.as_ref().is_none_or(|b| candidate.cost() < b.cost()) {
+                            best = Some(candidate);
+                        }
+                    }
+                    Err(err) => {
+                        if first_error.is_none() {
+                            first_error = Some(err);
+                        }
+                    }
+                }
+            }
+            match (best, first_error) {
+                (Some(outcome), _) => Ok(outcome),
+                (None, Some(err)) => Err(err),
+                // Empty portfolio: no solver ran, so no error to forward.
+                (None, None) => Err(SolveError::NoSolutionFound {
+                    solver: "portfolio".to_string(),
+                }),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{BestGraphSolver, SteepestGradientSolver};
+    use crate::registry::{standard_suite, SuiteConfig};
+    use rental_core::examples::illustrating_example;
+
+    #[test]
+    fn batch_matches_sequential_solves() {
+        let instance = illustrating_example();
+        let suite = standard_suite(&SuiteConfig::with_seed(9));
+        let items: Vec<BatchItem<'_>> = (10u64..=100)
+            .step_by(10)
+            .map(|rho| BatchItem::new(&instance, rho))
+            .collect();
+        let batch = solve_batch(&suite, &items);
+        assert_eq!(batch.len(), items.len());
+        for (item, row) in items.iter().zip(&batch) {
+            assert_eq!(row.len(), suite.len());
+            for (solver, outcome) in suite.iter().zip(row) {
+                let sequential = solver.solve(item.instance, item.target).unwrap();
+                assert_eq!(outcome.as_ref().unwrap().solution, sequential.solution);
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_keeps_the_cheapest_outcome() {
+        let instance = illustrating_example();
+        let portfolio: Vec<Box<dyn MinCostSolver + Send + Sync>> = vec![
+            Box::new(BestGraphSolver),
+            Box::new(SteepestGradientSolver::default()),
+        ];
+        let items = [BatchItem::new(&instance, 70)];
+        let best = solve_batch_portfolio(&portfolio, &items, None);
+        let h1 = BestGraphSolver.solve(&instance, 70).unwrap();
+        let h32 = SteepestGradientSolver::default()
+            .solve(&instance, 70)
+            .unwrap();
+        assert_eq!(best[0].as_ref().unwrap().cost(), h1.cost().min(h32.cost()));
+    }
+
+    #[test]
+    fn thread_cap_does_not_change_results() {
+        let instance = illustrating_example();
+        let suite = standard_suite(&SuiteConfig::with_seed(4));
+        let items: Vec<BatchItem<'_>> = (20u64..=80)
+            .step_by(20)
+            .map(|rho| BatchItem::new(&instance, rho))
+            .collect();
+        let wide = solve_batch_with(&suite, &items, None);
+        let narrow = solve_batch_with(&suite, &items, Some(1));
+        for (a, b) in wide.iter().flatten().zip(narrow.iter().flatten()) {
+            assert_eq!(a.as_ref().unwrap().solution, b.as_ref().unwrap().solution);
+        }
+    }
+
+    #[test]
+    fn empty_portfolio_yields_errors_not_panics() {
+        let instance = illustrating_example();
+        let no_solvers: Vec<Box<dyn MinCostSolver + Send + Sync>> = Vec::new();
+        let best = solve_batch_portfolio(&no_solvers, &[BatchItem::new(&instance, 70)], None);
+        assert_eq!(best.len(), 1);
+        assert!(matches!(
+            best[0].as_ref().unwrap_err(),
+            crate::solver::SolveError::NoSolutionFound { .. }
+        ));
+    }
+
+    #[test]
+    fn timed_batches_report_wall_time_for_failed_solves() {
+        struct SlowFailure;
+        impl MinCostSolver for SlowFailure {
+            fn name(&self) -> &str {
+                "slow-failure"
+            }
+            fn solve(
+                &self,
+                _instance: &rental_core::Instance,
+                _target: u64,
+            ) -> SolveResult<SolverOutcome> {
+                std::thread::sleep(Duration::from_millis(20));
+                Err(crate::solver::SolveError::NoSolutionFound {
+                    solver: "slow-failure".to_string(),
+                })
+            }
+        }
+        let instance = illustrating_example();
+        let portfolio = [SlowFailure];
+        let timed = solve_batch_timed(&portfolio, &[BatchItem::new(&instance, 70)], None);
+        let (result, elapsed) = &timed[0][0];
+        assert!(result.is_err());
+        // The failure's wall time is observable, not reported as zero.
+        assert!(*elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn empty_batches_are_harmless() {
+        let suite = standard_suite(&SuiteConfig::default());
+        assert!(solve_batch(&suite, &[]).is_empty());
+        let instance = illustrating_example();
+        let no_solvers: Vec<Box<dyn MinCostSolver + Send + Sync>> = Vec::new();
+        let rows = solve_batch(&no_solvers, &[BatchItem::new(&instance, 10)]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].is_empty());
+    }
+}

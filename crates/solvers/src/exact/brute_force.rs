@@ -187,7 +187,9 @@ mod tests {
     #[test]
     fn split_total_matches_target_exactly() {
         let instance = illustrating_example();
-        let outcome = BruteForceSolver::with_step(10).solve(&instance, 90).unwrap();
+        let outcome = BruteForceSolver::with_step(10)
+            .solve(&instance, 90)
+            .unwrap();
         assert_eq!(outcome.solution.split.total(), 90);
         assert_eq!(outcome.cost(), 155); // Table III, rho = 90.
     }

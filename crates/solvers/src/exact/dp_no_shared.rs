@@ -86,7 +86,7 @@ impl MinCostSolver for DpNoSharedSolver {
         let mut dp = per_recipe_cost[0].clone();
         let mut parents: Vec<Vec<Throughput>> = Vec::with_capacity(num_recipes);
         parents.push((0..=t_max as u64).collect()); // recipe 0 carries everything.
-        for j in 1..num_recipes {
+        for recipe_cost in per_recipe_cost.iter().skip(1) {
             let mut next = vec![u64::MAX; t_max + 1];
             let mut parent = vec![0u64; t_max + 1];
             for t in 0..=t_max {
@@ -95,7 +95,7 @@ impl MinCostSolver for DpNoSharedSolver {
                     if rest == u64::MAX {
                         continue;
                     }
-                    let cost = rest.saturating_add(per_recipe_cost[j][rho_j]);
+                    let cost = rest.saturating_add(recipe_cost[rho_j]);
                     if cost < next[t] {
                         next[t] = cost;
                         parent[t] = rho_j as u64;

@@ -83,11 +83,8 @@ impl IlpSolver {
             target as f64,
         );
         // Capacity per type: x_q r_q - Σ_j n_jq ρ_j ≥ 0.
-        for q in 0..num_types {
-            let mut terms = vec![(
-                x_vars[q],
-                platform.throughput(rental_core::TypeId(q)) as f64,
-            )];
+        for (q, &x_var) in x_vars.iter().enumerate().take(num_types) {
+            let mut terms = vec![(x_var, platform.throughput(rental_core::TypeId(q)) as f64)];
             for (j, &rho_var) in rho_vars.iter().enumerate() {
                 let n_jq = app.demand().count(RecipeId(j), rental_core::TypeId(q));
                 if n_jq > 0 {
@@ -133,8 +130,8 @@ impl MinCostSolver for IlpSolver {
                 );
                 values
             });
-        let mip = MipSolver::with_limits(self.limits)
-            .solve_with_start(&model, warm_start.as_deref())?;
+        let mip =
+            MipSolver::with_limits(self.limits).solve_with_start(&model, warm_start.as_deref())?;
         if !mip.has_incumbent() {
             return Err(SolveError::NoSolutionFound {
                 solver: self.name().to_string(),

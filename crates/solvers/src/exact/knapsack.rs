@@ -31,8 +31,9 @@ impl BlackBoxKnapsackSolver {
         if !demand.is_black_box() {
             return Err(SolveError::UnsupportedInstance {
                 solver: self.name().to_string(),
-                reason: "recipes must consist of exactly one task each, with pairwise distinct types"
-                    .to_string(),
+                reason:
+                    "recipes must consist of exactly one task each, with pairwise distinct types"
+                        .to_string(),
             });
         }
         let mut types = Vec::with_capacity(demand.num_recipes());

@@ -57,12 +57,7 @@ pub fn independent_applications_solution(
 ) -> SolveResult<Solution> {
     let split = ThroughputSplit::new(prescribed.to_vec());
     let target = split.total();
-    let solution = solution_for_split(
-        instance.application(),
-        instance.platform(),
-        target,
-        split,
-    )?;
+    let solution = solution_for_split(instance.application(), instance.platform(), target, split)?;
     Ok(solution)
 }
 

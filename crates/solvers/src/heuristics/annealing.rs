@@ -88,21 +88,24 @@ impl MinCostSolver for SimulatedAnnealingSolver {
                 while to == from {
                     to = RecipeId(rng.random_range(0..num_recipes));
                 }
-                let current = evaluator.cost();
-                let (moved, candidate) = evaluator.cost_after_transfer(from, to, delta)?;
-                if moved > 0 {
+                // Apply the candidate on the sparse kernel and roll it back
+                // with the undo token when the Metropolis draw rejects it —
+                // the accept/reject cycle allocates nothing.
+                let undo = evaluator.apply_transfer_undoable(from, to, delta)?;
+                if undo.moved() > 0 {
+                    let current = undo.previous_cost();
+                    let candidate = evaluator.cost();
                     let accept = if candidate <= current {
                         true
                     } else {
                         let degradation = (candidate - current) as f64;
                         rng.random_bool((-degradation / temperature).exp().clamp(0.0, 1.0))
                     };
-                    if accept {
-                        evaluator.apply_transfer(from, to, delta)?;
-                        if evaluator.cost() < best_cost {
-                            best_cost = evaluator.cost();
-                            best_split = evaluator.split().clone();
-                        }
+                    if !accept {
+                        evaluator.undo_transfer(undo)?;
+                    } else if evaluator.cost() < best_cost {
+                        best_cost = evaluator.cost();
+                        best_split.clone_from(evaluator.split());
                     }
                 }
                 temperature = (temperature * self.cooling).max(1e-6);
@@ -156,8 +159,12 @@ mod tests {
     #[test]
     fn annealing_is_deterministic_per_seed() {
         let instance = illustrating_example();
-        let a = SimulatedAnnealingSolver::with_seed(5).solve(&instance, 130).unwrap();
-        let b = SimulatedAnnealingSolver::with_seed(5).solve(&instance, 130).unwrap();
+        let a = SimulatedAnnealingSolver::with_seed(5)
+            .solve(&instance, 130)
+            .unwrap();
+        let b = SimulatedAnnealingSolver::with_seed(5)
+            .solve(&instance, 130)
+            .unwrap();
         assert_eq!(a.solution, b.solution);
     }
 

@@ -9,12 +9,15 @@
 //! into the idle capacity of already-rented machines gets the next `δ` for
 //! free.
 //!
-//! The construction is deterministic and runs in `O((ρ/δ) · J · Q)` time.
+//! The construction is deterministic. On the sparse kernel each candidate is
+//! costed in `O(|support(j)|)` (the recipe's non-zero row entries) instead of
+//! a full `O(Q)` demand-vector clone and rescan, giving
+//! `O((ρ/δ) · Σ_j |support(j)|)` total time with no per-step allocation.
 
 use std::time::Instant;
 
-use rental_core::cost::machines_for_demand;
-use rental_core::{Cost, Instance, ModelError, Throughput, ThroughputSplit, TypeId};
+use rental_core::cost::IncrementalEvaluator;
+use rental_core::{Cost, Instance, RecipeId, Throughput, ThroughputSplit};
 
 use crate::solver::{MinCostSolver, SolveResult, SolverOutcome};
 
@@ -34,21 +37,6 @@ impl GreedyMarginalSolver {
     }
 }
 
-/// Cost of a per-type demand vector on the given platform.
-fn cost_of_demand(demand: &[u64], instance: &Instance) -> Result<Cost, ModelError> {
-    let platform = instance.platform();
-    let mut total: u64 = 0;
-    for (q, &d) in demand.iter().enumerate() {
-        let type_id = TypeId(q);
-        let machines = machines_for_demand(d, platform.throughput(type_id));
-        let cost = machines
-            .checked_mul(platform.cost(type_id))
-            .ok_or(ModelError::CostOverflow)?;
-        total = total.checked_add(cost).ok_or(ModelError::CostOverflow)?;
-    }
-    Ok(total)
-}
-
 impl MinCostSolver for GreedyMarginalSolver {
     fn name(&self) -> &str {
         "Greedy"
@@ -57,56 +45,40 @@ impl MinCostSolver for GreedyMarginalSolver {
     fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
         let start = Instant::now();
         let num_recipes = instance.num_recipes();
-        let num_types = instance.num_types();
-        let demand_matrix = instance.application().demand();
         let delta = self
             .delta
             .unwrap_or_else(|| instance.throughput_granularity())
             .max(1);
 
-        let mut shares: Vec<Throughput> = vec![0; num_recipes];
-        let mut per_type: Vec<u64> = vec![0; num_types];
+        // Capacity `target` extends the kernel's overflow bound proof over
+        // the whole construction up front, so every increment below runs on
+        // the fast path.
+        let mut evaluator = IncrementalEvaluator::with_capacity(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::zeros(num_recipes),
+            target,
+        )?;
         let mut remaining = target;
 
         while remaining > 0 {
             let step = delta.min(remaining);
-            let mut best: Option<(usize, Cost, Vec<u64>)> = None;
-            for (j, _) in shares.iter().enumerate() {
-                let row = demand_matrix.row(rental_core::RecipeId(j));
-                let mut candidate = per_type.clone();
-                let mut overflow = false;
-                for q in 0..num_types {
-                    match row[q]
-                        .checked_mul(step)
-                        .and_then(|added| candidate[q].checked_add(added))
-                    {
-                        Some(value) => candidate[q] = value,
-                        None => {
-                            overflow = true;
-                            break;
-                        }
-                    }
-                }
-                if overflow {
-                    return Err(ModelError::CostOverflow.into());
-                }
-                let cost = cost_of_demand(&candidate, instance)?;
-                if best
-                    .as_ref()
-                    .is_none_or(|&(_, best_cost, _)| cost < best_cost)
-                {
-                    best = Some((j, cost, candidate));
+            let mut best: Option<(RecipeId, Cost)> = None;
+            for j in 0..num_recipes {
+                let recipe = RecipeId(j);
+                let cost = evaluator.cost_after_increment(recipe, step)?;
+                if best.is_none_or(|(_, best_cost)| cost < best_cost) {
+                    best = Some((recipe, cost));
                 }
             }
             // `num_recipes >= 1` is guaranteed by Instance validation, so a
             // best candidate always exists.
-            let (j, _, candidate) = best.expect("instance has at least one recipe");
-            shares[j] += step;
-            per_type = candidate;
+            let (recipe, _) = best.expect("instance has at least one recipe");
+            evaluator.apply_increment(recipe, step)?;
             remaining -= step;
         }
 
-        let solution = instance.solution(target, ThroughputSplit::new(shares))?;
+        let solution = instance.solution(target, evaluator.split().clone())?;
         Ok(SolverOutcome::heuristic(solution, start.elapsed()))
     }
 }
@@ -121,7 +93,9 @@ mod tests {
     fn greedy_split_covers_the_target_exactly() {
         let instance = illustrating_example();
         for rho in (10u64..=200).step_by(10) {
-            let outcome = GreedyMarginalSolver::default().solve(&instance, rho).unwrap();
+            let outcome = GreedyMarginalSolver::default()
+                .solve(&instance, rho)
+                .unwrap();
             assert_eq!(outcome.solution.split.total(), rho, "rho = {rho}");
         }
     }
@@ -131,7 +105,9 @@ mod tests {
         let instance = illustrating_example();
         for rho in (10u64..=200).step_by(20) {
             let opt = IlpSolver::new().solve(&instance, rho).unwrap();
-            let greedy = GreedyMarginalSolver::default().solve(&instance, rho).unwrap();
+            let greedy = GreedyMarginalSolver::default()
+                .solve(&instance, rho)
+                .unwrap();
             assert!(greedy.cost() >= opt.cost(), "rho = {rho}");
         }
     }
@@ -144,7 +120,9 @@ mod tests {
         let instance = illustrating_example();
         for rho in (10u64..=200).step_by(10) {
             let opt = IlpSolver::new().solve(&instance, rho).unwrap();
-            let greedy = GreedyMarginalSolver::default().solve(&instance, rho).unwrap();
+            let greedy = GreedyMarginalSolver::default()
+                .solve(&instance, rho)
+                .unwrap();
             assert!(
                 (greedy.cost() as f64) <= 1.25 * opt.cost() as f64,
                 "rho = {rho}: greedy {} vs optimum {}",
@@ -176,8 +154,12 @@ mod tests {
     #[test]
     fn greedy_is_deterministic() {
         let instance = illustrating_example();
-        let a = GreedyMarginalSolver::default().solve(&instance, 150).unwrap();
-        let b = GreedyMarginalSolver::default().solve(&instance, 150).unwrap();
+        let a = GreedyMarginalSolver::default()
+            .solve(&instance, 150)
+            .unwrap();
+        let b = GreedyMarginalSolver::default()
+            .solve(&instance, 150)
+            .unwrap();
         assert_eq!(a.solution, b.solution);
     }
 }

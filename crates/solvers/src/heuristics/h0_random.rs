@@ -89,7 +89,9 @@ mod tests {
     fn split_sums_to_target() {
         let instance = illustrating_example();
         for target in [0u64, 10, 35, 200] {
-            let outcome = RandomSplitSolver::with_seed(7).solve(&instance, target).unwrap();
+            let outcome = RandomSplitSolver::with_seed(7)
+                .solve(&instance, target)
+                .unwrap();
             assert_eq!(outcome.solution.split.total(), target);
             assert!(outcome.solution.is_feasible());
         }
@@ -98,8 +100,12 @@ mod tests {
     #[test]
     fn same_seed_same_split() {
         let instance = illustrating_example();
-        let a = RandomSplitSolver::with_seed(42).solve(&instance, 100).unwrap();
-        let b = RandomSplitSolver::with_seed(42).solve(&instance, 100).unwrap();
+        let a = RandomSplitSolver::with_seed(42)
+            .solve(&instance, 100)
+            .unwrap();
+        let b = RandomSplitSolver::with_seed(42)
+            .solve(&instance, 100)
+            .unwrap();
         assert_eq!(a.solution.split, b.solution.split);
     }
 
@@ -123,7 +129,9 @@ mod tests {
     fn non_divisible_targets_are_fully_distributed() {
         let instance = illustrating_example();
         // Granularity is 10 but the target is 37: the last chunk is 7.
-        let outcome = RandomSplitSolver::with_seed(3).solve(&instance, 37).unwrap();
+        let outcome = RandomSplitSolver::with_seed(3)
+            .solve(&instance, 37)
+            .unwrap();
         assert_eq!(outcome.solution.split.total(), 37);
     }
 

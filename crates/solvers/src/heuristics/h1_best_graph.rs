@@ -93,7 +93,10 @@ mod tests {
         for &(rho, cost) in &expected {
             let outcome = BestGraphSolver.solve(&instance, rho).unwrap();
             assert_eq!(outcome.cost(), cost, "rho = {rho}");
-            assert_eq!(outcome.solution.split.active_recipes(), usize::from(rho > 0));
+            assert_eq!(
+                outcome.solution.split.active_recipes(),
+                usize::from(rho > 0)
+            );
         }
     }
 

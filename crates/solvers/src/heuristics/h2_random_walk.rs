@@ -78,11 +78,12 @@ impl MinCostSolver for RandomWalkSolver {
                     to = RecipeId(rng.random_range(0..num_recipes));
                 }
                 // The move is always applied (random walk), the best split is
-                // merely recorded.
+                // merely recorded — into a reused buffer, so the walk's hot
+                // loop performs no allocation.
                 evaluator.apply_transfer(from, to, delta)?;
                 if evaluator.cost() < best_cost {
                     best_cost = evaluator.cost();
-                    best_split = evaluator.split().clone();
+                    best_split.clone_from(evaluator.split());
                 }
             }
         }
@@ -104,7 +105,9 @@ mod tests {
         let instance = illustrating_example();
         for rho in (10u64..=200).step_by(10) {
             let h1 = BestGraphSolver.solve(&instance, rho).unwrap();
-            let h2 = RandomWalkSolver::with_seed(1).solve(&instance, rho).unwrap();
+            let h2 = RandomWalkSolver::with_seed(1)
+                .solve(&instance, rho)
+                .unwrap();
             assert!(h2.cost() <= h1.cost(), "rho = {rho}");
             assert!(h2.solution.split.covers(rho), "rho = {rho}");
         }
@@ -157,8 +160,12 @@ mod tests {
     #[test]
     fn h2_is_deterministic_for_a_fixed_seed() {
         let instance = illustrating_example();
-        let a = RandomWalkSolver::with_seed(99).solve(&instance, 130).unwrap();
-        let b = RandomWalkSolver::with_seed(99).solve(&instance, 130).unwrap();
+        let a = RandomWalkSolver::with_seed(99)
+            .solve(&instance, 130)
+            .unwrap();
+        let b = RandomWalkSolver::with_seed(99)
+            .solve(&instance, 130)
+            .unwrap();
         assert_eq!(a.solution, b.solution);
     }
 

@@ -83,11 +83,14 @@ impl MinCostSolver for StochasticDescentSolver {
                 while to == from {
                     to = RecipeId(rng.random_range(0..num_recipes));
                 }
-                let (moved, candidate_cost) = evaluator.cost_after_transfer(from, to, delta)?;
-                if moved > 0 && candidate_cost < evaluator.cost() {
-                    evaluator.apply_transfer(from, to, delta)?;
+                // Apply-then-undo on the sparse kernel: a kept improvement
+                // costs one sparse pass, a rejected move costs two — and the
+                // accept/reject cycle allocates nothing.
+                let undo = evaluator.apply_transfer_undoable(from, to, delta)?;
+                if undo.moved() > 0 && evaluator.cost() < undo.previous_cost() {
                     stale = 0;
                 } else {
+                    evaluator.undo_transfer(undo)?;
                     stale += 1;
                 }
             }
@@ -139,8 +142,12 @@ mod tests {
     #[test]
     fn h31_is_deterministic_for_a_fixed_seed() {
         let instance = illustrating_example();
-        let a = StochasticDescentSolver::with_seed(4).solve(&instance, 170).unwrap();
-        let b = StochasticDescentSolver::with_seed(4).solve(&instance, 170).unwrap();
+        let a = StochasticDescentSolver::with_seed(4)
+            .solve(&instance, 170)
+            .unwrap();
+        let b = StochasticDescentSolver::with_seed(4)
+            .solve(&instance, 170)
+            .unwrap();
         assert_eq!(a.solution, b.solution);
     }
 

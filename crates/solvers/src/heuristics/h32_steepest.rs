@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rental_core::cost::IncrementalEvaluator;
+use rental_core::search::best_transfer;
 use rental_core::{Cost, Instance, ModelResult, RecipeId, Throughput, ThroughputSplit};
 
 use crate::heuristics::h1_best_graph::best_graph_split;
@@ -76,35 +77,19 @@ impl SteepestGradientJumpSolver {
 /// Runs a steepest descent in place: repeatedly applies the best improving
 /// `δ`-transfer until none exists (or the step cap is hit). Returns the cost
 /// of the local minimum reached.
+///
+/// Each step delegates the "evaluate all ordered pairs" scan to the search
+/// kernel ([`best_transfer`]): candidates are costed sparsely in
+/// `O(|diff(j, j')|)` against the pair-diff table, and for large recipe
+/// counts the scan rows run in parallel.
 fn steepest_descent(
     evaluator: &mut IncrementalEvaluator<'_>,
-    num_recipes: usize,
     delta: Throughput,
     max_steps: usize,
 ) -> ModelResult<Cost> {
     for _ in 0..max_steps {
         let current = evaluator.cost();
-        let mut best_move: Option<(RecipeId, RecipeId, Cost)> = None;
-        for from in 0..num_recipes {
-            let from = RecipeId(from);
-            if evaluator.split().share(from) == 0 {
-                continue;
-            }
-            for to in 0..num_recipes {
-                let to = RecipeId(to);
-                if to == from {
-                    continue;
-                }
-                let (moved, cost) = evaluator.cost_after_transfer(from, to, delta)?;
-                if moved == 0 || cost >= current {
-                    continue;
-                }
-                if best_move.is_none_or(|(_, _, best)| cost < best) {
-                    best_move = Some((from, to, cost));
-                }
-            }
-        }
-        match best_move {
+        match best_transfer(evaluator, delta, &|_, _, cost| cost < current)? {
             Some((from, to, _)) => {
                 evaluator.apply_transfer(from, to, delta)?;
             }
@@ -121,7 +106,6 @@ impl MinCostSolver for SteepestGradientSolver {
 
     fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
         let start = Instant::now();
-        let num_recipes = instance.num_recipes();
         let delta = self
             .delta
             .unwrap_or_else(|| instance.throughput_granularity())
@@ -132,7 +116,7 @@ impl MinCostSolver for SteepestGradientSolver {
             instance.platform(),
             initial,
         )?;
-        steepest_descent(&mut evaluator, num_recipes, delta, self.max_steps)?;
+        steepest_descent(&mut evaluator, delta, self.max_steps)?;
         let solution = instance.solution(target, evaluator.split().clone())?;
         Ok(SolverOutcome::heuristic(solution, start.elapsed()))
     }
@@ -159,8 +143,7 @@ impl MinCostSolver for SteepestGradientJumpSolver {
         )?;
 
         // First descent from the H1 starting point.
-        let mut best_cost =
-            steepest_descent(&mut evaluator, num_recipes, delta, self.descent.max_steps)?;
+        let mut best_cost = steepest_descent(&mut evaluator, delta, self.descent.max_steps)?;
         let mut best_split: ThroughputSplit = evaluator.split().clone();
 
         if num_recipes > 1 {
@@ -186,15 +169,10 @@ impl MinCostSolver for SteepestGradientJumpSolver {
                     evaluator.apply_transfer(from, to, delta)?;
                 }
                 // Descend again from the perturbed split.
-                let cost = steepest_descent(
-                    &mut evaluator,
-                    num_recipes,
-                    delta,
-                    self.descent.max_steps,
-                )?;
+                let cost = steepest_descent(&mut evaluator, delta, self.descent.max_steps)?;
                 if cost < best_cost {
                     best_cost = cost;
-                    best_split = evaluator.split().clone();
+                    best_split.clone_from(evaluator.split());
                 }
             }
         }
@@ -239,7 +217,9 @@ mod tests {
         let instance = illustrating_example();
         for rho in (10u64..=200).step_by(10) {
             let h1 = BestGraphSolver.solve(&instance, rho).unwrap();
-            let h32 = SteepestGradientSolver::default().solve(&instance, rho).unwrap();
+            let h32 = SteepestGradientSolver::default()
+                .solve(&instance, rho)
+                .unwrap();
             assert!(h32.cost() <= h1.cost(), "rho = {rho}");
             assert!(h32.solution.split.covers(rho));
         }
@@ -249,7 +229,9 @@ mod tests {
     fn h32jump_never_does_worse_than_h32() {
         let instance = illustrating_example();
         for rho in (10u64..=200).step_by(10) {
-            let h32 = SteepestGradientSolver::default().solve(&instance, rho).unwrap();
+            let h32 = SteepestGradientSolver::default()
+                .solve(&instance, rho)
+                .unwrap();
             let jump = SteepestGradientJumpSolver::with_seed(3)
                 .solve(&instance, rho)
                 .unwrap();
@@ -284,7 +266,9 @@ mod tests {
     fn h32_reaches_a_local_minimum() {
         // At a local minimum no single δ-transfer may improve the cost.
         let instance = illustrating_example();
-        let outcome = SteepestGradientSolver::default().solve(&instance, 140).unwrap();
+        let outcome = SteepestGradientSolver::default()
+            .solve(&instance, 140)
+            .unwrap();
         let delta = instance.throughput_granularity();
         let base = outcome.cost();
         let shares = outcome.solution.split.shares().to_vec();
@@ -308,8 +292,12 @@ mod tests {
     #[test]
     fn h32jump_is_deterministic_for_a_fixed_seed() {
         let instance = illustrating_example();
-        let a = SteepestGradientJumpSolver::with_seed(8).solve(&instance, 90).unwrap();
-        let b = SteepestGradientJumpSolver::with_seed(8).solve(&instance, 90).unwrap();
+        let a = SteepestGradientJumpSolver::with_seed(8)
+            .solve(&instance, 90)
+            .unwrap();
+        let b = SteepestGradientJumpSolver::with_seed(8)
+            .solve(&instance, 90)
+            .unwrap();
         assert_eq!(a.solution, b.solution);
     }
 

@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use rental_core::cost::IncrementalEvaluator;
+use rental_core::search::best_transfer;
 use rental_core::{Cost, Instance, RecipeId, Throughput, ThroughputSplit};
 use rental_lp::simplex;
 
@@ -79,7 +80,7 @@ impl MinCostSolver for LpRoundingSolver {
         let lower_bound = relaxation.objective;
 
         // 2. Round the fractional recipe throughputs down to the δ grid.
-        let mut shares: Vec<Throughput> = relaxation.values[..num_recipes]
+        let shares: Vec<Throughput> = relaxation.values[..num_recipes]
             .iter()
             .map(|&v| {
                 let v = v.max(0.0).floor() as Throughput;
@@ -88,57 +89,38 @@ impl MinCostSolver for LpRoundingSolver {
             .collect();
 
         // 3. Repair: greedily hand the uncovered remainder to the cheapest
-        //    recipe, δ at a time.
+        //    recipe, δ at a time, using the kernel's sparse increments
+        //    (`O(|support(j)|)` per candidate instead of an O(J·Q) rescan of
+        //    a cloned split).
         let covered: Throughput = shares.iter().sum();
         let mut remaining = target.saturating_sub(covered);
-        let mut evaluator = IncrementalEvaluator::new(
+        let mut evaluator = IncrementalEvaluator::with_capacity(
             instance.application().demand(),
             instance.platform(),
-            ThroughputSplit::new(shares.clone()),
+            ThroughputSplit::new(shares),
+            covered.max(target),
         )?;
         while remaining > 0 {
             let step = delta.min(remaining);
-            let mut best: Option<(usize, Cost)> = None;
+            let mut best: Option<(RecipeId, Cost)> = None;
             for j in 0..num_recipes {
-                let mut candidate = evaluator.split().shares().to_vec();
-                candidate[j] += step;
-                let cost = instance.split_cost(&candidate)?;
+                let recipe = RecipeId(j);
+                let cost = evaluator.cost_after_increment(recipe, step)?;
                 if best.is_none_or(|(_, best_cost)| cost < best_cost) {
-                    best = Some((j, cost));
+                    best = Some((recipe, cost));
                 }
             }
-            let (j, _) = best.expect("instance has at least one recipe");
-            shares = evaluator.split().shares().to_vec();
-            shares[j] += step;
-            evaluator.reset(ThroughputSplit::new(shares))?;
+            let (recipe, _) = best.expect("instance has at least one recipe");
+            evaluator.apply_increment(recipe, step)?;
             remaining -= step;
         }
 
-        // 4. Optional steepest-descent polish (the H32 neighbourhood).
+        // 4. Optional steepest-descent polish (the H32 neighbourhood, on the
+        //    kernel's parallel candidate scan).
         if self.polish && num_recipes > 1 {
             loop {
                 let current = evaluator.cost();
-                let mut best_move: Option<(RecipeId, RecipeId, Cost)> = None;
-                for from in 0..num_recipes {
-                    let from_id = RecipeId(from);
-                    if evaluator.split().share(from_id) == 0 {
-                        continue;
-                    }
-                    for to in 0..num_recipes {
-                        if to == from {
-                            continue;
-                        }
-                        let to_id = RecipeId(to);
-                        let (moved, cost) = evaluator.cost_after_transfer(from_id, to_id, delta)?;
-                        if moved == 0 || cost >= current {
-                            continue;
-                        }
-                        if best_move.is_none_or(|(_, _, best)| cost < best) {
-                            best_move = Some((from_id, to_id, cost));
-                        }
-                    }
-                }
-                match best_move {
+                match best_transfer(&evaluator, delta, &|_, _, cost| cost < current)? {
                     Some((from, to, _)) => {
                         evaluator.apply_transfer(from, to, delta)?;
                     }

@@ -17,7 +17,8 @@
 use std::time::Instant;
 
 use rental_core::cost::IncrementalEvaluator;
-use rental_core::{Cost, Instance, RecipeId, Throughput, ThroughputSplit};
+use rental_core::search::best_transfer;
+use rental_core::{Instance, Throughput, ThroughputSplit};
 
 use crate::heuristics::h1_best_graph::best_graph_split;
 use crate::solver::{MinCostSolver, SolveResult, SolverOutcome};
@@ -86,32 +87,13 @@ impl MinCostSolver for TabuSearchSolver {
             let tenure = self.tenure.min(directed_pairs.saturating_sub(1)).max(1);
             let mut tabu_until = vec![vec![0usize; num_recipes]; num_recipes];
             for iteration in 0..self.iterations {
-                let mut chosen: Option<(RecipeId, RecipeId, Cost)> = None;
-                for from in 0..num_recipes {
-                    let from_id = RecipeId(from);
-                    if evaluator.split().share(from_id) == 0 {
-                        continue;
-                    }
-                    for to in 0..num_recipes {
-                        if to == from {
-                            continue;
-                        }
-                        let to_id = RecipeId(to);
-                        let (moved, cost) = evaluator.cost_after_transfer(from_id, to_id, delta)?;
-                        if moved == 0 {
-                            continue;
-                        }
-                        let tabu = tabu_until[from][to] > iteration;
-                        // Aspiration: a tabu move is admissible if it strictly
-                        // improves on the best solution found so far.
-                        if tabu && cost >= best_cost {
-                            continue;
-                        }
-                        if chosen.is_none_or(|(_, _, best)| cost < best) {
-                            chosen = Some((from_id, to_id, cost));
-                        }
-                    }
-                }
+                // The full ordered-pair scan runs on the search kernel; the
+                // admissibility closure encodes the tabu list and the
+                // classical aspiration criterion (a tabu move is admissible
+                // when it strictly improves on the best solution so far).
+                let chosen = best_transfer(&evaluator, delta, &|from, to, cost| {
+                    tabu_until[from.index()][to.index()] <= iteration || cost < best_cost
+                })?;
                 let Some((from, to, _)) = chosen else {
                     break;
                 };
@@ -120,7 +102,7 @@ impl MinCostSolver for TabuSearchSolver {
                 tabu_until[to.index()][from.index()] = iteration + 1 + tenure;
                 if evaluator.cost() < best_cost {
                     best_cost = evaluator.cost();
-                    best_split = evaluator.split().clone();
+                    best_split.clone_from(evaluator.split());
                 }
             }
         }
@@ -214,7 +196,7 @@ mod tests {
 
     #[test]
     fn single_recipe_instances_short_circuit() {
-        use rental_core::{Platform, Recipe, TypeId};
+        use rental_core::{Platform, Recipe, RecipeId, TypeId};
         let platform = Platform::from_pairs(&[(10, 10), (20, 18)]).unwrap();
         let recipe = Recipe::chain(RecipeId(0), &[TypeId(0), TypeId(1)]).unwrap();
         let instance = Instance::new(vec![recipe], platform).unwrap();

@@ -30,6 +30,12 @@
 //! exact set of solvers compared in the paper's evaluation, and
 //! [`registry::extended_suite`] adds the extensions.
 //!
+//! The local-search heuristics all run on the sparse delta-evaluation search
+//! kernel of `rental_core::cost` (per-instance pair-diff table, undo tokens,
+//! parallel candidate scans), and [`batch::solve_batch`] fans a whole solver
+//! portfolio across many `(instance, target)` pairs in parallel — the
+//! many-tenants serving path.
+//!
 //! ```
 //! use rental_core::examples::illustrating_example;
 //! use rental_solvers::exact::IlpSolver;
@@ -43,12 +49,16 @@
 //! assert_eq!(h1.cost(), 138);       // Table III
 //! ```
 
+pub mod batch;
 pub mod exact;
 pub mod heuristics;
 pub mod multicloud;
 pub mod registry;
 pub mod solver;
 
+pub use batch::{
+    solve_batch, solve_batch_portfolio, solve_batch_timed, solve_batch_with, BatchItem,
+};
 pub use multicloud::{CloudRegion, MultiCloudProblem, MultiCloudSolution, RegionAllocation};
 pub use registry::{
     extended_suite, extended_suite_names, standard_suite, standard_suite_names, SuiteConfig,

@@ -18,8 +18,7 @@
 //!   provider separately.
 
 use rental_core::{
-    Cost, Instance, MachineType, ModelResult, Platform, Recipe, RecipeId, Task, Throughput,
-    TypeId,
+    Cost, Instance, MachineType, ModelResult, Platform, Recipe, RecipeId, Task, Throughput, TypeId,
 };
 
 use crate::exact::{DpNoSharedSolver, IlpSolver};
@@ -285,8 +284,14 @@ mod tests {
         let sum: Cost = solution.per_region.iter().map(|r| r.cost).sum();
         assert_eq!(sum, solution.total_cost);
         // Each region only books machines from its own catalogue.
-        assert_eq!(solution.region("cpu-cloud").unwrap().machine_counts.len(), 2);
-        assert_eq!(solution.region("gpu-cloud").unwrap().machine_counts.len(), 1);
+        assert_eq!(
+            solution.region("cpu-cloud").unwrap().machine_counts.len(),
+            2
+        );
+        assert_eq!(
+            solution.region("gpu-cloud").unwrap().machine_counts.len(),
+            1
+        );
         assert!(solution.region("unknown").is_none());
     }
 

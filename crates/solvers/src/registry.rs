@@ -31,7 +31,7 @@ pub struct SuiteConfig {
 impl Default for SuiteConfig {
     fn default() -> Self {
         SuiteConfig {
-            seed: 0xC10_0D,
+            seed: 0x000C_100D,
             ilp_time_limit: None,
             include_h0: false,
             include_ilp: true,
@@ -62,7 +62,7 @@ pub fn standard_suite(config: &SuiteConfig) -> Vec<Box<dyn MinCostSolver + Send 
         suite.push(Box::new(ilp));
     }
     if config.include_h0 {
-        suite.push(Box::new(RandomSplitSolver::with_seed(config.seed ^ 0x0)));
+        suite.push(Box::new(RandomSplitSolver::with_seed(config.seed)));
     }
     suite.push(Box::new(BestGraphSolver));
     suite.push(Box::new(RandomWalkSolver::with_seed(config.seed ^ 0x2)));

@@ -1,0 +1,54 @@
+//! The batch-solve engine must be observationally identical to the
+//! sequential double loop: same solutions, same costs, same per-item
+//! portfolio winners — whatever the thread budget.
+
+use proptest::prelude::*;
+
+use rental_simgen::{GeneratorConfig, InstanceGenerator};
+use rental_solvers::batch::{solve_batch_portfolio, solve_batch_with, BatchItem};
+use rental_solvers::registry::{standard_suite, SuiteConfig};
+use rental_solvers::MinCostSolver;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_results_are_identical_to_sequential_per_instance_solves(
+        seed in 0u64..1_000,
+        num_instances in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        let config = GeneratorConfig::tiny();
+        let instances: Vec<_> = (0..num_instances)
+            .map(|i| InstanceGenerator::new(config.clone(), seed + i as u64).generate_instance())
+            .collect();
+        let suite = standard_suite(&SuiteConfig::with_seed(seed));
+        let items: Vec<BatchItem<'_>> = instances
+            .iter()
+            .flat_map(|instance| [30u64, 80].map(|target| BatchItem::new(instance, target)))
+            .collect();
+
+        let batch = solve_batch_with(&suite, &items, Some(threads));
+        prop_assert_eq!(batch.len(), items.len());
+        for (item, row) in items.iter().zip(&batch) {
+            prop_assert_eq!(row.len(), suite.len());
+            for (solver, outcome) in suite.iter().zip(row) {
+                let sequential = solver.solve(item.instance, item.target).unwrap();
+                let outcome = outcome.as_ref().unwrap();
+                prop_assert_eq!(&outcome.solution, &sequential.solution);
+                prop_assert_eq!(outcome.proven_optimal, sequential.proven_optimal);
+            }
+        }
+
+        // The portfolio reduction picks exactly the sequential minimum.
+        let best = solve_batch_portfolio(&suite, &items, Some(threads));
+        for (item, winner) in items.iter().zip(&best) {
+            let sequential_min = suite
+                .iter()
+                .map(|solver| solver.solve(item.instance, item.target).unwrap().cost())
+                .min()
+                .unwrap();
+            prop_assert_eq!(winner.as_ref().unwrap().cost(), sequential_min);
+        }
+    }
+}

@@ -389,7 +389,8 @@ mod tests {
         // Very fragile machines: failures every ~5 time units, slow repairs.
         let counts = vec![3, 2, 1, 1];
         let failures = FailureModel::new(5.0, 3.0, 9).generate(&counts, trace.duration());
-        let bare = Autoscaler::default().run_with_failures(&instance, &fractions, &trace, &failures);
+        let bare =
+            Autoscaler::default().run_with_failures(&instance, &fractions, &trace, &failures);
         assert!(bare.violations > 0);
         // Adding one redundant machine per used type removes most violations.
         let hardened = Autoscaler::new(AutoscalePolicy {

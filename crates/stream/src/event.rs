@@ -81,7 +81,10 @@ impl EventQueue {
 
     /// Schedules an event at the given time.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
-        debug_assert!(time.is_finite() && time >= 0.0, "event times must be finite");
+        debug_assert!(
+            time.is_finite() && time >= 0.0,
+            "event times must be finite"
+        );
         let event = Event {
             time,
             sequence: self.next_sequence,

@@ -94,7 +94,11 @@ impl FailureModel {
                 }
             }
         }
-        outages.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap_or(std::cmp::Ordering::Equal));
+        outages.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         FailureTrace { outages, horizon }
     }
 }

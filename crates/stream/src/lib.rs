@@ -39,7 +39,7 @@ pub mod reorder;
 pub mod simulator;
 pub mod workload;
 
-pub use autoscale::{Autoscaler, AutoscalePolicy, AutoscaleReport, EpochRecord};
+pub use autoscale::{AutoscalePolicy, AutoscaleReport, Autoscaler, EpochRecord};
 pub use event::{Event, EventKind, EventQueue, SimTime};
 pub use failure::{FailureModel, FailureTrace, Outage};
 pub use machine::{MachinePool, WorkItem};

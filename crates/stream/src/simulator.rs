@@ -312,10 +312,17 @@ mod tests {
     fn a_feasible_allocation_sustains_the_target() {
         // Optimal Table III split for rho = 70.
         let report = simulate_split(vec![10, 30, 30], 70);
-        assert!(report.sustains(70, 0.95), "sustained {}", report.sustained_throughput);
+        assert!(
+            report.sustains(70, 0.95),
+            "sustained {}",
+            report.sustained_throughput
+        );
         // Conservation: every released item was injected, none invented.
         assert!(report.items_released <= report.items_injected);
-        assert_eq!(report.per_recipe_items.iter().sum::<usize>(), report.items_injected);
+        assert_eq!(
+            report.per_recipe_items.iter().sum::<usize>(),
+            report.items_injected
+        );
     }
 
     #[test]
@@ -353,8 +360,8 @@ mod tests {
             split: ThroughputSplit::new(vec![0, 0, 80]),
             allocation: undersized.allocation,
         };
-        let report =
-            StreamSimulator::new(SimulationConfig::new(60.0, 20.0)).simulate(&instance, &overloaded);
+        let report = StreamSimulator::new(SimulationConfig::new(60.0, 20.0))
+            .simulate(&instance, &overloaded);
         assert!(!report.sustains(80, 0.95));
         assert!(report.sustained_throughput <= 25.0);
     }
@@ -394,7 +401,11 @@ mod tests {
         assert!(report.max_latency >= report.mean_latency);
         // And with a correctly sized platform, latency stays bounded (no
         // unbounded queueing): a loose sanity cap of a few time units.
-        assert!(report.max_latency < 5.0, "max latency {}", report.max_latency);
+        assert!(
+            report.max_latency < 5.0,
+            "max latency {}",
+            report.max_latency
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@ use proptest::prelude::*;
 
 use rental_core::examples::illustrating_example;
 use rental_core::TypeId;
-use rental_stream::{
-    Autoscaler, AutoscalePolicy, FailureModel, TraceSegment, WorkloadTrace,
-};
+use rental_stream::{AutoscalePolicy, Autoscaler, FailureModel, TraceSegment, WorkloadTrace};
 
 fn arbitrary_trace() -> impl Strategy<Value = WorkloadTrace> {
     proptest::collection::vec((0.5f64..20.0, 0.0f64..120.0), 1..8).prop_map(|segments| {

@@ -94,8 +94,10 @@ fn longer_horizons_do_not_degrade_sustained_throughput() {
     let solution = instance
         .solution(70, ThroughputSplit::new(vec![10, 30, 30]))
         .unwrap();
-    let short = StreamSimulator::new(SimulationConfig::new(30.0, 10.0)).simulate(&instance, &solution);
-    let long = StreamSimulator::new(SimulationConfig::new(120.0, 10.0)).simulate(&instance, &solution);
+    let short =
+        StreamSimulator::new(SimulationConfig::new(30.0, 10.0)).simulate(&instance, &solution);
+    let long =
+        StreamSimulator::new(SimulationConfig::new(120.0, 10.0)).simulate(&instance, &solution);
     // Steady state: the long-run estimate is at least as close to the target.
     assert!(long.sustained_throughput >= short.sustained_throughput - 1.0);
     assert!(long.sustains(70, 0.97));

@@ -9,7 +9,7 @@
 
 use multi_recipe_cloud::prelude::*;
 use rental_core::examples::illustrating_example;
-use rental_stream::{Autoscaler, AutoscalePolicy, FailureModel, WorkloadTrace};
+use rental_stream::{AutoscalePolicy, Autoscaler, FailureModel, WorkloadTrace};
 
 fn main() {
     // The recipe mix comes from the paper's optimal solution at the peak rate.

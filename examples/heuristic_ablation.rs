@@ -22,7 +22,10 @@ fn main() {
     );
 
     let suite = extended_suite(&SuiteConfig::with_seed(2016));
-    println!("\n{:>10} | {:>8} | {:>10} | {}", "solver", "cost", "time", "split");
+    println!(
+        "\n{:>10} | {:>8} | {:>10} | split",
+        "solver", "cost", "time"
+    );
     println!("{}", "-".repeat(64));
     for target in [60u64, 120, 180] {
         println!("rho = {target}");

@@ -43,7 +43,9 @@ fn main() {
     );
     println!("{}", "-".repeat(68));
     for target in (20u64..=200).step_by(20) {
-        let solution = problem.solve(target).expect("the combined instance is solvable");
+        let solution = problem
+            .solve(target)
+            .expect("the combined instance is solvable");
         let cpu = solution.region("cpu-cloud").unwrap();
         let gpu = solution.region("gpu-cloud").unwrap();
         println!(

@@ -35,7 +35,7 @@ fn main() {
         Box::new(SteepestGradientJumpSolver::with_seed(1)),
     ];
 
-    println!("{:>5} | {:>8} {:>18} | {}", "rho", "solver", "split", "cost");
+    println!("{:>5} | {:>8} {:>18} | cost", "rho", "solver", "split");
     println!("{}", "-".repeat(56));
     for target in (10u64..=200).step_by(30) {
         for solver in &solvers {

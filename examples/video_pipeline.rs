@@ -86,7 +86,13 @@ fn main() {
         .solve(&instance, 240)
         .expect("ILP solves the scenario");
     println!("\nOptimal split at 240 fps: {}", ilp.solution.split);
-    let names = ["decode-cpu", "filter-cpu", "filter-gpu", "encode-cpu", "encode-gpu"];
+    let names = [
+        "decode-cpu",
+        "filter-cpu",
+        "filter-gpu",
+        "encode-cpu",
+        "encode-gpu",
+    ];
     for (q, &count) in ilp.solution.allocation.machine_counts().iter().enumerate() {
         if count > 0 {
             println!("  rent {count:>2} x {}", names[q]);
@@ -95,8 +101,8 @@ fn main() {
     println!("  total hourly cost: {}", ilp.cost());
 
     // Validate with the stream simulator: the rented park must sustain 240 fps.
-    let report = StreamSimulator::new(SimulationConfig::new(30.0, 10.0))
-        .simulate(&instance, &ilp.solution);
+    let report =
+        StreamSimulator::new(SimulationConfig::new(30.0, 10.0)).simulate(&instance, &ilp.solution);
     println!(
         "\nStream validation: sustained {:.1} fps (target 240), \
          peak reorder buffer {} frames",

@@ -41,7 +41,7 @@
 //! assert_eq!(optimal.cost(), 124);
 //!
 //! // The H32Jump heuristic finds the same cost on this instance.
-//! let heuristic = SteepestGradientJumpSolver::default().solve(&instance, 70).unwrap();
+//! let heuristic = SteepestGradientJumpSolver::with_seed(8).solve(&instance, 70).unwrap();
 //! assert_eq!(heuristic.cost(), 124);
 //!
 //! // And the streaming simulator confirms the allocation sustains ρ = 70.
@@ -59,17 +59,17 @@ pub use rental_stream as stream;
 
 /// Most commonly used items across the workspace, for a single glob import.
 pub mod prelude {
+    pub use rental_core::plan::ProvisioningPlan;
     pub use rental_core::prelude::*;
     pub use rental_core::Instance;
     pub use rental_lp::{MipSolver, SolveLimits};
+    pub use rental_pricing::billing::{BillingModel, OnDemand, PerSecond, Reserved, Spot};
+    pub use rental_pricing::horizon::{bill_plan, RentalHorizon};
+    pub use rental_pricing::optimizer::{optimize_billing, BillingOptions};
     pub use rental_simgen::{GeneratorConfig, InstanceGenerator};
     pub use rental_solvers::exact::{
         BlackBoxKnapsackSolver, BruteForceSolver, DpNoSharedSolver, IlpSolver, SingleRecipeSolver,
     };
-    pub use rental_core::plan::ProvisioningPlan;
-    pub use rental_pricing::billing::{BillingModel, OnDemand, PerSecond, Reserved, Spot};
-    pub use rental_pricing::horizon::{bill_plan, RentalHorizon};
-    pub use rental_pricing::optimizer::{optimize_billing, BillingOptions};
     pub use rental_solvers::heuristics::{
         BestGraphSolver, GreedyMarginalSolver, LpRoundingSolver, RandomSplitSolver,
         RandomWalkSolver, SimulatedAnnealingSolver, SteepestGradientJumpSolver,

@@ -24,7 +24,11 @@ fn generated_instances_flow_through_the_whole_pipeline() {
         ];
         for heuristic in &heuristics {
             let outcome = heuristic.solve(&instance, target).unwrap();
-            assert!(outcome.solution.split.covers(target), "{}", heuristic.name());
+            assert!(
+                outcome.solution.split.covers(target),
+                "{}",
+                heuristic.name()
+            );
             assert!(
                 outcome.cost() >= ilp.cost(),
                 "{} beat the ILP on round {round}",
@@ -57,7 +61,9 @@ fn exact_methods_agree_where_their_domains_overlap() {
         let knapsack = BlackBoxKnapsackSolver.solve(&instance, target).unwrap();
         let dp = DpNoSharedSolver::new().solve(&instance, target).unwrap();
         let ilp = IlpSolver::new().solve(&instance, target).unwrap();
-        let brute = BruteForceSolver::with_step(1).solve(&instance, target).unwrap();
+        let brute = BruteForceSolver::with_step(1)
+            .solve(&instance, target)
+            .unwrap();
         assert_eq!(knapsack.cost(), ilp.cost(), "target {target}");
         assert_eq!(dp.cost(), ilp.cost(), "target {target}");
         assert_eq!(brute.cost(), ilp.cost(), "target {target}");
@@ -84,8 +90,8 @@ fn no_shared_dp_agrees_with_ilp_on_disjoint_instances() {
 
 #[test]
 fn suite_and_experiment_harness_work_on_generated_medium_instances() {
-    use multi_recipe_cloud::experiments::{run_experiment, ExperimentSpec, Metric};
     use multi_recipe_cloud::experiments::figure_csv;
+    use multi_recipe_cloud::experiments::{run_experiment, ExperimentSpec, Metric};
 
     let mut suite = SuiteConfig::with_seed(11);
     // Keep the test bounded even on an unlucky instance: a time-limited ILP
@@ -108,7 +114,10 @@ fn suite_and_experiment_harness_work_on_generated_medium_instances() {
     for (s, name) in results.solvers.iter().enumerate() {
         for cell in &results.cells[s] {
             if name == "ILP" {
-                assert!(cell.normalised.mean > 0.98, "ILP unexpectedly far from best");
+                assert!(
+                    cell.normalised.mean > 0.98,
+                    "ILP unexpectedly far from best"
+                );
             } else {
                 assert!(cell.normalised.mean > 0.80, "{name} too far from optimal");
             }

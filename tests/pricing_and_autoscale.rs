@@ -10,7 +10,7 @@ use rental_core::{Solution, ThroughputSplit};
 use rental_pricing::billing::Spot;
 use rental_pricing::horizon::break_even_hours;
 use rental_pricing::optimizer::BillingChoice;
-use rental_stream::{Autoscaler, AutoscalePolicy, FailureModel, WorkloadTrace};
+use rental_stream::{AutoscalePolicy, Autoscaler, FailureModel, WorkloadTrace};
 
 fn optimal_solution(target: u64) -> (Instance, Solution) {
     let instance = illustrating_example();
@@ -28,7 +28,10 @@ fn one_hour_on_demand_bill_equals_the_paper_cost() {
         let (instance, solution) = optimal_solution(target);
         let plan = ProvisioningPlan::build(&instance, &solution).unwrap();
         let bill = bill_plan(&plan, RentalHorizon::hours(1.0), &OnDemand::hourly());
-        assert!((bill.total - solution.cost() as f64).abs() < 1e-9, "rho = {target}");
+        assert!(
+            (bill.total - solution.cost() as f64).abs() < 1e-9,
+            "rho = {target}"
+        );
     }
 }
 
@@ -58,10 +61,18 @@ fn break_even_points_are_consistent_with_the_bills() {
         &reserved,
     )
     .unwrap();
-    let before = bill_plan(&plan, RentalHorizon::hours(crossing * 0.5), &OnDemand::hourly());
+    let before = bill_plan(
+        &plan,
+        RentalHorizon::hours(crossing * 0.5),
+        &OnDemand::hourly(),
+    );
     let before_reserved = bill_plan(&plan, RentalHorizon::hours(crossing * 0.5), &reserved);
     assert!(before.total < before_reserved.total);
-    let after = bill_plan(&plan, RentalHorizon::hours(crossing * 2.0), &OnDemand::hourly());
+    let after = bill_plan(
+        &plan,
+        RentalHorizon::hours(crossing * 2.0),
+        &OnDemand::hourly(),
+    );
     let after_reserved = bill_plan(&plan, RentalHorizon::hours(crossing * 2.0), &reserved);
     assert!(after.total > after_reserved.total);
 }
@@ -119,7 +130,10 @@ fn autoscaler_peak_epoch_fleet_sustains_the_peak_rate_in_the_stream_simulator() 
 
     // Rebuild a Solution from the epoch's fleet and run the simulator at the
     // peak rate with the same split proportions.
-    let peak_split: Vec<u64> = fractions.iter().map(|f| (f * 80.0).round() as u64).collect();
+    let peak_split: Vec<u64> = fractions
+        .iter()
+        .map(|f| (f * 80.0).round() as u64)
+        .collect();
     let allocation =
         rental_core::Allocation::from_counts(peak_epoch.machines.clone(), instance.platform())
             .unwrap();
@@ -128,8 +142,8 @@ fn autoscaler_peak_epoch_fleet_sustains_the_peak_rate_in_the_stream_simulator() 
         split: ThroughputSplit::new(peak_split),
         allocation,
     };
-    let sim = StreamSimulator::new(SimulationConfig::new(60.0, 20.0))
-        .simulate(&instance, &peak_solution);
+    let sim =
+        StreamSimulator::new(SimulationConfig::new(60.0, 20.0)).simulate(&instance, &peak_solution);
     assert!(
         sim.sustains(80, 0.9),
         "peak-epoch fleet sustains only {} items/t.u.",
@@ -150,7 +164,10 @@ fn redundancy_trades_cost_for_fewer_failure_violations() {
         ..AutoscalePolicy::default()
     })
     .run_with_failures(&instance, &fractions, &trace, &failures);
-    assert!(bare.violations > 0, "fragile machines should cause violations");
+    assert!(
+        bare.violations > 0,
+        "fragile machines should cause violations"
+    );
     assert!(hardened.violations < bare.violations);
     assert!(hardened.total_cost > bare.total_cost);
 }

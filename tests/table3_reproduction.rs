@@ -59,7 +59,10 @@ fn heuristics_never_beat_the_ilp_and_strongest_ones_match_it_often() {
     // some slack for seed/δ-interpretation differences but require both to be
     // clearly better than chance.
     assert!(h2_hits >= 13, "H2 matched only {h2_hits}/20 optima");
-    assert!(jump_hits >= 13, "H32Jump matched only {jump_hits}/20 optima");
+    assert!(
+        jump_hits >= 13,
+        "H32Jump matched only {jump_hits}/20 optima"
+    );
 }
 
 #[test]
@@ -69,7 +72,10 @@ fn rho_160_shows_the_documented_heuristic_gap() {
     let instance = illustrating_example();
     let ilp = IlpSolver::new().solve(&instance, 160).unwrap();
     assert_eq!(ilp.cost(), 268);
-    assert_eq!(ilp.solution.split.active_recipes(), 2.max(ilp.solution.split.active_recipes()));
+    assert_eq!(
+        ilp.solution.split.active_recipes(),
+        2.max(ilp.solution.split.active_recipes())
+    );
     for heuristic_cost in [
         BestGraphSolver.solve(&instance, 160).unwrap().cost(),
         SteepestGradientSolver::default()
