@@ -20,9 +20,12 @@ use crate::types::{Cost, RecipeId, Throughput};
 /// Recipe count from which [`best_transfer`] scans rows in parallel.
 ///
 /// A scan costs `O(J² · |diff|)`; below this threshold the work is cheaper
-/// than fanning it out (worker threads are spawned per scan), above it the
+/// than fanning it out (job hand-off to the shared worker pool), above it the
 /// quadratic candidate count dominates. At the threshold a scan examines
-/// ~4k pairs.
+/// ~4k pairs. Scans dispatched from inside a batch solve share the batch
+/// engine's pool — the rayon shim runs every fan-out on one process-wide
+/// worker set, with the calling thread always participating — so nested
+/// parallelism is bounded by the core count instead of multiplying.
 pub const PARALLEL_SCAN_MIN_RECIPES: usize = 64;
 
 /// The best admissible `δ`-transfer, over all ordered recipe pairs.

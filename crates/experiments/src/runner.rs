@@ -16,8 +16,8 @@
 
 use rental_core::{Instance, Throughput};
 use rental_simgen::{GeneratorConfig, InstanceGenerator};
-use rental_solvers::batch::{solve_batch_timed, BatchItem};
-use rental_solvers::registry::{standard_suite, standard_suite_names, SuiteConfig};
+use rental_solvers::batch::{solve_batch_timed, solve_sweep_batch_timed, BatchItem};
+use rental_solvers::registry::{ilp_solver, standard_suite, standard_suite_names, SuiteConfig};
 
 use crate::stats::{normalised_cost, Aggregate};
 
@@ -139,9 +139,16 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResults {
         })
         .collect();
 
-    // Flatten the (configuration × target) grid into one batch; the batch
-    // engine parallelises over (item × solver) units.
-    let suite = standard_suite(&spec.suite);
+    // The heuristics flatten the (configuration × target) grid into one
+    // batch; the batch engine parallelises over (item × solver) units. The
+    // ILP instead runs one warm-started **sweep per instance** (parallel
+    // across instances, sequential over targets within an instance), so the
+    // incumbent of each target primes branch & bound for the next one.
+    let heuristic_config = SuiteConfig {
+        include_ilp: false,
+        ..spec.suite
+    };
+    let heuristic_suite = standard_suite(&heuristic_config);
     let items: Vec<BatchItem<'_>> = instances
         .iter()
         .flat_map(|instance| {
@@ -150,13 +157,34 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResults {
                 .map(move |&target| BatchItem::new(instance, target))
         })
         .collect();
-    let batch = solve_batch_timed(&suite, &items, spec.threads);
+    let batch = solve_batch_timed(&heuristic_suite, &items, spec.threads);
+    let ilp_rows = spec.suite.include_ilp.then(|| {
+        let ilp = ilp_solver(&spec.suite);
+        let instance_refs: Vec<&Instance> = instances.iter().collect();
+        solve_sweep_batch_timed(&ilp, &instance_refs, &spec.targets, spec.threads)
+    });
+    let solver_offset = usize::from(spec.suite.include_ilp);
 
-    // Regroup batch rows (indexed [config * T + t][solver]) into the
-    // observations[config][solver][target] layout the aggregation expects.
-    // Failed solves keep their measured wall time (an ILP that burns its
-    // whole budget without an incumbent must not count as instantaneous in
-    // the Figure 5/8 timing curves).
+    // Regroup into the observations[config][solver][target] layout the
+    // aggregation expects (suite order: ILP first when included). Failed
+    // solves keep their measured wall time (an ILP that burns its whole
+    // budget without an incumbent must not count as instantaneous in the
+    // Figure 5/8 timing curves).
+    let observe = |result: &(
+        Result<rental_solvers::SolverOutcome, rental_solvers::SolveError>,
+        std::time::Duration,
+    )| match result {
+        (Ok(outcome), _) => Observation {
+            cost: outcome.cost() as f64,
+            seconds: outcome.elapsed.as_secs_f64(),
+            proven_optimal: outcome.proven_optimal,
+        },
+        (Err(_), elapsed) => Observation {
+            cost: f64::INFINITY,
+            seconds: elapsed.as_secs_f64(),
+            proven_optimal: false,
+        },
+    };
     let observations: Vec<Option<Vec<Vec<Observation>>>> = (0..spec.num_configs)
         .map(|config_index| {
             Some(
@@ -164,18 +192,12 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResults {
                     .map(|s| {
                         (0..num_targets)
                             .map(|t| {
-                                let row = &batch[config_index * num_targets + t];
-                                match &row[s] {
-                                    (Ok(outcome), _) => Observation {
-                                        cost: outcome.cost() as f64,
-                                        seconds: outcome.elapsed.as_secs_f64(),
-                                        proven_optimal: outcome.proven_optimal,
-                                    },
-                                    (Err(_), elapsed) => Observation {
-                                        cost: f64::INFINITY,
-                                        seconds: elapsed.as_secs_f64(),
-                                        proven_optimal: false,
-                                    },
+                                if s < solver_offset {
+                                    let rows = ilp_rows.as_ref().expect("ILP lane is enabled");
+                                    observe(&rows[config_index][t])
+                                } else {
+                                    let row = &batch[config_index * num_targets + t];
+                                    observe(&row[s - solver_offset])
                                 }
                             })
                             .collect()

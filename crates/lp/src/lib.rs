@@ -6,15 +6,27 @@
 //!
 //! * [`model`] — LP/MILP builder: variables with bounds and integrality,
 //!   linear constraints, minimize/maximize objective.
-//! * [`simplex`] — dense two-phase primal simplex for the LP relaxation.
+//! * [`simplex`] — the LP entry points, backed by the **revised simplex** of
+//!   [`revised`]: the constraint matrix lives in sparse column form, the
+//!   basis inverse is an LU factorization extended by **product-form (eta
+//!   file) updates** — one sparse rank-one update per pivot instead of a full
+//!   tableau elimination — refactorized every ~48 pivots for numerical
+//!   stability, and general variable bounds are handled natively (no
+//!   shifting, splitting or extra bound rows). The pre-rewrite dense tableau
+//!   is retained as [`simplex::dense`] ([`dense_simplex`]) — the
+//!   differential-testing oracle and benchmark baseline.
 //! * [`mip`] — best-first branch-and-bound with an LP-rounding primal
 //!   heuristic, time/node/gap limits (the 100 s time limit of the paper's
-//!   Figure 8 maps to [`mip::SolveLimits::with_time_limit`]).
+//!   Figure 8 maps to [`mip::SolveLimits::with_time_limit`]). Child nodes
+//!   re-solve **from the parent's basis** with the dual simplex (branching
+//!   changes one bound, which preserves dual feasibility), and target sweeps
+//!   can thread a proven **objective floor** through
+//!   [`mip::MipSolver::solve_with_hints`] to collapse plateaued solves.
 //!
 //! The solver is deliberately sized for the MinCost MILPs of the paper
-//! (tens of variables and constraints); it is exact, pure Rust, and fast
-//! enough for the experiment harness, but it is not a general-purpose
-//! industrial solver.
+//! (tens to low hundreds of variables and constraints); it is exact, pure
+//! Rust, and fast enough for the experiment harness, but it is not a
+//! general-purpose industrial solver.
 //!
 //! ```
 //! use rental_lp::model::{Model, Relation};
@@ -29,9 +41,11 @@
 //! assert_eq!(solution.rounded_values(), vec![4, 0]);
 //! ```
 
+pub mod dense_simplex;
 pub mod error;
 pub mod mip;
 pub mod model;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
 

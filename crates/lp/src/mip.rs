@@ -6,13 +6,22 @@
 //! proves optimality quickly on the paper's small and medium instances, and —
 //! like Gurobi in §VIII-E — returns its best incumbent when the configured
 //! time limit is reached on the very large ones.
+//!
+//! The relaxations run on the revised simplex ([`crate::revised`]): the
+//! sparse standard form is built **once** per solve, and every child node
+//! re-solves **from its parent's optimal basis** with the dual simplex —
+//! branching changes a single variable bound, which leaves the parent basis
+//! dual feasible, so a handful of dual pivots usually restore optimality
+//! where the old dense path re-ran two full phases on a cloned model.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::LpResult;
 use crate::model::{Model, Sense, VarId};
+use crate::revised::{BasisSnapshot, RevisedLp};
 use crate::simplex::{self, SimplexOptions};
 use crate::solution::{LpStatus, MipSolution, MipStatus};
 
@@ -70,6 +79,9 @@ struct Node {
     bounds: Vec<(VarId, f64, f64)>,
     /// Depth in the tree, used to favour diving on ties.
     depth: usize,
+    /// The parent's optimal basis: the dual-simplex warm start for this
+    /// node's relaxation (both children share it through the [`Arc`]).
+    warm_basis: Option<Arc<BasisSnapshot>>,
 }
 
 impl PartialEq for Node {
@@ -136,6 +148,34 @@ impl MipSolver {
         &self,
         model: &Model,
         warm_start: Option<&[f64]>,
+    ) -> LpResult<MipSolution> {
+        self.solve_with_hints(model, warm_start, None)
+    }
+
+    /// [`Self::solve_with_start`] with an additional **objective floor**: an
+    /// externally proven bound on the optimal objective (a lower bound when
+    /// minimizing, an upper bound when maximizing).
+    ///
+    /// The floor is *never* added to the LP (objective cuts degrade branching
+    /// badly); it is used for pruning only: every subtree's integer points are
+    /// feasible for the whole problem, so `max(subtree LP bound, floor)` is a
+    /// valid subtree bound. When an incumbent comes within the improvement
+    /// step of the floor, the entire remaining tree prunes — on target sweeps
+    /// whose optimal cost plateaus between neighbouring targets (ubiquitous at
+    /// fine granularity, because machine capacity is quantized) this collapses
+    /// the search to a handful of nodes.
+    ///
+    /// An unsound floor (one exceeding the true optimum) voids the optimality
+    /// guarantee; callers must only pass proven bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a model-validation error if the model is structurally invalid.
+    pub fn solve_with_hints(
+        &self,
+        model: &Model,
+        warm_start: Option<&[f64]>,
+        objective_floor: Option<f64>,
     ) -> LpResult<MipSolution> {
         let start = Instant::now();
         model.validate()?;
@@ -208,16 +248,28 @@ impl MipSolver {
         } else {
             1e-9
         };
-        let mut best_bound = f64::NEG_INFINITY;
+        // The externally proven floor, in minimize space.
+        let floor = objective_floor
+            .map(|f| if minimize { f } else { -f })
+            .unwrap_or(f64::NEG_INFINITY);
+        // The sparse standard form is shared by every node; only bounds vary.
+        let relaxation = RevisedLp::new(&work_model)?;
+        let mut best_bound = floor.max(f64::NEG_INFINITY);
         let mut open = BinaryHeap::new();
         open.push(Node {
             bound: f64::NEG_INFINITY,
             bounds: Vec::new(),
             depth: 0,
+            warm_basis: None,
         });
         let mut hit_limit = false;
         let mut root_infeasible = false;
         let mut root_unbounded = false;
+        // Subtrees discarded because their relaxation was inconclusive
+        // (iteration limit / numerical trouble) still bound the optimum by
+        // their parent's bound; folding that in keeps the reported
+        // `best_bound` — and any sweep floor derived from it — sound.
+        let mut dropped_bound = f64::INFINITY;
 
         while let Some(node) = open.pop() {
             if let Some(limit) = self.limits.time_limit {
@@ -240,8 +292,11 @@ impl MipSolver {
             }
 
             nodes_explored += 1;
-            let node_model = apply_bounds(&work_model, &node.bounds);
-            let lp = simplex::solve_with(&node_model, &self.simplex_options)?;
+            let lp = relaxation.solve_node(
+                &node.bounds,
+                node.warm_basis.as_deref(),
+                &self.simplex_options,
+            );
             lp_iterations += lp.iterations;
             match lp.status {
                 LpStatus::Infeasible => {
@@ -259,11 +314,14 @@ impl MipSolver {
                 }
                 LpStatus::IterationLimit => {
                     hit_limit = true;
+                    dropped_bound = dropped_bound.min(node.bound.max(floor));
                     continue;
                 }
                 LpStatus::Optimal => {}
             }
-            let node_bound = lp.objective;
+            // Every subtree's integer points are feasible for the whole
+            // problem, so the external floor is a valid subtree bound too.
+            let node_bound = work_model.objective_value(&lp.values).max(floor);
             if node.depth == 0 {
                 best_bound = node_bound;
             }
@@ -306,11 +364,13 @@ impl MipSolver {
                         bound: node_bound,
                         bounds: down_bounds,
                         depth: node.depth + 1,
+                        warm_basis: lp.basis.clone(),
                     });
                     open.push(Node {
                         bound: node_bound,
                         bounds: up_bounds,
                         depth: node.depth + 1,
+                        warm_basis: lp.basis,
                     });
                 }
             }
@@ -320,7 +380,7 @@ impl MipSolver {
                 let bound_now = open
                     .iter()
                     .map(|n| n.bound)
-                    .fold(f64::INFINITY, f64::min)
+                    .fold(dropped_bound, f64::min)
                     .max(best_bound);
                 let denom = best_obj.abs().max(1e-9);
                 if (best_obj - bound_now).abs() / denom <= self.limits.gap_tolerance {
@@ -330,10 +390,10 @@ impl MipSolver {
             }
         }
 
-        // The proven bound is the minimum over the remaining open nodes (they
-        // might still contain better solutions) or the incumbent if the tree
-        // was exhausted.
-        let open_bound = open.iter().map(|n| n.bound).fold(f64::INFINITY, f64::min);
+        // The proven bound is the minimum over the remaining open nodes and
+        // any dropped inconclusive subtrees (they might still contain better
+        // solutions), or the incumbent if the tree was exhausted.
+        let open_bound = open.iter().map(|n| n.bound).fold(dropped_bound, f64::min);
         let elapsed = start.elapsed().as_secs_f64();
 
         if root_unbounded {
@@ -434,14 +494,6 @@ fn negate_objective(model: &Model) -> Model {
         );
     }
     negated
-}
-
-fn apply_bounds(model: &Model, bounds: &[(VarId, f64, f64)]) -> Model {
-    let mut result = model.clone();
-    for &(var, lower, upper) in bounds {
-        result = result.with_tightened_bounds(var, lower, upper);
-    }
-    result
 }
 
 fn most_fractional(integer_vars: &[VarId], values: &[f64], tol: f64) -> Option<(VarId, f64)> {
@@ -683,6 +735,32 @@ mod tests {
             .solve_with_start(&model, Some(&[3.5, 0.0]))
             .unwrap();
         assert_close(fractional.objective, 40.0);
+    }
+
+    #[test]
+    fn objective_floor_prunes_without_changing_the_optimum() {
+        // minimize 10x + 18y, x + y >= 3.5, integers -> optimum 40 at (4, 0).
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_int_var("x", 10.0);
+        let y = model.add_nonneg_int_var("y", 18.0);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 3.5);
+        let solver = MipSolver::new();
+        let plain = solver.solve(&model).unwrap();
+        assert_close(plain.objective, 40.0);
+        // A loose (but sound) floor changes nothing.
+        let loose = solver.solve_with_hints(&model, None, Some(20.0)).unwrap();
+        assert_eq!(loose.status, MipStatus::Optimal);
+        assert_close(loose.objective, 40.0);
+        // A tight floor plus a matching warm start collapses the tree: the
+        // incumbent meets the floor, so every further node prunes.
+        let tight = solver
+            .solve_with_hints(&model, Some(&[4.0, 0.0]), Some(40.0))
+            .unwrap();
+        assert_eq!(tight.status, MipStatus::Optimal);
+        assert_close(tight.objective, 40.0);
+        assert!(tight.nodes <= 1, "tree must collapse, saw {}", tight.nodes);
+        assert!(tight.nodes < plain.nodes);
+        assert_close(tight.best_bound, 40.0);
     }
 
     #[test]

@@ -1,0 +1,1374 @@
+//! Revised simplex with a factorized basis.
+//!
+//! Where the dense tableau ([`crate::simplex::dense`]) re-eliminates the whole
+//! `m × (n + m)` tableau on every pivot, the revised simplex keeps three much
+//! smaller objects and derives everything else on demand:
+//!
+//! * the constraint matrix `A` in **sparse column** form, built once;
+//! * a dense **LU factorization** (partial pivoting) of the basis matrix `B`
+//!   taken at the last refactorization;
+//! * an **eta file**: the product-form updates accumulated since then. After a
+//!   pivot that replaces basis row `r` with column `q`, the new basis is
+//!   `B' = B · E` where `E` is the identity with column `r` replaced by
+//!   `w = B⁻¹ a_q`. Only the sparse `w` (one [`Eta`]) is stored; `B'⁻¹` is
+//!   never formed.
+//!
+//! `FTRAN` (solve `B x = v`) applies the LU solve and then each eta inverse in
+//! order; `BTRAN` (solve `Bᵀ y = v`) applies the eta transposes in reverse and
+//! then the LU transpose solve. Every [`REFACTOR_EVERY`] pivots the eta file
+//! is folded into a fresh LU of the current basis and the basic values are
+//! recomputed from scratch, which bounds both the per-iteration cost and the
+//! accumulated floating-point drift.
+//!
+//! Variable bounds are handled **natively**: each column carries `[l, u]` and
+//! a nonbasic status (at lower, at upper, or free at zero), so general bounds
+//! cost nothing extra — no shifting, no splitting of free variables, and no
+//! explicit upper-bound rows. Phase 1 uses one fixed artificial column per row
+//! whose bounds are temporarily relaxed to cover the initial residual; at a
+//! zero phase-1 optimum the artificials are pinned back to `[0, 0]` and phase
+//! 2 prices the real objective (Dantzig, falling back to Bland's rule after
+//! `bland_after` pivots, exactly like the dense solver).
+//!
+//! The second entry point, [`RevisedLp::solve_node`], is what makes branch &
+//! bound cheap: given the **optimal basis of a parent node** and a tightened
+//! variable bound, it restores the basis (one refactorization), which is still
+//! dual feasible, and runs the **dual simplex** on the handful of rows the
+//! bound change made primal infeasible. When the warm path hits numerical
+//! trouble it falls back to a cold primal solve, so warm starts are purely a
+//! performance optimization, never a correctness risk.
+
+// The factorization and pivot kernels are written index-first to mirror the
+// textbook linear algebra (triangular sweeps over `lu[r * m + k]`, parallel
+// walks of `w`/`xb`/`basis`); iterator rewrites obscure the math for no
+// performance gain.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::Arc;
+
+use crate::error::LpResult;
+use crate::model::{Model, Relation, Sense, VarId};
+use crate::simplex::SimplexOptions;
+use crate::solution::LpStatus;
+
+/// Number of eta updates accumulated before the basis is refactorized.
+const REFACTOR_EVERY: usize = 48;
+/// Smallest pivot magnitude accepted during elimination / basis changes.
+const MIN_PIVOT: f64 = 1e-9;
+/// Entries below this magnitude are treated as numerical zero.
+const ZERO_TOL: f64 = 1e-11;
+
+/// Nonbasic / basic status of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColStatus {
+    /// The column is basic (its row is recorded in the basis vector).
+    Basic,
+    /// Nonbasic at its (finite) lower bound.
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+    /// Nonbasic free variable, resting at zero.
+    Free,
+}
+
+/// A snapshot of a simplex basis, sufficient to warm-start a related solve.
+///
+/// Cheap to clone and share ([`Arc`] in the branch-and-bound tree): it stores
+/// only the basic column per row and the status of every column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisSnapshot {
+    basis: Vec<usize>,
+    status: Vec<ColStatus>,
+}
+
+/// Outcome of one revised-simplex solve, in the model's variable space.
+#[derive(Debug, Clone)]
+pub struct RevisedOutcome {
+    /// Solve status (same meaning as [`LpStatus`] for the whole model).
+    pub status: LpStatus,
+    /// Values of the model variables (only meaningful when `Optimal`).
+    pub values: Vec<f64>,
+    /// Simplex pivots performed (primal + dual).
+    pub iterations: usize,
+    /// Optimal basis, reusable for warm-started re-solves.
+    pub basis: Option<Arc<BasisSnapshot>>,
+}
+
+/// One product-form update: basis column `pivot` was replaced by the column
+/// whose FTRAN image is `w`; `w[pivot]` is stored separately as `pivot_value`.
+#[derive(Debug, Clone)]
+struct Eta {
+    pivot: usize,
+    pivot_value: f64,
+    /// Sparse off-pivot entries of `w`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// Dense LU factors of the basis at the last refactorization, plus the eta
+/// file accumulated since.
+///
+/// The factors are stored **physically permuted** (row `k` of `lu` is the
+/// `k`-th pivot row), so the triangular solves stream through memory
+/// contiguously; `row_perm` only permutes the right-hand side.
+#[derive(Debug, Clone, Default)]
+struct Factorization {
+    m: usize,
+    /// Combined `L` (unit diagonal, strictly below) and `U` (on/above),
+    /// row-major in pivot order. Empty when `diag` is active.
+    lu: Vec<f64>,
+    /// Diagonal factor fast path: a basis of unit columns (the cold
+    /// all-slack/artificial start) is a signed permutation, so both solves
+    /// are O(m) divides instead of O(m²) triangular sweeps — and since basis
+    /// *progress* lives in the eta file, whole solves often never need the
+    /// dense factors at all.
+    diag: Option<Vec<f64>>,
+    /// `row_perm[k]` is the original row index selected as the `k`-th pivot.
+    row_perm: Vec<usize>,
+    etas: Vec<Eta>,
+    /// Scratch for the triangular solves (avoids per-call allocation).
+    scratch: Vec<f64>,
+}
+
+impl Factorization {
+    /// Factorizes the basis matrix given by `basis` (column indices into
+    /// `cols`). Returns `false` when the basis is numerically singular.
+    fn refactorize(&mut self, m: usize, cols: &[Vec<(usize, f64)>], basis: &[usize]) -> bool {
+        self.m = m;
+        self.etas.clear();
+        self.scratch.resize(m, 0.0);
+        self.diag = None;
+        if m == 0 {
+            self.lu.clear();
+            self.row_perm.clear();
+            return true;
+        }
+        // Fast path: a basis of unit columns (the cold all-slack/artificial
+        // start) is a signed permutation — its factorization is a diagonal.
+        if self.try_unit_factorization(m, cols, basis) {
+            return true;
+        }
+        self.lu.clear();
+        self.lu.resize(m * m, 0.0);
+        let mut perm: Vec<usize> = (0..m).collect();
+        for (k, &col) in basis.iter().enumerate() {
+            for &(row, value) in &cols[col] {
+                self.lu[row * m + k] = value;
+            }
+        }
+        // Plain dense LU with partial pivoting; m is tens-to-hundreds here.
+        for k in 0..m {
+            let mut best_row = k;
+            let mut best_mag = self.lu[perm[k] * m + k].abs();
+            for r in k + 1..m {
+                let mag = self.lu[perm[r] * m + k].abs();
+                if mag > best_mag {
+                    best_mag = mag;
+                    best_row = r;
+                }
+            }
+            if best_mag < MIN_PIVOT {
+                return false;
+            }
+            perm.swap(k, best_row);
+            let pivot_row = perm[k];
+            let pivot = self.lu[pivot_row * m + k];
+            for r in k + 1..m {
+                let row = perm[r];
+                let factor = self.lu[row * m + k] / pivot;
+                if factor != 0.0 {
+                    self.lu[row * m + k] = factor;
+                    for c in k + 1..m {
+                        self.lu[row * m + c] -= factor * self.lu[pivot_row * m + c];
+                    }
+                } else {
+                    self.lu[row * m + k] = 0.0;
+                }
+            }
+        }
+        // Store the factors physically in pivot order so the hot solves are
+        // contiguous; only the RHS needs permuting from here on.
+        let mut permuted = vec![0.0; m * m];
+        for (k, &row) in perm.iter().enumerate() {
+            permuted[k * m..(k + 1) * m].copy_from_slice(&self.lu[row * m..(row + 1) * m]);
+        }
+        self.lu = permuted;
+        self.row_perm = perm;
+        true
+    }
+
+    /// Detects a basis made purely of unit columns and fills the trivial
+    /// diagonal factorization directly. Returns `false` when the basis is
+    /// general.
+    fn try_unit_factorization(
+        &mut self,
+        m: usize,
+        cols: &[Vec<(usize, f64)>],
+        basis: &[usize],
+    ) -> bool {
+        let mut perm = vec![usize::MAX; m]; // pivot order -> original row
+        let mut diag = vec![0.0; m];
+        let mut claimed = vec![false; m];
+        for (k, &col) in basis.iter().enumerate() {
+            let [(row, value)] = cols[col][..] else {
+                return false;
+            };
+            if claimed[row] || value.abs() < MIN_PIVOT {
+                return false;
+            }
+            claimed[row] = true;
+            perm[k] = row;
+            diag[k] = value;
+        }
+        self.lu.clear();
+        self.diag = Some(diag);
+        self.row_perm = perm;
+        true
+    }
+
+    /// FTRAN: overwrites `v` with `B⁻¹ v`.
+    fn ftran(&mut self, v: &mut [f64]) {
+        let m = self.m;
+        if m == 0 {
+            return;
+        }
+        // LU solve: with P B₀ = L U, x = U⁻¹ L⁻¹ P v.
+        let w = &mut self.scratch;
+        if let Some(diag) = &self.diag {
+            for k in 0..m {
+                w[k] = v[self.row_perm[k]] / diag[k];
+            }
+        } else {
+            for k in 0..m {
+                w[k] = v[self.row_perm[k]];
+            }
+            for k in 0..m {
+                let wk = w[k];
+                if wk != 0.0 {
+                    for r in k + 1..m {
+                        let l = self.lu[r * m + k];
+                        if l != 0.0 {
+                            w[r] -= l * wk;
+                        }
+                    }
+                }
+            }
+            for k in (0..m).rev() {
+                let row = &self.lu[k * m..(k + 1) * m];
+                let mut s = w[k];
+                for c in k + 1..m {
+                    let u = row[c];
+                    if u != 0.0 {
+                        s -= u * w[c];
+                    }
+                }
+                w[k] = s / row[k];
+            }
+        }
+        v.copy_from_slice(w);
+        // Eta file, oldest first: B = B₀ E₁ … E_k ⇒ B⁻¹ = E_k⁻¹ … E₁⁻¹ B₀⁻¹.
+        for eta in &self.etas {
+            let t = v[eta.pivot] / eta.pivot_value;
+            v[eta.pivot] = t;
+            if t != 0.0 {
+                for &(row, value) in &eta.entries {
+                    v[row] -= value * t;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: overwrites `v` with `B⁻ᵀ v`.
+    fn btran(&mut self, v: &mut [f64]) {
+        let m = self.m;
+        if m == 0 {
+            return;
+        }
+        // Eta transposes, newest first.
+        for eta in self.etas.iter().rev() {
+            let mut s = v[eta.pivot];
+            for &(row, value) in &eta.entries {
+                s -= value * v[row];
+            }
+            v[eta.pivot] = s / eta.pivot_value;
+        }
+        // LU transpose solve: B₀ᵀ y = v with B₀ = Pᵀ L U ⇒ y = Pᵀ L⁻ᵀ U⁻ᵀ v.
+        let z = &mut self.scratch;
+        if let Some(diag) = &self.diag {
+            for k in 0..m {
+                z[k] = v[k] / diag[k];
+            }
+        } else {
+            // Forward solve Uᵀ z = v (Uᵀ is lower triangular).
+            for k in 0..m {
+                let mut s = v[k];
+                for c in 0..k {
+                    let u = self.lu[c * m + k];
+                    if u != 0.0 {
+                        s -= u * z[c];
+                    }
+                }
+                z[k] = s / self.lu[k * m + k];
+            }
+            // Back solve Lᵀ t = z (unit diagonal), in place in z.
+            for k in (0..m).rev() {
+                let zk = z[k];
+                if zk != 0.0 {
+                    let row = &self.lu[k * m..(k + 1) * m];
+                    for c in 0..k {
+                        let l = row[c];
+                        if l != 0.0 {
+                            z[c] -= l * zk;
+                        }
+                    }
+                }
+            }
+        }
+        for k in 0..m {
+            v[self.row_perm[k]] = z[k];
+        }
+    }
+
+    /// Appends the product-form update for a pivot on `row` with FTRAN image
+    /// `w` of the entering column.
+    fn push_eta(&mut self, row: usize, w: &[f64]) {
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != row && v.abs() > ZERO_TOL)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta {
+            pivot: row,
+            pivot_value: w[row],
+            entries,
+        });
+    }
+}
+
+/// The fixed, sparse standard form of one model:
+/// `minimize c·x  s.t.  A x = b,  l ≤ x ≤ u`.
+///
+/// Columns are laid out as `[model variables | one slack per row | one
+/// artificial per row]`; the model's variables keep their indices, so no
+/// variable mapping is needed to recover a solution. Only *bounds* vary
+/// between branch-and-bound nodes — the matrix, costs and right-hand side are
+/// shared by every solve on the same model.
+#[derive(Debug, Clone)]
+pub struct RevisedLp {
+    m: usize,
+    n_struct: usize,
+    /// Total columns including slacks and artificials (`n_struct + 2 m`).
+    n_total: usize,
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Phase-2 costs in minimize space (zeros on slacks and artificials).
+    cost: Vec<f64>,
+    base_lower: Vec<f64>,
+    base_upper: Vec<f64>,
+    rhs: Vec<f64>,
+    minimize: bool,
+}
+
+/// Which bound a leaving variable lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaveTo {
+    Lower,
+    Upper,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InnerStatus {
+    Optimal,
+    Unbounded,
+    Infeasible,
+    IterationLimit,
+    /// Numerical trouble the caller should recover from (cold restart).
+    Unstable,
+}
+
+impl RevisedLp {
+    /// Builds the sparse standard form of a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a model-validation error if the model is structurally invalid.
+    pub fn new(model: &Model) -> LpResult<Self> {
+        model.validate()?;
+        let m = model.num_constraints();
+        let n_struct = model.num_vars();
+        let n_total = n_struct + 2 * m;
+        let minimize = model.sense() == Sense::Minimize;
+
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_total];
+        // Structural columns in one pass over the constraint terms; duplicate
+        // (row, var) terms are merged after a per-column sort.
+        for (r, constraint) in model.constraints().iter().enumerate() {
+            for &(var, coeff) in &constraint.terms {
+                cols[var.index()].push((r, coeff));
+            }
+        }
+        for col in cols.iter_mut().take(n_struct) {
+            col.sort_unstable_by_key(|&(row, _)| row);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(col.len());
+            for &(row, coeff) in col.iter() {
+                match merged.last_mut() {
+                    Some((last_row, sum)) if *last_row == row => *sum += coeff,
+                    _ => merged.push((row, coeff)),
+                }
+            }
+            merged.retain(|&(_, coeff)| coeff != 0.0);
+            *col = merged;
+        }
+
+        let mut cost = vec![0.0; n_total];
+        for (j, &c) in model.objective().iter().enumerate() {
+            cost[j] = if minimize { c } else { -c };
+        }
+        let mut base_lower = vec![0.0; n_total];
+        let mut base_upper = vec![0.0; n_total];
+        for (j, var) in model.variables().iter().enumerate() {
+            base_lower[j] = var.lower;
+            base_upper[j] = var.upper;
+        }
+        let mut rhs = vec![0.0; m];
+        for (r, constraint) in model.constraints().iter().enumerate() {
+            rhs[r] = constraint.rhs;
+            // Slack column: A x + s = b with bounds encoding the relation.
+            let slack = n_struct + r;
+            cols[slack].push((r, 1.0));
+            let (sl, su) = match constraint.relation {
+                Relation::LessEq => (0.0, f64::INFINITY),
+                Relation::GreaterEq => (f64::NEG_INFINITY, 0.0),
+                Relation::Equal => (0.0, 0.0),
+            };
+            base_lower[slack] = sl;
+            base_upper[slack] = su;
+            // Artificial column: pinned to zero except while phase 1 runs.
+            let art = n_struct + m + r;
+            cols[art].push((r, 1.0));
+            base_lower[art] = 0.0;
+            base_upper[art] = 0.0;
+        }
+
+        Ok(RevisedLp {
+            m,
+            n_struct,
+            n_total,
+            cols,
+            cost,
+            base_lower,
+            base_upper,
+            rhs,
+            minimize,
+        })
+    }
+
+    /// Number of constraint rows of the standard form.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the underlying model minimizes.
+    pub fn is_minimize(&self) -> bool {
+        self.minimize
+    }
+
+    /// Solves the LP with the model's own bounds (a cold, two-phase primal
+    /// solve).
+    pub fn solve(&self, options: &SimplexOptions) -> RevisedOutcome {
+        self.solve_node(&[], None, options)
+    }
+
+    /// Solves the LP with per-variable bound tightenings, optionally warm
+    /// starting from a related basis.
+    ///
+    /// With a warm basis the solver restores it and runs the **dual simplex**
+    /// on the bound changes; on any numerical trouble (or without a warm
+    /// basis) it falls back to the cold two-phase primal, so the result is
+    /// exact either way.
+    pub fn solve_node(
+        &self,
+        tighten: &[(VarId, f64, f64)],
+        warm: Option<&BasisSnapshot>,
+        options: &SimplexOptions,
+    ) -> RevisedOutcome {
+        let mut lower = self.base_lower.clone();
+        let mut upper = self.base_upper.clone();
+        for &(var, lo, up) in tighten {
+            let j = var.index();
+            lower[j] = lower[j].max(lo);
+            upper[j] = upper[j].min(up);
+        }
+        for j in 0..self.n_struct {
+            if lower[j] > upper[j] + options.tol {
+                return RevisedOutcome {
+                    status: LpStatus::Infeasible,
+                    values: vec![],
+                    iterations: 0,
+                    basis: None,
+                };
+            }
+            // A tightened pair may cross by a hair (floor/ceil of an almost
+            // integral value); collapse it so the bound stays consistent.
+            if lower[j] > upper[j] {
+                upper[j] = lower[j];
+            }
+        }
+
+        if let Some(snapshot) = warm {
+            let mut state = SolverState::from_snapshot(self, &lower, &upper, snapshot, options);
+            if let Some(state) = state.as_mut() {
+                let status = state.dual_simplex();
+                match status {
+                    InnerStatus::Optimal => return self.extract(state, LpStatus::Optimal),
+                    InnerStatus::Infeasible => {
+                        return RevisedOutcome {
+                            status: LpStatus::Infeasible,
+                            values: vec![],
+                            iterations: state.iterations,
+                            basis: None,
+                        }
+                    }
+                    // Unbounded cannot arise from a dual-feasible start with
+                    // unchanged costs; treat it, limits and instability as a
+                    // reason to re-solve cold.
+                    _ => {}
+                }
+            }
+        }
+        self.cold_solve(&lower, &upper, options)
+    }
+
+    /// Cold two-phase primal solve under the given working bounds.
+    fn cold_solve(&self, lower: &[f64], upper: &[f64], options: &SimplexOptions) -> RevisedOutcome {
+        let mut state = SolverState::cold(self, lower, upper, options);
+        if state.needs_phase1 {
+            let phase1_cost = state.phase1_cost.clone();
+            match state.primal_simplex(&phase1_cost) {
+                InnerStatus::Optimal => {}
+                // Phase 1 minimizes a sum of absolute values, which is
+                // bounded below, so anything but Optimal here is an iteration
+                // cap or numerical trouble; both surface as IterationLimit.
+                _ => {
+                    return RevisedOutcome {
+                        status: LpStatus::IterationLimit,
+                        values: vec![],
+                        iterations: state.iterations,
+                        basis: None,
+                    }
+                }
+            }
+            let infeasibility = state.phase1_infeasibility(&phase1_cost);
+            if infeasibility > options.tol.max(1e-7) {
+                return RevisedOutcome {
+                    status: LpStatus::Infeasible,
+                    values: vec![],
+                    iterations: state.iterations,
+                    basis: None,
+                };
+            }
+            if !state.retire_artificials() {
+                // The factorization is unusable (singular refactorization);
+                // surface the solve as inconclusive rather than running phase
+                // 2 on corrupted factors.
+                return RevisedOutcome {
+                    status: LpStatus::IterationLimit,
+                    values: vec![],
+                    iterations: state.iterations,
+                    basis: None,
+                };
+            }
+        }
+        let cost = self.cost.clone();
+        match state.primal_simplex(&cost) {
+            InnerStatus::Optimal => self.extract(&mut state, LpStatus::Optimal),
+            InnerStatus::Unbounded => RevisedOutcome {
+                status: LpStatus::Unbounded,
+                values: vec![],
+                iterations: state.iterations,
+                basis: None,
+            },
+            InnerStatus::Infeasible => RevisedOutcome {
+                status: LpStatus::Infeasible,
+                values: vec![],
+                iterations: state.iterations,
+                basis: None,
+            },
+            InnerStatus::IterationLimit | InnerStatus::Unstable => RevisedOutcome {
+                status: LpStatus::IterationLimit,
+                values: vec![],
+                iterations: state.iterations,
+                basis: None,
+            },
+        }
+    }
+
+    /// Recovers model-space values and the basis snapshot from an optimal
+    /// state.
+    fn extract(&self, state: &mut SolverState<'_>, status: LpStatus) -> RevisedOutcome {
+        // Guard against eta-file drift: check the row residuals `A x − b` in
+        // O(nnz) and only pay the O(m³) refactorization + recompute when the
+        // point actually drifted. The differential suite against the dense
+        // tableau pins the resulting tolerance.
+        if state.max_residual() > 1e-7 && state.factor.refactorize(self.m, &self.cols, &state.basis)
+        {
+            state.compute_xb();
+        }
+        let mut values = vec![0.0; self.n_struct];
+        for (j, value) in values.iter_mut().enumerate() {
+            *value = state.column_value(j);
+        }
+        for (r, &col) in state.basis.iter().enumerate() {
+            if col < self.n_struct {
+                values[col] = state.xb[r];
+            }
+        }
+        let snapshot = BasisSnapshot {
+            basis: state.basis.clone(),
+            status: state.status.clone(),
+        };
+        RevisedOutcome {
+            status,
+            values,
+            iterations: state.iterations,
+            basis: Some(Arc::new(snapshot)),
+        }
+    }
+}
+
+/// Mutable state of one solve: working bounds, statuses, basis, factorization.
+struct SolverState<'a> {
+    lp: &'a RevisedLp,
+    options: &'a SimplexOptions,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<ColStatus>,
+    basis: Vec<usize>,
+    xb: Vec<f64>,
+    factor: Factorization,
+    iterations: usize,
+    needs_phase1: bool,
+    phase1_cost: Vec<f64>,
+}
+
+impl<'a> SolverState<'a> {
+    /// Builds the initial all-slack / artificial basis for a cold solve.
+    fn cold(
+        lp: &'a RevisedLp,
+        lower: &[f64],
+        upper: &[f64],
+        options: &'a SimplexOptions,
+    ) -> SolverState<'a> {
+        let m = lp.m;
+        let mut state = SolverState {
+            lp,
+            options,
+            lower: lower.to_vec(),
+            upper: upper.to_vec(),
+            status: vec![ColStatus::AtLower; lp.n_total],
+            basis: vec![0; m],
+            xb: vec![0.0; m],
+            factor: Factorization::default(),
+            iterations: 0,
+            needs_phase1: false,
+            phase1_cost: vec![0.0; lp.n_total],
+        };
+        // Nonbasic structural variables rest on a finite bound (or zero).
+        for j in 0..lp.n_total {
+            state.status[j] = if state.lower[j].is_finite() {
+                ColStatus::AtLower
+            } else if state.upper[j].is_finite() {
+                ColStatus::AtUpper
+            } else {
+                ColStatus::Free
+            };
+        }
+        // Row residuals with every column nonbasic.
+        let mut residual = lp.rhs.clone();
+        for j in 0..lp.n_struct {
+            let value = state.column_value(j);
+            if value != 0.0 {
+                for &(r, a) in &lp.cols[j] {
+                    residual[r] -= a * value;
+                }
+            }
+        }
+        for r in 0..m {
+            let slack = lp.n_struct + r;
+            let art = lp.n_struct + m + r;
+            let (sl, su) = (state.lower[slack], state.upper[slack]);
+            if residual[r] >= sl - options.tol && residual[r] <= su + options.tol {
+                state.basis[r] = slack;
+                state.status[slack] = ColStatus::Basic;
+                state.xb[r] = residual[r];
+            } else {
+                // Park the slack on its nearest bound and let the artificial
+                // absorb what is left; phase 1 will drive it back to zero.
+                let parked = if residual[r] > su { su } else { sl };
+                state.status[slack] = if parked == su {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
+                let leftover = residual[r] - parked;
+                state.lower[art] = leftover.min(0.0);
+                state.upper[art] = leftover.max(0.0);
+                state.phase1_cost[art] = if leftover >= 0.0 { 1.0 } else { -1.0 };
+                state.basis[r] = art;
+                state.status[art] = ColStatus::Basic;
+                state.xb[r] = leftover;
+                state.needs_phase1 = true;
+            }
+        }
+        // The initial basis is a signed permutation of unit columns; the
+        // generic LU handles it directly.
+        let ok = state.factor.refactorize(m, &lp.cols, &state.basis);
+        debug_assert!(ok, "unit-column start basis cannot be singular");
+        state
+    }
+
+    /// Restores a snapshot taken on a related solve (same matrix, different
+    /// bounds). Returns `None` when the recorded basis is singular under
+    /// refactorization — the caller then solves cold.
+    fn from_snapshot(
+        lp: &'a RevisedLp,
+        lower: &[f64],
+        upper: &[f64],
+        snapshot: &BasisSnapshot,
+        options: &'a SimplexOptions,
+    ) -> Option<SolverState<'a>> {
+        if snapshot.basis.len() != lp.m || snapshot.status.len() != lp.n_total {
+            return None;
+        }
+        let mut state = SolverState {
+            lp,
+            options,
+            lower: lower.to_vec(),
+            upper: upper.to_vec(),
+            status: snapshot.status.clone(),
+            basis: snapshot.basis.clone(),
+            xb: vec![0.0; lp.m],
+            factor: Factorization::default(),
+            iterations: 0,
+            needs_phase1: false,
+            phase1_cost: vec![0.0; lp.n_total],
+        };
+        // Re-anchor nonbasic statuses onto the (possibly moved) bounds.
+        for j in 0..lp.n_total {
+            match state.status[j] {
+                ColStatus::Basic => {}
+                ColStatus::AtLower if !state.lower[j].is_finite() => {
+                    state.status[j] = if state.upper[j].is_finite() {
+                        ColStatus::AtUpper
+                    } else {
+                        ColStatus::Free
+                    };
+                }
+                ColStatus::AtUpper if !state.upper[j].is_finite() => {
+                    state.status[j] = if state.lower[j].is_finite() {
+                        ColStatus::AtLower
+                    } else {
+                        ColStatus::Free
+                    };
+                }
+                _ => {}
+            }
+        }
+        if !state.factor.refactorize(lp.m, &lp.cols, &state.basis) {
+            return None;
+        }
+        state.compute_xb();
+        Some(state)
+    }
+
+    /// Current value of a column: basic values live in `xb`, nonbasic ones on
+    /// their bound.
+    fn column_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            ColStatus::Basic => {
+                // Callers that need basic values look them up through `xb`
+                // directly; this path is only used for nonbasic columns and
+                // the final extraction, where basic columns are overwritten.
+                0.0
+            }
+            ColStatus::AtLower => self.lower[j],
+            ColStatus::AtUpper => self.upper[j],
+            ColStatus::Free => 0.0,
+        }
+    }
+
+    /// Recomputes the basic values `x_B = B⁻¹ (b − N x_N)` from scratch.
+    fn compute_xb(&mut self) {
+        let mut v = self.lp.rhs.clone();
+        for j in 0..self.lp.n_total {
+            if self.status[j] == ColStatus::Basic {
+                continue;
+            }
+            let value = self.column_value(j);
+            if value != 0.0 {
+                for &(r, a) in &self.lp.cols[j] {
+                    v[r] -= a * value;
+                }
+            }
+        }
+        self.factor.ftran(&mut v);
+        self.xb = v;
+    }
+
+    /// Largest row residual `|A x − b|` of the current point, in O(nnz).
+    fn max_residual(&self) -> f64 {
+        let mut residual: Vec<f64> = self.lp.rhs.iter().map(|&b| -b).collect();
+        for j in 0..self.lp.n_total {
+            let value = match self.status[j] {
+                ColStatus::Basic => continue,
+                _ => self.column_value(j),
+            };
+            if value != 0.0 {
+                for &(r, a) in &self.lp.cols[j] {
+                    residual[r] += a * value;
+                }
+            }
+        }
+        for (r, &col) in self.basis.iter().enumerate() {
+            let value = self.xb[r];
+            if value != 0.0 {
+                for &(row, a) in &self.lp.cols[col] {
+                    residual[row] += a * value;
+                }
+            }
+        }
+        residual.iter().fold(0.0, |acc, &r| acc.max(r.abs()))
+    }
+
+    /// Refactorizes (folding the eta file) and recomputes the basic values.
+    /// Returns `false` on a singular basis.
+    fn refresh_factorization(&mut self) -> bool {
+        if !self
+            .factor
+            .refactorize(self.lp.m, &self.lp.cols, &self.basis)
+        {
+            return false;
+        }
+        self.compute_xb();
+        true
+    }
+
+    /// Reduced cost of column `j` given the BTRAN image `y` of `c_B`.
+    fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut d = cost[j];
+        for &(r, a) in &self.lp.cols[j] {
+            d -= y[r] * a;
+        }
+        d
+    }
+
+    /// Phase-1 objective value (total residual infeasibility).
+    fn phase1_infeasibility(&self, phase1_cost: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for (r, &col) in self.basis.iter().enumerate() {
+            total += phase1_cost[col] * self.xb[r];
+        }
+        for j in 0..self.lp.n_total {
+            if self.status[j] != ColStatus::Basic && phase1_cost[j] != 0.0 {
+                total += phase1_cost[j] * self.column_value(j);
+            }
+        }
+        total
+    }
+
+    /// Pins every artificial back to `[0, 0]` after a successful phase 1 and
+    /// tries to pivot basic artificials out on a numerically safe column.
+    /// Returns `false` when a refactorization found the basis singular — the
+    /// factorization is then unusable and the caller must abandon the solve.
+    fn retire_artificials(&mut self) -> bool {
+        let art_start = self.lp.n_struct + self.lp.m;
+        for j in art_start..self.lp.n_total {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            if self.status[j] != ColStatus::Basic {
+                self.status[j] = ColStatus::AtLower;
+            }
+        }
+        for r in 0..self.lp.m {
+            if self.basis[r] < art_start {
+                continue;
+            }
+            // Row r of B⁻¹.
+            let mut rho = vec![0.0; self.lp.m];
+            rho[r] = 1.0;
+            self.factor.btran(&mut rho);
+            let mut replacement: Option<usize> = None;
+            for j in 0..art_start {
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                let alpha: f64 = self.lp.cols[j].iter().map(|&(i, a)| rho[i] * a).sum();
+                if alpha.abs() > 1e-7 {
+                    replacement = Some(j);
+                    break;
+                }
+            }
+            let Some(q) = replacement else {
+                // Redundant row: the artificial stays basic at zero.
+                continue;
+            };
+            let mut w = vec![0.0; self.lp.m];
+            for &(i, a) in &self.lp.cols[q] {
+                w[i] = a;
+            }
+            self.factor.ftran(&mut w);
+            if w[r].abs() < MIN_PIVOT {
+                continue;
+            }
+            // Degenerate swap: the artificial sits exactly at zero, so the
+            // entering column keeps its bound value.
+            let art = self.basis[r];
+            let entering_value = self.column_value(q);
+            self.status[art] = ColStatus::AtLower;
+            self.basis[r] = q;
+            self.status[q] = ColStatus::Basic;
+            self.xb[r] = entering_value;
+            self.factor.push_eta(r, &w);
+            if self.factor.etas.len() >= REFACTOR_EVERY && !self.refresh_factorization() {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Primal simplex (bounded variables).
+    // ------------------------------------------------------------------
+    fn primal_simplex(&mut self, cost: &[f64]) -> InnerStatus {
+        let m = self.lp.m;
+        for local_iter in 0..self.options.max_iterations {
+            if self.factor.etas.len() >= REFACTOR_EVERY && !self.refresh_factorization() {
+                return InnerStatus::Unstable;
+            }
+            let use_bland = local_iter >= self.options.bland_after;
+
+            // Pricing: y = B⁻ᵀ c_B, then reduced costs of nonbasic columns.
+            let mut y = vec![0.0; m];
+            for (r, &col) in self.basis.iter().enumerate() {
+                y[r] = cost[col];
+            }
+            self.factor.btran(&mut y);
+
+            let tol = self.options.tol;
+            let mut entering: Option<(usize, f64, bool)> = None; // (col, score, increase)
+            for j in 0..self.lp.n_total {
+                let eligible_dir = match self.status[j] {
+                    ColStatus::Basic => continue,
+                    // Fixed columns can never move.
+                    _ if self.lower[j] == self.upper[j] && self.status[j] != ColStatus::Free => {
+                        continue
+                    }
+                    ColStatus::AtLower => Some(true),
+                    ColStatus::AtUpper => Some(false),
+                    ColStatus::Free => None,
+                };
+                let d = self.reduced_cost(cost, &y, j);
+                let (violates, increase, score) = match eligible_dir {
+                    Some(true) => (d < -tol, true, -d),
+                    Some(false) => (d > tol, false, d),
+                    None => (d.abs() > tol, d < 0.0, d.abs()),
+                };
+                if !violates {
+                    continue;
+                }
+                if use_bland {
+                    entering = Some((j, score, increase));
+                    break;
+                }
+                if entering.is_none_or(|(_, best, _)| score > best) {
+                    entering = Some((j, score, increase));
+                }
+            }
+            let Some((q, _, increase)) = entering else {
+                return InnerStatus::Optimal;
+            };
+            let dir = if increase { 1.0 } else { -1.0 };
+
+            // FTRAN of the entering column.
+            let mut w = vec![0.0; m];
+            for &(r, a) in &self.lp.cols[q] {
+                w[r] = a;
+            }
+            self.factor.ftran(&mut w);
+
+            // Ratio test: the entering column moves by t ≥ 0 in direction
+            // `dir`; basic values change by −dir · w · t.
+            let range = self.upper[q] - self.lower[q]; // may be +inf
+            let mut best_t = if range.is_finite() {
+                range
+            } else {
+                f64::INFINITY
+            };
+            let mut leaving: Option<(usize, LeaveTo)> = None;
+            for i in 0..m {
+                let g = dir * w[i];
+                if g.abs() <= tol {
+                    continue;
+                }
+                let col = self.basis[i];
+                let (limit, to) = if g > 0.0 {
+                    // Basic value decreases towards its lower bound.
+                    if !self.lower[col].is_finite() {
+                        continue;
+                    }
+                    ((self.xb[i] - self.lower[col]) / g, LeaveTo::Lower)
+                } else {
+                    if !self.upper[col].is_finite() {
+                        continue;
+                    }
+                    ((self.xb[i] - self.upper[col]) / g, LeaveTo::Upper)
+                };
+                let limit = limit.max(0.0);
+                let take = match leaving {
+                    // Against the pure bound-flip limit a strictly smaller
+                    // ratio wins; ties keep the flip (no eta needed).
+                    None => limit < best_t,
+                    // Between rows, ties break on the smallest basis column
+                    // (Bland-style, mirroring the dense tableau).
+                    Some((current, _)) => {
+                        limit < best_t - tol
+                            || ((limit - best_t).abs() <= tol
+                                && self.basis[i] < self.basis[current])
+                    }
+                };
+                if take {
+                    best_t = limit;
+                    leaving = Some((i, to));
+                }
+            }
+
+            match leaving {
+                None if best_t.is_infinite() => return InnerStatus::Unbounded,
+                None => {
+                    // Bound flip: the entering column crosses its whole range.
+                    let t = best_t;
+                    for i in 0..m {
+                        let g = dir * w[i];
+                        if g != 0.0 {
+                            self.xb[i] -= g * t;
+                        }
+                    }
+                    self.status[q] = if increase {
+                        ColStatus::AtUpper
+                    } else {
+                        ColStatus::AtLower
+                    };
+                    self.iterations += 1;
+                }
+                Some((r, to)) => {
+                    if w[r].abs() < MIN_PIVOT {
+                        // Numerically unsafe pivot: fold the eta file and
+                        // retry this iteration with fresh arithmetic.
+                        if !self.refresh_factorization() {
+                            return InnerStatus::Unstable;
+                        }
+                        continue;
+                    }
+                    let t = best_t;
+                    let entering_value = self.column_value(q) + dir * t;
+                    for i in 0..m {
+                        let g = dir * w[i];
+                        if g != 0.0 {
+                            self.xb[i] -= g * t;
+                        }
+                    }
+                    let leaving_col = self.basis[r];
+                    self.status[leaving_col] = match to {
+                        LeaveTo::Lower => ColStatus::AtLower,
+                        LeaveTo::Upper => ColStatus::AtUpper,
+                    };
+                    self.basis[r] = q;
+                    self.status[q] = ColStatus::Basic;
+                    self.xb[r] = entering_value;
+                    self.factor.push_eta(r, &w);
+                    self.iterations += 1;
+                }
+            }
+        }
+        InnerStatus::IterationLimit
+    }
+
+    // ------------------------------------------------------------------
+    // Dual simplex (warm re-solve after a bound change).
+    // ------------------------------------------------------------------
+    fn dual_simplex(&mut self) -> InnerStatus {
+        let m = self.lp.m;
+        let tol = self.options.tol;
+        let cost = &self.lp.cost;
+        for local_iter in 0..self.options.max_iterations {
+            if self.factor.etas.len() >= REFACTOR_EVERY && !self.refresh_factorization() {
+                return InnerStatus::Unstable;
+            }
+            let use_bland = local_iter >= self.options.bland_after;
+
+            // Leaving row: the basic variable most outside its bounds.
+            let mut leaving: Option<(usize, f64, LeaveTo)> = None;
+            for i in 0..m {
+                let col = self.basis[i];
+                let below = self.lower[col] - self.xb[i];
+                let above = self.xb[i] - self.upper[col];
+                let (viol, to) = if below > above {
+                    (below, LeaveTo::Lower)
+                } else {
+                    (above, LeaveTo::Upper)
+                };
+                if viol > tol {
+                    if use_bland {
+                        if leaving.is_none() {
+                            leaving = Some((i, viol, to));
+                        }
+                    } else if leaving.is_none_or(|(_, best, _)| viol > best) {
+                        leaving = Some((i, viol, to));
+                    }
+                }
+            }
+            let Some((r, _, to)) = leaving else {
+                return InnerStatus::Optimal;
+            };
+
+            // Row r of B⁻¹ and the reduced costs.
+            let mut rho = vec![0.0; m];
+            rho[r] = 1.0;
+            self.factor.btran(&mut rho);
+            let mut y = vec![0.0; m];
+            for (i, &col) in self.basis.iter().enumerate() {
+                y[i] = cost[col];
+            }
+            self.factor.btran(&mut y);
+
+            // Dual ratio test: keep reduced costs sign-feasible.
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
+            for j in 0..self.lp.n_total {
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                if self.lower[j] == self.upper[j] && self.status[j] != ColStatus::Free {
+                    continue; // fixed columns cannot absorb the change
+                }
+                let alpha: f64 = self.lp.cols[j].iter().map(|&(i, a)| rho[i] * a).sum();
+                if alpha.abs() <= 1e-9 {
+                    continue;
+                }
+                let ok = match (to, self.status[j]) {
+                    // x_B(r) must increase back to its lower bound.
+                    (LeaveTo::Lower, ColStatus::AtLower) => alpha < 0.0,
+                    (LeaveTo::Lower, ColStatus::AtUpper) => alpha > 0.0,
+                    // x_B(r) must decrease back to its upper bound.
+                    (LeaveTo::Upper, ColStatus::AtLower) => alpha > 0.0,
+                    (LeaveTo::Upper, ColStatus::AtUpper) => alpha < 0.0,
+                    (_, ColStatus::Free) => true,
+                    (_, ColStatus::Basic) => unreachable!(),
+                };
+                if !ok {
+                    continue;
+                }
+                let d = self.reduced_cost(cost, &y, j);
+                let ratio = d.abs() / alpha.abs();
+                let better = match entering {
+                    None => true,
+                    Some((best_j, best_ratio, _)) => {
+                        if use_bland {
+                            ratio < best_ratio - tol
+                        } else {
+                            ratio < best_ratio - 1e-12
+                                || (ratio <= best_ratio + 1e-12 && j < best_j)
+                        }
+                    }
+                };
+                if better {
+                    entering = Some((j, ratio, alpha));
+                }
+            }
+            let Some((q, _, _)) = entering else {
+                // The violated row cannot be repaired: primal infeasible.
+                return InnerStatus::Infeasible;
+            };
+
+            let mut w = vec![0.0; m];
+            for &(i, a) in &self.lp.cols[q] {
+                w[i] = a;
+            }
+            self.factor.ftran(&mut w);
+            if w[r].abs() < MIN_PIVOT {
+                if self.factor.etas.is_empty() {
+                    return InnerStatus::Unstable;
+                }
+                if !self.refresh_factorization() {
+                    return InnerStatus::Unstable;
+                }
+                continue;
+            }
+
+            // Step length: land x_B(r) exactly on its violated bound.
+            let target = match to {
+                LeaveTo::Lower => self.lower[self.basis[r]],
+                LeaveTo::Upper => self.upper[self.basis[r]],
+            };
+            let delta_q = (self.xb[r] - target) / w[r];
+            let entering_value = self.column_value(q) + delta_q;
+            for i in 0..m {
+                if w[i] != 0.0 {
+                    self.xb[i] -= w[i] * delta_q;
+                }
+            }
+            let leaving_col = self.basis[r];
+            self.status[leaving_col] = match to {
+                LeaveTo::Lower => ColStatus::AtLower,
+                LeaveTo::Upper => ColStatus::AtUpper,
+            };
+            self.basis[r] = q;
+            self.status[q] = ColStatus::Basic;
+            self.xb[r] = entering_value;
+            self.factor.push_eta(r, &w);
+            self.iterations += 1;
+        }
+        InnerStatus::IterationLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation};
+
+    fn solve_model(model: &Model) -> RevisedOutcome {
+        RevisedLp::new(model)
+            .unwrap()
+            .solve(&SimplexOptions::default())
+    }
+
+    fn objective(model: &Model, outcome: &RevisedOutcome) -> f64 {
+        model.objective_value(&outcome.values)
+    }
+
+    #[test]
+    fn slack_only_maximization() {
+        let mut model = Model::maximize();
+        let x = model.add_nonneg_var("x", 3.0);
+        let y = model.add_nonneg_var("y", 5.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+        model.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+        model.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+        let out = solve_model(&model);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((objective(&model, &out) - 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase1_handles_cover_constraints() {
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 3.0);
+        let y = model.add_nonneg_var("y", 2.0);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 4.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::LessEq, 3.0);
+        let out = solve_model(&model);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((objective(&model, &out) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn native_bounds_without_extra_rows() {
+        // minimize x + y with x in [2, 5], y >= 1, x + y >= 7 -> objective 7.
+        let mut model = Model::minimize();
+        let x = model.add_var("x", 1.0, 2.0, 5.0);
+        let y = model.add_var("y", 1.0, 1.0, f64::INFINITY);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 7.0);
+        let lp = RevisedLp::new(&model).unwrap();
+        // No explicit upper-bound row: just the one model constraint.
+        assert_eq!(lp.num_rows(), 1);
+        let out = lp.solve(&SimplexOptions::default());
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((objective(&model, &out) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variables_are_native() {
+        let mut model = Model::minimize();
+        let x = model.add_var("x", 1.0, f64::NEG_INFINITY, f64::INFINITY);
+        model.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, -5.0);
+        let out = solve_model(&model);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.values[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_are_detected() {
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 1.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::LessEq, 1.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 3.0);
+        assert_eq!(solve_model(&model).status, LpStatus::Infeasible);
+
+        let mut model = Model::maximize();
+        let x = model.add_nonneg_var("x", 1.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 0.0);
+        assert_eq!(solve_model(&model).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn dual_simplex_resolves_a_tightened_bound() {
+        // minimize x + 2y, x + y >= 4, both nonneg: optimum x = 4, y = 0.
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 1.0);
+        let y = model.add_nonneg_var("y", 2.0);
+        model.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::GreaterEq, 4.0);
+        let lp = RevisedLp::new(&model).unwrap();
+        let root = lp.solve(&SimplexOptions::default());
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+        // Tighten x <= 1: the parent basis becomes primal infeasible; dual
+        // simplex must land on x = 1, y = 3 with objective 7.
+        let child = lp.solve_node(
+            &[(VarId(0), f64::NEG_INFINITY, 1.0)],
+            Some(&basis),
+            &SimplexOptions::default(),
+        );
+        assert_eq!(child.status, LpStatus::Optimal);
+        assert!((model.objective_value(&child.values) - 7.0).abs() < 1e-6);
+        assert!(child.values[0] <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn dual_simplex_detects_child_infeasibility() {
+        let mut model = Model::minimize();
+        let x = model.add_nonneg_var("x", 1.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::LessEq, 5.0);
+        model.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 2.0);
+        let lp = RevisedLp::new(&model).unwrap();
+        let root = lp.solve(&SimplexOptions::default());
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+        let child = lp.solve_node(
+            &[(VarId(0), f64::NEG_INFINITY, 1.0)],
+            Some(&basis),
+            &SimplexOptions::default(),
+        );
+        assert_eq!(child.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn eta_refactorization_keeps_long_solves_exact() {
+        // A chain model long enough to force several refactorizations.
+        let mut model = Model::minimize();
+        let n = 40;
+        let vars: Vec<_> = (0..n)
+            .map(|i| model.add_nonneg_var(format!("x{i}"), 1.0 + (i % 7) as f64))
+            .collect();
+        for i in 0..n {
+            let mut terms = vec![(vars[i], 1.0)];
+            if i + 1 < n {
+                terms.push((vars[i + 1], 1.0));
+            }
+            model.add_constraint(terms, Relation::GreaterEq, 3.0 + (i % 5) as f64);
+        }
+        let out = solve_model(&model);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!(model.is_feasible(
+            &out.values.iter().map(|v| v.max(0.0)).collect::<Vec<_>>(),
+            1e-5
+        ));
+    }
+}

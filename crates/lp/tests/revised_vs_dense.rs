@@ -1,0 +1,221 @@
+//! Differential property suite: the revised simplex (the production engine
+//! behind [`rental_lp::simplex::solve_with`]) against the retained dense
+//! tableau ([`rental_lp::simplex::dense`]) on random models covering every
+//! outcome class — optimal, infeasible and unbounded — with general bounds
+//! (finite ranges, fixed variables, free variables).
+//!
+//! Statuses must match exactly; optimal objectives must agree within the
+//! solver tolerance; and both engines' points must be feasible for the model.
+//!
+//! Data is integer-valued so legitimate alternate optima exist but knife-edge
+//! tolerance flips do not.
+
+use proptest::prelude::*;
+
+use rental_lp::model::{Model, Relation};
+use rental_lp::simplex::{self, dense, SimplexOptions};
+use rental_lp::LpStatus;
+
+/// Bounds classes a generated variable can fall into.
+#[derive(Debug, Clone, Copy)]
+enum BoundKind {
+    NonNeg,
+    Range { lower: i32, width: i32 },
+    Fixed { at: i32 },
+    Free,
+    UpperOnly { upper: i32 },
+}
+
+fn bound_kind() -> impl Strategy<Value = BoundKind> {
+    (0u8..=7, -4i32..=4, 0i32..=6).prop_map(|(selector, a, b)| match selector {
+        0..=2 => BoundKind::NonNeg,
+        3 | 4 => BoundKind::Range { lower: a, width: b },
+        5 => BoundKind::Fixed { at: a },
+        6 => BoundKind::Free,
+        _ => BoundKind::UpperOnly { upper: b },
+    })
+}
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    maximize: bool,
+    costs: Vec<i32>,
+    kinds: Vec<BoundKind>,
+    rows: Vec<(Vec<i32>, u8, i32)>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (1usize..=5, 0usize..=5).prop_flat_map(|(n, m)| {
+        (
+            any::<bool>(),
+            proptest::collection::vec(-6i32..=6, n),
+            proptest::collection::vec(bound_kind(), n),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(-4i32..=4, n),
+                    0u8..=2,
+                    -15i32..=15,
+                ),
+                m,
+            ),
+        )
+            .prop_map(|(maximize, costs, kinds, rows)| RandomLp {
+                maximize,
+                costs,
+                kinds,
+                rows,
+            })
+    })
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut model = if lp.maximize {
+        Model::maximize()
+    } else {
+        Model::minimize()
+    };
+    let vars: Vec<_> = lp
+        .costs
+        .iter()
+        .zip(&lp.kinds)
+        .enumerate()
+        .map(|(i, (&c, &kind))| {
+            let (lower, upper) = match kind {
+                BoundKind::NonNeg => (0.0, f64::INFINITY),
+                BoundKind::Range { lower, width } => (lower as f64, (lower + width) as f64),
+                BoundKind::Fixed { at } => (at as f64, at as f64),
+                BoundKind::Free => (f64::NEG_INFINITY, f64::INFINITY),
+                BoundKind::UpperOnly { upper } => (f64::NEG_INFINITY, upper as f64),
+            };
+            model.add_var(format!("x{i}"), c as f64, lower, upper)
+        })
+        .collect();
+    for (coeffs, relation, rhs) in &lp.rows {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .filter(|(_, &a)| a != 0)
+            .map(|(&v, &a)| (v, a as f64))
+            .collect();
+        if terms.is_empty() {
+            continue; // an empty row is vacuous or trivially infeasible noise
+        }
+        let relation = match relation {
+            0 => Relation::LessEq,
+            1 => Relation::GreaterEq,
+            _ => Relation::Equal,
+        };
+        model.add_constraint(terms, relation, *rhs as f64);
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// The tentpole acceptance property: on arbitrary models the revised
+    /// simplex returns the same status as the dense tableau and, when both
+    /// are optimal, the same objective within tolerance.
+    #[test]
+    fn revised_matches_dense_status_and_objective(lp in random_lp()) {
+        let model = build(&lp);
+        let options = SimplexOptions::default();
+        let revised = simplex::solve_with(&model, &options).unwrap();
+        let dense = dense::solve_with(&model, &options).unwrap();
+        prop_assert_eq!(
+            revised.status, dense.status,
+            "status divergence on {:?}", lp
+        );
+        if revised.status == LpStatus::Optimal {
+            prop_assert!(
+                (revised.objective - dense.objective).abs()
+                    <= 1e-6 * (1.0 + dense.objective.abs()),
+                "objective divergence: revised {} vs dense {} on {:?}",
+                revised.objective, dense.objective, lp
+            );
+            prop_assert!(model.is_feasible(&revised.values, 1e-5));
+            prop_assert!(model.is_feasible(&dense.values, 1e-5));
+        }
+    }
+
+    /// Bounded-variable handling: on models where every variable has a finite
+    /// range, infeasibility is the only alternative to optimality (nothing
+    /// can be unbounded), and the revised engine must respect every bound.
+    #[test]
+    fn fully_bounded_models_never_report_unbounded(
+        maximize in any::<bool>(),
+        costs in proptest::collection::vec(-5i32..=5, 1..=4),
+        bounds in proptest::collection::vec((-3i32..=3, 0i32..=5), 4),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-3i32..=3, 4), 0u8..=2, -10i32..=10),
+            0..=4,
+        ),
+    ) {
+        let n = costs.len();
+        let lp = RandomLp {
+            maximize,
+            costs,
+            kinds: bounds[..n]
+                .iter()
+                .map(|&(lower, width)| BoundKind::Range { lower, width })
+                .collect(),
+            rows: rows
+                .into_iter()
+                .map(|(c, rel, rhs)| (c[..n].to_vec(), rel, rhs))
+                .collect(),
+        };
+        let model = build(&lp);
+        let options = SimplexOptions::default();
+        let revised = simplex::solve_with(&model, &options).unwrap();
+        let dense = dense::solve_with(&model, &options).unwrap();
+        prop_assert_ne!(revised.status, LpStatus::Unbounded);
+        prop_assert_eq!(revised.status, dense.status);
+        if revised.status == LpStatus::Optimal {
+            for (value, var) in revised.values.iter().zip(model.variables()) {
+                prop_assert!(*value >= var.lower - 1e-6 && *value <= var.upper + 1e-6);
+            }
+            prop_assert!(
+                (revised.objective - dense.objective).abs()
+                    <= 1e-6 * (1.0 + dense.objective.abs())
+            );
+        }
+    }
+
+    /// Covering problems (the MinCost relaxation shape): both engines agree
+    /// and the revised engine's point survives the dense engine's
+    /// feasibility check.
+    #[test]
+    fn covering_relaxations_agree(
+        costs in proptest::collection::vec(1i32..=50, 1..=6),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0i32..=9, 6), 0i32..=80),
+            1..=6,
+        ),
+    ) {
+        let mut model = Model::minimize();
+        let vars: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| model.add_nonneg_var(format!("x{i}"), c as f64))
+            .collect();
+        for (coeffs, rhs) in &rows {
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(coeffs)
+                .filter(|(_, &a)| a > 0)
+                .map(|(&v, &a)| (v, a as f64))
+                .collect();
+            if terms.is_empty() {
+                continue;
+            }
+            model.add_constraint(terms, Relation::GreaterEq, *rhs as f64);
+        }
+        let options = SimplexOptions::default();
+        let revised = simplex::solve_with(&model, &options).unwrap();
+        let dense = dense::solve_with(&model, &options).unwrap();
+        prop_assert_eq!(revised.status, LpStatus::Optimal);
+        prop_assert_eq!(dense.status, LpStatus::Optimal);
+        prop_assert!((revised.objective - dense.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()));
+        prop_assert!(model.is_feasible(&revised.values, 1e-5));
+    }
+}

@@ -48,6 +48,146 @@ pub trait BillingModel {
     fn charge(&self, hourly_rate: Cost, usage: &UsageWindow) -> f64;
 }
 
+/// One piece of a piecewise-affine charge profile: for horizons `h` at or
+/// beyond `start_hours` (up to the next segment), the charge is
+/// `base + slope × (h − start_hours)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BillingSegment {
+    /// Horizon (hours) where this segment starts.
+    pub start_hours: f64,
+    /// Charge at `start_hours`.
+    pub base: f64,
+    /// Charge growth per additional hour within the segment.
+    pub slope: f64,
+}
+
+/// How a model quantizes the billed duration before its affine profile
+/// applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HoursRounding {
+    /// The exact duration is billed.
+    Exact,
+    /// Durations are rounded **up** to a multiple of the increment (classic
+    /// on-demand hourly billing).
+    UpToIncrement(f64),
+}
+
+impl HoursRounding {
+    /// Applies the rounding to a horizon length.
+    pub fn apply(&self, hours: f64) -> f64 {
+        match *self {
+            HoursRounding::Exact => hours,
+            HoursRounding::UpToIncrement(increment) => {
+                if hours <= 0.0 {
+                    0.0
+                } else {
+                    (hours / increment).ceil() * increment
+                }
+            }
+        }
+    }
+}
+
+/// A billing model whose per-machine charge is piecewise affine in the
+/// (rounded) horizon length. All the concrete models here are; the
+/// [`crate::horizon::HorizonCache`] exploits it to aggregate a whole plan
+/// into prefix-summed segments queried in `O(log segments)`.
+pub trait SegmentedBilling: BillingModel {
+    /// How the queried horizon is quantized before the segments apply.
+    fn rounding(&self) -> HoursRounding {
+        HoursRounding::Exact
+    }
+
+    /// The charge profile of one machine, as non-empty, strictly-increasing
+    /// segments starting at hour 0. Only `hours > 0` is ever evaluated
+    /// through the profile (a zero-length rental is handled by
+    /// [`BillingModel::charge`] directly, so discontinuities at 0 — minimum
+    /// charges, committed terms — are expressible).
+    fn segments(&self, hourly_rate: Cost, utilisation: f64) -> Vec<BillingSegment>;
+}
+
+impl SegmentedBilling for OnDemand {
+    fn rounding(&self) -> HoursRounding {
+        HoursRounding::UpToIncrement(self.increment_hours)
+    }
+
+    fn segments(&self, hourly_rate: Cost, _utilisation: f64) -> Vec<BillingSegment> {
+        // After rounding up to the increment the charge is exactly linear.
+        vec![BillingSegment {
+            start_hours: 0.0,
+            base: 0.0,
+            slope: hourly_rate as f64,
+        }]
+    }
+}
+
+impl SegmentedBilling for PerSecond {
+    fn segments(&self, hourly_rate: Cost, _utilisation: f64) -> Vec<BillingSegment> {
+        let rate = hourly_rate as f64;
+        let minimum_hours = self.minimum_seconds / 3600.0;
+        if minimum_hours <= 0.0 {
+            return vec![BillingSegment {
+                start_hours: 0.0,
+                base: 0.0,
+                slope: rate,
+            }];
+        }
+        vec![
+            // Flat at the minimum charge until the minimum duration…
+            BillingSegment {
+                start_hours: 0.0,
+                base: minimum_hours * rate,
+                slope: 0.0,
+            },
+            // …then exact per-second billing.
+            BillingSegment {
+                start_hours: minimum_hours,
+                base: minimum_hours * rate,
+                slope: rate,
+            },
+        ]
+    }
+}
+
+impl SegmentedBilling for Reserved {
+    fn segments(&self, hourly_rate: Cost, _utilisation: f64) -> Vec<BillingSegment> {
+        let effective = self.effective_rate(hourly_rate);
+        if self.term_hours <= 0.0 {
+            return vec![BillingSegment {
+                start_hours: 0.0,
+                base: 0.0,
+                slope: effective,
+            }];
+        }
+        vec![
+            // The committed term is paid in full regardless of usage…
+            BillingSegment {
+                start_hours: 0.0,
+                base: self.term_hours * effective,
+                slope: 0.0,
+            },
+            // …then the rolling renewal grows at the discounted rate.
+            BillingSegment {
+                start_hours: self.term_hours,
+                base: self.term_hours * effective,
+                slope: effective,
+            },
+        ]
+    }
+}
+
+impl SegmentedBilling for Spot {
+    fn segments(&self, hourly_rate: Cost, utilisation: f64) -> Vec<BillingSegment> {
+        let overhead =
+            1.0 + self.interruptions_per_hour * self.restart_overhead_hours * utilisation;
+        vec![BillingSegment {
+            start_hours: 0.0,
+            base: 0.0,
+            slope: overhead * hourly_rate as f64 * (1.0 - self.discount),
+        }]
+    }
+}
+
 /// Classic on-demand billing: the rental duration is rounded up to a billing
 /// increment (one hour by default, as in the paper) and charged at the full
 /// hourly rate.

@@ -8,7 +8,9 @@
 
 use rental_core::{ProvisioningPlan, TypeId};
 
-use crate::billing::{BillingModel, OnDemand, Reserved, UsageWindow};
+use crate::billing::{
+    BillingModel, HoursRounding, OnDemand, Reserved, SegmentedBilling, UsageWindow,
+};
 
 /// A rental horizon: how long the stream application will run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +109,137 @@ pub fn bill_plan(
         horizon,
         machines,
         total,
+    }
+}
+
+/// A precomputed, plan-level charge profile: the whole plan's bill as a
+/// sorted sequence of prefix-summed affine **billing segments**.
+///
+/// [`bill_plan`] re-walks every machine of the plan on every query; an
+/// autoscaler loop projecting hundreds of what-if horizons per reconfiguration
+/// pays that cost each time. The cache merges every machine's piecewise-affine
+/// profile ([`SegmentedBilling::segments`]) once — `O(M + S)` — after which a
+/// query is a binary search over the merged segment starts plus one affine
+/// evaluation: `O(log S)` with `S` tiny in practice (reserved plans have two
+/// distinct breakpoints, usage-priced plans one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizonCache {
+    rounding: HoursRounding,
+    model_name: String,
+    /// Total charge at a zero-length horizon (committed terms bill even
+    /// without usage; usage-priced models bill nothing).
+    at_zero: f64,
+    /// Sorted, deduplicated segment starts; `starts[0] == 0.0`.
+    starts: Vec<f64>,
+    /// Prefix-summed plan charge at each segment start.
+    base: Vec<f64>,
+    /// Prefix-summed plan charge slope within each segment.
+    slope: Vec<f64>,
+}
+
+impl HorizonCache {
+    /// Builds the cache for one plan under one billing model.
+    pub fn new(plan: &ProvisioningPlan, model: &(impl SegmentedBilling + ?Sized)) -> Self {
+        // Gather every machine's segments, then sweep the merged breakpoints
+        // accumulating total base and slope. `(slope_delta, jump)` events at
+        // each start express both kinks and discontinuities.
+        let mut events: Vec<(f64, f64, f64)> = Vec::new(); // (start, slope_delta, base_jump)
+        let mut at_zero = 0.0;
+        for machine in &plan.machines {
+            at_zero += model.charge(machine.hourly_cost, &UsageWindow::full(0.0));
+            // Clamp as bill_plan does (UsageWindow::with_utilisation), so the
+            // cache==bill_plan equivalence holds even for overloaded plans.
+            let utilisation = machine.utilisation().clamp(0.0, 1.0);
+            let segments = model.segments(machine.hourly_cost, utilisation);
+            debug_assert!(!segments.is_empty(), "profiles are non-empty");
+            let mut previous: Option<crate::billing::BillingSegment> = None;
+            for segment in segments {
+                let (prev_slope, prev_value) = match previous {
+                    Some(p) => (
+                        p.slope,
+                        p.base + p.slope * (segment.start_hours - p.start_hours),
+                    ),
+                    None => (0.0, 0.0),
+                };
+                events.push((
+                    segment.start_hours,
+                    segment.slope - prev_slope,
+                    segment.base - prev_value,
+                ));
+                previous = Some(segment);
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("segment starts are finite"));
+
+        let mut starts = Vec::new();
+        let mut base = Vec::new();
+        let mut slope = Vec::new();
+        let mut total_slope = 0.0;
+        let mut total_base = 0.0;
+        let mut cursor = 0.0;
+        for (start, slope_delta, base_jump) in events {
+            if starts.is_empty() || start > cursor {
+                // Advance the running value to the new breakpoint.
+                total_base += total_slope * (start - cursor);
+                cursor = start;
+                starts.push(start);
+                base.push(total_base);
+                slope.push(total_slope);
+            }
+            total_slope += slope_delta;
+            total_base += base_jump;
+            let last = starts.len() - 1;
+            base[last] = total_base;
+            slope[last] = total_slope;
+        }
+        if starts.is_empty() {
+            starts.push(0.0);
+            base.push(0.0);
+            slope.push(0.0);
+        }
+        HorizonCache {
+            rounding: model.rounding(),
+            model_name: model.name().to_string(),
+            at_zero,
+            starts,
+            base,
+            slope,
+        }
+    }
+
+    /// Name of the billing model the cache was built for.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Number of merged billing segments.
+    pub fn num_segments(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Total charge of the whole plan over the horizon, in `O(log segments)`.
+    ///
+    /// Agrees with [`bill_plan`]`.total` for the same plan and model — a
+    /// property pinned by the `cache_matches_bill_plan_*` tests.
+    pub fn total(&self, horizon: RentalHorizon) -> f64 {
+        if horizon.hours <= 0.0 {
+            return self.at_zero;
+        }
+        let hours = self.rounding.apply(horizon.hours);
+        let k = self
+            .starts
+            .partition_point(|&start| start <= hours)
+            .saturating_sub(1);
+        self.base[k] + self.slope[k] * (hours - self.starts[k])
+    }
+
+    /// Mean hourly spend over a horizon (total divided by the horizon).
+    pub fn mean_hourly_cost(&self, horizon: RentalHorizon) -> f64 {
+        if horizon.hours <= 0.0 {
+            0.0
+        } else {
+            self.total(horizon) / horizon.hours
+        }
     }
 }
 
@@ -221,5 +354,104 @@ mod tests {
         let bill = bill_plan(&plan, RentalHorizon::hours(0.0), &OnDemand::hourly());
         assert_eq!(bill.total, 0.0);
         assert_eq!(bill.mean_hourly_cost(), 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // HorizonCache: the O(log segments) what-if projection path.
+    // ------------------------------------------------------------------
+
+    use crate::billing::PerSecond;
+
+    fn probe_horizons() -> Vec<RentalHorizon> {
+        let mut horizons: Vec<RentalHorizon> = [
+            0.0,
+            0.004,
+            1.0 / 60.0,
+            0.5,
+            0.999,
+            1.0,
+            1.5,
+            23.0,
+            24.0,
+            100.0,
+            599.9,
+            600.0,
+            600.1,
+            999.0,
+            1000.0,
+            1001.0,
+            8760.0,
+            20_000.0,
+        ]
+        .iter()
+        .map(|&h| RentalHorizon::hours(h))
+        .collect();
+        horizons.extend((1..=40).map(|k| RentalHorizon::hours(k as f64 * 37.31)));
+        horizons
+    }
+
+    fn assert_cache_matches(plan: &ProvisioningPlan, model: &(impl SegmentedBilling + 'static)) {
+        let cache = HorizonCache::new(plan, model);
+        assert_eq!(cache.model_name(), model.name());
+        for horizon in probe_horizons() {
+            let reference = bill_plan(plan, horizon, model);
+            let total = cache.total(horizon);
+            assert!(
+                (total - reference.total).abs() <= 1e-9 * (1.0 + reference.total.abs()),
+                "{} at {} h: cache {} vs walk {}",
+                model.name(),
+                horizon.hours,
+                total,
+                reference.total
+            );
+            assert!(
+                (cache.mean_hourly_cost(horizon) - reference.mean_hourly_cost()).abs()
+                    <= 1e-9 * (1.0 + reference.mean_hourly_cost().abs())
+            );
+        }
+    }
+
+    #[test]
+    fn cache_matches_bill_plan_for_every_model() {
+        let (plan, _) = table3_plan();
+        assert_cache_matches(&plan, &OnDemand::hourly());
+        assert_cache_matches(&plan, &OnDemand::with_increment(1.0 / 60.0));
+        assert_cache_matches(&plan, &PerSecond::default());
+        assert_cache_matches(
+            &plan,
+            &PerSecond {
+                minimum_seconds: 0.0,
+            },
+        );
+        assert_cache_matches(&plan, &Reserved::with_term(1000.0, 0.4));
+        assert_cache_matches(&plan, &Reserved::with_term(0.0, 0.4));
+        assert_cache_matches(&plan, &Reserved::one_year(0.35));
+        assert_cache_matches(&plan, &Spot::typical());
+    }
+
+    #[test]
+    fn cache_is_logarithmic_not_per_machine() {
+        // The merged profile has a handful of segments no matter how many
+        // machines the plan holds: repeated what-if queries do not re-walk
+        // the machine list.
+        let (plan, _) = table3_plan();
+        assert!(plan.total_machines() >= 5);
+        let cache = HorizonCache::new(&plan, &Reserved::with_term(1000.0, 0.4));
+        assert_eq!(cache.num_segments(), 2); // flat term, then rolling renewal
+        let cache = HorizonCache::new(&plan, &Spot::typical());
+        assert_eq!(cache.num_segments(), 1);
+    }
+
+    #[test]
+    fn cached_break_even_agrees_with_the_analytic_crossing() {
+        let (plan, _) = table3_plan();
+        let on_demand = HorizonCache::new(&plan, &OnDemand::hourly());
+        let reserved_model = Reserved::with_term(1000.0, 0.4);
+        let reserved = HorizonCache::new(&plan, &reserved_model);
+        let crossing = (1.0 - reserved_model.discount) * reserved_model.term_hours;
+        let below = RentalHorizon::hours(crossing - 2.0);
+        let above = RentalHorizon::hours(crossing + 2.0);
+        assert!(on_demand.total(below) < reserved.total(below));
+        assert!(on_demand.total(above) > reserved.total(above));
     }
 }

@@ -47,9 +47,14 @@ pub mod catalogue;
 pub mod horizon;
 pub mod optimizer;
 
-pub use billing::{BillingModel, OnDemand, PerSecond, Reserved, Spot, UsageWindow};
+pub use billing::{
+    BillingModel, BillingSegment, HoursRounding, OnDemand, PerSecond, Reserved, SegmentedBilling,
+    Spot, UsageWindow,
+};
 pub use catalogue::{Catalogue, CatalogueEntry};
-pub use horizon::{bill_plan, break_even_hours, HorizonBill, MachineBill, RentalHorizon};
+pub use horizon::{
+    bill_plan, break_even_hours, HorizonBill, HorizonCache, MachineBill, RentalHorizon,
+};
 pub use optimizer::{
     optimize_billing, BillingAssignment, BillingChoice, BillingOptions, MachineBillingDecision,
 };

@@ -175,7 +175,9 @@ macro_rules! impl_int_sample_range {
     };
 }
 
-impl_int_sample_range!(u8, u16, u32, u64, usize);
+// The span arithmetic is wrapping on purpose: `as u64` sign-extends signed
+// bounds, so `end - start` is the true span for signed ranges as well.
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleRange<f64> for Range<f64> {
     #[inline]

@@ -2,7 +2,7 @@
 //! this workspace.
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
-//! a minimal data-parallelism layer over `std::thread::scope`:
+//! a minimal data-parallelism layer:
 //!
 //! * [`iter::ParallelIterator`] with `map` / `collect` / `for_each` /
 //!   `min_by`, available on slices ([`iter::IntoParallelRefIterator`]),
@@ -12,22 +12,26 @@
 //!   their own parallelism budget (the batch solver);
 //! * [`join`] and [`current_num_threads`].
 //!
-//! Work is distributed dynamically: worker threads pull indices from a shared
-//! atomic counter, so heterogeneous item costs (an ILP solve next to an H1
-//! solve) balance automatically. Results are returned **in index order**, so
+//! Work is distributed dynamically: threads pull indices from a shared atomic
+//! counter, so heterogeneous item costs (an ILP solve next to an H1 solve)
+//! balance automatically. Results are returned **in index order**, so
 //! parallel execution is observationally identical to the sequential loop —
 //! a property the experiment-reproducibility tests rely on.
 //!
-//! Threads are spawned per call rather than pooled; every consumer in this
-//! workspace parallelises coarse units (full solves, full candidate-scan
-//! rows) where the ~tens-of-microseconds spawn cost is noise.
+//! All fan-outs run on **one shared worker pool** (see [`pool`]): the calling
+//! thread always participates in its own job, and idle pool workers join in.
+//! Nested fan-outs — the batch engine solving many instances while each
+//! solve's candidate scan fans out rows — therefore *share* the machine's
+//! cores instead of multiplying `thread::scope` spawns, and a nested call
+//! can never deadlock: even with every worker busy, the caller alone drains
+//! its own job.
 //!
 //! [`rayon`]: https://crates.io/crates/rayon
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod iter;
+mod pool;
 
 /// The glob-import surface matching `rayon::prelude::*`.
 pub mod prelude {
@@ -60,13 +64,13 @@ where
     })
 }
 
-/// Evaluates `f(0), f(1), …, f(len - 1)` on up to `max_threads` worker
-/// threads (default: [`current_num_threads`]) and returns the results in
-/// index order.
+/// Evaluates `f(0), f(1), …, f(len - 1)` — the caller plus up to
+/// `max_threads - 1` shared pool workers (default cap:
+/// [`current_num_threads`]) — and returns the results in index order.
 ///
 /// Indices are handed out through a shared atomic counter, so expensive items
 /// do not serialise behind a static partition. Panics in `f` propagate to the
-/// caller once all workers have stopped.
+/// caller once every participant has stopped.
 pub fn parallel_map_indexed<T, F>(len: usize, max_threads: Option<usize>, f: F) -> Vec<T>
 where
     T: Send,
@@ -79,32 +83,18 @@ where
         return (0..len).map(f).collect();
     }
 
-    let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= len {
-                    break;
-                }
-                let value = f(index);
-                *slots[index].lock().expect("result slot poisoned") = Some(value);
-            }));
-        }
-        for handle in handles {
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
-            }
-        }
-    });
+    let run_item = |index: usize| {
+        let value = f(index);
+        *slots[index].lock().expect("result slot poisoned") = Some(value);
+    };
+    pool::run_job(len, threads - 1, &run_item);
     slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot poisoned")
-                .expect("every index was assigned to exactly one worker")
+                .expect("every index was assigned to exactly one participant")
         })
         .collect()
 }

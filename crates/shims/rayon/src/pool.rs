@@ -1,0 +1,234 @@
+//! The shared worker pool behind [`crate::parallel_map_indexed`].
+//!
+//! One set of `current_num_threads() - 1` detached worker threads serves
+//! every fan-out in the process. A call registers a **job** (an atomic index
+//! counter plus a type-erased item runner), executes items on the calling
+//! thread, and lets idle workers join in up to the job's thread cap. This is
+//! what lets the batch engine and the nested candidate scans of
+//! `rental-core::search` share one pool instead of stacking `thread::scope`
+//! spawns: parallelism is bounded by the worker set, and a nested caller
+//! always drains its own job even when every worker is busy elsewhere.
+//!
+//! # Safety protocol
+//!
+//! The item runner borrows the caller's stack, while workers are `'static`
+//! detached threads, so the runner is passed as a raw pointer. The protocol
+//! that keeps it sound:
+//!
+//! * a worker only dereferences the pointer between *joining* the job
+//!   (incrementing `workers_inside` under the registry lock, while the job is
+//!   still registered) and *leaving* it (decrementing under the same lock);
+//! * the caller unregisters the job and then blocks until `workers_inside`
+//!   is zero — including when an item panicked — so the runner outlives every
+//!   dereference.
+//!
+//! Deadlock freedom: a caller waits only for workers *inside its own job*,
+//! and workers never block while inside a job (item code may itself register
+//! nested jobs, but participates in them as a caller). Waits therefore only
+//! follow the job-creation order, which is acyclic.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased item runner, shared with workers for the duration of a job.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the pool protocol
+// guarantees it is only dereferenced while the caller keeps it alive.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct Job {
+    /// Next item index to claim.
+    next: AtomicUsize,
+    len: usize,
+    /// Worker slots still available (the caller is not counted).
+    slots: AtomicUsize,
+    /// Workers currently joined to this job.
+    workers_inside: AtomicUsize,
+    task: TaskPtr,
+    /// First panic raised by an item, re-raised on the calling thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    /// Claims and runs items until the counter is exhausted. Returns `false`
+    /// if an item panicked (the payload is stored on the job).
+    fn run_items(&self) -> bool {
+        let task = // SAFETY: see the module-level protocol.
+            unsafe { &*self.task.0 };
+        loop {
+            let index = self.next.fetch_add(1, Ordering::Relaxed);
+            if index >= self.len {
+                return true;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
+                let mut slot = self.panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                // Park the counter at the end so every participant stops.
+                self.next.store(self.len, Ordering::Relaxed);
+                return false;
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    jobs: Vec<Arc<Job>>,
+}
+
+struct Pool {
+    registry: Mutex<Registry>,
+    /// Signals workers (new job) and callers (worker left a job).
+    signal: Condvar,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            registry: Mutex::new(Registry::default()),
+            signal: Condvar::new(),
+        }));
+        let workers = crate::current_num_threads().saturating_sub(1);
+        for id in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{id}"))
+                .spawn(move || worker_loop(pool))
+                .expect("worker thread spawn failed");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut guard = pool.registry.lock().expect("pool registry poisoned");
+    loop {
+        // Find a job with work left and a free worker slot.
+        let job = guard.jobs.iter().find(|job| {
+            job.slots.load(Ordering::Relaxed) > 0 && job.next.load(Ordering::Relaxed) < job.len
+        });
+        let Some(job) = job.cloned() else {
+            guard = pool.signal.wait(guard).expect("pool registry poisoned");
+            continue;
+        };
+        // Join under the lock: the job is still registered here, so the task
+        // pointer is alive, and the caller cannot observe `workers_inside`
+        // going 0 -> 1 after unregistering.
+        job.slots.fetch_sub(1, Ordering::Relaxed);
+        job.workers_inside.fetch_add(1, Ordering::Relaxed);
+        drop(guard);
+
+        job.run_items();
+
+        guard = pool.registry.lock().expect("pool registry poisoned");
+        job.workers_inside.fetch_sub(1, Ordering::Relaxed);
+        // Wake the job's caller (and any idle peers scanning for work).
+        pool.signal.notify_all();
+    }
+}
+
+/// Runs `len` items on the calling thread plus at most `extra_workers` pool
+/// workers. Blocks until every item has completed; re-raises the first item
+/// panic on the calling thread.
+pub(crate) fn run_job(len: usize, extra_workers: usize, run_item: &(dyn Fn(usize) + Sync)) {
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        len,
+        slots: AtomicUsize::new(extra_workers),
+        workers_inside: AtomicUsize::new(0),
+        // SAFETY: lifetime erasure only; `run_job` does not return before the
+        // job is unregistered and no worker remains inside it.
+        task: TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                run_item,
+            )
+        }),
+        panic: Mutex::new(None),
+    });
+
+    let pool = pool();
+    {
+        let mut guard = pool.registry.lock().expect("pool registry poisoned");
+        guard.jobs.push(Arc::clone(&job));
+        pool.signal.notify_all();
+    }
+
+    // The caller participates unconditionally — this is what makes nested
+    // fan-outs deadlock-free even when every worker is busy.
+    job.run_items();
+
+    // Unregister (no new worker can join), then wait for stragglers.
+    let mut guard = pool.registry.lock().expect("pool registry poisoned");
+    guard
+        .jobs
+        .retain(|registered| !Arc::ptr_eq(registered, &job));
+    while job.workers_inside.load(Ordering::Relaxed) > 0 {
+        guard = pool.signal.wait(guard).expect("pool registry poisoned");
+    }
+    drop(guard);
+
+    let payload = job.panic.lock().expect("panic slot poisoned").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use crate::parallel_map_indexed;
+
+    #[test]
+    fn nested_fan_outs_share_the_pool_without_deadlock() {
+        // An outer batch-like fan-out whose items each fan out again, the
+        // shape of solve_batch -> best_transfer. Must complete and be exact.
+        let outer = 8;
+        let inner = 64;
+        let result = parallel_map_indexed(outer, None, |i| {
+            parallel_map_indexed(inner, None, |j| i * inner + j)
+                .into_iter()
+                .sum::<usize>()
+        });
+        for (i, &sum) in result.iter().enumerate() {
+            let expected: usize = (0..inner).map(|j| i * inner + j).sum();
+            assert_eq!(sum, expected);
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_from_many_threads_complete() {
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let sum: usize = parallel_map_indexed(100, Some(3), |i| i).into_iter().sum();
+                    total.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 4 * (99 * 100) / 2);
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job_and_serves_the_next() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_indexed(16, None, |i| {
+                if i == 7 {
+                    panic!("poisoned item");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+        // The pool must still be fully functional afterwards.
+        let ok = parallel_map_indexed(1_000, None, |i| i * 3);
+        assert_eq!(ok, (0..1_000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 
 use rental_core::{Instance, Throughput};
 
-use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+use crate::solver::{
+    MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior, WarmStartSolver,
+};
 
 /// One unit of batch work: an instance and the target throughput to solve
 /// it for.
@@ -128,9 +130,66 @@ pub fn solve_batch_portfolio<S: MinCostSolver + Sync>(
         .collect()
 }
 
+/// Solves a **target sweep** on one instance with a warm-startable solver,
+/// threading the incumbent split of each target into the next solve.
+///
+/// This is the batch-aware path for the exact ILP: a Table III sweep walks
+/// ρ = 10, 20, …, 200 over the *same* instance, and the optimal split of one
+/// target — lifted to cover the next — primes branch & bound with a strong
+/// incumbent, so the tree is pruned from node one. Results are returned in
+/// target order and carry the same costs as independent cold solves (the
+/// warm start is an incumbent, never a constraint).
+pub fn solve_sweep<S: WarmStartSolver>(
+    solver: &S,
+    instance: &Instance,
+    targets: &[Throughput],
+) -> Vec<SolveResult<SolverOutcome>> {
+    solve_sweep_timed(solver, instance, targets)
+        .into_iter()
+        .map(|(result, _)| result)
+        .collect()
+}
+
+/// [`solve_sweep`], additionally reporting the wall-clock time of every unit
+/// (including failed solves, mirroring [`solve_batch_timed`]).
+pub fn solve_sweep_timed<S: WarmStartSolver>(
+    solver: &S,
+    instance: &Instance,
+    targets: &[Throughput],
+) -> Vec<(SolveResult<SolverOutcome>, Duration)> {
+    let mut prior: Option<SweepPrior> = None;
+    targets
+        .iter()
+        .map(|&target| {
+            let start = Instant::now();
+            let result = solver.solve_with_prior(instance, target, prior.as_ref());
+            let elapsed = start.elapsed();
+            if let Ok(outcome) = &result {
+                prior = Some(SweepPrior::from_outcome(target, outcome));
+            }
+            (result, elapsed)
+        })
+        .collect()
+}
+
+/// Sweeps every instance over the same targets, in parallel across instances
+/// (the shared thread pool) and sequentially within each instance so the
+/// incumbent chain is preserved. Returns `results[instance][target]`.
+pub fn solve_sweep_batch_timed<S: WarmStartSolver + Sync>(
+    solver: &S,
+    instances: &[&Instance],
+    targets: &[Throughput],
+    max_threads: Option<usize>,
+) -> Vec<Vec<(SolveResult<SolverOutcome>, Duration)>> {
+    rayon::parallel_map_indexed(instances.len(), max_threads, |i| {
+        solve_sweep_timed(solver, instances[i], targets)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::IlpSolver;
     use crate::heuristics::{BestGraphSolver, SteepestGradientSolver};
     use crate::registry::{standard_suite, SuiteConfig};
     use rental_core::examples::illustrating_example;
@@ -222,6 +281,44 @@ mod tests {
         assert!(result.is_err());
         // The failure's wall time is observable, not reported as zero.
         assert!(*elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn swept_ilp_costs_match_cold_solves_on_table3() {
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        let targets: Vec<u64> = (1..=10).map(|k| k * 20).collect();
+        let swept = solve_sweep(&solver, &instance, &targets);
+        let mut swept_nodes = 0usize;
+        let mut cold_nodes = 0usize;
+        for (&target, result) in targets.iter().zip(&swept) {
+            let warm = result.as_ref().unwrap();
+            let cold = solver.solve(&instance, target).unwrap();
+            assert_eq!(warm.cost(), cold.cost(), "rho = {target}");
+            assert!(warm.proven_optimal);
+            swept_nodes += warm.nodes.unwrap();
+            cold_nodes += cold.nodes.unwrap();
+        }
+        // The threaded incumbents can only prune; never inflate the tree.
+        assert!(swept_nodes <= cold_nodes);
+    }
+
+    #[test]
+    fn sweep_batches_parallelise_per_instance() {
+        let instance_a = illustrating_example();
+        let instance_b = illustrating_example();
+        let solver = IlpSolver::new();
+        let targets = [30u64, 60, 90];
+        let rows = solve_sweep_batch_timed(&solver, &[&instance_a, &instance_b], &targets, Some(2));
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.len(), targets.len());
+            for ((result, elapsed), &target) in row.iter().zip(&targets) {
+                let outcome = result.as_ref().unwrap();
+                assert!(outcome.solution.split.covers(target));
+                assert!(*elapsed >= outcome.elapsed || *elapsed > Duration::ZERO);
+            }
+        }
     }
 
     #[test]

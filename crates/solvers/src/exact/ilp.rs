@@ -21,7 +21,9 @@ use rental_lp::model::{Model, Relation};
 use rental_lp::{MipSolver, MipStatus, SolveLimits};
 
 use crate::heuristics::SteepestGradientSolver;
-use crate::solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+use crate::solver::{
+    MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior, WarmStartSolver,
+};
 
 /// Exact (or time-limited) solver for the general shared-type case (§V-C).
 #[derive(Debug, Clone, Default)]
@@ -97,41 +99,110 @@ impl IlpSolver {
     }
 }
 
+/// Evaluates a split as a warm-start candidate for `target`: the split is
+/// completed (machine counts re-derived exactly) and flattened into the MILP's
+/// variable order `[ρ_1..ρ_J, x_1..x_Q]`.
+fn warm_candidate(
+    instance: &Instance,
+    target: Throughput,
+    split: ThroughputSplit,
+) -> Option<(u64, Vec<f64>)> {
+    let solution = instance.solution(target, split).ok()?;
+    let cost = solution.cost();
+    let mut values: Vec<f64> = solution.split.shares().iter().map(|&s| s as f64).collect();
+    values.extend(
+        solution
+            .allocation
+            .machine_counts()
+            .iter()
+            .map(|&x| x as f64),
+    );
+    Some((cost, values))
+}
+
+/// Lifts the incumbent split of a *different* target onto `target`.
+///
+/// Coverage is an inequality (`Σ ρ_j ≥ ρ`), so a split for a larger target is
+/// feasible as-is; a split for a smaller target is completed by assigning the
+/// deficit to the single recipe where it is cheapest.
+fn lifted_prior(
+    instance: &Instance,
+    target: Throughput,
+    prior: &ThroughputSplit,
+) -> Option<(u64, Vec<f64>)> {
+    if prior.len() != instance.num_recipes() {
+        return None;
+    }
+    let total: Throughput = prior.shares().iter().sum();
+    if total >= target {
+        return warm_candidate(instance, target, prior.clone());
+    }
+    let deficit = target - total;
+    let mut best: Option<(u64, Vec<f64>)> = None;
+    for j in 0..prior.len() {
+        let mut shares = prior.shares().to_vec();
+        shares[j] += deficit;
+        if let Some(candidate) = warm_candidate(instance, target, ThroughputSplit::new(shares)) {
+            if best.as_ref().is_none_or(|(cost, _)| candidate.0 < *cost) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
 impl MinCostSolver for IlpSolver {
     fn name(&self) -> &str {
         "ILP"
     }
 
     fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        self.solve_with_prior(instance, target, None)
+    }
+}
+
+impl WarmStartSolver for IlpSolver {
+    fn solve_with_prior(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        prior: Option<&SweepPrior>,
+    ) -> SolveResult<SolverOutcome> {
         let start = Instant::now();
         let model = Self::build_model(instance, target);
+        // Objective floor from the sweep: MinCost feasible regions are nested
+        // in the target, so a bound proven for a *smaller* target is a valid
+        // lower bound here. With integer costs it tightens to the next
+        // integer, and branch & bound prunes its whole tree the moment an
+        // incumbent reaches it — which happens on every target that shares
+        // its optimal cost with the previous one (plateaus are ubiquitous in
+        // fine-grained sweeps because machine capacity is quantized).
+        let floor = prior
+            .filter(|prior| prior.target <= target)
+            .and_then(|prior| prior.lower_bound)
+            .map(|lower_bound| (lower_bound - 1e-6).ceil());
         // Warm start: a cheap steepest-descent solution gives branch-and-bound
         // a strong incumbent to prune against from the very first node. This
         // mirrors how MILP solvers are primed with heuristic solutions and
-        // keeps the search tractable on the paper's larger instances.
-        let warm_start = SteepestGradientSolver::default()
+        // keeps the search tractable on the paper's larger instances. In a
+        // target sweep, the incumbent of the previous target — lifted to
+        // cover the new one — competes with it, and the cheaper of the two
+        // primes the search.
+        let heuristic = SteepestGradientSolver::default()
             .solve(instance, target)
             .ok()
-            .map(|outcome| {
-                let mut values: Vec<f64> = outcome
-                    .solution
-                    .split
-                    .shares()
-                    .iter()
-                    .map(|&s| s as f64)
-                    .collect();
-                values.extend(
-                    outcome
-                        .solution
-                        .allocation
-                        .machine_counts()
-                        .iter()
-                        .map(|&x| x as f64),
-                );
-                values
-            });
-        let mip =
-            MipSolver::with_limits(self.limits).solve_with_start(&model, warm_start.as_deref())?;
+            .and_then(|outcome| warm_candidate(instance, target, outcome.solution.split));
+        let lifted = prior.and_then(|prior| lifted_prior(instance, target, &prior.split));
+        let warm_start = match (heuristic, lifted) {
+            (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
+            (a, b) => a.or(b),
+        }
+        .map(|(_, values)| values);
+        let mip = MipSolver::with_limits(self.limits).solve_with_hints(
+            &model,
+            warm_start.as_deref(),
+            floor,
+        )?;
         if !mip.has_incumbent() {
             return Err(SolveError::NoSolutionFound {
                 solver: self.name().to_string(),
@@ -150,6 +221,7 @@ impl MinCostSolver for IlpSolver {
             proven_optimal,
             lower_bound: Some(mip.best_bound),
             elapsed: start.elapsed(),
+            nodes: Some(mip.nodes),
         })
     }
 }

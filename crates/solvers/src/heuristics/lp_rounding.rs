@@ -145,6 +145,7 @@ impl MinCostSolver for LpRoundingSolver {
 
         let solution = instance.solution(target, chosen)?;
         Ok(SolverOutcome {
+            nodes: None,
             solution,
             proven_optimal: false,
             lower_bound: Some(lower_bound),

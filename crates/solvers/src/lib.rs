@@ -57,10 +57,14 @@ pub mod registry;
 pub mod solver;
 
 pub use batch::{
-    solve_batch, solve_batch_portfolio, solve_batch_timed, solve_batch_with, BatchItem,
+    solve_batch, solve_batch_portfolio, solve_batch_timed, solve_batch_with, solve_sweep,
+    solve_sweep_batch_timed, solve_sweep_timed, BatchItem,
 };
 pub use multicloud::{CloudRegion, MultiCloudProblem, MultiCloudSolution, RegionAllocation};
 pub use registry::{
-    extended_suite, extended_suite_names, standard_suite, standard_suite_names, SuiteConfig,
+    extended_suite, extended_suite_names, ilp_solver, standard_suite, standard_suite_names,
+    SuiteConfig,
 };
-pub use solver::{MinCostSolver, SolveError, SolveResult, SolverOutcome};
+pub use solver::{
+    MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior, WarmStartSolver,
+};

@@ -49,17 +49,23 @@ impl SuiteConfig {
     }
 }
 
+/// Builds the suite's ILP solver on its own. Target sweeps
+/// ([`crate::batch::solve_sweep`]) use this to thread incumbents between
+/// targets, which the boxed [`MinCostSolver`] interface cannot express.
+pub fn ilp_solver(config: &SuiteConfig) -> IlpSolver {
+    match config.ilp_time_limit {
+        Some(seconds) => IlpSolver::with_limits(SolveLimits::with_time_limit(seconds)),
+        None => IlpSolver::new(),
+    }
+}
+
 /// Builds the standard suite of solvers in the order used by the paper's
 /// tables and figures: ILP first, then H1, H2, H31, H32, H32Jump (and
 /// optionally H0).
 pub fn standard_suite(config: &SuiteConfig) -> Vec<Box<dyn MinCostSolver + Send + Sync>> {
     let mut suite: Vec<Box<dyn MinCostSolver + Send + Sync>> = Vec::new();
     if config.include_ilp {
-        let ilp = match config.ilp_time_limit {
-            Some(seconds) => IlpSolver::with_limits(SolveLimits::with_time_limit(seconds)),
-            None => IlpSolver::new(),
-        };
-        suite.push(Box::new(ilp));
+        suite.push(Box::new(ilp_solver(config)));
     }
     if config.include_h0 {
         suite.push(Box::new(RandomSplitSolver::with_seed(config.seed)));

@@ -75,6 +75,10 @@ pub struct SolverOutcome {
     pub lower_bound: Option<f64>,
     /// Wall-clock time spent inside the algorithm.
     pub elapsed: Duration,
+    /// Branch-and-bound nodes explored, for solvers with a search tree
+    /// (`None` for the heuristics). Target sweeps use this to quantify how
+    /// much warm-started incumbents shrink the tree.
+    pub nodes: Option<usize>,
 }
 
 impl SolverOutcome {
@@ -85,6 +89,7 @@ impl SolverOutcome {
             proven_optimal: false,
             lower_bound: None,
             elapsed,
+            nodes: None,
         }
     }
 
@@ -96,6 +101,7 @@ impl SolverOutcome {
             proven_optimal: true,
             lower_bound: Some(bound),
             elapsed,
+            nodes: None,
         }
     }
 
@@ -103,6 +109,56 @@ impl SolverOutcome {
     pub fn cost(&self) -> u64 {
         self.solution.cost()
     }
+}
+
+/// What one solve of a target sweep hands to the next: the incumbent split
+/// (lifted into a warm-start incumbent) and the proven lower bound.
+///
+/// The bound is the sharp part: MinCost feasible regions are *nested* in the
+/// target (`Σ ρ_j ≥ ρ₂` implies `Σ ρ_j ≥ ρ₁` for `ρ₁ ≤ ρ₂`), so a proven
+/// lower bound for a smaller target is a valid **objective cut** for every
+/// larger one — it lifts the LP bound of every branch-and-bound node, which
+/// prunes exactly where covering relaxations are weakest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPrior {
+    /// The target the prior was solved for.
+    pub target: Throughput,
+    /// The best split found for that target.
+    pub split: rental_core::ThroughputSplit,
+    /// The proven lower bound on that target's optimal cost, if any.
+    pub lower_bound: Option<f64>,
+}
+
+impl SweepPrior {
+    /// Builds the prior handed to the next target of a sweep.
+    pub fn from_outcome(target: Throughput, outcome: &SolverOutcome) -> Self {
+        SweepPrior {
+            target,
+            split: outcome.solution.split.clone(),
+            lower_bound: outcome.lower_bound,
+        }
+    }
+}
+
+/// A solver that can exploit the outcome of a *related* solve — the previous
+/// target in a throughput sweep — to prune its own search from the first
+/// node.
+pub trait WarmStartSolver: MinCostSolver {
+    /// Solves the instance for `target`, optionally seeded with the prior of
+    /// a related solve (typically the previous target of the same instance).
+    ///
+    /// Implementations must return the same *cost* as [`MinCostSolver::solve`]
+    /// for exact solvers; the prior may only make the solve cheaper.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MinCostSolver::solve`].
+    fn solve_with_prior(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        prior: Option<&SweepPrior>,
+    ) -> SolveResult<SolverOutcome>;
 }
 
 /// An algorithm that solves the MinCost problem: given an instance and a
