@@ -1,0 +1,111 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Scaling benchmark for the `rental-fleet` streaming re-optimization
+//! subsystem.
+//!
+//! * `fleet_scaling/tenants-N` times a full probe/solve/adopt run of the
+//!   diurnal+spike scenario at fleet sizes 4, 8 and 16 — the whole epoch
+//!   loop including the batched warm-started ILP re-solves on the shared
+//!   pool.
+//! * The harness then runs the **acceptance scenario** (16 tenants, the same
+//!   seed as the `fleet_regression` test) and writes `BENCH_fleet.json` with
+//!   the two headline numbers of ISSUE 3 — total cost vs the fixed-mix
+//!   autoscale baseline, and the fraction of tenant-epochs that re-solved —
+//!   plus the probe-vs-solve time split, for CI logs and regression
+//!   tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rental_fleet::{diurnal_spike_fleet, FleetController, ACCEPTANCE_SEED};
+use rental_solvers::exact::IlpSolver;
+
+/// The seed shared with `crates/fleet/tests/fleet_regression.rs`.
+const SCENARIO_SEED: u64 = ACCEPTANCE_SEED;
+
+fn bench_fleet_scaling(c: &mut Criterion) {
+    let solver = IlpSolver::new();
+
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+    for &tenants in &[4usize, 8, 16] {
+        let scenario = diurnal_spike_fleet(tenants, SCENARIO_SEED);
+        let controller = FleetController::new(scenario.policy);
+        group.bench_with_input(
+            BenchmarkId::new("tenants", tenants),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    controller
+                        .run(&solver, black_box(&scenario.tenants))
+                        .unwrap()
+                        .total_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // ------------------------------------------------------------------
+    // The acceptance scenario, summarised into BENCH_fleet.json.
+    // ------------------------------------------------------------------
+    let scenario = diurnal_spike_fleet(16, SCENARIO_SEED);
+    let report = FleetController::new(scenario.policy)
+        .run(&solver, &scenario.tenants)
+        .expect("the acceptance scenario solves");
+    let switching: f64 = report.tenants.iter().map(|t| t.switching_cost).sum();
+    println!(
+        "fleet_scaling summary ({}): fleet {:.0} (incl. {:.0} switching) vs fixed-mix {:.0} \
+         ({:.1}% saved) vs static-peak {:.0}; {}/{} tenant-epochs re-solved ({:.1}%); \
+         probe {:.2} ms vs solve {:.1} ms",
+        scenario.name,
+        report.total_cost(),
+        switching,
+        report.fixed_mix_cost(),
+        100.0 * report.savings_vs_fixed_mix() / report.fixed_mix_cost(),
+        report.static_peak_cost(),
+        report.resolved_tenant_epochs(),
+        report.tenant_epochs(),
+        100.0 * report.resolve_fraction(),
+        1e3 * report.probe_seconds(),
+        1e3 * report.solve_seconds(),
+    );
+    assert!(
+        report.total_cost() < report.fixed_mix_cost(),
+        "acceptance: re-solving must beat the fixed-mix baseline"
+    );
+    assert!(
+        report.resolve_fraction() < 0.5,
+        "acceptance: only a minority of tenant-epochs may re-solve"
+    );
+
+    let json = format!(
+        "{{\n  \"scenario\": \"{}\",\n  \"tenants\": {},\n  \"epochs\": {},\n  \
+         \"fleet_cost\": {:.2},\n  \"switching_cost\": {switching:.2},\n  \
+         \"fixed_mix_cost\": {:.2},\n  \"static_peak_cost\": {:.2},\n  \
+         \"savings_vs_fixed_mix\": {:.2},\n  \"tenant_epochs\": {},\n  \
+         \"resolved_tenant_epochs\": {},\n  \"resolve_fraction\": {:.4},\n  \
+         \"probe_secs\": {:.6},\n  \"solve_secs\": {:.6}\n}}\n",
+        scenario.name,
+        report.tenants.len(),
+        report.epochs,
+        report.total_cost(),
+        report.fixed_mix_cost(),
+        report.static_peak_cost(),
+        report.savings_vs_fixed_mix(),
+        report.tenant_epochs(),
+        report.resolved_tenant_epochs(),
+        report.resolve_fraction(),
+        report.probe_seconds(),
+        report.solve_seconds(),
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("BENCH_fleet.json is writable");
+    println!("wrote BENCH_fleet.json");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fleet_scaling
+}
+criterion_main!(benches);

@@ -53,7 +53,7 @@ pub use allocation::{Allocation, Solution, ThroughputSplit};
 pub use application::{GlobalApplication, TypeDemandMatrix};
 pub use error::{ModelError, ModelResult};
 pub use instance::Instance;
-pub use plan::ProvisioningPlan;
+pub use plan::{PlannedMachine, ProvisioningPlan, TypeSummary};
 pub use platform::{MachineType, Platform};
 pub use recipe::{Edge, Recipe, Task};
 pub use types::{Cost, RecipeId, TaskId, Throughput, TypeId};

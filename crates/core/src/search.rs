@@ -28,6 +28,18 @@ use crate::types::{Cost, RecipeId, Throughput};
 /// parallelism is bounded by the core count instead of multiplying.
 pub const PARALLEL_SCAN_MIN_RECIPES: usize = 64;
 
+/// Estimated per-row scan work (candidate count × mean pair-diff length)
+/// from which [`best_transfer`] splits a **single** `from`-row's candidate
+/// scan across the worker pool even though the recipe count is below
+/// [`PARALLEL_SCAN_MIN_RECIPES`].
+///
+/// A candidate evaluation walks the sparse pair-diff of `(from, to)`, whose
+/// length scales with the number of machine types the two recipes disagree
+/// on. With few recipes but a huge type count Q, a row has only `J − 1`
+/// candidates yet each one is expensive — the regime where splitting the row
+/// (not the row *set*) is the only parallelism available.
+pub const PARALLEL_SCAN_MIN_ROW_WORK: usize = 4096;
+
 /// The best admissible `δ`-transfer, over all ordered recipe pairs.
 ///
 /// A candidate `(from, to)` is considered when `from` currently carries
@@ -36,6 +48,11 @@ pub const PARALLEL_SCAN_MIN_RECIPES: usize = 64;
 /// lowest-cost candidate is returned (ties towards the smallest pair).
 /// Returns `Ok(None)` when no candidate is admissible — e.g. at a local
 /// minimum when `admissible` demands strict improvement.
+///
+/// Parallelism picks the widest profitable axis: across `from`-rows when the
+/// recipe count is large, across the candidates *within* each row when the
+/// recipe count is small but the per-candidate diff walks are heavy (large
+/// Q). Both paths return bit-identical moves to the sequential double loop.
 ///
 /// # Errors
 ///
@@ -54,6 +71,10 @@ where
             rayon::parallel_map_indexed(num_recipes, None, |from| {
                 scan_row(evaluator, RecipeId(from), delta, admissible)
             })
+        } else if num_recipes > 2 && row_scan_work(evaluator) >= PARALLEL_SCAN_MIN_ROW_WORK {
+            (0..num_recipes)
+                .map(|from| scan_row_split(evaluator, RecipeId(from), delta, admissible))
+                .collect()
         } else {
             (0..num_recipes)
                 .map(|from| scan_row(evaluator, RecipeId(from), delta, admissible))
@@ -70,6 +91,12 @@ where
     Ok(best)
 }
 
+/// Estimated cost of scanning one `from`-row: candidates × mean diff length.
+fn row_scan_work(evaluator: &IncrementalEvaluator<'_>) -> usize {
+    let candidates = evaluator.split().len().saturating_sub(1);
+    (candidates as f64 * evaluator.diff_table().mean_pair_diff_len()) as usize
+}
+
 /// Scans all transfers out of `from`, returning the best admissible
 /// destination (ties towards the smallest `to`).
 fn scan_row<F>(
@@ -81,11 +108,34 @@ fn scan_row<F>(
 where
     F: Fn(RecipeId, RecipeId, Cost) -> bool + Sync,
 {
+    scan_row_range(
+        evaluator,
+        from,
+        delta,
+        admissible,
+        0,
+        evaluator.split().len(),
+    )
+}
+
+/// Scans the transfers out of `from` into destinations `to_start..to_end`
+/// (ties towards the smallest `to` in the range).
+fn scan_row_range<F>(
+    evaluator: &IncrementalEvaluator<'_>,
+    from: RecipeId,
+    delta: Throughput,
+    admissible: &F,
+    to_start: usize,
+    to_end: usize,
+) -> ModelResult<Option<(RecipeId, Cost)>>
+where
+    F: Fn(RecipeId, RecipeId, Cost) -> bool + Sync,
+{
     if evaluator.split().share(from) == 0 {
         return Ok(None);
     }
     let mut best: Option<(RecipeId, Cost)> = None;
-    for to in 0..evaluator.split().len() {
+    for to in to_start..to_end {
         let to = RecipeId(to);
         if to == from {
             continue;
@@ -101,11 +151,50 @@ where
     Ok(best)
 }
 
+/// [`scan_row`], with the row's candidates split into contiguous chunks
+/// fanned out over the shared worker pool. Chunks are merged in destination
+/// order with strict-improvement ties, so the result is identical to the
+/// sequential scan.
+fn scan_row_split<F>(
+    evaluator: &IncrementalEvaluator<'_>,
+    from: RecipeId,
+    delta: Throughput,
+    admissible: &F,
+) -> ModelResult<Option<(RecipeId, Cost)>>
+where
+    F: Fn(RecipeId, RecipeId, Cost) -> bool + Sync,
+{
+    if evaluator.split().share(from) == 0 {
+        return Ok(None);
+    }
+    let num_recipes = evaluator.split().len();
+    let chunks = rayon::current_num_threads().clamp(1, num_recipes);
+    let chunk_size = num_recipes.div_ceil(chunks);
+    let partials = rayon::parallel_map_indexed(chunks, None, |chunk| {
+        let to_start = chunk * chunk_size;
+        let to_end = ((chunk + 1) * chunk_size).min(num_recipes);
+        scan_row_range(evaluator, from, delta, admissible, to_start, to_end)
+    });
+    let mut best: Option<(RecipeId, Cost)> = None;
+    for partial in partials {
+        if let Some((to, cost)) = partial? {
+            if best.is_none_or(|(_, best_cost)| cost < best_cost) {
+                best = Some((to, cost));
+            }
+        }
+    }
+    Ok(best)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::allocation::ThroughputSplit;
     use crate::examples::illustrating_example;
+    use crate::instance::Instance;
+    use crate::platform::Platform;
+    use crate::recipe::Recipe;
+    use crate::types::TypeId;
 
     #[test]
     fn best_transfer_matches_a_naive_double_loop() {
@@ -162,6 +251,107 @@ mod tests {
             best_transfer(&evaluator, 10, &|_, _, cost| cost < current).unwrap(),
             None
         );
+    }
+
+    /// A wide instance: few recipes, each touching a large disjoint block of
+    /// machine types, so a single row's candidate scan is heavy while the
+    /// recipe count stays far below [`PARALLEL_SCAN_MIN_RECIPES`].
+    fn wide_instance(num_recipes: usize, types_per_recipe: usize) -> Instance {
+        let num_types = num_recipes * types_per_recipe;
+        let pairs: Vec<(u64, u64)> = (0..num_types)
+            .map(|q| (10 + (q % 4) as u64 * 10, 1 + (q * q % 13) as u64))
+            .collect();
+        let platform = Platform::from_pairs(&pairs).unwrap();
+        let recipes: Vec<Recipe> = (0..num_recipes)
+            .map(|j| {
+                let types: Vec<TypeId> = (0..types_per_recipe)
+                    .map(|t| TypeId(j * types_per_recipe + t))
+                    .collect();
+                Recipe::independent_tasks(RecipeId(j), &types).unwrap()
+            })
+            .collect();
+        Instance::new(recipes, platform).unwrap()
+    }
+
+    #[test]
+    fn row_split_path_matches_the_naive_double_loop() {
+        let instance = wide_instance(6, 900);
+        let evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(vec![40, 20, 0, 10, 0, 0]),
+        )
+        .unwrap();
+        // The test must actually exercise the row-splitting branch.
+        assert!(instance.num_recipes() < PARALLEL_SCAN_MIN_RECIPES);
+        assert!(row_scan_work(&evaluator) >= PARALLEL_SCAN_MIN_ROW_WORK);
+
+        let current = evaluator.cost();
+        let found = best_transfer(&evaluator, 10, &|_, _, cost| cost < current).unwrap();
+
+        let mut naive: Option<(RecipeId, RecipeId, u64)> = None;
+        for from in 0..instance.num_recipes() {
+            let from = RecipeId(from);
+            if evaluator.split().share(from) == 0 {
+                continue;
+            }
+            for to in 0..instance.num_recipes() {
+                let to = RecipeId(to);
+                if to == from {
+                    continue;
+                }
+                let (moved, cost) = evaluator.cost_after_transfer(from, to, 10).unwrap();
+                if moved == 0 || cost >= current {
+                    continue;
+                }
+                if naive.is_none_or(|(_, _, best)| cost < best) {
+                    naive = Some((from, to, cost));
+                }
+            }
+        }
+        assert_eq!(found, naive);
+
+        // And with an unconstrained filter the two paths still agree on the
+        // exact winning pair (tie-breaking included).
+        let unconstrained = best_transfer(&evaluator, 10, &|_, _, _| true).unwrap();
+        let mut naive_any: Option<(RecipeId, RecipeId, u64)> = None;
+        for from in 0..instance.num_recipes() {
+            let from = RecipeId(from);
+            if evaluator.split().share(from) == 0 {
+                continue;
+            }
+            for to in 0..instance.num_recipes() {
+                let to = RecipeId(to);
+                if to == from {
+                    continue;
+                }
+                let (moved, cost) = evaluator.cost_after_transfer(from, to, 10).unwrap();
+                if moved == 0 {
+                    continue;
+                }
+                if naive_any.is_none_or(|(_, _, best)| cost < best) {
+                    naive_any = Some((from, to, cost));
+                }
+            }
+        }
+        assert_eq!(unconstrained, naive_any);
+    }
+
+    #[test]
+    fn narrow_instances_stay_on_the_sequential_path() {
+        // The illustrating example is tiny on both axes: neither parallel
+        // branch may trigger, and the scan still works.
+        let instance = illustrating_example();
+        let evaluator = IncrementalEvaluator::new(
+            instance.application().demand(),
+            instance.platform(),
+            ThroughputSplit::new(vec![70, 0, 0]),
+        )
+        .unwrap();
+        assert!(row_scan_work(&evaluator) < PARALLEL_SCAN_MIN_ROW_WORK);
+        assert!(best_transfer(&evaluator, 30, &|_, _, _| true)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! repro summary [--configs N]          # headline comparison (paper §VIII-F)
+//! repro fleet [--tenants N]            # multi-tenant streaming re-optimization lane
 //! repro ablation-delta                 # δ-step sweep (extension, DESIGN.md)
 //! repro ablation-escape                # escape-mechanism comparison (extension)
 //! repro ablation-mutation              # recipe-similarity sweep (extension)
@@ -30,9 +31,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rental_experiments::{
-    delta_sweep, escape_mechanisms, figure_csv, figure_markdown, mutation_sweep, presets,
-    run_experiment, run_table3, table3_csv, table3_markdown, table3_targets, write_artifact,
-    AblationResults, AblationSpec, ExperimentResults, Metric,
+    delta_sweep, escape_mechanisms, figure_csv, figure_markdown, fleet_csv, fleet_markdown,
+    mutation_sweep, presets, run_experiment, run_fleet_experiment, run_table3, table3_csv,
+    table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
+    ExperimentResults, FleetExperimentSpec, Metric,
 };
 use rental_solvers::SuiteConfig;
 
@@ -45,6 +47,7 @@ struct Options {
     csv: bool,
     threads: Option<usize>,
     output_dir: Option<PathBuf>,
+    tenants: usize,
 }
 
 impl Default for Options {
@@ -57,6 +60,7 @@ impl Default for Options {
             csv: false,
             threads: None,
             output_dir: None,
+            tenants: 16,
         }
     }
 }
@@ -85,6 +89,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let value = iter.next().ok_or("--threads needs a value")?;
                 options.threads = Some(value.parse().map_err(|_| "invalid --threads value")?);
             }
+            "--tenants" => {
+                let value = iter.next().ok_or("--tenants needs a value")?;
+                options.tenants = value.parse().map_err(|_| "invalid --tenants value")?;
+            }
             "--output-dir" => {
                 let value = iter.next().ok_or("--output-dir needs a value")?;
                 options.output_dir = Some(PathBuf::from(value));
@@ -106,9 +114,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn print_usage() {
     println!(
-        "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|all|\
+        "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|all|\
          ablation-delta|ablation-escape|ablation-mutation> \
-         [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--output-dir DIR] [--threads N]"
+         [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--output-dir DIR] \
+         [--threads N] [--tenants N]"
     );
 }
 
@@ -201,6 +210,33 @@ fn emit_summary(options: &Options, results: &ExperimentResults) {
         "  improved heuristics gain {:.1}% over the naive H1 baseline on average",
         100.0 * (best_heuristic - h1)
     );
+}
+
+fn emit_fleet(options: &Options) -> Result<(), String> {
+    let spec = FleetExperimentSpec {
+        num_tenants: options.tenants,
+        seed: options.seed,
+        threads: options.threads,
+    };
+    eprintln!(
+        "[repro] running the {}-tenant fleet scenario (seed {}) ...",
+        spec.num_tenants, spec.seed
+    );
+    let table = run_fleet_experiment(&spec).map_err(|err| err.to_string())?;
+    let csv = fleet_csv(&table);
+    let markdown = fleet_markdown(&table);
+    if options.csv {
+        print!("{csv}");
+    } else {
+        println!(
+            "## Fleet — multi-tenant streaming re-optimization ({})",
+            table.scenario
+        );
+        print!("{markdown}");
+    }
+    persist(options, "fleet.csv", &csv);
+    persist(options, "fleet.md", &markdown);
+    Ok(())
 }
 
 fn ablation_spec(options: &Options) -> AblationSpec {
@@ -296,6 +332,12 @@ fn main() -> ExitCode {
         "summary" => {
             let results = run_preset(&options, "small");
             emit_summary(&options, &results);
+        }
+        "fleet" => {
+            if let Err(message) = emit_fleet(&options) {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
         }
         "ablation-delta" => {
             let results = delta_sweep(&ablation_spec(&options), &[1, 5, 10, 20]);
@@ -417,6 +459,15 @@ mod tests {
             options.output_dir.as_deref(),
             Some(std::path::Path::new("/tmp/repro-out"))
         );
+    }
+
+    #[test]
+    fn fleet_command_and_tenants_flag_are_parsed() {
+        let options = parse_args(&args(&["fleet", "--tenants", "8"])).unwrap();
+        assert_eq!(options.command, "fleet");
+        assert_eq!(options.tenants, 8);
+        let defaults = parse_args(&args(&["fleet"])).unwrap();
+        assert_eq!(defaults.tenants, 16);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`report`] — Markdown / CSV emitters for every table and figure;
 //! * [`stats`] — the aggregation helpers;
 //! * [`ablation`] — the δ-step, escape-mechanism and recipe-similarity
-//!   ablation studies described in DESIGN.md (extensions beyond the paper).
+//!   ablation studies described in DESIGN.md (extensions beyond the paper);
+//! * [`fleet`] — the multi-tenant streaming re-optimization lane: the
+//!   `rental-fleet` probe/solve/adopt controller on the diurnal+spike
+//!   scenario, versus the static-peak and fixed-mix baselines.
 //!
 //! The `repro` binary glues these together:
 //!
@@ -25,6 +28,7 @@
 //! ```
 
 pub mod ablation;
+pub mod fleet;
 pub mod report;
 pub mod runner;
 pub mod stats;
@@ -33,6 +37,7 @@ pub mod table3;
 pub use ablation::{
     delta_sweep, escape_mechanisms, mutation_sweep, AblationResults, AblationRow, AblationSpec,
 };
+pub use fleet::{fleet_csv, fleet_markdown, run_fleet_experiment, FleetExperimentSpec, FleetTable};
 pub use report::{
     figure_csv, figure_markdown, table3_csv, table3_markdown, write_artifact, Metric,
 };

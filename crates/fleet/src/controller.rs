@@ -1,0 +1,857 @@
+//! The event-driven fleet controller: probe, batch re-solve, adopt.
+//!
+//! Per epoch of the shared clock the controller (1) re-reads every tenant's
+//! demand rate and, on a workload shift, runs a cheap memoized what-if probe,
+//! (2) batches every due tenant into one warm-started solver fan-out on the
+//! shared worker pool, and (3) adopts a freshly solved plan only when its
+//! projected remaining-horizon savings beat the switching cost. See the crate
+//! docs for how this maps onto §I's streaming model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rental_core::{
+    Instance, PlannedMachine, ProvisioningPlan, RecipeId, Solution, Throughput, TypeId, TypeSummary,
+};
+use rental_pricing::{HorizonCache, OnDemand, RentalHorizon, SegmentedBilling};
+use rental_solvers::batch::{solve_warm_batch_timed, WarmBatchItem};
+use rental_solvers::solver::{SolveResult, SolverOutcome, SweepPrior, WarmStartSolver};
+use rental_stream::{AutoscalePolicy, Autoscaler, FixedMixScaler, FixedMixState, WorkloadTrace};
+
+use crate::report::{AdoptionRecord, FleetReport, TenantReport};
+use crate::tenant::TenantSpec;
+
+/// Parameters of the fleet controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPolicy {
+    /// Epoch length of the shared clock (hours).
+    pub epoch: f64,
+    /// Capacity head-room: tenants are provisioned for `rate × headroom`.
+    pub headroom: f64,
+    /// Consecutive low epochs before a tenant's fleet scales down (the same
+    /// hysteresis as [`AutoscalePolicy::scale_down_patience`]).
+    pub scale_down_patience: usize,
+    /// Probe slack ε: a tenant is **not** due for a re-solve while the
+    /// fixed-mix rescale of its current plan stays within `(1 + ε)` of the
+    /// best known cost at the shifted target.
+    pub probe_epsilon: f64,
+    /// Relative target change (vs. the target the current plan was solved
+    /// for) that counts as a workload shift worth probing.
+    pub shift_threshold: f64,
+    /// Switching/migration charge paid when a new plan is adopted, in cost
+    /// units. Candidate plans must project savings above this over the
+    /// remaining horizon (hysteresis).
+    pub switching_cost: f64,
+    /// Master switch for the probe/solve/adopt loop. Disabled, the controller
+    /// degrades to one fixed-mix autoscaler per tenant.
+    pub resolve: bool,
+    /// Cap on solver worker threads (`None`: one per available CPU).
+    pub threads: Option<usize>,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            epoch: 1.0,
+            headroom: 1.0,
+            scale_down_patience: 2,
+            probe_epsilon: 0.02,
+            shift_threshold: 0.05,
+            switching_cost: 0.0,
+            resolve: true,
+            threads: None,
+        }
+    }
+}
+
+impl FleetPolicy {
+    /// The per-tenant autoscaling policy implied by the fleet policy — used
+    /// both for the tenants' own fixed-mix scaling between re-solves and for
+    /// the fixed-mix baseline of the report.
+    pub fn autoscale_policy(&self) -> AutoscalePolicy {
+        AutoscalePolicy {
+            epoch: self.epoch,
+            headroom: self.headroom,
+            scale_down_patience: self.scale_down_patience,
+            redundancy: 0,
+        }
+    }
+}
+
+/// Quantizes a demand rate into a provisioning target: head-room applied,
+/// rounded up to the instance's throughput granularity (which stabilises
+/// probes and re-solve targets against sub-granularity rate jitter).
+fn quantize_target(rate: f64, headroom: f64, granularity: u64) -> Throughput {
+    let demand = rate * headroom;
+    if demand <= 0.0 {
+        return 0;
+    }
+    let rho = demand.ceil() as u64;
+    let g = granularity.max(1);
+    rho.div_ceil(g) * g
+}
+
+/// The provisioning target a tenant's **initial** plan is solved for: its
+/// first epoch's demand (what a cold-started system sees), quantized.
+pub fn initial_target(policy: &FleetPolicy, instance: &Instance, trace: &WorkloadTrace) -> u64 {
+    let first_rate = trace
+        .epoch_peaks(policy.epoch)
+        .first()
+        .copied()
+        .unwrap_or(0.0);
+    quantize_target(
+        first_rate,
+        policy.headroom,
+        instance.throughput_granularity(),
+    )
+}
+
+/// The fractional (LP) lower bound on any plan's hourly cost per unit of
+/// provisioning target: `min_j Σ_q n_jq c_q / r_q`. Machine-count ceilings
+/// only push real plans above it, so `target × min_unit_cost` is a sound
+/// probe reference before the target has ever been solved.
+fn min_unit_cost(instance: &Instance) -> f64 {
+    let demand = instance.application().demand();
+    let platform = instance.platform();
+    (0..instance.num_recipes())
+        .map(|j| {
+            (0..instance.num_types())
+                .map(|q| {
+                    demand.count(RecipeId(j), TypeId(q)) as f64 * platform.cost(TypeId(q)) as f64
+                        / (platform.throughput(TypeId(q)).max(1)) as f64
+                })
+                .sum::<f64>()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Builds a provisioning plan from explicit per-type machine counts (with
+/// `load_each[q]` assigned load per machine), so fixed-mix fleets can be
+/// projected over the remaining horizon through a [`HorizonCache`] like any
+/// solver plan.
+fn plan_from_fleet(
+    instance: &Instance,
+    fleet: &[u64],
+    load_each: &[f64],
+    target: Throughput,
+) -> ProvisioningPlan {
+    let platform = instance.platform();
+    let mut machines = Vec::new();
+    let mut per_type = Vec::with_capacity(fleet.len());
+    let mut hourly_cost = 0u64;
+    for (q, &count) in fleet.iter().enumerate() {
+        let type_id = TypeId(q);
+        let capacity_each = platform.throughput(type_id);
+        let cost_each = platform.cost(type_id);
+        for _ in 0..count {
+            machines.push(PlannedMachine {
+                type_id,
+                hourly_cost: cost_each,
+                capacity: capacity_each,
+                assigned_load: load_each[q],
+            });
+        }
+        hourly_cost += count * cost_each;
+        per_type.push(TypeSummary {
+            type_id,
+            machines: count,
+            demand: (load_each[q] * count as f64).round() as u64,
+            capacity: count * capacity_each,
+            hourly_cost: count * cost_each,
+        });
+    }
+    ProvisioningPlan {
+        target,
+        split: vec![],
+        machines,
+        per_type,
+        hourly_cost,
+    }
+}
+
+/// A memoized "keep" projection: the fixed-mix rescale of the tenant's
+/// current mix at one quantized target ρ', split into the machines that are
+/// **continued** (also part of the nominal fleet at the currently solved
+/// target — their committed billing terms are already running, so only the
+/// marginal charge past the elapsed rental time applies) and the machines the
+/// rescale would rent **fresh** (scale-up — new commitments, billed from
+/// hour zero). Under linear billing the two parts sum to exactly the whole
+/// fleet's remaining-horizon bill.
+struct ProbeEntry {
+    continued: HorizonCache,
+    fresh: HorizonCache,
+}
+
+impl ProbeEntry {
+    fn new(
+        instance: &Instance,
+        scaler: &FixedMixScaler,
+        solved_target: Throughput,
+        target: Throughput,
+        billing: &(dyn SegmentedBilling + Send + Sync),
+    ) -> Self {
+        let current = scaler.required_for_target(solved_target as f64);
+        let rescaled = scaler.required_for_target(target as f64);
+        let demand = scaler.demand_at(target as f64);
+        let load_each: Vec<f64> = rescaled
+            .iter()
+            .zip(&demand)
+            .map(|(&n, &d)| if n == 0 { 0.0 } else { d / n as f64 })
+            .collect();
+        let continued: Vec<u64> = rescaled
+            .iter()
+            .zip(&current)
+            .map(|(&tgt, &cur)| tgt.min(cur))
+            .collect();
+        let fresh: Vec<u64> = rescaled
+            .iter()
+            .zip(&continued)
+            .map(|(&tgt, &kept)| tgt - kept)
+            .collect();
+        ProbeEntry {
+            continued: HorizonCache::new(
+                &plan_from_fleet(instance, &continued, &load_each, target),
+                billing,
+            ),
+            fresh: HorizonCache::new(
+                &plan_from_fleet(instance, &fresh, &load_each, target),
+                billing,
+            ),
+        }
+    }
+}
+
+/// A solved target the tenant remembers: the outcome plus the horizon cache
+/// of its plan. Probes use it as a sharp reference and adoption decisions
+/// reuse it without re-solving when the workload revisits the target.
+struct KnownPlan {
+    outcome: SolverOutcome,
+    cache: HorizonCache,
+}
+
+/// Mutable per-tenant state of a run.
+struct TenantState<'a> {
+    spec: &'a TenantSpec,
+    peaks: Vec<f64>,
+    granularity: u64,
+    min_unit_cost: f64,
+    /// The recipe mix the tenant started with (the fixed-mix baseline's mix).
+    initial_fractions: Vec<f64>,
+    initial_target: Throughput,
+    /// Current recipe mix and its scaler.
+    fractions: Vec<f64>,
+    scaler: FixedMixScaler,
+    mix: FixedMixState,
+    solved_target: Throughput,
+    /// Epoch at which the current mix was adopted (0 for the initial plan):
+    /// keep-side projections bill the **marginal** remaining-horizon charge
+    /// past the rental time already elapsed, so committed billing terms the
+    /// current plan has already paid are sunk, not re-billed.
+    adopted_epoch: usize,
+    prior: Option<SweepPrior>,
+    probe_cache: HashMap<Throughput, ProbeEntry>,
+    known: HashMap<Throughput, KnownPlan>,
+    // Accounting.
+    rental_cost: f64,
+    switching_cost: f64,
+    epoch_costs: Vec<f64>,
+    probes: usize,
+    resolves: usize,
+    adoptions: usize,
+    probe_seconds: f64,
+    solve_seconds: f64,
+}
+
+impl TenantState<'_> {
+    fn mix_carries_demand(&self) -> bool {
+        self.fractions.iter().any(|&f| f > 0.0)
+    }
+}
+
+/// The multi-tenant streaming re-optimization controller.
+pub struct FleetController {
+    /// Controller parameters.
+    pub policy: FleetPolicy,
+    billing: Arc<dyn SegmentedBilling + Send + Sync>,
+}
+
+impl FleetController {
+    /// Creates a controller billing on-demand by the hour.
+    pub fn new(policy: FleetPolicy) -> Self {
+        FleetController {
+            policy,
+            billing: Arc::new(OnDemand::hourly()),
+        }
+    }
+
+    /// Replaces the billing model used for remaining-horizon projections.
+    pub fn with_billing(mut self, billing: Arc<dyn SegmentedBilling + Send + Sync>) -> Self {
+        self.billing = billing;
+        self
+    }
+
+    /// Runs the fleet over the shared epoch clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solver error (initial solves or re-solves); the
+    /// analytical scaling itself cannot fail.
+    pub fn run<S: WarmStartSolver + Sync>(
+        &self,
+        solver: &S,
+        tenants: &[TenantSpec],
+    ) -> SolveResult<FleetReport> {
+        let policy = &self.policy;
+        let scaling = policy.autoscale_policy();
+
+        // ------------------------------------------------------------------
+        // Initial plans: one batched cold solve per tenant.
+        // ------------------------------------------------------------------
+        let initial_targets: Vec<Throughput> = tenants
+            .iter()
+            .map(|t| initial_target(policy, &t.instance, &t.trace))
+            .collect();
+        let initial_items: Vec<WarmBatchItem<'_>> = tenants
+            .iter()
+            .zip(&initial_targets)
+            .map(|(t, &rho)| WarmBatchItem::new(&t.instance, rho, None))
+            .collect();
+        let initial_results = solve_warm_batch_timed(solver, &initial_items, policy.threads);
+
+        let mut states: Vec<TenantState<'_>> = Vec::with_capacity(tenants.len());
+        for ((spec, &rho), (result, elapsed)) in
+            tenants.iter().zip(&initial_targets).zip(initial_results)
+        {
+            let outcome = result?;
+            let fractions = Autoscaler::split_fractions(&outcome.solution);
+            let scaler = FixedMixScaler::new(&spec.instance, &fractions, &scaling);
+            let cache = self.plan_cache(&spec.instance, &outcome.solution)?;
+            let mut known = HashMap::new();
+            let prior = Some(SweepPrior::from_outcome(rho, &outcome));
+            known.insert(rho, KnownPlan { outcome, cache });
+            states.push(TenantState {
+                peaks: spec.trace.epoch_peaks(policy.epoch),
+                granularity: spec.instance.throughput_granularity(),
+                min_unit_cost: min_unit_cost(&spec.instance),
+                initial_fractions: fractions.clone(),
+                initial_target: rho,
+                mix: FixedMixState::new(spec.instance.num_types()),
+                fractions,
+                scaler,
+                solved_target: rho,
+                adopted_epoch: 0,
+                prior,
+                probe_cache: HashMap::new(),
+                known,
+                rental_cost: 0.0,
+                switching_cost: 0.0,
+                epoch_costs: Vec::new(),
+                probes: 0,
+                resolves: 0,
+                adoptions: 0,
+                probe_seconds: 0.0,
+                solve_seconds: elapsed.as_secs_f64(),
+                spec,
+            });
+        }
+
+        let num_epochs = states.iter().map(|s| s.peaks.len()).max().unwrap_or(0);
+        let mut adoptions: Vec<AdoptionRecord> = Vec::new();
+
+        // ------------------------------------------------------------------
+        // The shared epoch clock.
+        // ------------------------------------------------------------------
+        for epoch in 0..num_epochs {
+            // (0) Rent this epoch's fleets under the current mixes. A tenant
+            // whose own trace has ended stops being billed (and counted) —
+            // its per-tenant baselines only cover its own trace, too.
+            for state in states.iter_mut() {
+                let Some(&rate) = state.peaks.get(epoch) else {
+                    continue;
+                };
+                let fleet = state
+                    .mix
+                    .step(&state.scaler, rate, policy.scale_down_patience);
+                let cost = state.scaler.cost_rate(fleet) * policy.epoch;
+                state.rental_cost += cost;
+                state.epoch_costs.push(cost);
+            }
+            if !policy.resolve {
+                continue;
+            }
+            // Each tenant projects over *its own* remaining trace — savings
+            // past a tenant's last billed epoch do not exist, so they must
+            // not tip a switching decision.
+            let tenant_remaining = |state: &TenantState<'_>| {
+                state.peaks.len().saturating_sub(epoch + 1) as f64 * policy.epoch
+            };
+            // Keep-side projections: continued machines bill only the margin
+            // past the current plan's elapsed rental time (committed terms
+            // already paid are sunk), scale-up machines bill fresh.
+            let keep_projection =
+                |entry: &ProbeEntry, adopted_epoch: usize, remaining_hours: f64| {
+                    let elapsed_hours = (epoch + 1 - adopted_epoch) as f64 * policy.epoch;
+                    entry.continued.total_over(
+                        RentalHorizon::hours(elapsed_hours),
+                        RentalHorizon::hours(elapsed_hours + remaining_hours),
+                    ) + entry.fresh.total(RentalHorizon::hours(remaining_hours))
+                };
+
+            // (1) Shift detection + what-if probes. `keep: None` marks a
+            // forced re-solve (the current mix cannot carry the demand). Each
+            // due entry carries the tenant's own remaining horizon (hours).
+            let mut due: Vec<(usize, Throughput, Option<f64>, f64)> = Vec::new();
+            for (i, state) in states.iter_mut().enumerate() {
+                let rate = state.peaks.get(epoch).copied().unwrap_or(0.0);
+                let rho = quantize_target(rate, policy.headroom, state.granularity);
+                if rho == 0 {
+                    continue;
+                }
+                let remaining_hours = tenant_remaining(state);
+                if remaining_hours <= 0.0 {
+                    continue;
+                }
+                if !state.mix_carries_demand() {
+                    // A zero mix cannot carry any demand: re-solving is not
+                    // optional, no probe needed.
+                    due.push((i, rho, None, remaining_hours));
+                    continue;
+                }
+                let shift = (rho as f64 - state.solved_target as f64).abs()
+                    > policy.shift_threshold * state.solved_target.max(1) as f64;
+                if !shift {
+                    continue;
+                }
+                let started = Instant::now();
+                state.probes += 1;
+                if !state.probe_cache.contains_key(&rho) {
+                    let entry = ProbeEntry::new(
+                        &state.spec.instance,
+                        &state.scaler,
+                        state.solved_target,
+                        rho,
+                        self.billing.as_ref(),
+                    );
+                    state.probe_cache.insert(rho, entry);
+                }
+                let keep_projected = keep_projection(
+                    &state.probe_cache[&rho],
+                    state.adopted_epoch,
+                    remaining_hours,
+                );
+                let reference_rate = state
+                    .known
+                    .get(&rho)
+                    .map_or(rho as f64 * state.min_unit_cost, |k| {
+                        k.outcome.cost() as f64
+                    });
+                let reference_projected = reference_rate * remaining_hours;
+                let worth_probing = keep_projected
+                    > (1.0 + policy.probe_epsilon) * reference_projected
+                    && keep_projected - reference_projected > policy.switching_cost;
+                state.probe_seconds += started.elapsed().as_secs_f64();
+                if worth_probing {
+                    due.push((i, rho, Some(keep_projected), remaining_hours));
+                }
+            }
+
+            // (2) One batched warm-started fan-out for every due tenant whose
+            // target has not been solved before.
+            let to_solve: Vec<(usize, Throughput)> = due
+                .iter()
+                .filter(|&&(i, rho, _, _)| !states[i].known.contains_key(&rho))
+                .map(|&(i, rho, _, _)| (i, rho))
+                .collect();
+            if !to_solve.is_empty() {
+                let items: Vec<WarmBatchItem<'_>> = to_solve
+                    .iter()
+                    .map(|&(i, rho)| {
+                        WarmBatchItem::new(&states[i].spec.instance, rho, states[i].prior.as_ref())
+                    })
+                    .collect();
+                let results = solve_warm_batch_timed(solver, &items, policy.threads);
+                for (&(i, rho), (result, elapsed)) in to_solve.iter().zip(results) {
+                    let outcome = result?;
+                    let state = &mut states[i];
+                    state.resolves += 1;
+                    state.solve_seconds += elapsed.as_secs_f64();
+                    state.prior = Some(SweepPrior::from_outcome(rho, &outcome));
+                    let cache = self.plan_cache(&state.spec.instance, &outcome.solution)?;
+                    state.known.insert(rho, KnownPlan { outcome, cache });
+                }
+            }
+
+            // (3) Keep-vs-switch decisions under the switching-cost
+            // hysteresis, one per due tenant.
+            for (i, rho, keep_projected, remaining_hours) in due {
+                let state = &mut states[i];
+                let switch_projected = state.known[&rho]
+                    .cache
+                    .total(RentalHorizon::hours(remaining_hours));
+                // A forced switch (no keep option) bypasses the hysteresis:
+                // the demand must be served.
+                let adopted = keep_projected
+                    .is_none_or(|keep| switch_projected + policy.switching_cost < keep);
+                adoptions.push(AdoptionRecord {
+                    tenant: i,
+                    epoch,
+                    target: rho,
+                    projected_keep: keep_projected,
+                    projected_switch: switch_projected,
+                    switching_cost: policy.switching_cost,
+                    adopted,
+                });
+                if adopted {
+                    let candidate = state.known[&rho].outcome.solution.clone();
+                    state.adoptions += 1;
+                    state.switching_cost += policy.switching_cost;
+                    state.fractions = Autoscaler::split_fractions(&candidate);
+                    state.scaler =
+                        FixedMixScaler::new(&state.spec.instance, &state.fractions, &scaling);
+                    state.solved_target = rho;
+                    // The new plan starts renting from the next epoch.
+                    state.adopted_epoch = epoch + 1;
+                    state.probe_cache.clear();
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Baselines and report assembly.
+        // ------------------------------------------------------------------
+        let autoscaler = Autoscaler::new(scaling);
+        let tenants_report = states
+            .into_iter()
+            .map(|state| {
+                let baseline = autoscaler.run(
+                    &state.spec.instance,
+                    &state.initial_fractions,
+                    &state.spec.trace,
+                );
+                TenantReport {
+                    name: state.spec.name.clone(),
+                    initial_target: state.initial_target,
+                    rental_cost: state.rental_cost,
+                    switching_cost: state.switching_cost,
+                    epoch_costs: state.epoch_costs,
+                    probes: state.probes,
+                    resolves: state.resolves,
+                    adoptions: state.adoptions,
+                    probe_seconds: state.probe_seconds,
+                    solve_seconds: state.solve_seconds,
+                    static_peak_cost: baseline.static_peak_cost,
+                    fixed_mix_cost: baseline.total_cost,
+                }
+            })
+            .collect();
+
+        Ok(FleetReport {
+            tenants: tenants_report,
+            adoptions,
+            epochs: num_epochs,
+            epoch_hours: policy.epoch,
+        })
+    }
+
+    /// Builds the horizon cache of a solver plan.
+    fn plan_cache(&self, instance: &Instance, solution: &Solution) -> SolveResult<HorizonCache> {
+        let plan = ProvisioningPlan::build(instance, solution)?;
+        Ok(HorizonCache::new(&plan, self.billing.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rental_core::examples::illustrating_example;
+    use rental_solvers::exact::IlpSolver;
+
+    fn diurnal_tenant() -> TenantSpec {
+        TenantSpec::new(
+            "diurnal",
+            illustrating_example(),
+            rental_stream::WorkloadTrace::diurnal(20.0, 160.0, 12.0, 3),
+        )
+    }
+
+    #[test]
+    fn quantize_rounds_up_to_the_granularity() {
+        assert_eq!(quantize_target(0.0, 1.0, 10), 0);
+        assert_eq!(quantize_target(-3.0, 1.0, 10), 0);
+        assert_eq!(quantize_target(61.0, 1.0, 10), 70);
+        assert_eq!(quantize_target(70.0, 1.0, 10), 70);
+        assert_eq!(quantize_target(70.0, 1.2, 10), 90);
+        assert_eq!(quantize_target(1.5, 1.0, 1), 2);
+    }
+
+    #[test]
+    fn min_unit_cost_bounds_the_optimum_from_below() {
+        let instance = illustrating_example();
+        let bound = min_unit_cost(&instance);
+        assert!(bound > 0.0);
+        for &(rho, optimal) in &[(10u64, 28u64), (70, 124), (200, 333)] {
+            assert!(
+                rho as f64 * bound <= optimal as f64 + 1e-9,
+                "bound violated at rho = {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_mix_plan_matches_the_solution_plan_at_the_solved_target() {
+        // With the mix taken from a solution at its own target, the fixed-mix
+        // rescale reproduces exactly that solution's machines and cost.
+        let instance = illustrating_example();
+        let solution = instance
+            .solution(70, rental_core::ThroughputSplit::new(vec![10, 30, 30]))
+            .unwrap();
+        let fractions = Autoscaler::split_fractions(&solution);
+        let scaler = FixedMixScaler::new(&instance, &fractions, &AutoscalePolicy::default());
+        let fleet = scaler.required_for_target(70.0);
+        let demand = scaler.demand_at(70.0);
+        let load_each: Vec<f64> = fleet
+            .iter()
+            .zip(&demand)
+            .map(|(&n, &d)| if n == 0 { 0.0 } else { d / n as f64 })
+            .collect();
+        let plan = plan_from_fleet(&instance, &fleet, &load_each, 70);
+        assert_eq!(plan.hourly_cost, 124);
+        assert_eq!(plan.total_machines(), 7);
+    }
+
+    #[test]
+    fn probe_entries_split_continued_and_fresh_machines() {
+        // At the solved target itself every machine is continued; at a much
+        // larger target the growth is fresh.
+        let instance = illustrating_example();
+        let solution = instance
+            .solution(70, rental_core::ThroughputSplit::new(vec![10, 30, 30]))
+            .unwrap();
+        let fractions = Autoscaler::split_fractions(&solution);
+        let scaler = FixedMixScaler::new(&instance, &fractions, &AutoscalePolicy::default());
+        let billing = rental_pricing::OnDemand::hourly();
+        let same = ProbeEntry::new(&instance, &scaler, 70, 70, &billing);
+        let hour = RentalHorizon::hours(1.0);
+        assert!((same.continued.total(hour) - 124.0).abs() < 1e-9);
+        assert_eq!(same.fresh.total(hour), 0.0);
+        // Doubling the target: continued stays the old fleet, fresh carries
+        // the growth, and together they bill the whole rescaled fleet.
+        let grown = ProbeEntry::new(&instance, &scaler, 70, 140, &billing);
+        assert!((grown.continued.total(hour) - 124.0).abs() < 1e-9);
+        assert!(grown.fresh.total(hour) > 0.0);
+        let whole = scaler.required_for_target(140.0);
+        assert!(
+            (grown.continued.total(hour) + grown.fresh.total(hour) - scaler.cost_rate(&whole))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn resolving_fleet_beats_the_frozen_mix_on_a_wide_diurnal_swing() {
+        let tenants = vec![diurnal_tenant()];
+        let policy = FleetPolicy {
+            switching_cost: 5.0,
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        // The initial plan is solved for the low phase; the high phase shifts
+        // the optimal mix, so re-solving must pay off.
+        assert!(report.tenants[0].resolves >= 1);
+        assert!(report.tenants[0].adoptions >= 1);
+        assert!(
+            report.total_cost() < report.fixed_mix_cost(),
+            "fleet {} vs fixed mix {}",
+            report.total_cost(),
+            report.fixed_mix_cost()
+        );
+        assert!(report.total_cost() < report.static_peak_cost());
+        // Probes keep re-solves to a minority of tenant-epochs.
+        assert!(report.resolve_fraction() < 0.5);
+        // Memoization: the diurnal trace revisits each phase three times but
+        // each distinct target is solved at most once.
+        assert!(report.tenants[0].resolves <= 2);
+    }
+
+    #[test]
+    fn adoption_records_are_consistent_with_the_hysteresis() {
+        let tenants = vec![diurnal_tenant()];
+        let policy = FleetPolicy {
+            switching_cost: 3.0,
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        assert!(!report.adoptions.is_empty());
+        for record in &report.adoptions {
+            assert!(!record.forced());
+            assert_eq!(
+                record.adopted,
+                record.projected_switch + record.switching_cost < record.projected_keep.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prohibitive_switching_cost_freezes_the_initial_mix() {
+        let tenants = vec![diurnal_tenant()];
+        let policy = FleetPolicy {
+            switching_cost: 1e9,
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        assert_eq!(report.tenants[0].adoptions, 0);
+        // Never adopting means the rental bill equals the fixed-mix baseline.
+        assert!((report.tenants[0].rental_cost - report.tenants[0].fixed_mix_cost).abs() < 1e-9);
+        // The prohibitive hysteresis is also an effective probe filter: the
+        // switching-cost term of the probe suppresses futile re-solves.
+        assert_eq!(report.tenants[0].resolves, 0);
+    }
+
+    #[test]
+    fn committed_terms_are_sunk_on_scale_down_keep_projections() {
+        // The trace starts at its peak, so every later shift only *shrinks*
+        // the fleet. Under a reserved term longer than the whole horizon the
+        // already-committed machines cost nothing at the margin, so keeping
+        // is free and the controller must never probe a re-solve.
+        let trace = rental_stream::WorkloadTrace::diurnal(160.0, 20.0, 12.0, 3);
+        let tenants = vec![TenantSpec::new("peak-first", illustrating_example(), trace)];
+        let policy = FleetPolicy {
+            switching_cost: 1.0,
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy)
+            .with_billing(Arc::new(rental_pricing::Reserved::with_term(10_000.0, 0.4)))
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        assert_eq!(report.tenants[0].resolves, 0);
+        assert_eq!(report.tenants[0].adoptions, 0);
+        assert!(report.adoptions.is_empty());
+    }
+
+    #[test]
+    fn scale_up_machines_bill_fresh_commitments_in_keep_projections() {
+        // Growth is not sunk: when the demand rises past the solved target,
+        // the keep side must charge new commitments for the added machines,
+        // so the probe fires — and every decision still respects the
+        // hysteresis invariant.
+        let tenants = vec![diurnal_tenant()]; // starts low, shifts up to 160
+        let policy = FleetPolicy {
+            switching_cost: 1.0,
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy)
+            .with_billing(Arc::new(rental_pricing::Reserved::with_term(10_000.0, 0.4)))
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        assert!(report.tenants[0].resolves >= 1);
+        for record in &report.adoptions {
+            let keep = record.projected_keep.expect("no forced switches here");
+            assert!(keep > 0.0);
+            assert_eq!(
+                record.adopted,
+                record.projected_switch + record.switching_cost < keep
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_resolving_runs_pure_fixed_mix() {
+        let tenants = vec![diurnal_tenant()];
+        let policy = FleetPolicy {
+            resolve: false,
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        assert_eq!(report.tenants[0].probes, 0);
+        assert_eq!(report.tenants[0].resolves, 0);
+        assert!((report.tenants[0].rental_cost - report.tenants[0].fixed_mix_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_tenants_project_over_their_own_horizon_only() {
+        // A tenant whose trace ends soon must not adopt for savings projected
+        // over a longer co-tenant's horizon: at its late shift only one of
+        // its own epochs remains, which cannot recoup the switching charge.
+        let short_trace = rental_stream::WorkloadTrace::new(vec![
+            rental_stream::TraceSegment {
+                duration: 10.0,
+                rate: 20.0,
+            },
+            rental_stream::TraceSegment {
+                duration: 2.0,
+                rate: 160.0,
+            },
+        ]);
+        let long_trace = rental_stream::WorkloadTrace::constant(20.0, 96.0);
+        let tenants = vec![
+            TenantSpec::new("short", illustrating_example(), short_trace),
+            TenantSpec::new("long", illustrating_example(), long_trace),
+        ];
+        let policy = FleetPolicy {
+            switching_cost: 50.0,
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        let short = &report.tenants[0];
+        // Billed only over its own 12 epochs, counted the same way.
+        assert_eq!(short.epoch_costs.len(), 12);
+        assert_eq!(report.tenant_epochs(), 12 + 96);
+        // One remaining epoch of savings cannot beat the charge: no adoption
+        // (and the probe's switching-cost term filters the solve, too).
+        assert_eq!(short.adoptions, 0);
+        assert_eq!(short.resolves, 0);
+        assert!((short.rental_cost - short.fixed_mix_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fleet_is_harmless() {
+        let report = FleetController::new(FleetPolicy::default())
+            .run(&IlpSolver::new(), &[])
+            .unwrap();
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.total_cost(), 0.0);
+        assert_eq!(report.resolve_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_rate_prefix_forces_a_resolve_when_demand_arrives() {
+        // The tenant starts idle: the initial plan is empty, and the first
+        // nonzero epoch must force a re-solve (an empty mix carries nothing).
+        let trace = rental_stream::WorkloadTrace::new(vec![
+            rental_stream::TraceSegment {
+                duration: 3.0,
+                rate: 0.0,
+            },
+            rental_stream::TraceSegment {
+                duration: 6.0,
+                rate: 70.0,
+            },
+        ]);
+        let tenants = vec![TenantSpec::new("cold", illustrating_example(), trace)];
+        let report = FleetController::new(FleetPolicy::default())
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        assert_eq!(report.tenants[0].initial_target, 0);
+        assert_eq!(report.tenants[0].resolves, 1);
+        assert_eq!(report.tenants[0].adoptions, 1);
+        // The switch away from the empty mix is recorded as forced, not as a
+        // hysteresis win over an infinite keep cost.
+        assert!(report.adoptions[0].forced());
+        assert!(report.adoptions[0].adopted);
+        // Once adopted, the optimal rho = 70 plan is rented: 124 per epoch.
+        assert!(report.tenants[0].rental_cost > 0.0);
+        let last = *report.tenants[0].epoch_costs.last().unwrap();
+        assert!((last - 124.0).abs() < 1e-9);
+    }
+}

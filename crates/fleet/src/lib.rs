@@ -1,0 +1,63 @@
+//! # rental-fleet
+//!
+//! Multi-tenant **streaming re-optimization** on top of the MinCost kernel:
+//! the subsystem that turns the batch solver and warm-started sweeps into the
+//! many-tenants serving scenario the ROADMAP targets.
+//!
+//! §I of the paper assumes one stream application provisioned once for a
+//! constant target throughput ρ. A serving platform instead hosts **fleets**
+//! of such applications (tenants), each with its own instance, its own
+//! time-varying workload trace and its own current plan. This crate manages
+//! them over a shared epoch clock with a **probe / solve / adopt** loop:
+//!
+//! 1. **Probe** — every epoch, each tenant's demand rate is re-read from its
+//!    trace. When the rate has shifted away from the target the tenant's plan
+//!    was solved for, a cheap what-if probe asks whether the *fixed-mix
+//!    rescale* of the current plan at the new rate is still within ε of the
+//!    best cost achievable there (a fractional lower bound, sharpened by any
+//!    previously solved target). The probe projects costs over the
+//!    **remaining horizon** through a memoized
+//!    [`rental_pricing::HorizonCache`] instead of re-billing the plan — one
+//!    `O(log segments)` query per probe.
+//! 2. **Solve** — all tenants whose probes demand a re-solve are batched into
+//!    a single [`rental_solvers::solve_warm_batch_timed`] fan-out on the
+//!    shared worker pool, each unit warm-started from that tenant's previous
+//!    incumbent and proven bound ([`rental_solvers::SweepPrior`]).
+//! 3. **Adopt** — a freshly solved plan is adopted only when its projected
+//!    savings over the remaining horizon exceed a configurable
+//!    switching/migration cost (hysteresis); rejected solves still sharpen
+//!    the tenant's probe memo and warm-start prior, so a target is never
+//!    solved twice.
+//!
+//! The run emits a [`FleetReport`]: per-tenant rental and switching cost,
+//! re-solve and adoption counts, the probe-vs-solve time split, and savings
+//! against both the **static peak** provisioning of the paper and the
+//! **fixed-mix autoscaler** of `rental-stream` (which rescales machine counts
+//! but never re-solves the recipe mix).
+//!
+//! ```
+//! use rental_fleet::{FleetController, FleetPolicy, TenantSpec};
+//! use rental_solvers::exact::IlpSolver;
+//! use rental_core::examples::illustrating_example;
+//! use rental_stream::WorkloadTrace;
+//!
+//! let tenants = vec![TenantSpec::new(
+//!     "video",
+//!     illustrating_example(),
+//!     WorkloadTrace::diurnal(20.0, 120.0, 12.0, 2),
+//! )];
+//! let report = FleetController::new(FleetPolicy::default())
+//!     .run(&IlpSolver::new(), &tenants)
+//!     .unwrap();
+//! assert!(report.total_cost() <= report.fixed_mix_cost());
+//! ```
+
+pub mod controller;
+pub mod report;
+pub mod scenario;
+pub mod tenant;
+
+pub use controller::{initial_target, FleetController, FleetPolicy};
+pub use report::{AdoptionRecord, FleetReport, TenantReport};
+pub use scenario::{diurnal_spike_fleet, fleet_instance_config, FleetScenario, ACCEPTANCE_SEED};
+pub use tenant::TenantSpec;

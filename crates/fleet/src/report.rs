@@ -1,0 +1,240 @@
+//! What a fleet run reports: per-tenant economics, adoption decisions and the
+//! probe-vs-solve time split.
+
+use rental_core::Throughput;
+
+/// One keep-vs-switch decision taken after a re-solve.
+///
+/// Projections are over the **remaining horizon** at decision time, computed
+/// through the per-plan [`rental_pricing::HorizonCache`]; `adopted` is true
+/// exactly when `projected_switch + switching_cost < projected_keep` — the
+/// invariant pinned by the fleet property tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdoptionRecord {
+    /// Index of the tenant in the run's tenant list.
+    pub tenant: usize,
+    /// Epoch index at which the decision was taken.
+    pub epoch: usize,
+    /// The target throughput the candidate plan was solved for.
+    pub target: Throughput,
+    /// Projected remaining-horizon cost of keeping the current mix, or
+    /// `None` when the current mix could not carry the demand at all — the
+    /// switch was **forced** and no keep option existed.
+    pub projected_keep: Option<f64>,
+    /// Projected remaining-horizon cost of the candidate plan (switching
+    /// charge *not* included).
+    pub projected_switch: f64,
+    /// The switching/migration charge the candidate had to beat.
+    pub switching_cost: f64,
+    /// Whether the candidate plan was adopted.
+    pub adopted: bool,
+}
+
+impl AdoptionRecord {
+    /// True when the switch was forced because keeping was infeasible (the
+    /// current mix carried no demand).
+    pub fn forced(&self) -> bool {
+        self.projected_keep.is_none()
+    }
+
+    /// Projected savings of switching, net of the switching charge (`None`
+    /// for forced switches, where no keep cost exists to compare against).
+    pub fn net_savings(&self) -> Option<f64> {
+        self.projected_keep
+            .map(|keep| keep - self.projected_switch - self.switching_cost)
+    }
+}
+
+/// Per-tenant outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name (from the spec).
+    pub name: String,
+    /// The target the tenant's initial plan was solved for.
+    pub initial_target: Throughput,
+    /// Rental cost accumulated over the run (cost rate × epoch length).
+    pub rental_cost: f64,
+    /// Switching charges paid for adopted plans.
+    pub switching_cost: f64,
+    /// Rental cost per epoch (one entry per epoch of the shared clock).
+    pub epoch_costs: Vec<f64>,
+    /// Number of what-if probes run.
+    pub probes: usize,
+    /// Number of re-solves run for this tenant (excluding the initial solve).
+    pub resolves: usize,
+    /// Number of adopted plans (excluding the initial plan).
+    pub adoptions: usize,
+    /// Wall-clock seconds spent probing.
+    pub probe_seconds: f64,
+    /// Wall-clock seconds spent solving (initial solve included).
+    pub solve_seconds: f64,
+    /// Baseline: provisioning the initial mix for the trace peak over the
+    /// whole horizon (the paper's static approach applied to the worst case).
+    pub static_peak_cost: f64,
+    /// Baseline: the fixed-mix autoscaler of `rental-stream` on the initial
+    /// mix — rescales machine counts every epoch, never re-solves.
+    pub fixed_mix_cost: f64,
+}
+
+impl TenantReport {
+    /// Total cost of serving this tenant (rental plus switching charges).
+    pub fn total_cost(&self) -> f64 {
+        self.rental_cost + self.switching_cost
+    }
+
+    /// Savings against the fixed-mix autoscale baseline.
+    pub fn savings_vs_fixed_mix(&self) -> f64 {
+        self.fixed_mix_cost - self.total_cost()
+    }
+
+    /// Savings against static peak provisioning.
+    pub fn savings_vs_static_peak(&self) -> f64 {
+        self.static_peak_cost - self.total_cost()
+    }
+}
+
+/// The outcome of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-tenant outcomes, in spec order.
+    pub tenants: Vec<TenantReport>,
+    /// Every keep-vs-switch decision, in decision order.
+    pub adoptions: Vec<AdoptionRecord>,
+    /// Number of epochs of the shared clock.
+    pub epochs: usize,
+    /// Epoch length (hours).
+    pub epoch_hours: f64,
+}
+
+impl FleetReport {
+    /// Tenant-epochs managed: the sum of every tenant's own billed epochs
+    /// (tenants with shorter traces stop being billed — and counted — when
+    /// their trace ends, matching their per-tenant baselines).
+    pub fn tenant_epochs(&self) -> usize {
+        self.tenants.iter().map(|t| t.epoch_costs.len()).sum()
+    }
+
+    /// Tenant-epochs on which a re-solve actually ran.
+    pub fn resolved_tenant_epochs(&self) -> usize {
+        self.tenants.iter().map(|t| t.resolves).sum()
+    }
+
+    /// Fraction of tenant-epochs that re-solved (0.0 on an empty run). The
+    /// probes exist to keep this a small minority.
+    pub fn resolve_fraction(&self) -> f64 {
+        let total = self.tenant_epochs();
+        if total == 0 {
+            0.0
+        } else {
+            self.resolved_tenant_epochs() as f64 / total as f64
+        }
+    }
+
+    /// Total cost over the fleet (rental plus switching).
+    pub fn total_cost(&self) -> f64 {
+        self.tenants.iter().map(TenantReport::total_cost).sum()
+    }
+
+    /// Total cost of the fixed-mix autoscale baseline over the fleet.
+    pub fn fixed_mix_cost(&self) -> f64 {
+        self.tenants.iter().map(|t| t.fixed_mix_cost).sum()
+    }
+
+    /// Total cost of static peak provisioning over the fleet.
+    pub fn static_peak_cost(&self) -> f64 {
+        self.tenants.iter().map(|t| t.static_peak_cost).sum()
+    }
+
+    /// Fleet-wide savings against the fixed-mix autoscale baseline.
+    pub fn savings_vs_fixed_mix(&self) -> f64 {
+        self.fixed_mix_cost() - self.total_cost()
+    }
+
+    /// Fleet-wide savings against static peak provisioning.
+    pub fn savings_vs_static_peak(&self) -> f64 {
+        self.static_peak_cost() - self.total_cost()
+    }
+
+    /// Total wall-clock seconds spent probing.
+    pub fn probe_seconds(&self) -> f64 {
+        self.tenants.iter().map(|t| t.probe_seconds).sum()
+    }
+
+    /// Total wall-clock seconds spent solving.
+    pub fn solve_seconds(&self) -> f64 {
+        self.tenants.iter().map(|t| t.solve_seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(rental: f64, switching: f64, resolves: usize) -> TenantReport {
+        TenantReport {
+            name: "t".to_string(),
+            initial_target: 50,
+            rental_cost: rental,
+            switching_cost: switching,
+            epoch_costs: vec![0.0; 10],
+            probes: 4,
+            resolves,
+            adoptions: 1,
+            probe_seconds: 0.001,
+            solve_seconds: 0.01,
+            static_peak_cost: 500.0,
+            fixed_mix_cost: 300.0,
+        }
+    }
+
+    #[test]
+    fn report_totals_aggregate_over_tenants() {
+        let report = FleetReport {
+            tenants: vec![tenant(200.0, 10.0, 2), tenant(100.0, 0.0, 1)],
+            adoptions: vec![],
+            epochs: 10,
+            epoch_hours: 1.0,
+        };
+        assert_eq!(report.tenant_epochs(), 20);
+        assert_eq!(report.resolved_tenant_epochs(), 3);
+        assert!((report.resolve_fraction() - 0.15).abs() < 1e-12);
+        assert!((report.total_cost() - 310.0).abs() < 1e-12);
+        assert!((report.fixed_mix_cost() - 600.0).abs() < 1e-12);
+        assert!((report.savings_vs_fixed_mix() - 290.0).abs() < 1e-12);
+        assert!((report.savings_vs_static_peak() - 690.0).abs() < 1e-12);
+        assert!(report.probe_seconds() > 0.0 && report.solve_seconds() > 0.0);
+    }
+
+    #[test]
+    fn empty_report_has_zero_resolve_fraction() {
+        let report = FleetReport {
+            tenants: vec![],
+            adoptions: vec![],
+            epochs: 0,
+            epoch_hours: 1.0,
+        };
+        assert_eq!(report.resolve_fraction(), 0.0);
+        assert_eq!(report.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn adoption_net_savings() {
+        let record = AdoptionRecord {
+            tenant: 0,
+            epoch: 3,
+            target: 120,
+            projected_keep: Some(100.0),
+            projected_switch: 70.0,
+            switching_cost: 10.0,
+            adopted: true,
+        };
+        assert!(!record.forced());
+        assert!((record.net_savings().unwrap() - 20.0).abs() < 1e-12);
+        let forced = AdoptionRecord {
+            projected_keep: None,
+            ..record
+        };
+        assert!(forced.forced());
+        assert!(forced.net_savings().is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Reproducible multi-tenant fleet scenarios.
+//!
+//! The generators here are shared by the `fleet_scaling` bench, the
+//! experiments lane and the regression tests, so the pinned acceptance
+//! numbers ("re-solving beats the fixed-mix autoscaler while re-solving only
+//! a minority of tenant-epochs") all describe the *same* workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rental_simgen::{GeneratorConfig, InstanceGenerator};
+use rental_stream::WorkloadTrace;
+
+use crate::controller::FleetPolicy;
+use crate::tenant::TenantSpec;
+
+/// The seed of the **acceptance scenario**: the 16-tenant diurnal+spike fleet
+/// whose headline numbers the `fleet_scaling` bench records into
+/// `BENCH_fleet.json` and the `fleet_regression` test pins. One constant so
+/// the bench, the regression test and the experiments lane always describe
+/// the same workload.
+pub const ACCEPTANCE_SEED: u64 = 0xF1EE7;
+
+/// A named fleet workload: tenant specs plus the policy they are meant to be
+/// served under.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    /// Scenario name, used in reports and bench output.
+    pub name: String,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+    /// The controller policy the scenario is calibrated for.
+    pub policy: FleetPolicy,
+}
+
+/// The instance generator configuration used for fleet tenants: small enough
+/// that the exact ILP re-solves in milliseconds, diverse enough that optimal
+/// recipe mixes genuinely shift with the demand rate.
+pub fn fleet_instance_config() -> GeneratorConfig {
+    GeneratorConfig {
+        num_recipes: 6,
+        tasks_per_recipe: 3..=6,
+        mutation_percent: 50,
+        num_types: 5,
+        throughput_range: 10..=100,
+        cost_range: 1..=100,
+        edge_probability: 0.3,
+    }
+}
+
+/// The diurnal + spike fleet of the acceptance scenario: `num_tenants`
+/// tenants over a 96-hour horizon, alternating diurnal cycles (staggered
+/// phases), diurnal-with-spikes, irregular spikes and ramps, with per-tenant
+/// rate scales drawn deterministically from `seed`.
+pub fn diurnal_spike_fleet(num_tenants: usize, seed: u64) -> FleetScenario {
+    let duration = 96.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tenants = (0..num_tenants)
+        .map(|i| {
+            let instance = InstanceGenerator::new(fleet_instance_config(), seed ^ (i as u64 + 1))
+                .generate_instance();
+            let low = rng.random_range(15.0..40.0);
+            let high = rng.random_range(100.0..200.0);
+            let trace = match i % 4 {
+                0 => WorkloadTrace::diurnal(low, high, 12.0, 4),
+                1 => {
+                    // Diurnal with spikes: the diurnal cycle carries the bulk,
+                    // random bursts overshoot the high phase.
+                    let diurnal = WorkloadTrace::diurnal(low, high, 12.0, 4);
+                    let spikes = WorkloadTrace::spike(
+                        0.0,
+                        high * 1.25,
+                        duration,
+                        3,
+                        2.0,
+                        seed ^ (0x5717 + i as u64),
+                    );
+                    // Overlay: take the pointwise max on a 1-hour grid.
+                    let merged: Vec<_> = (0..duration as usize)
+                        .map(|h| {
+                            let t = h as f64 + 0.5;
+                            rental_stream::TraceSegment {
+                                duration: 1.0,
+                                rate: diurnal.rate_at(t).max(spikes.rate_at(t)),
+                            }
+                        })
+                        .collect();
+                    WorkloadTrace::new(merged)
+                }
+                2 => WorkloadTrace::spike(low, high, duration, 6, 3.0, seed ^ (0xAB + i as u64)),
+                _ => WorkloadTrace::ramp(low, high, duration, 8),
+            };
+            TenantSpec::new(format!("tenant-{i}"), instance, trace)
+        })
+        .collect();
+    FleetScenario {
+        name: format!("diurnal-spike-{num_tenants}"),
+        tenants,
+        policy: FleetPolicy {
+            epoch: 1.0,
+            switching_cost: 10.0,
+            ..FleetPolicy::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let a = diurnal_spike_fleet(4, 9);
+        let b = diurnal_spike_fleet(4, 9);
+        assert_eq!(a.tenants, b.tenants);
+        let c = diurnal_spike_fleet(4, 10);
+        assert_ne!(a.tenants, c.tenants);
+    }
+
+    #[test]
+    fn tenants_cover_all_trace_shapes() {
+        let scenario = diurnal_spike_fleet(8, 1);
+        assert_eq!(scenario.tenants.len(), 8);
+        for tenant in &scenario.tenants {
+            assert!(tenant.trace.duration() > 0.0);
+            assert!(tenant.trace.peak_rate() >= 100.0);
+            assert!(tenant.instance.num_recipes() == 6);
+        }
+        // The spike overlay keeps the diurnal peaks and adds overshoots.
+        let spiky = &scenario.tenants[1];
+        assert!(spiky.trace.peak_rate() > scenario.tenants[0].trace.peak_rate() * 0.5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests of the fleet controller's probe / solve / adopt loop.
+
+use proptest::prelude::*;
+
+use rental_core::examples::illustrating_example;
+use rental_fleet::{FleetController, FleetPolicy, TenantSpec};
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::MinCostSolver;
+use rental_stream::{AutoscalePolicy, Autoscaler, TraceSegment, WorkloadTrace};
+
+fn arbitrary_trace() -> impl Strategy<Value = WorkloadTrace> {
+    proptest::collection::vec((2.0f64..12.0, 0.0f64..180.0), 1..6).prop_map(|segments| {
+        WorkloadTrace::new(
+            segments
+                .into_iter()
+                .map(|(duration, rate)| TraceSegment { duration, rate })
+                .collect(),
+        )
+    })
+}
+
+fn arbitrary_policy() -> impl Strategy<Value = FleetPolicy> {
+    (0.0f64..40.0, 0.0f64..0.2, 0.0f64..0.3).prop_map(|(switching, epsilon, shift)| FleetPolicy {
+        switching_cost: switching,
+        probe_epsilon: epsilon,
+        shift_threshold: shift,
+        ..FleetPolicy::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The controller never adopts a plan whose projected remaining-horizon
+    /// cost (plus the switching charge) is not strictly below the projected
+    /// cost of keeping the current one — and conversely never *rejects* a
+    /// candidate that clears the hysteresis bar.
+    #[test]
+    fn adoption_never_raises_the_projected_remaining_cost(
+        trace in arbitrary_trace(),
+        policy in arbitrary_policy(),
+    ) {
+        let tenants = vec![TenantSpec::new("p", illustrating_example(), trace)];
+        let report = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        for record in &report.adoptions {
+            match record.projected_keep {
+                // Forced switches (the current mix carried no demand) bypass
+                // the hysteresis but must always adopt.
+                None => prop_assert!(record.adopted && record.forced()),
+                Some(keep) => {
+                    prop_assert!(keep.is_finite());
+                    prop_assert_eq!(
+                        record.adopted,
+                        record.projected_switch + record.switching_cost < keep,
+                        "inconsistent adoption at epoch {}", record.epoch
+                    );
+                    if record.adopted {
+                        prop_assert!(record.net_savings().unwrap() > 0.0);
+                        prop_assert!(record.projected_switch <= keep);
+                    }
+                }
+            }
+        }
+        // Accounting identities.
+        let tenant = &report.tenants[0];
+        let adopted = report.adoptions.iter().filter(|r| r.adopted).count();
+        prop_assert_eq!(tenant.adoptions, adopted);
+        prop_assert!((tenant.switching_cost
+            - adopted as f64 * policy.switching_cost).abs() < 1e-9);
+        prop_assert!((tenant.epoch_costs.iter().sum::<f64>() - tenant.rental_cost).abs() < 1e-6);
+        prop_assert_eq!(tenant.epoch_costs.len(), report.epochs);
+        // Re-solves are a subset of epochs, never more than one per epoch.
+        prop_assert!(tenant.resolves <= report.epochs);
+    }
+
+    /// With re-solving disabled, a 1-tenant fleet is *exactly* the fixed-mix
+    /// autoscaler on the tenant's initial mix — same per-epoch bills, same
+    /// total.
+    #[test]
+    fn frozen_fleet_equals_the_autoscaler(trace in arbitrary_trace()) {
+        let instance = illustrating_example();
+        let policy = FleetPolicy { resolve: false, ..FleetPolicy::default() };
+        let tenants = vec![TenantSpec::new("d", instance.clone(), trace.clone())];
+        let solver = IlpSolver::new();
+        let report = FleetController::new(policy)
+            .run(&solver, &tenants)
+            .unwrap();
+
+        // Reconstruct the same initial mix the controller starts from.
+        let rho0 = rental_fleet::initial_target(&policy, &instance, &trace);
+        let initial = solver.solve(&instance, rho0).unwrap();
+        let fractions = Autoscaler::split_fractions(&initial.solution);
+        let baseline = Autoscaler::new(AutoscalePolicy::default())
+            .run(&instance, &fractions, &trace);
+
+        prop_assert_eq!(report.epochs, baseline.epochs.len());
+        for (cost, epoch) in report.tenants[0].epoch_costs.iter().zip(&baseline.epochs) {
+            prop_assert!((cost - epoch.cost).abs() < 1e-9);
+        }
+        prop_assert!((report.tenants[0].rental_cost - baseline.total_cost).abs() < 1e-9);
+        prop_assert!((report.tenants[0].fixed_mix_cost - baseline.total_cost).abs() < 1e-9);
+        prop_assert!(
+            (report.tenants[0].static_peak_cost - baseline.static_peak_cost).abs() < 1e-9
+        );
+        prop_assert_eq!(report.tenants[0].resolves, 0);
+        prop_assert_eq!(report.tenants[0].switching_cost, 0.0);
+    }
+
+    /// Fleet runs are deterministic: identical inputs give identical reports
+    /// (modulo wall-clock timings).
+    #[test]
+    fn fleet_runs_are_deterministic(
+        trace in arbitrary_trace(),
+        policy in arbitrary_policy(),
+    ) {
+        let tenants = vec![TenantSpec::new("r", illustrating_example(), trace)];
+        let solver = IlpSolver::new();
+        let a = FleetController::new(policy).run(&solver, &tenants).unwrap();
+        let b = FleetController::new(policy).run(&solver, &tenants).unwrap();
+        prop_assert_eq!(&a.adoptions, &b.adoptions);
+        prop_assert_eq!(a.total_cost(), b.total_cost());
+        for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+            prop_assert_eq!(&ta.epoch_costs, &tb.epoch_costs);
+            prop_assert_eq!(ta.resolves, tb.resolves);
+            prop_assert_eq!(ta.adoptions, tb.adoptions);
+        }
+    }
+}

@@ -89,6 +89,11 @@ pub struct RevisedOutcome {
     pub values: Vec<f64>,
     /// Simplex pivots performed (primal + dual).
     pub iterations: usize,
+    /// Dual-simplex **bound flips**: entering candidates whose ratio-test
+    /// step overshot their own range and were flipped to the opposite bound
+    /// instead of pivoted (no basis change, no eta). Each flip replaces what
+    /// would otherwise be a full dual pivot on box-heavy models.
+    pub bound_flips: usize,
     /// Optimal basis, reusable for warm-started re-solves.
     pub basis: Option<Arc<BasisSnapshot>>,
 }
@@ -503,6 +508,7 @@ impl RevisedLp {
                     status: LpStatus::Infeasible,
                     values: vec![],
                     iterations: 0,
+                    bound_flips: 0,
                     basis: None,
                 };
             }
@@ -524,6 +530,7 @@ impl RevisedLp {
                             status: LpStatus::Infeasible,
                             values: vec![],
                             iterations: state.iterations,
+                            bound_flips: state.flips,
                             basis: None,
                         }
                     }
@@ -552,6 +559,7 @@ impl RevisedLp {
                         status: LpStatus::IterationLimit,
                         values: vec![],
                         iterations: state.iterations,
+                        bound_flips: state.flips,
                         basis: None,
                     }
                 }
@@ -562,6 +570,7 @@ impl RevisedLp {
                     status: LpStatus::Infeasible,
                     values: vec![],
                     iterations: state.iterations,
+                    bound_flips: state.flips,
                     basis: None,
                 };
             }
@@ -573,6 +582,7 @@ impl RevisedLp {
                     status: LpStatus::IterationLimit,
                     values: vec![],
                     iterations: state.iterations,
+                    bound_flips: state.flips,
                     basis: None,
                 };
             }
@@ -584,18 +594,21 @@ impl RevisedLp {
                 status: LpStatus::Unbounded,
                 values: vec![],
                 iterations: state.iterations,
+                bound_flips: state.flips,
                 basis: None,
             },
             InnerStatus::Infeasible => RevisedOutcome {
                 status: LpStatus::Infeasible,
                 values: vec![],
                 iterations: state.iterations,
+                bound_flips: state.flips,
                 basis: None,
             },
             InnerStatus::IterationLimit | InnerStatus::Unstable => RevisedOutcome {
                 status: LpStatus::IterationLimit,
                 values: vec![],
                 iterations: state.iterations,
+                bound_flips: state.flips,
                 basis: None,
             },
         }
@@ -629,6 +642,7 @@ impl RevisedLp {
             status,
             values,
             iterations: state.iterations,
+            bound_flips: state.flips,
             basis: Some(Arc::new(snapshot)),
         }
     }
@@ -645,6 +659,7 @@ struct SolverState<'a> {
     xb: Vec<f64>,
     factor: Factorization,
     iterations: usize,
+    flips: usize,
     needs_phase1: bool,
     phase1_cost: Vec<f64>,
 }
@@ -668,6 +683,7 @@ impl<'a> SolverState<'a> {
             xb: vec![0.0; m],
             factor: Factorization::default(),
             iterations: 0,
+            flips: 0,
             needs_phase1: false,
             phase1_cost: vec![0.0; lp.n_total],
         };
@@ -748,6 +764,7 @@ impl<'a> SolverState<'a> {
             xb: vec![0.0; lp.m],
             factor: Factorization::default(),
             iterations: 0,
+            flips: 0,
             needs_phase1: false,
             phase1_cost: vec![0.0; lp.n_total],
         };
@@ -1098,6 +1115,8 @@ impl<'a> SolverState<'a> {
         let m = self.lp.m;
         let tol = self.options.tol;
         let cost = &self.lp.cost;
+        // Scratch for the bound-flipping ratio test, reused across pivots.
+        let mut candidates: Vec<(usize, f64, f64)> = Vec::new(); // (col, alpha, ratio)
         for local_iter in 0..self.options.max_iterations {
             if self.factor.etas.len() >= REFACTOR_EVERY && !self.refresh_factorization() {
                 return InnerStatus::Unstable;
@@ -1140,6 +1159,7 @@ impl<'a> SolverState<'a> {
             self.factor.btran(&mut y);
 
             // Dual ratio test: keep reduced costs sign-feasible.
+            candidates.clear();
             let mut entering: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
             for j in 0..self.lp.n_total {
                 if self.status[j] == ColStatus::Basic {
@@ -1167,6 +1187,11 @@ impl<'a> SolverState<'a> {
                 }
                 let d = self.reduced_cost(cost, &y, j);
                 let ratio = d.abs() / alpha.abs();
+                if !use_bland {
+                    // Only the (rare) overshoot branch consumes the candidate
+                    // list, and flips are disabled under Bland's rule.
+                    candidates.push((j, alpha, ratio));
+                }
                 let better = match entering {
                     None => true,
                     Some((best_j, best_ratio, _)) => {
@@ -1182,10 +1207,67 @@ impl<'a> SolverState<'a> {
                     entering = Some((j, ratio, alpha));
                 }
             }
-            let Some((q, _, _)) = entering else {
+            let Some((q, _, alpha_q)) = entering else {
                 // The violated row cannot be repaired: primal infeasible.
                 return InnerStatus::Infeasible;
             };
+
+            // Step length target: x_B(r) must land exactly on its violated
+            // bound; the entering variable's step is the remaining residual
+            // over its pivot coefficient.
+            let target = match to {
+                LeaveTo::Lower => self.lower[self.basis[r]],
+                LeaveTo::Upper => self.upper[self.basis[r]],
+            };
+            let mut residual = self.xb[r] - target;
+
+            // Bound-flipping ratio test: when the min-ratio column's own step
+            // would overshoot its opposite bound, flip it there (no pivot, no
+            // eta) and let the next breakpoint enter instead. Each flip
+            // absorbs `|α| × range` of the residual without crossing zero
+            // (the overshoot condition is exactly `|residual| > |α| × range`),
+            // and the eventual pivot's dual step dominates every flipped
+            // ratio, so the flipped columns are sign-feasible at their new
+            // bounds. Disabled under Bland's rule, whose anti-cycling
+            // argument assumes plain min-ratio pivots.
+            let fits = |state: &Self, j: usize, alpha: f64, residual: f64| -> bool {
+                let range = state.upper[j] - state.lower[j];
+                !range.is_finite() || residual.abs() <= range * alpha.abs() + tol
+            };
+            let mut flips: Vec<(usize, f64)> = Vec::new();
+            let mut q = q;
+            if !use_bland && !fits(self, q, alpha_q, residual) {
+                // Non-finite ratios mean the pricing vectors have drifted
+                // (eta-file noise, near-singular factors): surface Unstable
+                // so the caller re-solves cold instead of sorting garbage.
+                if candidates.iter().any(|&(_, _, ratio)| !ratio.is_finite()) {
+                    return InnerStatus::Unstable;
+                }
+                candidates.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+                let mut chosen = None;
+                for &(j, alpha, _) in &candidates {
+                    if fits(self, j, alpha, residual) {
+                        chosen = Some(j);
+                        break;
+                    }
+                    let range = self.upper[j] - self.lower[j];
+                    let flip_delta = (residual / alpha).signum() * range;
+                    flips.push((j, flip_delta));
+                    residual -= alpha * flip_delta;
+                }
+                let Some(c) = chosen else {
+                    // Every candidate flipped and the row is still out of
+                    // bounds. In exact arithmetic this proves the dual ray
+                    // improves forever (primal infeasible), but the candidate
+                    // filter dropped columns with |α| ≤ 1e-9 whose huge bound
+                    // ranges could in principle still absorb the residual —
+                    // so surface Unstable and let the caller prove the
+                    // verdict with a cold solve instead of pruning a
+                    // possibly-feasible subtree.
+                    return InnerStatus::Unstable;
+                };
+                q = c;
+            }
 
             let mut w = vec![0.0; m];
             for &(i, a) in &self.lp.cols[q] {
@@ -1193,20 +1275,41 @@ impl<'a> SolverState<'a> {
             }
             self.factor.ftran(&mut w);
             if w[r].abs() < MIN_PIVOT {
-                if self.factor.etas.is_empty() {
-                    return InnerStatus::Unstable;
-                }
-                if !self.refresh_factorization() {
+                // With flips pending, retrying would double-apply them; a
+                // cold restart by the caller is the safe recovery. Without
+                // flips, fold the eta file and retry as before.
+                if !flips.is_empty() || self.factor.etas.is_empty() || !self.refresh_factorization()
+                {
                     return InnerStatus::Unstable;
                 }
                 continue;
             }
 
-            // Step length: land x_B(r) exactly on its violated bound.
-            let target = match to {
-                LeaveTo::Lower => self.lower[self.basis[r]],
-                LeaveTo::Upper => self.upper[self.basis[r]],
-            };
+            // Apply the recorded flips: each moves a nonbasic column across
+            // its whole range. B⁻¹ is linear, so the combined shift of the
+            // basic values is one FTRAN of the accumulated column sum, not
+            // one FTRAN per flipped column.
+            if !flips.is_empty() {
+                let mut wf = vec![0.0; m];
+                for &(j, flip_delta) in &flips {
+                    for &(i, a) in &self.lp.cols[j] {
+                        wf[i] += a * flip_delta;
+                    }
+                    self.status[j] = match self.status[j] {
+                        ColStatus::AtLower => ColStatus::AtUpper,
+                        ColStatus::AtUpper => ColStatus::AtLower,
+                        other => other, // free columns never flip
+                    };
+                    self.flips += 1;
+                }
+                self.factor.ftran(&mut wf);
+                for i in 0..m {
+                    if wf[i] != 0.0 {
+                        self.xb[i] -= wf[i];
+                    }
+                }
+            }
+
             let delta_q = (self.xb[r] - target) / w[r];
             let entering_value = self.column_value(q) + delta_q;
             for i in 0..m {
@@ -1347,6 +1450,85 @@ mod tests {
             &SimplexOptions::default(),
         );
         assert_eq!(child.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn dual_bound_flip_absorbs_an_overshoot() {
+        // minimize 2·x0 + x1 + 1.5·x2 + 4·x3 with x0 ∈ [0, 2], x1 ∈ [0, 2],
+        // subject to x0 + x1 + x2 + x3 ≥ 10. Parent optimum: x1 = 2, x2 = 8.
+        // Tightening x2 ≤ 3 leaves a deficit of 5; the min-ratio entering
+        // column is x0 (reduced cost 0.5) whose whole range is only 2 — the
+        // dual simplex must *flip* x0 to its upper bound and pivot x3 in for
+        // the remaining 3, landing on x = (2, 2, 3, 3) with objective 22.5.
+        let mut model = Model::minimize();
+        let x0 = model.add_var("x0", 2.0, 0.0, 2.0);
+        let x1 = model.add_var("x1", 1.0, 0.0, 2.0);
+        let x2 = model.add_nonneg_var("x2", 1.5);
+        let x3 = model.add_nonneg_var("x3", 4.0);
+        model.add_constraint(
+            vec![(x0, 1.0), (x1, 1.0), (x2, 1.0), (x3, 1.0)],
+            Relation::GreaterEq,
+            10.0,
+        );
+        let lp = RevisedLp::new(&model).unwrap();
+        let root = lp.solve(&SimplexOptions::default());
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert!((objective(&model, &root) - 14.0).abs() < 1e-6);
+        let basis = root.basis.clone().unwrap();
+
+        let child = lp.solve_node(
+            &[(x2, f64::NEG_INFINITY, 3.0)],
+            Some(&basis),
+            &SimplexOptions::default(),
+        );
+        assert_eq!(child.status, LpStatus::Optimal);
+        assert!((model.objective_value(&child.values) - 22.5).abs() < 1e-6);
+        assert!((child.values[0] - 2.0).abs() < 1e-6, "x0 flipped to upper");
+        assert!((child.values[3] - 3.0).abs() < 1e-6, "x3 entered");
+        assert!(
+            child.bound_flips >= 1,
+            "the overshoot must be absorbed by a flip, not a pivot chain"
+        );
+        // A cold solve of the same child agrees (flips are a shortcut, never
+        // a different answer).
+        let cold = lp.solve_node(
+            &[(x2, f64::NEG_INFINITY, 3.0)],
+            None,
+            &SimplexOptions::default(),
+        );
+        assert_eq!(cold.status, LpStatus::Optimal);
+        assert!((model.objective_value(&cold.values) - 22.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dual_bound_flips_cascade_through_several_small_ranges() {
+        // Same shape but the deficit must cross *two* small-range columns
+        // before an unbounded one can close the row.
+        let mut model = Model::minimize();
+        let x0 = model.add_var("x0", 2.0, 0.0, 2.0);
+        let x1 = model.add_var("x1", 2.5, 0.0, 2.0);
+        let x2 = model.add_nonneg_var("x2", 1.0);
+        let x3 = model.add_nonneg_var("x3", 9.0);
+        model.add_constraint(
+            vec![(x0, 1.0), (x1, 1.0), (x2, 1.0), (x3, 1.0)],
+            Relation::GreaterEq,
+            12.0,
+        );
+        let lp = RevisedLp::new(&model).unwrap();
+        let root = lp.solve(&SimplexOptions::default());
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+        // Root: x2 = 12. Tighten x2 ≤ 1: deficit 11 → flip x0 (2), flip x1
+        // (2), pivot x3 in for 7.
+        let child = lp.solve_node(
+            &[(x2, f64::NEG_INFINITY, 1.0)],
+            Some(&basis),
+            &SimplexOptions::default(),
+        );
+        assert_eq!(child.status, LpStatus::Optimal);
+        let expected = 2.0 * 2.0 + 2.5 * 2.0 + 1.0 + 9.0 * 7.0;
+        assert!((model.objective_value(&child.values) - expected).abs() < 1e-6);
+        assert!(child.bound_flips >= 2);
     }
 
     #[test]

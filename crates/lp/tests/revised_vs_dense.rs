@@ -13,6 +13,7 @@
 use proptest::prelude::*;
 
 use rental_lp::model::{Model, Relation};
+use rental_lp::revised::RevisedLp;
 use rental_lp::simplex::{self, dense, SimplexOptions};
 use rental_lp::LpStatus;
 
@@ -178,6 +179,85 @@ proptest! {
                 (revised.objective - dense.objective).abs()
                     <= 1e-6 * (1.0 + dense.objective.abs())
             );
+        }
+    }
+
+    /// Box-heavy warm-started child nodes (the dual bound-flip regime): every
+    /// variable has a small finite range except one open column, the parent
+    /// is solved warm-startably, and a branch-style bound tightening is
+    /// re-solved by the dual simplex from the parent basis. The warm child
+    /// must match the dense tableau on the tightened model exactly — bound
+    /// flips are a shortcut, never a different answer.
+    #[test]
+    fn box_heavy_warm_children_match_dense(
+        costs in proptest::collection::vec(1i32..=20, 2..=5),
+        widths in proptest::collection::vec(1i32..=4, 5),
+        row in proptest::collection::vec(1i32..=5, 5),
+        rhs in 10i32..=40,
+        tighten_to in 0i32..=3,
+    ) {
+        // The first variables are boxed [0, width]; the last is open [0, ∞).
+        let mut model = Model::minimize();
+        let mut vars = Vec::new();
+        for (i, &c) in costs.iter().enumerate() {
+            vars.push(model.add_var(format!("b{i}"), c as f64, 0.0, widths[i] as f64));
+        }
+        let open = model.add_nonneg_var("open", 25.0);
+        let mut terms: Vec<_> = vars
+            .iter()
+            .zip(&row)
+            .map(|(&v, &a)| (v, a as f64))
+            .collect();
+        terms.push((open, 1.0));
+        model.add_constraint(terms, Relation::GreaterEq, rhs as f64);
+
+        let options = SimplexOptions::default();
+        let lp = RevisedLp::new(&model).unwrap();
+        let root = lp.solve(&options);
+        prop_assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+
+        // Branch: tighten every boxed variable's upper bound down to
+        // `tighten_to` (clamped into its range) — the kind of child a
+        // branch-and-bound dive produces on box-heavy models.
+        let tighten: Vec<_> = vars
+            .iter()
+            .zip(&widths)
+            .map(|(&v, &w)| (v, f64::NEG_INFINITY, f64::from(tighten_to.min(w))))
+            .collect();
+        let warm = lp.solve_node(&tighten, Some(&basis), &options);
+
+        // Dense oracle on the explicitly tightened model.
+        let mut tightened = Model::minimize();
+        let mut tvars = Vec::new();
+        for (i, &c) in costs.iter().enumerate() {
+            tvars.push(tightened.add_var(
+                format!("b{i}"),
+                c as f64,
+                0.0,
+                f64::from(tighten_to.min(widths[i])),
+            ));
+        }
+        let topen = tightened.add_nonneg_var("open", 25.0);
+        let mut tterms: Vec<_> = tvars
+            .iter()
+            .zip(&row)
+            .map(|(&v, &a)| (v, a as f64))
+            .collect();
+        tterms.push((topen, 1.0));
+        tightened.add_constraint(tterms, Relation::GreaterEq, rhs as f64);
+        let oracle = dense::solve_with(&tightened, &options).unwrap();
+
+        prop_assert_eq!(warm.status, oracle.status);
+        if warm.status == LpStatus::Optimal {
+            let warm_objective = tightened.objective_value(&warm.values);
+            prop_assert!(
+                (warm_objective - oracle.objective).abs()
+                    <= 1e-6 * (1.0 + oracle.objective.abs()),
+                "warm child {} vs dense {} (flips {})",
+                warm_objective, oracle.objective, warm.bound_flips
+            );
+            prop_assert!(tightened.is_feasible(&warm.values, 1e-5));
         }
     }
 

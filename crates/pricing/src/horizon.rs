@@ -233,6 +233,22 @@ impl HorizonCache {
         self.base[k] + self.slope[k] * (hours - self.starts[k])
     }
 
+    /// The **marginal** charge of extending the plan's rental from horizon
+    /// `from` to horizon `to` — the remaining-horizon what-if query of a
+    /// streaming controller: at time `from` into a run that will last until
+    /// `to`, *keeping* the plan costs `total_over(from, to)`, while switching
+    /// to another plan costs that plan's `total(to − from)` plus the
+    /// migration charge. Committed terms already paid by hour `from` are
+    /// correctly sunk (the flat stretch of a reserved profile contributes
+    /// zero margin). Returns 0 when `to ≤ from`.
+    pub fn total_over(&self, from: RentalHorizon, to: RentalHorizon) -> f64 {
+        if to.hours <= from.hours {
+            0.0
+        } else {
+            self.total(to) - self.total(from)
+        }
+    }
+
     /// Mean hourly spend over a horizon (total divided by the horizon).
     pub fn mean_hourly_cost(&self, horizon: RentalHorizon) -> f64 {
         if horizon.hours <= 0.0 {
@@ -440,6 +456,32 @@ mod tests {
         assert_eq!(cache.num_segments(), 2); // flat term, then rolling renewal
         let cache = HorizonCache::new(&plan, &Spot::typical());
         assert_eq!(cache.num_segments(), 1);
+    }
+
+    #[test]
+    fn total_over_is_the_marginal_charge() {
+        let (plan, hourly) = table3_plan();
+        let cache = HorizonCache::new(&plan, &OnDemand::hourly());
+        // On-demand margins are linear in the extension length.
+        let margin = cache.total_over(RentalHorizon::hours(100.0), RentalHorizon::hours(148.0));
+        assert!((margin - hourly as f64 * 48.0).abs() < 1e-6);
+        // Degenerate windows cost nothing.
+        assert_eq!(
+            cache.total_over(RentalHorizon::hours(5.0), RentalHorizon::hours(5.0)),
+            0.0
+        );
+        assert_eq!(
+            cache.total_over(RentalHorizon::hours(9.0), RentalHorizon::hours(3.0)),
+            0.0
+        );
+        // A reserved term already paid is sunk: extending within the flat
+        // stretch is free, so keeping beats re-committing elsewhere.
+        let reserved = HorizonCache::new(&plan, &Reserved::with_term(1000.0, 0.4));
+        let sunk = reserved.total_over(RentalHorizon::hours(100.0), RentalHorizon::hours(900.0));
+        assert!(sunk.abs() < 1e-9);
+        let past_term =
+            reserved.total_over(RentalHorizon::hours(900.0), RentalHorizon::hours(1100.0));
+        assert!(past_term > 0.0);
     }
 
     #[test]

@@ -172,6 +172,53 @@ pub fn solve_sweep_timed<S: WarmStartSolver>(
         .collect()
 }
 
+/// One unit of **heterogeneous** warm-started batch work: its own instance,
+/// its own target, and optionally the prior of a related earlier solve.
+///
+/// Where [`solve_sweep_batch_timed`] sweeps the *same* target grid over every
+/// instance, this is the shape of a multi-tenant serving epoch: every tenant
+/// whose workload shifted brings its own `(instance, new target)` pair plus
+/// the incumbent of its *previous* solve, and all due tenants are solved as
+/// one flat fan-out on the shared pool.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmBatchItem<'a> {
+    /// The MinCost instance to solve.
+    pub instance: &'a Instance,
+    /// The target throughput ρ.
+    pub target: Throughput,
+    /// Prior of a related solve (typically the tenant's previous target).
+    pub prior: Option<&'a SweepPrior>,
+}
+
+impl<'a> WarmBatchItem<'a> {
+    /// Creates a warm batch item.
+    pub fn new(instance: &'a Instance, target: Throughput, prior: Option<&'a SweepPrior>) -> Self {
+        WarmBatchItem {
+            instance,
+            target,
+            prior,
+        }
+    }
+}
+
+/// Solves heterogeneous `(instance, target, prior)` units in parallel on the
+/// shared pool, reporting per-unit wall time (including failed solves,
+/// mirroring [`solve_batch_timed`]). Results are returned in input order and
+/// match sequential [`WarmStartSolver::solve_with_prior`] calls exactly —
+/// each unit's prior comes with the item, so no cross-unit state is threaded.
+pub fn solve_warm_batch_timed<S: WarmStartSolver + Sync>(
+    solver: &S,
+    items: &[WarmBatchItem<'_>],
+    max_threads: Option<usize>,
+) -> Vec<(SolveResult<SolverOutcome>, Duration)> {
+    rayon::parallel_map_indexed(items.len(), max_threads, |i| {
+        let item = &items[i];
+        let start = Instant::now();
+        let result = solver.solve_with_prior(item.instance, item.target, item.prior);
+        (result, start.elapsed())
+    })
+}
+
 /// Sweeps every instance over the same targets, in parallel across instances
 /// (the shared thread pool) and sequentially within each instance so the
 /// incumbent chain is preserved. Returns `results[instance][target]`.
@@ -301,6 +348,49 @@ mod tests {
         }
         // The threaded incumbents can only prune; never inflate the tree.
         assert!(swept_nodes <= cold_nodes);
+    }
+
+    #[test]
+    fn warm_batches_match_sequential_prior_solves() {
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        // Build per-tenant priors from a first round of solves.
+        let first_targets = [40u64, 90, 150];
+        let priors: Vec<SweepPrior> = first_targets
+            .iter()
+            .map(|&t| SweepPrior::from_outcome(t, &solver.solve(&instance, t).unwrap()))
+            .collect();
+        // Second round: each "tenant" shifts to its own new target, warm
+        // started from its own prior (both directions: up and down).
+        let second_targets = [70u64, 60, 180];
+        let items: Vec<WarmBatchItem<'_>> = second_targets
+            .iter()
+            .zip(&priors)
+            .map(|(&t, prior)| WarmBatchItem::new(&instance, t, Some(prior)))
+            .collect();
+        let batch = solve_warm_batch_timed(&solver, &items, Some(3));
+        assert_eq!(batch.len(), items.len());
+        for (item, (result, elapsed)) in items.iter().zip(&batch) {
+            let outcome = result.as_ref().unwrap();
+            let sequential = solver
+                .solve_with_prior(item.instance, item.target, item.prior)
+                .unwrap();
+            assert_eq!(outcome.cost(), sequential.cost(), "rho = {}", item.target);
+            assert!(outcome.proven_optimal);
+            assert!(outcome.solution.split.covers(item.target));
+            assert!(*elapsed > Duration::ZERO);
+        }
+        // Warm costs equal cold optima (the prior is never a constraint).
+        for (&t, (result, _)) in second_targets.iter().zip(&batch) {
+            let cold = solver.solve(&instance, t).unwrap();
+            assert_eq!(result.as_ref().unwrap().cost(), cold.cost());
+        }
+    }
+
+    #[test]
+    fn empty_warm_batches_are_harmless() {
+        let solver = IlpSolver::new();
+        assert!(solve_warm_batch_timed(&solver, &[], None).is_empty());
     }
 
     #[test]

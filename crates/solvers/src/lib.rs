@@ -58,7 +58,7 @@ pub mod solver;
 
 pub use batch::{
     solve_batch, solve_batch_portfolio, solve_batch_timed, solve_batch_with, solve_sweep,
-    solve_sweep_batch_timed, solve_sweep_timed, BatchItem,
+    solve_sweep_batch_timed, solve_sweep_timed, solve_warm_batch_timed, BatchItem, WarmBatchItem,
 };
 pub use multicloud::{CloudRegion, MultiCloudProblem, MultiCloudSolution, RegionAllocation};
 pub use registry::{

@@ -120,6 +120,208 @@ impl AutoscaleReport {
     }
 }
 
+/// The per-epoch arithmetic of fixed-mix scaling: how many machines of each
+/// type a demand rate requires when the recipe mix is frozen.
+///
+/// This is the piece of the [`Autoscaler`] that other controllers reuse — the
+/// fleet controller of `rental-fleet` drives one `FixedMixScaler` per tenant
+/// (rebuilding it whenever a re-solve changes the tenant's recipe mix) and the
+/// fixed-mix baseline of its reports is exactly an [`Autoscaler`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedMixScaler {
+    /// Demand per type for one unit of total throughput under the fixed
+    /// recipe mix: `Σ_j n_jq × f_j`.
+    unit_demand: Vec<f64>,
+    /// Per-type machine throughput `r_q`.
+    throughput: Vec<f64>,
+    /// Per-type hourly cost `c_q`.
+    cost: Vec<f64>,
+    /// Capacity head-room multiplier applied to the demand rate.
+    headroom: f64,
+    /// Extra machines kept per used type (N+k redundancy).
+    redundancy: u64,
+}
+
+impl FixedMixScaler {
+    /// Builds the scaler for an instance under a fixed recipe mix
+    /// (`fractions` as produced by [`Autoscaler::split_fractions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fractions` does not have one entry per recipe.
+    pub fn new(instance: &Instance, fractions: &[f64], policy: &AutoscalePolicy) -> Self {
+        assert_eq!(
+            fractions.len(),
+            instance.num_recipes(),
+            "one fraction per recipe is required"
+        );
+        let platform = instance.platform();
+        let demand_matrix = instance.application().demand();
+        let num_types = instance.num_types();
+        let unit_demand: Vec<f64> = (0..num_types)
+            .map(|q| {
+                (0..instance.num_recipes())
+                    .map(|j| demand_matrix.count(RecipeId(j), TypeId(q)) as f64 * fractions[j])
+                    .sum()
+            })
+            .collect();
+        FixedMixScaler {
+            unit_demand,
+            throughput: (0..num_types)
+                .map(|q| platform.throughput(TypeId(q)) as f64)
+                .collect(),
+            cost: (0..num_types)
+                .map(|q| platform.cost(TypeId(q)) as f64)
+                .collect(),
+            headroom: policy.headroom,
+            redundancy: policy.redundancy,
+        }
+    }
+
+    /// Number of machine types the scaler manages.
+    pub fn num_types(&self) -> usize {
+        self.unit_demand.len()
+    }
+
+    /// Demand per type induced by a total rate (before head-room).
+    pub fn demand_at(&self, rate: f64) -> Vec<f64> {
+        self.unit_demand.iter().map(|&u| u * rate).collect()
+    }
+
+    /// Machines per type required to carry `rate` (head-room and redundancy
+    /// applied).
+    pub fn required_for(&self, rate: f64) -> Vec<u64> {
+        (0..self.num_types())
+            .map(|q| {
+                let demand = self.unit_demand[q] * rate * self.headroom;
+                if demand <= 0.0 {
+                    0
+                } else {
+                    (demand / self.throughput[q]).ceil() as u64 + self.redundancy
+                }
+            })
+            .collect()
+    }
+
+    /// Machines per type required to carry a **provisioning target** (a
+    /// demand total that already includes any head-room), without redundancy.
+    /// This is what a what-if probe sizes against: the fixed-mix fleet for a
+    /// quantized target ρ', comparable to a solver's plan for the same ρ'.
+    pub fn required_for_target(&self, target: f64) -> Vec<u64> {
+        (0..self.num_types())
+            .map(|q| {
+                let demand = self.unit_demand[q] * target;
+                if demand <= 0.0 {
+                    0
+                } else {
+                    (demand / self.throughput[q]).ceil() as u64
+                }
+            })
+            .collect()
+    }
+
+    /// Hourly rental cost of a fleet (machines per type).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fleet` does not have one entry per machine type of the
+    /// scaler's instance.
+    pub fn cost_rate(&self, fleet: &[u64]) -> f64 {
+        assert_eq!(
+            fleet.len(),
+            self.cost.len(),
+            "one fleet entry per machine type is required"
+        );
+        fleet
+            .iter()
+            .zip(&self.cost)
+            .map(|(&x, &c)| x as f64 * c)
+            .sum()
+    }
+
+    /// Hourly rental cost of the fleet required for `rate` — the fixed-mix
+    /// rescale cost a what-if probe compares against.
+    pub fn rescale_cost_rate(&self, rate: f64) -> f64 {
+        self.cost_rate(&self.required_for(rate))
+    }
+
+    /// True when the surviving machines (`available` per type) cannot carry
+    /// the raw demand at `rate` (no head-room applied — violation is about
+    /// actual demand, not the provisioning policy).
+    pub fn violates(&self, rate: f64, available: &[u64]) -> bool {
+        (0..self.num_types()).any(|q| {
+            let needed = self.unit_demand[q] * rate;
+            let capacity = available[q] as f64 * self.throughput[q];
+            needed > 1e-9 && capacity < needed - 1e-9
+        })
+    }
+}
+
+/// The mutable scaling state carried across epochs: the current fleet and the
+/// per-type scale-down hysteresis counters.
+///
+/// Deliberately separate from [`FixedMixScaler`] so a controller can swap the
+/// recipe mix (a new scaler) while the rented fleet carries over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedMixState {
+    fleet: Vec<u64>,
+    below_count: Vec<usize>,
+}
+
+impl FixedMixState {
+    /// An empty state (nothing rented) for `num_types` machine types.
+    pub fn new(num_types: usize) -> Self {
+        FixedMixState {
+            fleet: vec![0; num_types],
+            below_count: vec![0; num_types],
+        }
+    }
+
+    /// Machines currently rented, per type.
+    pub fn fleet(&self) -> &[u64] {
+        &self.fleet
+    }
+
+    /// Advances one epoch: scales up immediately to what `rate` requires and
+    /// scales down only after the demand has stayed low for
+    /// `scale_down_patience` consecutive epochs. Returns the fleet rented for
+    /// this epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scaler manages a different number of machine types
+    /// than this state — swapped-in scalers (new recipe mix) must come from
+    /// the same platform.
+    pub fn step(
+        &mut self,
+        scaler: &FixedMixScaler,
+        rate: f64,
+        scale_down_patience: usize,
+    ) -> &[u64] {
+        assert_eq!(
+            self.fleet.len(),
+            scaler.num_types(),
+            "scaler and state must cover the same machine types"
+        );
+        let required = scaler.required_for(rate);
+        for (q, &needed) in required.iter().enumerate() {
+            if needed > self.fleet[q] {
+                self.fleet[q] = needed;
+                self.below_count[q] = 0;
+            } else if needed < self.fleet[q] {
+                self.below_count[q] += 1;
+                if self.below_count[q] >= scale_down_patience {
+                    self.fleet[q] = needed;
+                    self.below_count[q] = 0;
+                }
+            } else {
+                self.below_count[q] = 0;
+            }
+        }
+        &self.fleet
+    }
+}
+
 /// The autoscaling controller.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Autoscaler {
@@ -169,43 +371,11 @@ impl Autoscaler {
         trace: &WorkloadTrace,
         failures: &FailureTrace,
     ) -> AutoscaleReport {
-        assert_eq!(
-            fractions.len(),
-            instance.num_recipes(),
-            "one fraction per recipe is required"
-        );
-        let platform = instance.platform();
-        let demand_matrix = instance.application().demand();
+        let scaler = FixedMixScaler::new(instance, fractions, &self.policy);
         let num_types = instance.num_types();
         let peaks = trace.epoch_peaks(self.policy.epoch);
 
-        // Demand per type for a unit of total throughput, under the fixed
-        // recipe mix: Σ_j n_jq × f_j.
-        let unit_demand: Vec<f64> = (0..num_types)
-            .map(|q| {
-                (0..instance.num_recipes())
-                    .map(|j| demand_matrix.count(RecipeId(j), TypeId(q)) as f64 * fractions[j])
-                    .sum()
-            })
-            .collect();
-
-        let required_for = |rate: f64| -> Vec<u64> {
-            (0..num_types)
-                .map(|q| {
-                    let demand = unit_demand[q] * rate * self.policy.headroom;
-                    if demand <= 0.0 {
-                        0
-                    } else {
-                        let machines =
-                            (demand / platform.throughput(TypeId(q)) as f64).ceil() as u64;
-                        machines + self.policy.redundancy
-                    }
-                })
-                .collect()
-        };
-
-        let mut fleet: Vec<u64> = vec![0; num_types];
-        let mut below_count: Vec<usize> = vec![0; num_types];
+        let mut state = FixedMixState::new(num_types);
         let mut epochs = Vec::with_capacity(peaks.len());
         let mut total_cost = 0.0;
         let mut violations = 0;
@@ -213,27 +383,11 @@ impl Autoscaler {
         for (index, &rate) in peaks.iter().enumerate() {
             let start = index as f64 * self.policy.epoch;
             let end = start + self.policy.epoch;
-            let required = required_for(rate);
-            for q in 0..num_types {
-                if required[q] > fleet[q] {
-                    // Scale up immediately.
-                    fleet[q] = required[q];
-                    below_count[q] = 0;
-                } else if required[q] < fleet[q] {
-                    below_count[q] += 1;
-                    if below_count[q] >= self.policy.scale_down_patience {
-                        fleet[q] = required[q];
-                        below_count[q] = 0;
-                    }
-                } else {
-                    below_count[q] = 0;
-                }
-            }
+            let fleet = state
+                .step(&scaler, rate, self.policy.scale_down_patience)
+                .to_vec();
 
-            let cost_rate: f64 = (0..num_types)
-                .map(|q| fleet[q] as f64 * platform.cost(TypeId(q)) as f64)
-                .sum();
-            let cost = cost_rate * self.policy.epoch;
+            let cost = scaler.cost_rate(&fleet) * self.policy.epoch;
             total_cost += cost;
 
             let available: Vec<u64> = (0..num_types)
@@ -242,11 +396,7 @@ impl Autoscaler {
                     fleet[q].saturating_sub(down)
                 })
                 .collect();
-            let violated = (0..num_types).any(|q| {
-                let needed = unit_demand[q] * rate;
-                let capacity = (available[q] as f64) * (platform.throughput(TypeId(q)) as f64);
-                needed > 1e-9 && capacity < needed - 1e-9
-            });
+            let violated = scaler.violates(rate, &available);
             if violated {
                 violations += 1;
             }
@@ -255,7 +405,7 @@ impl Autoscaler {
                 index,
                 start,
                 demand_rate: rate,
-                machines: fleet.clone(),
+                machines: fleet,
                 available,
                 cost,
                 violated,
@@ -264,10 +414,7 @@ impl Autoscaler {
 
         // Static alternative: provision once for the peak rate, keep it for
         // the whole trace.
-        let peak_fleet = required_for(trace.peak_rate());
-        let static_rate: f64 = (0..num_types)
-            .map(|q| peak_fleet[q] as f64 * platform.cost(TypeId(q)) as f64)
-            .sum();
+        let static_rate = scaler.rescale_cost_rate(trace.peak_rate());
         let static_peak_cost = static_rate * self.policy.epoch * peaks.len() as f64;
 
         AutoscaleReport {
@@ -418,6 +565,37 @@ mod tests {
         let (instance, _) = instance_and_fractions();
         let trace = WorkloadTrace::constant(10.0, 1.0);
         Autoscaler::default().run(&instance, &[1.0], &trace);
+    }
+
+    #[test]
+    fn fixed_mix_scaler_reproduces_the_solution_fleet_at_its_own_target() {
+        // At the rate the solution was solved for, the fixed-mix rescale
+        // rents exactly the solution's machines (Table III: 3, 2, 1, 1 at
+        // hourly cost 124 for the (10, 30, 30) split).
+        let (instance, fractions) = instance_and_fractions();
+        let scaler = FixedMixScaler::new(&instance, &fractions, &AutoscalePolicy::default());
+        assert_eq!(scaler.required_for(70.0), vec![3, 2, 1, 1]);
+        assert!((scaler.rescale_cost_rate(70.0) - 124.0).abs() < 1e-9);
+        assert!(!scaler.violates(70.0, &[3, 2, 1, 1]));
+        assert!(scaler.violates(70.0, &[2, 2, 1, 1]));
+    }
+
+    #[test]
+    fn fixed_mix_state_carries_hysteresis_across_scaler_swaps() {
+        let (instance, fractions) = instance_and_fractions();
+        let policy = AutoscalePolicy {
+            scale_down_patience: 2,
+            ..AutoscalePolicy::default()
+        };
+        let scaler = FixedMixScaler::new(&instance, &fractions, &policy);
+        let mut state = FixedMixState::new(instance.num_types());
+        state.step(&scaler, 70.0, policy.scale_down_patience);
+        assert_eq!(state.fleet(), &[3, 2, 1, 1]);
+        // One low epoch: patience holds the fleet; the second shrinks it.
+        state.step(&scaler, 10.0, policy.scale_down_patience);
+        assert_eq!(state.fleet(), &[3, 2, 1, 1]);
+        state.step(&scaler, 10.0, policy.scale_down_patience);
+        assert_eq!(state.fleet(), scaler.required_for(10.0).as_slice());
     }
 
     #[test]

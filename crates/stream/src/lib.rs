@@ -39,7 +39,9 @@ pub mod reorder;
 pub mod simulator;
 pub mod workload;
 
-pub use autoscale::{AutoscalePolicy, AutoscaleReport, Autoscaler, EpochRecord};
+pub use autoscale::{
+    AutoscalePolicy, AutoscaleReport, Autoscaler, EpochRecord, FixedMixScaler, FixedMixState,
+};
 pub use event::{Event, EventKind, EventQueue, SimTime};
 pub use failure::{FailureModel, FailureTrace, Outage};
 pub use machine::{MachinePool, WorkItem};

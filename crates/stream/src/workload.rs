@@ -30,18 +30,26 @@ pub struct WorkloadTrace {
 
 impl WorkloadTrace {
     /// Builds a trace from explicit segments. Segments with non-positive
-    /// duration are dropped; rates are clamped to be non-negative.
+    /// duration are dropped; rates are clamped to be non-negative; adjacent
+    /// segments with equal rates are merged into one (so `rate_at` and
+    /// `epoch_peaks` walk the minimal segment list — fleet scenario
+    /// generators compose traces out of many short pieces).
     pub fn new(segments: Vec<TraceSegment>) -> Self {
-        WorkloadTrace {
-            segments: segments
-                .into_iter()
-                .filter(|s| s.duration > 0.0)
-                .map(|s| TraceSegment {
-                    duration: s.duration,
-                    rate: s.rate.max(0.0),
-                })
-                .collect(),
+        let mut merged: Vec<TraceSegment> = Vec::with_capacity(segments.len());
+        for segment in segments {
+            if segment.duration <= 0.0 {
+                continue;
+            }
+            let rate = segment.rate.max(0.0);
+            match merged.last_mut() {
+                Some(last) if last.rate == rate => last.duration += segment.duration,
+                _ => merged.push(TraceSegment {
+                    duration: segment.duration,
+                    rate,
+                }),
+            }
         }
+        WorkloadTrace { segments: merged }
     }
 
     /// A constant trace at `rate` for `duration` time units — the paper's
@@ -89,6 +97,66 @@ impl WorkloadTrace {
                 rate: burst,
             });
         }
+        WorkloadTrace::new(segments)
+    }
+
+    /// A spiky trace: a `base` rate with `num_spikes` randomly placed bursts
+    /// at `spike_rate`, each lasting `spike_duration`, over `duration` time
+    /// units. Spike start times are drawn uniformly (deterministic per
+    /// `seed`); overlapping spikes simply merge. This is the irregular-burst
+    /// complement to the strictly periodic [`WorkloadTrace::bursty`], used by
+    /// the fleet scenario generators so multi-tenant workloads are not all
+    /// phase-aligned.
+    pub fn spike(
+        base: f64,
+        spike_rate: f64,
+        duration: SimTime,
+        num_spikes: usize,
+        spike_duration: SimTime,
+        seed: u64,
+    ) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        if duration <= 0.0 {
+            return WorkloadTrace::new(vec![]);
+        }
+        let spike_duration = spike_duration.clamp(0.0, duration);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let latest_start = (duration - spike_duration).max(0.0);
+        let mut starts: Vec<SimTime> = (0..num_spikes)
+            .map(|_| {
+                if latest_start <= 0.0 {
+                    0.0
+                } else {
+                    rng.random_range(0.0..latest_start)
+                }
+            })
+            .collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).expect("finite spike starts"));
+
+        let mut segments = Vec::with_capacity(2 * num_spikes + 1);
+        let mut cursor = 0.0;
+        for start in starts {
+            let end = (start + spike_duration).min(duration);
+            if end <= cursor {
+                continue; // fully inside the previous spike
+            }
+            let start = start.max(cursor);
+            segments.push(TraceSegment {
+                duration: start - cursor,
+                rate: base,
+            });
+            segments.push(TraceSegment {
+                duration: end - start,
+                rate: spike_rate,
+            });
+            cursor = end;
+        }
+        segments.push(TraceSegment {
+            duration: duration - cursor,
+            rate: base,
+        });
         WorkloadTrace::new(segments)
     }
 
@@ -250,6 +318,69 @@ mod tests {
         assert_eq!(trace.segments().len(), 1);
         assert_eq!(trace.rate_at(1.0), 0.0);
         assert_eq!(trace.total_items(), 0.0);
+    }
+
+    #[test]
+    fn adjacent_equal_rate_segments_are_merged() {
+        let trace = WorkloadTrace::new(vec![
+            TraceSegment {
+                duration: 2.0,
+                rate: 10.0,
+            },
+            TraceSegment {
+                duration: 3.0,
+                rate: 10.0,
+            },
+            TraceSegment {
+                duration: 1.0,
+                rate: 20.0,
+            },
+            TraceSegment {
+                duration: -1.0,
+                rate: 30.0,
+            },
+            TraceSegment {
+                duration: 4.0,
+                rate: 20.0,
+            },
+        ]);
+        // 10-rate pair merges; the dropped segment joins the 20-rate pair.
+        assert_eq!(trace.segments().len(), 2);
+        assert_eq!(trace.duration(), 10.0);
+        assert_eq!(trace.rate_at(4.9), 10.0);
+        assert_eq!(trace.rate_at(5.1), 20.0);
+    }
+
+    #[test]
+    fn spike_traces_are_deterministic_and_bounded() {
+        let a = WorkloadTrace::spike(10.0, 90.0, 100.0, 5, 2.0, 7);
+        let b = WorkloadTrace::spike(10.0, 90.0, 100.0, 5, 2.0, 7);
+        assert_eq!(a, b);
+        let c = WorkloadTrace::spike(10.0, 90.0, 100.0, 5, 2.0, 8);
+        assert_ne!(a, c);
+        assert!((a.duration() - 100.0).abs() < 1e-9);
+        assert_eq!(a.peak_rate(), 90.0);
+        // Spikes cover at most num_spikes x spike_duration of the trace.
+        let spike_time: f64 = a
+            .segments()
+            .iter()
+            .filter(|s| s.rate == 90.0)
+            .map(|s| s.duration)
+            .sum();
+        assert!(spike_time <= 10.0 + 1e-9);
+        assert!(spike_time > 0.0);
+        // Most of the trace stays at the base rate.
+        assert!(a.mean_rate() < 30.0);
+    }
+
+    #[test]
+    fn spike_with_zero_duration_or_no_spikes_is_flat() {
+        assert!(WorkloadTrace::spike(10.0, 90.0, 0.0, 3, 1.0, 1)
+            .segments()
+            .is_empty());
+        let flat = WorkloadTrace::spike(10.0, 90.0, 50.0, 0, 1.0, 1);
+        assert_eq!(flat.segments().len(), 1);
+        assert_eq!(flat.peak_rate(), 10.0);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`pricing`](rental_pricing) — billing models (on-demand, per-second,
 //!   reserved, spot), rental-horizon projection and billing-plan optimisation
 //!   layered on top of MinCost solutions (extension beyond the paper);
+//! * [`fleet`](rental_fleet) — the multi-tenant streaming re-optimization
+//!   controller: probe / batch re-solve / adopt over a shared epoch clock,
+//!   with switching-cost hysteresis (extension beyond the paper);
 //! * [`experiments`](rental_experiments) — the harness regenerating Table III
 //!   and Figures 3–8.
 //!
@@ -51,6 +54,7 @@
 
 pub use rental_core as core;
 pub use rental_experiments as experiments;
+pub use rental_fleet as fleet;
 pub use rental_lp as lp;
 pub use rental_pricing as pricing;
 pub use rental_simgen as simgen;
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use rental_core::plan::ProvisioningPlan;
     pub use rental_core::prelude::*;
     pub use rental_core::Instance;
+    pub use rental_fleet::{FleetController, FleetPolicy, FleetReport, TenantSpec};
     pub use rental_lp::{MipSolver, SolveLimits};
     pub use rental_pricing::billing::{BillingModel, OnDemand, PerSecond, Reserved, Spot};
     pub use rental_pricing::horizon::{bill_plan, RentalHorizon};
