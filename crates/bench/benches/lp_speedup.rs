@@ -31,15 +31,7 @@ use rental_solvers::MinCostSolver;
 
 /// A MinCost LP relaxation with `1 + num_types` constraint rows.
 fn relaxation(num_types: usize, num_recipes: usize, target: u64) -> Model {
-    let config = GeneratorConfig {
-        num_recipes,
-        tasks_per_recipe: 20..=40,
-        mutation_percent: 5,
-        num_types,
-        throughput_range: 10..=100,
-        cost_range: 1..=100,
-        edge_probability: 0.15,
-    };
+    let config = GeneratorConfig::wide_platform(num_types, num_recipes);
     let instance = fixture(config, 0xD1CE);
     IlpSolver::build_model(&instance, target)
 }

@@ -14,6 +14,7 @@
 //! ```text
 //! repro summary [--configs N]          # headline comparison (paper §VIII-F)
 //! repro fleet [--tenants N]            # multi-tenant streaming re-optimization lane
+//! repro lp-large                       # dense-LU vs sparse-LU scaling table (LP substrate)
 //! repro ablation-delta                 # δ-step sweep (extension, DESIGN.md)
 //! repro ablation-escape                # escape-mechanism comparison (extension)
 //! repro ablation-mutation              # recipe-similarity sweep (extension)
@@ -32,9 +33,9 @@ use std::process::ExitCode;
 
 use rental_experiments::{
     delta_sweep, escape_mechanisms, figure_csv, figure_markdown, fleet_csv, fleet_markdown,
-    mutation_sweep, presets, run_experiment, run_fleet_experiment, run_table3, table3_csv,
-    table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
-    ExperimentResults, FleetExperimentSpec, Metric,
+    lp_large_markdown, mutation_sweep, presets, run_experiment, run_fleet_experiment, run_lp_large,
+    run_table3, table3_csv, table3_markdown, table3_targets, write_artifact, AblationResults,
+    AblationSpec, ExperimentResults, FleetExperimentSpec, LpLargeSpec, Metric,
 };
 use rental_solvers::SuiteConfig;
 
@@ -114,7 +115,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn print_usage() {
     println!(
-        "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|all|\
+        "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|lp-large|all|\
          ablation-delta|ablation-escape|ablation-mutation> \
          [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--output-dir DIR] \
          [--threads N] [--tenants N]"
@@ -239,6 +240,23 @@ fn emit_fleet(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn emit_lp_large(options: &Options) {
+    let spec = LpLargeSpec {
+        seed: options.seed,
+        ..LpLargeSpec::default()
+    };
+    eprintln!(
+        "[repro] running the lp-large scaling study ({} sizes, seed {}) ...",
+        spec.sizes.len(),
+        spec.seed
+    );
+    let rows = run_lp_large(&spec);
+    let markdown = lp_large_markdown(&rows);
+    println!("## LP substrate — dense LU vs sparse Markowitz LU");
+    print!("{markdown}");
+    persist(options, "lp_large.md", &markdown);
+}
+
 fn ablation_spec(options: &Options) -> AblationSpec {
     AblationSpec {
         num_configs: options.configs,
@@ -339,6 +357,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "lp-large" => emit_lp_large(&options),
         "ablation-delta" => {
             let results = delta_sweep(&ablation_spec(&options), &[1, 5, 10, 20]);
             emit_ablation(

@@ -17,7 +17,11 @@
 //!   ablation studies described in DESIGN.md (extensions beyond the paper);
 //! * [`fleet`] — the multi-tenant streaming re-optimization lane: the
 //!   `rental-fleet` probe/solve/adopt controller on the diurnal+spike
-//!   scenario, versus the static-peak and fixed-mix baselines.
+//!   scenario, versus the static-peak and fixed-mix baselines;
+//! * [`lp_large`] — the LP substrate scaling lane: sparse Markowitz LU vs
+//!   the retained dense LU (refactorization and end-to-end revised-simplex
+//!   timing, fill-in, hyper-sparse hit rate) on wide-platform MinCost
+//!   relaxations with m = 256..1024 rows.
 //!
 //! The `repro` binary glues these together:
 //!
@@ -29,6 +33,7 @@
 
 pub mod ablation;
 pub mod fleet;
+pub mod lp_large;
 pub mod report;
 pub mod runner;
 pub mod stats;
@@ -38,6 +43,7 @@ pub use ablation::{
     delta_sweep, escape_mechanisms, mutation_sweep, AblationResults, AblationRow, AblationSpec,
 };
 pub use fleet::{fleet_csv, fleet_markdown, run_fleet_experiment, FleetExperimentSpec, FleetTable};
+pub use lp_large::{lp_large_json, lp_large_markdown, run_lp_large, LpLargeRow, LpLargeSpec};
 pub use report::{
     figure_csv, figure_markdown, table3_csv, table3_markdown, write_artifact, Metric,
 };

@@ -7,14 +7,18 @@
 //! * [`model`] — LP/MILP builder: variables with bounds and integrality,
 //!   linear constraints, minimize/maximize objective.
 //! * [`simplex`] — the LP entry points, backed by the **revised simplex** of
-//!   [`revised`]: the constraint matrix lives in sparse column form, the
-//!   basis inverse is an LU factorization extended by **product-form (eta
-//!   file) updates** — one sparse rank-one update per pivot instead of a full
+//!   [`revised`]: the constraint matrix lives in sparse column *and* row
+//!   form, the basis inverse is a **sparse Markowitz LU** ([`factor`]) with
+//!   hyper-sparse FTRAN/BTRAN, extended by **product-form (eta file)
+//!   updates** — one sparse rank-one update per pivot instead of a full
 //!   tableau elimination — refactorized every ~48 pivots for numerical
-//!   stability, and general variable bounds are handled natively (no
-//!   shifting, splitting or extra bound rows). The pre-rewrite dense tableau
-//!   is retained as [`simplex::dense`] ([`dense_simplex`]) — the
-//!   differential-testing oracle and benchmark baseline.
+//!   stability; pricing is partial (rotating candidate sections), and
+//!   general variable bounds are handled natively (no shifting, splitting or
+//!   extra bound rows). The pre-rewrite dense LU survives as
+//!   [`factor::DenseLu`] (see [`SimplexOptions::dense_lu`] and the
+//!   `dense-lu` feature) and the dense tableau as [`simplex::dense`]
+//!   ([`dense_simplex`]) — the differential-testing oracles and benchmark
+//!   baselines.
 //! * [`mip`] — best-first branch-and-bound with an LP-rounding primal
 //!   heuristic, time/node/gap limits (the 100 s time limit of the paper's
 //!   Figure 8 maps to [`mip::SolveLimits::with_time_limit`]). Child nodes
@@ -43,6 +47,7 @@
 
 pub mod dense_simplex;
 pub mod error;
+pub mod factor;
 pub mod mip;
 pub mod model;
 pub mod revised;
@@ -50,6 +55,7 @@ pub mod simplex;
 pub mod solution;
 
 pub use error::{LpError, LpResult};
+pub use factor::{DenseLu, FactorStats, SparseLu, SparseVector};
 pub use mip::{MipSolver, SolveLimits};
 pub use model::{Model, Relation, Sense, VarId};
 pub use simplex::SimplexOptions;

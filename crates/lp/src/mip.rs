@@ -12,7 +12,14 @@
 //! re-solves **from its parent's optimal basis** with the dual simplex —
 //! branching changes a single variable bound, which leaves the parent basis
 //! dual feasible, so a handful of dual pivots usually restore optimality
-//! where the old dense path re-ran two full phases on a cloned model.
+//! where the old dense path re-ran two full phases on a cloned model. Warm
+//! children inherit the **sparse Markowitz factorization** transparently:
+//! restoring a parent basis is one sparse refactorization
+//! ([`crate::factor::SparseLu`], O(nnz + fill) instead of O(m³)) and the
+//! dual pivots run on hyper-sparse FTRAN/BTRAN, so deep dives on wide
+//! models no longer pay dense linear algebra per node. Set
+//! [`SimplexOptions::dense_lu`] in [`MipSolver::simplex_options`] to pin a
+//! whole branch-and-bound run to the dense oracle backend.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -1,24 +1,42 @@
-//! Revised simplex with a factorized basis.
+//! Revised simplex on a sparse Markowitz-factorized basis.
 //!
 //! Where the dense tableau ([`crate::simplex::dense`]) re-eliminates the whole
 //! `m × (n + m)` tableau on every pivot, the revised simplex keeps three much
 //! smaller objects and derives everything else on demand:
 //!
-//! * the constraint matrix `A` in **sparse column** form, built once;
-//! * a dense **LU factorization** (partial pivoting) of the basis matrix `B`
-//!   taken at the last refactorization;
+//! * the constraint matrix `A` in **sparse column and row** form, built once;
+//! * a **sparse Markowitz LU** of the basis matrix `B` taken at the last
+//!   refactorization ([`crate::factor::SparseLu`]): pivots chosen by minimum
+//!   fill-in under a stability threshold, `L` stored as eta-like column
+//!   factors, `U` as a sparse row/column structure. MinCost standard forms
+//!   carry a handful of nonzeros per column, so the factors stay near the
+//!   size of `B` itself instead of the dense O(m³)/O(m²) sweeps;
 //! * an **eta file**: the product-form updates accumulated since then. After a
 //!   pivot that replaces basis row `r` with column `q`, the new basis is
 //!   `B' = B · E` where `E` is the identity with column `r` replaced by
-//!   `w = B⁻¹ a_q`. Only the sparse `w` (one [`Eta`]) is stored; `B'⁻¹` is
-//!   never formed.
+//!   `w = B⁻¹ a_q`. Only the sparse `w` is stored; `B'⁻¹` is never formed.
 //!
-//! `FTRAN` (solve `B x = v`) applies the LU solve and then each eta inverse in
-//! order; `BTRAN` (solve `Bᵀ y = v`) applies the eta transposes in reverse and
-//! then the LU transpose solve. Every [`REFACTOR_EVERY`] pivots the eta file
-//! is folded into a fresh LU of the current basis and the basic values are
-//! recomputed from scratch, which bounds both the per-iteration cost and the
-//! accumulated floating-point drift.
+//! `FTRAN` (solve `B x = v`) and `BTRAN` (solve `Bᵀ y = v`) are
+//! **hyper-sparse**: right-hand sides travel as indexed sparse vectors
+//! ([`crate::factor::SparseVector`]), the triangular sweeps visit only the
+//! nonzeros reachable from the input's support (depth-first over the factor
+//! graph), and etas whose pivot is off-support are skipped outright. The
+//! downstream loops — ratio tests, basic-value updates, eta construction —
+//! iterate the support too, so one iteration costs O(entries touched). All
+//! scratch lives in the factorization and the solver state; no per-call
+//! allocation survives on the hot path. Every [`REFACTOR_EVERY`] pivots the
+//! eta file is folded into a fresh LU, bounding per-iteration cost and
+//! floating-point drift. The pre-rewrite dense LU remains available as a
+//! differential oracle via [`SimplexOptions::dense_lu`] (or the `dense-lu`
+//! crate feature).
+//!
+//! Pricing is **partial with a rotating candidate section**: each primal
+//! iteration scans a section of the nonbasic columns (Dantzig within the
+//! section) and only walks further sections when the current one has no
+//! violating column, so wide models stop paying O(n · nnz) per pivot; a full
+//! wrap with no candidate proves optimality, and Bland's rule (after
+//! `bland_after` pivots) reverts to a full lowest-index scan, keeping the
+//! anti-cycling argument intact.
 //!
 //! Variable bounds are handled **natively**: each column carries `[l, u]` and
 //! a nonbasic status (at lower, at upper, or free at zero), so general bounds
@@ -26,36 +44,55 @@
 //! explicit upper-bound rows. Phase 1 uses one fixed artificial column per row
 //! whose bounds are temporarily relaxed to cover the initial residual; at a
 //! zero phase-1 optimum the artificials are pinned back to `[0, 0]` and phase
-//! 2 prices the real objective (Dantzig, falling back to Bland's rule after
-//! `bland_after` pivots, exactly like the dense solver).
+//! 2 prices the real objective.
 //!
 //! The second entry point, [`RevisedLp::solve_node`], is what makes branch &
 //! bound cheap: given the **optimal basis of a parent node** and a tightened
-//! variable bound, it restores the basis (one refactorization), which is still
-//! dual feasible, and runs the **dual simplex** on the handful of rows the
-//! bound change made primal infeasible. When the warm path hits numerical
-//! trouble it falls back to a cold primal solve, so warm starts are purely a
-//! performance optimization, never a correctness risk.
+//! variable bound, it restores the basis (one sparse refactorization), which
+//! is still dual feasible, and runs the **dual simplex** on the handful of
+//! rows the bound change made primal infeasible. When the warm path hits
+//! numerical trouble it falls back to a cold primal solve, so warm starts are
+//! purely a performance optimization, never a correctness risk.
 
-// The factorization and pivot kernels are written index-first to mirror the
-// textbook linear algebra (triangular sweeps over `lu[r * m + k]`, parallel
-// walks of `w`/`xb`/`basis`); iterator rewrites obscure the math for no
-// performance gain.
+// The pivot kernels are written index-first to mirror the textbook linear
+// algebra (parallel walks of `w`/`xb`/`basis`); iterator rewrites obscure the
+// math for no performance gain.
 #![allow(clippy::needless_range_loop)]
 
+use std::mem;
 use std::sync::Arc;
 
 use crate::error::LpResult;
+use crate::factor::{FactorStats, Factorization, SparseVector, MIN_PIVOT};
 use crate::model::{Model, Relation, Sense, VarId};
 use crate::simplex::SimplexOptions;
 use crate::solution::LpStatus;
 
 /// Number of eta updates accumulated before the basis is refactorized.
 const REFACTOR_EVERY: usize = 48;
-/// Smallest pivot magnitude accepted during elimination / basis changes.
-const MIN_PIVOT: f64 = 1e-9;
-/// Entries below this magnitude are treated as numerical zero.
-const ZERO_TOL: f64 = 1e-11;
+/// Coefficients below this magnitude are dropped when merging duplicate
+/// standard-form terms. (Exact `== 0.0` filtering would keep numerically
+/// meaningless residues like `1e-300` from cancelling inputs in the matrix.)
+const COEFF_EPS: f64 = 1e-12;
+/// Row-residual drift above which extraction refactorizes before reading the
+/// point, and the floor of the phase-1 infeasibility verdict.
+const DRIFT_TOL: f64 = 1e-7;
+/// Dual ratio test: pivot coefficients at or below this are ineligible.
+const DUAL_ALPHA_TOL: f64 = 1e-9;
+/// Tie window of the dual min-ratio comparison (kept tighter than the primal
+/// tolerance so index tie-breaks stay deterministic).
+const DUAL_RATIO_TIE: f64 = 1e-12;
+/// Minimum pivot magnitude for a column replacing a basic artificial.
+const ARTIFICIAL_PIVOT_TOL: f64 = 1e-7;
+/// Partial pricing: smallest section of nonbasic columns scanned per
+/// iteration...
+const PRICING_MIN_SECTION: usize = 64;
+/// ...and the divisor deriving the section from the column count (a section
+/// is `max(PRICING_MIN_SECTION, n / PRICING_SECTIONS)`).
+const PRICING_SECTIONS: usize = 8;
+/// Below this many columns the full Dantzig scan is cheap and picks globally
+/// best entering columns; partial sections only pay off on wide models.
+const PRICING_FULL_SCAN_BELOW: usize = 512;
 
 /// Nonbasic / basic status of one column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +117,13 @@ pub struct BasisSnapshot {
     status: Vec<ColStatus>,
 }
 
+impl BasisSnapshot {
+    /// The basic column (standard-form index) of each row.
+    pub fn basic_columns(&self) -> &[usize] {
+        &self.basis
+    }
+}
+
 /// Outcome of one revised-simplex solve, in the model's variable space.
 #[derive(Debug, Clone)]
 pub struct RevisedOutcome {
@@ -94,259 +138,11 @@ pub struct RevisedOutcome {
     /// instead of pivoted (no basis change, no eta). Each flip replaces what
     /// would otherwise be a full dual pivot on box-heavy models.
     pub bound_flips: usize,
+    /// Factorization counters: refactorizations, LU fill-in at the last
+    /// refactorization, and the hyper-sparse FTRAN/BTRAN hit rate.
+    pub factor_stats: FactorStats,
     /// Optimal basis, reusable for warm-started re-solves.
     pub basis: Option<Arc<BasisSnapshot>>,
-}
-
-/// One product-form update: basis column `pivot` was replaced by the column
-/// whose FTRAN image is `w`; `w[pivot]` is stored separately as `pivot_value`.
-#[derive(Debug, Clone)]
-struct Eta {
-    pivot: usize,
-    pivot_value: f64,
-    /// Sparse off-pivot entries of `w`.
-    entries: Vec<(usize, f64)>,
-}
-
-/// Dense LU factors of the basis at the last refactorization, plus the eta
-/// file accumulated since.
-///
-/// The factors are stored **physically permuted** (row `k` of `lu` is the
-/// `k`-th pivot row), so the triangular solves stream through memory
-/// contiguously; `row_perm` only permutes the right-hand side.
-#[derive(Debug, Clone, Default)]
-struct Factorization {
-    m: usize,
-    /// Combined `L` (unit diagonal, strictly below) and `U` (on/above),
-    /// row-major in pivot order. Empty when `diag` is active.
-    lu: Vec<f64>,
-    /// Diagonal factor fast path: a basis of unit columns (the cold
-    /// all-slack/artificial start) is a signed permutation, so both solves
-    /// are O(m) divides instead of O(m²) triangular sweeps — and since basis
-    /// *progress* lives in the eta file, whole solves often never need the
-    /// dense factors at all.
-    diag: Option<Vec<f64>>,
-    /// `row_perm[k]` is the original row index selected as the `k`-th pivot.
-    row_perm: Vec<usize>,
-    etas: Vec<Eta>,
-    /// Scratch for the triangular solves (avoids per-call allocation).
-    scratch: Vec<f64>,
-}
-
-impl Factorization {
-    /// Factorizes the basis matrix given by `basis` (column indices into
-    /// `cols`). Returns `false` when the basis is numerically singular.
-    fn refactorize(&mut self, m: usize, cols: &[Vec<(usize, f64)>], basis: &[usize]) -> bool {
-        self.m = m;
-        self.etas.clear();
-        self.scratch.resize(m, 0.0);
-        self.diag = None;
-        if m == 0 {
-            self.lu.clear();
-            self.row_perm.clear();
-            return true;
-        }
-        // Fast path: a basis of unit columns (the cold all-slack/artificial
-        // start) is a signed permutation — its factorization is a diagonal.
-        if self.try_unit_factorization(m, cols, basis) {
-            return true;
-        }
-        self.lu.clear();
-        self.lu.resize(m * m, 0.0);
-        let mut perm: Vec<usize> = (0..m).collect();
-        for (k, &col) in basis.iter().enumerate() {
-            for &(row, value) in &cols[col] {
-                self.lu[row * m + k] = value;
-            }
-        }
-        // Plain dense LU with partial pivoting; m is tens-to-hundreds here.
-        for k in 0..m {
-            let mut best_row = k;
-            let mut best_mag = self.lu[perm[k] * m + k].abs();
-            for r in k + 1..m {
-                let mag = self.lu[perm[r] * m + k].abs();
-                if mag > best_mag {
-                    best_mag = mag;
-                    best_row = r;
-                }
-            }
-            if best_mag < MIN_PIVOT {
-                return false;
-            }
-            perm.swap(k, best_row);
-            let pivot_row = perm[k];
-            let pivot = self.lu[pivot_row * m + k];
-            for r in k + 1..m {
-                let row = perm[r];
-                let factor = self.lu[row * m + k] / pivot;
-                if factor != 0.0 {
-                    self.lu[row * m + k] = factor;
-                    for c in k + 1..m {
-                        self.lu[row * m + c] -= factor * self.lu[pivot_row * m + c];
-                    }
-                } else {
-                    self.lu[row * m + k] = 0.0;
-                }
-            }
-        }
-        // Store the factors physically in pivot order so the hot solves are
-        // contiguous; only the RHS needs permuting from here on.
-        let mut permuted = vec![0.0; m * m];
-        for (k, &row) in perm.iter().enumerate() {
-            permuted[k * m..(k + 1) * m].copy_from_slice(&self.lu[row * m..(row + 1) * m]);
-        }
-        self.lu = permuted;
-        self.row_perm = perm;
-        true
-    }
-
-    /// Detects a basis made purely of unit columns and fills the trivial
-    /// diagonal factorization directly. Returns `false` when the basis is
-    /// general.
-    fn try_unit_factorization(
-        &mut self,
-        m: usize,
-        cols: &[Vec<(usize, f64)>],
-        basis: &[usize],
-    ) -> bool {
-        let mut perm = vec![usize::MAX; m]; // pivot order -> original row
-        let mut diag = vec![0.0; m];
-        let mut claimed = vec![false; m];
-        for (k, &col) in basis.iter().enumerate() {
-            let [(row, value)] = cols[col][..] else {
-                return false;
-            };
-            if claimed[row] || value.abs() < MIN_PIVOT {
-                return false;
-            }
-            claimed[row] = true;
-            perm[k] = row;
-            diag[k] = value;
-        }
-        self.lu.clear();
-        self.diag = Some(diag);
-        self.row_perm = perm;
-        true
-    }
-
-    /// FTRAN: overwrites `v` with `B⁻¹ v`.
-    fn ftran(&mut self, v: &mut [f64]) {
-        let m = self.m;
-        if m == 0 {
-            return;
-        }
-        // LU solve: with P B₀ = L U, x = U⁻¹ L⁻¹ P v.
-        let w = &mut self.scratch;
-        if let Some(diag) = &self.diag {
-            for k in 0..m {
-                w[k] = v[self.row_perm[k]] / diag[k];
-            }
-        } else {
-            for k in 0..m {
-                w[k] = v[self.row_perm[k]];
-            }
-            for k in 0..m {
-                let wk = w[k];
-                if wk != 0.0 {
-                    for r in k + 1..m {
-                        let l = self.lu[r * m + k];
-                        if l != 0.0 {
-                            w[r] -= l * wk;
-                        }
-                    }
-                }
-            }
-            for k in (0..m).rev() {
-                let row = &self.lu[k * m..(k + 1) * m];
-                let mut s = w[k];
-                for c in k + 1..m {
-                    let u = row[c];
-                    if u != 0.0 {
-                        s -= u * w[c];
-                    }
-                }
-                w[k] = s / row[k];
-            }
-        }
-        v.copy_from_slice(w);
-        // Eta file, oldest first: B = B₀ E₁ … E_k ⇒ B⁻¹ = E_k⁻¹ … E₁⁻¹ B₀⁻¹.
-        for eta in &self.etas {
-            let t = v[eta.pivot] / eta.pivot_value;
-            v[eta.pivot] = t;
-            if t != 0.0 {
-                for &(row, value) in &eta.entries {
-                    v[row] -= value * t;
-                }
-            }
-        }
-    }
-
-    /// BTRAN: overwrites `v` with `B⁻ᵀ v`.
-    fn btran(&mut self, v: &mut [f64]) {
-        let m = self.m;
-        if m == 0 {
-            return;
-        }
-        // Eta transposes, newest first.
-        for eta in self.etas.iter().rev() {
-            let mut s = v[eta.pivot];
-            for &(row, value) in &eta.entries {
-                s -= value * v[row];
-            }
-            v[eta.pivot] = s / eta.pivot_value;
-        }
-        // LU transpose solve: B₀ᵀ y = v with B₀ = Pᵀ L U ⇒ y = Pᵀ L⁻ᵀ U⁻ᵀ v.
-        let z = &mut self.scratch;
-        if let Some(diag) = &self.diag {
-            for k in 0..m {
-                z[k] = v[k] / diag[k];
-            }
-        } else {
-            // Forward solve Uᵀ z = v (Uᵀ is lower triangular).
-            for k in 0..m {
-                let mut s = v[k];
-                for c in 0..k {
-                    let u = self.lu[c * m + k];
-                    if u != 0.0 {
-                        s -= u * z[c];
-                    }
-                }
-                z[k] = s / self.lu[k * m + k];
-            }
-            // Back solve Lᵀ t = z (unit diagonal), in place in z.
-            for k in (0..m).rev() {
-                let zk = z[k];
-                if zk != 0.0 {
-                    let row = &self.lu[k * m..(k + 1) * m];
-                    for c in 0..k {
-                        let l = row[c];
-                        if l != 0.0 {
-                            z[c] -= l * zk;
-                        }
-                    }
-                }
-            }
-        }
-        for k in 0..m {
-            v[self.row_perm[k]] = z[k];
-        }
-    }
-
-    /// Appends the product-form update for a pivot on `row` with FTRAN image
-    /// `w` of the entering column.
-    fn push_eta(&mut self, row: usize, w: &[f64]) {
-        let entries: Vec<(usize, f64)> = w
-            .iter()
-            .enumerate()
-            .filter(|&(i, &v)| i != row && v.abs() > ZERO_TOL)
-            .map(|(i, &v)| (i, v))
-            .collect();
-        self.etas.push(Eta {
-            pivot: row,
-            pivot_value: w[row],
-            entries,
-        });
-    }
 }
 
 /// The fixed, sparse standard form of one model:
@@ -364,6 +160,10 @@ pub struct RevisedLp {
     /// Total columns including slacks and artificials (`n_struct + 2 m`).
     n_total: usize,
     cols: Vec<Vec<(usize, f64)>>,
+    /// Row-wise mirror of `cols` (`rows[r]` lists `(col, coeff)`): the dual
+    /// simplex prices candidates by walking only the rows in the BTRAN
+    /// image's support instead of dotting every column.
+    rows: Vec<Vec<(usize, f64)>>,
     /// Phase-2 costs in minimize space (zeros on slacks and artificials).
     cost: Vec<f64>,
     base_lower: Vec<f64>,
@@ -419,7 +219,7 @@ impl RevisedLp {
                     _ => merged.push((row, coeff)),
                 }
             }
-            merged.retain(|&(_, coeff)| coeff != 0.0);
+            merged.retain(|&(_, coeff)| coeff.abs() > COEFF_EPS);
             *col = merged;
         }
 
@@ -453,11 +253,19 @@ impl RevisedLp {
             base_upper[art] = 0.0;
         }
 
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, a) in col {
+                rows[r].push((j, a));
+            }
+        }
+
         Ok(RevisedLp {
             m,
             n_struct,
             n_total,
             cols,
+            rows,
             cost,
             base_lower,
             base_upper,
@@ -469,6 +277,21 @@ impl RevisedLp {
     /// Number of constraint rows of the standard form.
     pub fn num_rows(&self) -> usize {
         self.m
+    }
+
+    /// Number of standard-form columns (model variables, slacks,
+    /// artificials).
+    pub fn num_cols(&self) -> usize {
+        self.n_total
+    }
+
+    /// The sparse standard-form columns, `[model vars | slacks |
+    /// artificials]`. Together with [`BasisSnapshot::basic_columns`] this is
+    /// everything a factorization backend needs, which is how the
+    /// differential suite and the `lp_large` bench drive
+    /// [`crate::factor::SparseLu`] / [`crate::factor::DenseLu`] directly.
+    pub fn standard_form_columns(&self) -> &[Vec<(usize, f64)>] {
+        &self.cols
     }
 
     /// Whether the underlying model minimizes.
@@ -509,6 +332,7 @@ impl RevisedLp {
                     values: vec![],
                     iterations: 0,
                     bound_flips: 0,
+                    factor_stats: FactorStats::default(),
                     basis: None,
                 };
             }
@@ -525,15 +349,7 @@ impl RevisedLp {
                 let status = state.dual_simplex();
                 match status {
                     InnerStatus::Optimal => return self.extract(state, LpStatus::Optimal),
-                    InnerStatus::Infeasible => {
-                        return RevisedOutcome {
-                            status: LpStatus::Infeasible,
-                            values: vec![],
-                            iterations: state.iterations,
-                            bound_flips: state.flips,
-                            basis: None,
-                        }
-                    }
+                    InnerStatus::Infeasible => return state.failed(LpStatus::Infeasible),
                     // Unbounded cannot arise from a dual-feasible start with
                     // unchanged costs; treat it, limits and instability as a
                     // reason to re-solve cold.
@@ -554,63 +370,27 @@ impl RevisedLp {
                 // Phase 1 minimizes a sum of absolute values, which is
                 // bounded below, so anything but Optimal here is an iteration
                 // cap or numerical trouble; both surface as IterationLimit.
-                _ => {
-                    return RevisedOutcome {
-                        status: LpStatus::IterationLimit,
-                        values: vec![],
-                        iterations: state.iterations,
-                        bound_flips: state.flips,
-                        basis: None,
-                    }
-                }
+                _ => return state.failed(LpStatus::IterationLimit),
             }
             let infeasibility = state.phase1_infeasibility(&phase1_cost);
-            if infeasibility > options.tol.max(1e-7) {
-                return RevisedOutcome {
-                    status: LpStatus::Infeasible,
-                    values: vec![],
-                    iterations: state.iterations,
-                    bound_flips: state.flips,
-                    basis: None,
-                };
+            if infeasibility > options.tol.max(DRIFT_TOL) {
+                return state.failed(LpStatus::Infeasible);
             }
             if !state.retire_artificials() {
                 // The factorization is unusable (singular refactorization);
                 // surface the solve as inconclusive rather than running phase
                 // 2 on corrupted factors.
-                return RevisedOutcome {
-                    status: LpStatus::IterationLimit,
-                    values: vec![],
-                    iterations: state.iterations,
-                    bound_flips: state.flips,
-                    basis: None,
-                };
+                return state.failed(LpStatus::IterationLimit);
             }
         }
         let cost = self.cost.clone();
         match state.primal_simplex(&cost) {
             InnerStatus::Optimal => self.extract(&mut state, LpStatus::Optimal),
-            InnerStatus::Unbounded => RevisedOutcome {
-                status: LpStatus::Unbounded,
-                values: vec![],
-                iterations: state.iterations,
-                bound_flips: state.flips,
-                basis: None,
-            },
-            InnerStatus::Infeasible => RevisedOutcome {
-                status: LpStatus::Infeasible,
-                values: vec![],
-                iterations: state.iterations,
-                bound_flips: state.flips,
-                basis: None,
-            },
-            InnerStatus::IterationLimit | InnerStatus::Unstable => RevisedOutcome {
-                status: LpStatus::IterationLimit,
-                values: vec![],
-                iterations: state.iterations,
-                bound_flips: state.flips,
-                basis: None,
-            },
+            InnerStatus::Unbounded => state.failed(LpStatus::Unbounded),
+            InnerStatus::Infeasible => state.failed(LpStatus::Infeasible),
+            InnerStatus::IterationLimit | InnerStatus::Unstable => {
+                state.failed(LpStatus::IterationLimit)
+            }
         }
     }
 
@@ -618,10 +398,11 @@ impl RevisedLp {
     /// state.
     fn extract(&self, state: &mut SolverState<'_>, status: LpStatus) -> RevisedOutcome {
         // Guard against eta-file drift: check the row residuals `A x − b` in
-        // O(nnz) and only pay the O(m³) refactorization + recompute when the
-        // point actually drifted. The differential suite against the dense
-        // tableau pins the resulting tolerance.
-        if state.max_residual() > 1e-7 && state.factor.refactorize(self.m, &self.cols, &state.basis)
+        // O(nnz) and only pay the refactorization + recompute when the point
+        // actually drifted. The differential suite against the dense tableau
+        // pins the resulting tolerance.
+        if state.max_residual() > DRIFT_TOL
+            && state.factor.refactorize(self.m, &self.cols, &state.basis)
         {
             state.compute_xb();
         }
@@ -643,12 +424,14 @@ impl RevisedLp {
             values,
             iterations: state.iterations,
             bound_flips: state.flips,
+            factor_stats: state.factor.stats,
             basis: Some(Arc::new(snapshot)),
         }
     }
 }
 
-/// Mutable state of one solve: working bounds, statuses, basis, factorization.
+/// Mutable state of one solve: working bounds, statuses, basis, factorization
+/// and the hoisted sparse scratch vectors of the pivot loops.
 struct SolverState<'a> {
     lp: &'a RevisedLp,
     options: &'a SimplexOptions,
@@ -662,9 +445,44 @@ struct SolverState<'a> {
     flips: usize,
     needs_phase1: bool,
     phase1_cost: Vec<f64>,
+    /// Rotating partial-pricing cursor (persists across iterations so
+    /// sections take turns).
+    price_cursor: usize,
+    // Hoisted scratch (one allocation per solve, reused by every iteration).
+    y: SparseVector,
+    w: SparseVector,
+    rho: SparseVector,
+    alpha: SparseVector,
+    aux: SparseVector,
 }
 
 impl<'a> SolverState<'a> {
+    fn empty(lp: &'a RevisedLp, options: &'a SimplexOptions) -> SolverState<'a> {
+        SolverState {
+            lp,
+            options,
+            lower: Vec::new(),
+            upper: Vec::new(),
+            status: Vec::new(),
+            basis: Vec::new(),
+            xb: vec![0.0; lp.m],
+            factor: Factorization::new(options.dense_lu),
+            iterations: 0,
+            flips: 0,
+            needs_phase1: false,
+            phase1_cost: Vec::new(),
+            price_cursor: 0,
+            // Scratch vectors start empty and grow on first use
+            // (`SparseVector::reset`), so each path of a solve only pays for
+            // the buffers it actually touches.
+            y: SparseVector::default(),
+            w: SparseVector::default(),
+            rho: SparseVector::default(),
+            alpha: SparseVector::default(),
+            aux: SparseVector::default(),
+        }
+    }
+
     /// Builds the initial all-slack / artificial basis for a cold solve.
     fn cold(
         lp: &'a RevisedLp,
@@ -673,20 +491,12 @@ impl<'a> SolverState<'a> {
         options: &'a SimplexOptions,
     ) -> SolverState<'a> {
         let m = lp.m;
-        let mut state = SolverState {
-            lp,
-            options,
-            lower: lower.to_vec(),
-            upper: upper.to_vec(),
-            status: vec![ColStatus::AtLower; lp.n_total],
-            basis: vec![0; m],
-            xb: vec![0.0; m],
-            factor: Factorization::default(),
-            iterations: 0,
-            flips: 0,
-            needs_phase1: false,
-            phase1_cost: vec![0.0; lp.n_total],
-        };
+        let mut state = SolverState::empty(lp, options);
+        state.lower = lower.to_vec();
+        state.upper = upper.to_vec();
+        state.status = vec![ColStatus::AtLower; lp.n_total];
+        state.basis = vec![0; m];
+        state.phase1_cost = vec![0.0; lp.n_total];
         // Nonbasic structural variables rest on a finite bound (or zero).
         for j in 0..lp.n_total {
             state.status[j] = if state.lower[j].is_finite() {
@@ -734,8 +544,8 @@ impl<'a> SolverState<'a> {
                 state.needs_phase1 = true;
             }
         }
-        // The initial basis is a signed permutation of unit columns; the
-        // generic LU handles it directly.
+        // The initial basis is a signed permutation of unit columns, which
+        // both backends factorize trivially (zero fill).
         let ok = state.factor.refactorize(m, &lp.cols, &state.basis);
         debug_assert!(ok, "unit-column start basis cannot be singular");
         state
@@ -754,20 +564,11 @@ impl<'a> SolverState<'a> {
         if snapshot.basis.len() != lp.m || snapshot.status.len() != lp.n_total {
             return None;
         }
-        let mut state = SolverState {
-            lp,
-            options,
-            lower: lower.to_vec(),
-            upper: upper.to_vec(),
-            status: snapshot.status.clone(),
-            basis: snapshot.basis.clone(),
-            xb: vec![0.0; lp.m],
-            factor: Factorization::default(),
-            iterations: 0,
-            flips: 0,
-            needs_phase1: false,
-            phase1_cost: vec![0.0; lp.n_total],
-        };
+        let mut state = SolverState::empty(lp, options);
+        state.lower = lower.to_vec();
+        state.upper = upper.to_vec();
+        state.status = snapshot.status.clone();
+        state.basis = snapshot.basis.clone();
         // Re-anchor nonbasic statuses onto the (possibly moved) bounds.
         for j in 0..lp.n_total {
             match state.status[j] {
@@ -796,6 +597,19 @@ impl<'a> SolverState<'a> {
         Some(state)
     }
 
+    /// A non-optimal outcome carrying the iteration and factorization
+    /// counters of this state.
+    fn failed(&self, status: LpStatus) -> RevisedOutcome {
+        RevisedOutcome {
+            status,
+            values: vec![],
+            iterations: self.iterations,
+            bound_flips: self.flips,
+            factor_stats: self.factor.stats,
+            basis: None,
+        }
+    }
+
     /// Current value of a column: basic values live in `xb`, nonbasic ones on
     /// their bound.
     fn column_value(&self, j: usize) -> f64 {
@@ -814,7 +628,13 @@ impl<'a> SolverState<'a> {
 
     /// Recomputes the basic values `x_B = B⁻¹ (b − N x_N)` from scratch.
     fn compute_xb(&mut self) {
-        let mut v = self.lp.rhs.clone();
+        let mut v = mem::take(&mut self.aux);
+        v.reset(self.lp.m);
+        for (r, &b) in self.lp.rhs.iter().enumerate() {
+            if b != 0.0 {
+                v.set(r, b);
+            }
+        }
         for j in 0..self.lp.n_total {
             if self.status[j] == ColStatus::Basic {
                 continue;
@@ -822,12 +642,15 @@ impl<'a> SolverState<'a> {
             let value = self.column_value(j);
             if value != 0.0 {
                 for &(r, a) in &self.lp.cols[j] {
-                    v[r] -= a * value;
+                    v.add(r, -a * value);
                 }
             }
         }
         self.factor.ftran(&mut v);
-        self.xb = v;
+        for i in 0..self.lp.m {
+            self.xb[i] = v.get(i);
+        }
+        self.aux = v;
     }
 
     /// Largest row residual `|A x − b|` of the current point, in O(nnz).
@@ -869,10 +692,10 @@ impl<'a> SolverState<'a> {
     }
 
     /// Reduced cost of column `j` given the BTRAN image `y` of `c_B`.
-    fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+    fn reduced_cost(&self, cost: &[f64], y: &SparseVector, j: usize) -> f64 {
         let mut d = cost[j];
         for &(r, a) in &self.lp.cols[j] {
-            d -= y[r] * a;
+            d -= y.get(r) * a;
         }
         d
     }
@@ -896,6 +719,22 @@ impl<'a> SolverState<'a> {
     /// Returns `false` when a refactorization found the basis singular — the
     /// factorization is then unusable and the caller must abandon the solve.
     fn retire_artificials(&mut self) -> bool {
+        let mut rho = mem::take(&mut self.rho);
+        let mut w = mem::take(&mut self.w);
+        let mut alpha = mem::take(&mut self.alpha);
+        let ok = self.retire_artificials_inner(&mut rho, &mut w, &mut alpha);
+        self.rho = rho;
+        self.w = w;
+        self.alpha = alpha;
+        ok
+    }
+
+    fn retire_artificials_inner(
+        &mut self,
+        rho: &mut SparseVector,
+        w: &mut SparseVector,
+        alpha: &mut SparseVector,
+    ) -> bool {
         let art_start = self.lp.n_struct + self.lp.m;
         for j in art_start..self.lp.n_total {
             self.lower[j] = 0.0;
@@ -908,31 +747,46 @@ impl<'a> SolverState<'a> {
             if self.basis[r] < art_start {
                 continue;
             }
-            // Row r of B⁻¹.
-            let mut rho = vec![0.0; self.lp.m];
-            rho[r] = 1.0;
-            self.factor.btran(&mut rho);
+            // Row r of B⁻¹, then α_j = ρᵀ a_j accumulated row-wise over ρ's
+            // support (same kernel as the dual ratio test): the smallest
+            // nonbasic real column with a usable pivot replaces the
+            // artificial.
+            rho.reset(self.lp.m);
+            rho.set(r, 1.0);
+            self.factor.btran(rho);
+            alpha.reset(self.lp.n_total);
+            for &row in rho.nonzeros() {
+                let x = rho.get(row);
+                if x == 0.0 {
+                    continue;
+                }
+                for &(j, a) in &self.lp.rows[row] {
+                    if j < art_start {
+                        alpha.add(j, x * a);
+                    }
+                }
+            }
             let mut replacement: Option<usize> = None;
-            for j in 0..art_start {
+            for &j in alpha.nonzeros() {
                 if self.status[j] == ColStatus::Basic {
                     continue;
                 }
-                let alpha: f64 = self.lp.cols[j].iter().map(|&(i, a)| rho[i] * a).sum();
-                if alpha.abs() > 1e-7 {
+                if alpha.get(j).abs() > ARTIFICIAL_PIVOT_TOL
+                    && replacement.is_none_or(|best| j < best)
+                {
                     replacement = Some(j);
-                    break;
                 }
             }
             let Some(q) = replacement else {
                 // Redundant row: the artificial stays basic at zero.
                 continue;
             };
-            let mut w = vec![0.0; self.lp.m];
+            w.reset(self.lp.m);
             for &(i, a) in &self.lp.cols[q] {
-                w[i] = a;
+                w.set(i, a);
             }
-            self.factor.ftran(&mut w);
-            if w[r].abs() < MIN_PIVOT {
+            self.factor.ftran(w);
+            if w.get(r).abs() < MIN_PIVOT {
                 continue;
             }
             // Degenerate swap: the artificial sits exactly at zero, so the
@@ -943,8 +797,8 @@ impl<'a> SolverState<'a> {
             self.basis[r] = q;
             self.status[q] = ColStatus::Basic;
             self.xb[r] = entering_value;
-            self.factor.push_eta(r, &w);
-            if self.factor.etas.len() >= REFACTOR_EVERY && !self.refresh_factorization() {
+            self.factor.push_eta(r, w);
+            if self.factor.eta_count() >= REFACTOR_EVERY && !self.refresh_factorization() {
                 return false;
             }
         }
@@ -952,64 +806,142 @@ impl<'a> SolverState<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Pricing.
+    // ------------------------------------------------------------------
+
+    /// Reduced-cost check of one nonbasic column: `Some((j, score,
+    /// increase))` when it violates dual feasibility.
+    fn price_one(
+        &self,
+        cost: &[f64],
+        y: &SparseVector,
+        j: usize,
+        tol: f64,
+    ) -> Option<(usize, f64, bool)> {
+        let eligible_dir = match self.status[j] {
+            ColStatus::Basic => return None,
+            // Fixed columns can never move.
+            _ if self.lower[j] == self.upper[j] && self.status[j] != ColStatus::Free => {
+                return None
+            }
+            ColStatus::AtLower => Some(true),
+            ColStatus::AtUpper => Some(false),
+            ColStatus::Free => None,
+        };
+        let d = self.reduced_cost(cost, y, j);
+        let (violates, increase, score) = match eligible_dir {
+            Some(true) => (d < -tol, true, -d),
+            Some(false) => (d > tol, false, d),
+            None => (d.abs() > tol, d < 0.0, d.abs()),
+        };
+        if violates {
+            Some((j, score, increase))
+        } else {
+            None
+        }
+    }
+
+    /// Entering-column selection. Under Bland's rule this is a full
+    /// lowest-index scan (anti-cycling); otherwise **partial pricing**: scan
+    /// a rotating section of the columns and take the section's Dantzig
+    /// winner, walking further sections only while the current one is dry. A
+    /// full wrap without a violating column proves optimality.
+    fn price_entering(
+        &mut self,
+        cost: &[f64],
+        y: &SparseVector,
+        use_bland: bool,
+    ) -> Option<(usize, f64, bool)> {
+        let n = self.lp.n_total;
+        let tol = self.options.tol;
+        if use_bland {
+            for j in 0..n {
+                if let Some(candidate) = self.price_one(cost, y, j, tol) {
+                    return Some(candidate);
+                }
+            }
+            return None;
+        }
+        let section = if n < PRICING_FULL_SCAN_BELOW {
+            n // one section = the classic full Dantzig scan
+        } else {
+            (n / PRICING_SECTIONS).max(PRICING_MIN_SECTION)
+        };
+        let mut best: Option<(usize, f64, bool)> = None;
+        let mut scanned = 0;
+        while scanned < n {
+            let len = section.min(n - scanned);
+            for offset in 0..len {
+                let mut j = self.price_cursor + offset;
+                if j >= n {
+                    j -= n;
+                }
+                if let Some((j, score, increase)) = self.price_one(cost, y, j, tol) {
+                    if best.is_none_or(|(_, s, _)| score > s) {
+                        best = Some((j, score, increase));
+                    }
+                }
+            }
+            self.price_cursor += len;
+            if self.price_cursor >= n {
+                self.price_cursor -= n;
+            }
+            scanned += len;
+            if best.is_some() {
+                break;
+            }
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
     // Primal simplex (bounded variables).
     // ------------------------------------------------------------------
     fn primal_simplex(&mut self, cost: &[f64]) -> InnerStatus {
+        let mut y = mem::take(&mut self.y);
+        let mut w = mem::take(&mut self.w);
+        let status = self.primal_simplex_inner(cost, &mut y, &mut w);
+        self.y = y;
+        self.w = w;
+        status
+    }
+
+    fn primal_simplex_inner(
+        &mut self,
+        cost: &[f64],
+        y: &mut SparseVector,
+        w: &mut SparseVector,
+    ) -> InnerStatus {
         let m = self.lp.m;
         for local_iter in 0..self.options.max_iterations {
-            if self.factor.etas.len() >= REFACTOR_EVERY && !self.refresh_factorization() {
+            if self.factor.eta_count() >= REFACTOR_EVERY && !self.refresh_factorization() {
                 return InnerStatus::Unstable;
             }
             let use_bland = local_iter >= self.options.bland_after;
 
             // Pricing: y = B⁻ᵀ c_B, then reduced costs of nonbasic columns.
-            let mut y = vec![0.0; m];
+            y.reset(m);
             for (r, &col) in self.basis.iter().enumerate() {
-                y[r] = cost[col];
+                let c = cost[col];
+                if c != 0.0 {
+                    y.set(r, c);
+                }
             }
-            self.factor.btran(&mut y);
+            self.factor.btran(y);
 
             let tol = self.options.tol;
-            let mut entering: Option<(usize, f64, bool)> = None; // (col, score, increase)
-            for j in 0..self.lp.n_total {
-                let eligible_dir = match self.status[j] {
-                    ColStatus::Basic => continue,
-                    // Fixed columns can never move.
-                    _ if self.lower[j] == self.upper[j] && self.status[j] != ColStatus::Free => {
-                        continue
-                    }
-                    ColStatus::AtLower => Some(true),
-                    ColStatus::AtUpper => Some(false),
-                    ColStatus::Free => None,
-                };
-                let d = self.reduced_cost(cost, &y, j);
-                let (violates, increase, score) = match eligible_dir {
-                    Some(true) => (d < -tol, true, -d),
-                    Some(false) => (d > tol, false, d),
-                    None => (d.abs() > tol, d < 0.0, d.abs()),
-                };
-                if !violates {
-                    continue;
-                }
-                if use_bland {
-                    entering = Some((j, score, increase));
-                    break;
-                }
-                if entering.is_none_or(|(_, best, _)| score > best) {
-                    entering = Some((j, score, increase));
-                }
-            }
-            let Some((q, _, increase)) = entering else {
+            let Some((q, _, increase)) = self.price_entering(cost, y, use_bland) else {
                 return InnerStatus::Optimal;
             };
             let dir = if increase { 1.0 } else { -1.0 };
 
-            // FTRAN of the entering column.
-            let mut w = vec![0.0; m];
+            // FTRAN of the entering column (hyper-sparse: the ratio test and
+            // the updates below walk only the support of w).
+            w.reset(m);
             for &(r, a) in &self.lp.cols[q] {
-                w[r] = a;
+                w.set(r, a);
             }
-            self.factor.ftran(&mut w);
+            self.factor.ftran(w);
 
             // Ratio test: the entering column moves by t ≥ 0 in direction
             // `dir`; basic values change by −dir · w · t.
@@ -1020,8 +952,8 @@ impl<'a> SolverState<'a> {
                 f64::INFINITY
             };
             let mut leaving: Option<(usize, LeaveTo)> = None;
-            for i in 0..m {
-                let g = dir * w[i];
+            for &i in w.nonzeros() {
+                let g = dir * w.get(i);
                 if g.abs() <= tol {
                     continue;
                 }
@@ -1062,8 +994,8 @@ impl<'a> SolverState<'a> {
                 None => {
                     // Bound flip: the entering column crosses its whole range.
                     let t = best_t;
-                    for i in 0..m {
-                        let g = dir * w[i];
+                    for &i in w.nonzeros() {
+                        let g = dir * w.get(i);
                         if g != 0.0 {
                             self.xb[i] -= g * t;
                         }
@@ -1076,7 +1008,7 @@ impl<'a> SolverState<'a> {
                     self.iterations += 1;
                 }
                 Some((r, to)) => {
-                    if w[r].abs() < MIN_PIVOT {
+                    if w.get(r).abs() < MIN_PIVOT {
                         // Numerically unsafe pivot: fold the eta file and
                         // retry this iteration with fresh arithmetic.
                         if !self.refresh_factorization() {
@@ -1086,8 +1018,8 @@ impl<'a> SolverState<'a> {
                     }
                     let t = best_t;
                     let entering_value = self.column_value(q) + dir * t;
-                    for i in 0..m {
-                        let g = dir * w[i];
+                    for &i in w.nonzeros() {
+                        let g = dir * w.get(i);
                         if g != 0.0 {
                             self.xb[i] -= g * t;
                         }
@@ -1100,7 +1032,7 @@ impl<'a> SolverState<'a> {
                     self.basis[r] = q;
                     self.status[q] = ColStatus::Basic;
                     self.xb[r] = entering_value;
-                    self.factor.push_eta(r, &w);
+                    self.factor.push_eta(r, w);
                     self.iterations += 1;
                 }
             }
@@ -1112,13 +1044,36 @@ impl<'a> SolverState<'a> {
     // Dual simplex (warm re-solve after a bound change).
     // ------------------------------------------------------------------
     fn dual_simplex(&mut self) -> InnerStatus {
+        let mut y = mem::take(&mut self.y);
+        let mut w = mem::take(&mut self.w);
+        let mut rho = mem::take(&mut self.rho);
+        let mut alpha = mem::take(&mut self.alpha);
+        let mut wf = mem::take(&mut self.aux);
+        let status = self.dual_simplex_inner(&mut y, &mut w, &mut rho, &mut alpha, &mut wf);
+        self.y = y;
+        self.w = w;
+        self.rho = rho;
+        self.alpha = alpha;
+        self.aux = wf;
+        status
+    }
+
+    fn dual_simplex_inner(
+        &mut self,
+        y: &mut SparseVector,
+        w: &mut SparseVector,
+        rho: &mut SparseVector,
+        alpha: &mut SparseVector,
+        wf: &mut SparseVector,
+    ) -> InnerStatus {
         let m = self.lp.m;
         let tol = self.options.tol;
         let cost = &self.lp.cost;
         // Scratch for the bound-flipping ratio test, reused across pivots.
         let mut candidates: Vec<(usize, f64, f64)> = Vec::new(); // (col, alpha, ratio)
+        let mut bland_order: Vec<usize> = Vec::new();
         for local_iter in 0..self.options.max_iterations {
-            if self.factor.etas.len() >= REFACTOR_EVERY && !self.refresh_factorization() {
+            if self.factor.eta_count() >= REFACTOR_EVERY && !self.refresh_factorization() {
                 return InnerStatus::Unstable;
             }
             let use_bland = local_iter >= self.options.bland_after;
@@ -1148,49 +1103,76 @@ impl<'a> SolverState<'a> {
                 return InnerStatus::Optimal;
             };
 
-            // Row r of B⁻¹ and the reduced costs.
-            let mut rho = vec![0.0; m];
-            rho[r] = 1.0;
-            self.factor.btran(&mut rho);
-            let mut y = vec![0.0; m];
+            // Row r of B⁻¹ (hyper-sparse BTRAN of a unit vector) and the
+            // reduced-cost prices.
+            rho.reset(m);
+            rho.set(r, 1.0);
+            self.factor.btran(rho);
+            y.reset(m);
             for (i, &col) in self.basis.iter().enumerate() {
-                y[i] = cost[col];
+                let c = cost[col];
+                if c != 0.0 {
+                    y.set(i, c);
+                }
             }
-            self.factor.btran(&mut y);
+            self.factor.btran(y);
 
-            // Dual ratio test: keep reduced costs sign-feasible.
+            // Pivot-row coefficients α_j = ρᵀ a_j, accumulated row-wise over
+            // ρ's support so untouched columns are never visited.
+            alpha.reset(self.lp.n_total);
+            for &row in rho.nonzeros() {
+                let x = rho.get(row);
+                if x == 0.0 {
+                    continue;
+                }
+                for &(j, a) in &self.lp.rows[row] {
+                    alpha.add(j, x * a);
+                }
+            }
+
+            // Dual ratio test: keep reduced costs sign-feasible. Bland's rule
+            // needs the candidates in ascending column order; the Dantzig
+            // path is order-independent (strict tie-breaks on the index).
             candidates.clear();
             let mut entering: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
-            for j in 0..self.lp.n_total {
+            let columns: &[usize] = if use_bland {
+                bland_order.clear();
+                bland_order.extend_from_slice(alpha.nonzeros());
+                bland_order.sort_unstable();
+                &bland_order
+            } else {
+                alpha.nonzeros()
+            };
+            for &j in columns {
                 if self.status[j] == ColStatus::Basic {
                     continue;
                 }
                 if self.lower[j] == self.upper[j] && self.status[j] != ColStatus::Free {
                     continue; // fixed columns cannot absorb the change
                 }
-                let alpha: f64 = self.lp.cols[j].iter().map(|&(i, a)| rho[i] * a).sum();
-                if alpha.abs() <= 1e-9 {
+                let alpha_j = alpha.get(j);
+                if alpha_j.abs() <= DUAL_ALPHA_TOL {
                     continue;
                 }
                 let ok = match (to, self.status[j]) {
                     // x_B(r) must increase back to its lower bound.
-                    (LeaveTo::Lower, ColStatus::AtLower) => alpha < 0.0,
-                    (LeaveTo::Lower, ColStatus::AtUpper) => alpha > 0.0,
+                    (LeaveTo::Lower, ColStatus::AtLower) => alpha_j < 0.0,
+                    (LeaveTo::Lower, ColStatus::AtUpper) => alpha_j > 0.0,
                     // x_B(r) must decrease back to its upper bound.
-                    (LeaveTo::Upper, ColStatus::AtLower) => alpha > 0.0,
-                    (LeaveTo::Upper, ColStatus::AtUpper) => alpha < 0.0,
+                    (LeaveTo::Upper, ColStatus::AtLower) => alpha_j > 0.0,
+                    (LeaveTo::Upper, ColStatus::AtUpper) => alpha_j < 0.0,
                     (_, ColStatus::Free) => true,
                     (_, ColStatus::Basic) => unreachable!(),
                 };
                 if !ok {
                     continue;
                 }
-                let d = self.reduced_cost(cost, &y, j);
-                let ratio = d.abs() / alpha.abs();
+                let d = self.reduced_cost(cost, y, j);
+                let ratio = d.abs() / alpha_j.abs();
                 if !use_bland {
                     // Only the (rare) overshoot branch consumes the candidate
                     // list, and flips are disabled under Bland's rule.
-                    candidates.push((j, alpha, ratio));
+                    candidates.push((j, alpha_j, ratio));
                 }
                 let better = match entering {
                     None => true,
@@ -1198,13 +1180,13 @@ impl<'a> SolverState<'a> {
                         if use_bland {
                             ratio < best_ratio - tol
                         } else {
-                            ratio < best_ratio - 1e-12
-                                || (ratio <= best_ratio + 1e-12 && j < best_j)
+                            ratio < best_ratio - DUAL_RATIO_TIE
+                                || (ratio <= best_ratio + DUAL_RATIO_TIE && j < best_j)
                         }
                     }
                 };
                 if better {
-                    entering = Some((j, ratio, alpha));
+                    entering = Some((j, ratio, alpha_j));
                 }
             }
             let Some((q, _, alpha_q)) = entering else {
@@ -1245,40 +1227,42 @@ impl<'a> SolverState<'a> {
                 }
                 candidates.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
                 let mut chosen = None;
-                for &(j, alpha, _) in &candidates {
-                    if fits(self, j, alpha, residual) {
+                for &(j, alpha_j, _) in &candidates {
+                    if fits(self, j, alpha_j, residual) {
                         chosen = Some(j);
                         break;
                     }
                     let range = self.upper[j] - self.lower[j];
-                    let flip_delta = (residual / alpha).signum() * range;
+                    let flip_delta = (residual / alpha_j).signum() * range;
                     flips.push((j, flip_delta));
-                    residual -= alpha * flip_delta;
+                    residual -= alpha_j * flip_delta;
                 }
                 let Some(c) = chosen else {
                     // Every candidate flipped and the row is still out of
                     // bounds. In exact arithmetic this proves the dual ray
                     // improves forever (primal infeasible), but the candidate
-                    // filter dropped columns with |α| ≤ 1e-9 whose huge bound
-                    // ranges could in principle still absorb the residual —
-                    // so surface Unstable and let the caller prove the
-                    // verdict with a cold solve instead of pruning a
+                    // filter dropped columns with |α| ≤ DUAL_ALPHA_TOL whose
+                    // huge bound ranges could in principle still absorb the
+                    // residual — so surface Unstable and let the caller prove
+                    // the verdict with a cold solve instead of pruning a
                     // possibly-feasible subtree.
                     return InnerStatus::Unstable;
                 };
                 q = c;
             }
 
-            let mut w = vec![0.0; m];
+            w.reset(m);
             for &(i, a) in &self.lp.cols[q] {
-                w[i] = a;
+                w.set(i, a);
             }
-            self.factor.ftran(&mut w);
-            if w[r].abs() < MIN_PIVOT {
+            self.factor.ftran(w);
+            if w.get(r).abs() < MIN_PIVOT {
                 // With flips pending, retrying would double-apply them; a
                 // cold restart by the caller is the safe recovery. Without
                 // flips, fold the eta file and retry as before.
-                if !flips.is_empty() || self.factor.etas.is_empty() || !self.refresh_factorization()
+                if !flips.is_empty()
+                    || self.factor.eta_count() == 0
+                    || !self.refresh_factorization()
                 {
                     return InnerStatus::Unstable;
                 }
@@ -1290,10 +1274,10 @@ impl<'a> SolverState<'a> {
             // basic values is one FTRAN of the accumulated column sum, not
             // one FTRAN per flipped column.
             if !flips.is_empty() {
-                let mut wf = vec![0.0; m];
+                wf.reset(m);
                 for &(j, flip_delta) in &flips {
                     for &(i, a) in &self.lp.cols[j] {
-                        wf[i] += a * flip_delta;
+                        wf.add(i, a * flip_delta);
                     }
                     self.status[j] = match self.status[j] {
                         ColStatus::AtLower => ColStatus::AtUpper,
@@ -1302,19 +1286,21 @@ impl<'a> SolverState<'a> {
                     };
                     self.flips += 1;
                 }
-                self.factor.ftran(&mut wf);
-                for i in 0..m {
-                    if wf[i] != 0.0 {
-                        self.xb[i] -= wf[i];
+                self.factor.ftran(wf);
+                for &i in wf.nonzeros() {
+                    let shift = wf.get(i);
+                    if shift != 0.0 {
+                        self.xb[i] -= shift;
                     }
                 }
             }
 
-            let delta_q = (self.xb[r] - target) / w[r];
+            let delta_q = (self.xb[r] - target) / w.get(r);
             let entering_value = self.column_value(q) + delta_q;
-            for i in 0..m {
-                if w[i] != 0.0 {
-                    self.xb[i] -= w[i] * delta_q;
+            for &i in w.nonzeros() {
+                let g = w.get(i);
+                if g != 0.0 {
+                    self.xb[i] -= g * delta_q;
                 }
             }
             let leaving_col = self.basis[r];
@@ -1325,7 +1311,7 @@ impl<'a> SolverState<'a> {
             self.basis[r] = q;
             self.status[q] = ColStatus::Basic;
             self.xb[r] = entering_value;
-            self.factor.push_eta(r, &w);
+            self.factor.push_eta(r, w);
             self.iterations += 1;
         }
         InnerStatus::IterationLimit
@@ -1552,5 +1538,35 @@ mod tests {
             &out.values.iter().map(|v| v.max(0.0)).collect::<Vec<_>>(),
             1e-5
         ));
+    }
+
+    #[test]
+    fn dense_lu_option_matches_the_sparse_default() {
+        let mut model = Model::minimize();
+        let n = 24;
+        let vars: Vec<_> = (0..n)
+            .map(|i| model.add_nonneg_var(format!("x{i}"), 1.0 + (i % 5) as f64))
+            .collect();
+        for i in 0..n {
+            let mut terms = vec![(vars[i], 2.0)];
+            terms.push((vars[(i + 3) % n], 1.0));
+            model.add_constraint(terms, Relation::GreaterEq, 2.0 + (i % 4) as f64);
+        }
+        let lp = RevisedLp::new(&model).unwrap();
+        let sparse = lp.solve(&SimplexOptions {
+            dense_lu: false,
+            ..SimplexOptions::default()
+        });
+        let dense = lp.solve(&SimplexOptions {
+            dense_lu: true,
+            ..SimplexOptions::default()
+        });
+        assert_eq!(sparse.status, LpStatus::Optimal);
+        assert_eq!(dense.status, LpStatus::Optimal);
+        assert!((objective(&model, &sparse) - objective(&model, &dense)).abs() < 1e-6);
+        assert!(
+            sparse.factor_stats.fill_nnz > 0,
+            "sparse backend tracks fill"
+        );
     }
 }

@@ -29,6 +29,13 @@ pub struct SimplexOptions {
     /// Number of Dantzig-pricing pivots before switching to Bland's rule
     /// (which cannot cycle).
     pub bland_after: usize,
+    /// Factorize the basis with the retained dense LU
+    /// ([`crate::factor::DenseLu`]) instead of the sparse Markowitz LU — the
+    /// oracle path of the differential suite and the baseline of the
+    /// `lp_large` bench. Defaults to `false`; building the crate with the
+    /// `dense-lu` feature flips the default so an entire test run can be
+    /// exercised against the dense backend.
+    pub dense_lu: bool,
 }
 
 impl Default for SimplexOptions {
@@ -37,6 +44,7 @@ impl Default for SimplexOptions {
             tol: 1e-9,
             max_iterations: 50_000,
             bland_after: 10_000,
+            dense_lu: cfg!(feature = "dense-lu"),
         }
     }
 }

@@ -9,6 +9,13 @@
 //!
 //! Data is integer-valued so legitimate alternate optima exist but knife-edge
 //! tolerance flips do not.
+//!
+//! Besides the random small-model properties, a deterministic **m ≥ 256
+//! sparse-instance** case pins the large regime the sparse Markowitz LU was
+//! built for into `cargo test`, not only into the benches: the sparse
+//! backend, the retained dense-LU backend and the dense tableau must agree
+//! on a 256-row covering model, and the sparse solve must actually exercise
+//! the hyper-sparse path.
 
 use proptest::prelude::*;
 
@@ -298,4 +305,102 @@ proptest! {
         prop_assert!((revised.objective - dense.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()));
         prop_assert!(model.is_feasible(&revised.values, 1e-5));
     }
+}
+
+/// Tiny deterministic LCG so the large instance needs no external RNG.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound
+    }
+}
+
+/// A sparse covering model in the MinCost relaxation shape: `m` rows, each
+/// demanding a few of the `n` nonnegative columns. Minimizing strictly
+/// positive costs over nonnegative variables keeps the instance bounded.
+fn large_sparse_covering(m: usize, n: usize, seed: u64) -> Model {
+    let mut rng = Lcg(seed);
+    let mut model = Model::minimize();
+    let vars: Vec<_> = (0..n)
+        .map(|j| model.add_nonneg_var(format!("x{j}"), (1 + rng.next(20)) as f64))
+        .collect();
+    for _ in 0..m {
+        let terms_in_row = 3 + rng.next(4) as usize; // 3..=6 nonzeros per row
+        let mut terms: Vec<(rental_lp::VarId, f64)> = Vec::with_capacity(terms_in_row);
+        for _ in 0..terms_in_row {
+            let j = rng.next(n as u64) as usize;
+            if terms.iter().all(|&(v, _)| v != vars[j]) {
+                terms.push((vars[j], (1 + rng.next(9)) as f64));
+            }
+        }
+        model.add_constraint(terms, Relation::GreaterEq, (1 + rng.next(50)) as f64);
+    }
+    model
+}
+
+/// The m ≥ 256 sparse-instance differential case: all three engines (sparse
+/// Markowitz revised, dense-LU revised, dense tableau) agree on status and
+/// objective, the point is feasible, and the sparse backend reports
+/// hyper-sparse solves and bounded fill.
+#[test]
+fn large_sparse_instance_matches_dense_engines_at_m_256() {
+    let m = 256;
+    let model = large_sparse_covering(m, 160, 0xC0FFEE);
+    let options = SimplexOptions::default();
+
+    let lp = RevisedLp::new(&model).unwrap();
+    assert!(lp.num_rows() >= 256);
+    let sparse = lp.solve(&SimplexOptions {
+        dense_lu: false,
+        ..options
+    });
+    let dense_lu = lp.solve(&SimplexOptions {
+        dense_lu: true,
+        ..options
+    });
+    let tableau = dense::solve_with(&model, &options).unwrap();
+
+    assert_eq!(sparse.status, LpStatus::Optimal);
+    assert_eq!(dense_lu.status, LpStatus::Optimal);
+    assert_eq!(tableau.status, LpStatus::Optimal);
+
+    let sparse_objective = model.objective_value(&sparse.values);
+    let dense_lu_objective = model.objective_value(&dense_lu.values);
+    assert!(
+        (sparse_objective - tableau.objective).abs() <= 1e-6 * (1.0 + tableau.objective.abs()),
+        "sparse {} vs tableau {}",
+        sparse_objective,
+        tableau.objective
+    );
+    assert!(
+        (dense_lu_objective - tableau.objective).abs() <= 1e-6 * (1.0 + tableau.objective.abs()),
+        "dense-LU {} vs tableau {}",
+        dense_lu_objective,
+        tableau.objective
+    );
+    assert!(model.is_feasible(&sparse.values, 1e-5));
+    assert!(model.is_feasible(&dense_lu.values, 1e-5));
+
+    // The sparse backend must actually run sparsely at this size: fill stays
+    // within a small multiple of the basis nonzeros and most FTRAN/BTRAN
+    // solves take the reachability path.
+    let stats = sparse.factor_stats;
+    assert!(stats.refactorizations > 0);
+    assert!(stats.fill_nnz > 0 && stats.basis_nnz > 0);
+    assert!(
+        stats.fill_nnz <= 8 * stats.basis_nnz,
+        "fill {} vs basis nnz {}",
+        stats.fill_nnz,
+        stats.basis_nnz
+    );
+    assert!(
+        stats.hyper_sparse_rate() > 0.5,
+        "hyper-sparse hit rate {:.2} too low at m = {m}",
+        stats.hyper_sparse_rate()
+    );
 }

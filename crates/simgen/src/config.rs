@@ -113,6 +113,24 @@ impl GeneratorConfig {
         }
     }
 
+    /// Wide-platform configuration for LP scaling studies: `Q = num_types`
+    /// machine types and `J = num_recipes` recipes of 20–40 tasks with light
+    /// mutation. The MinCost standard form then has `m = 1 + Q` rows whose
+    /// columns carry only a handful of nonzeros each — the regime the sparse
+    /// Markowitz LU and the `lp_large` bench target (`Q` of 255/511/1023 for
+    /// m = 256/512/1024).
+    pub fn wide_platform(num_types: usize, num_recipes: usize) -> Self {
+        GeneratorConfig {
+            num_recipes,
+            tasks_per_recipe: 20..=40,
+            mutation_percent: 5,
+            num_types,
+            throughput_range: 10..=100,
+            cost_range: 1..=100,
+            edge_probability: 0.15,
+        }
+    }
+
     /// A deliberately tiny configuration for unit tests and doc examples.
     pub fn tiny() -> Self {
         GeneratorConfig {
@@ -162,7 +180,16 @@ mod tests {
         GeneratorConfig::medium_graphs().validate();
         GeneratorConfig::large_graphs().validate();
         GeneratorConfig::huge_graphs().validate();
+        GeneratorConfig::wide_platform(511, 48).validate();
         GeneratorConfig::tiny().validate();
+    }
+
+    #[test]
+    fn wide_platform_scales_the_type_count() {
+        let config = GeneratorConfig::wide_platform(1023, 64);
+        assert_eq!(config.num_types, 1023);
+        assert_eq!(config.num_recipes, 64);
+        config.validate();
     }
 
     #[test]
