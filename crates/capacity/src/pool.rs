@@ -1,0 +1,329 @@
+//! The capacity-pool ledger: per-type quotas, per-tenant holdings, and
+//! deterministic arbitration when demand exceeds quota.
+
+use rental_solvers::UNLIMITED_CAP;
+
+/// The shared machine-capacity ledger of a serving fleet.
+///
+/// One pool covers one platform (one set of machine types shared by every
+/// tenant). The pool tracks, per type, a quota and every tenant's current
+/// holding; per-epoch acquisition goes through [`CapacityPool::arbitrate_epoch`]
+/// (all tenants at once, deterministic) or [`CapacityPool::request`] (one
+/// tenant, first-come-first-served in call order).
+///
+/// **Arbitration order.** When the combined demand for a type exceeds its
+/// quota, grants are proportional to demand with largest-remainder rounding;
+/// remainder ties break toward the **lower tenant index**. The rule is a pure
+/// function of `(demands, quota)` — no clock, no thread order — so capped
+/// runs are exactly reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityPool {
+    quotas: Vec<u64>,
+    /// `holdings[tenant][q]`: machines of type `q` currently held.
+    holdings: Vec<Vec<u64>>,
+    /// Machines of each type currently handed out (Σ over tenants).
+    in_use: Vec<u64>,
+    /// Peak of `in_use` over the pool's lifetime, for utilisation reporting.
+    peak_in_use: Vec<u64>,
+}
+
+impl CapacityPool {
+    /// Creates a pool with the given per-type quotas ([`UNLIMITED_CAP`]
+    /// disables a type's quota) and `num_tenants` empty holdings.
+    pub fn new(quotas: Vec<u64>, num_tenants: usize) -> Self {
+        let num_types = quotas.len();
+        CapacityPool {
+            quotas,
+            holdings: vec![vec![0; num_types]; num_tenants],
+            in_use: vec![0; num_types],
+            peak_in_use: vec![0; num_types],
+        }
+    }
+
+    /// A pool with no quota on any type — every request is granted in full,
+    /// so the ledger is a pure observer.
+    pub fn unlimited(num_types: usize, num_tenants: usize) -> Self {
+        CapacityPool::new(vec![UNLIMITED_CAP; num_types], num_tenants)
+    }
+
+    /// Number of machine types the pool covers.
+    pub fn num_types(&self) -> usize {
+        self.quotas.len()
+    }
+
+    /// Number of tenants sharing the pool.
+    pub fn num_tenants(&self) -> usize {
+        self.holdings.len()
+    }
+
+    /// Quota of type `q` ([`UNLIMITED_CAP`] when unconstrained).
+    pub fn quota(&self, q: usize) -> u64 {
+        self.quotas[q]
+    }
+
+    /// True when no type has a finite quota.
+    pub fn is_unlimited(&self) -> bool {
+        self.quotas.iter().all(|&quota| quota == UNLIMITED_CAP)
+    }
+
+    /// Machines of type `q` currently handed out across all tenants.
+    pub fn in_use(&self, q: usize) -> u64 {
+        self.in_use[q]
+    }
+
+    /// Machines of type `q` still available (`quota − in_use`;
+    /// [`UNLIMITED_CAP`] for quota-free types).
+    pub fn residual(&self, q: usize) -> u64 {
+        if self.quotas[q] == UNLIMITED_CAP {
+            UNLIMITED_CAP
+        } else {
+            self.quotas[q].saturating_sub(self.in_use[q])
+        }
+    }
+
+    /// One tenant's current holdings, per type.
+    pub fn holdings(&self, tenant: usize) -> &[u64] {
+        &self.holdings[tenant]
+    }
+
+    /// The per-type machine caps a re-solve for `tenant` must respect: its
+    /// own holdings (which it may re-shape freely) plus the pool's residual.
+    pub fn caps_for(&self, tenant: usize) -> Vec<u64> {
+        (0..self.num_types())
+            .map(|q| {
+                let residual = self.residual(q);
+                if residual == UNLIMITED_CAP {
+                    UNLIMITED_CAP
+                } else {
+                    self.holdings[tenant][q].saturating_add(residual)
+                }
+            })
+            .collect()
+    }
+
+    /// Grants every tenant's desired fleet for the coming epoch, releasing
+    /// all previous holdings first (epoch-granular re-acquisition). Types
+    /// whose combined demand fits their quota are granted in full; the rest
+    /// are arbitrated proportionally (largest-remainder, ties toward the
+    /// lower tenant index). Returns the granted fleets, aligned with
+    /// `desired`; grants never exceed what was asked for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `desired` does not have one fleet per tenant, or a fleet
+    /// does not have one entry per type.
+    pub fn arbitrate_epoch(&mut self, desired: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(
+            desired.len(),
+            self.holdings.len(),
+            "one desired fleet per tenant is required"
+        );
+        for fleet in desired {
+            assert_eq!(
+                fleet.len(),
+                self.num_types(),
+                "one fleet entry per machine type is required"
+            );
+        }
+        let mut grants = desired.to_vec();
+        for q in 0..self.num_types() {
+            let quota = self.quotas[q];
+            if quota == UNLIMITED_CAP {
+                continue;
+            }
+            let total: u64 = desired.iter().map(|fleet| fleet[q]).sum();
+            if total <= quota {
+                continue;
+            }
+            // Proportional largest-remainder split of the quota. Everything
+            // is exact integer arithmetic on u128 products, so the grant is
+            // a pure function of (demands, quota).
+            let mut assigned = 0u64;
+            let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(desired.len());
+            for (tenant, fleet) in desired.iter().enumerate() {
+                let share = (fleet[q] as u128 * quota as u128) / total as u128;
+                let remainder = (fleet[q] as u128 * quota as u128) % total as u128;
+                grants[tenant][q] = share as u64;
+                assigned += share as u64;
+                remainders.push((remainder, tenant));
+            }
+            // Hand the leftover machines to the largest remainders; ties go
+            // to the lower tenant index (sort is by descending remainder,
+            // then ascending tenant).
+            remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut leftover = quota - assigned;
+            for &(_, tenant) in &remainders {
+                if leftover == 0 {
+                    break;
+                }
+                if grants[tenant][q] < desired[tenant][q] {
+                    grants[tenant][q] += 1;
+                    leftover -= 1;
+                }
+            }
+        }
+        for (tenant, grant) in grants.iter().enumerate() {
+            self.holdings[tenant].copy_from_slice(grant);
+        }
+        for q in 0..self.num_types() {
+            self.in_use[q] = grants.iter().map(|fleet| fleet[q]).sum();
+            self.peak_in_use[q] = self.peak_in_use[q].max(self.in_use[q]);
+        }
+        grants
+    }
+
+    /// Grants one tenant as much of `desired` as its caps allow (its own
+    /// holdings are released and re-acquired). First-come-first-served: the
+    /// caller's invocation order is the arbitration order, so single-tenant
+    /// adjustments between epochs stay deterministic as long as the caller
+    /// iterates tenants in a fixed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `desired` does not have one entry per type.
+    pub fn request(&mut self, tenant: usize, desired: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            desired.len(),
+            self.num_types(),
+            "one fleet entry per machine type is required"
+        );
+        let caps = self.caps_for(tenant);
+        let granted: Vec<u64> = desired
+            .iter()
+            .zip(&caps)
+            .map(|(&want, &cap)| want.min(cap))
+            .collect();
+        for (q, &grant) in granted.iter().enumerate() {
+            self.in_use[q] = self.in_use[q] - self.holdings[tenant][q] + grant;
+            self.peak_in_use[q] = self.peak_in_use[q].max(self.in_use[q]);
+        }
+        self.holdings[tenant].copy_from_slice(&granted);
+        granted
+    }
+
+    /// Releases everything `tenant` holds.
+    pub fn release_all(&mut self, tenant: usize) {
+        for q in 0..self.num_types() {
+            self.in_use[q] -= self.holdings[tenant][q];
+            self.holdings[tenant][q] = 0;
+        }
+    }
+
+    /// Peak quota utilisation per type over the pool's lifetime: the largest
+    /// fraction of the quota ever in use (`0.0` for quota-free types — an
+    /// infinite quota cannot be utilised).
+    pub fn utilization(&self) -> Vec<f64> {
+        self.quotas
+            .iter()
+            .zip(&self.peak_in_use)
+            .map(|(&quota, &peak)| {
+                if quota == UNLIMITED_CAP || quota == 0 {
+                    0.0
+                } else {
+                    peak as f64 / quota as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_pools_grant_everything() {
+        let mut pool = CapacityPool::unlimited(3, 2);
+        assert!(pool.is_unlimited());
+        let grants = pool.arbitrate_epoch(&[vec![5, 0, 9], vec![1_000, 2, 3]]);
+        assert_eq!(grants, vec![vec![5, 0, 9], vec![1_000, 2, 3]]);
+        assert_eq!(pool.residual(0), UNLIMITED_CAP);
+        assert_eq!(pool.caps_for(0), vec![UNLIMITED_CAP; 3]);
+        assert_eq!(pool.utilization(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn slack_quotas_grant_in_full_and_track_usage() {
+        let mut pool = CapacityPool::new(vec![10, 4], 2);
+        let grants = pool.arbitrate_epoch(&[vec![3, 1], vec![4, 2]]);
+        assert_eq!(grants, vec![vec![3, 1], vec![4, 2]]);
+        assert_eq!(pool.in_use(0), 7);
+        assert_eq!(pool.residual(0), 3);
+        // A tenant's caps: its holding plus the residual (type 1 has quota 4
+        // with 3 in use, so one machine of residual on top of each holding).
+        assert_eq!(pool.caps_for(0), vec![6, 2]);
+        assert_eq!(pool.caps_for(1), vec![7, 3]);
+        assert_eq!(pool.utilization(), vec![0.7, 0.75]);
+    }
+
+    #[test]
+    fn overcommitted_types_are_arbitrated_proportionally() {
+        let mut pool = CapacityPool::new(vec![10], 2);
+        // 8 + 4 = 12 > 10: proportional shares 6.67 and 3.33 round to 7 / 3
+        // (tenant 0 has the larger remainder).
+        let grants = pool.arbitrate_epoch(&[vec![8], vec![4]]);
+        assert_eq!(grants, vec![vec![7], vec![3]]);
+        assert_eq!(pool.residual(0), 0);
+        // Caps collapse to the holdings once the quota is exhausted.
+        assert_eq!(pool.caps_for(0), vec![7]);
+        assert_eq!(pool.caps_for(1), vec![3]);
+    }
+
+    #[test]
+    fn arbitration_is_deterministic_and_tie_breaks_by_tenant_index() {
+        // Equal demands, odd quota: the spare machine goes to tenant 0.
+        let mut pool = CapacityPool::new(vec![7], 2);
+        let grants = pool.arbitrate_epoch(&[vec![5], vec![5]]);
+        assert_eq!(grants, vec![vec![4], vec![3]]);
+        // Re-running the same epoch yields the same grants.
+        let again = pool.arbitrate_epoch(&[vec![5], vec![5]]);
+        assert_eq!(again, grants);
+    }
+
+    #[test]
+    fn grants_never_exceed_demand_even_with_leftover_quota() {
+        // Tenant 1 wants almost nothing; the leftover must not be forced on
+        // it past its demand.
+        let mut pool = CapacityPool::new(vec![9], 3);
+        let grants = pool.arbitrate_epoch(&[vec![20], vec![1], vec![0]]);
+        assert!(grants[1][0] <= 1);
+        assert_eq!(grants[2][0], 0);
+        let total: u64 = grants.iter().map(|g| g[0]).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn request_is_first_come_first_served() {
+        let mut pool = CapacityPool::new(vec![5], 2);
+        assert_eq!(pool.request(0, &[4]), vec![4]);
+        // Tenant 1 only gets the residual.
+        assert_eq!(pool.request(1, &[4]), vec![1]);
+        // Tenant 0 shrinking frees quota for the next request.
+        assert_eq!(pool.request(0, &[1]), vec![1]);
+        assert_eq!(pool.request(1, &[4]), vec![4]);
+        assert_eq!(pool.utilization(), vec![1.0]);
+    }
+
+    #[test]
+    fn release_all_returns_the_holding_to_the_pool() {
+        let mut pool = CapacityPool::new(vec![6], 2);
+        pool.request(0, &[6]);
+        assert_eq!(pool.residual(0), 0);
+        pool.release_all(0);
+        assert_eq!(pool.residual(0), 6);
+        assert_eq!(pool.holdings(0), &[0]);
+        // Peak utilisation remembers the high-water mark.
+        assert_eq!(pool.utilization(), vec![1.0]);
+    }
+
+    #[test]
+    fn epoch_arbitration_reacquires_rather_than_accumulates() {
+        let mut pool = CapacityPool::new(vec![10], 1);
+        pool.arbitrate_epoch(&[vec![9]]);
+        // The next epoch's smaller fleet releases the difference.
+        pool.arbitrate_epoch(&[vec![2]]);
+        assert_eq!(pool.in_use(0), 2);
+        assert_eq!(pool.residual(0), 8);
+        assert_eq!(pool.utilization(), vec![0.9]);
+    }
+}

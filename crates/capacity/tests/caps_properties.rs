@@ -1,0 +1,76 @@
+//! Property tests of capacity-constrained solving: per-type quotas are hard
+//! bounds, and slack quotas are invisible (the capped solver reproduces the
+//! uncapped optimum exactly).
+
+use proptest::prelude::*;
+
+use rental_capacity::{solve_or_degrade, CappedOutcome, UNLIMITED_CAP};
+use rental_simgen::{GeneratorConfig, InstanceGenerator};
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::{CapacitySolver, MinCostSolver};
+
+fn small_config() -> GeneratorConfig {
+    GeneratorConfig {
+        num_recipes: 4,
+        tasks_per_recipe: 2..=4,
+        mutation_percent: 50,
+        num_types: 4,
+        throughput_range: 5..=40,
+        cost_range: 1..=30,
+        edge_probability: 0.3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn capped_solves_never_exceed_their_quotas(
+        seed in 0u64..500,
+        target in 1u64..150,
+        caps in proptest::collection::vec(0u64..6, 4),
+    ) {
+        let instance = InstanceGenerator::new(small_config(), seed).generate_instance();
+        let solver = IlpSolver::new();
+        match solve_or_degrade(&solver, &instance, target, &caps, None).unwrap() {
+            CappedOutcome::Full(outcome) => {
+                prop_assert!(outcome.solution.split.covers(target));
+                for (q, &count) in outcome.solution.allocation.machine_counts().iter().enumerate() {
+                    prop_assert!(count <= caps[q], "type {q}: {count} > quota {}", caps[q]);
+                }
+            }
+            CappedOutcome::Degraded { target: served, outcome } => {
+                prop_assert!(served < target);
+                prop_assert!(served > 0);
+                prop_assert!(outcome.solution.split.covers(served));
+                for (q, &count) in outcome.solution.allocation.machine_counts().iter().enumerate() {
+                    prop_assert!(count <= caps[q], "type {q}: {count} > quota {}", caps[q]);
+                }
+            }
+            CappedOutcome::Unserved => {
+                // Nothing fits: legal, nothing to check beyond no panic.
+            }
+        }
+    }
+
+    #[test]
+    fn slack_quotas_reproduce_the_uncapped_optimum(
+        seed in 0u64..500,
+        target in 1u64..150,
+    ) {
+        let instance = InstanceGenerator::new(small_config(), seed).generate_instance();
+        let solver = IlpSolver::new();
+        let uncapped = solver.solve(&instance, target).unwrap();
+        // Quotas exactly at the uncapped optimum's machine counts are slack
+        // (the optimum fits), as is one spare machine of head-room, as is no
+        // quota at all — all three must reproduce the uncapped cost.
+        let exact: Vec<u64> = uncapped.solution.allocation.machine_counts().to_vec();
+        let spare: Vec<u64> = exact.iter().map(|&c| c + 1).collect();
+        let unlimited = vec![UNLIMITED_CAP; instance.num_types()];
+        for caps in [&exact, &spare, &unlimited] {
+            let capped = solver.solve_with_caps(&instance, target, caps, None).unwrap();
+            prop_assert_eq!(capped.cost(), uncapped.cost());
+            prop_assert!(capped.proven_optimal);
+        }
+    }
+}

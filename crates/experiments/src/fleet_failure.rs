@@ -1,0 +1,212 @@
+//! The failure-coupled fleet experiment: the capacity/outage lane.
+//!
+//! Where [`crate::fleet`] serves perfectly reliable tenants from an unbounded
+//! cloud, this lane runs the same diurnal+spike fleet under the
+//! `rental-capacity` coupling: finite per-type quotas, machine failures
+//! sampled per tenant (an MTBF sweep), replacement renting, and
+//! capacity-constrained re-solve-on-failure. Each MTBF row compares the
+//! coupled controller (**fleet-with-repair**) against the **static-headroom**
+//! baseline — provisioning the initial mix for the availability-adjusted
+//! peak — on both cost and SLO-violation epochs.
+
+use rental_fleet::{failure_coupled_fleet, FleetController, FleetReport};
+use rental_lp::SolveLimits;
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::SolveResult;
+
+/// The ILP solver used by the failure sweep (and its bench): node-limited so
+/// a single pathological branch-and-bound tree cannot stall a 96-epoch run.
+/// Node limits — unlike time limits — keep the sweep **deterministic**; the
+/// steepest-descent warm start guarantees a feasible incumbent even when the
+/// limit strikes, so limited solves degrade to near-optimal, never to
+/// failure.
+pub fn failure_sweep_solver() -> IlpSolver {
+    IlpSolver::with_limits(SolveLimits {
+        node_limit: Some(20_000),
+        ..SolveLimits::default()
+    })
+}
+
+/// Parameters of the failure-coupled fleet experiment.
+#[derive(Debug, Clone)]
+pub struct FleetFailureSpec {
+    /// Number of tenants in the diurnal+spike scenario.
+    pub num_tenants: usize,
+    /// Scenario seed (instances, rate scales, spikes, outages).
+    pub seed: u64,
+    /// Mean times between failures to sweep, in hours.
+    pub mtbfs: Vec<f64>,
+    /// Repair time, in hours.
+    pub repair_time: f64,
+    /// Cap on solver worker threads (`None`: one per available CPU).
+    pub threads: Option<usize>,
+}
+
+impl Default for FleetFailureSpec {
+    fn default() -> Self {
+        FleetFailureSpec {
+            num_tenants: 8,
+            seed: rental_fleet::ACCEPTANCE_SEED,
+            mtbfs: vec![48.0, 96.0, 192.0],
+            repair_time: 4.0,
+            threads: None,
+        }
+    }
+}
+
+/// One MTBF row of the sweep.
+#[derive(Debug, Clone)]
+pub struct FleetFailureRow {
+    /// Mean time between failures of this row, in hours.
+    pub mtbf: f64,
+    /// Steady-state machine availability under this MTBF.
+    pub availability: f64,
+    /// The coupled controller's report (static-headroom baseline included).
+    pub report: FleetReport,
+}
+
+/// The outcome of the sweep.
+#[derive(Debug, Clone)]
+pub struct FleetFailureTable {
+    /// Scenario name.
+    pub scenario: String,
+    /// One row per MTBF, in spec order.
+    pub rows: Vec<FleetFailureRow>,
+}
+
+/// Runs the MTBF sweep on the failure-coupled diurnal+spike scenario.
+///
+/// # Errors
+///
+/// Propagates solver failures from the controller.
+pub fn run_fleet_failure_experiment(spec: &FleetFailureSpec) -> SolveResult<FleetFailureTable> {
+    let mut rows = Vec::with_capacity(spec.mtbfs.len());
+    let mut scenario_name = String::new();
+    for &mtbf in &spec.mtbfs {
+        let (scenario, config) =
+            failure_coupled_fleet(spec.num_tenants, spec.seed, mtbf, spec.repair_time);
+        let mut policy = scenario.policy;
+        policy.threads = spec.threads;
+        let report = FleetController::new(policy).run_with_capacity(
+            &failure_sweep_solver(),
+            &scenario.tenants,
+            &config,
+        )?;
+        scenario_name = scenario.name;
+        rows.push(FleetFailureRow {
+            mtbf,
+            availability: config.availability(),
+            report,
+        });
+    }
+    Ok(FleetFailureTable {
+        scenario: scenario_name,
+        rows,
+    })
+}
+
+/// Renders the MTBF sweep as Markdown.
+pub fn fleet_failure_markdown(table: &FleetFailureTable) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| mtbf (h) | avail | fleet cost | static headroom | saved | fleet SLO | baseline SLO | \
+         failure re-solves | degraded | peak quota use |\n",
+    );
+    out.push_str("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    for row in &table.rows {
+        let report = &row.report;
+        let saved = if report.static_headroom_cost() > 0.0 {
+            100.0 * report.savings_vs_static_headroom() / report.static_headroom_cost()
+        } else {
+            0.0
+        };
+        let peak_quota = row
+            .report
+            .quota_utilization
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "| {:.0} | {:.3} | {:.0} | {:.0} | {saved:.1}% | {} | {} | {} | {} | {peak_quota:.2} |\n",
+            row.mtbf,
+            row.availability,
+            report.total_cost(),
+            report.static_headroom_cost(),
+            report.slo_violation_epochs(),
+            report.static_headroom_violations(),
+            report.failure_resolves(),
+            report.degraded_resolves(),
+        ));
+    }
+    if let Some(row) = table.rows.first() {
+        out.push_str(&format!(
+            "\n{} tenants over {} epochs per row; SLO = epochs whose surviving capacity missed the demand\n",
+            row.report.tenants.len(),
+            row.report.epochs,
+        ));
+    }
+    out
+}
+
+/// Renders the MTBF sweep as CSV.
+pub fn fleet_failure_csv(table: &FleetFailureTable) -> String {
+    let mut out = String::from(
+        "mtbf_hours,availability,fleet_cost,static_headroom_cost,fleet_slo_epochs,\
+         baseline_slo_epochs,failure_resolves,degraded_resolves\n",
+    );
+    for row in &table.rows {
+        let report = &row.report;
+        out.push_str(&format!(
+            "{:.1},{:.4},{:.2},{:.2},{},{},{},{}\n",
+            row.mtbf,
+            row.availability,
+            report.total_cost(),
+            report.static_headroom_cost(),
+            report.slo_violation_epochs(),
+            report.static_headroom_violations(),
+            report.failure_resolves(),
+            report.degraded_resolves(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_failure_sweep_produces_a_full_table() {
+        let spec = FleetFailureSpec {
+            num_tenants: 3,
+            seed: 11,
+            mtbfs: vec![96.0],
+            repair_time: 4.0,
+            threads: Some(2),
+        };
+        let table = run_fleet_failure_experiment(&spec).unwrap();
+        assert_eq!(table.rows.len(), 1);
+        let row = &table.rows[0];
+        assert!(row.availability < 1.0);
+        assert!(row.report.static_headroom_cost() > 0.0);
+        let markdown = fleet_failure_markdown(&table);
+        assert!(markdown.contains("static headroom"));
+        let csv = fleet_failure_csv(&table);
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn failure_sweeps_are_reproducible() {
+        let spec = FleetFailureSpec {
+            num_tenants: 2,
+            seed: 5,
+            mtbfs: vec![64.0],
+            repair_time: 3.0,
+            threads: Some(2),
+        };
+        let a = run_fleet_failure_experiment(&spec).unwrap();
+        let b = run_fleet_failure_experiment(&spec).unwrap();
+        assert_eq!(a.rows[0].report.adoptions, b.rows[0].report.adoptions);
+        assert_eq!(fleet_failure_csv(&a), fleet_failure_csv(&b));
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`fleet`] — the multi-tenant streaming re-optimization lane: the
 //!   `rental-fleet` probe/solve/adopt controller on the diurnal+spike
 //!   scenario, versus the static-peak and fixed-mix baselines;
+//! * [`fleet_failure`] — the capacity/outage lane: the same fleet under
+//!   finite quotas and machine failures (MTBF sweep), fleet-with-repair vs
+//!   the static-headroom baseline on cost and SLO-violation epochs;
 //! * [`lp_large`] — the LP substrate scaling lane: sparse Markowitz LU vs
 //!   the retained dense LU (refactorization and end-to-end revised-simplex
 //!   timing, fill-in, hyper-sparse hit rate) on wide-platform MinCost
@@ -33,6 +36,7 @@
 
 pub mod ablation;
 pub mod fleet;
+pub mod fleet_failure;
 pub mod lp_large;
 pub mod report;
 pub mod runner;
@@ -43,6 +47,10 @@ pub use ablation::{
     delta_sweep, escape_mechanisms, mutation_sweep, AblationResults, AblationRow, AblationSpec,
 };
 pub use fleet::{fleet_csv, fleet_markdown, run_fleet_experiment, FleetExperimentSpec, FleetTable};
+pub use fleet_failure::{
+    failure_sweep_solver, fleet_failure_csv, fleet_failure_markdown, run_fleet_failure_experiment,
+    FleetFailureRow, FleetFailureSpec, FleetFailureTable,
+};
 pub use lp_large::{lp_large_json, lp_large_markdown, run_lp_large, LpLargeRow, LpLargeSpec};
 pub use report::{
     figure_csv, figure_markdown, table3_csv, table3_markdown, write_artifact, Metric,

@@ -35,6 +35,29 @@
 //! **fixed-mix autoscaler** of `rental-stream` (which rescales machine counts
 //! but never re-solves the recipe mix).
 //!
+//! ## Capacity- and failure-coupled serving
+//!
+//! [`FleetController::run_with_capacity`] layers the `rental-capacity`
+//! subsystem underneath the same loop: per-epoch fleets are granted by a
+//! shared [`rental_capacity::CapacityPool`] (per-type quotas, deterministic
+//! proportional arbitration), machine outages sampled per tenant from
+//! [`rental_stream::FailureModel`] erode the granted capacity, and epochs
+//! whose surviving machines cannot carry the demand are counted as **SLO
+//! violations** and trigger **capacity-constrained re-solve-on-failure**: a
+//! cheap fractional coverage probe, then one batched capped MILP fan-out
+//! (`solve_caps_batch_timed`), then a degraded-mode fallback to the largest
+//! quota-feasible target. The report grows quota-utilization, SLO-violation
+//! and failure-re-solve counters plus a **static-headroom** baseline
+//! (provisioning the initial mix for `peak / availability`). With
+//! [`rental_capacity::CapacityConfig::unconstrained`] the coupled path is
+//! bit-identical to [`FleetController::run`].
+//!
+//! Switching charges can also be **per-machine-delta**
+//! ([`FleetPolicy::per_machine_switching_cost`]): on adoption, only the
+//! machines that actually change between the kept and adopted fleets are
+//! charged, with the flat [`FleetPolicy::switching_cost`] as the
+//! default-compatible special case.
+//!
 //! ```
 //! use rental_fleet::{FleetController, FleetPolicy, TenantSpec};
 //! use rental_solvers::exact::IlpSolver;
@@ -58,6 +81,10 @@ pub mod scenario;
 pub mod tenant;
 
 pub use controller::{initial_target, FleetController, FleetPolicy};
+pub use rental_capacity::CapacityConfig;
 pub use report::{AdoptionRecord, FleetReport, TenantReport};
-pub use scenario::{diurnal_spike_fleet, fleet_instance_config, FleetScenario, ACCEPTANCE_SEED};
+pub use scenario::{
+    diurnal_spike_fleet, failure_coupled_fleet, fleet_instance_config, FleetScenario,
+    ACCEPTANCE_SEED,
+};
 pub use tenant::TenantSpec;

@@ -24,10 +24,15 @@ pub struct AdoptionRecord {
     /// Projected remaining-horizon cost of the candidate plan (switching
     /// charge *not* included).
     pub projected_switch: f64,
-    /// The switching/migration charge the candidate had to beat.
+    /// The switching/migration charge the candidate had to beat. Under a
+    /// per-machine-delta policy this varies per decision (it counts the
+    /// machines that actually change between the kept and adopted fleets).
     pub switching_cost: f64,
     /// Whether the candidate plan was adopted.
     pub adopted: bool,
+    /// True when the decision was triggered by a failure/capacity SLO
+    /// violation (a capacity-constrained re-solve), not by a workload shift.
+    pub failure_triggered: bool,
 }
 
 impl AdoptionRecord {
@@ -74,6 +79,23 @@ pub struct TenantReport {
     /// Baseline: the fixed-mix autoscaler of `rental-stream` on the initial
     /// mix — rescales machine counts every epoch, never re-solves.
     pub fixed_mix_cost: f64,
+    /// Baseline: provisioning the initial mix statically for the
+    /// **availability-adjusted** peak (`peak / availability`) — the classic
+    /// answer to machine failures. Equals `static_peak_cost` when failures
+    /// are disabled.
+    pub static_headroom_cost: f64,
+    /// SLO-violation epochs of the static-headroom baseline under the same
+    /// outage trace (0 when failures are disabled).
+    pub static_headroom_violations: usize,
+    /// Epochs in which the tenant's surviving capacity (rented minus downed
+    /// minus quota-denied machines) could not carry its demand.
+    pub slo_violation_epochs: usize,
+    /// Capacity-constrained re-solves triggered by SLO violations (subset of
+    /// `resolves`-style work, counted separately).
+    pub failure_resolves: usize,
+    /// Failure re-solves that could not serve the full target and fell back
+    /// to the largest quota-feasible target (degraded mode).
+    pub degraded_resolves: usize,
 }
 
 impl TenantReport {
@@ -91,6 +113,11 @@ impl TenantReport {
     pub fn savings_vs_static_peak(&self) -> f64 {
         self.static_peak_cost - self.total_cost()
     }
+
+    /// Savings against the static availability-adjusted-peak baseline.
+    pub fn savings_vs_static_headroom(&self) -> f64 {
+        self.static_headroom_cost - self.total_cost()
+    }
 }
 
 /// The outcome of one fleet run.
@@ -104,6 +131,11 @@ pub struct FleetReport {
     pub epochs: usize,
     /// Epoch length (hours).
     pub epoch_hours: f64,
+    /// Peak utilisation of every **finitely quota'd** machine type of the
+    /// shared capacity pool (fraction of quota in use at the worst epoch).
+    /// Empty when the run had no finite quotas (including every uncoupled
+    /// run).
+    pub quota_utilization: Vec<f64>,
 }
 
 impl FleetReport {
@@ -155,6 +187,39 @@ impl FleetReport {
         self.static_peak_cost() - self.total_cost()
     }
 
+    /// Total cost of the static availability-adjusted-peak baseline.
+    pub fn static_headroom_cost(&self) -> f64 {
+        self.tenants.iter().map(|t| t.static_headroom_cost).sum()
+    }
+
+    /// Fleet-wide savings against the static-headroom baseline.
+    pub fn savings_vs_static_headroom(&self) -> f64 {
+        self.static_headroom_cost() - self.total_cost()
+    }
+
+    /// Total SLO-violation epochs across the fleet.
+    pub fn slo_violation_epochs(&self) -> usize {
+        self.tenants.iter().map(|t| t.slo_violation_epochs).sum()
+    }
+
+    /// Total SLO-violation epochs of the static-headroom baseline.
+    pub fn static_headroom_violations(&self) -> usize {
+        self.tenants
+            .iter()
+            .map(|t| t.static_headroom_violations)
+            .sum()
+    }
+
+    /// Total failure-triggered capacity-constrained re-solves.
+    pub fn failure_resolves(&self) -> usize {
+        self.tenants.iter().map(|t| t.failure_resolves).sum()
+    }
+
+    /// Total degraded-mode fallbacks across the fleet.
+    pub fn degraded_resolves(&self) -> usize {
+        self.tenants.iter().map(|t| t.degraded_resolves).sum()
+    }
+
     /// Total wall-clock seconds spent probing.
     pub fn probe_seconds(&self) -> f64 {
         self.tenants.iter().map(|t| t.probe_seconds).sum()
@@ -184,6 +249,11 @@ mod tests {
             solve_seconds: 0.01,
             static_peak_cost: 500.0,
             fixed_mix_cost: 300.0,
+            static_headroom_cost: 550.0,
+            static_headroom_violations: 3,
+            slo_violation_epochs: 1,
+            failure_resolves: 1,
+            degraded_resolves: 0,
         }
     }
 
@@ -194,6 +264,7 @@ mod tests {
             adoptions: vec![],
             epochs: 10,
             epoch_hours: 1.0,
+            quota_utilization: vec![0.5, 1.0],
         };
         assert_eq!(report.tenant_epochs(), 20);
         assert_eq!(report.resolved_tenant_epochs(), 3);
@@ -202,6 +273,12 @@ mod tests {
         assert!((report.fixed_mix_cost() - 600.0).abs() < 1e-12);
         assert!((report.savings_vs_fixed_mix() - 290.0).abs() < 1e-12);
         assert!((report.savings_vs_static_peak() - 690.0).abs() < 1e-12);
+        assert!((report.static_headroom_cost() - 1100.0).abs() < 1e-12);
+        assert!((report.savings_vs_static_headroom() - 790.0).abs() < 1e-12);
+        assert_eq!(report.slo_violation_epochs(), 2);
+        assert_eq!(report.static_headroom_violations(), 6);
+        assert_eq!(report.failure_resolves(), 2);
+        assert_eq!(report.degraded_resolves(), 0);
         assert!(report.probe_seconds() > 0.0 && report.solve_seconds() > 0.0);
     }
 
@@ -212,6 +289,7 @@ mod tests {
             adoptions: vec![],
             epochs: 0,
             epoch_hours: 1.0,
+            quota_utilization: vec![],
         };
         assert_eq!(report.resolve_fraction(), 0.0);
         assert_eq!(report.total_cost(), 0.0);
@@ -227,6 +305,7 @@ mod tests {
             projected_switch: 70.0,
             switching_cost: 10.0,
             adopted: true,
+            failure_triggered: false,
         };
         assert!(!record.forced());
         assert!((record.net_savings().unwrap() - 20.0).abs() < 1e-12);

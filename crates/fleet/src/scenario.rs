@@ -7,8 +7,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rental_capacity::CapacityConfig;
 use rental_simgen::{GeneratorConfig, InstanceGenerator};
-use rental_stream::WorkloadTrace;
+use rental_stream::{FailureModel, WorkloadTrace};
 
 use crate::controller::FleetPolicy;
 use crate::tenant::TenantSpec;
@@ -103,6 +104,59 @@ pub fn diurnal_spike_fleet(num_tenants: usize, seed: u64) -> FleetScenario {
     }
 }
 
+/// The failure-coupled acceptance scenario: the diurnal+spike fleet plus a
+/// [`CapacityConfig`] with machine failures (`mtbf` / `repair_time` hours)
+/// and **finite per-type quotas** sized off the tenants' availability-adjusted
+/// worst-case needs — generous enough that the pool binds only under demand
+/// coincidence, tight enough that the quota ledger genuinely arbitrates.
+///
+/// The `fleet_failure` bench sweeps this scenario over MTBFs and compares the
+/// coupled controller (fleet-with-repair) against the static-headroom
+/// baseline recorded in the same report.
+pub fn failure_coupled_fleet(
+    num_tenants: usize,
+    seed: u64,
+    mtbf: f64,
+    repair_time: f64,
+) -> (FleetScenario, CapacityConfig) {
+    let scenario = diurnal_spike_fleet(num_tenants, seed);
+    let failures = FailureModel::new(mtbf, repair_time, seed ^ 0xFA11);
+    let availability = failures.availability();
+    let num_types = scenario
+        .tenants
+        .first()
+        .map(|t| t.instance.num_types())
+        .unwrap_or(0);
+    // Quota per type: 40% of the summed worst single-recipe needs at the
+    // availability-adjusted provisioned peak (plus a replacement margin per
+    // tenant), computed through the same worst-case-fleet bound that sizes
+    // the controller's outage-trace slot pools. The discount reflects that
+    // tenants' optimal mixes spread over several types and their peaks do
+    // not all coincide — so the pool genuinely arbitrates (peak utilisation
+    // reaches 1.0 at demand coincidences, triggering capped re-solves and
+    // degraded fallbacks) without starving steady state.
+    let mut worst_sum = vec![0u64; num_types];
+    for tenant in &scenario.tenants {
+        let rate = crate::controller::worst_case_rate(
+            &tenant.instance,
+            &tenant.trace,
+            scenario.policy.headroom / availability,
+        );
+        for (q, base) in crate::controller::worst_case_fleet(&tenant.instance, rate)
+            .into_iter()
+            .enumerate()
+        {
+            worst_sum[q] += base + 4;
+        }
+    }
+    let quotas: Vec<u64> = worst_sum.iter().map(|&sum| (sum * 2).div_ceil(5)).collect();
+    let config = CapacityConfig::unconstrained()
+        .with_quotas(quotas)
+        .with_failures(failures)
+        .with_redundancy(1);
+    (scenario, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +182,23 @@ mod tests {
         // The spike overlay keeps the diurnal peaks and adds overshoots.
         let spiky = &scenario.tenants[1];
         assert!(spiky.trace.peak_rate() > scenario.tenants[0].trace.peak_rate() * 0.5);
+    }
+
+    #[test]
+    fn failure_scenarios_carry_finite_quotas_and_failures() {
+        let (scenario, config) = failure_coupled_fleet(4, 3, 96.0, 4.0);
+        assert_eq!(scenario.tenants.len(), 4);
+        assert!(!config.is_unconstrained());
+        assert!(!config.failures.is_disabled());
+        assert_eq!(config.failure_redundancy, 1);
+        let quotas = config.quota_vector(scenario.tenants[0].instance.num_types());
+        // Finite, and large enough for every tenant's worst-case fleet.
+        for &quota in &quotas {
+            assert!(quota > 0 && quota < rental_capacity::UNLIMITED_CAP);
+        }
+        // Deterministic per seed.
+        let (again, config_again) = failure_coupled_fleet(4, 3, 96.0, 4.0);
+        assert_eq!(scenario.tenants, again.tenants);
+        assert_eq!(config, config_again);
     }
 }

@@ -4,7 +4,7 @@
 //! (same seed) is what the `fleet_scaling` bench records into
 //! `BENCH_fleet.json`.
 
-use rental_fleet::{diurnal_spike_fleet, FleetController, ACCEPTANCE_SEED};
+use rental_fleet::{diurnal_spike_fleet, CapacityConfig, FleetController, ACCEPTANCE_SEED};
 use rental_solvers::exact::IlpSolver;
 
 /// The seed shared with the bench and the experiments lane.
@@ -79,4 +79,47 @@ fn scenario_is_stable_across_runs() {
     let b = diurnal_spike_fleet(16, SCENARIO_SEED);
     assert_eq!(a.tenants, b.tenants);
     assert_eq!(a.policy, b.policy);
+}
+
+/// The frozen-pool regression of ISSUE 5: a capacity-coupled run with
+/// infinite quotas and failures disabled must reproduce the PR-3 fleet path
+/// **exactly** — every cost, counter and adoption decision, on the full
+/// 16-tenant acceptance scenario (only wall-clock timings may differ).
+#[test]
+fn unconstrained_capacity_run_reproduces_the_acceptance_report_exactly() {
+    let scenario = diurnal_spike_fleet(16, SCENARIO_SEED);
+    let plain = FleetController::new(scenario.policy)
+        .run(&IlpSolver::new(), &scenario.tenants)
+        .unwrap();
+    let coupled = FleetController::new(scenario.policy)
+        .run_with_capacity(
+            &IlpSolver::new(),
+            &scenario.tenants,
+            &CapacityConfig::unconstrained(),
+        )
+        .unwrap();
+
+    assert_eq!(plain.adoptions, coupled.adoptions);
+    assert_eq!(plain.epochs, coupled.epochs);
+    assert_eq!(plain.epoch_hours, coupled.epoch_hours);
+    assert_eq!(plain.quota_utilization, coupled.quota_utilization);
+    assert_eq!(plain.tenants.len(), coupled.tenants.len());
+    for (a, b) in plain.tenants.iter().zip(&coupled.tenants) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.initial_target, b.initial_target);
+        assert_eq!(a.rental_cost, b.rental_cost, "{}", a.name);
+        assert_eq!(a.switching_cost, b.switching_cost, "{}", a.name);
+        assert_eq!(a.epoch_costs, b.epoch_costs, "{}", a.name);
+        assert_eq!(a.probes, b.probes, "{}", a.name);
+        assert_eq!(a.resolves, b.resolves, "{}", a.name);
+        assert_eq!(a.adoptions, b.adoptions, "{}", a.name);
+        assert_eq!(a.static_peak_cost, b.static_peak_cost, "{}", a.name);
+        assert_eq!(a.fixed_mix_cost, b.fixed_mix_cost, "{}", a.name);
+        assert_eq!(a.static_headroom_cost, b.static_headroom_cost, "{}", a.name);
+        assert_eq!(a.static_headroom_violations, b.static_headroom_violations);
+        assert_eq!(a.slo_violation_epochs, 0);
+        assert_eq!(b.slo_violation_epochs, 0);
+        assert_eq!(b.failure_resolves, 0);
+        assert_eq!(b.degraded_resolves, 0);
+    }
 }

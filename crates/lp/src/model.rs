@@ -273,6 +273,19 @@ impl Model {
         Ok(())
     }
 
+    /// Tightens variable `var`'s upper bound to `min(current, upper)` in
+    /// place. This is how capacity-constrained formulations thread external
+    /// per-variable quotas (e.g. a cloud's per-type machine quota) into a
+    /// model that was built without them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not exist.
+    pub fn tighten_upper(&mut self, var: VarId, upper: f64) {
+        let v = &mut self.variables[var.index()];
+        v.upper = v.upper.min(upper);
+    }
+
     /// Returns a copy of the model with variable `var`'s bounds tightened to
     /// `[lower, upper]` (intersected with the existing bounds). Used by the
     /// branch-and-bound solver to create child nodes.
@@ -384,5 +397,18 @@ mod tests {
         assert_eq!(grandchild.variables()[0].upper, 5.0);
         // Original untouched.
         assert_eq!(model.variables()[0].upper, 10.0);
+    }
+
+    #[test]
+    fn tighten_upper_intersects_in_place() {
+        let mut model = Model::minimize();
+        let x = model.add_int_var("x", 1.0, 0.0, 10.0);
+        model.tighten_upper(x, 6.0);
+        assert_eq!(model.variables()[0].upper, 6.0);
+        // Only ever tightens, never loosens.
+        model.tighten_upper(x, 8.0);
+        assert_eq!(model.variables()[0].upper, 6.0);
+        model.tighten_upper(x, f64::INFINITY);
+        assert_eq!(model.variables()[0].upper, 6.0);
     }
 }

@@ -249,6 +249,35 @@ impl HorizonCache {
         }
     }
 
+    /// The **outage-aware** remaining-horizon query: like
+    /// [`Self::total_over`], but derated by the machines' steady-state
+    /// `availability` (`mtbf / (mtbf + repair)` of a failure model, in
+    /// `(0, 1]`).
+    ///
+    /// A plan whose machines are only up a fraction `a` of the time must rent
+    /// `1/a` of its nominal fleet at the margin to sustain the same effective
+    /// capacity — the replacements rented while machines sit in repair — so
+    /// the expected marginal charge of *keeping* the plan's capacity from
+    /// `from` to `to` is `total_over(from, to) / a`. With `availability = 1`
+    /// this is exactly `total_over` (bit-identical: the division by 1.0 is
+    /// exact), so failure-free controllers can call it unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `availability` is not in `(0, 1]`.
+    pub fn expected_total_over(
+        &self,
+        from: RentalHorizon,
+        to: RentalHorizon,
+        availability: f64,
+    ) -> f64 {
+        assert!(
+            availability > 0.0 && availability <= 1.0,
+            "availability must be in (0, 1], got {availability}"
+        );
+        self.total_over(from, to) / availability
+    }
+
     /// Mean hourly spend over a horizon (total divided by the horizon).
     pub fn mean_hourly_cost(&self, horizon: RentalHorizon) -> f64 {
         if horizon.hours <= 0.0 {
@@ -482,6 +511,31 @@ mod tests {
         let past_term =
             reserved.total_over(RentalHorizon::hours(900.0), RentalHorizon::hours(1100.0));
         assert!(past_term > 0.0);
+    }
+
+    #[test]
+    fn outage_aware_queries_derate_by_availability() {
+        let (plan, hourly) = table3_plan();
+        let cache = HorizonCache::new(&plan, &OnDemand::hourly());
+        let from = RentalHorizon::hours(10.0);
+        let to = RentalHorizon::hours(34.0);
+        // Perfect machines: bit-identical to the plain marginal query.
+        assert_eq!(
+            cache.expected_total_over(from, to, 1.0),
+            cache.total_over(from, to)
+        );
+        // 90% availability: the margin pays for 1/0.9 of the nominal fleet.
+        let derated = cache.expected_total_over(from, to, 0.9);
+        assert!((derated - hourly as f64 * 24.0 / 0.9).abs() < 1e-6);
+        assert!(derated > cache.total_over(from, to));
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in (0, 1]")]
+    fn zero_availability_is_rejected() {
+        let (plan, _) = table3_plan();
+        let cache = HorizonCache::new(&plan, &OnDemand::hourly());
+        cache.expected_total_over(RentalHorizon::hours(0.0), RentalHorizon::hours(1.0), 0.0);
     }
 
     #[test]

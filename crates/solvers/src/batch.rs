@@ -19,7 +19,8 @@ use std::time::{Duration, Instant};
 use rental_core::{Instance, Throughput};
 
 use crate::solver::{
-    MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior, WarmStartSolver,
+    CapacitySolver, MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    WarmStartSolver,
 };
 
 /// One unit of batch work: an instance and the target throughput to solve
@@ -215,6 +216,61 @@ pub fn solve_warm_batch_timed<S: WarmStartSolver + Sync>(
         let item = &items[i];
         let start = Instant::now();
         let result = solver.solve_with_prior(item.instance, item.target, item.prior);
+        (result, start.elapsed())
+    })
+}
+
+/// One unit of **capacity-constrained** warm-started batch work: an
+/// `(instance, target, caps, prior)` quadruple.
+///
+/// This is the shape of a failure epoch in a capacity-coupled fleet: every
+/// tenant whose surviving machines can no longer carry its demand brings its
+/// own per-type machine caps (its holdings plus the pool's residual quota,
+/// minus the machines currently down) next to the usual warm-start prior.
+#[derive(Debug, Clone, Copy)]
+pub struct CapsBatchItem<'a> {
+    /// The MinCost instance to solve.
+    pub instance: &'a Instance,
+    /// The target throughput ρ.
+    pub target: Throughput,
+    /// Per-type machine caps (`crate::solver::UNLIMITED_CAP` disables one).
+    pub caps: &'a [u64],
+    /// Prior of a related solve (see [`CapacitySolver::solve_with_caps`] for
+    /// the soundness contract on its lower bound).
+    pub prior: Option<&'a SweepPrior>,
+}
+
+impl<'a> CapsBatchItem<'a> {
+    /// Creates a capacity-constrained batch item.
+    pub fn new(
+        instance: &'a Instance,
+        target: Throughput,
+        caps: &'a [u64],
+        prior: Option<&'a SweepPrior>,
+    ) -> Self {
+        CapsBatchItem {
+            instance,
+            target,
+            caps,
+            prior,
+        }
+    }
+}
+
+/// Solves heterogeneous capacity-constrained units in parallel on the shared
+/// pool — the capped sibling of [`solve_warm_batch_timed`], with the same
+/// guarantees: per-unit wall time (failed solves included), results in input
+/// order, observationally identical to sequential
+/// [`CapacitySolver::solve_with_caps`] calls.
+pub fn solve_caps_batch_timed<S: CapacitySolver + Sync>(
+    solver: &S,
+    items: &[CapsBatchItem<'_>],
+    max_threads: Option<usize>,
+) -> Vec<(SolveResult<SolverOutcome>, Duration)> {
+    rayon::parallel_map_indexed(items.len(), max_threads, |i| {
+        let item = &items[i];
+        let start = Instant::now();
+        let result = solver.solve_with_caps(item.instance, item.target, item.caps, item.prior);
         (result, start.elapsed())
     })
 }

@@ -22,7 +22,8 @@ use rental_lp::{MipSolver, MipStatus, SolveLimits};
 
 use crate::heuristics::SteepestGradientSolver;
 use crate::solver::{
-    MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior, WarmStartSolver,
+    CapacitySolver, MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    WarmStartSolver, UNLIMITED_CAP,
 };
 
 /// Exact (or time-limited) solver for the general shared-type case (§V-C).
@@ -97,6 +98,41 @@ impl IlpSolver {
         }
         model
     }
+
+    /// [`Self::build_model`] with per-type machine caps threaded in as
+    /// variable bounds: `x_q ≤ caps[q]` ([`UNLIMITED_CAP`] leaves a type
+    /// unbounded). Bounds — not extra rows — keep the relaxation exactly as
+    /// sparse as the uncapped model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `caps` does not have one entry per machine type.
+    pub fn build_model_with_caps(instance: &Instance, target: Throughput, caps: &[u64]) -> Model {
+        assert_eq!(
+            caps.len(),
+            instance.num_types(),
+            "one cap per machine type is required"
+        );
+        let mut model = Self::build_model(instance, target);
+        let num_recipes = instance.num_recipes();
+        for (q, &cap) in caps.iter().enumerate() {
+            if cap < UNLIMITED_CAP {
+                model.tighten_upper(rental_lp::model::VarId(num_recipes + q), cap as f64);
+            }
+        }
+        model
+    }
+}
+
+/// True when a flattened MILP point `[ρ_1..ρ_J, x_1..x_Q]` respects the
+/// per-type machine caps (warm-start candidates from cap-oblivious sources —
+/// the steepest-descent heuristic, a lifted prior — must be filtered before
+/// they compete on cost, or an infeasible cheaper candidate would shadow a
+/// feasible one).
+fn respects_caps(num_recipes: usize, values: &[f64], caps: &[u64]) -> bool {
+    caps.iter()
+        .enumerate()
+        .all(|(q, &cap)| cap == UNLIMITED_CAP || values[num_recipes + q] <= cap as f64 + 1e-9)
 }
 
 /// Evaluates a split as a warm-start candidate for `target`: the split is
@@ -168,15 +204,57 @@ impl WarmStartSolver for IlpSolver {
         target: Throughput,
         prior: Option<&SweepPrior>,
     ) -> SolveResult<SolverOutcome> {
+        self.solve_capped(instance, target, None, prior)
+    }
+}
+
+impl CapacitySolver for IlpSolver {
+    fn solve_with_caps(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        caps: &[u64],
+        prior: Option<&SweepPrior>,
+    ) -> SolveResult<SolverOutcome> {
+        assert_eq!(
+            caps.len(),
+            instance.num_types(),
+            "one cap per machine type is required"
+        );
+        // All-unlimited caps take the uncapped path verbatim (same model,
+        // same warm starts), so capacity-aware callers can use this entry
+        // point unconditionally.
+        if caps.iter().all(|&cap| cap == UNLIMITED_CAP) {
+            self.solve_capped(instance, target, None, prior)
+        } else {
+            self.solve_capped(instance, target, Some(caps), prior)
+        }
+    }
+}
+
+impl IlpSolver {
+    fn solve_capped(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        caps: Option<&[u64]>,
+        prior: Option<&SweepPrior>,
+    ) -> SolveResult<SolverOutcome> {
         let start = Instant::now();
-        let model = Self::build_model(instance, target);
+        let model = match caps {
+            Some(caps) => Self::build_model_with_caps(instance, target, caps),
+            None => Self::build_model(instance, target),
+        };
         // Objective floor from the sweep: MinCost feasible regions are nested
         // in the target, so a bound proven for a *smaller* target is a valid
         // lower bound here. With integer costs it tightens to the next
         // integer, and branch & bound prunes its whole tree the moment an
         // incumbent reaches it — which happens on every target that shares
         // its optimal cost with the previous one (plateaus are ubiquitous in
-        // fine-grained sweeps because machine capacity is quantized).
+        // fine-grained sweeps because machine capacity is quantized). Capping
+        // only raises the optimum, so the bound survives under caps as long
+        // as the caller respects the `CapacitySolver` contract (the prior's
+        // caps were no tighter than these).
         let floor = prior
             .filter(|prior| prior.target <= target)
             .and_then(|prior| prior.lower_bound)
@@ -187,12 +265,20 @@ impl WarmStartSolver for IlpSolver {
         // keeps the search tractable on the paper's larger instances. In a
         // target sweep, the incumbent of the previous target — lifted to
         // cover the new one — competes with it, and the cheaper of the two
-        // primes the search.
+        // primes the search. Both sources are cap-oblivious, so under caps a
+        // candidate only competes when it respects them.
+        let within_caps = |candidate: &(u64, Vec<f64>)| match caps {
+            Some(caps) => respects_caps(instance.num_recipes(), &candidate.1, caps),
+            None => true,
+        };
         let heuristic = SteepestGradientSolver::default()
             .solve(instance, target)
             .ok()
-            .and_then(|outcome| warm_candidate(instance, target, outcome.solution.split));
-        let lifted = prior.and_then(|prior| lifted_prior(instance, target, &prior.split));
+            .and_then(|outcome| warm_candidate(instance, target, outcome.solution.split))
+            .filter(within_caps);
+        let lifted = prior
+            .and_then(|prior| lifted_prior(instance, target, &prior.split))
+            .filter(within_caps);
         let warm_start = match (heuristic, lifted) {
             (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
             (a, b) => a.or(b),
@@ -276,6 +362,79 @@ mod tests {
         assert_eq!(outcome.cost(), 220); // Table III, rho = 130.
         let bound = outcome.lower_bound.unwrap();
         assert!(bound <= outcome.cost() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn unlimited_caps_match_the_uncapped_solve() {
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        let caps = vec![UNLIMITED_CAP; instance.num_types()];
+        for &rho in &[10u64, 70, 130] {
+            let capped = solver.solve_with_caps(&instance, rho, &caps, None).unwrap();
+            let plain = solver.solve(&instance, rho).unwrap();
+            assert_eq!(capped.cost(), plain.cost(), "rho = {rho}");
+            assert_eq!(capped.solution, plain.solution, "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn caps_are_respected_and_spill_to_costlier_types() {
+        // At rho = 70 the optimum rents 3 machines of type 0 (Table III). A
+        // quota of 1 on type 0 forces the demand onto other, costlier types:
+        // the capped solve stays feasible, respects the quota and costs more.
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        let mut caps = vec![UNLIMITED_CAP; instance.num_types()];
+        caps[0] = 1;
+        let capped = solver.solve_with_caps(&instance, 70, &caps, None).unwrap();
+        assert!(capped.solution.split.covers(70));
+        let counts = capped.solution.allocation.machine_counts();
+        assert!(counts[0] <= 1, "quota violated: {counts:?}");
+        assert!(capped.cost() >= 124, "capping cannot beat the optimum");
+        assert!(capped.proven_optimal);
+    }
+
+    #[test]
+    fn exhausted_quota_is_reported_as_infeasible() {
+        // All-zero caps cannot carry any positive demand.
+        let instance = illustrating_example();
+        let caps = vec![0u64; instance.num_types()];
+        let result = IlpSolver::new().solve_with_caps(&instance, 10, &caps, None);
+        assert!(matches!(
+            result.unwrap_err(),
+            SolveError::NoSolutionFound { .. }
+        ));
+    }
+
+    #[test]
+    fn capped_solves_accept_uncapped_priors() {
+        // A prior from an *uncapped* smaller-target solve is sound under any
+        // caps: its bound can only under-estimate the capped optimum.
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        let prior_outcome = solver.solve(&instance, 50).unwrap();
+        let prior = SweepPrior::from_outcome(50, &prior_outcome);
+        let mut caps = vec![UNLIMITED_CAP; instance.num_types()];
+        caps[0] = 2;
+        let warm = solver
+            .solve_with_caps(&instance, 70, &caps, Some(&prior))
+            .unwrap();
+        let cold = solver.solve_with_caps(&instance, 70, &caps, None).unwrap();
+        assert_eq!(warm.cost(), cold.cost());
+        assert!(warm.solution.allocation.machine_counts()[0] <= 2);
+        assert!(warm.proven_optimal);
+    }
+
+    #[test]
+    fn capped_model_threads_caps_as_bounds() {
+        let instance = illustrating_example();
+        let caps = vec![3, UNLIMITED_CAP, 0, 7];
+        let model = IlpSolver::build_model_with_caps(&instance, 70, &caps);
+        // Same shape as the uncapped model: caps are bounds, not rows.
+        assert_eq!(model.num_vars(), 7);
+        assert_eq!(model.num_constraints(), 5);
+        let uppers: Vec<f64> = model.variables()[3..].iter().map(|v| v.upper).collect();
+        assert_eq!(uppers, vec![3.0, f64::INFINITY, 0.0, 7.0]);
     }
 
     #[test]

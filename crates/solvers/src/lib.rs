@@ -57,8 +57,9 @@ pub mod registry;
 pub mod solver;
 
 pub use batch::{
-    solve_batch, solve_batch_portfolio, solve_batch_timed, solve_batch_with, solve_sweep,
-    solve_sweep_batch_timed, solve_sweep_timed, solve_warm_batch_timed, BatchItem, WarmBatchItem,
+    solve_batch, solve_batch_portfolio, solve_batch_timed, solve_batch_with,
+    solve_caps_batch_timed, solve_sweep, solve_sweep_batch_timed, solve_sweep_timed,
+    solve_warm_batch_timed, BatchItem, CapsBatchItem, WarmBatchItem,
 };
 pub use multicloud::{CloudRegion, MultiCloudProblem, MultiCloudSolution, RegionAllocation};
 pub use registry::{
@@ -66,5 +67,6 @@ pub use registry::{
     SuiteConfig,
 };
 pub use solver::{
-    MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior, WarmStartSolver,
+    CapacitySolver, MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    WarmStartSolver, UNLIMITED_CAP,
 };

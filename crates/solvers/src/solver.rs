@@ -161,6 +161,42 @@ pub trait WarmStartSolver: MinCostSolver {
     ) -> SolveResult<SolverOutcome>;
 }
 
+/// The per-type machine cap meaning "no quota": callers pass this (or
+/// anything `>= UNLIMITED_CAP`) when a type is not capacity constrained.
+pub const UNLIMITED_CAP: u64 = u64::MAX;
+
+/// A solver that can respect **per-type machine caps**: hard upper bounds
+/// `x_q ≤ cap_q` on how many machines of each type the solution may rent.
+/// This is how a shared capacity pool (cloud quotas, failure-degraded
+/// residual capacity) is threaded into a re-solve — the caps become variable
+/// bounds of the MILP, so branch & bound spills demand to costlier types
+/// exactly when the preferred type's quota is exhausted.
+pub trait CapacitySolver: WarmStartSolver {
+    /// Solves the instance for `target` under per-type machine caps
+    /// (`caps[q]` machines of type `q` at most; [`UNLIMITED_CAP`] disables a
+    /// type's cap), optionally warm-started from a related prior.
+    ///
+    /// The prior's incumbent is only ever used as a *candidate* (checked
+    /// against the caps), but its `lower_bound` is trusted as a proven
+    /// objective floor: callers must only pass priors whose bound was proven
+    /// for a target `≤ target` under caps **no tighter** than `caps`
+    /// (tightening caps can only raise the optimum, so such bounds stay
+    /// sound; a bound proven under tighter caps is not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoSolutionFound`] when the caps make the target
+    /// infeasible (the quota cannot carry the demand), plus the usual
+    /// [`MinCostSolver::solve`] error contract.
+    fn solve_with_caps(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        caps: &[u64],
+        prior: Option<&SweepPrior>,
+    ) -> SolveResult<SolverOutcome>;
+}
+
 /// An algorithm that solves the MinCost problem: given an instance and a
 /// target throughput, produce a feasible throughput split and its allocation.
 pub trait MinCostSolver {

@@ -62,13 +62,18 @@ impl FailureModel {
     }
 
     /// Samples the outages of `machine_counts[q]` machines of every type over
-    /// `horizon` time units. The result is deterministic for a fixed seed.
+    /// `horizon` time units. The result is deterministic for a fixed seed,
+    /// and — because every `(type, machine)` slot draws from its own derived
+    /// sub-seed — each machine's outages are **stable under fleet scaling**:
+    /// adding machines (of any type) never reshuffles the outages of the
+    /// machines that were already there. Controllers that rent a growing or
+    /// shrinking prefix of a slot pool therefore see consistent histories.
     pub fn generate(&self, machine_counts: &[u64], horizon: SimTime) -> FailureTrace {
         let mut outages = Vec::new();
         if !self.is_disabled() && horizon > 0.0 {
-            let mut rng = StdRng::seed_from_u64(self.seed);
             for (q, &count) in machine_counts.iter().enumerate() {
                 for machine in 0..count {
+                    let mut rng = StdRng::seed_from_u64(machine_sub_seed(self.seed, q, machine));
                     let mut t = 0.0;
                     loop {
                         // Exponential up-time with mean `mtbf`, sampled by
@@ -101,6 +106,19 @@ impl FailureModel {
         });
         FailureTrace { outages, horizon }
     }
+}
+
+/// Derives the RNG sub-seed of one `(type, machine)` slot from the model
+/// seed: two rounds of 64-bit avalanche mixing (the SplitMix64 finalizer) so
+/// neighbouring slots land on unrelated streams. Keyed sequentially — type
+/// first, then machine — so no `(type, machine)` pair aliases another.
+fn machine_sub_seed(seed: u64, q: usize, machine: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(mix(seed ^ (q as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ machine)
 }
 
 /// One outage of one machine.
@@ -151,22 +169,46 @@ impl FailureTrace {
 
     /// Number of machines of type `q` that are down at time `t`.
     pub fn machines_down(&self, type_id: TypeId, t: SimTime) -> u64 {
+        self.machines_down_among(type_id, u64::MAX, t)
+    }
+
+    /// Number of machines of type `q` **among the first `first_n` slots**
+    /// that are down at time `t`. Controllers that rent a prefix of the slot
+    /// pool (machines `0..rented`) use this to see only the outages of the
+    /// machines they actually hold.
+    pub fn machines_down_among(&self, type_id: TypeId, first_n: u64, t: SimTime) -> u64 {
         self.outages
             .iter()
-            .filter(|o| o.type_id == type_id && o.start <= t && t < o.end)
+            .filter(|o| o.type_id == type_id && o.machine < first_n && o.start <= t && t < o.end)
             .count() as u64
     }
 
     /// Maximum number of machines of type `q` that are simultaneously down
     /// inside the window `[start, end)`.
     pub fn peak_down_in_window(&self, type_id: TypeId, start: SimTime, end: SimTime) -> u64 {
+        self.peak_down_among(type_id, u64::MAX, start, end)
+    }
+
+    /// [`Self::peak_down_in_window`] restricted to the first `first_n` slots
+    /// of the type's pool (the machines a prefix-renting controller holds).
+    pub fn peak_down_among(
+        &self,
+        type_id: TypeId,
+        first_n: u64,
+        start: SimTime,
+        end: SimTime,
+    ) -> u64 {
         // The count only changes at outage boundaries, so it suffices to
         // evaluate it at the window start and at every outage start inside
         // the window.
-        let mut peak = self.machines_down(type_id, start);
+        let mut peak = self.machines_down_among(type_id, first_n, start);
         for outage in &self.outages {
-            if outage.type_id == type_id && outage.start >= start && outage.start < end {
-                peak = peak.max(self.machines_down(type_id, outage.start));
+            if outage.type_id == type_id
+                && outage.machine < first_n
+                && outage.start >= start
+                && outage.start < end
+            {
+                peak = peak.max(self.machines_down_among(type_id, first_n, outage.start));
             }
         }
         peak
@@ -275,6 +317,79 @@ mod tests {
         assert_eq!(trace.peak_down_in_window(TypeId(0), 0.0, 100.0), 2);
         assert_eq!(trace.peak_down_in_window(TypeId(0), 21.0, 100.0), 1);
         assert_eq!(trace.peak_down_in_window(TypeId(1), 20.0, 100.0), 0);
+    }
+
+    /// The outages of one `(type, machine)` slot, sorted by start time.
+    fn slot_outages(trace: &FailureTrace, q: usize, machine: u64) -> Vec<Outage> {
+        trace
+            .outages()
+            .iter()
+            .copied()
+            .filter(|o| o.type_id == TypeId(q) && o.machine == machine)
+            .collect()
+    }
+
+    #[test]
+    fn traces_are_stable_under_fleet_scaling() {
+        // Growing any type's pool (or appending new types) must not reshuffle
+        // the outages of the machines that were already there: each slot draws
+        // from its own derived sub-seed.
+        let model = FailureModel::new(40.0, 2.0, 77);
+        let small = model.generate(&[2, 3], 400.0);
+        let grown = model.generate(&[5, 3], 400.0);
+        let extended = model.generate(&[2, 3, 4], 400.0);
+        for q in 0..2 {
+            for machine in 0..if q == 0 { 2 } else { 3 } {
+                let base = slot_outages(&small, q, machine);
+                assert_eq!(base, slot_outages(&grown, q, machine), "q={q} m={machine}");
+                assert_eq!(
+                    base,
+                    slot_outages(&extended, q, machine),
+                    "q={q} m={machine}"
+                );
+            }
+        }
+        // The grown pool really has outages on the new machines too.
+        assert!((2..5).any(|m| !slot_outages(&grown, 0, m).is_empty()));
+    }
+
+    #[test]
+    fn distinct_slots_draw_distinct_streams() {
+        let model = FailureModel::new(30.0, 1.0, 5);
+        let trace = model.generate(&[2, 2], 2000.0);
+        let a = slot_outages(&trace, 0, 0);
+        let b = slot_outages(&trace, 0, 1);
+        let c = slot_outages(&trace, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn prefix_restricted_counts_see_only_held_slots() {
+        let trace = FailureTrace {
+            outages: vec![
+                Outage {
+                    type_id: TypeId(0),
+                    machine: 0,
+                    start: 10.0,
+                    end: 20.0,
+                },
+                Outage {
+                    type_id: TypeId(0),
+                    machine: 4,
+                    start: 12.0,
+                    end: 22.0,
+                },
+            ],
+            horizon: 50.0,
+        };
+        assert_eq!(trace.machines_down(TypeId(0), 15.0), 2);
+        assert_eq!(trace.machines_down_among(TypeId(0), 3, 15.0), 1);
+        assert_eq!(trace.machines_down_among(TypeId(0), 5, 15.0), 2);
+        assert_eq!(trace.peak_down_among(TypeId(0), 1, 0.0, 50.0), 1);
+        assert_eq!(trace.peak_down_among(TypeId(0), 5, 0.0, 50.0), 2);
+        assert_eq!(trace.peak_down_among(TypeId(0), 0, 0.0, 50.0), 0);
     }
 
     #[test]

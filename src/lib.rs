@@ -25,9 +25,14 @@
 //! * [`pricing`](rental_pricing) — billing models (on-demand, per-second,
 //!   reserved, spot), rental-horizon projection and billing-plan optimisation
 //!   layered on top of MinCost solutions (extension beyond the paper);
+//! * [`capacity`](rental_capacity) — the shared capacity pool: per-type
+//!   machine quotas arbitrated across tenants, capacity-constrained re-solves
+//!   with degraded-mode fallback, failure-coupling configuration (extension
+//!   beyond the paper);
 //! * [`fleet`](rental_fleet) — the multi-tenant streaming re-optimization
 //!   controller: probe / batch re-solve / adopt over a shared epoch clock,
-//!   with switching-cost hysteresis (extension beyond the paper);
+//!   with switching-cost hysteresis and failure-coupled capacity-constrained
+//!   serving (extension beyond the paper);
 //! * [`experiments`](rental_experiments) — the harness regenerating Table III
 //!   and Figures 3–8.
 //!
@@ -52,6 +57,7 @@
 //! assert!(report.sustains(70, 0.9));
 //! ```
 
+pub use rental_capacity as capacity;
 pub use rental_core as core;
 pub use rental_experiments as experiments;
 pub use rental_fleet as fleet;
@@ -63,6 +69,7 @@ pub use rental_stream as stream;
 
 /// Most commonly used items across the workspace, for a single glob import.
 pub mod prelude {
+    pub use rental_capacity::{CapacityConfig, CapacityPool};
     pub use rental_core::plan::ProvisioningPlan;
     pub use rental_core::prelude::*;
     pub use rental_core::Instance;
