@@ -1,0 +1,168 @@
+#![allow(missing_docs)] // criterion_group!/criterion_main! generate undocumented items
+
+//! Benchmark of the **epoch-deadline** serving path: anytime solving under
+//! a per-epoch branch-and-bound node budget, split across each epoch's
+//! batched re-solves.
+//!
+//! * `fleet_deadline/nodes-N` times a full run of the 8-tenant
+//!   diurnal+spike scenario at each budget tier (plus the unlimited tier).
+//! * The harness then runs the same sweep once more as the acceptance
+//!   check and writes `BENCH_fleet_deadline.json`. The floors asserted
+//!   here are the ISSUE-6 acceptance criteria:
+//!   - the **unlimited** tier is bit-identical to the budget-free
+//!     controller (same bill, same adoption trail);
+//!   - every budgeted tier stays within **5%** of the proven-optimal
+//!     bill, the mid tier within **3%** — graceful degradation, not
+//!     collapse;
+//!   - the tight tier actually exercises the anytime ladder (exhausted
+//!     epochs and incumbent adoptions are non-zero).
+//!
+//! Node budgets — unlike wall-clock deadlines — make every row
+//! deterministic, so these floors are stable across machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rental_experiments::{run_fleet_deadline_experiment, FleetDeadlineSpec};
+use rental_fleet::{diurnal_spike_fleet, FleetController, ACCEPTANCE_SEED};
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::SolveBudget;
+
+const NUM_TENANTS: usize = 8;
+const NODE_BUDGETS: [Option<usize>; 4] = [Some(8), Some(64), Some(2_000), None];
+/// The mid tier pinned to the tighter 3% floor.
+const MID_TIER: usize = 64;
+/// The tight tier that must visibly exercise the anytime ladder.
+const TIGHT_TIER: usize = 8;
+
+fn bench_fleet_deadline(c: &mut Criterion) {
+    let solver = IlpSolver::new();
+
+    let mut group = c.benchmark_group("fleet_deadline");
+    group.sample_size(10);
+    for &node_budget in &NODE_BUDGETS {
+        let scenario = diurnal_spike_fleet(NUM_TENANTS, ACCEPTANCE_SEED);
+        let mut policy = scenario.policy;
+        policy.epoch_budget = node_budget.map(SolveBudget::with_node_cap);
+        let controller = FleetController::new(policy);
+        group.bench_with_input(
+            BenchmarkId::new("nodes", node_budget.map_or(0, |n| n as u64)),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    controller
+                        .run(&solver, black_box(&scenario.tenants))
+                        .unwrap()
+                        .total_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // ------------------------------------------------------------------
+    // The budget-sweep acceptance check, summarised into
+    // BENCH_fleet_deadline.json.
+    // ------------------------------------------------------------------
+    let spec = FleetDeadlineSpec {
+        num_tenants: NUM_TENANTS,
+        seed: ACCEPTANCE_SEED,
+        node_budgets: NODE_BUDGETS.to_vec(),
+        threads: None,
+    };
+    let table = run_fleet_deadline_experiment(&spec).expect("the deadline sweep solves");
+    let unlimited = table
+        .unlimited_cost()
+        .expect("the sweep includes the unlimited tier");
+
+    // Floor 1: the unlimited tier is bit-identical to the budget-free run.
+    let plain_scenario = diurnal_spike_fleet(NUM_TENANTS, ACCEPTANCE_SEED);
+    let plain = FleetController::new(plain_scenario.policy)
+        .run(&solver, &plain_scenario.tenants)
+        .expect("the plain scenario solves");
+    assert_eq!(
+        plain.total_cost(),
+        unlimited,
+        "an unlimited epoch budget must not change the bill"
+    );
+    assert_eq!(
+        plain.adoptions.len(),
+        table
+            .rows
+            .iter()
+            .find(|row| row.node_budget.is_none())
+            .map(|row| row.report.adoptions.len())
+            .unwrap(),
+        "an unlimited epoch budget must not change the adoption trail"
+    );
+
+    let mut rows = Vec::new();
+    for row in &table.rows {
+        let report = &row.report;
+        let ratio = table.cost_ratio(row);
+        println!(
+            "fleet_deadline summary (nodes {}): fleet {:.0} ({:.3}x unlimited); {} incumbent \
+             adoptions, {} exhausted epochs, {} deferred, {} retries",
+            row.label(),
+            report.total_cost(),
+            ratio,
+            report.incumbent_adoptions(),
+            report.budget_exhausted_epochs(),
+            report.deferred_resolves(),
+            report.resolve_retries(),
+        );
+        // Floor 2: graceful degradation — no tier collapses the bill.
+        assert!(
+            ratio <= 1.05,
+            "nodes {}: an epoch budget may cost at most 5% over proven-optimal, got {ratio:.4}",
+            row.label()
+        );
+        if row.node_budget == Some(MID_TIER) {
+            assert!(
+                ratio <= 1.03,
+                "nodes {MID_TIER}: the mid tier must stay within 3% of proven-optimal, got \
+                 {ratio:.4}"
+            );
+        }
+        // Floor 3: the tight tier visibly rides the anytime ladder.
+        if row.node_budget == Some(TIGHT_TIER) {
+            assert!(
+                report.budget_exhausted_epochs() > 0,
+                "nodes {TIGHT_TIER}: the tight tier must exhaust some solves"
+            );
+            assert!(
+                report.incumbent_adoptions() > 0,
+                "nodes {TIGHT_TIER}: the tight tier must adopt anytime incumbents"
+            );
+        }
+        rows.push(format!(
+            "    {{\n      \"node_budget\": {},\n      \"fleet_cost\": {:.2},\n      \
+             \"cost_ratio_vs_unlimited\": {ratio:.4},\n      \"incumbent_adoptions\": {},\n      \
+             \"budget_exhausted_epochs\": {},\n      \"deferred_resolves\": {},\n      \
+             \"resolve_retries\": {}\n    }}",
+            row.node_budget
+                .map_or_else(|| "null".to_string(), |n| n.to_string()),
+            report.total_cost(),
+            report.incumbent_adoptions(),
+            report.budget_exhausted_epochs(),
+            report.deferred_resolves(),
+            report.resolve_retries(),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"scenario\": \"diurnal-spike-{NUM_TENANTS}-deadline\",\n  \"tenants\": \
+         {NUM_TENANTS},\n  \"unlimited_cost\": {unlimited:.2},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_fleet_deadline.json", &json)
+        .expect("BENCH_fleet_deadline.json is writable");
+    println!("wrote BENCH_fleet_deadline.json");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fleet_deadline
+}
+criterion_main!(benches);

@@ -15,6 +15,7 @@
 //! repro summary [--configs N]          # headline comparison (paper §VIII-F)
 //! repro fleet [--tenants N]            # multi-tenant streaming re-optimization lane
 //! repro fleet-failure [--tenants N]    # capacity/outage lane: MTBF sweep vs static headroom
+//! repro fleet-deadline [--tenants N]   # anytime lane: per-epoch node-budget sweep vs unlimited
 //! repro lp-large                       # dense-LU vs sparse-LU scaling table (LP substrate)
 //! repro ablation-delta                 # δ-step sweep (extension, DESIGN.md)
 //! repro ablation-escape                # escape-mechanism comparison (extension)
@@ -33,11 +34,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rental_experiments::{
-    delta_sweep, escape_mechanisms, figure_csv, figure_markdown, fleet_csv, fleet_failure_csv,
-    fleet_failure_markdown, fleet_markdown, lp_large_markdown, mutation_sweep, presets,
-    run_experiment, run_fleet_experiment, run_fleet_failure_experiment, run_lp_large, run_table3,
-    table3_csv, table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
-    ExperimentResults, FleetExperimentSpec, FleetFailureSpec, LpLargeSpec, Metric,
+    delta_sweep, escape_mechanisms, figure_csv, figure_markdown, fleet_csv, fleet_deadline_csv,
+    fleet_deadline_markdown, fleet_failure_csv, fleet_failure_markdown, fleet_markdown,
+    lp_large_markdown, mutation_sweep, presets, run_experiment, run_fleet_deadline_experiment,
+    run_fleet_experiment, run_fleet_failure_experiment, run_lp_large, run_table3, table3_csv,
+    table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
+    ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec, FleetFailureSpec, LpLargeSpec,
+    Metric,
 };
 use rental_solvers::SuiteConfig;
 
@@ -117,7 +120,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn print_usage() {
     println!(
-        "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|fleet-failure|lp-large|all|\
+        "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|fleet-failure|\
+         fleet-deadline|lp-large|all|\
          ablation-delta|ablation-escape|ablation-mutation> \
          [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--output-dir DIR] \
          [--threads N] [--tenants N]"
@@ -270,6 +274,34 @@ fn emit_fleet_failure(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn emit_fleet_deadline(options: &Options) -> Result<(), String> {
+    let spec = FleetDeadlineSpec {
+        num_tenants: options.tenants.min(8),
+        seed: options.seed,
+        threads: options.threads,
+        ..FleetDeadlineSpec::default()
+    };
+    eprintln!(
+        "[repro] running the {}-tenant epoch-budget sweep over {:?} nodes (seed {}) ...",
+        spec.num_tenants, spec.node_budgets, spec.seed
+    );
+    let table = run_fleet_deadline_experiment(&spec).map_err(|err| err.to_string())?;
+    let csv = fleet_deadline_csv(&table);
+    let markdown = fleet_deadline_markdown(&table);
+    if options.csv {
+        print!("{csv}");
+    } else {
+        println!(
+            "## Fleet deadline — anytime solving under per-epoch budgets ({})",
+            table.scenario
+        );
+        print!("{markdown}");
+    }
+    persist(options, "fleet_deadline.csv", &csv);
+    persist(options, "fleet_deadline.md", &markdown);
+    Ok(())
+}
+
 fn emit_lp_large(options: &Options) {
     let spec = LpLargeSpec {
         seed: options.seed,
@@ -389,6 +421,12 @@ fn main() -> ExitCode {
         }
         "fleet-failure" => {
             if let Err(message) = emit_fleet_failure(&options) {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "fleet-deadline" => {
+            if let Err(message) = emit_fleet_deadline(&options) {
                 eprintln!("error: {message}");
                 return ExitCode::FAILURE;
             }

@@ -21,6 +21,10 @@
 //! * [`fleet_failure`] — the capacity/outage lane: the same fleet under
 //!   finite quotas and machine failures (MTBF sweep), fleet-with-repair vs
 //!   the static-headroom baseline on cost and SLO-violation epochs;
+//! * [`fleet_deadline`] — the anytime/graceful-degradation lane: the same
+//!   fleet under a per-epoch solve budget (node-cap sweep), measuring what
+//!   anytime incumbents, deferred re-solves and capped exponential backoff
+//!   cost against the proven-optimal (unlimited) run;
 //! * [`lp_large`] — the LP substrate scaling lane: sparse Markowitz LU vs
 //!   the retained dense LU (refactorization and end-to-end revised-simplex
 //!   timing, fill-in, hyper-sparse hit rate) on wide-platform MinCost
@@ -36,6 +40,7 @@
 
 pub mod ablation;
 pub mod fleet;
+pub mod fleet_deadline;
 pub mod fleet_failure;
 pub mod lp_large;
 pub mod report;
@@ -47,6 +52,10 @@ pub use ablation::{
     delta_sweep, escape_mechanisms, mutation_sweep, AblationResults, AblationRow, AblationSpec,
 };
 pub use fleet::{fleet_csv, fleet_markdown, run_fleet_experiment, FleetExperimentSpec, FleetTable};
+pub use fleet_deadline::{
+    fleet_deadline_csv, fleet_deadline_markdown, run_fleet_deadline_experiment, FleetDeadlineRow,
+    FleetDeadlineSpec, FleetDeadlineTable,
+};
 pub use fleet_failure::{
     failure_sweep_solver, fleet_failure_csv, fleet_failure_markdown, run_fleet_failure_experiment,
     FleetFailureRow, FleetFailureSpec, FleetFailureTable,

@@ -1,0 +1,507 @@
+//! Deterministic seeded fault injection for the fleet controller — chaos
+//! engineering for the probe / solve / adopt loop.
+//!
+//! [`ChaosSolver`] wraps any [`CapacitySolver`] and, on every intercepted
+//! re-solve, draws a fault from a [SplitMix64](https://prng.di.unimi.it/)
+//! stream keyed by [`ChaosConfig::seed`] and the call index:
+//!
+//! * **timeout** — the solve is cut short with
+//!   [`SolveError::BudgetExhausted`] before any incumbent exists;
+//! * **spurious infeasible** — [`SolveError::NoSolutionFound`] even though
+//!   the instance is perfectly feasible;
+//! * **singular** — a simulated singular refactorization. Per the
+//!   `rental-lp` recovery ladder a singular basis is retried (Bland from
+//!   scratch, then dense LU) and only ever surfaces as a *recoverable*
+//!   iteration-limit outcome, so at the solver boundary it is injected as
+//!   [`SolveError::BudgetExhausted`]: inconclusive and retryable, never a
+//!   panic;
+//! * **poisoned prior** — the warm-start prior's proven lower bound is
+//!   inflated before delegation, exercising the prior-soundness guards of
+//!   the ILP solver (a poisoned floor must be dropped, not trusted).
+//!
+//! [`ChaosClock`] additionally injects **delayed arbitration decisions**:
+//! an epoch whose draw fires re-applies the *previous* epoch's desired
+//! fleets to the capacity pool, so tenants serve on stale grants.
+//!
+//! The first `tenants.len()` calls (the initial batch) are never faulted —
+//! every tenant needs *some* plan before the epoch clock starts, exactly
+//! like the controller's own unbudgeted initial solves. Everything is
+//! deterministic for a fixed seed and a single solver thread; the chaos
+//! property tests pin that the controller **never panics**, never grants
+//! above quota, and degrades toward the fixed-mix baseline as the fault
+//! rate approaches 1.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use rental_capacity::CapacityConfig;
+use rental_core::{Instance, Throughput};
+use rental_solvers::solver::{
+    CapacitySolver, MinCostSolver, SolveBudget, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    WarmStartSolver,
+};
+
+use crate::controller::FleetController;
+use crate::report::FleetReport;
+use crate::tenant::TenantSpec;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, the same generator the
+/// LP layer uses for its deterministic anti-stall perturbation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)` (53 mantissa bits).
+fn unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Parameters of the fault injector. All rates are probabilities in
+/// `[0, 1]`; the default is all-zero (chaos disabled — every call delegates
+/// untouched).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability of an injected solve timeout
+    /// ([`SolveError::BudgetExhausted`] with no incumbent).
+    pub timeout_rate: f64,
+    /// Probability of a spurious [`SolveError::NoSolutionFound`].
+    pub infeasible_rate: f64,
+    /// Probability of a simulated singular refactorization (surfaces as
+    /// [`SolveError::BudgetExhausted`] — see the module docs).
+    pub singular_rate: f64,
+    /// Probability that the warm-start prior's lower bound is poisoned
+    /// (inflated) before the solve.
+    pub poison_prior_rate: f64,
+    /// Multiplier applied to a poisoned prior's lower bound (clamped to at
+    /// least 1).
+    pub poison_factor: f64,
+    /// Probability that an epoch's capacity arbitration acts on the
+    /// previous epoch's desired fleets (a delayed decision).
+    pub arbitration_delay_rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            timeout_rate: 0.0,
+            infeasible_rate: 0.0,
+            singular_rate: 0.0,
+            poison_prior_rate: 0.0,
+            poison_factor: 10.0,
+            arbitration_delay_rate: 0.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A disabled (all-zero) config with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// Total probability that a re-solve errors outright (timeout, spurious
+    /// infeasible or singular — the poisoned prior still solves).
+    pub fn failure_rate(&self) -> f64 {
+        self.timeout_rate + self.infeasible_rate + self.singular_rate
+    }
+}
+
+/// Counters of the faults actually injected over one run.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    timeouts: AtomicUsize,
+    infeasibles: AtomicUsize,
+    singulars: AtomicUsize,
+    poisoned_priors: AtomicUsize,
+    delayed_arbitrations: AtomicUsize,
+}
+
+impl ChaosStats {
+    /// Injected solve timeouts.
+    pub fn timeouts(&self) -> usize {
+        self.timeouts.load(Ordering::SeqCst)
+    }
+
+    /// Injected spurious infeasibilities.
+    pub fn infeasibles(&self) -> usize {
+        self.infeasibles.load(Ordering::SeqCst)
+    }
+
+    /// Injected singular refactorizations.
+    pub fn singulars(&self) -> usize {
+        self.singulars.load(Ordering::SeqCst)
+    }
+
+    /// Priors whose lower bound was poisoned before delegation.
+    pub fn poisoned_priors(&self) -> usize {
+        self.poisoned_priors.load(Ordering::SeqCst)
+    }
+
+    /// Epochs whose arbitration acted on stale desired fleets.
+    pub fn delayed_arbitrations(&self) -> usize {
+        self.delayed_arbitrations.load(Ordering::SeqCst)
+    }
+
+    /// Total injected faults of every kind.
+    pub fn total_faults(&self) -> usize {
+        self.timeouts()
+            + self.infeasibles()
+            + self.singulars()
+            + self.poisoned_priors()
+            + self.delayed_arbitrations()
+    }
+}
+
+/// The fault kind drawn for one intercepted call.
+enum Fault {
+    Timeout,
+    Infeasible,
+    Singular,
+    Poison,
+}
+
+/// A [`CapacitySolver`] wrapper that injects deterministic faults; see the
+/// module docs for the fault catalogue.
+pub struct ChaosSolver<'a, S> {
+    inner: &'a S,
+    config: ChaosConfig,
+    /// Calls `0..protected` (the initial batch) are never faulted.
+    protected: u64,
+    calls: AtomicU64,
+    stats: &'a ChaosStats,
+}
+
+impl<'a, S> ChaosSolver<'a, S> {
+    /// Wraps `inner`, protecting the first `protected` calls (one per
+    /// tenant of the run's initial batch).
+    pub fn new(inner: &'a S, config: ChaosConfig, protected: usize, stats: &'a ChaosStats) -> Self {
+        ChaosSolver {
+            inner,
+            config,
+            protected: protected as u64,
+            calls: AtomicU64::new(0),
+            stats,
+        }
+    }
+
+    /// Draws the fault (if any) for the next intercepted call and counts
+    /// it. Deterministic for a fixed seed and call order (single-threaded
+    /// solves).
+    fn draw(&self) -> Option<Fault> {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst);
+        if n < self.protected {
+            return None;
+        }
+        let u = unit(splitmix64(
+            self.config.seed ^ n.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        ));
+        let c = &self.config;
+        let fault = if u < c.timeout_rate {
+            Fault::Timeout
+        } else if u < c.timeout_rate + c.infeasible_rate {
+            Fault::Infeasible
+        } else if u < c.failure_rate() {
+            Fault::Singular
+        } else if u < c.failure_rate() + c.poison_prior_rate {
+            Fault::Poison
+        } else {
+            return None;
+        };
+        match fault {
+            Fault::Timeout => self.stats.timeouts.fetch_add(1, Ordering::SeqCst),
+            Fault::Infeasible => self.stats.infeasibles.fetch_add(1, Ordering::SeqCst),
+            Fault::Singular => self.stats.singulars.fetch_add(1, Ordering::SeqCst),
+            Fault::Poison => self.stats.poisoned_priors.fetch_add(1, Ordering::SeqCst),
+        };
+        Some(fault)
+    }
+
+    /// The injected error of a killed solve.
+    fn injected_error(&self, fault: &Fault) -> SolveError {
+        match fault {
+            Fault::Infeasible => SolveError::NoSolutionFound {
+                solver: "chaos".to_string(),
+            },
+            // Timeouts and singular refactorizations are both inconclusive
+            // and retryable at this boundary.
+            _ => SolveError::BudgetExhausted {
+                solver: "chaos".to_string(),
+            },
+        }
+    }
+
+    /// A copy of `prior` with its proven lower bound inflated — a bound the
+    /// downstream solver must refuse to trust blindly.
+    fn poisoned(&self, prior: Option<&SweepPrior>) -> Option<SweepPrior> {
+        prior.map(|p| SweepPrior {
+            lower_bound: p
+                .lower_bound
+                .map(|b| b * self.config.poison_factor.max(1.0) + 1.0),
+            ..p.clone()
+        })
+    }
+}
+
+impl<S: MinCostSolver> MinCostSolver for ChaosSolver<'_, S> {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+
+    /// Plain solves are not faulted (the controller's serving loop never
+    /// issues them; baselines must stay honest).
+    fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+        self.inner.solve(instance, target)
+    }
+}
+
+impl<S: WarmStartSolver> WarmStartSolver for ChaosSolver<'_, S> {
+    fn solve_with_prior(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        prior: Option<&SweepPrior>,
+    ) -> SolveResult<SolverOutcome> {
+        match self.draw() {
+            Some(Fault::Poison) => {
+                let poisoned = self.poisoned(prior);
+                self.inner
+                    .solve_with_prior(instance, target, poisoned.as_ref())
+            }
+            Some(fault) => Err(self.injected_error(&fault)),
+            None => self.inner.solve_with_prior(instance, target, prior),
+        }
+    }
+
+    fn solve_with_prior_budgeted(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        prior: Option<&SweepPrior>,
+        budget: &SolveBudget,
+    ) -> SolveResult<SolverOutcome> {
+        match self.draw() {
+            Some(Fault::Poison) => {
+                let poisoned = self.poisoned(prior);
+                self.inner
+                    .solve_with_prior_budgeted(instance, target, poisoned.as_ref(), budget)
+            }
+            Some(fault) => Err(self.injected_error(&fault)),
+            None => self
+                .inner
+                .solve_with_prior_budgeted(instance, target, prior, budget),
+        }
+    }
+}
+
+impl<S: CapacitySolver> CapacitySolver for ChaosSolver<'_, S> {
+    fn solve_with_caps(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        caps: &[u64],
+        prior: Option<&SweepPrior>,
+    ) -> SolveResult<SolverOutcome> {
+        match self.draw() {
+            Some(Fault::Poison) => {
+                let poisoned = self.poisoned(prior);
+                self.inner
+                    .solve_with_caps(instance, target, caps, poisoned.as_ref())
+            }
+            Some(fault) => Err(self.injected_error(&fault)),
+            None => self.inner.solve_with_caps(instance, target, caps, prior),
+        }
+    }
+
+    fn solve_with_caps_budgeted(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        caps: &[u64],
+        prior: Option<&SweepPrior>,
+        budget: &SolveBudget,
+    ) -> SolveResult<SolverOutcome> {
+        match self.draw() {
+            Some(Fault::Poison) => {
+                let poisoned = self.poisoned(prior);
+                self.inner.solve_with_caps_budgeted(
+                    instance,
+                    target,
+                    caps,
+                    poisoned.as_ref(),
+                    budget,
+                )
+            }
+            Some(fault) => Err(self.injected_error(&fault)),
+            None => self
+                .inner
+                .solve_with_caps_budgeted(instance, target, caps, prior, budget),
+        }
+    }
+}
+
+/// Per-epoch arbitration chaos: decides which epochs act on stale desired
+/// fleets. Keyed independently of the solver fault stream so the two do not
+/// correlate.
+pub struct ChaosClock<'a> {
+    config: ChaosConfig,
+    stats: &'a ChaosStats,
+}
+
+impl ChaosClock<'_> {
+    /// Whether this epoch's arbitration decision is delayed (counted when
+    /// it is). Thread-independent: keyed on the epoch index alone.
+    pub(crate) fn delays_epoch(&self, epoch: usize) -> bool {
+        let u = unit(splitmix64(
+            self.config.seed ^ (epoch as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        ));
+        let delayed = u < self.config.arbitration_delay_rate;
+        if delayed {
+            self.stats
+                .delayed_arbitrations
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        delayed
+    }
+}
+
+impl FleetController {
+    /// [`FleetController::run_with_capacity`] under deterministic fault
+    /// injection: solver faults per [`ChaosConfig`]'s rates, arbitration
+    /// delays per [`ChaosConfig::arbitration_delay_rate`]. The initial
+    /// batch (one solve per tenant) is never faulted.
+    ///
+    /// With an all-zero config this is behaviourally identical to
+    /// [`FleetController::run_with_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FleetController::run_with_capacity`]; injected
+    /// timeouts and spurious infeasibilities are absorbed by the
+    /// controller's degradation ladder (anytime incumbents, then
+    /// keep-current-plan with backoff), never propagated.
+    pub fn run_with_chaos<S: CapacitySolver + Sync>(
+        &self,
+        solver: &S,
+        tenants: &[TenantSpec],
+        config: &CapacityConfig,
+        chaos: ChaosConfig,
+    ) -> SolveResult<(FleetReport, ChaosStats)> {
+        let stats = ChaosStats::default();
+        let report = {
+            let wrapped = ChaosSolver::new(solver, chaos, tenants.len(), &stats);
+            let clock = ChaosClock {
+                config: chaos,
+                stats: &stats,
+            };
+            self.run_core_coupled_chaos(&wrapped, tenants, config, Some(&clock))?
+        };
+        Ok((report, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rental_core::examples::illustrating_example;
+    use rental_solvers::exact::IlpSolver;
+    use rental_stream::WorkloadTrace;
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![TenantSpec::new(
+            "chaotic",
+            illustrating_example(),
+            WorkloadTrace::diurnal(20.0, 160.0, 12.0, 2),
+        )]
+    }
+
+    #[test]
+    fn unit_draws_are_deterministic_and_in_range() {
+        for n in 0..1000u64 {
+            let u = unit(splitmix64(n));
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+            assert_eq!(u, unit(splitmix64(n)));
+        }
+    }
+
+    #[test]
+    fn disabled_chaos_is_behaviourally_identical() {
+        let policy = crate::FleetPolicy {
+            switching_cost: 4.0,
+            threads: Some(1),
+            ..crate::FleetPolicy::default()
+        };
+        let config = CapacityConfig::unconstrained();
+        let plain = FleetController::new(policy)
+            .run_with_capacity(&IlpSolver::new(), &tenants(), &config)
+            .unwrap();
+        let (chaotic, stats) = FleetController::new(policy)
+            .run_with_chaos(
+                &IlpSolver::new(),
+                &tenants(),
+                &config,
+                ChaosConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(stats.total_faults(), 0);
+        assert_eq!(plain.adoptions.len(), chaotic.adoptions.len());
+        for (a, b) in plain.tenants.iter().zip(&chaotic.tenants) {
+            assert_eq!(a.epoch_costs, b.epoch_costs);
+            assert_eq!(a.rental_cost, b.rental_cost);
+            assert_eq!(a.resolves, b.resolves);
+            assert_eq!(a.adoptions, b.adoptions);
+        }
+    }
+
+    #[test]
+    fn protected_initial_calls_are_never_faulted() {
+        let stats = ChaosStats::default();
+        let chaos = ChaosConfig {
+            timeout_rate: 1.0,
+            ..ChaosConfig::with_seed(7)
+        };
+        let inner = IlpSolver::new();
+        let solver = ChaosSolver::new(&inner, chaos, 2, &stats);
+        let instance = illustrating_example();
+        // The first two calls (the "initial batch") succeed.
+        assert!(solver.solve_with_prior(&instance, 70, None).is_ok());
+        assert!(solver.solve_with_prior(&instance, 70, None).is_ok());
+        // Every later call is killed by the injected timeout.
+        for _ in 0..5 {
+            let err = solver.solve_with_prior(&instance, 70, None).unwrap_err();
+            assert!(matches!(err, SolveError::BudgetExhausted { .. }));
+        }
+        assert_eq!(stats.timeouts(), 5);
+    }
+
+    #[test]
+    fn poisoned_priors_are_defused_by_the_solver_guards() {
+        let stats = ChaosStats::default();
+        let chaos = ChaosConfig {
+            poison_prior_rate: 1.0,
+            ..ChaosConfig::with_seed(3)
+        };
+        let inner = IlpSolver::new();
+        let solver = ChaosSolver::new(&inner, chaos, 0, &stats);
+        let instance = illustrating_example();
+        let honest = inner.solve(&instance, 70).unwrap();
+        let prior = SweepPrior::from_outcome(70, &honest);
+        let outcome = solver
+            .solve_with_prior(&instance, 70, Some(&prior))
+            .unwrap();
+        // The poisoned floor (10× the optimum) must not inflate the cost,
+        // and any surviving bound must stay below the returned cost.
+        assert_eq!(outcome.cost(), honest.cost());
+        if let Some(bound) = outcome.lower_bound {
+            assert!(bound <= outcome.cost() as f64 + 1e-6);
+        }
+        assert_eq!(stats.poisoned_priors(), 1);
+    }
+}

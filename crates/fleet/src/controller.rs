@@ -19,9 +19,13 @@ use rental_core::{
 };
 use rental_pricing::{HorizonCache, OnDemand, RentalHorizon, SegmentedBilling};
 use rental_solvers::batch::CapsBatchItem;
-use rental_solvers::batch::{solve_caps_batch_timed, solve_warm_batch_timed, WarmBatchItem};
+use rental_solvers::batch::{
+    solve_caps_batch_budgeted, solve_caps_batch_timed, solve_warm_batch_budgeted,
+    solve_warm_batch_timed, WarmBatchItem,
+};
 use rental_solvers::solver::{
-    CapacitySolver, SolveResult, SolverOutcome, SweepPrior, WarmStartSolver,
+    CapacitySolver, SolveBudget, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    WarmStartSolver,
 };
 use rental_stream::{
     AutoscalePolicy, Autoscaler, FailureTrace, FixedMixScaler, FixedMixState, WorkloadTrace,
@@ -62,6 +66,21 @@ pub struct FleetPolicy {
     pub resolve: bool,
     /// Cap on solver worker threads (`None`: one per available CPU).
     pub threads: Option<usize>,
+    /// Per-epoch solve budget shared by every re-solve batch of one epoch:
+    /// the batch scheduler splits the countable caps across the pending
+    /// units ([`SolveBudget::split`]) while a wall-clock deadline is shared
+    /// by the concurrent fan-out. A budgeted solve that runs out with an
+    /// incumbent is adopted as an **anytime** plan; one that runs out with
+    /// no incumbent defers the tenant (it keeps its current plan and is
+    /// re-queued with backoff). `None` (the default) keeps the unbudgeted
+    /// path bit-identical. Initial solves are never budgeted — every tenant
+    /// needs *some* plan before the epoch clock starts.
+    pub epoch_budget: Option<SolveBudget>,
+    /// Cap (in epochs) on the exponential re-queue backoff of a tenant whose
+    /// budgeted re-solve was exhausted without an incumbent: the tenant is
+    /// retried after 1, 2, 4, … epochs, clamped to this cap — deferred,
+    /// never dropped.
+    pub backoff_cap: usize,
 }
 
 impl Default for FleetPolicy {
@@ -76,7 +95,38 @@ impl Default for FleetPolicy {
             per_machine_switching_cost: 0.0,
             resolve: true,
             threads: None,
+            epoch_budget: None,
+            backoff_cap: 8,
         }
+    }
+}
+
+/// The next capped-exponential backoff step (in epochs): 1, 2, 4, …,
+/// clamped to `cap`.
+fn next_backoff(current: usize, cap: usize) -> usize {
+    if current == 0 {
+        1
+    } else {
+        current.saturating_mul(2).min(cap.max(1))
+    }
+}
+
+/// Defers a tenant whose re-solve produced no usable plan: it keeps its
+/// current plan and sits out a capped-exponential backoff window before the
+/// next attempt — deferred, never dropped.
+fn defer(state: &mut TenantState<'_>, epoch: usize, cap: usize) {
+    state.deferred_resolves += 1;
+    state.backoff = next_backoff(state.backoff, cap);
+    state.deferred_until = epoch + 1 + state.backoff;
+}
+
+/// Closes an open backoff window after a successful re-solve: the retry is
+/// counted and the backoff schedule resets.
+fn close_backoff(state: &mut TenantState<'_>) {
+    if state.backoff > 0 {
+        state.resolve_retries += 1;
+        state.backoff = 0;
+        state.deferred_until = 0;
     }
 }
 
@@ -290,6 +340,12 @@ struct TenantState<'a> {
     /// outage situation is unchanged, re-solving it again cannot produce a
     /// different answer, so the violated epochs are only counted.
     last_failure_solve: Option<(Throughput, Vec<u64>)>,
+    /// First epoch at which a deferred tenant may re-solve again; epochs
+    /// before it keep the current plan (counted as deferred re-solves).
+    deferred_until: usize,
+    /// Current backoff step (epochs); doubles per consecutive exhaustion up
+    /// to [`FleetPolicy::backoff_cap`], resets on a successful re-solve.
+    backoff: usize,
     // Accounting.
     rental_cost: f64,
     switching_cost: f64,
@@ -302,6 +358,10 @@ struct TenantState<'a> {
     slo_violations: usize,
     failure_resolves: usize,
     degraded_resolves: usize,
+    deferred_resolves: usize,
+    budget_exhausted_epochs: usize,
+    incumbent_adoptions: usize,
+    resolve_retries: usize,
 }
 
 impl TenantState<'_> {
@@ -317,6 +377,7 @@ trait CapsResolve: Sync {
     fn caps_batch(
         &self,
         items: &[CapsBatchItem<'_>],
+        budget: Option<&SolveBudget>,
         threads: Option<usize>,
     ) -> Vec<(SolveResult<SolverOutcome>, Duration)>;
 
@@ -333,9 +394,13 @@ impl<S: CapacitySolver + Sync> CapsResolve for S {
     fn caps_batch(
         &self,
         items: &[CapsBatchItem<'_>],
+        budget: Option<&SolveBudget>,
         threads: Option<usize>,
     ) -> Vec<(SolveResult<SolverOutcome>, Duration)> {
-        solve_caps_batch_timed(self, items, threads)
+        match budget {
+            Some(budget) => solve_caps_batch_budgeted(self, items, budget, threads),
+            None => solve_caps_batch_timed(self, items, threads),
+        }
     }
 
     fn caps_degrade(
@@ -442,7 +507,7 @@ impl FleetController {
         solver: &S,
         tenants: &[TenantSpec],
     ) -> SolveResult<FleetReport> {
-        self.run_core(solver, tenants, None)
+        self.run_core(solver, tenants, None, None)
     }
 
     /// Runs the fleet under a shared capacity pool with failure coupling:
@@ -470,7 +535,20 @@ impl FleetController {
         tenants: &[TenantSpec],
         config: &CapacityConfig,
     ) -> SolveResult<FleetReport> {
-        self.run_core(solver, tenants, Some(Coupling { config, solver }))
+        self.run_core(solver, tenants, Some(Coupling { config, solver }), None)
+    }
+
+    /// [`FleetController::run_with_capacity`] with an optional chaos clock
+    /// injecting delayed arbitration decisions — the entry point used by
+    /// [`FleetController::run_with_chaos`](crate::chaos).
+    pub(crate) fn run_core_coupled_chaos<S: CapacitySolver + Sync>(
+        &self,
+        solver: &S,
+        tenants: &[TenantSpec],
+        config: &CapacityConfig,
+        chaos: Option<&crate::chaos::ChaosClock<'_>>,
+    ) -> SolveResult<FleetReport> {
+        self.run_core(solver, tenants, Some(Coupling { config, solver }), chaos)
     }
 
     fn run_core<S: WarmStartSolver + Sync>(
@@ -478,32 +556,37 @@ impl FleetController {
         solver: &S,
         tenants: &[TenantSpec],
         coupling: Option<Coupling<'_>>,
+        chaos: Option<&crate::chaos::ChaosClock<'_>>,
     ) -> SolveResult<FleetReport> {
         let policy = &self.policy;
         let caps_config = coupling.as_ref().map(|c| c.config);
         let caps_solver = coupling.as_ref().map(|c| c.solver);
         // Serving knobs under failure coupling: provision `1/availability`
         // head-room plus N+k redundancy so expected outages do not
-        // immediately violate the demand. Without failures both collapse to
-        // the plain policy, keeping the unconstrained path bit-identical.
-        let failures_enabled = caps_config.is_some_and(|c| !c.failures.is_disabled());
-        let availability = if failures_enabled {
-            caps_config.unwrap().availability()
-        } else {
-            1.0
-        };
-        let serve_headroom = if failures_enabled && caps_config.unwrap().outage_headroom {
+        // immediately violate the demand. Destructured from the config once
+        // instead of re-unwrapping it at every use site; without failures
+        // everything collapses to the plain policy, keeping the
+        // unconstrained path bit-identical.
+        let (failures_enabled, availability, outage_headroom, failure_redundancy, failure_resolve) =
+            match caps_config {
+                Some(config) if !config.failures.is_disabled() => (
+                    true,
+                    config.availability(),
+                    config.outage_headroom,
+                    config.failure_redundancy,
+                    config.resolve_on_failure,
+                ),
+                Some(config) => (false, 1.0, false, 0, config.resolve_on_failure),
+                None => (false, 1.0, false, 0, false),
+            };
+        let serve_headroom = if failures_enabled && outage_headroom {
             policy.headroom / availability
         } else {
             policy.headroom
         };
         let scaling = AutoscalePolicy {
             headroom: serve_headroom,
-            redundancy: if failures_enabled {
-                caps_config.unwrap().failure_redundancy
-            } else {
-                0
-            },
+            redundancy: failure_redundancy,
             ..policy.autoscale_policy()
         };
         let baseline_scaling = policy.autoscale_policy();
@@ -548,6 +631,8 @@ impl FleetController {
                 probe_cache: HashMap::new(),
                 known,
                 last_failure_solve: None,
+                deferred_until: 0,
+                backoff: 0,
                 rental_cost: 0.0,
                 switching_cost: 0.0,
                 epoch_costs: Vec::new(),
@@ -559,6 +644,10 @@ impl FleetController {
                 slo_violations: 0,
                 failure_resolves: 0,
                 degraded_resolves: 0,
+                deferred_resolves: 0,
+                budget_exhausted_epochs: 0,
+                incumbent_adoptions: 0,
+                resolve_retries: 0,
                 spec,
             });
         }
@@ -598,6 +687,10 @@ impl FleetController {
 
         let num_epochs = states.iter().map(|s| s.peaks.len()).max().unwrap_or(0);
         let mut adoptions: Vec<AdoptionRecord> = Vec::new();
+        // The previous epoch's desired fleets, kept only under chaos so the
+        // clock can replay them as a delayed arbitration decision. The
+        // chaos-free path never populates this and stays bit-identical.
+        let mut stale_desired: Option<Vec<Vec<u64>>> = None;
 
         // ------------------------------------------------------------------
         // The shared epoch clock.
@@ -656,7 +749,19 @@ impl FleetController {
                         }
                         desired.push(fleet);
                     }
-                    let grants = cs.pool.arbitrate_epoch(&desired);
+                    // Under chaos, a delayed decision re-arbitrates on the
+                    // previous epoch's desired fleets — tenants then serve
+                    // the epoch on stale grants.
+                    let delayed = chaos.is_some_and(|clock| clock.delays_epoch(epoch));
+                    let grants = if delayed {
+                        cs.pool
+                            .arbitrate_epoch(stale_desired.as_ref().unwrap_or(&desired))
+                    } else {
+                        cs.pool.arbitrate_epoch(&desired)
+                    };
+                    if chaos.is_some() {
+                        stale_desired = Some(desired);
+                    }
                     for (i, state) in states.iter_mut().enumerate() {
                         let Some(&rate) = state.peaks.get(epoch) else {
                             continue;
@@ -686,11 +791,18 @@ impl FleetController {
                             continue;
                         }
                         state.slo_violations += 1;
-                        if !(policy.resolve && caps_config.unwrap().resolve_on_failure) {
+                        if !(policy.resolve && failure_resolve) {
                             continue;
                         }
                         let rho = quantize_target(rate, serve_headroom, state.granularity);
                         if rho == 0 {
+                            continue;
+                        }
+                        // A deferred tenant keeps its current plan until its
+                        // backoff window ends; the violation is still
+                        // counted above.
+                        if epoch < state.deferred_until {
+                            state.deferred_resolves += 1;
                             continue;
                         }
                         // Effective caps for the re-solve: holdings plus
@@ -725,9 +837,10 @@ impl FleetController {
 
             // Failure re-solves: probe (fractional coverage bound) first,
             // then one batched capacity-constrained fan-out, then the
-            // degraded-mode fallback for what the quota cannot carry.
-            if !failure_due.is_empty() {
-                let resolver = caps_solver.unwrap();
+            // degraded-mode fallback for what the quota cannot carry. Only
+            // the coupled path populates `failure_due`, so the caps solver
+            // exists whenever the list is non-empty.
+            if let (Some(resolver), false) = (caps_solver, failure_due.is_empty()) {
                 let mut full: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
                 let mut needs_degrade: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
                 for (i, rho, caps) in failure_due {
@@ -790,17 +903,23 @@ impl FleetController {
                         )
                     })
                     .collect();
-                let results = resolver.caps_batch(&items, policy.threads);
+                let split_budget = policy.epoch_budget.map(|b| b.split(full.len().max(1)));
+                let results = resolver.caps_batch(&items, split_budget.as_ref(), policy.threads);
                 drop(items);
                 for ((i, rho, caps), (result, elapsed)) in full.into_iter().zip(results) {
-                    {
-                        let state = &mut states[i];
-                        state.solve_seconds += elapsed.as_secs_f64();
-                        state.failure_resolves += 1;
-                        state.last_failure_solve = Some((rho, caps.clone()));
-                    }
+                    states[i].solve_seconds += elapsed.as_secs_f64();
                     match result {
                         Ok(outcome) => {
+                            {
+                                let state = &mut states[i];
+                                state.failure_resolves += 1;
+                                state.last_failure_solve = Some((rho, caps));
+                                if outcome.exhausted {
+                                    state.budget_exhausted_epochs += 1;
+                                    state.incumbent_adoptions += 1;
+                                }
+                                close_backoff(state);
+                            }
                             self.adopt_failure_plan(
                                 &mut states[i],
                                 &mut adoptions,
@@ -812,11 +931,19 @@ impl FleetController {
                                 &scaling,
                             )?;
                         }
-                        Err(rental_solvers::SolveError::NoSolutionFound { .. }) => {
+                        Err(SolveError::BudgetExhausted { .. }) => {
+                            // Exhausted with no incumbent: inconclusive.
+                            // Keep the current plan, skip the episode memo
+                            // (a retry with more budget can succeed) and
+                            // re-queue with backoff.
+                            let state = &mut states[i];
+                            state.budget_exhausted_epochs += 1;
+                            defer(state, epoch, policy.backoff_cap);
+                        }
+                        Err(SolveError::NoSolutionFound { .. }) => {
                             // The fractional bound over-estimated what
                             // integer machine counts can do; degrade.
                             needs_degrade.push((i, rho, caps));
-                            states[i].failure_resolves -= 1;
                         }
                         Err(err) => return Err(err),
                     }
@@ -835,8 +962,16 @@ impl FleetController {
                         state.failure_resolves += 1;
                         state.last_failure_solve = Some((rho, caps));
                     }
-                    match result? {
-                        CappedOutcome::Full(outcome) => {
+                    match result {
+                        Ok(CappedOutcome::Full(outcome)) => {
+                            {
+                                let state = &mut states[i];
+                                if outcome.exhausted {
+                                    state.budget_exhausted_epochs += 1;
+                                    state.incumbent_adoptions += 1;
+                                }
+                                close_backoff(state);
+                            }
                             self.adopt_failure_plan(
                                 &mut states[i],
                                 &mut adoptions,
@@ -848,8 +983,16 @@ impl FleetController {
                                 &scaling,
                             )?;
                         }
-                        CappedOutcome::Degraded { target, outcome } => {
-                            states[i].degraded_resolves += 1;
+                        Ok(CappedOutcome::Degraded { target, outcome }) => {
+                            {
+                                let state = &mut states[i];
+                                state.degraded_resolves += 1;
+                                if outcome.exhausted {
+                                    state.budget_exhausted_epochs += 1;
+                                    state.incumbent_adoptions += 1;
+                                }
+                                close_backoff(state);
+                            }
                             self.adopt_failure_plan(
                                 &mut states[i],
                                 &mut adoptions,
@@ -863,7 +1006,24 @@ impl FleetController {
                         }
                         // Nothing rentable at all: keep the current fleet
                         // and keep counting the violations.
-                        CappedOutcome::Unserved => {}
+                        Ok(CappedOutcome::Unserved) => {}
+                        Err(
+                            err @ (SolveError::BudgetExhausted { .. }
+                            | SolveError::NoSolutionFound { .. }),
+                        ) => {
+                            // Even the degraded fallback came up empty
+                            // (budget or an injected fault): keep the
+                            // current plan, forget the episode memo and
+                            // re-queue with backoff.
+                            let state = &mut states[i];
+                            state.failure_resolves -= 1;
+                            state.last_failure_solve = None;
+                            if matches!(err, SolveError::BudgetExhausted { .. }) {
+                                state.budget_exhausted_epochs += 1;
+                            }
+                            defer(state, epoch, policy.backoff_cap);
+                        }
+                        Err(err) => return Err(err),
                     }
                 }
             }
@@ -901,6 +1061,12 @@ impl FleetController {
                 }
                 let remaining_hours = tenant_remaining(state);
                 if remaining_hours <= 0.0 {
+                    continue;
+                }
+                // A deferred tenant sits out its backoff window: it keeps
+                // its current plan, and the suppressed re-solve is counted.
+                if epoch < state.deferred_until {
+                    state.deferred_resolves += 1;
                     continue;
                 }
                 if !state.mix_carries_demand() {
@@ -961,15 +1127,44 @@ impl FleetController {
                         WarmBatchItem::new(&states[i].spec.instance, rho, states[i].prior.as_ref())
                     })
                     .collect();
-                let results = solve_warm_batch_timed(solver, &items, policy.threads);
+                let results = match policy.epoch_budget {
+                    Some(budget) => solve_warm_batch_budgeted(
+                        solver,
+                        &items,
+                        &budget.split(to_solve.len().max(1)),
+                        policy.threads,
+                    ),
+                    None => solve_warm_batch_timed(solver, &items, policy.threads),
+                };
                 for (&(i, rho), (result, elapsed)) in to_solve.iter().zip(results) {
-                    let outcome = result?;
                     let state = &mut states[i];
-                    state.resolves += 1;
                     state.solve_seconds += elapsed.as_secs_f64();
-                    state.prior = Some(SweepPrior::from_outcome(rho, &outcome));
-                    let cache = self.plan_cache(&state.spec.instance, &outcome.solution)?;
-                    state.known.insert(rho, KnownPlan { outcome, cache });
+                    match result {
+                        Ok(outcome) => {
+                            state.resolves += 1;
+                            if outcome.exhausted {
+                                state.budget_exhausted_epochs += 1;
+                            }
+                            close_backoff(state);
+                            state.prior = Some(SweepPrior::from_outcome(rho, &outcome));
+                            let cache = self.plan_cache(&state.spec.instance, &outcome.solution)?;
+                            state.known.insert(rho, KnownPlan { outcome, cache });
+                        }
+                        Err(
+                            err @ (SolveError::BudgetExhausted { .. }
+                            | SolveError::NoSolutionFound { .. }),
+                        ) => {
+                            // No usable plan came back (exhausted with no
+                            // incumbent, or an injected spurious
+                            // infeasibility): keep the current plan and
+                            // re-queue with backoff — deferred, not dropped.
+                            if matches!(err, SolveError::BudgetExhausted { .. }) {
+                                state.budget_exhausted_epochs += 1;
+                            }
+                            defer(state, epoch, policy.backoff_cap);
+                        }
+                        Err(err) => return Err(err),
+                    }
                 }
             }
 
@@ -980,18 +1175,18 @@ impl FleetController {
             // mix rescaled to ρ') and the candidate's fleet.
             for (i, rho, keep_projected, remaining_hours) in due {
                 let state = &mut states[i];
-                let switch_projected = state.known[&rho]
-                    .cache
-                    .total(RentalHorizon::hours(remaining_hours));
+                // A deferred re-solve left no plan at ρ': the tenant keeps
+                // its current plan; the backoff schedule re-queues it.
+                let Some(known) = state.known.get(&rho) else {
+                    continue;
+                };
+                let switch_projected = known.cache.total(RentalHorizon::hours(remaining_hours));
                 let kept_fleet = state.scaler.required_for_target(rho as f64);
                 let charge = policy.switching_charge(
                     &kept_fleet,
-                    state.known[&rho]
-                        .outcome
-                        .solution
-                        .allocation
-                        .machine_counts(),
+                    known.outcome.solution.allocation.machine_counts(),
                 );
+                let candidate_exhausted = known.outcome.exhausted;
                 // A forced switch (no keep option) bypasses the hysteresis:
                 // the demand must be served.
                 let adopted = keep_projected.is_none_or(|keep| switch_projected + charge < keep);
@@ -1008,6 +1203,11 @@ impl FleetController {
                 if adopted {
                     let candidate = state.known[&rho].outcome.solution.clone();
                     state.adoptions += 1;
+                    if candidate_exhausted {
+                        // An anytime incumbent (feasible, not proven
+                        // optimal) is adopted like any plan.
+                        state.incumbent_adoptions += 1;
+                    }
                     state.switching_cost += charge;
                     state.fractions = Autoscaler::split_fractions(&candidate);
                     state.scaler =
@@ -1091,6 +1291,10 @@ impl FleetController {
                     slo_violation_epochs: state.slo_violations,
                     failure_resolves: state.failure_resolves,
                     degraded_resolves: state.degraded_resolves,
+                    deferred_resolves: state.deferred_resolves,
+                    budget_exhausted_epochs: state.budget_exhausted_epochs,
+                    incumbent_adoptions: state.incumbent_adoptions,
+                    resolve_retries: state.resolve_retries,
                 }
             })
             .collect();
@@ -1167,6 +1371,8 @@ mod tests {
     use super::*;
     use rental_core::examples::illustrating_example;
     use rental_solvers::exact::IlpSolver;
+    use rental_solvers::MinCostSolver;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn diurnal_tenant() -> TenantSpec {
         TenantSpec::new(
@@ -1611,6 +1817,204 @@ mod tests {
         assert!(tenant.degraded_resolves <= 2);
         // Costs never exceed what the quota can rent.
         assert!(tenant.rental_cost > 0.0);
+    }
+
+    #[test]
+    fn next_backoff_doubles_and_clamps() {
+        assert_eq!(next_backoff(0, 8), 1);
+        assert_eq!(next_backoff(1, 8), 2);
+        assert_eq!(next_backoff(4, 8), 8);
+        assert_eq!(next_backoff(8, 8), 8);
+        // A zero cap still yields a one-epoch backoff, never a busy loop.
+        assert_eq!(next_backoff(0, 0), 1);
+        assert_eq!(next_backoff(1, 0), 1);
+    }
+
+    #[test]
+    fn unlimited_epoch_budget_is_bit_identical_to_no_budget() {
+        let tenants = vec![diurnal_tenant()];
+        let policy = FleetPolicy {
+            switching_cost: 4.0,
+            ..FleetPolicy::default()
+        };
+        let plain = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        let budgeted = FleetController::new(FleetPolicy {
+            epoch_budget: Some(SolveBudget::unlimited()),
+            ..policy
+        })
+        .run(&IlpSolver::new(), &tenants)
+        .unwrap();
+        assert_eq!(plain.adoptions, budgeted.adoptions);
+        for (a, b) in plain.tenants.iter().zip(&budgeted.tenants) {
+            assert_eq!(a.epoch_costs, b.epoch_costs);
+            assert_eq!(a.rental_cost, b.rental_cost);
+            assert_eq!(a.switching_cost, b.switching_cost);
+            assert_eq!(a.resolves, b.resolves);
+            assert_eq!(a.probes, b.probes);
+            assert_eq!(a.adoptions, b.adoptions);
+            assert_eq!(b.deferred_resolves, 0);
+            assert_eq!(b.budget_exhausted_epochs, 0);
+            assert_eq!(b.incumbent_adoptions, 0);
+            assert_eq!(b.resolve_retries, 0);
+        }
+    }
+
+    /// Delegates to the ILP solver but fails the first `failures` *budgeted*
+    /// warm solves with [`SolveError::BudgetExhausted`] — a deterministic
+    /// stand-in for an epoch budget too tight to find any incumbent.
+    struct ExhaustingSolver {
+        inner: IlpSolver,
+        failures: AtomicUsize,
+    }
+
+    impl MinCostSolver for ExhaustingSolver {
+        fn name(&self) -> &str {
+            "exhausting"
+        }
+
+        fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+            self.inner.solve(instance, target)
+        }
+    }
+
+    impl WarmStartSolver for ExhaustingSolver {
+        fn solve_with_prior(
+            &self,
+            instance: &Instance,
+            target: Throughput,
+            prior: Option<&SweepPrior>,
+        ) -> SolveResult<SolverOutcome> {
+            self.inner.solve_with_prior(instance, target, prior)
+        }
+
+        fn solve_with_prior_budgeted(
+            &self,
+            instance: &Instance,
+            target: Throughput,
+            prior: Option<&SweepPrior>,
+            budget: &SolveBudget,
+        ) -> SolveResult<SolverOutcome> {
+            if self
+                .failures
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(SolveError::BudgetExhausted {
+                    solver: "exhausting".to_string(),
+                });
+            }
+            self.inner
+                .solve_with_prior_budgeted(instance, target, prior, budget)
+        }
+    }
+
+    #[test]
+    fn exhausted_resolves_defer_with_backoff_and_retry() {
+        let tenants = vec![diurnal_tenant()];
+        let solver = ExhaustingSolver {
+            inner: IlpSolver::new(),
+            failures: AtomicUsize::new(1),
+        };
+        let policy = FleetPolicy {
+            epoch_budget: Some(SolveBudget::unlimited()),
+            ..FleetPolicy::default()
+        };
+        let report = FleetController::new(policy).run(&solver, &tenants).unwrap();
+        let tenant = &report.tenants[0];
+        // The first budgeted re-solve was exhausted without an incumbent:
+        // the tenant kept its plan, sat out a backoff window, and succeeded
+        // on the retry — never dropped, never an error.
+        assert!(tenant.budget_exhausted_epochs >= 1);
+        assert!(tenant.deferred_resolves >= 1);
+        assert_eq!(tenant.resolve_retries, 1);
+        assert!(tenant.resolves >= 1);
+        assert!(tenant.adoptions >= 1);
+        // Every epoch is still billed: deferral keeps serving on the
+        // current plan.
+        assert_eq!(tenant.epoch_costs.len(), report.epochs);
+        assert_eq!(report.deferred_resolves(), tenant.deferred_resolves);
+        assert_eq!(report.resolve_retries(), 1);
+    }
+
+    /// Delegates to the ILP solver but reports every budgeted outcome as a
+    /// budget-exhausted incumbent (feasible, not proven optimal) — the
+    /// anytime contract's happy path.
+    struct AnytimeSolver {
+        inner: IlpSolver,
+    }
+
+    impl MinCostSolver for AnytimeSolver {
+        fn name(&self) -> &str {
+            "anytime"
+        }
+
+        fn solve(&self, instance: &Instance, target: Throughput) -> SolveResult<SolverOutcome> {
+            self.inner.solve(instance, target)
+        }
+    }
+
+    impl WarmStartSolver for AnytimeSolver {
+        fn solve_with_prior(
+            &self,
+            instance: &Instance,
+            target: Throughput,
+            prior: Option<&SweepPrior>,
+        ) -> SolveResult<SolverOutcome> {
+            self.inner.solve_with_prior(instance, target, prior)
+        }
+
+        fn solve_with_prior_budgeted(
+            &self,
+            instance: &Instance,
+            target: Throughput,
+            prior: Option<&SweepPrior>,
+            budget: &SolveBudget,
+        ) -> SolveResult<SolverOutcome> {
+            let mut outcome = self
+                .inner
+                .solve_with_prior_budgeted(instance, target, prior, budget)?;
+            outcome.exhausted = true;
+            outcome.proven_optimal = false;
+            outcome.lower_bound = None;
+            Ok(outcome)
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_incumbents_are_adopted_as_anytime_plans() {
+        let tenants = vec![diurnal_tenant()];
+        let policy = FleetPolicy {
+            switching_cost: 5.0,
+            epoch_budget: Some(SolveBudget::unlimited()),
+            ..FleetPolicy::default()
+        };
+        let plain = FleetController::new(policy)
+            .run(&IlpSolver::new(), &tenants)
+            .unwrap();
+        let anytime = FleetController::new(policy)
+            .run(
+                &AnytimeSolver {
+                    inner: IlpSolver::new(),
+                },
+                &tenants,
+            )
+            .unwrap();
+        let tenant = &anytime.tenants[0];
+        assert!(tenant.adoptions >= 1);
+        // Every adoption of a *freshly solved* plan was an anytime
+        // incumbent (re-adoptions of the unbudgeted initial plan are not),
+        // and every successful budgeted solve counted one budget-exhausted
+        // epoch.
+        assert!(tenant.incumbent_adoptions >= 1);
+        assert!(tenant.incumbent_adoptions <= tenant.adoptions);
+        assert_eq!(tenant.budget_exhausted_epochs, tenant.resolves);
+        assert_eq!(anytime.incumbent_adoptions(), tenant.incumbent_adoptions);
+        // The incumbents here are secretly optimal, so the economics match
+        // the plain run exactly.
+        assert_eq!(plain.tenants[0].rental_cost, tenant.rental_cost);
+        assert_eq!(plain.tenants[0].switching_cost, tenant.switching_cost);
     }
 
     #[test]

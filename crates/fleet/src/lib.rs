@@ -52,6 +52,36 @@
 //! [`rental_capacity::CapacityConfig::unconstrained`] the coupled path is
 //! bit-identical to [`FleetController::run`].
 //!
+//! ## Deadlines, anytime incumbents and the degradation ladder
+//!
+//! [`FleetPolicy::epoch_budget`] caps the solving work spent per epoch: the
+//! budget (wall-clock deadline, branch-and-bound node cap, simplex
+//! iteration cap — any subset) is split across the epoch's batched
+//! re-solves. Exhausted solves are **anytime**: when the MILP holds an
+//! incumbent at exhaustion it is returned marked
+//! [`rental_solvers::SolverOutcome::exhausted`] and adopted like any other
+//! candidate (counted in [`TenantReport::incumbent_adoptions`]); without an
+//! incumbent the tenant **keeps its current plan** and the re-solve is
+//! deferred under capped exponential backoff (1, 2, 4, … epochs up to
+//! [`FleetPolicy::backoff_cap`]), counted in
+//! [`TenantReport::deferred_resolves`] and closed by the first successful
+//! retry ([`TenantReport::resolve_retries`]). The full degradation ladder,
+//! from healthiest to last resort:
+//!
+//! 1. **full solve** — proven-optimal plan within budget;
+//! 2. **anytime incumbent** — best feasible plan at exhaustion;
+//! 3. **keep current plan + backoff** — serve on the stale plan, retry
+//!    later;
+//! 4. **fixed-mix rescale** — the autoscaler baseline every tenant can
+//!    always fall back to (and the cost the chaos tests pin as the
+//!    worst-case envelope when the fault rate approaches 1).
+//!
+//! The [`chaos`] module stress-tests exactly this ladder with deterministic
+//! seeded fault injection — injected solve timeouts, spurious
+//! infeasibilities, singular refactorizations, poisoned warm-start priors
+//! and delayed arbitration decisions — via
+//! [`FleetController::run_with_chaos`].
+//!
 //! Switching charges can also be **per-machine-delta**
 //! ([`FleetPolicy::per_machine_switching_cost`]): on adoption, only the
 //! machines that actually change between the kept and adopted fleets are
@@ -75,11 +105,13 @@
 //! assert!(report.total_cost() <= report.fixed_mix_cost());
 //! ```
 
+pub mod chaos;
 pub mod controller;
 pub mod report;
 pub mod scenario;
 pub mod tenant;
 
+pub use chaos::{ChaosConfig, ChaosSolver, ChaosStats};
 pub use controller::{initial_target, FleetController, FleetPolicy};
 pub use rental_capacity::CapacityConfig;
 pub use report::{AdoptionRecord, FleetReport, TenantReport};

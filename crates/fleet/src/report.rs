@@ -96,6 +96,18 @@ pub struct TenantReport {
     /// Failure re-solves that could not serve the full target and fell back
     /// to the largest quota-feasible target (degraded mode).
     pub degraded_resolves: usize,
+    /// Re-solves suppressed because the tenant's previous budgeted solve was
+    /// exhausted without an incumbent: the tenant kept its current plan and
+    /// sat out a capped-exponential backoff window (deferred, not dropped).
+    pub deferred_resolves: usize,
+    /// Epochs in which a solve for this tenant hit its budget — with an
+    /// incumbent (adopted anytime) or without (deferred).
+    pub budget_exhausted_epochs: usize,
+    /// Adoptions of budget-exhausted incumbents: plans that are feasible but
+    /// not proven optimal (the anytime contract in action).
+    pub incumbent_adoptions: usize,
+    /// Deferred re-solves that later succeeded after their backoff window.
+    pub resolve_retries: usize,
 }
 
 impl TenantReport {
@@ -220,6 +232,26 @@ impl FleetReport {
         self.tenants.iter().map(|t| t.degraded_resolves).sum()
     }
 
+    /// Total re-solves deferred to a backoff window across the fleet.
+    pub fn deferred_resolves(&self) -> usize {
+        self.tenants.iter().map(|t| t.deferred_resolves).sum()
+    }
+
+    /// Total budget-exhausted solve epochs across the fleet.
+    pub fn budget_exhausted_epochs(&self) -> usize {
+        self.tenants.iter().map(|t| t.budget_exhausted_epochs).sum()
+    }
+
+    /// Total anytime-incumbent adoptions across the fleet.
+    pub fn incumbent_adoptions(&self) -> usize {
+        self.tenants.iter().map(|t| t.incumbent_adoptions).sum()
+    }
+
+    /// Total post-backoff re-solve successes across the fleet.
+    pub fn resolve_retries(&self) -> usize {
+        self.tenants.iter().map(|t| t.resolve_retries).sum()
+    }
+
     /// Total wall-clock seconds spent probing.
     pub fn probe_seconds(&self) -> f64 {
         self.tenants.iter().map(|t| t.probe_seconds).sum()
@@ -254,6 +286,10 @@ mod tests {
             slo_violation_epochs: 1,
             failure_resolves: 1,
             degraded_resolves: 0,
+            deferred_resolves: 2,
+            budget_exhausted_epochs: 1,
+            incumbent_adoptions: 1,
+            resolve_retries: 1,
         }
     }
 
@@ -279,6 +315,10 @@ mod tests {
         assert_eq!(report.static_headroom_violations(), 6);
         assert_eq!(report.failure_resolves(), 2);
         assert_eq!(report.degraded_resolves(), 0);
+        assert_eq!(report.deferred_resolves(), 4);
+        assert_eq!(report.budget_exhausted_epochs(), 2);
+        assert_eq!(report.incumbent_adoptions(), 2);
+        assert_eq!(report.resolve_retries(), 2);
         assert!(report.probe_seconds() > 0.0 && report.solve_seconds() > 0.0);
     }
 

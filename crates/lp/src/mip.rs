@@ -40,6 +40,12 @@ pub struct SolveLimits {
     pub time_limit: Option<Duration>,
     /// Maximum number of explored nodes; `None` means unlimited.
     pub node_limit: Option<usize>,
+    /// Maximum number of **simplex iterations summed over all node
+    /// relaxations**; `None` means unlimited. Unlike the wall-clock limit
+    /// this cap is deterministic (the same instance stops at the same node on
+    /// every machine), which is what epoch-budgeted fleet re-solves and CI
+    /// pin against.
+    pub lp_iteration_limit: Option<usize>,
     /// Stop as soon as the relative gap between incumbent and best bound is
     /// below this value. 0 proves optimality.
     pub gap_tolerance: f64,
@@ -52,6 +58,7 @@ impl Default for SolveLimits {
         SolveLimits {
             time_limit: None,
             node_limit: None,
+            lp_iteration_limit: None,
             gap_tolerance: 0.0,
             integrality_tol: 1e-6,
         }
@@ -287,6 +294,12 @@ impl MipSolver {
             }
             if let Some(limit) = self.limits.node_limit {
                 if nodes_explored >= limit {
+                    hit_limit = true;
+                    break;
+                }
+            }
+            if let Some(limit) = self.limits.lp_iteration_limit {
+                if lp_iterations >= limit {
                     hit_limit = true;
                     break;
                 }
@@ -681,6 +694,38 @@ mod tests {
         if sol.has_incumbent() {
             assert!(sol.objective >= sol_full.objective - 1e-9);
         }
+    }
+
+    #[test]
+    fn lp_iteration_limit_stops_deterministically_with_an_incumbent() {
+        // Same covering MILP as the node-limit test; capping total simplex
+        // iterations at 1 stops right after the root relaxation, where the
+        // rounding heuristic has already produced an incumbent — the anytime
+        // contract (best incumbent, Feasible status) instead of a failure.
+        let mut model = Model::minimize();
+        let vars: Vec<_> = (0..6)
+            .map(|i| model.add_nonneg_int_var(format!("x{i}"), (i + 1) as f64))
+            .collect();
+        for k in 0..6 {
+            let terms = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i + k) % 3 + 1) as f64))
+                .collect();
+            model.add_constraint(terms, Relation::GreaterEq, 7.0 + k as f64);
+        }
+        let limits = SolveLimits {
+            lp_iteration_limit: Some(1),
+            ..SolveLimits::default()
+        };
+        let first = MipSolver::with_limits(limits).solve(&model).unwrap();
+        let second = MipSolver::with_limits(limits).solve(&model).unwrap();
+        assert!(first.has_incumbent());
+        assert_eq!(first.status, MipStatus::Feasible);
+        assert_eq!(first.nodes, second.nodes, "iteration cap is deterministic");
+        assert_close(first.objective, second.objective);
+        let full = MipSolver::new().solve(&model).unwrap();
+        assert!(first.objective >= full.objective - 1e-9);
     }
 
     #[test]

@@ -93,6 +93,35 @@ const PRICING_SECTIONS: usize = 8;
 /// Below this many columns the full Dantzig scan is cheap and picks globally
 /// best entering columns; partial sections only pay off on wide models.
 const PRICING_FULL_SCAN_BELOW: usize = 512;
+/// Relative magnitude of the anti-stall cost perturbation: each column's cost
+/// is nudged by at most this fraction of `1 + max |c_j|`. Large enough to
+/// split a degenerate plateau apart under Dantzig pricing, small enough that
+/// the perturbed pivots still head towards the true optimum.
+const PERTURB_SCALE: f64 = 1e-7;
+
+/// Deterministic unit-interval noise for one column index (the SplitMix64
+/// finalizer): the anti-stall perturbation must be reproducible run-to-run,
+/// so it hashes the column index instead of sampling.
+fn unit_noise(j: usize) -> f64 {
+    let mut z = (j as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The bounded deterministic cost perturbation of the anti-stall ladder:
+/// `c_j + scale · noise(j)` with `scale = PERTURB_SCALE · (1 + max |c_j|)`.
+/// Strictly positive per-column offsets (lexicographic-style) break the exact
+/// ties that let degenerate vertices trap the pricing rule.
+fn perturbed_costs(cost: &[f64]) -> Vec<f64> {
+    let max_abs = cost.iter().fold(0.0_f64, |acc, &c| acc.max(c.abs()));
+    let scale = PERTURB_SCALE * (1.0 + max_abs);
+    cost.iter()
+        .enumerate()
+        .map(|(j, &c)| c + scale * (0.5 + 0.5 * unit_noise(j)))
+        .collect()
+}
 
 /// Nonbasic / basic status of one column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -360,37 +389,82 @@ impl RevisedLp {
         self.cold_solve(&lower, &upper, options)
     }
 
-    /// Cold two-phase primal solve under the given working bounds.
+    /// Cold two-phase primal solve under the given working bounds, with a
+    /// **singular-refactorization recovery ladder**. A singular basis is a
+    /// pivot-path artifact (an unlucky eta sequence the threshold-Markowitz
+    /// factorization cannot reorder around), not a property of the model, so
+    /// before giving up the solve is retried along a different path:
+    ///
+    /// 1. normal cold solve (partial pricing, sparse LU);
+    /// 2. on singularity, a from-scratch retry under Bland pricing — the
+    ///    lowest-index pivot sequence routes around the basis that broke;
+    /// 3. on a second singularity, a retry on the dense-LU backend, whose
+    ///    partial pivoting factorizes bases the sparse threshold rejects.
+    ///
+    /// Only when every rung fails does the solve surface as the recoverable
+    /// [`LpStatus::IterationLimit`]; numerical failure is an outcome, never a
+    /// panic. Each rung is bounded by `options.max_iterations`, so the ladder
+    /// multiplies the worst-case pivot count by at most three.
     fn cold_solve(&self, lower: &[f64], upper: &[f64], options: &SimplexOptions) -> RevisedOutcome {
+        let (outcome, singular) = self.cold_attempt(lower, upper, options);
+        if !singular {
+            return outcome;
+        }
+        let retry = SimplexOptions {
+            bland_after: 0,
+            ..*options
+        };
+        let (outcome, singular) = self.cold_attempt(lower, upper, &retry);
+        if !singular || options.dense_lu {
+            return outcome;
+        }
+        let dense = SimplexOptions {
+            bland_after: 0,
+            dense_lu: true,
+            ..*options
+        };
+        self.cold_attempt(lower, upper, &dense).0
+    }
+
+    /// One rung of [`cold_solve`](Self::cold_solve): a two-phase primal
+    /// attempt. The second component is `true` iff the attempt died on a
+    /// singular refactorization (the recoverable case the ladder retries);
+    /// conclusive outcomes and plain iteration exhaustion return `false`.
+    fn cold_attempt(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        options: &SimplexOptions,
+    ) -> (RevisedOutcome, bool) {
         let mut state = SolverState::cold(self, lower, upper, options);
         if state.needs_phase1 {
             let phase1_cost = state.phase1_cost.clone();
             match state.primal_simplex(&phase1_cost) {
                 InnerStatus::Optimal => {}
+                InnerStatus::Unstable => return (state.failed(LpStatus::IterationLimit), true),
                 // Phase 1 minimizes a sum of absolute values, which is
-                // bounded below, so anything but Optimal here is an iteration
-                // cap or numerical trouble; both surface as IterationLimit.
-                _ => return state.failed(LpStatus::IterationLimit),
+                // bounded below, so anything else here is an iteration cap;
+                // it surfaces as the recoverable IterationLimit.
+                _ => return (state.failed(LpStatus::IterationLimit), false),
             }
             let infeasibility = state.phase1_infeasibility(&phase1_cost);
             if infeasibility > options.tol.max(DRIFT_TOL) {
-                return state.failed(LpStatus::Infeasible);
+                return (state.failed(LpStatus::Infeasible), false);
             }
             if !state.retire_artificials() {
                 // The factorization is unusable (singular refactorization);
-                // surface the solve as inconclusive rather than running phase
-                // 2 on corrupted factors.
-                return state.failed(LpStatus::IterationLimit);
+                // abandon the attempt rather than running phase 2 on
+                // corrupted factors.
+                return (state.failed(LpStatus::IterationLimit), true);
             }
         }
         let cost = self.cost.clone();
         match state.primal_simplex(&cost) {
-            InnerStatus::Optimal => self.extract(&mut state, LpStatus::Optimal),
-            InnerStatus::Unbounded => state.failed(LpStatus::Unbounded),
-            InnerStatus::Infeasible => state.failed(LpStatus::Infeasible),
-            InnerStatus::IterationLimit | InnerStatus::Unstable => {
-                state.failed(LpStatus::IterationLimit)
-            }
+            InnerStatus::Optimal => (self.extract(&mut state, LpStatus::Optimal), false),
+            InnerStatus::Unbounded => (state.failed(LpStatus::Unbounded), false),
+            InnerStatus::Infeasible => (state.failed(LpStatus::Infeasible), false),
+            InnerStatus::IterationLimit => (state.failed(LpStatus::IterationLimit), false),
+            InnerStatus::Unstable => (state.failed(LpStatus::IterationLimit), true),
         }
     }
 
@@ -913,16 +987,40 @@ impl<'a> SolverState<'a> {
         w: &mut SparseVector,
     ) -> InnerStatus {
         let m = self.lp.m;
+        // Anti-stall ladder: consecutive zero-step pivots are the signature
+        // of stalling (and the precondition of cycling). After `stall_after`
+        // of them the objective is perturbed by a bounded deterministic
+        // amount — degenerate vertices split apart and Dantzig pricing walks
+        // off the plateau — and when the *perturbed* problem prices out, the
+        // true costs are restored and iteration continues, so optimality is
+        // only ever proved against the real objective. A second stall drops
+        // the perturbation and forces Bland's rule (provably finite) for the
+        // remainder of the phase.
+        let mut degenerate_streak = 0usize;
+        let mut perturbed: Option<Vec<f64>> = None;
+        let mut perturbation_spent = false;
+        let mut force_bland = false;
         for local_iter in 0..self.options.max_iterations {
             if self.factor.eta_count() >= REFACTOR_EVERY && !self.refresh_factorization() {
                 return InnerStatus::Unstable;
             }
-            let use_bland = local_iter >= self.options.bland_after;
+            if degenerate_streak >= self.options.stall_after.max(1) {
+                degenerate_streak = 0;
+                if perturbation_spent {
+                    perturbed = None;
+                    force_bland = true;
+                } else {
+                    perturbation_spent = true;
+                    perturbed = Some(perturbed_costs(cost));
+                }
+            }
+            let use_bland = force_bland || local_iter >= self.options.bland_after;
+            let active_cost: &[f64] = perturbed.as_deref().unwrap_or(cost);
 
             // Pricing: y = B⁻ᵀ c_B, then reduced costs of nonbasic columns.
             y.reset(m);
             for (r, &col) in self.basis.iter().enumerate() {
-                let c = cost[col];
+                let c = active_cost[col];
                 if c != 0.0 {
                     y.set(r, c);
                 }
@@ -930,7 +1028,14 @@ impl<'a> SolverState<'a> {
             self.factor.btran(y);
 
             let tol = self.options.tol;
-            let Some((q, _, increase)) = self.price_entering(cost, y, use_bland) else {
+            let Some((q, _, increase)) = self.price_entering(active_cost, y, use_bland) else {
+                if perturbed.take().is_some() {
+                    // Optimal for the perturbed objective only: restore the
+                    // true costs and keep pivoting from this (primal
+                    // feasible, plateau-free) basis.
+                    degenerate_streak = 0;
+                    continue;
+                }
                 return InnerStatus::Optimal;
             };
             let dir = if increase { 1.0 } else { -1.0 };
@@ -990,7 +1095,17 @@ impl<'a> SolverState<'a> {
             }
 
             match leaving {
-                None if best_t.is_infinite() => return InnerStatus::Unbounded,
+                None if best_t.is_infinite() => {
+                    if perturbed.take().is_some() {
+                        // A perturbed reduced cost can open a ray that the
+                        // true objective is flat along; an unbounded verdict
+                        // under perturbation proves nothing about the real
+                        // problem. Drop the perturbation and re-price.
+                        degenerate_streak = 0;
+                        continue;
+                    }
+                    return InnerStatus::Unbounded;
+                }
                 None => {
                     // Bound flip: the entering column crosses its whole range.
                     let t = best_t;
@@ -1006,6 +1121,11 @@ impl<'a> SolverState<'a> {
                         ColStatus::AtLower
                     };
                     self.iterations += 1;
+                    if t <= tol {
+                        degenerate_streak += 1;
+                    } else {
+                        degenerate_streak = 0;
+                    }
                 }
                 Some((r, to)) => {
                     if w.get(r).abs() < MIN_PIVOT {
@@ -1034,6 +1154,11 @@ impl<'a> SolverState<'a> {
                     self.xb[r] = entering_value;
                     self.factor.push_eta(r, w);
                     self.iterations += 1;
+                    if t <= tol {
+                        degenerate_streak += 1;
+                    } else {
+                        degenerate_streak = 0;
+                    }
                 }
             }
         }
@@ -1568,5 +1693,88 @@ mod tests {
             sparse.factor_stats.fill_nnz > 0,
             "sparse backend tracks fill"
         );
+    }
+
+    /// Beale's cycling example: Dantzig pricing with naive tie-breaks loops
+    /// forever on this LP. With Bland disabled until far past the pivot
+    /// budget, termination at the true optimum (-1/20) is owed entirely to
+    /// the anti-stall ladder (perturbation, then forced Bland).
+    fn beale_cycling_model() -> Model {
+        let mut model = Model::minimize();
+        let x1 = model.add_nonneg_var("x1", -0.75);
+        let x2 = model.add_nonneg_var("x2", 150.0);
+        let x3 = model.add_nonneg_var("x3", -0.02);
+        let x4 = model.add_nonneg_var("x4", 6.0);
+        model.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::LessEq,
+            0.0,
+        );
+        model.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::LessEq,
+            0.0,
+        );
+        model.add_constraint(vec![(x3, 1.0)], Relation::LessEq, 1.0);
+        model
+    }
+
+    #[test]
+    fn stall_ladder_solves_beales_cycling_example_without_bland_after() {
+        let model = beale_cycling_model();
+        let out = RevisedLp::new(&model).unwrap().solve(&SimplexOptions {
+            bland_after: usize::MAX,
+            stall_after: 8,
+            max_iterations: 2_000,
+            ..SimplexOptions::default()
+        });
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((objective(&model, &out) - (-0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggressive_stall_ladder_never_changes_the_optimum() {
+        // stall_after = 1 fires the perturbation (and then Bland) almost
+        // immediately; the answer must match the default path exactly.
+        let model = beale_cycling_model();
+        let lp = RevisedLp::new(&model).unwrap();
+        let default = lp.solve(&SimplexOptions::default());
+        let aggressive = lp.solve(&SimplexOptions {
+            stall_after: 1,
+            ..SimplexOptions::default()
+        });
+        assert_eq!(default.status, LpStatus::Optimal);
+        assert_eq!(aggressive.status, LpStatus::Optimal);
+        assert!((objective(&model, &default) - objective(&model, &aggressive)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbation_noise_is_deterministic_and_bounded() {
+        let cost = vec![1.0, -3.0, 0.0, 250.0];
+        let a = perturbed_costs(&cost);
+        let b = perturbed_costs(&cost);
+        assert_eq!(a, b, "anti-stall perturbation must be reproducible");
+        let scale = PERTURB_SCALE * (1.0 + 250.0);
+        for (j, (&p, &c)) in a.iter().zip(cost.iter()).enumerate() {
+            let delta = p - c;
+            assert!(
+                delta > 0.0 && delta <= scale,
+                "column {j}: perturbation {delta} outside (0, {scale}]"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_limit_is_a_recoverable_outcome() {
+        // A pivot budget of zero cannot panic: the solve reports the
+        // recoverable IterationLimit with no values.
+        let model = beale_cycling_model();
+        let out = RevisedLp::new(&model).unwrap().solve(&SimplexOptions {
+            max_iterations: 0,
+            ..SimplexOptions::default()
+        });
+        assert_eq!(out.status, LpStatus::IterationLimit);
+        assert!(out.values.is_empty());
+        assert!(out.basis.is_none());
     }
 }

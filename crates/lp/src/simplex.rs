@@ -29,6 +29,13 @@ pub struct SimplexOptions {
     /// Number of Dantzig-pricing pivots before switching to Bland's rule
     /// (which cannot cycle).
     pub bland_after: usize,
+    /// Consecutive **degenerate** pivots (zero-step, the signature of
+    /// stalling/cycling) tolerated before the primal anti-stall ladder
+    /// engages: first a bounded deterministic cost perturbation, then — if
+    /// the stall recurs — Bland's rule for the rest of the solve. Optimality
+    /// is always re-proved against the true costs, so the ladder changes the
+    /// pivot path, never the answer.
+    pub stall_after: usize,
     /// Factorize the basis with the retained dense LU
     /// ([`crate::factor::DenseLu`]) instead of the sparse Markowitz LU — the
     /// oracle path of the differential suite and the baseline of the
@@ -44,6 +51,7 @@ impl Default for SimplexOptions {
             tol: 1e-9,
             max_iterations: 50_000,
             bland_after: 10_000,
+            stall_after: 128,
             dense_lu: cfg!(feature = "dense-lu"),
         }
     }

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use rental_core::{Instance, Throughput};
 
 use crate::solver::{
-    CapacitySolver, MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    CapacitySolver, MinCostSolver, SolveBudget, SolveError, SolveResult, SolverOutcome, SweepPrior,
     WarmStartSolver,
 };
 
@@ -220,6 +220,27 @@ pub fn solve_warm_batch_timed<S: WarmStartSolver + Sync>(
     })
 }
 
+/// [`solve_warm_batch_timed`] under a **per-unit** [`SolveBudget`]: every
+/// unit is solved through [`WarmStartSolver::solve_with_prior_budgeted`] with
+/// the same budget. Callers sharing one epoch budget across the batch split
+/// it *before* the fan-out ([`SolveBudget::split`]) — per-unit budgets keep
+/// the batch deterministic and observationally identical to the sequential
+/// loop, which a dynamically rebalanced budget would not be.
+pub fn solve_warm_batch_budgeted<S: WarmStartSolver + Sync>(
+    solver: &S,
+    items: &[WarmBatchItem<'_>],
+    budget: &SolveBudget,
+    max_threads: Option<usize>,
+) -> Vec<(SolveResult<SolverOutcome>, Duration)> {
+    rayon::parallel_map_indexed(items.len(), max_threads, |i| {
+        let item = &items[i];
+        let start = Instant::now();
+        let result =
+            solver.solve_with_prior_budgeted(item.instance, item.target, item.prior, budget);
+        (result, start.elapsed())
+    })
+}
+
 /// One unit of **capacity-constrained** warm-started batch work: an
 /// `(instance, target, caps, prior)` quadruple.
 ///
@@ -271,6 +292,28 @@ pub fn solve_caps_batch_timed<S: CapacitySolver + Sync>(
         let item = &items[i];
         let start = Instant::now();
         let result = solver.solve_with_caps(item.instance, item.target, item.caps, item.prior);
+        (result, start.elapsed())
+    })
+}
+
+/// [`solve_caps_batch_timed`] under a per-unit [`SolveBudget`] (see
+/// [`solve_warm_batch_budgeted`] for the splitting convention).
+pub fn solve_caps_batch_budgeted<S: CapacitySolver + Sync>(
+    solver: &S,
+    items: &[CapsBatchItem<'_>],
+    budget: &SolveBudget,
+    max_threads: Option<usize>,
+) -> Vec<(SolveResult<SolverOutcome>, Duration)> {
+    rayon::parallel_map_indexed(items.len(), max_threads, |i| {
+        let item = &items[i];
+        let start = Instant::now();
+        let result = solver.solve_with_caps_budgeted(
+            item.instance,
+            item.target,
+            item.caps,
+            item.prior,
+            budget,
+        );
         (result, start.elapsed())
     })
 }

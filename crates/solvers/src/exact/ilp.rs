@@ -22,7 +22,7 @@ use rental_lp::{MipSolver, MipStatus, SolveLimits};
 
 use crate::heuristics::SteepestGradientSolver;
 use crate::solver::{
-    CapacitySolver, MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    CapacitySolver, MinCostSolver, SolveBudget, SolveError, SolveResult, SolverOutcome, SweepPrior,
     WarmStartSolver, UNLIMITED_CAP,
 };
 
@@ -52,6 +52,26 @@ impl IlpSolver {
         IlpSolver {
             limits: SolveLimits::with_time_limit(seconds),
         }
+    }
+
+    /// The solver's standing limits intersected with a caller's
+    /// [`SolveBudget`]: each component takes the tighter of the two.
+    fn limits_under(&self, budget: &SolveBudget) -> SolveLimits {
+        let mut limits = self.limits;
+        if let Some(deadline) = budget.deadline {
+            limits.time_limit = Some(limits.time_limit.map_or(deadline, |t| t.min(deadline)));
+        }
+        if let Some(nodes) = budget.node_cap {
+            limits.node_limit = Some(limits.node_limit.map_or(nodes, |n| n.min(nodes)));
+        }
+        if let Some(iterations) = budget.iteration_cap {
+            limits.lp_iteration_limit = Some(
+                limits
+                    .lp_iteration_limit
+                    .map_or(iterations, |i| i.min(iterations)),
+            );
+        }
+        limits
     }
 
     /// Builds the §V-C MILP for an instance and a target throughput.
@@ -204,7 +224,17 @@ impl WarmStartSolver for IlpSolver {
         target: Throughput,
         prior: Option<&SweepPrior>,
     ) -> SolveResult<SolverOutcome> {
-        self.solve_capped(instance, target, None, prior)
+        self.solve_capped(instance, target, None, prior, self.limits)
+    }
+
+    fn solve_with_prior_budgeted(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        prior: Option<&SweepPrior>,
+        budget: &SolveBudget,
+    ) -> SolveResult<SolverOutcome> {
+        self.solve_capped(instance, target, None, prior, self.limits_under(budget))
     }
 }
 
@@ -216,18 +246,30 @@ impl CapacitySolver for IlpSolver {
         caps: &[u64],
         prior: Option<&SweepPrior>,
     ) -> SolveResult<SolverOutcome> {
+        self.solve_with_caps_budgeted(instance, target, caps, prior, &SolveBudget::unlimited())
+    }
+
+    fn solve_with_caps_budgeted(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        caps: &[u64],
+        prior: Option<&SweepPrior>,
+        budget: &SolveBudget,
+    ) -> SolveResult<SolverOutcome> {
         assert_eq!(
             caps.len(),
             instance.num_types(),
             "one cap per machine type is required"
         );
+        let limits = self.limits_under(budget);
         // All-unlimited caps take the uncapped path verbatim (same model,
         // same warm starts), so capacity-aware callers can use this entry
         // point unconditionally.
         if caps.iter().all(|&cap| cap == UNLIMITED_CAP) {
-            self.solve_capped(instance, target, None, prior)
+            self.solve_capped(instance, target, None, prior, limits)
         } else {
-            self.solve_capped(instance, target, Some(caps), prior)
+            self.solve_capped(instance, target, Some(caps), prior, limits)
         }
     }
 }
@@ -239,6 +281,7 @@ impl IlpSolver {
         target: Throughput,
         caps: Option<&[u64]>,
         prior: Option<&SweepPrior>,
+        limits: SolveLimits,
     ) -> SolveResult<SolverOutcome> {
         let start = Instant::now();
         let model = match caps {
@@ -255,7 +298,7 @@ impl IlpSolver {
         // only raises the optimum, so the bound survives under caps as long
         // as the caller respects the `CapacitySolver` contract (the prior's
         // caps were no tighter than these).
-        let floor = prior
+        let mut floor = prior
             .filter(|prior| prior.target <= target)
             .and_then(|prior| prior.lower_bound)
             .map(|lower_bound| (lower_bound - 1e-6).ceil());
@@ -282,16 +325,35 @@ impl IlpSolver {
         let warm_start = match (heuristic, lifted) {
             (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
             (a, b) => a.or(b),
+        };
+        // Prior-soundness guard, entry side: a warm candidate's cost is an
+        // *achievable* cost, so a floor above it is provably unsound (the
+        // caller violated the prior contract — e.g. a poisoned or stale
+        // bound). An unsound floor silently prunes the true optimum; dropping
+        // it costs only the pruning speedup, never correctness.
+        if let (Some(f), Some((candidate_cost, _))) = (floor, warm_start.as_ref()) {
+            if f > *candidate_cost as f64 + 1e-6 {
+                floor = None;
+            }
         }
-        .map(|(_, values)| values);
-        let mip = MipSolver::with_limits(self.limits).solve_with_hints(
+        let warm_start = warm_start.map(|(_, values)| values);
+        let mip = MipSolver::with_limits(limits).solve_with_hints(
             &model,
             warm_start.as_deref(),
             floor,
         )?;
         if !mip.has_incumbent() {
-            return Err(SolveError::NoSolutionFound {
-                solver: self.name().to_string(),
+            // LimitReached is inconclusive (the budget struck before any
+            // incumbent); everything else reaching this point proved the
+            // capped target infeasible.
+            return Err(if mip.status == MipStatus::LimitReached {
+                SolveError::BudgetExhausted {
+                    solver: self.name().to_string(),
+                }
+            } else {
+                SolveError::NoSolutionFound {
+                    solver: self.name().to_string(),
+                }
             });
         }
         // Recover the split from the first `J` variables; machine counts are
@@ -301,13 +363,25 @@ impl IlpSolver {
         let rounded = mip.rounded_values();
         let shares: Vec<Throughput> = rounded[..num_recipes].to_vec();
         let solution = instance.solution(target, ThroughputSplit::new(shares))?;
-        let proven_optimal = mip.status == MipStatus::Optimal;
+        let mut proven_optimal = mip.status == MipStatus::Optimal;
+        let mut lower_bound = Some(mip.best_bound);
+        // Prior-soundness guard, exit side: an incumbent strictly below the
+        // floor is a *certificate* that the floor (and any bound folded over
+        // it) was unsound. Demote the outcome to unproven and drop the
+        // poisoned bound so a sweep cannot propagate it further.
+        if let Some(f) = floor {
+            if (solution.cost() as f64) < f - 1e-6 {
+                proven_optimal = false;
+                lower_bound = None;
+            }
+        }
         Ok(SolverOutcome {
             solution,
             proven_optimal,
-            lower_bound: Some(mip.best_bound),
+            lower_bound,
             elapsed: start.elapsed(),
             nodes: Some(mip.nodes),
+            exhausted: mip.status == MipStatus::Feasible,
         })
     }
 }
@@ -438,18 +512,89 @@ mod tests {
     }
 
     #[test]
-    fn time_limited_solver_still_returns_a_feasible_solution() {
+    fn budget_limited_solver_still_returns_a_feasible_solution() {
+        // A one-node budget (deterministic, unlike a wall-clock limit, so
+        // this cannot flake under load): the root's rounding heuristic
+        // produces an incumbent, so the anytime contract applies — a feasible
+        // solution flagged `exhausted`, never a failure.
         let instance = illustrating_example();
-        // An extremely small time limit: the solver may not prove optimality
-        // but must still hand back a feasible incumbent or a clean error.
-        let solver = IlpSolver::with_time_limit(0.000_001);
-        match solver.solve(&instance, 150) {
+        let solver = IlpSolver::new();
+        let outcome = solver
+            .solve_with_prior_budgeted(&instance, 150, None, &SolveBudget::with_node_cap(1))
+            .unwrap();
+        assert!(outcome.solution.split.covers(150));
+        assert!(outcome.cost() >= 257); // can't beat the optimum
+        assert!(!outcome.proven_optimal);
+        assert!(outcome.exhausted);
+        // The same budget gives the same answer on every run.
+        let again = solver
+            .solve_with_prior_budgeted(&instance, 150, None, &SolveBudget::with_node_cap(1))
+            .unwrap();
+        assert_eq!(outcome.cost(), again.cost());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_plain_solve() {
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        let plain = solver.solve(&instance, 70).unwrap();
+        let budgeted = solver
+            .solve_with_prior_budgeted(&instance, 70, None, &SolveBudget::unlimited())
+            .unwrap();
+        assert_eq!(plain.cost(), budgeted.cost());
+        assert!(budgeted.proven_optimal);
+        assert!(!budgeted.exhausted);
+    }
+
+    #[test]
+    fn budget_exhaustion_without_an_incumbent_is_inconclusive() {
+        // Tight caps leave no cap-respecting warm candidate, and a zero
+        // iteration budget stops before branch & bound can find one: the
+        // solve must report BudgetExhausted (retryable), not NoSolutionFound
+        // (which would claim the caps are infeasible — they are not).
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        let mut caps = vec![UNLIMITED_CAP; instance.num_types()];
+        caps[0] = 1;
+        caps[1] = 1;
+        let result = solver.solve_with_caps_budgeted(
+            &instance,
+            150,
+            &caps,
+            None,
+            &SolveBudget::with_iteration_cap(1),
+        );
+        match result {
             Ok(outcome) => {
+                // If a cap-respecting warm candidate existed after all, the
+                // anytime contract still holds.
                 assert!(outcome.solution.split.covers(150));
-                assert!(outcome.cost() >= 257); // can't beat the optimum
             }
-            Err(SolveError::NoSolutionFound { .. }) => {}
+            Err(SolveError::BudgetExhausted { .. }) => {}
             Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_prior_floor_is_dropped_not_trusted() {
+        // A floor far above the true optimum (257 at rho = 150) would prune
+        // the whole tree and "prove" the warm incumbent optimal. The entry
+        // guard must discard it because the warm candidate's cost already
+        // refutes it.
+        let instance = illustrating_example();
+        let solver = IlpSolver::new();
+        let honest = solver.solve(&instance, 150).unwrap();
+        let poisoned = SweepPrior {
+            target: 150,
+            split: honest.solution.split.clone(),
+            lower_bound: Some(honest.cost() as f64 * 10.0),
+        };
+        let outcome = solver
+            .solve_with_prior(&instance, 150, Some(&poisoned))
+            .unwrap();
+        assert_eq!(outcome.cost(), honest.cost());
+        if let Some(bound) = outcome.lower_bound {
+            assert!(bound <= outcome.cost() as f64 + 1e-6);
         }
     }
 }

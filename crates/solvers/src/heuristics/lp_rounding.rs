@@ -150,6 +150,7 @@ impl MinCostSolver for LpRoundingSolver {
             proven_optimal: false,
             lower_bound: Some(lower_bound),
             elapsed: start.elapsed(),
+            exhausted: false,
         })
     }
 }

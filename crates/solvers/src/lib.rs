@@ -58,8 +58,9 @@ pub mod solver;
 
 pub use batch::{
     solve_batch, solve_batch_portfolio, solve_batch_timed, solve_batch_with,
-    solve_caps_batch_timed, solve_sweep, solve_sweep_batch_timed, solve_sweep_timed,
-    solve_warm_batch_timed, BatchItem, CapsBatchItem, WarmBatchItem,
+    solve_caps_batch_budgeted, solve_caps_batch_timed, solve_sweep, solve_sweep_batch_timed,
+    solve_sweep_timed, solve_warm_batch_budgeted, solve_warm_batch_timed, BatchItem, CapsBatchItem,
+    WarmBatchItem,
 };
 pub use multicloud::{CloudRegion, MultiCloudProblem, MultiCloudSolution, RegionAllocation};
 pub use registry::{
@@ -67,6 +68,6 @@ pub use registry::{
     SuiteConfig,
 };
 pub use solver::{
-    CapacitySolver, MinCostSolver, SolveError, SolveResult, SolverOutcome, SweepPrior,
+    CapacitySolver, MinCostSolver, SolveBudget, SolveError, SolveResult, SolverOutcome, SweepPrior,
     WarmStartSolver, UNLIMITED_CAP,
 };

@@ -23,9 +23,18 @@ pub enum SolveError {
         /// Why the instance is outside the supported class.
         reason: String,
     },
-    /// No feasible solution could be produced (e.g. the ILP hit its time
-    /// limit before finding an incumbent).
+    /// No feasible solution could be produced (e.g. the caps make the target
+    /// infeasible): a **conclusive** failure.
     NoSolutionFound {
+        /// Name of the algorithm.
+        solver: String,
+    },
+    /// The solve budget (deadline / node cap / iteration cap) ran out before
+    /// a feasible incumbent was found: an **inconclusive** failure. Unlike
+    /// [`SolveError::NoSolutionFound`] this proves nothing about the
+    /// instance — retrying with a larger budget may well succeed, which is
+    /// exactly what the fleet controller's deferred-re-solve backoff does.
+    BudgetExhausted {
         /// Name of the algorithm.
         solver: String,
     },
@@ -41,6 +50,12 @@ impl fmt::Display for SolveError {
             }
             SolveError::NoSolutionFound { solver } => {
                 write!(f, "{solver} found no feasible solution")
+            }
+            SolveError::BudgetExhausted { solver } => {
+                write!(
+                    f,
+                    "{solver} exhausted its solve budget before finding an incumbent"
+                )
             }
         }
     }
@@ -79,6 +94,12 @@ pub struct SolverOutcome {
     /// (`None` for the heuristics). Target sweeps use this to quantify how
     /// much warm-started incumbents shrink the tree.
     pub nodes: Option<usize>,
+    /// True when the solve hit its budget (deadline / node cap / iteration
+    /// cap) and returned the **best incumbent** instead of running the search
+    /// to completion — the anytime contract. An exhausted outcome is feasible
+    /// but unproven: `proven_optimal` is false and `lower_bound` may be far
+    /// below `cost()`.
+    pub exhausted: bool,
 }
 
 impl SolverOutcome {
@@ -90,6 +111,7 @@ impl SolverOutcome {
             lower_bound: None,
             elapsed,
             nodes: None,
+            exhausted: false,
         }
     }
 
@@ -102,6 +124,7 @@ impl SolverOutcome {
             lower_bound: Some(bound),
             elapsed,
             nodes: None,
+            exhausted: false,
         }
     }
 
@@ -140,6 +163,96 @@ impl SweepPrior {
     }
 }
 
+/// A composable bound on how much work one solve may do: a wall-clock
+/// deadline, a branch-and-bound node cap, and a total-simplex-iteration cap,
+/// any subset of which may be set. `None` components are unlimited.
+///
+/// Budgets compose in two ways:
+/// * [`intersect`](Self::intersect) takes the componentwise minimum of two
+///   budgets (e.g. a solver's own standing limits and a caller's deadline);
+/// * [`split`](Self::split) divides a budget's countable components across
+///   `n` concurrent solves, which is how the fleet's batch scheduler shares
+///   one per-epoch budget among the pending re-solves.
+///
+/// The deadline is the real-time guardrail; the node and iteration caps are
+/// **deterministic** (identical runs stop at the identical node), so tests
+/// and CI floors pin against those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveBudget {
+    /// Wall-clock deadline for the solve; `None` is unlimited.
+    pub deadline: Option<Duration>,
+    /// Branch-and-bound node cap; `None` is unlimited.
+    pub node_cap: Option<usize>,
+    /// Total simplex-iteration cap (summed over all node relaxations);
+    /// `None` is unlimited.
+    pub iteration_cap: Option<usize>,
+}
+
+impl SolveBudget {
+    /// The unlimited budget (every component `None`).
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// A budget with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        SolveBudget {
+            deadline: Some(deadline),
+            ..SolveBudget::default()
+        }
+    }
+
+    /// A budget with only a node cap.
+    pub fn with_node_cap(nodes: usize) -> Self {
+        SolveBudget {
+            node_cap: Some(nodes),
+            ..SolveBudget::default()
+        }
+    }
+
+    /// A budget with only an iteration cap.
+    pub fn with_iteration_cap(iterations: usize) -> Self {
+        SolveBudget {
+            iteration_cap: Some(iterations),
+            ..SolveBudget::default()
+        }
+    }
+
+    /// True when no component is set (the solve may run to completion).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.node_cap.is_none() && self.iteration_cap.is_none()
+    }
+
+    /// Componentwise minimum of two budgets: the result is at least as tight
+    /// as both.
+    pub fn intersect(&self, other: &SolveBudget) -> SolveBudget {
+        fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        }
+        SolveBudget {
+            deadline: tighter(self.deadline, other.deadline),
+            node_cap: tighter(self.node_cap, other.node_cap),
+            iteration_cap: tighter(self.iteration_cap, other.iteration_cap),
+        }
+    }
+
+    /// Splits the budget across `n` concurrent solves: countable components
+    /// are divided by `n` (floored at one unit each, so a huge batch degrades
+    /// to minimum-work probes rather than zero-work failures); the deadline
+    /// is shared, not divided, because the batch runs concurrently.
+    pub fn split(&self, n: usize) -> SolveBudget {
+        let n = n.max(1);
+        SolveBudget {
+            deadline: self.deadline,
+            node_cap: self.node_cap.map(|c| (c / n).max(1)),
+            iteration_cap: self.iteration_cap.map(|c| (c / n).max(1)),
+        }
+    }
+}
+
 /// A solver that can exploit the outcome of a *related* solve — the previous
 /// target in a throughput sweep — to prune its own search from the first
 /// node.
@@ -159,6 +272,31 @@ pub trait WarmStartSolver: MinCostSolver {
         target: Throughput,
         prior: Option<&SweepPrior>,
     ) -> SolveResult<SolverOutcome>;
+
+    /// [`solve_with_prior`](Self::solve_with_prior) under a [`SolveBudget`]:
+    /// the **anytime contract**. A budgeted solve that runs out of budget
+    /// returns its best incumbent with [`SolverOutcome::exhausted`] set, and
+    /// only fails with [`SolveError::BudgetExhausted`] when no incumbent was
+    /// found at all.
+    ///
+    /// The default implementation ignores the budget and delegates — correct
+    /// for solvers whose single solve is already cheap (the heuristics);
+    /// search-based solvers override it to honour the caps.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BudgetExhausted`] when the budget ran out before any
+    /// incumbent existed, plus the [`MinCostSolver::solve`] error contract.
+    fn solve_with_prior_budgeted(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        prior: Option<&SweepPrior>,
+        budget: &SolveBudget,
+    ) -> SolveResult<SolverOutcome> {
+        let _ = budget;
+        self.solve_with_prior(instance, target, prior)
+    }
 }
 
 /// The per-type machine cap meaning "no quota": callers pass this (or
@@ -183,6 +321,19 @@ pub trait CapacitySolver: WarmStartSolver {
     /// (tightening caps can only raise the optimum, so such bounds stay
     /// sound; a bound proven under tighter caps is not).
     ///
+    /// **Prior-soundness enforcement.** Trust is bounded, not blind:
+    /// implementations must never let a *poisoned* floor (one above the true
+    /// optimum) silently produce a worse-than-optimal outcome that claims
+    /// optimality. The ILP implementation enforces this on both sides of the
+    /// search: a floor exceeding the cost of a feasible warm candidate is
+    /// discarded before the solve (the candidate's cost refutes it), and an
+    /// incumbent landing strictly *below* the floor demotes the outcome to
+    /// unproven and drops the poisoned bound so a sweep cannot propagate it.
+    /// The one undetectable case — a poisoned floor that the returned
+    /// incumbent exactly meets — is bounded by the poison itself: the
+    /// returned cost never exceeds the cheapest feasible warm candidate, so a
+    /// caller honouring the contract never observes it.
+    ///
     /// # Errors
     ///
     /// Returns [`SolveError::NoSolutionFound`] when the caps make the target
@@ -195,6 +346,28 @@ pub trait CapacitySolver: WarmStartSolver {
         caps: &[u64],
         prior: Option<&SweepPrior>,
     ) -> SolveResult<SolverOutcome>;
+
+    /// [`solve_with_caps`](Self::solve_with_caps) under a [`SolveBudget`]
+    /// (see [`WarmStartSolver::solve_with_prior_budgeted`] for the anytime
+    /// contract). The default ignores the budget; search-based solvers
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoSolutionFound`] when the caps are proven infeasible,
+    /// [`SolveError::BudgetExhausted`] when the budget ran out first, plus
+    /// the usual [`MinCostSolver::solve`] contract.
+    fn solve_with_caps_budgeted(
+        &self,
+        instance: &Instance,
+        target: Throughput,
+        caps: &[u64],
+        prior: Option<&SweepPrior>,
+        budget: &SolveBudget,
+    ) -> SolveResult<SolverOutcome> {
+        let _ = budget;
+        self.solve_with_caps(instance, target, caps, prior)
+    }
 }
 
 /// An algorithm that solves the MinCost problem: given an instance and a
