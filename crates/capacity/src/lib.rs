@@ -59,5 +59,5 @@ pub use config::CapacityConfig;
 pub use degraded::{
     coverage_bound, degrade_to_feasible, max_feasible_target, solve_or_degrade, CappedOutcome,
 };
-pub use pool::CapacityPool;
+pub use pool::{CapacityPool, LedgerError, PoolLedger};
 pub use rental_solvers::UNLIMITED_CAP;

@@ -1,7 +1,96 @@
 //! The capacity-pool ledger: per-type quotas, per-tenant holdings, and
 //! deterministic arbitration when demand exceeds quota.
 
+use std::fmt;
+
 use rental_solvers::UNLIMITED_CAP;
+
+/// A serialisable export of the pool's mutable ledger — everything a resumed
+/// run needs to reconstruct the pool exactly, without trusting replay order.
+/// Produced by [`CapacityPool::ledger`], consumed (with invariant checks) by
+/// [`CapacityPool::restore_ledger`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolLedger {
+    /// `holdings[tenant][q]`: machines of type `q` held per tenant.
+    pub holdings: Vec<Vec<u64>>,
+    /// Machines of each type currently handed out (Σ over tenants).
+    pub in_use: Vec<u64>,
+    /// Peak of `in_use` over the pool's lifetime.
+    pub peak_in_use: Vec<u64>,
+}
+
+/// Why a [`PoolLedger`] was rejected by [`CapacityPool::restore_ledger`].
+/// Every variant means the persisted ledger is inconsistent with the pool's
+/// configuration — restoring it would corrupt the quota accounting, so the
+/// caller must fall back down its recovery ladder instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The ledger covers a different number of tenants or machine types.
+    ArityMismatch {
+        /// Expected `(tenants, types)`.
+        expected: (usize, usize),
+        /// What the ledger carried.
+        got: (usize, usize),
+    },
+    /// The summed holdings of a type exceed its quota — restoring would
+    /// **over-grant** machines that were never arbitrated.
+    QuotaExceeded {
+        /// Machine type index.
+        type_index: usize,
+        /// Summed holdings of the type.
+        holdings: u64,
+        /// The type's quota.
+        quota: u64,
+    },
+    /// `in_use[q]` does not equal the summed holdings of type `q`.
+    InUseMismatch {
+        /// Machine type index.
+        type_index: usize,
+        /// The ledger's `in_use` entry.
+        in_use: u64,
+        /// The actual holdings sum.
+        holdings: u64,
+    },
+    /// `peak_in_use[q]` is below `in_use[q]` — a peak can never trail the
+    /// present.
+    PeakBelowInUse {
+        /// Machine type index.
+        type_index: usize,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::ArityMismatch { expected, got } => write!(
+                f,
+                "ledger arity mismatch: expected {}×{} (tenants×types), got {}×{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            LedgerError::QuotaExceeded {
+                type_index,
+                holdings,
+                quota,
+            } => write!(
+                f,
+                "type {type_index}: restored holdings {holdings} exceed quota {quota}"
+            ),
+            LedgerError::InUseMismatch {
+                type_index,
+                in_use,
+                holdings,
+            } => write!(
+                f,
+                "type {type_index}: in_use {in_use} does not match holdings sum {holdings}"
+            ),
+            LedgerError::PeakBelowInUse { type_index } => {
+                write!(f, "type {type_index}: peak_in_use below in_use")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
 
 /// The shared machine-capacity ledger of a serving fleet.
 ///
@@ -209,6 +298,69 @@ impl CapacityPool {
         }
     }
 
+    /// Exports the pool's mutable ledger for persistence: holdings, in-use
+    /// counters and the utilisation high-water mark. The quotas themselves
+    /// are configuration, not state — a resumed run rebuilds them from its
+    /// [`crate::CapacityConfig`] and validates the ledger against them via
+    /// [`CapacityPool::restore_ledger`].
+    pub fn ledger(&self) -> PoolLedger {
+        PoolLedger {
+            holdings: self.holdings.clone(),
+            in_use: self.in_use.clone(),
+            peak_in_use: self.peak_in_use.clone(),
+        }
+    }
+
+    /// Restores a persisted ledger into this pool, **checking every
+    /// invariant** instead of trusting replay order: arities must match the
+    /// pool's configuration, per-type holdings must sum to `in_use`, no
+    /// type's holdings may exceed its quota (restoring an over-granted
+    /// ledger would hand out machines that were never arbitrated), and the
+    /// peak may never trail the present.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`LedgerError`]; the pool
+    /// is left **unchanged** on error.
+    pub fn restore_ledger(&mut self, ledger: PoolLedger) -> Result<(), LedgerError> {
+        let expected = (self.num_tenants(), self.num_types());
+        let got = (
+            ledger.holdings.len(),
+            ledger.in_use.len().min(ledger.peak_in_use.len()),
+        );
+        let arity_ok = ledger.holdings.len() == expected.0
+            && ledger.in_use.len() == expected.1
+            && ledger.peak_in_use.len() == expected.1
+            && ledger.holdings.iter().all(|h| h.len() == expected.1);
+        if !arity_ok {
+            return Err(LedgerError::ArityMismatch { expected, got });
+        }
+        for q in 0..self.num_types() {
+            let holdings: u64 = ledger.holdings.iter().map(|h| h[q]).sum();
+            if self.quotas[q] != UNLIMITED_CAP && holdings > self.quotas[q] {
+                return Err(LedgerError::QuotaExceeded {
+                    type_index: q,
+                    holdings,
+                    quota: self.quotas[q],
+                });
+            }
+            if ledger.in_use[q] != holdings {
+                return Err(LedgerError::InUseMismatch {
+                    type_index: q,
+                    in_use: ledger.in_use[q],
+                    holdings,
+                });
+            }
+            if ledger.peak_in_use[q] < ledger.in_use[q] {
+                return Err(LedgerError::PeakBelowInUse { type_index: q });
+            }
+        }
+        self.holdings = ledger.holdings;
+        self.in_use = ledger.in_use;
+        self.peak_in_use = ledger.peak_in_use;
+        Ok(())
+    }
+
     /// Peak quota utilisation per type over the pool's lifetime: the largest
     /// fraction of the quota ever in use (`0.0` for quota-free types — an
     /// infinite quota cannot be utilised).
@@ -314,6 +466,70 @@ mod tests {
         assert_eq!(pool.holdings(0), &[0]);
         // Peak utilisation remembers the high-water mark.
         assert_eq!(pool.utilization(), vec![1.0]);
+    }
+
+    #[test]
+    fn ledger_round_trips_through_a_fresh_pool() {
+        let mut pool = CapacityPool::new(vec![10, 4], 2);
+        pool.arbitrate_epoch(&[vec![3, 1], vec![4, 2]]);
+        pool.arbitrate_epoch(&[vec![2, 1], vec![1, 0]]);
+        let ledger = pool.ledger();
+        let mut restored = CapacityPool::new(vec![10, 4], 2);
+        restored.restore_ledger(ledger).unwrap();
+        assert_eq!(restored, pool);
+        assert_eq!(restored.utilization(), pool.utilization());
+        assert_eq!(restored.caps_for(0), pool.caps_for(0));
+    }
+
+    #[test]
+    fn restore_rejects_over_granted_ledgers() {
+        let mut pool = CapacityPool::new(vec![5], 2);
+        let err = pool
+            .restore_ledger(PoolLedger {
+                holdings: vec![vec![4], vec![3]],
+                in_use: vec![7],
+                peak_in_use: vec![7],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LedgerError::QuotaExceeded {
+                type_index: 0,
+                holdings: 7,
+                quota: 5
+            }
+        ));
+        // The failed restore left the pool untouched.
+        assert_eq!(pool.in_use(0), 0);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_ledgers() {
+        let mut pool = CapacityPool::new(vec![10], 2);
+        let err = pool
+            .restore_ledger(PoolLedger {
+                holdings: vec![vec![2], vec![1]],
+                in_use: vec![4],
+                peak_in_use: vec![4],
+            })
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::InUseMismatch { .. }));
+        let err = pool
+            .restore_ledger(PoolLedger {
+                holdings: vec![vec![2], vec![1]],
+                in_use: vec![3],
+                peak_in_use: vec![2],
+            })
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::PeakBelowInUse { .. }));
+        let err = pool
+            .restore_ledger(PoolLedger {
+                holdings: vec![vec![2]],
+                in_use: vec![2],
+                peak_in_use: vec![2],
+            })
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::ArityMismatch { .. }));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! repro fleet [--tenants N]            # multi-tenant streaming re-optimization lane
 //! repro fleet-failure [--tenants N]    # capacity/outage lane: MTBF sweep vs static headroom
 //! repro fleet-deadline [--tenants N]   # anytime lane: per-epoch node-budget sweep vs unlimited
+//! repro fleet-recovery [--tenants N]   # crash-safety lane: checkpoint/WAL overhead + kill-and-resume
 //! repro lp-large                       # dense-LU vs sparse-LU scaling table (LP substrate)
 //! repro ablation-delta                 # δ-step sweep (extension, DESIGN.md)
 //! repro ablation-escape                # escape-mechanism comparison (extension)
@@ -36,11 +37,12 @@ use std::process::ExitCode;
 use rental_experiments::{
     delta_sweep, escape_mechanisms, figure_csv, figure_markdown, fleet_csv, fleet_deadline_csv,
     fleet_deadline_markdown, fleet_failure_csv, fleet_failure_markdown, fleet_markdown,
-    lp_large_markdown, mutation_sweep, presets, run_experiment, run_fleet_deadline_experiment,
-    run_fleet_experiment, run_fleet_failure_experiment, run_lp_large, run_table3, table3_csv,
-    table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
-    ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec, FleetFailureSpec, LpLargeSpec,
-    Metric,
+    fleet_recovery_csv, fleet_recovery_markdown, lp_large_markdown, mutation_sweep, presets,
+    run_experiment, run_fleet_deadline_experiment, run_fleet_experiment,
+    run_fleet_failure_experiment, run_fleet_recovery_experiment, run_lp_large, run_table3,
+    table3_csv, table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
+    ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec, FleetFailureSpec, FleetRecoverySpec,
+    LpLargeSpec, Metric,
 };
 use rental_solvers::SuiteConfig;
 
@@ -121,7 +123,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn print_usage() {
     println!(
         "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|fleet-failure|\
-         fleet-deadline|lp-large|all|\
+         fleet-deadline|fleet-recovery|lp-large|all|\
          ablation-delta|ablation-escape|ablation-mutation> \
          [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--output-dir DIR] \
          [--threads N] [--tenants N]"
@@ -302,6 +304,35 @@ fn emit_fleet_deadline(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn emit_fleet_recovery(options: &Options) -> Result<(), String> {
+    let spec = FleetRecoverySpec {
+        num_tenants: options.tenants.min(8),
+        seed: options.seed,
+        threads: options.threads.or(Some(1)),
+        ..FleetRecoverySpec::default()
+    };
+    eprintln!(
+        "[repro] running the {}-tenant crash-recovery sweep over {:?}-epoch snapshot cadences \
+         (seed {}, kill after epoch {}) ...",
+        spec.num_tenants, spec.snapshot_cadences, spec.seed, spec.crash_epoch
+    );
+    let table = run_fleet_recovery_experiment(&spec).map_err(|err| err.to_string())?;
+    let csv = fleet_recovery_csv(&table);
+    let markdown = fleet_recovery_markdown(&table);
+    if options.csv {
+        print!("{csv}");
+    } else {
+        println!(
+            "## Fleet recovery — checkpoint/WAL kill-and-resume ({})",
+            table.scenario
+        );
+        print!("{markdown}");
+    }
+    persist(options, "fleet_recovery.csv", &csv);
+    persist(options, "fleet_recovery.md", &markdown);
+    Ok(())
+}
+
 fn emit_lp_large(options: &Options) {
     let spec = LpLargeSpec {
         seed: options.seed,
@@ -427,6 +458,12 @@ fn main() -> ExitCode {
         }
         "fleet-deadline" => {
             if let Err(message) = emit_fleet_deadline(&options) {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "fleet-recovery" => {
+            if let Err(message) = emit_fleet_recovery(&options) {
                 eprintln!("error: {message}");
                 return ExitCode::FAILURE;
             }

@@ -25,6 +25,11 @@
 //!   fleet under a per-epoch solve budget (node-cap sweep), measuring what
 //!   anytime incumbents, deferred re-solves and capped exponential backoff
 //!   cost against the proven-optimal (unlimited) run;
+//! * [`fleet_recovery`] — the crash-safety lane: the failure-coupled fleet
+//!   made durable through the `rental-persist` checkpoint/WAL store
+//!   (snapshot-cadence sweep), measuring persistence overhead and on-disk
+//!   footprint, then killed mid-run and restarted from disk with the resumed
+//!   report held bit-for-bit against the uninterrupted run;
 //! * [`lp_large`] — the LP substrate scaling lane: sparse Markowitz LU vs
 //!   the retained dense LU (refactorization and end-to-end revised-simplex
 //!   timing, fill-in, hyper-sparse hit rate) on wide-platform MinCost
@@ -42,6 +47,7 @@ pub mod ablation;
 pub mod fleet;
 pub mod fleet_deadline;
 pub mod fleet_failure;
+pub mod fleet_recovery;
 pub mod lp_large;
 pub mod report;
 pub mod runner;
@@ -59,6 +65,10 @@ pub use fleet_deadline::{
 pub use fleet_failure::{
     failure_sweep_solver, fleet_failure_csv, fleet_failure_markdown, run_fleet_failure_experiment,
     FleetFailureRow, FleetFailureSpec, FleetFailureTable,
+};
+pub use fleet_recovery::{
+    fleet_recovery_csv, fleet_recovery_markdown, run_fleet_recovery_experiment, FleetRecoveryRow,
+    FleetRecoverySpec, FleetRecoveryTable,
 };
 pub use lp_large::{lp_large_json, lp_large_markdown, run_lp_large, LpLargeRow, LpLargeSpec};
 pub use report::{

@@ -192,6 +192,18 @@ impl<'a, S> ChaosSolver<'a, S> {
         }
     }
 
+    /// Intercepted calls so far — the position in the deterministic fault
+    /// stream. Checkpointed by [`crate::persist`] so a resumed run draws
+    /// exactly the faults the uninterrupted run would have drawn.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Repositions the fault stream (on resume from a checkpoint).
+    pub fn set_calls(&self, calls: u64) {
+        self.calls.store(calls, Ordering::SeqCst);
+    }
+
     /// Draws the fault (if any) for the next intercepted call and counts
     /// it. Deterministic for a fixed seed and call order (single-threaded
     /// solves).
@@ -355,7 +367,14 @@ pub struct ChaosClock<'a> {
     stats: &'a ChaosStats,
 }
 
-impl ChaosClock<'_> {
+impl<'a> ChaosClock<'a> {
+    /// Builds a clock over the given config and fault counters — used by
+    /// [`FleetController::run_with_chaos`] and the resumable entry points
+    /// of [`crate::persist`].
+    pub(crate) fn new(config: ChaosConfig, stats: &'a ChaosStats) -> Self {
+        ChaosClock { config, stats }
+    }
+
     /// Whether this epoch's arbitration decision is delayed (counted when
     /// it is). Thread-independent: keyed on the epoch index alone.
     pub(crate) fn delays_epoch(&self, epoch: usize) -> bool {
@@ -369,6 +388,129 @@ impl ChaosClock<'_> {
                 .fetch_add(1, Ordering::SeqCst);
         }
         delayed
+    }
+}
+
+/// Where in an epoch's persistence sequence a planned crash strikes. The
+/// write order per epoch is: journal append, then (on snapshot epochs) the
+/// snapshot write — so the four points cover every boundary plus the torn
+/// mid-record case the recovery ladder must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Abort after the epoch executed but before its journal record was
+    /// written: the epoch is lost and re-executed on resume.
+    BeforeJournal,
+    /// Abort mid-journal-write, leaving only the first `keep` bytes of the
+    /// record's frame on disk (a torn write). Recovery must detect the torn
+    /// suffix by checksum and discard it.
+    TornJournal {
+        /// Bytes of the framed record that reach the disk.
+        keep: usize,
+    },
+    /// Abort right after the journal record was durably appended.
+    AfterJournal,
+    /// Force a snapshot at this epoch and abort right after it was written.
+    AfterSnapshot,
+}
+
+/// A seeded crash fault: the run aborts at epoch `epoch`, at the chosen
+/// [`CrashPoint`] of the persistence sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The epoch after whose execution the crash strikes.
+    pub epoch: usize,
+    /// Where in the epoch's persistence sequence the abort lands.
+    pub point: CrashPoint,
+}
+
+impl CrashPlan {
+    /// Draws a deterministic crash point somewhere in `0..num_epochs` from
+    /// the seed: epoch, crash point, and (for torn writes) the number of
+    /// surviving bytes are all taken from independent SplitMix64 draws.
+    pub fn draw(seed: u64, num_epochs: usize) -> CrashPlan {
+        let epochs = num_epochs.max(1) as u64;
+        let epoch = (splitmix64(seed ^ 0xC4A5_11D0_57A9_E3B1) % epochs) as usize;
+        let keep = splitmix64(seed ^ 0x9D8F_2E41_6C05_BB37) % 64;
+        let point = match splitmix64(seed ^ 0x51F0_83C6_D2E9_4A7D) % 4 {
+            0 => CrashPoint::BeforeJournal,
+            1 => CrashPoint::TornJournal {
+                keep: keep as usize,
+            },
+            2 => CrashPoint::AfterJournal,
+            _ => CrashPoint::AfterSnapshot,
+        };
+        CrashPlan { epoch, point }
+    }
+}
+
+/// How a [`CorruptionFault`] mangled the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A single bit was flipped at the reported byte offset.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        offset: u64,
+    },
+    /// The file was truncated to the reported length.
+    Truncate {
+        /// Bytes surviving the truncation.
+        len: u64,
+    },
+    /// The journal was empty or missing — nothing to corrupt.
+    Noop,
+}
+
+/// A seeded corruption fault against the journal tail: flips one bit or
+/// truncates the file at a deterministic position in its final quarter,
+/// simulating a torn sector or an interrupted flush. Recovery must detect
+/// the damage by checksum, discard the corrupt suffix, and fall back to the
+/// last good snapshot — never panic, never over-grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionFault {
+    /// Seed of the deterministic strike position.
+    pub seed: u64,
+}
+
+impl CorruptionFault {
+    /// Applies the fault to the file at `path` (typically
+    /// [`rental_persist::Store::journal_path`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a missing or empty journal is reported
+    /// as [`CorruptionKind::Noop`].
+    pub fn strike(&self, path: &std::path::Path) -> std::io::Result<CorruptionKind> {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+        else {
+            return Ok(CorruptionKind::Noop);
+        };
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(CorruptionKind::Noop);
+        }
+        // Strike somewhere in the final quarter of the file — the most
+        // recently written (least protected) region.
+        let tail_start = len - len.div_ceil(4);
+        let span = (len - tail_start).max(1);
+        let offset = tail_start + splitmix64(self.seed ^ 0xB7E1_5162_8AED_2A6B) % span;
+        if splitmix64(self.seed ^ 0x243F_6A88_85A3_08D3).is_multiple_of(2) {
+            let mut byte = [0u8; 1];
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut byte)?;
+            byte[0] ^= 1 << (splitmix64(self.seed ^ 0x1319_8A2E_0370_7344) % 8);
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(&byte)?;
+            file.sync_all()?;
+            Ok(CorruptionKind::BitFlip { offset })
+        } else {
+            file.set_len(offset)?;
+            file.sync_all()?;
+            Ok(CorruptionKind::Truncate { len: offset })
+        }
     }
 }
 

@@ -195,7 +195,7 @@ pub fn initial_target(policy: &FleetPolicy, instance: &Instance, trace: &Workloa
 /// provisioning target: `min_j Σ_q n_jq c_q / r_q`. Machine-count ceilings
 /// only push real plans above it, so `target × min_unit_cost` is a sound
 /// probe reference before the target has ever been solved.
-fn min_unit_cost(instance: &Instance) -> f64 {
+pub(crate) fn min_unit_cost(instance: &Instance) -> f64 {
     let demand = instance.application().demand();
     let platform = instance.platform();
     (0..instance.num_recipes())
@@ -262,7 +262,7 @@ fn plan_from_fleet(
 /// rescale would rent **fresh** (scale-up — new commitments, billed from
 /// hour zero). Under linear billing the two parts sum to exactly the whole
 /// fleet's remaining-horizon bill.
-struct ProbeEntry {
+pub(crate) struct ProbeEntry {
     continued: HorizonCache,
     fresh: HorizonCache,
 }
@@ -309,71 +309,98 @@ impl ProbeEntry {
 /// A solved target the tenant remembers: the outcome plus the horizon cache
 /// of its plan. Probes use it as a sharp reference and adoption decisions
 /// reuse it without re-solving when the workload revisits the target.
-struct KnownPlan {
-    outcome: SolverOutcome,
-    cache: HorizonCache,
+pub(crate) struct KnownPlan {
+    pub(crate) outcome: SolverOutcome,
+    pub(crate) cache: HorizonCache,
 }
 
 /// Mutable per-tenant state of a run.
-struct TenantState<'a> {
-    spec: &'a TenantSpec,
-    peaks: Vec<f64>,
-    granularity: u64,
-    min_unit_cost: f64,
+///
+/// Fields are `pub(crate)` so [`crate::persist`] can checkpoint the
+/// decision-relevant state and rebuild the derived caches on resume.
+pub(crate) struct TenantState<'a> {
+    pub(crate) spec: &'a TenantSpec,
+    pub(crate) peaks: Vec<f64>,
+    pub(crate) granularity: u64,
+    pub(crate) min_unit_cost: f64,
     /// The recipe mix the tenant started with (the fixed-mix baseline's mix).
-    initial_fractions: Vec<f64>,
-    initial_target: Throughput,
+    pub(crate) initial_fractions: Vec<f64>,
+    pub(crate) initial_target: Throughput,
     /// Current recipe mix and its scaler.
-    fractions: Vec<f64>,
-    scaler: FixedMixScaler,
-    mix: FixedMixState,
-    solved_target: Throughput,
+    pub(crate) fractions: Vec<f64>,
+    pub(crate) scaler: FixedMixScaler,
+    pub(crate) mix: FixedMixState,
+    pub(crate) solved_target: Throughput,
     /// Epoch at which the current mix was adopted (0 for the initial plan):
     /// keep-side projections bill the **marginal** remaining-horizon charge
     /// past the rental time already elapsed, so committed billing terms the
     /// current plan has already paid are sunk, not re-billed.
-    adopted_epoch: usize,
-    prior: Option<SweepPrior>,
-    probe_cache: HashMap<Throughput, ProbeEntry>,
-    known: HashMap<Throughput, KnownPlan>,
+    pub(crate) adopted_epoch: usize,
+    pub(crate) prior: Option<SweepPrior>,
+    pub(crate) probe_cache: HashMap<Throughput, ProbeEntry>,
+    pub(crate) known: HashMap<Throughput, KnownPlan>,
+    /// The targets of [`TenantState::known`] in insertion order, so a
+    /// checkpoint serializes the map deterministically and a journal record
+    /// can carry exactly the plans learned since the previous record.
+    pub(crate) known_order: Vec<Throughput>,
     /// The `(target, effective caps)` of the last failure re-solve: while an
     /// outage situation is unchanged, re-solving it again cannot produce a
     /// different answer, so the violated epochs are only counted.
-    last_failure_solve: Option<(Throughput, Vec<u64>)>,
+    pub(crate) last_failure_solve: Option<(Throughput, Vec<u64>)>,
     /// First epoch at which a deferred tenant may re-solve again; epochs
     /// before it keep the current plan (counted as deferred re-solves).
-    deferred_until: usize,
+    pub(crate) deferred_until: usize,
     /// Current backoff step (epochs); doubles per consecutive exhaustion up
     /// to [`FleetPolicy::backoff_cap`], resets on a successful re-solve.
-    backoff: usize,
+    pub(crate) backoff: usize,
     // Accounting.
-    rental_cost: f64,
-    switching_cost: f64,
-    epoch_costs: Vec<f64>,
-    probes: usize,
-    resolves: usize,
-    adoptions: usize,
-    probe_seconds: f64,
-    solve_seconds: f64,
-    slo_violations: usize,
-    failure_resolves: usize,
-    degraded_resolves: usize,
-    deferred_resolves: usize,
-    budget_exhausted_epochs: usize,
-    incumbent_adoptions: usize,
-    resolve_retries: usize,
+    pub(crate) rental_cost: f64,
+    pub(crate) switching_cost: f64,
+    pub(crate) epoch_costs: Vec<f64>,
+    pub(crate) probes: usize,
+    pub(crate) resolves: usize,
+    pub(crate) adoptions: usize,
+    pub(crate) probe_seconds: f64,
+    pub(crate) solve_seconds: f64,
+    pub(crate) slo_violations: usize,
+    pub(crate) failure_resolves: usize,
+    pub(crate) degraded_resolves: usize,
+    pub(crate) deferred_resolves: usize,
+    pub(crate) budget_exhausted_epochs: usize,
+    pub(crate) incumbent_adoptions: usize,
+    pub(crate) resolve_retries: usize,
 }
 
 impl TenantState<'_> {
     fn mix_carries_demand(&self) -> bool {
         self.fractions.iter().any(|&f| f > 0.0)
     }
+
+    /// Records a freshly learned plan at `rho`, keeping the insertion-order
+    /// index in sync with the map.
+    pub(crate) fn learn(&mut self, rho: Throughput, plan: KnownPlan) {
+        if self.known.insert(rho, plan).is_none() {
+            self.known_order.push(rho);
+        }
+    }
+}
+
+/// Certifies an adopted (or memoized) plan against the independent integer
+/// checker in `rental_solvers::certify` — debug builds only. A violation is
+/// a controller or solver bug, never a recoverable runtime condition, so it
+/// panics like any failed debug assertion.
+fn debug_certify(instance: &Instance, solution: &Solution, caps: Option<&[u64]>) {
+    if cfg!(debug_assertions) {
+        if let Err(err) = rental_solvers::certify_plan(instance, solution, caps) {
+            panic!("plan failed independent certification: {err}");
+        }
+    }
 }
 
 /// The capacity-constrained solving hooks a coupled run needs, type-erased
 /// so the shared controller core stays generic over plain
 /// [`WarmStartSolver`]s (the uncoupled path never touches these).
-trait CapsResolve: Sync {
+pub(crate) trait CapsResolve: Sync {
     fn caps_batch(
         &self,
         items: &[CapsBatchItem<'_>],
@@ -427,9 +454,21 @@ struct Coupling<'a> {
 
 /// Mutable coupling state over a run: the quota ledger and one outage trace
 /// per tenant.
-struct CouplingState {
-    pool: CapacityPool,
-    traces: Vec<FailureTrace>,
+pub(crate) struct CouplingState {
+    pub(crate) pool: CapacityPool,
+    pub(crate) traces: Vec<FailureTrace>,
+}
+
+/// The serving knobs of one run, resolved once from the policy and the
+/// optional capacity coupling (see [`FleetController::run_env`]). Pure
+/// derived data: a resumed run recomputes it instead of persisting it.
+pub(crate) struct RunEnv {
+    pub(crate) failures_enabled: bool,
+    pub(crate) availability: f64,
+    pub(crate) serve_headroom: f64,
+    pub(crate) failure_resolve: bool,
+    pub(crate) scaling: AutoscalePolicy,
+    pub(crate) baseline_scaling: AutoscalePolicy,
 }
 
 /// Worst-case per-type fleet bound of one tenant: the machines its **worst
@@ -558,9 +597,35 @@ impl FleetController {
         coupling: Option<Coupling<'_>>,
         chaos: Option<&crate::chaos::ChaosClock<'_>>,
     ) -> SolveResult<FleetReport> {
-        let policy = &self.policy;
         let caps_config = coupling.as_ref().map(|c| c.config);
         let caps_solver = coupling.as_ref().map(|c| c.solver);
+        let env = self.run_env(caps_config);
+        let mut states = self.init_states(solver, tenants, &env)?;
+        let mut coupled = self.init_coupling(tenants, caps_config, &env);
+        let num_epochs = states.iter().map(|s| s.peaks.len()).max().unwrap_or(0);
+        let mut adoptions: Vec<AdoptionRecord> = Vec::new();
+        let mut stale_desired: Option<Vec<Vec<u64>>> = None;
+        for epoch in 0..num_epochs {
+            self.epoch_step(
+                solver,
+                caps_solver,
+                epoch,
+                &mut states,
+                coupled.as_mut(),
+                chaos,
+                &env,
+                &mut adoptions,
+                &mut stale_desired,
+            )?;
+        }
+        Ok(self.finish(states, coupled.as_ref(), adoptions, num_epochs, &env))
+    }
+
+    /// Resolves the serving knobs of a run from the policy and the optional
+    /// capacity coupling. Pure — recomputed identically on resume, so the
+    /// environment is never persisted.
+    pub(crate) fn run_env(&self, caps_config: Option<&CapacityConfig>) -> RunEnv {
+        let policy = &self.policy;
         // Serving knobs under failure coupling: provision `1/availability`
         // head-room plus N+k redundancy so expected outages do not
         // immediately violate the demand. Destructured from the config once
@@ -589,11 +654,25 @@ impl FleetController {
             redundancy: failure_redundancy,
             ..policy.autoscale_policy()
         };
-        let baseline_scaling = policy.autoscale_policy();
+        RunEnv {
+            failures_enabled,
+            availability,
+            serve_headroom,
+            failure_resolve,
+            scaling,
+            baseline_scaling: policy.autoscale_policy(),
+        }
+    }
 
-        // ------------------------------------------------------------------
-        // Initial plans: one batched cold solve per tenant.
-        // ------------------------------------------------------------------
+    /// Initial plans: one batched cold solve per tenant.
+    pub(crate) fn init_states<'a, S: WarmStartSolver + Sync>(
+        &self,
+        solver: &S,
+        tenants: &'a [TenantSpec],
+        env: &RunEnv,
+    ) -> SolveResult<Vec<TenantState<'a>>> {
+        let policy = &self.policy;
+        let serve_headroom = env.serve_headroom;
         let initial_targets: Vec<Throughput> = tenants
             .iter()
             .map(|t| initial_target_with(policy.epoch, serve_headroom, &t.instance, &t.trace))
@@ -610,8 +689,9 @@ impl FleetController {
             tenants.iter().zip(&initial_targets).zip(initial_results)
         {
             let outcome = result?;
+            debug_certify(&spec.instance, &outcome.solution, None);
             let fractions = Autoscaler::split_fractions(&outcome.solution);
-            let scaler = FixedMixScaler::new(&spec.instance, &fractions, &scaling);
+            let scaler = FixedMixScaler::new(&spec.instance, &fractions, &env.scaling);
             let cache = self.plan_cache(&spec.instance, &outcome.solution)?;
             let mut known = HashMap::new();
             let prior = Some(SweepPrior::from_outcome(rho, &outcome));
@@ -630,6 +710,7 @@ impl FleetController {
                 prior,
                 probe_cache: HashMap::new(),
                 known,
+                known_order: vec![rho],
                 last_failure_solve: None,
                 deferred_until: 0,
                 backoff: 0,
@@ -651,13 +732,22 @@ impl FleetController {
                 spec,
             });
         }
+        Ok(states)
+    }
 
-        // ------------------------------------------------------------------
-        // Coupling state: the quota ledger plus one outage trace per tenant,
-        // sub-seeded from the fleet seed so tenant i's outages are stable no
-        // matter how many co-tenants exist.
-        // ------------------------------------------------------------------
-        let mut coupled = match caps_config {
+    /// Coupling state: the quota ledger plus one outage trace per tenant,
+    /// sub-seeded from the fleet seed so tenant i's outages are stable no
+    /// matter how many co-tenants exist. Deterministic for a fixed config —
+    /// a resumed run regenerates the same traces (validated by fingerprint)
+    /// and restores only the pool ledger from the checkpoint.
+    pub(crate) fn init_coupling(
+        &self,
+        tenants: &[TenantSpec],
+        caps_config: Option<&CapacityConfig>,
+        env: &RunEnv,
+    ) -> Option<CouplingState> {
+        let serve_headroom = env.serve_headroom;
+        match caps_config {
             Some(config) => {
                 let num_types = tenants.first().map(|t| t.instance.num_types()).unwrap_or(0);
                 assert!(
@@ -683,546 +773,566 @@ impl FleetController {
                 Some(CouplingState { pool, traces })
             }
             None => None,
-        };
+        }
+    }
 
-        let num_epochs = states.iter().map(|s| s.peaks.len()).max().unwrap_or(0);
-        let mut adoptions: Vec<AdoptionRecord> = Vec::new();
-        // The previous epoch's desired fleets, kept only under chaos so the
-        // clock can replay them as a delayed arbitration decision. The
-        // chaos-free path never populates this and stays bit-identical.
-        let mut stale_desired: Option<Vec<Vec<u64>>> = None;
-
-        // ------------------------------------------------------------------
-        // The shared epoch clock.
-        // ------------------------------------------------------------------
-        for epoch in 0..num_epochs {
-            // (0) Rent this epoch's fleets under the current mixes. A tenant
-            // whose own trace has ended stops being billed (and counted) —
-            // its per-tenant baselines only cover its own trace, too.
-            //
-            // Coupled runs route the renting through the pool's arbitration
-            // (desired fleets plus outage replacements, granted against the
-            // quotas) and detect throughput-violated epochs; `failure_due`
-            // collects the tenants whose violation warrants a
-            // capacity-constrained re-solve.
-            let mut failure_due: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
-            match coupled.as_mut() {
-                None => {
-                    for state in states.iter_mut() {
-                        let Some(&rate) = state.peaks.get(epoch) else {
-                            continue;
-                        };
-                        let fleet = state
-                            .mix
-                            .step(&state.scaler, rate, policy.scale_down_patience);
-                        let cost = state.scaler.cost_rate(fleet) * policy.epoch;
-                        state.rental_cost += cost;
-                        state.epoch_costs.push(cost);
-                    }
-                }
-                Some(cs) => {
-                    let window_start = epoch as f64 * policy.epoch;
-                    let window_end = window_start + policy.epoch;
-                    // Desired fleets: the mix's scale-up/down plus one
-                    // replacement per machine known down at the window start
-                    // (the "repair" half of fleet-with-repair). Ended
-                    // tenants release their holdings.
-                    let mut desired: Vec<Vec<u64>> = Vec::with_capacity(states.len());
-                    for (i, state) in states.iter_mut().enumerate() {
-                        let num_types = state.spec.instance.num_types();
-                        let Some(&rate) = state.peaks.get(epoch) else {
-                            desired.push(vec![0; num_types]);
-                            continue;
-                        };
-                        let mut fleet = state
-                            .mix
-                            .step(&state.scaler, rate, policy.scale_down_patience)
-                            .to_vec();
-                        if failures_enabled {
-                            for (q, count) in fleet.iter_mut().enumerate() {
-                                *count += cs.traces[i].machines_down_among(
-                                    TypeId(q),
-                                    *count,
-                                    window_start,
-                                );
-                            }
-                        }
-                        desired.push(fleet);
-                    }
-                    // Under chaos, a delayed decision re-arbitrates on the
-                    // previous epoch's desired fleets — tenants then serve
-                    // the epoch on stale grants.
-                    let delayed = chaos.is_some_and(|clock| clock.delays_epoch(epoch));
-                    let grants = if delayed {
-                        cs.pool
-                            .arbitrate_epoch(stale_desired.as_ref().unwrap_or(&desired))
-                    } else {
-                        cs.pool.arbitrate_epoch(&desired)
+    /// One tick of the shared epoch clock: rent/arbitrate, detect and
+    /// re-solve failures, probe shifts, batch warm re-solves, and take the
+    /// keep-vs-switch decisions. Extracted from the run loop so the
+    /// persistence layer ([`crate::persist`]) can interleave journal writes
+    /// and snapshots between epochs; `stale_desired` is the previous epoch's
+    /// desired fleets, kept only under chaos so the clock can replay them as
+    /// a delayed arbitration decision (the chaos-free path never populates
+    /// it and stays bit-identical).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn epoch_step<S: WarmStartSolver + Sync>(
+        &self,
+        solver: &S,
+        caps_solver: Option<&dyn CapsResolve>,
+        epoch: usize,
+        states: &mut [TenantState<'_>],
+        coupled: Option<&mut CouplingState>,
+        chaos: Option<&crate::chaos::ChaosClock<'_>>,
+        env: &RunEnv,
+        adoptions: &mut Vec<AdoptionRecord>,
+        stale_desired: &mut Option<Vec<Vec<u64>>>,
+    ) -> SolveResult<()> {
+        let policy = &self.policy;
+        let (failures_enabled, availability) = (env.failures_enabled, env.availability);
+        let (serve_headroom, failure_resolve) = (env.serve_headroom, env.failure_resolve);
+        let scaling = &env.scaling;
+        // (0) Rent this epoch's fleets under the current mixes. A tenant
+        // whose own trace has ended stops being billed (and counted) —
+        // its per-tenant baselines only cover its own trace, too.
+        //
+        // Coupled runs route the renting through the pool's arbitration
+        // (desired fleets plus outage replacements, granted against the
+        // quotas) and detect throughput-violated epochs; `failure_due`
+        // collects the tenants whose violation warrants a
+        // capacity-constrained re-solve.
+        let mut failure_due: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
+        match coupled {
+            None => {
+                for state in states.iter_mut() {
+                    let Some(&rate) = state.peaks.get(epoch) else {
+                        continue;
                     };
-                    if chaos.is_some() {
-                        stale_desired = Some(desired);
+                    let fleet = state
+                        .mix
+                        .step(&state.scaler, rate, policy.scale_down_patience);
+                    let cost = state.scaler.cost_rate(fleet) * policy.epoch;
+                    state.rental_cost += cost;
+                    state.epoch_costs.push(cost);
+                }
+            }
+            Some(cs) => {
+                let window_start = epoch as f64 * policy.epoch;
+                let window_end = window_start + policy.epoch;
+                // Desired fleets: the mix's scale-up/down plus one
+                // replacement per machine known down at the window start
+                // (the "repair" half of fleet-with-repair). Ended
+                // tenants release their holdings.
+                let mut desired: Vec<Vec<u64>> = Vec::with_capacity(states.len());
+                for (i, state) in states.iter_mut().enumerate() {
+                    let num_types = state.spec.instance.num_types();
+                    let Some(&rate) = state.peaks.get(epoch) else {
+                        desired.push(vec![0; num_types]);
+                        continue;
+                    };
+                    let mut fleet = state
+                        .mix
+                        .step(&state.scaler, rate, policy.scale_down_patience)
+                        .to_vec();
+                    if failures_enabled {
+                        for (q, count) in fleet.iter_mut().enumerate() {
+                            *count +=
+                                cs.traces[i].machines_down_among(TypeId(q), *count, window_start);
+                        }
                     }
-                    for (i, state) in states.iter_mut().enumerate() {
-                        let Some(&rate) = state.peaks.get(epoch) else {
-                            continue;
-                        };
-                        let granted = &grants[i];
-                        let cost = state.scaler.cost_rate(granted) * policy.epoch;
-                        state.rental_cost += cost;
-                        state.epoch_costs.push(cost);
-                        // Surviving capacity: the granted machines minus the
-                        // worst simultaneous outage among them this epoch.
-                        let available: Vec<u64> = granted
-                            .iter()
-                            .enumerate()
-                            .map(|(q, &count)| {
-                                count.saturating_sub(cs.traces[i].peak_down_among(
+                    desired.push(fleet);
+                }
+                // Under chaos, a delayed decision re-arbitrates on the
+                // previous epoch's desired fleets — tenants then serve
+                // the epoch on stale grants.
+                let delayed = chaos.is_some_and(|clock| clock.delays_epoch(epoch));
+                let grants = if delayed {
+                    cs.pool
+                        .arbitrate_epoch(stale_desired.as_ref().unwrap_or(&desired))
+                } else {
+                    cs.pool.arbitrate_epoch(&desired)
+                };
+                if chaos.is_some() {
+                    *stale_desired = Some(desired);
+                }
+                for (i, state) in states.iter_mut().enumerate() {
+                    let Some(&rate) = state.peaks.get(epoch) else {
+                        continue;
+                    };
+                    let granted = &grants[i];
+                    let cost = state.scaler.cost_rate(granted) * policy.epoch;
+                    state.rental_cost += cost;
+                    state.epoch_costs.push(cost);
+                    // Surviving capacity: the granted machines minus the
+                    // worst simultaneous outage among them this epoch.
+                    let available: Vec<u64> = granted
+                        .iter()
+                        .enumerate()
+                        .map(|(q, &count)| {
+                            count.saturating_sub(cs.traces[i].peak_down_among(
+                                TypeId(q),
+                                count,
+                                window_start,
+                                window_end,
+                            ))
+                        })
+                        .collect();
+                    if !state.scaler.violates(rate, &available) {
+                        // A healthy epoch closes the outage episode; the
+                        // next violation is a new situation to solve.
+                        state.last_failure_solve = None;
+                        continue;
+                    }
+                    state.slo_violations += 1;
+                    if !(policy.resolve && failure_resolve) {
+                        continue;
+                    }
+                    let rho = quantize_target(rate, serve_headroom, state.granularity);
+                    if rho == 0 {
+                        continue;
+                    }
+                    // A deferred tenant keeps its current plan until its
+                    // backoff window ends; the violation is still
+                    // counted above.
+                    if epoch < state.deferred_until {
+                        state.deferred_resolves += 1;
+                        continue;
+                    }
+                    // Effective caps for the re-solve: holdings plus
+                    // residual quota, minus machines still down at the
+                    // epoch's end (lost capacity for the outage's
+                    // duration).
+                    let caps: Vec<u64> = cs
+                        .pool
+                        .caps_for(i)
+                        .iter()
+                        .enumerate()
+                        .map(|(q, &cap)| {
+                            if cap == UNLIMITED_CAP {
+                                UNLIMITED_CAP
+                            } else {
+                                cap.saturating_sub(cs.traces[i].machines_down_among(
                                     TypeId(q),
-                                    count,
-                                    window_start,
+                                    granted[q],
                                     window_end,
                                 ))
-                            })
-                            .collect();
-                        if !state.scaler.violates(rate, &available) {
-                            // A healthy epoch closes the outage episode; the
-                            // next violation is a new situation to solve.
-                            state.last_failure_solve = None;
-                            continue;
-                        }
-                        state.slo_violations += 1;
-                        if !(policy.resolve && failure_resolve) {
-                            continue;
-                        }
-                        let rho = quantize_target(rate, serve_headroom, state.granularity);
-                        if rho == 0 {
-                            continue;
-                        }
-                        // A deferred tenant keeps its current plan until its
-                        // backoff window ends; the violation is still
-                        // counted above.
-                        if epoch < state.deferred_until {
-                            state.deferred_resolves += 1;
-                            continue;
-                        }
-                        // Effective caps for the re-solve: holdings plus
-                        // residual quota, minus machines still down at the
-                        // epoch's end (lost capacity for the outage's
-                        // duration).
-                        let caps: Vec<u64> = cs
-                            .pool
-                            .caps_for(i)
-                            .iter()
-                            .enumerate()
-                            .map(|(q, &cap)| {
-                                if cap == UNLIMITED_CAP {
-                                    UNLIMITED_CAP
-                                } else {
-                                    cap.saturating_sub(cs.traces[i].machines_down_among(
-                                        TypeId(q),
-                                        granted[q],
-                                        window_end,
-                                    ))
-                                }
-                            })
-                            .collect();
-                        // Re-solving an unchanged outage situation cannot
-                        // produce a new answer; only count the violation.
-                        if state.last_failure_solve.as_ref() != Some(&(rho, caps.clone())) {
-                            failure_due.push((i, rho, caps));
-                        }
-                    }
-                }
-            }
-
-            // Failure re-solves: probe (fractional coverage bound) first,
-            // then one batched capacity-constrained fan-out, then the
-            // degraded-mode fallback for what the quota cannot carry. Only
-            // the coupled path populates `failure_due`, so the caps solver
-            // exists whenever the list is non-empty.
-            if let (Some(resolver), false) = (caps_solver, failure_due.is_empty()) {
-                let mut full: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
-                let mut needs_degrade: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
-                for (i, rho, caps) in failure_due {
-                    if states[i].peaks.len() <= epoch + 1 {
-                        // Last billed epoch: no remaining horizon to serve.
-                        states[i].last_failure_solve = Some((rho, caps));
-                        continue;
-                    }
-                    // Futility check: when the best-known plan at ρ' already
-                    // fits the caps, a capped re-solve cannot beat it. If it
-                    // is the very plan being run, the violation is a
-                    // transient outage the replacement renting already
-                    // handles; otherwise adopt it without re-solving.
-                    let fitting_known: Option<Solution> =
-                        states[i].known.get(&rho).and_then(|kp| {
-                            kp.outcome
-                                .solution
-                                .allocation
-                                .machine_counts()
-                                .iter()
-                                .zip(&caps)
-                                .all(|(&count, &cap)| cap == UNLIMITED_CAP || count <= cap)
-                                .then(|| kp.outcome.solution.clone())
-                        });
-                    if let Some(solution) = fitting_known {
-                        states[i].last_failure_solve = Some((rho, caps));
-                        if states[i].solved_target != rho {
-                            self.adopt_failure_plan(
-                                &mut states[i],
-                                &mut adoptions,
-                                i,
-                                epoch,
-                                rho,
-                                solution,
-                                availability,
-                                &scaling,
-                            )?;
-                        }
-                        continue;
-                    }
-                    let state = &mut states[i];
-                    let started = Instant::now();
-                    state.probes += 1;
-                    let bound = coverage_bound(&state.spec.instance, &caps)?;
-                    state.probe_seconds += started.elapsed().as_secs_f64();
-                    if bound >= rho as f64 - 1e-9 {
-                        full.push((i, rho, caps));
-                    } else {
-                        needs_degrade.push((i, rho, caps));
-                    }
-                }
-                let items: Vec<CapsBatchItem<'_>> = full
-                    .iter()
-                    .map(|&(i, rho, ref caps)| {
-                        CapsBatchItem::new(
-                            &states[i].spec.instance,
-                            rho,
-                            caps,
-                            states[i].prior.as_ref(),
-                        )
-                    })
-                    .collect();
-                let split_budget = policy.epoch_budget.map(|b| b.split(full.len().max(1)));
-                let results = resolver.caps_batch(&items, split_budget.as_ref(), policy.threads);
-                drop(items);
-                for ((i, rho, caps), (result, elapsed)) in full.into_iter().zip(results) {
-                    states[i].solve_seconds += elapsed.as_secs_f64();
-                    match result {
-                        Ok(outcome) => {
-                            {
-                                let state = &mut states[i];
-                                state.failure_resolves += 1;
-                                state.last_failure_solve = Some((rho, caps));
-                                if outcome.exhausted {
-                                    state.budget_exhausted_epochs += 1;
-                                    state.incumbent_adoptions += 1;
-                                }
-                                close_backoff(state);
                             }
-                            self.adopt_failure_plan(
-                                &mut states[i],
-                                &mut adoptions,
-                                i,
-                                epoch,
-                                rho,
-                                outcome.solution,
-                                availability,
-                                &scaling,
-                            )?;
-                        }
-                        Err(SolveError::BudgetExhausted { .. }) => {
-                            // Exhausted with no incumbent: inconclusive.
-                            // Keep the current plan, skip the episode memo
-                            // (a retry with more budget can succeed) and
-                            // re-queue with backoff.
-                            let state = &mut states[i];
-                            state.budget_exhausted_epochs += 1;
-                            defer(state, epoch, policy.backoff_cap);
-                        }
-                        Err(SolveError::NoSolutionFound { .. }) => {
-                            // The fractional bound over-estimated what
-                            // integer machine counts can do; degrade.
-                            needs_degrade.push((i, rho, caps));
-                        }
-                        Err(err) => return Err(err),
+                        })
+                        .collect();
+                    // Re-solving an unchanged outage situation cannot
+                    // produce a new answer; only count the violation.
+                    if state.last_failure_solve.as_ref() != Some(&(rho, caps.clone())) {
+                        failure_due.push((i, rho, caps));
                     }
-                }
-                for (i, rho, caps) in needs_degrade {
-                    let started = Instant::now();
-                    let result = resolver.caps_degrade(
-                        &states[i].spec.instance,
-                        rho,
-                        &caps,
-                        states[i].prior.as_ref(),
-                    );
-                    {
-                        let state = &mut states[i];
-                        state.solve_seconds += started.elapsed().as_secs_f64();
-                        state.failure_resolves += 1;
-                        state.last_failure_solve = Some((rho, caps));
-                    }
-                    match result {
-                        Ok(CappedOutcome::Full(outcome)) => {
-                            {
-                                let state = &mut states[i];
-                                if outcome.exhausted {
-                                    state.budget_exhausted_epochs += 1;
-                                    state.incumbent_adoptions += 1;
-                                }
-                                close_backoff(state);
-                            }
-                            self.adopt_failure_plan(
-                                &mut states[i],
-                                &mut adoptions,
-                                i,
-                                epoch,
-                                rho,
-                                outcome.solution,
-                                availability,
-                                &scaling,
-                            )?;
-                        }
-                        Ok(CappedOutcome::Degraded { target, outcome }) => {
-                            {
-                                let state = &mut states[i];
-                                state.degraded_resolves += 1;
-                                if outcome.exhausted {
-                                    state.budget_exhausted_epochs += 1;
-                                    state.incumbent_adoptions += 1;
-                                }
-                                close_backoff(state);
-                            }
-                            self.adopt_failure_plan(
-                                &mut states[i],
-                                &mut adoptions,
-                                i,
-                                epoch,
-                                target,
-                                outcome.solution,
-                                availability,
-                                &scaling,
-                            )?;
-                        }
-                        // Nothing rentable at all: keep the current fleet
-                        // and keep counting the violations.
-                        Ok(CappedOutcome::Unserved) => {}
-                        Err(
-                            err @ (SolveError::BudgetExhausted { .. }
-                            | SolveError::NoSolutionFound { .. }),
-                        ) => {
-                            // Even the degraded fallback came up empty
-                            // (budget or an injected fault): keep the
-                            // current plan, forget the episode memo and
-                            // re-queue with backoff.
-                            let state = &mut states[i];
-                            state.failure_resolves -= 1;
-                            state.last_failure_solve = None;
-                            if matches!(err, SolveError::BudgetExhausted { .. }) {
-                                state.budget_exhausted_epochs += 1;
-                            }
-                            defer(state, epoch, policy.backoff_cap);
-                        }
-                        Err(err) => return Err(err),
-                    }
-                }
-            }
-
-            if !policy.resolve {
-                continue;
-            }
-            // Each tenant projects over *its own* remaining trace — savings
-            // past a tenant's last billed epoch do not exist, so they must
-            // not tip a switching decision.
-            let tenant_remaining = |state: &TenantState<'_>| {
-                state.peaks.len().saturating_sub(epoch + 1) as f64 * policy.epoch
-            };
-            // Keep-side projections: continued machines bill only the margin
-            // past the current plan's elapsed rental time (committed terms
-            // already paid are sunk), scale-up machines bill fresh.
-            let keep_projection =
-                |entry: &ProbeEntry, adopted_epoch: usize, remaining_hours: f64| {
-                    let elapsed_hours = (epoch + 1 - adopted_epoch) as f64 * policy.epoch;
-                    entry.continued.total_over(
-                        RentalHorizon::hours(elapsed_hours),
-                        RentalHorizon::hours(elapsed_hours + remaining_hours),
-                    ) + entry.fresh.total(RentalHorizon::hours(remaining_hours))
-                };
-
-            // (1) Shift detection + what-if probes. `keep: None` marks a
-            // forced re-solve (the current mix cannot carry the demand). Each
-            // due entry carries the tenant's own remaining horizon (hours).
-            let mut due: Vec<(usize, Throughput, Option<f64>, f64)> = Vec::new();
-            for (i, state) in states.iter_mut().enumerate() {
-                let rate = state.peaks.get(epoch).copied().unwrap_or(0.0);
-                let rho = quantize_target(rate, serve_headroom, state.granularity);
-                if rho == 0 {
-                    continue;
-                }
-                let remaining_hours = tenant_remaining(state);
-                if remaining_hours <= 0.0 {
-                    continue;
-                }
-                // A deferred tenant sits out its backoff window: it keeps
-                // its current plan, and the suppressed re-solve is counted.
-                if epoch < state.deferred_until {
-                    state.deferred_resolves += 1;
-                    continue;
-                }
-                if !state.mix_carries_demand() {
-                    // A zero mix cannot carry any demand: re-solving is not
-                    // optional, no probe needed.
-                    due.push((i, rho, None, remaining_hours));
-                    continue;
-                }
-                let shift = (rho as f64 - state.solved_target as f64).abs()
-                    > policy.shift_threshold * state.solved_target.max(1) as f64;
-                if !shift {
-                    continue;
-                }
-                let started = Instant::now();
-                state.probes += 1;
-                if !state.probe_cache.contains_key(&rho) {
-                    let entry = ProbeEntry::new(
-                        &state.spec.instance,
-                        &state.scaler,
-                        state.solved_target,
-                        rho,
-                        self.billing.as_ref(),
-                    );
-                    state.probe_cache.insert(rho, entry);
-                }
-                let keep_projected = keep_projection(
-                    &state.probe_cache[&rho],
-                    state.adopted_epoch,
-                    remaining_hours,
-                );
-                let reference_rate = state
-                    .known
-                    .get(&rho)
-                    .map_or(rho as f64 * state.min_unit_cost, |k| {
-                        k.outcome.cost() as f64
-                    });
-                let reference_projected = reference_rate * remaining_hours;
-                let worth_probing = keep_projected
-                    > (1.0 + policy.probe_epsilon) * reference_projected
-                    && keep_projected - reference_projected > policy.switching_cost;
-                state.probe_seconds += started.elapsed().as_secs_f64();
-                if worth_probing {
-                    due.push((i, rho, Some(keep_projected), remaining_hours));
-                }
-            }
-
-            // (2) One batched warm-started fan-out for every due tenant whose
-            // target has not been solved before.
-            let to_solve: Vec<(usize, Throughput)> = due
-                .iter()
-                .filter(|&&(i, rho, _, _)| !states[i].known.contains_key(&rho))
-                .map(|&(i, rho, _, _)| (i, rho))
-                .collect();
-            if !to_solve.is_empty() {
-                let items: Vec<WarmBatchItem<'_>> = to_solve
-                    .iter()
-                    .map(|&(i, rho)| {
-                        WarmBatchItem::new(&states[i].spec.instance, rho, states[i].prior.as_ref())
-                    })
-                    .collect();
-                let results = match policy.epoch_budget {
-                    Some(budget) => solve_warm_batch_budgeted(
-                        solver,
-                        &items,
-                        &budget.split(to_solve.len().max(1)),
-                        policy.threads,
-                    ),
-                    None => solve_warm_batch_timed(solver, &items, policy.threads),
-                };
-                for (&(i, rho), (result, elapsed)) in to_solve.iter().zip(results) {
-                    let state = &mut states[i];
-                    state.solve_seconds += elapsed.as_secs_f64();
-                    match result {
-                        Ok(outcome) => {
-                            state.resolves += 1;
-                            if outcome.exhausted {
-                                state.budget_exhausted_epochs += 1;
-                            }
-                            close_backoff(state);
-                            state.prior = Some(SweepPrior::from_outcome(rho, &outcome));
-                            let cache = self.plan_cache(&state.spec.instance, &outcome.solution)?;
-                            state.known.insert(rho, KnownPlan { outcome, cache });
-                        }
-                        Err(
-                            err @ (SolveError::BudgetExhausted { .. }
-                            | SolveError::NoSolutionFound { .. }),
-                        ) => {
-                            // No usable plan came back (exhausted with no
-                            // incumbent, or an injected spurious
-                            // infeasibility): keep the current plan and
-                            // re-queue with backoff — deferred, not dropped.
-                            if matches!(err, SolveError::BudgetExhausted { .. }) {
-                                state.budget_exhausted_epochs += 1;
-                            }
-                            defer(state, epoch, policy.backoff_cap);
-                        }
-                        Err(err) => return Err(err),
-                    }
-                }
-            }
-
-            // (3) Keep-vs-switch decisions under the switching-cost
-            // hysteresis, one per due tenant. The charge the candidate must
-            // beat is the flat cost plus the per-machine-delta cost of the
-            // machines that actually change between the kept fleet (current
-            // mix rescaled to ρ') and the candidate's fleet.
-            for (i, rho, keep_projected, remaining_hours) in due {
-                let state = &mut states[i];
-                // A deferred re-solve left no plan at ρ': the tenant keeps
-                // its current plan; the backoff schedule re-queues it.
-                let Some(known) = state.known.get(&rho) else {
-                    continue;
-                };
-                let switch_projected = known.cache.total(RentalHorizon::hours(remaining_hours));
-                let kept_fleet = state.scaler.required_for_target(rho as f64);
-                let charge = policy.switching_charge(
-                    &kept_fleet,
-                    known.outcome.solution.allocation.machine_counts(),
-                );
-                let candidate_exhausted = known.outcome.exhausted;
-                // A forced switch (no keep option) bypasses the hysteresis:
-                // the demand must be served.
-                let adopted = keep_projected.is_none_or(|keep| switch_projected + charge < keep);
-                adoptions.push(AdoptionRecord {
-                    tenant: i,
-                    epoch,
-                    target: rho,
-                    projected_keep: keep_projected,
-                    projected_switch: switch_projected,
-                    switching_cost: charge,
-                    adopted,
-                    failure_triggered: false,
-                });
-                if adopted {
-                    let candidate = state.known[&rho].outcome.solution.clone();
-                    state.adoptions += 1;
-                    if candidate_exhausted {
-                        // An anytime incumbent (feasible, not proven
-                        // optimal) is adopted like any plan.
-                        state.incumbent_adoptions += 1;
-                    }
-                    state.switching_cost += charge;
-                    state.fractions = Autoscaler::split_fractions(&candidate);
-                    state.scaler =
-                        FixedMixScaler::new(&state.spec.instance, &state.fractions, &scaling);
-                    state.solved_target = rho;
-                    // The new plan starts renting from the next epoch.
-                    state.adopted_epoch = epoch + 1;
-                    state.probe_cache.clear();
                 }
             }
         }
 
-        // ------------------------------------------------------------------
-        // Baselines and report assembly.
-        // ------------------------------------------------------------------
+        // Failure re-solves: probe (fractional coverage bound) first,
+        // then one batched capacity-constrained fan-out, then the
+        // degraded-mode fallback for what the quota cannot carry. Only
+        // the coupled path populates `failure_due`, so the caps solver
+        // exists whenever the list is non-empty.
+        if let (Some(resolver), false) = (caps_solver, failure_due.is_empty()) {
+            let mut full: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
+            let mut needs_degrade: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
+            for (i, rho, caps) in failure_due {
+                if states[i].peaks.len() <= epoch + 1 {
+                    // Last billed epoch: no remaining horizon to serve.
+                    states[i].last_failure_solve = Some((rho, caps));
+                    continue;
+                }
+                // Futility check: when the best-known plan at ρ' already
+                // fits the caps, a capped re-solve cannot beat it. If it
+                // is the very plan being run, the violation is a
+                // transient outage the replacement renting already
+                // handles; otherwise adopt it without re-solving.
+                let fitting_known: Option<Solution> = states[i].known.get(&rho).and_then(|kp| {
+                    kp.outcome
+                        .solution
+                        .allocation
+                        .machine_counts()
+                        .iter()
+                        .zip(&caps)
+                        .all(|(&count, &cap)| cap == UNLIMITED_CAP || count <= cap)
+                        .then(|| kp.outcome.solution.clone())
+                });
+                if let Some(solution) = fitting_known {
+                    states[i].last_failure_solve = Some((rho, caps));
+                    if states[i].solved_target != rho {
+                        self.adopt_failure_plan(
+                            &mut states[i],
+                            adoptions,
+                            i,
+                            epoch,
+                            rho,
+                            solution,
+                            availability,
+                            scaling,
+                        )?;
+                    }
+                    continue;
+                }
+                let state = &mut states[i];
+                let started = Instant::now();
+                state.probes += 1;
+                let bound = coverage_bound(&state.spec.instance, &caps)?;
+                state.probe_seconds += started.elapsed().as_secs_f64();
+                if bound >= rho as f64 - 1e-9 {
+                    full.push((i, rho, caps));
+                } else {
+                    needs_degrade.push((i, rho, caps));
+                }
+            }
+            let items: Vec<CapsBatchItem<'_>> = full
+                .iter()
+                .map(|&(i, rho, ref caps)| {
+                    CapsBatchItem::new(
+                        &states[i].spec.instance,
+                        rho,
+                        caps,
+                        states[i].prior.as_ref(),
+                    )
+                })
+                .collect();
+            let split_budget = policy.epoch_budget.map(|b| b.split(full.len().max(1)));
+            let results = resolver.caps_batch(&items, split_budget.as_ref(), policy.threads);
+            drop(items);
+            for ((i, rho, caps), (result, elapsed)) in full.into_iter().zip(results) {
+                states[i].solve_seconds += elapsed.as_secs_f64();
+                match result {
+                    Ok(outcome) => {
+                        {
+                            let state = &mut states[i];
+                            state.failure_resolves += 1;
+                            state.last_failure_solve = Some((rho, caps));
+                            if outcome.exhausted {
+                                state.budget_exhausted_epochs += 1;
+                                state.incumbent_adoptions += 1;
+                            }
+                            close_backoff(state);
+                        }
+                        self.adopt_failure_plan(
+                            &mut states[i],
+                            adoptions,
+                            i,
+                            epoch,
+                            rho,
+                            outcome.solution,
+                            availability,
+                            scaling,
+                        )?;
+                    }
+                    Err(SolveError::BudgetExhausted { .. }) => {
+                        // Exhausted with no incumbent: inconclusive.
+                        // Keep the current plan, skip the episode memo
+                        // (a retry with more budget can succeed) and
+                        // re-queue with backoff.
+                        let state = &mut states[i];
+                        state.budget_exhausted_epochs += 1;
+                        defer(state, epoch, policy.backoff_cap);
+                    }
+                    Err(SolveError::NoSolutionFound { .. }) => {
+                        // The fractional bound over-estimated what
+                        // integer machine counts can do; degrade.
+                        needs_degrade.push((i, rho, caps));
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+            for (i, rho, caps) in needs_degrade {
+                let started = Instant::now();
+                let result = resolver.caps_degrade(
+                    &states[i].spec.instance,
+                    rho,
+                    &caps,
+                    states[i].prior.as_ref(),
+                );
+                {
+                    let state = &mut states[i];
+                    state.solve_seconds += started.elapsed().as_secs_f64();
+                    state.failure_resolves += 1;
+                    state.last_failure_solve = Some((rho, caps));
+                }
+                match result {
+                    Ok(CappedOutcome::Full(outcome)) => {
+                        {
+                            let state = &mut states[i];
+                            if outcome.exhausted {
+                                state.budget_exhausted_epochs += 1;
+                                state.incumbent_adoptions += 1;
+                            }
+                            close_backoff(state);
+                        }
+                        self.adopt_failure_plan(
+                            &mut states[i],
+                            adoptions,
+                            i,
+                            epoch,
+                            rho,
+                            outcome.solution,
+                            availability,
+                            scaling,
+                        )?;
+                    }
+                    Ok(CappedOutcome::Degraded { target, outcome }) => {
+                        {
+                            let state = &mut states[i];
+                            state.degraded_resolves += 1;
+                            if outcome.exhausted {
+                                state.budget_exhausted_epochs += 1;
+                                state.incumbent_adoptions += 1;
+                            }
+                            close_backoff(state);
+                        }
+                        self.adopt_failure_plan(
+                            &mut states[i],
+                            adoptions,
+                            i,
+                            epoch,
+                            target,
+                            outcome.solution,
+                            availability,
+                            scaling,
+                        )?;
+                    }
+                    // Nothing rentable at all: keep the current fleet
+                    // and keep counting the violations.
+                    Ok(CappedOutcome::Unserved) => {}
+                    Err(
+                        err @ (SolveError::BudgetExhausted { .. }
+                        | SolveError::NoSolutionFound { .. }),
+                    ) => {
+                        // Even the degraded fallback came up empty
+                        // (budget or an injected fault): keep the
+                        // current plan, forget the episode memo and
+                        // re-queue with backoff.
+                        let state = &mut states[i];
+                        state.failure_resolves -= 1;
+                        state.last_failure_solve = None;
+                        if matches!(err, SolveError::BudgetExhausted { .. }) {
+                            state.budget_exhausted_epochs += 1;
+                        }
+                        defer(state, epoch, policy.backoff_cap);
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+
+        if !policy.resolve {
+            return Ok(());
+        }
+        // Each tenant projects over *its own* remaining trace — savings
+        // past a tenant's last billed epoch do not exist, so they must
+        // not tip a switching decision.
+        let tenant_remaining = |state: &TenantState<'_>| {
+            state.peaks.len().saturating_sub(epoch + 1) as f64 * policy.epoch
+        };
+        // Keep-side projections: continued machines bill only the margin
+        // past the current plan's elapsed rental time (committed terms
+        // already paid are sunk), scale-up machines bill fresh.
+        let keep_projection = |entry: &ProbeEntry, adopted_epoch: usize, remaining_hours: f64| {
+            let elapsed_hours = (epoch + 1 - adopted_epoch) as f64 * policy.epoch;
+            entry.continued.total_over(
+                RentalHorizon::hours(elapsed_hours),
+                RentalHorizon::hours(elapsed_hours + remaining_hours),
+            ) + entry.fresh.total(RentalHorizon::hours(remaining_hours))
+        };
+
+        // (1) Shift detection + what-if probes. `keep: None` marks a
+        // forced re-solve (the current mix cannot carry the demand). Each
+        // due entry carries the tenant's own remaining horizon (hours).
+        let mut due: Vec<(usize, Throughput, Option<f64>, f64)> = Vec::new();
+        for (i, state) in states.iter_mut().enumerate() {
+            let rate = state.peaks.get(epoch).copied().unwrap_or(0.0);
+            let rho = quantize_target(rate, serve_headroom, state.granularity);
+            if rho == 0 {
+                continue;
+            }
+            let remaining_hours = tenant_remaining(state);
+            if remaining_hours <= 0.0 {
+                continue;
+            }
+            // A deferred tenant sits out its backoff window: it keeps
+            // its current plan, and the suppressed re-solve is counted.
+            if epoch < state.deferred_until {
+                state.deferred_resolves += 1;
+                continue;
+            }
+            if !state.mix_carries_demand() {
+                // A zero mix cannot carry any demand: re-solving is not
+                // optional, no probe needed.
+                due.push((i, rho, None, remaining_hours));
+                continue;
+            }
+            let shift = (rho as f64 - state.solved_target as f64).abs()
+                > policy.shift_threshold * state.solved_target.max(1) as f64;
+            if !shift {
+                continue;
+            }
+            let started = Instant::now();
+            state.probes += 1;
+            if !state.probe_cache.contains_key(&rho) {
+                let entry = ProbeEntry::new(
+                    &state.spec.instance,
+                    &state.scaler,
+                    state.solved_target,
+                    rho,
+                    self.billing.as_ref(),
+                );
+                state.probe_cache.insert(rho, entry);
+            }
+            let keep_projected = keep_projection(
+                &state.probe_cache[&rho],
+                state.adopted_epoch,
+                remaining_hours,
+            );
+            let reference_rate = state
+                .known
+                .get(&rho)
+                .map_or(rho as f64 * state.min_unit_cost, |k| {
+                    k.outcome.cost() as f64
+                });
+            let reference_projected = reference_rate * remaining_hours;
+            let worth_probing = keep_projected > (1.0 + policy.probe_epsilon) * reference_projected
+                && keep_projected - reference_projected > policy.switching_cost;
+            state.probe_seconds += started.elapsed().as_secs_f64();
+            if worth_probing {
+                due.push((i, rho, Some(keep_projected), remaining_hours));
+            }
+        }
+
+        // (2) One batched warm-started fan-out for every due tenant whose
+        // target has not been solved before.
+        let to_solve: Vec<(usize, Throughput)> = due
+            .iter()
+            .filter(|&&(i, rho, _, _)| !states[i].known.contains_key(&rho))
+            .map(|&(i, rho, _, _)| (i, rho))
+            .collect();
+        if !to_solve.is_empty() {
+            let items: Vec<WarmBatchItem<'_>> = to_solve
+                .iter()
+                .map(|&(i, rho)| {
+                    WarmBatchItem::new(&states[i].spec.instance, rho, states[i].prior.as_ref())
+                })
+                .collect();
+            let results = match policy.epoch_budget {
+                Some(budget) => solve_warm_batch_budgeted(
+                    solver,
+                    &items,
+                    &budget.split(to_solve.len().max(1)),
+                    policy.threads,
+                ),
+                None => solve_warm_batch_timed(solver, &items, policy.threads),
+            };
+            for (&(i, rho), (result, elapsed)) in to_solve.iter().zip(results) {
+                let state = &mut states[i];
+                state.solve_seconds += elapsed.as_secs_f64();
+                match result {
+                    Ok(outcome) => {
+                        state.resolves += 1;
+                        if outcome.exhausted {
+                            state.budget_exhausted_epochs += 1;
+                        }
+                        close_backoff(state);
+                        state.prior = Some(SweepPrior::from_outcome(rho, &outcome));
+                        debug_certify(&state.spec.instance, &outcome.solution, None);
+                        let cache = self.plan_cache(&state.spec.instance, &outcome.solution)?;
+                        state.learn(rho, KnownPlan { outcome, cache });
+                    }
+                    Err(
+                        err @ (SolveError::BudgetExhausted { .. }
+                        | SolveError::NoSolutionFound { .. }),
+                    ) => {
+                        // No usable plan came back (exhausted with no
+                        // incumbent, or an injected spurious
+                        // infeasibility): keep the current plan and
+                        // re-queue with backoff — deferred, not dropped.
+                        if matches!(err, SolveError::BudgetExhausted { .. }) {
+                            state.budget_exhausted_epochs += 1;
+                        }
+                        defer(state, epoch, policy.backoff_cap);
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+
+        // (3) Keep-vs-switch decisions under the switching-cost
+        // hysteresis, one per due tenant. The charge the candidate must
+        // beat is the flat cost plus the per-machine-delta cost of the
+        // machines that actually change between the kept fleet (current
+        // mix rescaled to ρ') and the candidate's fleet.
+        for (i, rho, keep_projected, remaining_hours) in due {
+            let state = &mut states[i];
+            // A deferred re-solve left no plan at ρ': the tenant keeps
+            // its current plan; the backoff schedule re-queues it.
+            let Some(known) = state.known.get(&rho) else {
+                continue;
+            };
+            let switch_projected = known.cache.total(RentalHorizon::hours(remaining_hours));
+            let kept_fleet = state.scaler.required_for_target(rho as f64);
+            let charge = policy.switching_charge(
+                &kept_fleet,
+                known.outcome.solution.allocation.machine_counts(),
+            );
+            let candidate_exhausted = known.outcome.exhausted;
+            // A forced switch (no keep option) bypasses the hysteresis:
+            // the demand must be served.
+            let adopted = keep_projected.is_none_or(|keep| switch_projected + charge < keep);
+            adoptions.push(AdoptionRecord {
+                tenant: i,
+                epoch,
+                target: rho,
+                projected_keep: keep_projected,
+                projected_switch: switch_projected,
+                switching_cost: charge,
+                adopted,
+                failure_triggered: false,
+            });
+            if adopted {
+                let candidate = state.known[&rho].outcome.solution.clone();
+                debug_certify(&state.spec.instance, &candidate, None);
+                state.adoptions += 1;
+                if candidate_exhausted {
+                    // An anytime incumbent (feasible, not proven
+                    // optimal) is adopted like any plan.
+                    state.incumbent_adoptions += 1;
+                }
+                state.switching_cost += charge;
+                state.fractions = Autoscaler::split_fractions(&candidate);
+                state.scaler = FixedMixScaler::new(&state.spec.instance, &state.fractions, scaling);
+                state.solved_target = rho;
+                // The new plan starts renting from the next epoch.
+                state.adopted_epoch = epoch + 1;
+                state.probe_cache.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Baselines and report assembly.
+    pub(crate) fn finish(
+        &self,
+        states: Vec<TenantState<'_>>,
+        coupled: Option<&CouplingState>,
+        adoptions: Vec<AdoptionRecord>,
+        num_epochs: usize,
+        env: &RunEnv,
+    ) -> FleetReport {
+        let policy = &self.policy;
+        let (failures_enabled, availability) = (env.failures_enabled, env.availability);
+        let baseline_scaling = env.baseline_scaling;
         let autoscaler = Autoscaler::new(baseline_scaling);
         let tenants_report = states
             .into_iter()
@@ -1237,7 +1347,7 @@ impl FleetController {
                 // statically for the availability-adjusted peak, suffering
                 // the same outages — the classic answer to failures the
                 // coupled controller must beat.
-                let (static_headroom_cost, static_headroom_violations) = match coupled.as_ref() {
+                let (static_headroom_cost, static_headroom_violations) = match coupled {
                     Some(cs) if failures_enabled => {
                         let scaler = FixedMixScaler::new(
                             &state.spec.instance,
@@ -1299,17 +1409,16 @@ impl FleetController {
             })
             .collect();
 
-        Ok(FleetReport {
+        FleetReport {
             tenants: tenants_report,
             adoptions,
             epochs: num_epochs,
             epoch_hours: policy.epoch,
             quota_utilization: coupled
-                .as_ref()
                 .filter(|cs| !cs.pool.is_unlimited())
                 .map(|cs| cs.pool.utilization())
                 .unwrap_or_default(),
-        })
+        }
     }
 
     /// Adopts a failure re-solve's plan: forced (the demand is unserved, so
@@ -1332,6 +1441,7 @@ impl FleetController {
         let remaining_hours = state.peaks.len().saturating_sub(epoch + 1) as f64 * policy.epoch;
         let kept_fleet = state.scaler.required_for_target(target as f64);
         let charge = policy.switching_charge(&kept_fleet, solution.allocation.machine_counts());
+        debug_certify(&state.spec.instance, &solution, None);
         let cache = self.plan_cache(&state.spec.instance, &solution)?;
         let projected_switch = cache.expected_total_over(
             RentalHorizon::hours(0.0),
@@ -1360,7 +1470,11 @@ impl FleetController {
     }
 
     /// Builds the horizon cache of a solver plan.
-    fn plan_cache(&self, instance: &Instance, solution: &Solution) -> SolveResult<HorizonCache> {
+    pub(crate) fn plan_cache(
+        &self,
+        instance: &Instance,
+        solution: &Solution,
+    ) -> SolveResult<HorizonCache> {
         let plan = ProvisioningPlan::build(instance, solution)?;
         Ok(HorizonCache::new(&plan, self.billing.as_ref()))
     }

@@ -82,6 +82,42 @@
 //! and delayed arbitration decisions — via
 //! [`FleetController::run_with_chaos`].
 //!
+//! ## Crash safety: checkpoints, the write-ahead journal and the recovery ladder
+//!
+//! [`FleetController::run_resumable`] makes the same loop **durable**: every
+//! completed epoch appends one CRC-framed record to a write-ahead journal in
+//! a [`rental_persist::Store`], and a full checkpoint of the controller state
+//! (per-tenant plans, backoff state, report counters, the pool ledger, the
+//! outage-trace fingerprints, the chaos fault-stream position) is snapshotted
+//! every [`PersistOptions::snapshot_every`] epochs — atomically, via
+//! temp-file-and-rename. A run killed at *any* point is restarted with
+//! [`FleetController::resume_from`], which climbs a three-rung **recovery
+//! ladder**, healthiest first:
+//!
+//! 1. **journal replay** — restore the newest checksum-valid snapshot and
+//!    re-apply the journal records after it, epoch by epoch; the run then
+//!    continues from the first unexecuted epoch;
+//! 2. **last good snapshot** — when the journal's tail is torn or corrupted
+//!    (bad length, bad CRC, wrong epoch), the invalid suffix is discarded,
+//!    the journal is rewritten to the applied prefix, and the lost epochs
+//!    are simply re-executed from the snapshot — determinism makes
+//!    re-execution and replay indistinguishable;
+//! 3. **cold restart** — with no usable snapshot at all, the store is reset
+//!    and the run starts from epoch 0 exactly as a fresh
+//!    [`FleetController::run_with_capacity`] would.
+//!
+//! Because every solve is deterministic under a pinned thread count and a
+//! node-cap budget, all three rungs land on a report **bit-identical**
+//! (modulo wall-clock timing, see [`FleetReport::matches_modulo_timing`]) to
+//! the uninterrupted run — pinned by the `fleet_persist` property tests,
+//! which crash at seeded epochs and journal-write points (including torn
+//! mid-record writes via [`CrashPlan`]), corrupt the journal tail
+//! ([`CorruptionFault`]), and resume under active chaos injection. Restored
+//! plans are re-certified by `rental_solvers::certify_plan` before they are
+//! trusted, and the pool ledger is re-admitted only through the quota
+//! invariants of `rental_capacity::CapacityPool::restore_ledger` — a
+//! corrupted store can cost re-execution time, never an over-grant.
+//!
 //! Switching charges can also be **per-machine-delta**
 //! ([`FleetPolicy::per_machine_switching_cost`]): on adoption, only the
 //! machines that actually change between the kept and adopted fleets are
@@ -107,12 +143,16 @@
 
 pub mod chaos;
 pub mod controller;
+pub mod persist;
 pub mod report;
 pub mod scenario;
 pub mod tenant;
 
-pub use chaos::{ChaosConfig, ChaosSolver, ChaosStats};
+pub use chaos::{
+    ChaosConfig, ChaosSolver, ChaosStats, CorruptionFault, CorruptionKind, CrashPlan, CrashPoint,
+};
 pub use controller::{initial_target, FleetController, FleetPolicy};
+pub use persist::{PersistError, PersistOptions, PersistResult, RunOutcome};
 pub use rental_capacity::CapacityConfig;
 pub use report::{AdoptionRecord, FleetReport, TenantReport};
 pub use scenario::{

@@ -116,6 +116,21 @@ impl TenantReport {
         self.rental_cost + self.switching_cost
     }
 
+    /// Bit-exact equality on everything except the wall-clock timing fields
+    /// (`probe_seconds` / `solve_seconds`), which depend on the machine and
+    /// on how the run was split across restarts. This is the resume
+    /// contract: a killed-and-resumed run must match the uninterrupted run
+    /// on every decision-derived field.
+    pub fn matches_modulo_timing(&self, other: &TenantReport) -> bool {
+        let mask = |report: &TenantReport| {
+            let mut masked = report.clone();
+            masked.probe_seconds = 0.0;
+            masked.solve_seconds = 0.0;
+            masked
+        };
+        mask(self) == mask(other)
+    }
+
     /// Savings against the fixed-mix autoscale baseline.
     pub fn savings_vs_fixed_mix(&self) -> f64 {
         self.fixed_mix_cost - self.total_cost()
@@ -156,6 +171,23 @@ impl FleetReport {
     /// their trace ends, matching their per-tenant baselines).
     pub fn tenant_epochs(&self) -> usize {
         self.tenants.iter().map(|t| t.epoch_costs.len()).sum()
+    }
+
+    /// [`TenantReport::matches_modulo_timing`] lifted to the whole report:
+    /// bit-exact equality on every decision-derived field (adoptions, costs,
+    /// counters, quota utilization), ignoring only the wall-clock timing
+    /// fields. The equality pinned by the crash/resume property tests.
+    pub fn matches_modulo_timing(&self, other: &FleetReport) -> bool {
+        self.tenants.len() == other.tenants.len()
+            && self
+                .tenants
+                .iter()
+                .zip(&other.tenants)
+                .all(|(a, b)| a.matches_modulo_timing(b))
+            && self.adoptions == other.adoptions
+            && self.epochs == other.epochs
+            && self.epoch_hours == other.epoch_hours
+            && self.quota_utilization == other.quota_utilization
     }
 
     /// Tenant-epochs on which a re-solve actually ran.

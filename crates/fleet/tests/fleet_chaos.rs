@@ -156,6 +156,46 @@ proptest! {
         );
     }
 
+    /// Whatever fault mix the injector draws, the report's counters stay
+    /// mutually consistent: every closed backoff retry was preceded by a
+    /// deferral, every incumbent adoption is an adoption, every degraded
+    /// re-solve is a failure re-solve, failure re-solves only follow
+    /// violated epochs, and the adoption ledger agrees with the per-tenant
+    /// adoption counters.
+    #[test]
+    fn chaos_counters_stay_mutually_consistent(chaos in arbitrary_chaos()) {
+        let (scenario, config) = failure_coupled_fleet(2, 11, 96.0, 4.0);
+        let policy = FleetPolicy {
+            threads: Some(1),
+            epoch_budget: Some(SolveBudget::with_node_cap(50_000)),
+            ..scenario.policy
+        };
+        let (report, _) = FleetController::new(policy)
+            .run_with_chaos(&IlpSolver::new(), &scenario.tenants, &config, chaos)
+            .unwrap();
+        for (i, tenant) in report.tenants.iter().enumerate() {
+            prop_assert!(
+                tenant.resolve_retries <= tenant.deferred_resolves,
+                "tenant {i}: {} retries but only {} deferrals",
+                tenant.resolve_retries,
+                tenant.deferred_resolves
+            );
+            prop_assert!(tenant.incumbent_adoptions <= tenant.adoptions);
+            prop_assert!(tenant.degraded_resolves <= tenant.failure_resolves);
+            prop_assert!(tenant.failure_resolves <= tenant.slo_violation_epochs);
+            prop_assert!(tenant.slo_violation_epochs <= tenant.epoch_costs.len());
+            let adopted_records = report
+                .adoptions
+                .iter()
+                .filter(|record| record.tenant == i && record.adopted)
+                .count();
+            prop_assert_eq!(
+                tenant.adoptions, adopted_records,
+                "tenant {}: adoption counter disagrees with the ledger", i
+            );
+        }
+    }
+
     /// Poisoned warm-start priors are *defused*, not obeyed: the ILP's
     /// prior-soundness guards drop an unsound floor, so every re-solve
     /// still returns the true optimum and the run bills exactly what the

@@ -1,0 +1,345 @@
+//! Independent integer-arithmetic plan certification.
+//!
+//! A solver bug, a cache-corruption bug, or a bad checkpoint restore can all
+//! hand the fleet controller a [`Solution`] whose machine counts do not
+//! actually carry the claimed throughput — and every downstream cost number
+//! would silently inherit the error. [`certify_plan`] is the antidote: a
+//! **deliberately dumb** checker that re-derives every obligation of a plan
+//! from first principles in `u128` arithmetic, sharing *no* code with the
+//! solver pipeline or the `HorizonCache` billing path.
+//!
+//! The certificate checks, for a plan `(target ρ, split σ, machines x)`:
+//!
+//! 1. **arity** — the split has one share per recipe, the allocation one
+//!    count per machine type (and the cap vector, when given, likewise);
+//! 2. **coverage** — `Σ_j σ_j ≥ ρ`: the split carries the target;
+//! 3. **capacity** — for every type `q`, `x_q · r_q ≥ Σ_j n_jq · σ_j`: the
+//!    rented machines can serve the per-type demand the split induces;
+//! 4. **caps** — `x_q ≤ cap_q` for every capped type (a cap of
+//!    [`UNLIMITED_CAP`] disables the check for that type);
+//! 5. **bill** — `Σ_q x_q · c_q` recomputed from the platform price list
+//!    equals the cost the allocation claims.
+//!
+//! All products are taken in `u128`, so certification itself can never
+//! overflow for any pair of `u64` factors; a bill that exceeds `u64`
+//! surfaces as [`CertifyError::BillOverflow`] rather than wrapping.
+//!
+//! The fleet controller runs this certificate (under `debug_assertions`) at
+//! every plan-adoption site, and the regression suite runs it on every
+//! solver output it pins.
+
+use std::error::Error;
+use std::fmt;
+
+use rental_core::{Cost, Instance, Solution, Throughput, TypeId};
+
+use crate::solver::UNLIMITED_CAP;
+
+/// Why a plan failed certification. Every variant carries the integers
+/// needed to reproduce the violated inequality by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The split, allocation, or cap vector has the wrong arity.
+    ArityMismatch {
+        /// What the vector describes (`"split"`, `"machines"`, `"caps"`).
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// The split's shares sum to less than the plan's target.
+    CoverageShortfall { target: Throughput, covered: u128 },
+    /// A machine type cannot carry the demand the split routes onto it.
+    CapacityShortfall {
+        type_index: usize,
+        /// `Σ_j n_jq · σ_j` — demand routed onto the type.
+        demand: u128,
+        /// `x_q · r_q` — throughput the rented machines provide.
+        capacity: u128,
+    },
+    /// The allocation rents more machines of a type than its cap allows.
+    CapExceeded {
+        type_index: usize,
+        count: u64,
+        cap: u64,
+    },
+    /// The bill recomputed from the price list disagrees with the
+    /// allocation's claimed cost.
+    BillMismatch { claimed: Cost, recomputed: u128 },
+    /// The recomputed bill exceeds `u64::MAX` (the allocation's claimed
+    /// cost can never represent it).
+    BillOverflow { partial: u128 },
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::ArityMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} arity mismatch: expected {expected}, got {got}"),
+            CertifyError::CoverageShortfall { target, covered } => write!(
+                f,
+                "split covers {covered} < target {target}: demand not served"
+            ),
+            CertifyError::CapacityShortfall {
+                type_index,
+                demand,
+                capacity,
+            } => write!(
+                f,
+                "type {type_index}: machines provide {capacity} < routed demand {demand}"
+            ),
+            CertifyError::CapExceeded {
+                type_index,
+                count,
+                cap,
+            } => write!(f, "type {type_index}: {count} machines exceed cap {cap}"),
+            CertifyError::BillMismatch {
+                claimed,
+                recomputed,
+            } => write!(
+                f,
+                "bill mismatch: allocation claims {claimed}, price list gives {recomputed}"
+            ),
+            CertifyError::BillOverflow { partial } => {
+                write!(f, "recomputed bill overflows u64 (partial sum {partial})")
+            }
+        }
+    }
+}
+
+impl Error for CertifyError {}
+
+/// Certifies that `solution` is a valid plan for `instance`, optionally
+/// under per-type machine caps.
+///
+/// See the [module docs](self) for the exact obligations checked. This is
+/// a *soundness* certificate only — it proves the plan serves its target
+/// within its caps at the claimed price, **not** that the plan is optimal.
+///
+/// # Errors
+///
+/// Returns the first [`CertifyError`] encountered, in the fixed order
+/// arity → coverage → capacity → caps → bill.
+pub fn certify_plan(
+    instance: &Instance,
+    solution: &Solution,
+    caps: Option<&[u64]>,
+) -> Result<(), CertifyError> {
+    let num_recipes = instance.num_recipes();
+    let num_types = instance.num_types();
+    let shares = solution.split.shares();
+    let machines = solution.allocation.machine_counts();
+
+    // 1. Arity.
+    if shares.len() != num_recipes {
+        return Err(CertifyError::ArityMismatch {
+            what: "split",
+            expected: num_recipes,
+            got: shares.len(),
+        });
+    }
+    if machines.len() != num_types {
+        return Err(CertifyError::ArityMismatch {
+            what: "machines",
+            expected: num_types,
+            got: machines.len(),
+        });
+    }
+    if let Some(caps) = caps {
+        if caps.len() != num_types {
+            return Err(CertifyError::ArityMismatch {
+                what: "caps",
+                expected: num_types,
+                got: caps.len(),
+            });
+        }
+    }
+
+    // 2. Coverage: Σ_j σ_j ≥ ρ. Sum in u128 — at most 2^64 recipes of
+    // 2^64 throughput each still fit.
+    let covered: u128 = shares.iter().map(|&s| u128::from(s)).sum();
+    if covered < u128::from(solution.target) {
+        return Err(CertifyError::CoverageShortfall {
+            target: solution.target,
+            covered,
+        });
+    }
+
+    // 3 & 4. Per-type capacity and caps.
+    let demand = instance.application().demand();
+    let platform = instance.platform();
+    for q in 0..num_types {
+        let type_id = TypeId(q);
+        let routed: u128 = (0..num_recipes)
+            .map(|j| {
+                u128::from(demand.count(rental_core::RecipeId(j), type_id)) * u128::from(shares[j])
+            })
+            .sum();
+        let capacity = u128::from(machines[q]) * u128::from(platform.throughput(type_id));
+        if capacity < routed {
+            return Err(CertifyError::CapacityShortfall {
+                type_index: q,
+                demand: routed,
+                capacity,
+            });
+        }
+        if let Some(caps) = caps {
+            if caps[q] != UNLIMITED_CAP && machines[q] > caps[q] {
+                return Err(CertifyError::CapExceeded {
+                    type_index: q,
+                    count: machines[q],
+                    cap: caps[q],
+                });
+            }
+        }
+    }
+
+    // 5. Bill: Σ_q x_q · c_q recomputed off the price list.
+    let mut bill: u128 = 0;
+    for (q, &count) in machines.iter().enumerate().take(num_types) {
+        bill += u128::from(count) * u128::from(platform.cost(TypeId(q)));
+    }
+    if bill > u128::from(u64::MAX) {
+        return Err(CertifyError::BillOverflow { partial: bill });
+    }
+    if bill != u128::from(solution.allocation.total_cost()) {
+        return Err(CertifyError::BillMismatch {
+            claimed: solution.allocation.total_cost(),
+            recomputed: bill,
+        });
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::MinCostSolver;
+    use rental_core::cost::solution_for_split;
+    use rental_core::examples::illustrating_example;
+    use rental_core::ThroughputSplit;
+
+    fn solved(target: Throughput) -> (Instance, Solution) {
+        let instance = illustrating_example();
+        let solution = crate::exact::IlpSolver::default()
+            .solve(&instance, target)
+            .expect("illustrating example solves")
+            .solution;
+        (instance, solution)
+    }
+
+    #[test]
+    fn certifies_solver_output() {
+        for target in [1, 7, 24, 100] {
+            let (instance, solution) = solved(target);
+            certify_plan(&instance, &solution, None).expect("solver output certifies");
+        }
+    }
+
+    #[test]
+    fn certifies_under_generous_caps_and_unlimited() {
+        let (instance, solution) = solved(24);
+        let generous: Vec<u64> = solution
+            .allocation
+            .machine_counts()
+            .iter()
+            .map(|&x| x + 1)
+            .collect();
+        certify_plan(&instance, &solution, Some(&generous)).expect("generous caps certify");
+        let unlimited = vec![UNLIMITED_CAP; instance.num_types()];
+        certify_plan(&instance, &solution, Some(&unlimited)).expect("unlimited caps certify");
+    }
+
+    #[test]
+    fn rejects_coverage_shortfall() {
+        let (instance, solution) = solved(24);
+        let mut short = Solution {
+            target: solution.target + 1_000,
+            split: solution.split.clone(),
+            allocation: solution.allocation.clone(),
+        };
+        let err = certify_plan(&instance, &short, None).unwrap_err();
+        assert!(
+            matches!(err, CertifyError::CoverageShortfall { .. }),
+            "{err}"
+        );
+        short.target = solution.target;
+        certify_plan(&instance, &short, None).expect("restored target certifies");
+    }
+
+    #[test]
+    fn rejects_starved_allocation() {
+        let (instance, solution) = solved(24);
+        // Zero out the machine counts: the split still covers the target but
+        // no type can carry its routed demand.
+        let zeroed = rental_core::Allocation::from_counts(
+            vec![0; instance.num_types()],
+            instance.platform(),
+        )
+        .expect("zero allocation is well-formed");
+        let bogus = Solution {
+            target: solution.target,
+            split: solution.split.clone(),
+            allocation: zeroed,
+        };
+        let err = certify_plan(&instance, &bogus, None).unwrap_err();
+        assert!(
+            matches!(err, CertifyError::CapacityShortfall { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_cap_violation() {
+        let (instance, solution) = solved(24);
+        let counts = solution.allocation.machine_counts();
+        // Find a type the plan actually uses and cap it one below.
+        let (q, &x) = counts
+            .iter()
+            .enumerate()
+            .find(|(_, &x)| x > 0)
+            .expect("plan rents at least one machine");
+        let mut caps = vec![UNLIMITED_CAP; counts.len()];
+        caps[q] = x - 1;
+        let err = certify_plan(&instance, &solution, Some(&caps)).unwrap_err();
+        assert_eq!(
+            err,
+            CertifyError::CapExceeded {
+                type_index: q,
+                count: x,
+                cap: x - 1,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let (instance, solution) = solved(24);
+        let caps = vec![UNLIMITED_CAP; instance.num_types() + 1];
+        let err = certify_plan(&instance, &solution, Some(&caps)).unwrap_err();
+        assert!(
+            matches!(err, CertifyError::ArityMismatch { what: "caps", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_solution_for_split_on_every_split() {
+        // Cross-check against the production cost path: any split realised by
+        // `solution_for_split` must certify, for a spread of share mixes.
+        let instance = illustrating_example();
+        let target = 24;
+        for a in (0..=target).step_by(4) {
+            for b in (0..=(target - a)).step_by(4) {
+                let split = ThroughputSplit::new(vec![a, b, target - a - b]);
+                let solution =
+                    solution_for_split(instance.application(), instance.platform(), target, split)
+                        .expect("split realises");
+                certify_plan(&instance, &solution, None).expect("realised split certifies");
+            }
+        }
+    }
+}

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod batch;
+pub mod certify;
 pub mod exact;
 pub mod heuristics;
 pub mod multicloud;
@@ -62,6 +63,7 @@ pub use batch::{
     solve_sweep_timed, solve_warm_batch_budgeted, solve_warm_batch_timed, BatchItem, CapsBatchItem,
     WarmBatchItem,
 };
+pub use certify::{certify_plan, CertifyError};
 pub use multicloud::{CloudRegion, MultiCloudProblem, MultiCloudSolution, RegionAllocation};
 pub use registry::{
     extended_suite, extended_suite_names, ilp_solver, standard_suite, standard_suite_names,

@@ -282,6 +282,29 @@ impl FixedMixState {
         &self.fleet
     }
 
+    /// The per-type scale-down hysteresis counters (consecutive epochs the
+    /// demand has stayed below the rented fleet).
+    pub fn below_counts(&self) -> &[usize] {
+        &self.below_count
+    }
+
+    /// Rebuilds a state from its persisted parts — the inverse of reading
+    /// [`FixedMixState::fleet`] and [`FixedMixState::below_counts`] back. A
+    /// resumed controller restores the exact hysteresis position, so its
+    /// scale-down decisions continue bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two vectors disagree on the number of machine types.
+    pub fn from_parts(fleet: Vec<u64>, below_count: Vec<usize>) -> Self {
+        assert_eq!(
+            fleet.len(),
+            below_count.len(),
+            "fleet and hysteresis counters must cover the same machine types"
+        );
+        FixedMixState { fleet, below_count }
+    }
+
     /// Advances one epoch: scales up immediately to what `rate` requires and
     /// scales down only after the demand has stayed low for
     /// `scale_down_patience` consecutive epochs. Returns the fleet rented for

@@ -233,11 +233,91 @@ impl FailureTrace {
     pub fn num_outages(&self) -> usize {
         self.outages.len()
     }
+
+    /// The trace's **cursor position** at time `t`: the number of outages
+    /// that have already started. Queries are stateless (they take absolute
+    /// times), so a resumed controller does not *need* a cursor to continue
+    /// — but a checkpoint records it so the restored epoch's position in the
+    /// outage stream is observable and cross-checkable.
+    pub fn cursor_at(&self, t: SimTime) -> usize {
+        // Outages are sorted by start time: binary search for the first
+        // outage starting after `t`.
+        self.outages.partition_point(|o| o.start <= t)
+    }
+
+    /// A deterministic 64-bit fingerprint of the whole trace (horizon plus
+    /// every outage's type, slot and interval, bit-exact). Snapshots store
+    /// it so a resume can verify that the regenerated outage trace is
+    /// identical to the one the crashed run was serving — a mismatch means
+    /// the failure configuration changed and the checkpoint must not be
+    /// trusted for bit-identical replay.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the canonical little-endian encoding; no dependency
+        // on the layout of `Outage` itself.
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.horizon.to_bits());
+        mix(self.outages.len() as u64);
+        for outage in &self.outages {
+            mix(outage.type_id.0 as u64);
+            mix(outage.machine);
+            mix(outage.start.to_bits());
+            mix(outage.end.to_bits());
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprints_pin_regenerated_traces_and_expose_divergence() {
+        let model = FailureModel::new(50.0, 5.0, 17);
+        let trace = model.generate(&[4, 2], 500.0);
+        // Regeneration from the same model is bit-identical.
+        assert_eq!(
+            trace.fingerprint(),
+            model.generate(&[4, 2], 500.0).fingerprint()
+        );
+        // A different seed, slot pool or horizon diverges.
+        assert_ne!(
+            trace.fingerprint(),
+            FailureModel::new(50.0, 5.0, 18)
+                .generate(&[4, 2], 500.0)
+                .fingerprint()
+        );
+        assert_ne!(
+            trace.fingerprint(),
+            model.generate(&[5, 2], 500.0).fingerprint()
+        );
+        assert_ne!(
+            trace.fingerprint(),
+            model.generate(&[4, 2], 400.0).fingerprint()
+        );
+    }
+
+    #[test]
+    fn cursors_walk_the_outage_stream_monotonically() {
+        let trace = FailureModel::new(20.0, 4.0, 3).generate(&[3], 300.0);
+        assert!(trace.num_outages() > 0);
+        assert_eq!(trace.cursor_at(-1.0), 0);
+        assert_eq!(trace.cursor_at(trace.horizon() + 1.0), trace.num_outages());
+        let mut last = 0;
+        for step in 0..30 {
+            let cursor = trace.cursor_at(step as f64 * 10.0);
+            assert!(cursor >= last, "cursor went backwards");
+            last = cursor;
+        }
+    }
 
     #[test]
     fn disabled_model_produces_no_outages() {
