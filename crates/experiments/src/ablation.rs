@@ -153,6 +153,25 @@ impl AblationResults {
         }
         out
     }
+
+    /// JSON-lines rendering of the table (one object per row).
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(
+                &rental_obs::json::JsonRow::new()
+                    .str("record", "ablation")
+                    .str("study", &self.name)
+                    .str("parameter", &row.parameter)
+                    .str("solver", &row.solver)
+                    .f64("mean_normalised", row.mean_normalised)
+                    .f64("mean_seconds", row.mean_seconds)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Raw per-(instance, target) cost/time observations for a labelled solver.

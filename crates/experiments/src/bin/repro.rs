@@ -17,6 +17,7 @@
 //! repro fleet-failure [--tenants N]    # capacity/outage lane: MTBF sweep vs static headroom
 //! repro fleet-deadline [--tenants N]   # anytime lane: per-epoch node-budget sweep vs unlimited
 //! repro fleet-recovery [--tenants N]   # crash-safety lane: checkpoint/WAL overhead + kill-and-resume
+//! repro fleet-obs [--tenants N]        # observability lane: telemetry-on chaotic run, stage/effort/events
 //! repro lp-large                       # dense-LU vs sparse-LU scaling table (LP substrate)
 //! repro ablation-delta                 # δ-step sweep (extension, DESIGN.md)
 //! repro ablation-escape                # escape-mechanism comparison (extension)
@@ -28,6 +29,7 @@
 //! * `--seed S`            base RNG seed (default 2016)
 //! * `--ilp-time-limit S`  ILP wall-clock limit in seconds for fig8 (default 5, paper uses 100)
 //! * `--csv`               emit CSV instead of Markdown
+//! * `--json`              emit JSON lines instead of Markdown (wins over --csv)
 //! * `--output-dir DIR`    also write every emitted table/series into DIR
 //! * `--threads N`         worker threads (default: all cores)
 
@@ -35,14 +37,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rental_experiments::{
-    delta_sweep, escape_mechanisms, figure_csv, figure_markdown, fleet_csv, fleet_deadline_csv,
-    fleet_deadline_markdown, fleet_failure_csv, fleet_failure_markdown, fleet_markdown,
-    fleet_recovery_csv, fleet_recovery_markdown, lp_large_markdown, mutation_sweep, presets,
-    run_experiment, run_fleet_deadline_experiment, run_fleet_experiment,
-    run_fleet_failure_experiment, run_fleet_recovery_experiment, run_lp_large, run_table3,
-    table3_csv, table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
-    ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec, FleetFailureSpec, FleetRecoverySpec,
-    LpLargeSpec, Metric,
+    delta_sweep, escape_mechanisms, figure_csv, figure_json, figure_markdown, fleet_csv,
+    fleet_deadline_csv, fleet_deadline_json, fleet_deadline_markdown, fleet_failure_csv,
+    fleet_failure_json, fleet_failure_markdown, fleet_json, fleet_markdown, fleet_obs_json,
+    fleet_obs_markdown, fleet_recovery_csv, fleet_recovery_json, fleet_recovery_markdown,
+    lp_large_markdown, lp_large_rows_json, mutation_sweep, presets, run_experiment,
+    run_fleet_deadline_experiment, run_fleet_experiment, run_fleet_failure_experiment,
+    run_fleet_obs_experiment, run_fleet_recovery_experiment, run_lp_large, run_table3,
+    summary_json, table3_csv, table3_json, table3_markdown, table3_targets, write_artifact,
+    AblationResults, AblationSpec, ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec,
+    FleetFailureSpec, FleetObsSpec, FleetRecoverySpec, LpLargeSpec, Metric,
 };
 use rental_solvers::SuiteConfig;
 
@@ -53,6 +57,7 @@ struct Options {
     seed: u64,
     ilp_time_limit: f64,
     csv: bool,
+    json: bool,
     threads: Option<usize>,
     output_dir: Option<PathBuf>,
     tenants: usize,
@@ -66,6 +71,7 @@ impl Default for Options {
             seed: 2016,
             ilp_time_limit: 5.0,
             csv: false,
+            json: false,
             threads: None,
             output_dir: None,
             tenants: 16,
@@ -106,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.output_dir = Some(PathBuf::from(value));
             }
             "--csv" => options.csv = true,
+            "--json" => options.json = true,
             "--help" | "-h" => {
                 options.command = "help".to_string();
                 command_seen = true;
@@ -123,9 +130,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn print_usage() {
     println!(
         "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|fleet-failure|\
-         fleet-deadline|fleet-recovery|lp-large|all|\
+         fleet-deadline|fleet-recovery|fleet-obs|lp-large|all|\
          ablation-delta|ablation-escape|ablation-mutation> \
-         [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--output-dir DIR] \
+         [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--json] [--output-dir DIR] \
          [--threads N] [--tenants N]"
     );
 }
@@ -143,7 +150,10 @@ fn emit_table3(options: &Options) {
     let rows = run_table3(&table3_targets(), &SuiteConfig::with_seed(options.seed));
     let csv = table3_csv(&rows);
     let markdown = table3_markdown(&rows);
-    if options.csv {
+    let json = table3_json(&rows);
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
         print!("{csv}");
     } else {
         println!("## Table III — illustrating example (ILP vs heuristics)");
@@ -151,6 +161,7 @@ fn emit_table3(options: &Options) {
     }
     persist(options, "table3.csv", &csv);
     persist(options, "table3.md", &markdown);
+    persist(options, "table3.jsonl", &json);
 }
 
 fn run_preset(options: &Options, which: &str) -> ExperimentResults {
@@ -172,7 +183,10 @@ fn run_preset(options: &Options, which: &str) -> ExperimentResults {
 fn emit_figure(options: &Options, results: &ExperimentResults, metric: Metric, title: &str) {
     let csv = figure_csv(results, metric);
     let markdown = figure_markdown(results, metric);
-    if options.csv {
+    let json = figure_json(results, metric);
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
         print!("{csv}");
     } else {
         println!("## {title}");
@@ -188,6 +202,7 @@ fn emit_figure(options: &Options, results: &ExperimentResults, metric: Metric, t
         .replace(' ', "_");
     persist(options, &format!("{stem}_{}.csv", metric.label()), &csv);
     persist(options, &format!("{stem}_{}.md", metric.label()), &markdown);
+    persist(options, &format!("{stem}_{}.jsonl", metric.label()), &json);
 }
 
 fn emit_summary(options: &Options, results: &ExperimentResults) {
@@ -202,12 +217,18 @@ fn emit_summary(options: &Options, results: &ExperimentResults) {
             100.0 * (1.0 - normalised)
         ));
     }
+    let json = summary_json(results);
+    persist(options, "summary.txt", &lines);
+    persist(options, "summary.jsonl", &json);
+    if options.json {
+        print!("{json}");
+        return;
+    }
     println!(
         "## Summary (paper §VIII-F) — {} configurations",
         results.num_configs
     );
     print!("{lines}");
-    persist(options, "summary.txt", &lines);
     let h1 = results.mean_normalised("H1").unwrap_or(0.0);
     let best_heuristic = results
         .solvers
@@ -234,7 +255,10 @@ fn emit_fleet(options: &Options) -> Result<(), String> {
     let table = run_fleet_experiment(&spec).map_err(|err| err.to_string())?;
     let csv = fleet_csv(&table);
     let markdown = fleet_markdown(&table);
-    if options.csv {
+    let json = fleet_json(&table);
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
         print!("{csv}");
     } else {
         println!(
@@ -245,6 +269,7 @@ fn emit_fleet(options: &Options) -> Result<(), String> {
     }
     persist(options, "fleet.csv", &csv);
     persist(options, "fleet.md", &markdown);
+    persist(options, "fleet.jsonl", &json);
     Ok(())
 }
 
@@ -262,7 +287,10 @@ fn emit_fleet_failure(options: &Options) -> Result<(), String> {
     let table = run_fleet_failure_experiment(&spec).map_err(|err| err.to_string())?;
     let csv = fleet_failure_csv(&table);
     let markdown = fleet_failure_markdown(&table);
-    if options.csv {
+    let json = fleet_failure_json(&table);
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
         print!("{csv}");
     } else {
         println!(
@@ -273,6 +301,7 @@ fn emit_fleet_failure(options: &Options) -> Result<(), String> {
     }
     persist(options, "fleet_failure.csv", &csv);
     persist(options, "fleet_failure.md", &markdown);
+    persist(options, "fleet_failure.jsonl", &json);
     Ok(())
 }
 
@@ -290,7 +319,10 @@ fn emit_fleet_deadline(options: &Options) -> Result<(), String> {
     let table = run_fleet_deadline_experiment(&spec).map_err(|err| err.to_string())?;
     let csv = fleet_deadline_csv(&table);
     let markdown = fleet_deadline_markdown(&table);
-    if options.csv {
+    let json = fleet_deadline_json(&table);
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
         print!("{csv}");
     } else {
         println!(
@@ -301,6 +333,7 @@ fn emit_fleet_deadline(options: &Options) -> Result<(), String> {
     }
     persist(options, "fleet_deadline.csv", &csv);
     persist(options, "fleet_deadline.md", &markdown);
+    persist(options, "fleet_deadline.jsonl", &json);
     Ok(())
 }
 
@@ -319,7 +352,10 @@ fn emit_fleet_recovery(options: &Options) -> Result<(), String> {
     let table = run_fleet_recovery_experiment(&spec).map_err(|err| err.to_string())?;
     let csv = fleet_recovery_csv(&table);
     let markdown = fleet_recovery_markdown(&table);
-    if options.csv {
+    let json = fleet_recovery_json(&table);
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
         print!("{csv}");
     } else {
         println!(
@@ -330,6 +366,7 @@ fn emit_fleet_recovery(options: &Options) -> Result<(), String> {
     }
     persist(options, "fleet_recovery.csv", &csv);
     persist(options, "fleet_recovery.md", &markdown);
+    persist(options, "fleet_recovery.jsonl", &json);
     Ok(())
 }
 
@@ -345,9 +382,43 @@ fn emit_lp_large(options: &Options) {
     );
     let rows = run_lp_large(&spec);
     let markdown = lp_large_markdown(&rows);
-    println!("## LP substrate — dense LU vs sparse Markowitz LU");
-    print!("{markdown}");
+    let json = lp_large_rows_json(&rows);
+    if options.json {
+        print!("{json}");
+    } else {
+        println!("## LP substrate — dense LU vs sparse Markowitz LU");
+        print!("{markdown}");
+    }
     persist(options, "lp_large.md", &markdown);
+    persist(options, "lp_large.jsonl", &json);
+}
+
+fn emit_fleet_obs(options: &Options) -> Result<(), String> {
+    let spec = FleetObsSpec {
+        num_tenants: options.tenants.min(8),
+        seed: options.seed,
+        threads: options.threads.or(Some(1)),
+        ..FleetObsSpec::default()
+    };
+    eprintln!(
+        "[repro] running the {}-tenant observed chaotic fleet (seed {}, threads {:?}) ...",
+        spec.num_tenants, spec.seed, spec.threads
+    );
+    let table = run_fleet_obs_experiment(&spec).map_err(|err| err.to_string())?;
+    let markdown = fleet_obs_markdown(&table);
+    let json = fleet_obs_json(&table);
+    if options.json {
+        print!("{json}");
+    } else {
+        println!(
+            "## Fleet observability — telemetry-on chaotic run ({})",
+            table.scenario
+        );
+        print!("{markdown}");
+    }
+    persist(options, "fleet_obs.md", &markdown);
+    persist(options, "fleet_obs.jsonl", &json);
+    Ok(())
 }
 
 fn ablation_spec(options: &Options) -> AblationSpec {
@@ -361,7 +432,10 @@ fn ablation_spec(options: &Options) -> AblationSpec {
 fn emit_ablation(options: &Options, results: &AblationResults, title: &str) {
     let csv = results.csv();
     let markdown = results.markdown();
-    if options.csv {
+    let json = results.json();
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
         print!("{csv}");
     } else {
         println!("## {title}");
@@ -370,6 +444,7 @@ fn emit_ablation(options: &Options, results: &AblationResults, title: &str) {
     let stem = results.name.replace('-', "_");
     persist(options, &format!("{stem}.csv"), &csv);
     persist(options, &format!("{stem}.md"), &markdown);
+    persist(options, &format!("{stem}.jsonl"), &json);
 }
 
 fn main() -> ExitCode {
@@ -464,6 +539,12 @@ fn main() -> ExitCode {
         }
         "fleet-recovery" => {
             if let Err(message) = emit_fleet_recovery(&options) {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "fleet-obs" => {
+            if let Err(message) = emit_fleet_obs(&options) {
                 eprintln!("error: {message}");
                 return ExitCode::FAILURE;
             }
@@ -598,6 +679,14 @@ mod tests {
         assert_eq!(options.tenants, 8);
         let defaults = parse_args(&args(&["fleet"])).unwrap();
         assert_eq!(defaults.tenants, 16);
+    }
+
+    #[test]
+    fn json_flag_and_fleet_obs_command_are_parsed() {
+        let options = parse_args(&args(&["fleet-obs", "--json"])).unwrap();
+        assert_eq!(options.command, "fleet-obs");
+        assert!(options.json);
+        assert!(!parse_args(&args(&["fleet-obs"])).unwrap().json);
     }
 
     #[test]

@@ -132,6 +132,19 @@ pub fn fleet_csv(table: &FleetTable) -> String {
     out
 }
 
+/// Renders the fleet lane as JSON lines: one scenario row followed by the
+/// report's own telemetry rows (fleet / epoch / tenant records).
+pub fn fleet_json(table: &FleetTable) -> String {
+    let mut out = rental_obs::json::JsonRow::new()
+        .str("record", "scenario")
+        .str("lane", "fleet")
+        .str("name", &table.scenario)
+        .finish();
+    out.push('\n');
+    out.push_str(&table.report.telemetry());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,42 @@ pub fn fleet_deadline_csv(table: &FleetDeadlineTable) -> String {
     out
 }
 
+/// Renders the node-budget sweep as JSON lines: one object per budget tier.
+pub fn fleet_deadline_json(table: &FleetDeadlineTable) -> String {
+    let mut out = String::new();
+    for row in &table.rows {
+        let report = &row.report;
+        let mut json = rental_obs::json::JsonRow::new()
+            .str("record", "fleet_deadline")
+            .str("scenario", &table.scenario);
+        json = match row.node_budget {
+            Some(nodes) => json.usize("node_budget", nodes),
+            None => json.raw("node_budget", "null"),
+        };
+        out.push_str(
+            &json
+                .f64("fleet_cost", report.total_cost())
+                .f64("cost_ratio_vs_unlimited", table.cost_ratio(row))
+                .usize(
+                    "resolves",
+                    report.tenants.iter().map(|t| t.resolves).sum::<usize>(),
+                )
+                .usize(
+                    "adoptions",
+                    report.tenants.iter().map(|t| t.adoptions).sum::<usize>(),
+                )
+                .usize("incumbent_adoptions", report.incumbent_adoptions())
+                .usize("budget_exhausted_epochs", report.budget_exhausted_epochs())
+                .usize("deferred_resolves", report.deferred_resolves())
+                .usize("resolve_retries", report.resolve_retries())
+                .usize("nodes", report.effort().nodes)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -171,6 +171,33 @@ pub fn fleet_failure_csv(table: &FleetFailureTable) -> String {
     out
 }
 
+/// Renders the MTBF sweep as JSON lines: one object per MTBF row.
+pub fn fleet_failure_json(table: &FleetFailureTable) -> String {
+    let mut out = String::new();
+    for row in &table.rows {
+        let report = &row.report;
+        out.push_str(
+            &rental_obs::json::JsonRow::new()
+                .str("record", "fleet_failure")
+                .str("scenario", &table.scenario)
+                .f64("mtbf_hours", row.mtbf)
+                .f64("availability", row.availability)
+                .f64("fleet_cost", report.total_cost())
+                .f64("static_headroom_cost", report.static_headroom_cost())
+                .usize("fleet_slo_epochs", report.slo_violation_epochs())
+                .usize("baseline_slo_epochs", report.static_headroom_violations())
+                .usize("failure_resolves", report.failure_resolves())
+                .usize("degraded_resolves", report.degraded_resolves())
+                .usize("solves", report.effort().solves)
+                .usize("nodes", report.effort().nodes)
+                .usize("lp_iterations", report.effort().lp_iterations)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -282,6 +282,31 @@ pub fn fleet_recovery_csv(table: &FleetRecoveryTable) -> String {
     out
 }
 
+/// Renders the cadence sweep as JSON lines: one object per cadence row.
+pub fn fleet_recovery_json(table: &FleetRecoveryTable) -> String {
+    let mut out = String::new();
+    for row in &table.rows {
+        out.push_str(
+            &rental_obs::json::JsonRow::new()
+                .str("record", "fleet_recovery")
+                .str("scenario", &table.scenario)
+                .usize("snapshot_every", row.snapshot_every)
+                .f64("plain_seconds", table.plain_seconds)
+                .f64("resumable_seconds", row.resumable_seconds)
+                .f64("overhead_fraction", table.overhead(row))
+                .u64("journal_bytes", row.journal_bytes)
+                .u64("snapshot_bytes", row.snapshot_bytes)
+                .usize("snapshots", row.snapshots)
+                .f64("resume_seconds", row.resume_seconds)
+                .bool("uninterrupted_equivalent", row.uninterrupted_equivalent)
+                .bool("resume_equivalent", row.resume_equivalent)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

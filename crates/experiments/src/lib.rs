@@ -30,6 +30,11 @@
 //!   (snapshot-cadence sweep), measuring persistence overhead and on-disk
 //!   footprint, then killed mid-run and restarted from disk with the resumed
 //!   report held bit-for-bit against the uninterrupted run;
+//! * [`fleet_obs`] — the observability lane: the chaos-wrapped
+//!   failure-coupled fleet served with the `rental-obs` recorder installed
+//!   at every layer, reporting the per-stage epoch breakdown, the top-k
+//!   tenants by solver effort, the metric catalogue and the flight
+//!   recorder's event tail;
 //! * [`lp_large`] — the LP substrate scaling lane: sparse Markowitz LU vs
 //!   the retained dense LU (refactorization and end-to-end revised-simplex
 //!   timing, fill-in, hyper-sparse hit rate) on wide-platform MinCost
@@ -47,6 +52,7 @@ pub mod ablation;
 pub mod fleet;
 pub mod fleet_deadline;
 pub mod fleet_failure;
+pub mod fleet_obs;
 pub mod fleet_recovery;
 pub mod lp_large;
 pub mod report;
@@ -57,22 +63,31 @@ pub mod table3;
 pub use ablation::{
     delta_sweep, escape_mechanisms, mutation_sweep, AblationResults, AblationRow, AblationSpec,
 };
-pub use fleet::{fleet_csv, fleet_markdown, run_fleet_experiment, FleetExperimentSpec, FleetTable};
+pub use fleet::{
+    fleet_csv, fleet_json, fleet_markdown, run_fleet_experiment, FleetExperimentSpec, FleetTable,
+};
 pub use fleet_deadline::{
-    fleet_deadline_csv, fleet_deadline_markdown, run_fleet_deadline_experiment, FleetDeadlineRow,
-    FleetDeadlineSpec, FleetDeadlineTable,
+    fleet_deadline_csv, fleet_deadline_json, fleet_deadline_markdown,
+    run_fleet_deadline_experiment, FleetDeadlineRow, FleetDeadlineSpec, FleetDeadlineTable,
 };
 pub use fleet_failure::{
-    failure_sweep_solver, fleet_failure_csv, fleet_failure_markdown, run_fleet_failure_experiment,
-    FleetFailureRow, FleetFailureSpec, FleetFailureTable,
+    failure_sweep_solver, fleet_failure_csv, fleet_failure_json, fleet_failure_markdown,
+    run_fleet_failure_experiment, FleetFailureRow, FleetFailureSpec, FleetFailureTable,
+};
+pub use fleet_obs::{
+    fleet_obs_json, fleet_obs_markdown, run_fleet_obs_experiment, ChaosSummary, FleetObsSpec,
+    FleetObsTable,
 };
 pub use fleet_recovery::{
-    fleet_recovery_csv, fleet_recovery_markdown, run_fleet_recovery_experiment, FleetRecoveryRow,
-    FleetRecoverySpec, FleetRecoveryTable,
+    fleet_recovery_csv, fleet_recovery_json, fleet_recovery_markdown,
+    run_fleet_recovery_experiment, FleetRecoveryRow, FleetRecoverySpec, FleetRecoveryTable,
 };
-pub use lp_large::{lp_large_json, lp_large_markdown, run_lp_large, LpLargeRow, LpLargeSpec};
+pub use lp_large::{
+    lp_large_json, lp_large_markdown, lp_large_rows_json, run_lp_large, LpLargeRow, LpLargeSpec,
+};
 pub use report::{
-    figure_csv, figure_markdown, table3_csv, table3_markdown, write_artifact, Metric,
+    figure_csv, figure_json, figure_markdown, summary_json, table3_csv, table3_json,
+    table3_markdown, write_artifact, Metric,
 };
 pub use runner::{presets, run_experiment, CellResult, ExperimentResults, ExperimentSpec};
 pub use table3::{run_table3, table3_targets, Table3Row, PAPER_TABLE3_H1, PAPER_TABLE3_OPTIMAL};

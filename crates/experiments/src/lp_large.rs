@@ -214,6 +214,34 @@ pub fn lp_large_markdown(rows: &[LpLargeRow]) -> String {
     out
 }
 
+/// Renders the rows as JSON lines (one object per instance size) — the
+/// `repro lp-large --json` format; [`lp_large_json`] below is the distinct
+/// single-document `BENCH_lp_large.json` body the bench harness writes.
+pub fn lp_large_rows_json(rows: &[LpLargeRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(
+            &rental_obs::json::JsonRow::new()
+                .str("record", "lp_large")
+                .usize("rows", row.rows)
+                .usize("basis_nnz", row.basis_nnz)
+                .usize("fill_nnz", row.fill_nnz)
+                .f64("refactor_dense_secs", row.dense_refactor_secs)
+                .f64("refactor_sparse_secs", row.sparse_refactor_secs)
+                .f64("refactor_speedup", row.refactor_speedup)
+                .f64("solve_dense_secs", row.dense_solve_secs)
+                .f64("solve_sparse_secs", row.sparse_solve_secs)
+                .f64("solve_speedup", row.solve_speedup)
+                .usize("sparse_pivots", row.sparse_pivots)
+                .usize("dense_pivots", row.dense_pivots)
+                .f64("hyper_sparse_rate", row.hyper_sparse_rate)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders the rows as the JSON body of `BENCH_lp_large.json`.
 pub fn lp_large_json(rows: &[LpLargeRow], refactor_floor: f64, solve_floor: f64) -> String {
     let body: Vec<String> = rows

@@ -1,7 +1,11 @@
-//! Plain-text emitters: Markdown tables and CSV series for every experiment,
-//! matching the rows/series of the paper's Table III and Figures 3–8.
+//! Plain-text emitters: Markdown tables, CSV series and JSON lines for
+//! every experiment, matching the rows/series of the paper's Table III and
+//! Figures 3–8. The JSON emitters go through [`rental_obs::json::JsonRow`],
+//! the same encoder the telemetry substrate dumps with.
 
 use std::fmt::Write as _;
+
+use rental_obs::json::JsonRow;
 
 use crate::runner::ExperimentResults;
 use crate::table3::Table3Row;
@@ -51,6 +55,33 @@ pub fn table3_csv(rows: &[Table3Row]) -> String {
                 "{},{},{},{}",
                 row.target, cell.solver, split, cell.cost
             );
+        }
+    }
+    out
+}
+
+/// Renders Table III as JSON lines: one object per `(target, solver)` cell.
+pub fn table3_json(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for cell in &row.cells {
+            let split = cell
+                .split
+                .shares()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(
+                &JsonRow::new()
+                    .str("record", "table3")
+                    .u64("rho", row.target)
+                    .str("solver", &cell.solver)
+                    .str("split", &split)
+                    .u64("cost", cell.cost)
+                    .finish(),
+            );
+            out.push('\n');
         }
     }
     out
@@ -111,6 +142,49 @@ pub fn figure_csv(results: &ExperimentResults, metric: Metric) -> String {
                 metric_value(results, s, t, metric)
             );
         }
+    }
+    out
+}
+
+/// Renders one metric of an experiment as JSON lines: one object per
+/// `(target, solver)` pair.
+pub fn figure_json(results: &ExperimentResults, metric: Metric) -> String {
+    let mut out = String::new();
+    for (t, &target) in results.targets.iter().enumerate() {
+        for (s, solver) in results.solvers.iter().enumerate() {
+            out.push_str(
+                &JsonRow::new()
+                    .str("record", "figure")
+                    .str("experiment", &results.name)
+                    .str("metric", metric.label())
+                    .u64("target", target)
+                    .str("solver", solver)
+                    .f64("value", metric_value(results, s, t, metric))
+                    .finish(),
+            );
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders the §VIII-F summary as JSON lines: one object per solver.
+pub fn summary_json(results: &ExperimentResults) -> String {
+    let mut out = String::new();
+    for solver in &results.solvers {
+        out.push_str(
+            &JsonRow::new()
+                .str("record", "summary")
+                .str("experiment", &results.name)
+                .usize("configs", results.num_configs)
+                .str("solver", solver)
+                .f64(
+                    "mean_normalised",
+                    results.mean_normalised(solver).unwrap_or(0.0),
+                )
+                .finish(),
+        );
+        out.push('\n');
     }
     out
 }

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rental_capacity::{
     coverage_bound, degrade_to_feasible, CapacityConfig, CapacityPool, CappedOutcome, UNLIMITED_CAP,
@@ -17,6 +17,7 @@ use rental_capacity::{
 use rental_core::{
     Instance, PlannedMachine, ProvisioningPlan, RecipeId, Solution, Throughput, TypeId, TypeSummary,
 };
+use rental_obs::{EventKind, NoopSink, SpanTimer, Stage, StageTimes, TelemetrySink};
 use rental_pricing::{HorizonCache, OnDemand, RentalHorizon, SegmentedBilling};
 use rental_solvers::batch::CapsBatchItem;
 use rental_solvers::batch::{
@@ -31,7 +32,7 @@ use rental_stream::{
     AutoscalePolicy, Autoscaler, FailureTrace, FixedMixScaler, FixedMixState, WorkloadTrace,
 };
 
-use crate::report::{AdoptionRecord, FleetReport, TenantReport};
+use crate::report::{AdoptionRecord, FleetReport, SolverEffort, TenantReport};
 use crate::tenant::TenantSpec;
 
 /// Parameters of the fleet controller.
@@ -128,6 +129,22 @@ fn close_backoff(state: &mut TenantState<'_>) {
         state.backoff = 0;
         state.deferred_until = 0;
     }
+}
+
+/// Attributes `seconds` of `stage` work to a tenant *and* to the epoch's
+/// stage row, emitting the span to the sink — the single accounting path for
+/// every timed region of the epoch loop, so per-tenant and per-epoch
+/// breakdowns cannot drift apart.
+fn charge_stage(
+    state: &mut TenantState<'_>,
+    epoch_times: &mut StageTimes,
+    sink: &dyn TelemetrySink,
+    stage: Stage,
+    seconds: f64,
+) {
+    state.timing.add(stage, seconds);
+    epoch_times.add(stage, seconds);
+    sink.span(stage.span_name(), seconds);
 }
 
 impl FleetPolicy {
@@ -360,8 +377,10 @@ pub(crate) struct TenantState<'a> {
     pub(crate) probes: usize,
     pub(crate) resolves: usize,
     pub(crate) adoptions: usize,
-    pub(crate) probe_seconds: f64,
-    pub(crate) solve_seconds: f64,
+    /// Wall-clock seconds attributed to this tenant per stage (probe/solve).
+    pub(crate) timing: StageTimes,
+    /// Deterministic solver-effort counters (solves, nodes, LP iterations).
+    pub(crate) effort: SolverEffort,
     pub(crate) slo_violations: usize,
     pub(crate) failure_resolves: usize,
     pub(crate) degraded_resolves: usize,
@@ -518,6 +537,11 @@ pub struct FleetController {
     /// Controller parameters.
     pub policy: FleetPolicy,
     billing: Arc<dyn SegmentedBilling + Send + Sync>,
+    /// Telemetry receiver for spans, per-epoch metrics and flight-recorder
+    /// events. Defaults to [`NoopSink`] (zero-cost); all events are emitted
+    /// from the sequential controller sites only, so an instrumented run's
+    /// event sequence is deterministic.
+    pub(crate) telemetry: Arc<dyn TelemetrySink>,
 }
 
 impl FleetController {
@@ -526,12 +550,21 @@ impl FleetController {
         FleetController {
             policy,
             billing: Arc::new(OnDemand::hourly()),
+            telemetry: Arc::new(NoopSink),
         }
     }
 
     /// Replaces the billing model used for remaining-horizon projections.
     pub fn with_billing(mut self, billing: Arc<dyn SegmentedBilling + Send + Sync>) -> Self {
         self.billing = billing;
+        self
+    }
+
+    /// Attaches a telemetry sink (e.g. [`rental_obs::Recorder`]). Telemetry
+    /// is pure copy-out — it never feeds a decision — so a run under any
+    /// sink is bit-identical to the default [`NoopSink`] run.
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.telemetry = sink;
         self
     }
 
@@ -605,7 +638,9 @@ impl FleetController {
         let num_epochs = states.iter().map(|s| s.peaks.len()).max().unwrap_or(0);
         let mut adoptions: Vec<AdoptionRecord> = Vec::new();
         let mut stale_desired: Option<Vec<Vec<u64>>> = None;
+        let mut epoch_timing: Vec<StageTimes> = Vec::with_capacity(num_epochs);
         for epoch in 0..num_epochs {
+            let mut epoch_times = StageTimes::zero();
             self.epoch_step(
                 solver,
                 caps_solver,
@@ -616,9 +651,18 @@ impl FleetController {
                 &env,
                 &mut adoptions,
                 &mut stale_desired,
+                &mut epoch_times,
             )?;
+            epoch_timing.push(epoch_times);
         }
-        Ok(self.finish(states, coupled.as_ref(), adoptions, num_epochs, &env))
+        Ok(self.finish(
+            states,
+            coupled.as_ref(),
+            adoptions,
+            num_epochs,
+            &env,
+            epoch_timing,
+        ))
     }
 
     /// Resolves the serving knobs of a run from the policy and the optional
@@ -695,6 +739,12 @@ impl FleetController {
             let cache = self.plan_cache(&spec.instance, &outcome.solution)?;
             let mut known = HashMap::new();
             let prior = Some(SweepPrior::from_outcome(rho, &outcome));
+            let mut effort = SolverEffort::default();
+            effort.record(&outcome);
+            let mut timing = StageTimes::zero();
+            timing.add(Stage::Solve, elapsed.as_secs_f64());
+            self.telemetry
+                .span(Stage::Solve.span_name(), elapsed.as_secs_f64());
             known.insert(rho, KnownPlan { outcome, cache });
             states.push(TenantState {
                 peaks: spec.trace.epoch_peaks(policy.epoch),
@@ -720,8 +770,8 @@ impl FleetController {
                 probes: 0,
                 resolves: 0,
                 adoptions: 0,
-                probe_seconds: 0.0,
-                solve_seconds: elapsed.as_secs_f64(),
+                timing,
+                effort,
                 slo_violations: 0,
                 failure_resolves: 0,
                 degraded_resolves: 0,
@@ -796,11 +846,14 @@ impl FleetController {
         env: &RunEnv,
         adoptions: &mut Vec<AdoptionRecord>,
         stale_desired: &mut Option<Vec<Vec<u64>>>,
+        epoch_times: &mut StageTimes,
     ) -> SolveResult<()> {
         let policy = &self.policy;
         let (failures_enabled, availability) = (env.failures_enabled, env.availability);
         let (serve_headroom, failure_resolve) = (env.serve_headroom, env.failure_resolve);
         let scaling = &env.scaling;
+        let sink = self.telemetry.as_ref();
+        sink.counter("fleet.epochs", 1);
         // (0) Rent this epoch's fleets under the current mixes. A tenant
         // whose own trace has ended stops being billed (and counted) —
         // its per-tenant baselines only cover its own trace, too.
@@ -811,6 +864,7 @@ impl FleetController {
         // collects the tenants whose violation warrants a
         // capacity-constrained re-solve.
         let mut failure_due: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
+        let arbitrate_span = SpanTimer::start(Stage::Arbitrate);
         match coupled {
             None => {
                 for state in states.iter_mut() {
@@ -855,6 +909,15 @@ impl FleetController {
                 // previous epoch's desired fleets — tenants then serve
                 // the epoch on stale grants.
                 let delayed = chaos.is_some_and(|clock| clock.delays_epoch(epoch));
+                if delayed {
+                    sink.event(
+                        EventKind::ChaosFault,
+                        epoch,
+                        None,
+                        0.0,
+                        "delayed arbitration: serving on stale grants",
+                    );
+                }
                 let grants = if delayed {
                     cs.pool
                         .arbitrate_epoch(stale_desired.as_ref().unwrap_or(&desired))
@@ -863,6 +926,14 @@ impl FleetController {
                 };
                 if chaos.is_some() {
                     *stale_desired = Some(desired);
+                }
+                if sink.enabled() && !cs.pool.is_unlimited() {
+                    let peak = cs
+                        .pool
+                        .utilization()
+                        .iter()
+                        .fold(0.0, |a: f64, &u| a.max(u));
+                    sink.gauge("fleet.pool.peak_utilization", peak);
                 }
                 for (i, state) in states.iter_mut().enumerate() {
                     let Some(&rate) = state.peaks.get(epoch) else {
@@ -893,6 +964,16 @@ impl FleetController {
                         continue;
                     }
                     state.slo_violations += 1;
+                    sink.counter("fleet.slo_violations", 1);
+                    if sink.enabled() {
+                        sink.event(
+                            EventKind::SloViolation,
+                            epoch,
+                            Some(i),
+                            rate,
+                            "surviving capacity below demand",
+                        );
+                    }
                     if !(policy.resolve && failure_resolve) {
                         continue;
                     }
@@ -936,6 +1017,7 @@ impl FleetController {
                 }
             }
         }
+        arbitrate_span.stop_into(epoch_times, sink);
 
         // Failure re-solves: probe (fractional coverage bound) first,
         // then one batched capacity-constrained fan-out, then the
@@ -983,10 +1065,11 @@ impl FleetController {
                     continue;
                 }
                 let state = &mut states[i];
-                let started = Instant::now();
+                let probe_span = SpanTimer::start(Stage::Probe);
                 state.probes += 1;
                 let bound = coverage_bound(&state.spec.instance, &caps)?;
-                state.probe_seconds += started.elapsed().as_secs_f64();
+                let seconds = probe_span.stop();
+                charge_stage(state, epoch_times, sink, Stage::Probe, seconds);
                 if bound >= rho as f64 - 1e-9 {
                     full.push((i, rho, caps));
                 } else {
@@ -1008,11 +1091,18 @@ impl FleetController {
             let results = resolver.caps_batch(&items, split_budget.as_ref(), policy.threads);
             drop(items);
             for ((i, rho, caps), (result, elapsed)) in full.into_iter().zip(results) {
-                states[i].solve_seconds += elapsed.as_secs_f64();
+                charge_stage(
+                    &mut states[i],
+                    epoch_times,
+                    sink,
+                    Stage::Solve,
+                    elapsed.as_secs_f64(),
+                );
                 match result {
                     Ok(outcome) => {
                         {
                             let state = &mut states[i];
+                            state.effort.record(&outcome);
                             state.failure_resolves += 1;
                             state.last_failure_solve = Some((rho, caps));
                             if outcome.exhausted {
@@ -1050,16 +1140,17 @@ impl FleetController {
                 }
             }
             for (i, rho, caps) in needs_degrade {
-                let started = Instant::now();
+                let degrade_span = SpanTimer::start(Stage::Solve);
                 let result = resolver.caps_degrade(
                     &states[i].spec.instance,
                     rho,
                     &caps,
                     states[i].prior.as_ref(),
                 );
+                let seconds = degrade_span.stop();
                 {
                     let state = &mut states[i];
-                    state.solve_seconds += started.elapsed().as_secs_f64();
+                    charge_stage(state, epoch_times, sink, Stage::Solve, seconds);
                     state.failure_resolves += 1;
                     state.last_failure_solve = Some((rho, caps));
                 }
@@ -1067,6 +1158,7 @@ impl FleetController {
                     Ok(CappedOutcome::Full(outcome)) => {
                         {
                             let state = &mut states[i];
+                            state.effort.record(&outcome);
                             if outcome.exhausted {
                                 state.budget_exhausted_epochs += 1;
                                 state.incumbent_adoptions += 1;
@@ -1087,7 +1179,18 @@ impl FleetController {
                     Ok(CappedOutcome::Degraded { target, outcome }) => {
                         {
                             let state = &mut states[i];
+                            state.effort.record(&outcome);
                             state.degraded_resolves += 1;
+                            sink.counter("fleet.degraded_resolves", 1);
+                            if sink.enabled() {
+                                sink.event(
+                                    EventKind::DegradedSolve,
+                                    epoch,
+                                    Some(i),
+                                    target as f64,
+                                    "quota-infeasible target degraded to largest feasible",
+                                );
+                            }
                             if outcome.exhausted {
                                 state.budget_exhausted_epochs += 1;
                                 state.incumbent_adoptions += 1;
@@ -1180,7 +1283,7 @@ impl FleetController {
             if !shift {
                 continue;
             }
-            let started = Instant::now();
+            let probe_span = SpanTimer::start(Stage::Probe);
             state.probes += 1;
             if !state.probe_cache.contains_key(&rho) {
                 let entry = ProbeEntry::new(
@@ -1206,7 +1309,8 @@ impl FleetController {
             let reference_projected = reference_rate * remaining_hours;
             let worth_probing = keep_projected > (1.0 + policy.probe_epsilon) * reference_projected
                 && keep_projected - reference_projected > policy.switching_cost;
-            state.probe_seconds += started.elapsed().as_secs_f64();
+            let seconds = probe_span.stop();
+            charge_stage(state, epoch_times, sink, Stage::Probe, seconds);
             if worth_probing {
                 due.push((i, rho, Some(keep_projected), remaining_hours));
             }
@@ -1237,10 +1341,18 @@ impl FleetController {
             };
             for (&(i, rho), (result, elapsed)) in to_solve.iter().zip(results) {
                 let state = &mut states[i];
-                state.solve_seconds += elapsed.as_secs_f64();
+                charge_stage(
+                    state,
+                    epoch_times,
+                    sink,
+                    Stage::Solve,
+                    elapsed.as_secs_f64(),
+                );
                 match result {
                     Ok(outcome) => {
+                        state.effort.record(&outcome);
                         state.resolves += 1;
+                        sink.counter("fleet.resolves", 1);
                         if outcome.exhausted {
                             state.budget_exhausted_epochs += 1;
                         }
@@ -1273,6 +1385,7 @@ impl FleetController {
         // beat is the flat cost plus the per-machine-delta cost of the
         // machines that actually change between the kept fleet (current
         // mix rescaled to ρ') and the candidate's fleet.
+        let adopt_span = SpanTimer::start(Stage::Adopt);
         for (i, rho, keep_projected, remaining_hours) in due {
             let state = &mut states[i];
             // A deferred re-solve left no plan at ρ': the tenant keeps
@@ -1304,6 +1417,14 @@ impl FleetController {
                 let candidate = state.known[&rho].outcome.solution.clone();
                 debug_certify(&state.spec.instance, &candidate, None);
                 state.adoptions += 1;
+                sink.counter("fleet.adoptions", 1);
+                sink.event(
+                    EventKind::Adoption,
+                    epoch,
+                    Some(i),
+                    switch_projected,
+                    "workload-shift adoption",
+                );
                 if candidate_exhausted {
                     // An anytime incumbent (feasible, not proven
                     // optimal) is adopted like any plan.
@@ -1318,6 +1439,7 @@ impl FleetController {
                 state.probe_cache.clear();
             }
         }
+        adopt_span.stop_into(epoch_times, sink);
         Ok(())
     }
 
@@ -1329,6 +1451,7 @@ impl FleetController {
         adoptions: Vec<AdoptionRecord>,
         num_epochs: usize,
         env: &RunEnv,
+        epoch_timing: Vec<StageTimes>,
     ) -> FleetReport {
         let policy = &self.policy;
         let (failures_enabled, availability) = (env.failures_enabled, env.availability);
@@ -1392,8 +1515,8 @@ impl FleetController {
                     probes: state.probes,
                     resolves: state.resolves,
                     adoptions: state.adoptions,
-                    probe_seconds: state.probe_seconds,
-                    solve_seconds: state.solve_seconds,
+                    timing: state.timing,
+                    effort: state.effort,
                     static_peak_cost: baseline.static_peak_cost,
                     fixed_mix_cost: baseline.total_cost,
                     static_headroom_cost,
@@ -1418,6 +1541,7 @@ impl FleetController {
                 .filter(|cs| !cs.pool.is_unlimited())
                 .map(|cs| cs.pool.utilization())
                 .unwrap_or_default(),
+            epoch_timing,
         }
     }
 
@@ -1459,6 +1583,14 @@ impl FleetController {
             failure_triggered: true,
         });
         state.adoptions += 1;
+        self.telemetry.counter("fleet.adoptions", 1);
+        self.telemetry.event(
+            EventKind::Adoption,
+            epoch,
+            Some(tenant),
+            projected_switch,
+            "forced failure-triggered adoption",
+        );
         state.switching_cost += charge;
         state.fractions = Autoscaler::split_fractions(&solution);
         state.scaler = FixedMixScaler::new(&state.spec.instance, &state.fractions, scaling);

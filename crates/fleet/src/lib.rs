@@ -118,6 +118,33 @@
 //! invariants of `rental_capacity::CapacityPool::restore_ledger` — a
 //! corrupted store can cost re-execution time, never an over-grant.
 //!
+//! ## Telemetry: spans, metrics and the flight recorder
+//!
+//! The controller is instrumented through the zero-cost
+//! [`rental_obs::TelemetrySink`] handed to
+//! [`FleetController::with_telemetry`] (default
+//! [`rental_obs::NoopSink`], whose empty inlined methods vanish from
+//! the epoch loop). Every epoch is split into five lexically-scoped
+//! stages — probe / arbitrate / solve / adopt / persist
+//! ([`rental_obs::Stage`]) — timed by [`rental_obs::SpanTimer`]s that
+//! feed both the sink (`fleet.span.*` microsecond histograms) and the
+//! report's own [`rental_obs::StageTimes`] rows
+//! ([`TenantReport::timing`], [`FleetReport::epoch_timing`]): the
+//! **single masked field family** of
+//! [`FleetReport::matches_modulo_timing`]. Deterministic solver
+//! effort ([`TenantReport::effort`], aggregated by
+//! [`FleetReport::effort`]) counts solves, branch-and-bound nodes and
+//! simplex iterations per tenant — it is *not* masked, survives
+//! checkpoint/resume, and ranks tenants via
+//! [`FleetReport::top_effort`]. Fleet counters, the pool-utilization
+//! gauge and structured flight-recorder events (adoptions, SLO
+//! violations, degraded solves, chaos faults, recovery) are emitted
+//! only from sequential controller sites, so a seeded run replays the
+//! exact same event sequence; the LP and solver layers below publish
+//! through the ambient [`rental_obs::install_scoped`] sink instead.
+//! [`FleetReport::telemetry`] renders the report as JSONL, and the
+//! full catalogue lives in `METRICS.md` at the workspace root.
+//!
 //! Switching charges can also be **per-machine-delta**
 //! ([`FleetPolicy::per_machine_switching_cost`]): on adoption, only the
 //! machines that actually change between the kept and adopted fleets are
@@ -154,7 +181,7 @@ pub use chaos::{
 pub use controller::{initial_target, FleetController, FleetPolicy};
 pub use persist::{PersistError, PersistOptions, PersistResult, RunOutcome};
 pub use rental_capacity::CapacityConfig;
-pub use report::{AdoptionRecord, FleetReport, TenantReport};
+pub use report::{AdoptionRecord, FleetReport, SolverEffort, TenantReport};
 pub use scenario::{
     diurnal_spike_fleet, failure_coupled_fleet, fleet_instance_config, FleetScenario,
     ACCEPTANCE_SEED,

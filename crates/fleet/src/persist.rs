@@ -40,6 +40,7 @@ use std::time::Duration;
 
 use rental_capacity::{CapacityConfig, PoolLedger};
 use rental_core::{Allocation, Solution, Throughput, ThroughputSplit};
+use rental_obs::{EventKind, SpanTimer, Stage, StageTimes};
 use rental_persist::{DecodeError, Decoder, Encoder, Store};
 use rental_solvers::solver::{CapacitySolver, SolveError, SolverOutcome, SweepPrior};
 use rental_stream::{FixedMixScaler, FixedMixState};
@@ -48,15 +49,17 @@ use crate::chaos::{ChaosClock, ChaosConfig, ChaosSolver, ChaosStats, CrashPlan, 
 use crate::controller::{
     min_unit_cost, CouplingState, FleetController, KnownPlan, RunEnv, TenantState,
 };
-use crate::report::{AdoptionRecord, FleetReport};
+use crate::report::{AdoptionRecord, FleetReport, SolverEffort};
 use crate::tenant::TenantSpec;
 
 /// Magic number of checkpoint snapshots (`"RPSF"`).
 const CHECKPOINT_MAGIC: u32 = 0x5250_5346;
 /// Magic number of journal records (`"RPJL"`).
 const JOURNAL_MAGIC: u32 = 0x5250_4A4C;
-/// Current on-disk format version of both payload kinds.
-const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version of both payload kinds. Version 2 replaced
+/// the two probe/solve stopwatch fields with the full five-stage
+/// [`StageTimes`] vector and added the deterministic solver-effort scalars.
+const FORMAT_VERSION: u32 = 2;
 
 /// Why a resumable run failed. Corrupted or missing persisted state is
 /// **not** an error — the recovery ladder absorbs it; only real filesystem
@@ -175,6 +178,7 @@ struct PersistedPlan {
     lower_bound: Option<f64>,
     elapsed: f64,
     nodes: Option<u64>,
+    lp_iterations: Option<u64>,
     exhausted: bool,
 }
 
@@ -201,8 +205,14 @@ struct ScalarState {
     backoff: usize,
     rental_cost: f64,
     switching_cost: f64,
-    probe_seconds: f64,
-    solve_seconds: f64,
+    /// Per-stage wall-clock seconds, in [`Stage::ALL`] order. Timing is the
+    /// one masked field family of [`FleetReport::matches_modulo_timing`], but
+    /// it is still persisted so a resumed run's totals keep the pre-crash
+    /// portion instead of silently dropping it.
+    stage_seconds: [f64; Stage::COUNT],
+    effort_solves: usize,
+    effort_nodes: usize,
+    effort_lp_iterations: usize,
     probes: usize,
     resolves: usize,
     adoptions: usize,
@@ -284,6 +294,7 @@ fn put_plan(enc: &mut Encoder, plan: &PersistedPlan) {
     enc.put_opt_f64(plan.lower_bound);
     enc.put_f64(plan.elapsed);
     enc.put_opt_u64(plan.nodes);
+    enc.put_opt_u64(plan.lp_iterations);
     enc.put_bool(plan.exhausted);
 }
 
@@ -297,6 +308,7 @@ fn get_plan(dec: &mut Decoder<'_>) -> Result<PersistedPlan, DecodeError> {
         lower_bound: dec.get_opt_f64()?,
         elapsed: dec.get_f64()?,
         nodes: dec.get_opt_u64()?,
+        lp_iterations: dec.get_opt_u64()?,
         exhausted: dec.get_bool()?,
     })
 }
@@ -320,9 +332,13 @@ fn put_scalars(enc: &mut Encoder, sc: &ScalarState) {
     enc.put_usize(sc.backoff);
     enc.put_f64(sc.rental_cost);
     enc.put_f64(sc.switching_cost);
-    enc.put_f64(sc.probe_seconds);
-    enc.put_f64(sc.solve_seconds);
+    for seconds in sc.stage_seconds {
+        enc.put_f64(seconds);
+    }
     for count in [
+        sc.effort_solves,
+        sc.effort_nodes,
+        sc.effort_lp_iterations,
         sc.probes,
         sc.resolves,
         sc.adoptions,
@@ -357,8 +373,16 @@ fn get_scalars(dec: &mut Decoder<'_>) -> Result<ScalarState, DecodeError> {
         backoff: dec.get_usize()?,
         rental_cost: dec.get_f64()?,
         switching_cost: dec.get_f64()?,
-        probe_seconds: dec.get_f64()?,
-        solve_seconds: dec.get_f64()?,
+        stage_seconds: {
+            let mut seconds = [0.0; Stage::COUNT];
+            for slot in &mut seconds {
+                *slot = dec.get_f64()?;
+            }
+            seconds
+        },
+        effort_solves: dec.get_usize()?,
+        effort_nodes: dec.get_usize()?,
+        effort_lp_iterations: dec.get_usize()?,
         probes: dec.get_usize()?,
         resolves: dec.get_usize()?,
         adoptions: dec.get_usize()?,
@@ -539,6 +563,7 @@ fn capture_plan(rho: Throughput, plan: &KnownPlan) -> PersistedPlan {
         lower_bound: outcome.lower_bound,
         elapsed: outcome.elapsed.as_secs_f64(),
         nodes: outcome.nodes.map(|n| n as u64),
+        lp_iterations: outcome.lp_iterations.map(|n| n as u64),
         exhausted: outcome.exhausted,
     }
 }
@@ -560,8 +585,10 @@ fn capture_scalars(state: &TenantState<'_>) -> ScalarState {
         backoff: state.backoff,
         rental_cost: state.rental_cost,
         switching_cost: state.switching_cost,
-        probe_seconds: state.probe_seconds,
-        solve_seconds: state.solve_seconds,
+        stage_seconds: state.timing.seconds(),
+        effort_solves: state.effort.solves,
+        effort_nodes: state.effort.nodes,
+        effort_lp_iterations: state.effort.lp_iterations,
         probes: state.probes,
         resolves: state.resolves,
         adoptions: state.adoptions,
@@ -690,6 +717,13 @@ impl FleetController {
                     return None;
                 }
             }
+            if scalars
+                .stage_seconds
+                .iter()
+                .any(|s| !s.is_finite() || *s < 0.0)
+            {
+                return None;
+            }
             let scaler = FixedMixScaler::new(instance, &scalars.fractions, &env.scaling);
             let mix =
                 FixedMixState::from_parts(scalars.mix_fleet.clone(), scalars.mix_below.clone());
@@ -720,6 +754,7 @@ impl FleetController {
                     lower_bound: plan.lower_bound,
                     elapsed: Duration::from_secs_f64(plan.elapsed),
                     nodes: plan.nodes.map(|n| n as usize),
+                    lp_iterations: plan.lp_iterations.map(|n| n as usize),
                     exhausted: plan.exhausted,
                 };
                 if known
@@ -758,8 +793,12 @@ impl FleetController {
                 probes: scalars.probes,
                 resolves: scalars.resolves,
                 adoptions: scalars.adoptions,
-                probe_seconds: scalars.probe_seconds,
-                solve_seconds: scalars.solve_seconds,
+                timing: StageTimes::from_seconds(scalars.stage_seconds),
+                effort: SolverEffort {
+                    solves: scalars.effort_solves,
+                    nodes: scalars.effort_nodes,
+                    lp_iterations: scalars.effort_lp_iterations,
+                },
                 slo_violations: scalars.slo_violations,
                 failure_resolves: scalars.failure_resolves,
                 degraded_resolves: scalars.degraded_resolves,
@@ -887,6 +926,15 @@ impl FleetController {
         } else {
             None
         };
+        if let Some(r) = &restored {
+            self.telemetry.event(
+                EventKind::Recovery,
+                r.start_epoch,
+                None,
+                r.start_epoch as f64,
+                "resumed from checkpoint + journal replay",
+            );
+        }
         let (mut states, mut coupled, mut adoptions, mut stale_desired, start_epoch) =
             match restored {
                 Some(r) => (
@@ -909,7 +957,12 @@ impl FleetController {
                 }
             };
         let num_epochs = states.iter().map(|s| s.peaks.len()).max().unwrap_or(0);
+        // Epochs executed before the crash were timed by the killed process;
+        // their rows restore as zero. Timing is the masked field family, so
+        // the resumed report still matches the uninterrupted one.
+        let mut epoch_timing: Vec<StageTimes> = vec![StageTimes::zero(); start_epoch];
         for epoch in start_epoch..num_epochs {
+            let mut epoch_times = StageTimes::zero();
             let marks: Vec<(usize, usize)> = states
                 .iter()
                 .map(|s| (s.epoch_costs.len(), s.known_order.len()))
@@ -925,6 +978,7 @@ impl FleetController {
                 &env,
                 &mut adoptions,
                 &mut stale_desired,
+                &mut epoch_times,
             )?;
             let record = capture_record(
                 epoch,
@@ -958,6 +1012,7 @@ impl FleetController {
                 }
                 return Ok(RunOutcome::Crashed { epoch });
             }
+            let persist_span = SpanTimer::start(Stage::Persist);
             store.append_journal(&payload)?;
             if opts.snapshot_every > 0 && (epoch + 1) % opts.snapshot_every == 0 {
                 let checkpoint = capture_checkpoint(
@@ -970,6 +1025,8 @@ impl FleetController {
                 );
                 store.write_snapshot((epoch + 1) as u64, &checkpoint.encode())?;
             }
+            persist_span.stop_into(&mut epoch_times, self.telemetry.as_ref());
+            epoch_timing.push(epoch_times);
         }
         Ok(RunOutcome::Completed(self.finish(
             states,
@@ -977,6 +1034,7 @@ impl FleetController {
             adoptions,
             num_epochs,
             &env,
+            epoch_timing,
         )))
     }
 
@@ -1107,8 +1165,10 @@ mod tests {
                     backoff: 2,
                     rental_cost: 123.25,
                     switching_cost: 8.0,
-                    probe_seconds: 0.125,
-                    solve_seconds: 1.5,
+                    stage_seconds: [0.125, 0.0625, 1.5, 0.25, 0.03125],
+                    effort_solves: 4,
+                    effort_nodes: 950,
+                    effort_lp_iterations: 188,
                     probes: 11,
                     resolves: 3,
                     adoptions: 2,
@@ -1130,6 +1190,7 @@ mod tests {
                     lower_bound: Some(104.0),
                     elapsed: 0.002,
                     nodes: Some(17),
+                    lp_iterations: Some(230),
                     exhausted: false,
                 }],
             }],
@@ -1236,8 +1297,10 @@ mod tests {
             backoff: 0,
             rental_cost: 0.0,
             switching_cost: 0.0,
-            probe_seconds: 0.0,
-            solve_seconds: 0.0,
+            stage_seconds: [0.0; Stage::COUNT],
+            effort_solves: 0,
+            effort_nodes: 0,
+            effort_lp_iterations: 0,
             probes: 0,
             resolves: 0,
             adoptions: 0,

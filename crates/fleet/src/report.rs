@@ -1,7 +1,48 @@
-//! What a fleet run reports: per-tenant economics, adoption decisions and the
-//! probe-vs-solve time split.
+//! What a fleet run reports: per-tenant economics, adoption decisions, the
+//! per-stage time breakdown and solver-effort aggregates.
 
 use rental_core::Throughput;
+use rental_obs::json::JsonRow;
+use rental_obs::{Stage, StageTimes};
+use rental_solvers::solver::SolverOutcome;
+
+/// Deterministic solver-effort aggregate of one tenant (or a whole fleet):
+/// how much search work its solves consumed. Unlike [`StageTimes`] these are
+/// **exact counters**, not wall-clock — they survive
+/// [`FleetReport::matches_modulo_timing`] and are persisted across resumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverEffort {
+    /// Solver invocations that produced an outcome (initial solve included).
+    pub solves: usize,
+    /// Branch-and-bound nodes expanded, summed over those solves (solvers
+    /// that do not search, e.g. pure heuristics, contribute 0).
+    pub nodes: usize,
+    /// Simplex iterations consumed, summed over those solves — together with
+    /// `nodes` this is the budget consumption of the tenant's solving.
+    pub lp_iterations: usize,
+}
+
+impl SolverEffort {
+    /// Folds one solver outcome into the aggregate.
+    pub fn record(&mut self, outcome: &SolverOutcome) {
+        self.solves += 1;
+        self.nodes += outcome.nodes.unwrap_or(0);
+        self.lp_iterations += outcome.lp_iterations.unwrap_or(0);
+    }
+
+    /// Adds another aggregate into this one.
+    pub fn merge(&mut self, other: &SolverEffort) {
+        self.solves += other.solves;
+        self.nodes += other.nodes;
+        self.lp_iterations += other.lp_iterations;
+    }
+
+    /// Scalar ranking key: total countable search work (nodes + simplex
+    /// iterations). Used to order tenants by solver effort.
+    pub fn work(&self) -> usize {
+        self.nodes + self.lp_iterations
+    }
+}
 
 /// One keep-vs-switch decision taken after a re-solve.
 ///
@@ -69,10 +110,14 @@ pub struct TenantReport {
     pub resolves: usize,
     /// Number of adopted plans (excluding the initial plan).
     pub adoptions: usize,
-    /// Wall-clock seconds spent probing.
-    pub probe_seconds: f64,
-    /// Wall-clock seconds spent solving (initial solve included).
-    pub solve_seconds: f64,
+    /// Wall-clock seconds attributed to this tenant per controller stage
+    /// (probe and solve; arbitrate/adopt/persist are epoch-level and live in
+    /// [`FleetReport::epoch_timing`]). The **only** machine-dependent field
+    /// of the report — masked by [`TenantReport::matches_modulo_timing`].
+    pub timing: StageTimes,
+    /// Deterministic solver-effort counters (solves, branch-and-bound nodes,
+    /// simplex iterations). Not timing: never masked, persisted on resume.
+    pub effort: SolverEffort,
     /// Baseline: provisioning the initial mix for the trace peak over the
     /// whole horizon (the paper's static approach applied to the worst case).
     pub static_peak_cost: f64,
@@ -116,16 +161,28 @@ impl TenantReport {
         self.rental_cost + self.switching_cost
     }
 
-    /// Bit-exact equality on everything except the wall-clock timing fields
-    /// (`probe_seconds` / `solve_seconds`), which depend on the machine and
-    /// on how the run was split across restarts. This is the resume
-    /// contract: a killed-and-resumed run must match the uninterrupted run
-    /// on every decision-derived field.
+    /// Wall-clock seconds spent probing (accessor over
+    /// [`TenantReport::timing`], kept for callers of the pre-`StageTimes`
+    /// field).
+    pub fn probe_seconds(&self) -> f64 {
+        self.timing.get(Stage::Probe)
+    }
+
+    /// Wall-clock seconds spent solving, initial solve included (accessor
+    /// over [`TenantReport::timing`]).
+    pub fn solve_seconds(&self) -> f64 {
+        self.timing.get(Stage::Solve)
+    }
+
+    /// Bit-exact equality on everything except the one wall-clock timing
+    /// field ([`TenantReport::timing`]), which depends on the machine and on
+    /// how the run was split across restarts. This is the resume contract: a
+    /// killed-and-resumed run must match the uninterrupted run on every
+    /// decision-derived field — solver-effort counters included.
     pub fn matches_modulo_timing(&self, other: &TenantReport) -> bool {
         let mask = |report: &TenantReport| {
             let mut masked = report.clone();
-            masked.probe_seconds = 0.0;
-            masked.solve_seconds = 0.0;
+            masked.timing = StageTimes::zero();
             masked
         };
         mask(self) == mask(other)
@@ -163,6 +220,11 @@ pub struct FleetReport {
     /// Empty when the run had no finite quotas (including every uncoupled
     /// run).
     pub quota_utilization: Vec<f64>,
+    /// Per-epoch wall-clock stage breakdown of the controller loop (one
+    /// [`StageTimes`] per epoch of the shared clock). Part of the masked
+    /// timing family: a resumed run re-measures only the epochs it actually
+    /// executed, so already-persisted epochs restore as zero rows.
+    pub epoch_timing: Vec<StageTimes>,
 }
 
 impl FleetReport {
@@ -175,8 +237,10 @@ impl FleetReport {
 
     /// [`TenantReport::matches_modulo_timing`] lifted to the whole report:
     /// bit-exact equality on every decision-derived field (adoptions, costs,
-    /// counters, quota utilization), ignoring only the wall-clock timing
-    /// fields. The equality pinned by the crash/resume property tests.
+    /// counters, solver effort, quota utilization), ignoring only the
+    /// [`StageTimes`]-typed timing family ([`TenantReport::timing`] and
+    /// [`FleetReport::epoch_timing`]). The equality pinned by the
+    /// crash/resume property tests.
     pub fn matches_modulo_timing(&self, other: &FleetReport) -> bool {
         self.tenants.len() == other.tenants.len()
             && self
@@ -286,12 +350,104 @@ impl FleetReport {
 
     /// Total wall-clock seconds spent probing.
     pub fn probe_seconds(&self) -> f64 {
-        self.tenants.iter().map(|t| t.probe_seconds).sum()
+        self.tenants.iter().map(TenantReport::probe_seconds).sum()
     }
 
     /// Total wall-clock seconds spent solving.
     pub fn solve_seconds(&self) -> f64 {
-        self.tenants.iter().map(|t| t.solve_seconds).sum()
+        self.tenants.iter().map(TenantReport::solve_seconds).sum()
+    }
+
+    /// The epoch-level stage breakdown summed over the whole run.
+    pub fn stage_seconds(&self) -> StageTimes {
+        let mut total = StageTimes::zero();
+        for row in &self.epoch_timing {
+            total.merge(row);
+        }
+        total
+    }
+
+    /// Fleet-wide solver effort: the per-tenant aggregates merged.
+    pub fn effort(&self) -> SolverEffort {
+        let mut total = SolverEffort::default();
+        for tenant in &self.tenants {
+            total.merge(&tenant.effort);
+        }
+        total
+    }
+
+    /// Tenant indices ordered by descending solver effort
+    /// ([`SolverEffort::work`], ties broken by index), truncated to `k`.
+    pub fn top_effort(&self, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.tenants.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.tenants[i].effort.work()), i));
+        order.truncate(k);
+        order
+    }
+
+    /// The run as JSON lines, one self-describing row per record (keyed by
+    /// `"record"`): a `fleet` summary, one `epoch` row per epoch with the
+    /// stage breakdown and the fleet-wide cost of that epoch, and one
+    /// `tenant` row per tenant with its economics, counters and solver
+    /// effort. Shares the encoder of `rental-obs`, so `repro --json` lanes
+    /// and telemetry dumps speak one format.
+    pub fn telemetry(&self) -> String {
+        let mut out = String::new();
+        let effort = self.effort();
+        out.push_str(
+            &JsonRow::new()
+                .str("record", "fleet")
+                .usize("epochs", self.epochs)
+                .f64("epoch_hours", self.epoch_hours)
+                .f64("total_cost", self.total_cost())
+                .f64("fixed_mix_cost", self.fixed_mix_cost())
+                .f64("static_peak_cost", self.static_peak_cost())
+                .usize("slo_violation_epochs", self.slo_violation_epochs())
+                .usize("solves", effort.solves)
+                .usize("nodes", effort.nodes)
+                .usize("lp_iterations", effort.lp_iterations)
+                .f64("probe_seconds", self.probe_seconds())
+                .f64("solve_seconds", self.solve_seconds())
+                .finish(),
+        );
+        out.push('\n');
+        for (epoch, times) in self.epoch_timing.iter().enumerate() {
+            let cost: f64 = self
+                .tenants
+                .iter()
+                .filter_map(|t| t.epoch_costs.get(epoch))
+                .sum();
+            let mut row = JsonRow::new();
+            row = row.str("record", "epoch").usize("epoch", epoch);
+            for stage in Stage::ALL {
+                row = row.f64(stage.name(), times.get(stage));
+            }
+            out.push_str(&row.f64("cost", cost).finish());
+            out.push('\n');
+        }
+        for (i, tenant) in self.tenants.iter().enumerate() {
+            out.push_str(
+                &JsonRow::new()
+                    .str("record", "tenant")
+                    .usize("tenant", i)
+                    .str("name", &tenant.name)
+                    .f64("rental_cost", tenant.rental_cost)
+                    .f64("switching_cost", tenant.switching_cost)
+                    .usize("probes", tenant.probes)
+                    .usize("resolves", tenant.resolves)
+                    .usize("adoptions", tenant.adoptions)
+                    .usize("slo_violation_epochs", tenant.slo_violation_epochs)
+                    .usize("degraded_resolves", tenant.degraded_resolves)
+                    .usize("solves", tenant.effort.solves)
+                    .usize("nodes", tenant.effort.nodes)
+                    .usize("lp_iterations", tenant.effort.lp_iterations)
+                    .f64("probe_seconds", tenant.probe_seconds())
+                    .f64("solve_seconds", tenant.solve_seconds())
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -300,6 +456,9 @@ mod tests {
     use super::*;
 
     fn tenant(rental: f64, switching: f64, resolves: usize) -> TenantReport {
+        let mut timing = StageTimes::zero();
+        timing.add(Stage::Probe, 0.001);
+        timing.add(Stage::Solve, 0.01);
         TenantReport {
             name: "t".to_string(),
             initial_target: 50,
@@ -309,8 +468,12 @@ mod tests {
             probes: 4,
             resolves,
             adoptions: 1,
-            probe_seconds: 0.001,
-            solve_seconds: 0.01,
+            timing,
+            effort: SolverEffort {
+                solves: resolves + 1,
+                nodes: 100 * resolves,
+                lp_iterations: 10 * resolves,
+            },
             static_peak_cost: 500.0,
             fixed_mix_cost: 300.0,
             static_headroom_cost: 550.0,
@@ -327,12 +490,15 @@ mod tests {
 
     #[test]
     fn report_totals_aggregate_over_tenants() {
+        let mut epoch_row = StageTimes::zero();
+        epoch_row.add(Stage::Arbitrate, 0.25);
         let report = FleetReport {
             tenants: vec![tenant(200.0, 10.0, 2), tenant(100.0, 0.0, 1)],
             adoptions: vec![],
             epochs: 10,
             epoch_hours: 1.0,
             quota_utilization: vec![0.5, 1.0],
+            epoch_timing: vec![epoch_row; 10],
         };
         assert_eq!(report.tenant_epochs(), 20);
         assert_eq!(report.resolved_tenant_epochs(), 3);
@@ -352,6 +518,14 @@ mod tests {
         assert_eq!(report.incumbent_adoptions(), 2);
         assert_eq!(report.resolve_retries(), 2);
         assert!(report.probe_seconds() > 0.0 && report.solve_seconds() > 0.0);
+        // Effort aggregates merge across tenants; the stage rows sum.
+        let effort = report.effort();
+        assert_eq!(effort.solves, 5);
+        assert_eq!(effort.nodes, 300);
+        assert_eq!(effort.lp_iterations, 30);
+        assert_eq!(effort.work(), 330);
+        assert_eq!(report.top_effort(1), vec![0]);
+        assert!((report.stage_seconds().get(Stage::Arbitrate) - 2.5).abs() < 1e-12);
     }
 
     #[test]
@@ -362,9 +536,56 @@ mod tests {
             epochs: 0,
             epoch_hours: 1.0,
             quota_utilization: vec![],
+            epoch_timing: vec![],
         };
         assert_eq!(report.resolve_fraction(), 0.0);
         assert_eq!(report.total_cost(), 0.0);
+        assert_eq!(report.effort(), SolverEffort::default());
+        assert!(report.top_effort(3).is_empty());
+    }
+
+    #[test]
+    fn matches_modulo_timing_masks_exactly_the_stage_times() {
+        let base = FleetReport {
+            tenants: vec![tenant(200.0, 10.0, 2)],
+            adoptions: vec![],
+            epochs: 10,
+            epoch_hours: 1.0,
+            quota_utilization: vec![],
+            epoch_timing: vec![StageTimes::zero(); 10],
+        };
+        // Different wall-clock, same decisions: matches.
+        let mut retimed = base.clone();
+        retimed.tenants[0].timing = StageTimes::zero();
+        retimed.epoch_timing.clear();
+        assert_ne!(base, retimed);
+        assert!(base.matches_modulo_timing(&retimed));
+        // Different solver effort is a real divergence, not timing.
+        let mut diverged = base.clone();
+        diverged.tenants[0].effort.nodes += 1;
+        assert!(!base.matches_modulo_timing(&diverged));
+    }
+
+    #[test]
+    fn telemetry_jsonl_has_one_row_per_record() {
+        let report = FleetReport {
+            tenants: vec![tenant(200.0, 10.0, 2), tenant(100.0, 0.0, 1)],
+            adoptions: vec![],
+            epochs: 3,
+            epoch_hours: 1.0,
+            quota_utilization: vec![],
+            epoch_timing: vec![StageTimes::zero(); 3],
+        };
+        let jsonl = report.telemetry();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 + 2);
+        assert!(lines[0].starts_with(r#"{"record":"fleet""#));
+        assert!(lines[1].contains(r#""record":"epoch""#));
+        assert!(lines[4].contains(r#""record":"tenant""#));
+        assert!(lines[4].contains(r#""nodes":200"#));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
     }
 
     #[test]

@@ -191,6 +191,25 @@ impl MipSolver {
         warm_start: Option<&[f64]>,
         objective_floor: Option<f64>,
     ) -> LpResult<MipSolution> {
+        let result = self.solve_with_hints_inner(model, warm_start, objective_floor);
+        if let Ok(solution) = &result {
+            // Pure copy-out to the ambient sink; never feeds the search.
+            rental_obs::with_sink(|sink| {
+                sink.counter("mip.solves", 1);
+                sink.counter("mip.nodes", solution.nodes as u64);
+                sink.counter("mip.lp_iterations", solution.lp_iterations as u64);
+                sink.observe("mip.nodes_per_solve", solution.nodes as u64);
+            });
+        }
+        result
+    }
+
+    fn solve_with_hints_inner(
+        &self,
+        model: &Model,
+        warm_start: Option<&[f64]>,
+        objective_floor: Option<f64>,
+    ) -> LpResult<MipSolution> {
         let start = Instant::now();
         model.validate()?;
         let minimize = model.sense() == Sense::Minimize;

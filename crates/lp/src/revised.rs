@@ -170,8 +170,34 @@ pub struct RevisedOutcome {
     /// Factorization counters: refactorizations, LU fill-in at the last
     /// refactorization, and the hyper-sparse FTRAN/BTRAN hit rate.
     pub factor_stats: FactorStats,
+    /// Anti-stall escalations, first rung: bounded deterministic cost
+    /// perturbations applied after a degenerate plateau.
+    pub stall_perturbations: usize,
+    /// Anti-stall escalations, last rung: switches to Bland's (provably
+    /// finite) rule after a second stall in the same phase.
+    pub bland_escalations: usize,
     /// Optimal basis, reusable for warm-started re-solves.
     pub basis: Option<Arc<BasisSnapshot>>,
+}
+
+/// Emits one solve's counters to the ambient telemetry sink (one relaxed
+/// atomic load when no sink is installed — see `rental-obs`). Telemetry is
+/// a pure copy of the outcome; it never feeds back into pivoting.
+fn emit_lp_telemetry(outcome: &RevisedOutcome) {
+    rental_obs::with_sink(|sink| {
+        let stats = &outcome.factor_stats;
+        sink.counter("lp.solves", 1);
+        sink.counter("lp.iterations", outcome.iterations as u64);
+        sink.counter("lp.bound_flips", outcome.bound_flips as u64);
+        sink.counter("lp.refactorizations", stats.refactorizations as u64);
+        sink.counter("lp.fill_nnz", stats.fill_nnz as u64);
+        sink.counter("lp.factor_solves", stats.solves as u64);
+        sink.counter("lp.hyper_sparse_solves", stats.hyper_sparse_solves as u64);
+        sink.counter("lp.stall_perturbations", outcome.stall_perturbations as u64);
+        sink.counter("lp.bland_escalations", outcome.bland_escalations as u64);
+        sink.gauge("lp.hyper_sparse_rate", stats.hyper_sparse_rate());
+        sink.observe("lp.iterations_per_solve", outcome.iterations as u64);
+    });
 }
 
 /// The fixed, sparse standard form of one model:
@@ -347,6 +373,17 @@ impl RevisedLp {
         warm: Option<&BasisSnapshot>,
         options: &SimplexOptions,
     ) -> RevisedOutcome {
+        let outcome = self.solve_node_inner(tighten, warm, options);
+        emit_lp_telemetry(&outcome);
+        outcome
+    }
+
+    fn solve_node_inner(
+        &self,
+        tighten: &[(VarId, f64, f64)],
+        warm: Option<&BasisSnapshot>,
+        options: &SimplexOptions,
+    ) -> RevisedOutcome {
         let mut lower = self.base_lower.clone();
         let mut upper = self.base_upper.clone();
         for &(var, lo, up) in tighten {
@@ -362,6 +399,8 @@ impl RevisedLp {
                     iterations: 0,
                     bound_flips: 0,
                     factor_stats: FactorStats::default(),
+                    stall_perturbations: 0,
+                    bland_escalations: 0,
                     basis: None,
                 };
             }
@@ -499,6 +538,8 @@ impl RevisedLp {
             iterations: state.iterations,
             bound_flips: state.flips,
             factor_stats: state.factor.stats,
+            stall_perturbations: state.stall_perturbations,
+            bland_escalations: state.bland_escalations,
             basis: Some(Arc::new(snapshot)),
         }
     }
@@ -517,6 +558,10 @@ struct SolverState<'a> {
     factor: Factorization,
     iterations: usize,
     flips: usize,
+    /// Anti-stall perturbations applied (see the primal loop's ladder).
+    stall_perturbations: usize,
+    /// Escalations to Bland's rule after the perturbation rung was spent.
+    bland_escalations: usize,
     needs_phase1: bool,
     phase1_cost: Vec<f64>,
     /// Rotating partial-pricing cursor (persists across iterations so
@@ -543,6 +588,8 @@ impl<'a> SolverState<'a> {
             factor: Factorization::new(options.dense_lu),
             iterations: 0,
             flips: 0,
+            stall_perturbations: 0,
+            bland_escalations: 0,
             needs_phase1: false,
             phase1_cost: Vec::new(),
             price_cursor: 0,
@@ -680,6 +727,8 @@ impl<'a> SolverState<'a> {
             iterations: self.iterations,
             bound_flips: self.flips,
             factor_stats: self.factor.stats,
+            stall_perturbations: self.stall_perturbations,
+            bland_escalations: self.bland_escalations,
             basis: None,
         }
     }
@@ -1009,9 +1058,11 @@ impl<'a> SolverState<'a> {
                 if perturbation_spent {
                     perturbed = None;
                     force_bland = true;
+                    self.bland_escalations += 1;
                 } else {
                     perturbation_spent = true;
                     perturbed = Some(perturbed_costs(cost));
+                    self.stall_perturbations += 1;
                 }
             }
             let use_bland = force_bland || local_iter >= self.options.bland_after;

@@ -1,0 +1,138 @@
+//! A minimal JSON writer — just enough to render one flat object per line
+//! (JSONL) without pulling a serialization dependency into the offline
+//! workspace. Shared by the metrics/event dumps here and the `--json` mode
+//! of every `repro` lane.
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` as a JSON number; non-finite values (which JSON
+/// cannot represent) become `null`.
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one flat JSON object, keys in insertion order.
+///
+/// ```
+/// use rental_obs::json::JsonRow;
+/// let row = JsonRow::new().str("name", "probe").u64("count", 3).finish();
+/// assert_eq!(row, r#"{"name":"probe","count":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonRow {
+    buf: String,
+}
+
+impl JsonRow {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonRow { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a `usize` field.
+    pub fn usize(self, key: &str, value: usize) -> Self {
+        self.u64(key, value as u64)
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (caller guarantees validity).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns it as a single line.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn renders_flat_objects_in_insertion_order() {
+        let row = JsonRow::new()
+            .str("s", "x")
+            .u64("n", 7)
+            .f64("f", 0.5)
+            .bool("b", true)
+            .raw("arr", "[1,2]")
+            .finish();
+        assert_eq!(row, r#"{"s":"x","n":7,"f":0.5,"b":true,"arr":[1,2]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(JsonRow::new().f64("x", f64::NAN).finish(), r#"{"x":null}"#);
+    }
+}

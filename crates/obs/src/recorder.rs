@@ -1,0 +1,158 @@
+//! The default enabled [`TelemetrySink`]: a [`MetricsRegistry`] plus a
+//! [`FlightRecorder`], with a panic hook that dumps the event history.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use crate::flight::{Event, EventKind, FlightRecorder};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::TelemetrySink;
+
+/// Default flight-recorder capacity: enough to hold the tail of a degraded
+/// episode across a few hundred epochs without unbounded memory.
+pub const DEFAULT_EVENT_CAPACITY: usize = 512;
+
+/// A recording [`TelemetrySink`]: counters/gauges/histograms into a
+/// [`MetricsRegistry`], spans into microsecond histograms, events into a
+/// [`FlightRecorder`]. Share it as an `Arc` between the global sink, a
+/// `FleetController` and (optionally) the panic hook.
+pub struct Recorder {
+    registry: MetricsRegistry,
+    flight: FlightRecorder,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the [`DEFAULT_EVENT_CAPACITY`].
+    pub fn new() -> Self {
+        Recorder::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A recorder retaining the last `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Recorder {
+            registry: MetricsRegistry::new(),
+            flight: FlightRecorder::new(capacity),
+        }
+    }
+
+    /// The underlying metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The underlying flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Merged snapshot of every metric shard.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The metrics snapshot rendered as JSON lines.
+    pub fn metrics_jsonl(&self) -> String {
+        self.snapshot().to_jsonl()
+    }
+
+    /// The retained events rendered as JSON lines, oldest first.
+    pub fn events_jsonl(&self) -> String {
+        self.flight.dump_jsonl()
+    }
+
+    /// Installs a panic hook that dumps `recorder`'s flight history to
+    /// stderr (as JSONL, after the previous hook runs) — the black box a
+    /// crashed serving process leaves behind.
+    pub fn install_panic_hook(recorder: Arc<Recorder>) {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            let dump = recorder.events_jsonl();
+            let mut stderr = std::io::stderr().lock();
+            let _ = writeln!(
+                stderr,
+                "--- flight recorder ({} of {} events retained) ---",
+                recorder.flight.len(),
+                recorder.flight.total_recorded(),
+            );
+            let _ = stderr.write_all(dump.as_bytes());
+        }));
+    }
+}
+
+impl TelemetrySink for Recorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.registry.add_counter(name, delta);
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.registry.set_gauge(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.registry.observe(name, value);
+    }
+
+    fn span(&self, name: &'static str, seconds: f64) {
+        // Spans are histograms of microseconds — log-bucketed integer
+        // samples cover nanosecond probes to minute-long solves.
+        self.registry.observe(name, (seconds * 1e6) as u64);
+    }
+
+    fn event(
+        &self,
+        kind: EventKind,
+        epoch: usize,
+        tenant: Option<usize>,
+        value: f64,
+        detail: &str,
+    ) {
+        self.flight.record(Event {
+            seq: 0,
+            epoch,
+            tenant,
+            kind,
+            value,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_routes_every_sink_method() {
+        let recorder = Recorder::with_event_capacity(4);
+        assert!(recorder.enabled());
+        recorder.counter("test.c", 2);
+        recorder.counter("test.c", 3);
+        recorder.gauge("test.g", 0.75);
+        recorder.observe("test.h", 10);
+        recorder.span("test.span", 0.001);
+        recorder.event(EventKind::DegradedSolve, 7, Some(1), 2.5, "fallback");
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counters["test.c"], 5);
+        assert_eq!(snapshot.gauges["test.g"], 0.75);
+        assert_eq!(snapshot.histograms["test.h"].count(), 1);
+        // 1 ms span lands in the microsecond histogram as ~1000.
+        assert_eq!(snapshot.histograms["test.span"].sum(), 1000);
+        let events = recorder.flight().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::DegradedSolve);
+        assert_eq!(events[0].tenant, Some(1));
+        assert!(recorder.events_jsonl().contains("\"detail\":\"fallback\""));
+    }
+}

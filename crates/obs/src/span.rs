@@ -1,0 +1,218 @@
+//! Lexically-scoped span timing and the per-epoch stage breakdown.
+//!
+//! The fleet controller's epoch loop decomposes into five stages — probe,
+//! arbitrate, solve, adopt, persist — and every second of an epoch's
+//! wall-time is attributed to exactly one of them. [`SpanTimer`] measures
+//! one region; [`StageTimes`] accumulates the per-stage totals that end up
+//! in `TenantReport`/`FleetReport` (the single "timing" field family masked
+//! by report equivalence checks).
+
+use std::time::Instant;
+
+use crate::TelemetrySink;
+
+/// A stage of the fleet controller's epoch loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Demand re-reads, shift detection and what-if probes.
+    Probe,
+    /// Capacity arbitration and failure accounting on the shared pool.
+    Arbitrate,
+    /// Batched (re-)solves, including degraded fallbacks.
+    Solve,
+    /// Keep-vs-switch decisions and plan adoption.
+    Adopt,
+    /// Journal/snapshot writes of the durable run path.
+    Persist,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 5;
+
+    /// Every stage, in epoch execution order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Probe,
+        Stage::Arbitrate,
+        Stage::Solve,
+        Stage::Adopt,
+        Stage::Persist,
+    ];
+
+    /// Stable lowercase name (used in report rows and JSONL keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Probe => "probe",
+            Stage::Arbitrate => "arbitrate",
+            Stage::Solve => "solve",
+            Stage::Adopt => "adopt",
+            Stage::Persist => "persist",
+        }
+    }
+
+    /// The span name this stage emits under (see `METRICS.md`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Probe => "fleet.span.probe",
+            Stage::Arbitrate => "fleet.span.arbitrate",
+            Stage::Solve => "fleet.span.solve",
+            Stage::Adopt => "fleet.span.adopt",
+            Stage::Persist => "fleet.span.persist",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Probe => 0,
+            Stage::Arbitrate => 1,
+            Stage::Solve => 2,
+            Stage::Adopt => 3,
+            Stage::Persist => 4,
+        }
+    }
+}
+
+/// Seconds spent per [`Stage`] — the workspace's one timing field family.
+/// Wall-clock noise lives here and nowhere else, so report equivalence
+/// checks (`FleetReport::matches_modulo_timing`) mask exactly this type.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimes {
+    seconds: [f64; Stage::COUNT],
+}
+
+impl StageTimes {
+    /// All-zero stage times.
+    pub fn zero() -> Self {
+        StageTimes::default()
+    }
+
+    /// Rebuilds from the raw per-stage array (order of [`Stage::ALL`]) —
+    /// the persistence codec round-trips through this.
+    pub fn from_seconds(seconds: [f64; Stage::COUNT]) -> Self {
+        StageTimes { seconds }
+    }
+
+    /// The raw per-stage array, in [`Stage::ALL`] order.
+    pub fn seconds(&self) -> [f64; Stage::COUNT] {
+        self.seconds
+    }
+
+    /// Adds `seconds` to `stage`.
+    pub fn add(&mut self, stage: Stage, seconds: f64) {
+        self.seconds[stage.index()] += seconds;
+    }
+
+    /// Seconds attributed to `stage`.
+    pub fn get(&self, stage: Stage) -> f64 {
+        self.seconds[stage.index()]
+    }
+
+    /// Total across all stages.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Adds every stage of `other` into `self`.
+    pub fn merge(&mut self, other: &StageTimes) {
+        for (mine, theirs) in self.seconds.iter_mut().zip(&other.seconds) {
+            *mine += theirs;
+        }
+    }
+
+    /// Whether every stage is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.seconds.iter().all(|&s| s == 0.0)
+    }
+}
+
+/// Times one lexical region and attributes it to a [`Stage`]. Spans nest
+/// naturally: an inner timer's region is simply excluded by starting the
+/// outer one around a different stage boundary.
+#[derive(Debug)]
+pub struct SpanTimer {
+    stage: Stage,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing `stage` now.
+    pub fn start(stage: Stage) -> Self {
+        SpanTimer {
+            stage,
+            start: Instant::now(),
+        }
+    }
+
+    /// The stage this span measures.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Stops the span, returning elapsed seconds.
+    pub fn stop(self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stops the span, accumulating into `times` and emitting the span to
+    /// `sink`. Returns elapsed seconds.
+    pub fn stop_into(self, times: &mut StageTimes, sink: &dyn TelemetrySink) -> f64 {
+        let stage = self.stage;
+        let seconds = self.stop();
+        times.add(stage, seconds);
+        sink.span(stage.span_name(), seconds);
+        seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoopSink;
+
+    #[test]
+    fn stage_times_accumulate_and_merge() {
+        let mut a = StageTimes::zero();
+        a.add(Stage::Probe, 1.0);
+        a.add(Stage::Solve, 2.0);
+        let mut b = StageTimes::zero();
+        b.add(Stage::Solve, 0.5);
+        b.add(Stage::Persist, 0.25);
+        a.merge(&b);
+        assert_eq!(a.get(Stage::Probe), 1.0);
+        assert_eq!(a.get(Stage::Solve), 2.5);
+        assert_eq!(a.get(Stage::Persist), 0.25);
+        assert_eq!(a.total(), 3.75);
+        assert!(!a.is_zero());
+        assert!(StageTimes::zero().is_zero());
+    }
+
+    #[test]
+    fn stage_times_round_trip_through_raw_seconds() {
+        let mut t = StageTimes::zero();
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            t.add(*stage, i as f64 + 0.5);
+        }
+        assert_eq!(StageTimes::from_seconds(t.seconds()), t);
+    }
+
+    #[test]
+    fn span_timer_attributes_elapsed_time_to_its_stage() {
+        let mut times = StageTimes::zero();
+        let span = SpanTimer::start(Stage::Adopt);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let elapsed = span.stop_into(&mut times, &NoopSink);
+        assert!(elapsed > 0.0);
+        assert_eq!(times.get(Stage::Adopt), elapsed);
+        assert_eq!(times.total(), elapsed);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["probe", "arbitrate", "solve", "adopt", "persist"]);
+        for stage in Stage::ALL {
+            assert!(stage.span_name().starts_with("fleet.span."));
+            assert!(stage.span_name().ends_with(stage.name()));
+        }
+    }
+}

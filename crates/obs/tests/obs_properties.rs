@@ -1,0 +1,101 @@
+//! Property tests of the telemetry substrate: histogram bucket boundaries
+//! (every value lands in its power-of-two bucket; merge is associative and
+//! lossless for counts and sums) and thread-sharded counter merge vs a
+//! sequential count.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use rental_obs::{Histogram, MetricsRegistry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn values_land_in_their_power_of_two_bucket(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..=64),
+    ) {
+        let mut histogram = Histogram::new();
+        for &v in &values {
+            histogram.record(v);
+        }
+        for &v in &values {
+            let index = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_bounds(index);
+            // Half-open [lo, hi); the top bucket's bound saturates, so
+            // u64::MAX itself still belongs to bucket 64.
+            prop_assert!(v >= lo || index == 0, "{v} below bucket {index} bound {lo}");
+            prop_assert!(v < hi || index == 64, "{v} above bucket {index} bound {hi}");
+            prop_assert!(histogram.buckets()[index] > 0);
+        }
+        // Bucket occupancy totals the sample count.
+        let total: u64 = histogram.buckets().iter().sum();
+        prop_assert_eq!(total, values.len() as u64);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_lossless(
+        a in proptest::collection::vec(0u64..1_000_000, 0..=32),
+        b in proptest::collection::vec(0u64..1_000_000, 0..=32),
+        c in proptest::collection::vec(0u64..1_000_000, 0..=32),
+    ) {
+        let build = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // Lossless for counts and sums: the merge equals recording every
+        // sample into one histogram.
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let direct = build(&all);
+        prop_assert_eq!(left.count(), direct.count());
+        prop_assert_eq!(left.sum(), direct.sum());
+        prop_assert_eq!(left.buckets(), direct.buckets());
+        prop_assert_eq!(left.sum(), all.iter().map(|&v| v as u128).sum::<u128>());
+    }
+
+    #[test]
+    fn sharded_counters_merge_to_the_sequential_total(
+        per_thread in proptest::collection::vec(1usize..200, 1..=6),
+        delta in 1u64..5,
+    ) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = per_thread
+            .iter()
+            .map(|&count| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for _ in 0..count {
+                        registry.add_counter("prop.sharded", delta);
+                        registry.observe("prop.hist", delta);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let expected: u64 = per_thread.iter().map(|&c| c as u64).sum::<u64>() * delta;
+        let snapshot = registry.snapshot();
+        prop_assert_eq!(snapshot.counters["prop.sharded"], expected);
+        prop_assert_eq!(snapshot.histograms["prop.hist"].sum(), expected as u128);
+        prop_assert!(registry.shard_count() >= 1);
+    }
+}

@@ -331,17 +331,36 @@ impl IlpSolver {
         // caller violated the prior contract — e.g. a poisoned or stale
         // bound). An unsound floor silently prunes the true optimum; dropping
         // it costs only the pruning speedup, never correctness.
+        let mut floor_dropped = false;
         if let (Some(f), Some((candidate_cost, _))) = (floor, warm_start.as_ref()) {
             if f > *candidate_cost as f64 + 1e-6 {
                 floor = None;
+                floor_dropped = true;
             }
         }
         let warm_start = warm_start.map(|(_, values)| values);
+        // Pure copy-out to the ambient telemetry sink; the solve never reads
+        // it back. Warm-start hits and prior-floor prunes are decided right
+        // here, so this is the one place they are observable.
+        rental_obs::with_sink(|sink| {
+            sink.counter("solver.solves", 1);
+            sink.counter("solver.warm_start_hits", warm_start.is_some() as u64);
+            sink.counter("solver.prior_floor_prunes", floor.is_some() as u64);
+            sink.counter("solver.prior_floor_dropped", floor_dropped as u64);
+        });
         let mip = MipSolver::with_limits(limits).solve_with_hints(
             &model,
             warm_start.as_deref(),
             floor,
         )?;
+        rental_obs::with_sink(|sink| {
+            sink.counter("solver.nodes", mip.nodes as u64);
+            sink.counter("solver.lp_iterations", mip.lp_iterations as u64);
+            sink.counter(
+                "solver.budget_exhausted",
+                (mip.status == MipStatus::LimitReached || mip.status == MipStatus::Feasible) as u64,
+            );
+        });
         if !mip.has_incumbent() {
             // LimitReached is inconclusive (the budget struck before any
             // incumbent); everything else reaching this point proved the
@@ -381,6 +400,7 @@ impl IlpSolver {
             lower_bound,
             elapsed: start.elapsed(),
             nodes: Some(mip.nodes),
+            lp_iterations: Some(mip.lp_iterations),
             exhausted: mip.status == MipStatus::Feasible,
         })
     }

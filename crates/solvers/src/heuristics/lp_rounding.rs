@@ -146,6 +146,7 @@ impl MinCostSolver for LpRoundingSolver {
         let solution = instance.solution(target, chosen)?;
         Ok(SolverOutcome {
             nodes: None,
+            lp_iterations: None,
             solution,
             proven_optimal: false,
             lower_bound: Some(lower_bound),

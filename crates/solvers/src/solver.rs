@@ -94,6 +94,12 @@ pub struct SolverOutcome {
     /// (`None` for the heuristics). Target sweeps use this to quantify how
     /// much warm-started incumbents shrink the tree.
     pub nodes: Option<usize>,
+    /// Simplex iterations summed over all node relaxations (`None` for
+    /// solvers without an LP substrate). Together with `nodes` this is the
+    /// solve's **budget consumption** — the countable currencies a
+    /// [`SolveBudget`] caps — wired into the fleet's per-tenant effort
+    /// aggregates.
+    pub lp_iterations: Option<usize>,
     /// True when the solve hit its budget (deadline / node cap / iteration
     /// cap) and returned the **best incumbent** instead of running the search
     /// to completion — the anytime contract. An exhausted outcome is feasible
@@ -111,6 +117,7 @@ impl SolverOutcome {
             lower_bound: None,
             elapsed,
             nodes: None,
+            lp_iterations: None,
             exhausted: false,
         }
     }
@@ -124,6 +131,7 @@ impl SolverOutcome {
             lower_bound: Some(bound),
             elapsed,
             nodes: None,
+            lp_iterations: None,
             exhausted: false,
         }
     }
