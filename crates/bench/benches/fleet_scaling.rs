@@ -3,36 +3,111 @@
 //! Scaling benchmark for the `rental-fleet` streaming re-optimization
 //! subsystem.
 //!
-//! * `fleet_scaling/tenants-N` times a full probe/solve/adopt run of the
-//!   diurnal+spike scenario at fleet sizes 4, 8 and 16 — the whole epoch
-//!   loop including the batched warm-started ILP re-solves on the shared
-//!   pool.
-//! * The harness then runs the **acceptance scenario** (16 tenants, the same
-//!   seed as the `fleet_regression` test) and writes `BENCH_fleet.json` with
-//!   the two headline numbers of ISSUE 3 — total cost vs the fixed-mix
-//!   autoscale baseline, and the fraction of tenant-epochs that re-solved —
-//!   plus the probe-vs-solve time split, for CI logs and regression
-//!   tracking.
+//! * `fleet_scaling/run/N` times one full run of the **controller-scaling
+//!   fleet** (`scaling_fleet`: tiny instances, probe-every-epoch traces, a
+//!   prohibitive switching cost — pure epoch-loop work after the init
+//!   solves) at 1k, 4k and 16k tenants under the auto shard policy. A tight
+//!   sample/warm-up budget keeps the 16k lane inside CI time; the full
+//!   acceptance scenario is **not** re-run inside `b.iter`.
+//! * The harness then measures **tenant-epochs/sec** — the headline scaling
+//!   metric — for the sequential (`shards: Some(1)`) and sharded
+//!   (`shards: None`, auto) epoch loops at each fleet size, by subtracting
+//!   a one-epoch run's wall time from the full run's (both share the same
+//!   init solve fan-out, so the difference is the epoch loop alone). It
+//!   writes `BENCH_fleet_scaling.json` and enforces the floors: sharded
+//!   reports bit-identical (modulo timing) to sequential at shard counts
+//!   {1, 2, 4, 8}, and sharded ≥ 3× sequential tenant-epochs/sec at 4k
+//!   tenants when the host has ≥ 4 cores.
+//! * Finally the harness runs the 16-tenant **acceptance scenario** (the
+//!   same seed as the `fleet_regression` test) and writes `BENCH_fleet.json`
+//!   with the same headline numbers as before — total cost vs the fixed-mix
+//!   autoscale baseline, resolve fraction, probe-vs-solve time split.
+//!
+//! Set `FLEET_SCALING_SMOKE=1` to restrict the sweep to the 1k-tenant lane
+//! (the CI smoke configuration); the determinism floor still runs there.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use rental_fleet::{diurnal_spike_fleet, FleetController, ACCEPTANCE_SEED};
+use rental_fleet::{
+    diurnal_spike_fleet, scaling_fleet, scaling_fleet_one_epoch, FleetController, FleetPolicy,
+    FleetReport, ACCEPTANCE_SEED, SCALING_EPOCHS,
+};
 use rental_solvers::exact::IlpSolver;
 
 /// The seed shared with `crates/fleet/tests/fleet_regression.rs`.
 const SCENARIO_SEED: u64 = ACCEPTANCE_SEED;
 
+/// Seed of the controller-scaling sweep (independent of the acceptance
+/// scenario so the two never constrain each other).
+const SCALING_SEED: u64 = 0x5CA1E5;
+
+/// Shard counts every fleet report must be bit-identical across.
+const DETERMINISM_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Minimum sharded-over-sequential tenant-epochs/sec ratio at 4k tenants,
+/// enforced when the host has at least [`MIN_CORES_FOR_FLOOR`] cores.
+const SPEEDUP_FLOOR: f64 = 3.0;
+const MIN_CORES_FOR_FLOOR: usize = 4;
+
+fn smoke() -> bool {
+    std::env::var("FLEET_SCALING_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn sweep_sizes() -> &'static [usize] {
+    if smoke() {
+        &[1000]
+    } else {
+        &[1000, 4000, 16000]
+    }
+}
+
+fn run_scaling(
+    solver: &IlpSolver,
+    tenants: &[rental_fleet::TenantSpec],
+    policy: FleetPolicy,
+) -> FleetReport {
+    FleetController::new(policy)
+        .run(solver, tenants)
+        .expect("the scaling fleet solves")
+}
+
+/// Wall seconds of one full run, minimum over `trials`.
+fn time_run(
+    solver: &IlpSolver,
+    tenants: &[rental_fleet::TenantSpec],
+    policy: FleetPolicy,
+    trials: usize,
+) -> f64 {
+    (0..trials.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run_scaling(solver, tenants, policy));
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 fn bench_fleet_scaling(c: &mut Criterion) {
     let solver = IlpSolver::new();
 
+    // ------------------------------------------------------------------
+    // Criterion lanes: one full scaling-fleet run per fleet size under the
+    // auto shard policy. The sample/warm-up budget is deliberately tiny —
+    // a 16k run takes seconds, so re-running it tens of times would blow
+    // the CI budget for no extra signal.
+    // ------------------------------------------------------------------
     let mut group = c.benchmark_group("fleet_scaling");
-    group.sample_size(10);
-    for &tenants in &[4usize, 8, 16] {
-        let scenario = diurnal_spike_fleet(tenants, SCENARIO_SEED);
+    group
+        .sample_size(2)
+        .warm_up_time(std::time::Duration::from_millis(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &tenants in sweep_sizes() {
+        let scenario = scaling_fleet(tenants, SCALING_SEED);
         let controller = FleetController::new(scenario.policy);
         group.bench_with_input(
-            BenchmarkId::new("tenants", tenants),
+            BenchmarkId::new("run", tenants),
             &scenario,
             |b, scenario| {
                 b.iter(|| {
@@ -45,6 +120,112 @@ fn bench_fleet_scaling(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // ------------------------------------------------------------------
+    // Tenant-epochs/sec sweep: sequential vs sharded epoch loops.
+    // ------------------------------------------------------------------
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut lanes = Vec::new();
+    for &tenants in sweep_sizes() {
+        let full = scaling_fleet(tenants, SCALING_SEED);
+        let one = scaling_fleet_one_epoch(tenants, SCALING_SEED);
+        let seq_policy = FleetPolicy {
+            shards: Some(1),
+            ..full.policy
+        };
+        let sharded_policy = FleetPolicy {
+            shards: None,
+            ..full.policy
+        };
+        let shards_used = sharded_policy.shard_count(tenants);
+        let trials = if tenants >= 16_000 { 1 } else { 2 };
+        let loop_epochs = (SCALING_EPOCHS - 1) as f64;
+        // Subtract the one-epoch run (identical init fan-out, single tick)
+        // so the quotient is the epoch loop alone, not the init solves.
+        let seq_loop = (time_run(&solver, &full.tenants, seq_policy, trials)
+            - time_run(&solver, &one.tenants, seq_policy, trials))
+        .max(1e-9);
+        let sharded_loop = (time_run(&solver, &full.tenants, sharded_policy, trials)
+            - time_run(&solver, &one.tenants, sharded_policy, trials))
+        .max(1e-9);
+        let seq_teps = tenants as f64 * loop_epochs / seq_loop;
+        let sharded_teps = tenants as f64 * loop_epochs / sharded_loop;
+        let speedup = sharded_teps / seq_teps;
+        println!(
+            "fleet_scaling sweep: {tenants} tenants, {shards_used} shard(s) — \
+             sequential {seq_teps:.0} tenant-epochs/s, sharded {sharded_teps:.0} \
+             tenant-epochs/s ({speedup:.2}x)",
+        );
+        if tenants == 4000 && cores >= MIN_CORES_FOR_FLOOR {
+            assert!(
+                speedup >= SPEEDUP_FLOOR,
+                "scaling floor: sharded must reach {SPEEDUP_FLOOR}x sequential \
+                 tenant-epochs/sec at 4k tenants on >= {MIN_CORES_FOR_FLOOR} cores \
+                 (got {speedup:.2}x on {cores} cores)"
+            );
+        }
+        lanes.push((tenants, shards_used, seq_teps, sharded_teps, speedup));
+    }
+
+    // Determinism floor, on the smallest lane (cheap, and the property is
+    // size-independent): the report must be bit-identical modulo the
+    // timing family at every shard count.
+    let det_tenants = sweep_sizes()[0];
+    let det = scaling_fleet(det_tenants, SCALING_SEED);
+    let reference = run_scaling(
+        &solver,
+        &det.tenants,
+        FleetPolicy {
+            shards: Some(1),
+            ..det.policy
+        },
+    );
+    for &shards in &DETERMINISM_SHARDS[1..] {
+        let report = run_scaling(
+            &solver,
+            &det.tenants,
+            FleetPolicy {
+                shards: Some(shards),
+                ..det.policy
+            },
+        );
+        assert!(
+            reference.matches_modulo_timing(&report),
+            "determinism floor: the {shards}-shard report must be bit-identical \
+             (modulo timing) to the sequential run at {det_tenants} tenants"
+        );
+    }
+    println!(
+        "fleet_scaling determinism: reports bit-identical across shard counts \
+         {DETERMINISM_SHARDS:?} at {det_tenants} tenants"
+    );
+
+    let lanes_json: Vec<String> = lanes
+        .iter()
+        .map(|&(tenants, shards, seq, sharded, speedup)| {
+            format!(
+                "    {{\"tenants\": {tenants}, \"shards\": {shards}, \
+                 \"seq_tenant_epochs_per_sec\": {seq:.0}, \
+                 \"sharded_tenant_epochs_per_sec\": {sharded:.0}, \
+                 \"speedup\": {speedup:.3}}}"
+            )
+        })
+        .collect();
+    let speedup_enforced = !smoke() && cores >= MIN_CORES_FOR_FLOOR;
+    let json = format!(
+        "{{\n  \"scenario\": \"scaling\",\n  \"epochs\": {},\n  \"cores\": {cores},\n  \
+         \"smoke\": {},\n  \"lanes\": [\n{}\n  ],\n  \
+         \"determinism\": {{\"tenants\": {det_tenants}, \"shard_counts\": [1, 2, 4, 8], \
+         \"bit_identical\": true}},\n  \
+         \"floors\": {{\"speedup_at_4k_min\": {SPEEDUP_FLOOR}, \
+         \"speedup_enforced\": {speedup_enforced}, \"determinism_enforced\": true}}\n}}\n",
+        SCALING_EPOCHS,
+        smoke(),
+        lanes_json.join(",\n"),
+    );
+    std::fs::write("BENCH_fleet_scaling.json", &json)
+        .expect("BENCH_fleet_scaling.json is writable");
+    println!("wrote BENCH_fleet_scaling.json");
 
     // ------------------------------------------------------------------
     // The acceptance scenario, summarised into BENCH_fleet.json.

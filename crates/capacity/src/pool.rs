@@ -105,6 +105,16 @@ impl std::error::Error for LedgerError {}
 /// remainder ties break toward the **lower tenant index**. The rule is a pure
 /// function of `(demands, quota)` — no clock, no thread order — so capped
 /// runs are exactly reproducible.
+///
+/// **Sharded readers, sequential writers.** Every read path —
+/// [`holdings`](CapacityPool::holdings), [`residual`](CapacityPool::residual),
+/// [`caps_for`](CapacityPool::caps_for), utilization — takes `&self`, and the
+/// pool holds no interior mutability, so it is `Sync`: the fleet controller's
+/// shard workers query caps concurrently through a shared reference. Every
+/// mutation (`arbitrate_epoch`, `request`, `release_all`, `restore_ledger`)
+/// takes `&mut self` and therefore can only happen at the controller's
+/// per-epoch barrier — the borrow checker enforces the "one arbitration site
+/// per epoch" determinism contract rather than a lock.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CapacityPool {
     quotas: Vec<u64>,
@@ -541,5 +551,14 @@ mod tests {
         assert_eq!(pool.in_use(0), 2);
         assert_eq!(pool.residual(0), 8);
         assert_eq!(pool.utilization(), vec![0.9]);
+    }
+
+    #[test]
+    fn pool_is_sync_for_sharded_readers() {
+        // The controller's shard workers read `caps_for`/`holdings` through
+        // a shared reference; losing `Sync` (e.g. by adding a `Cell`) would
+        // silently force arbitration back onto one thread.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<CapacityPool>();
     }
 }

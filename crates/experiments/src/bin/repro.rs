@@ -18,6 +18,7 @@
 //! repro fleet-deadline [--tenants N]   # anytime lane: per-epoch node-budget sweep vs unlimited
 //! repro fleet-recovery [--tenants N]   # crash-safety lane: checkpoint/WAL overhead + kill-and-resume
 //! repro fleet-obs [--tenants N]        # observability lane: telemetry-on chaotic run, stage/effort/events
+//! repro fleet-scale [--tenants N]      # scaling lane: sharded-vs-sequential tenant-epochs/sec sweep
 //! repro lp-large                       # dense-LU vs sparse-LU scaling table (LP substrate)
 //! repro ablation-delta                 # δ-step sweep (extension, DESIGN.md)
 //! repro ablation-escape                # escape-mechanism comparison (extension)
@@ -41,12 +42,13 @@ use rental_experiments::{
     fleet_deadline_csv, fleet_deadline_json, fleet_deadline_markdown, fleet_failure_csv,
     fleet_failure_json, fleet_failure_markdown, fleet_json, fleet_markdown, fleet_obs_json,
     fleet_obs_markdown, fleet_recovery_csv, fleet_recovery_json, fleet_recovery_markdown,
-    lp_large_markdown, lp_large_rows_json, mutation_sweep, presets, run_experiment,
-    run_fleet_deadline_experiment, run_fleet_experiment, run_fleet_failure_experiment,
-    run_fleet_obs_experiment, run_fleet_recovery_experiment, run_lp_large, run_table3,
-    summary_json, table3_csv, table3_json, table3_markdown, table3_targets, write_artifact,
-    AblationResults, AblationSpec, ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec,
-    FleetFailureSpec, FleetObsSpec, FleetRecoverySpec, LpLargeSpec, Metric,
+    fleet_scale_csv, fleet_scale_json, fleet_scale_markdown, lp_large_markdown, lp_large_rows_json,
+    mutation_sweep, presets, run_experiment, run_fleet_deadline_experiment, run_fleet_experiment,
+    run_fleet_failure_experiment, run_fleet_obs_experiment, run_fleet_recovery_experiment,
+    run_fleet_scale_experiment, run_lp_large, run_table3, summary_json, table3_csv, table3_json,
+    table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
+    ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec, FleetFailureSpec, FleetObsSpec,
+    FleetRecoverySpec, FleetScaleSpec, LpLargeSpec, Metric,
 };
 use rental_solvers::SuiteConfig;
 
@@ -130,7 +132,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn print_usage() {
     println!(
         "usage: repro <table3|fig3|fig4|fig5|fig6|fig7|fig8|summary|fleet|fleet-failure|\
-         fleet-deadline|fleet-recovery|fleet-obs|lp-large|all|\
+         fleet-deadline|fleet-recovery|fleet-obs|fleet-scale|lp-large|all|\
          ablation-delta|ablation-escape|ablation-mutation> \
          [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--json] [--output-dir DIR] \
          [--threads N] [--tenants N]"
@@ -421,6 +423,47 @@ fn emit_fleet_obs(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn emit_fleet_scale(options: &Options) -> Result<(), String> {
+    // `--tenants` (when raised past the 16-tenant default) sets the largest
+    // fleet of the sweep; the default sweep is 1k/4k.
+    let largest = if options.tenants > 16 {
+        options.tenants
+    } else {
+        4_000
+    };
+    let spec = FleetScaleSpec {
+        sizes: vec![(largest / 4).max(1), largest],
+        seed: options.seed,
+        ..FleetScaleSpec::default()
+    };
+    eprintln!(
+        "[repro] running the sharded-vs-sequential scaling sweep over {:?} tenants (seed {}) ...",
+        spec.sizes, spec.seed
+    );
+    let table = run_fleet_scale_experiment(&spec).map_err(|err| err.to_string())?;
+    let csv = fleet_scale_csv(&table);
+    let markdown = fleet_scale_markdown(&table);
+    let json = fleet_scale_json(&table);
+    if options.json {
+        print!("{json}");
+    } else if options.csv {
+        print!("{csv}");
+    } else {
+        println!(
+            "## Fleet scaling — sharded epoch pipelines vs the sequential loop ({})",
+            table.scenario
+        );
+        print!("{markdown}");
+    }
+    if !table.all_deterministic() {
+        return Err("a sharded run diverged from the sequential report".to_string());
+    }
+    persist(options, "fleet_scale.csv", &csv);
+    persist(options, "fleet_scale.md", &markdown);
+    persist(options, "fleet_scale.jsonl", &json);
+    Ok(())
+}
+
 fn ablation_spec(options: &Options) -> AblationSpec {
     AblationSpec {
         num_configs: options.configs,
@@ -545,6 +588,12 @@ fn main() -> ExitCode {
         }
         "fleet-obs" => {
             if let Err(message) = emit_fleet_obs(&options) {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "fleet-scale" => {
+            if let Err(message) = emit_fleet_scale(&options) {
                 eprintln!("error: {message}");
                 return ExitCode::FAILURE;
             }

@@ -1,0 +1,288 @@
+//! The fleet-scaling experiment: sharded-vs-sequential epoch-loop
+//! throughput at 10³–10⁴ tenants.
+//!
+//! This lane drives the `rental-fleet` controller over the synthetic
+//! plateau-shift **scaling fleet** (every tenant probes every epoch, nobody
+//! re-solves — the epoch loop itself is the workload) at a sweep of fleet
+//! sizes, once with the sequential loop (`shards: Some(1)`) and once with
+//! the sharded pipelines (`FleetPolicy::shards`). The headline metric is
+//! **tenant-epochs/sec**: tenants × epoch-loop epochs over the wall-clock
+//! of the epoch loop alone — the initial solve fan-out is subtracted by
+//! timing a one-epoch twin of the same scenario, whose init work is
+//! identical. Every row also re-checks the determinism contract: the
+//! sharded report must be bit-identical (modulo the wall-clock timing
+//! family) to the sequential one.
+
+use std::time::Instant;
+
+use rental_fleet::{scaling_fleet, scaling_fleet_one_epoch, FleetController, FleetPolicy};
+use rental_solvers::exact::IlpSolver;
+use rental_solvers::SolveResult;
+
+pub use rental_fleet::SCALING_EPOCHS;
+
+/// Parameters of the fleet-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct FleetScaleSpec {
+    /// Fleet sizes to sweep (tenants per row).
+    pub sizes: Vec<usize>,
+    /// Scenario seed (instances, demand plateaus).
+    pub seed: u64,
+    /// Shard count of the sharded run; `None` auto-sizes from the fleet
+    /// and worker count (the production default).
+    pub shards: Option<usize>,
+    /// Timed trials per measurement; the minimum is kept.
+    pub trials: usize,
+}
+
+impl Default for FleetScaleSpec {
+    fn default() -> Self {
+        FleetScaleSpec {
+            sizes: vec![1_000, 4_000],
+            seed: 0x5CA1E5,
+            shards: None,
+            trials: 2,
+        }
+    }
+}
+
+/// One fleet-size row of the sweep.
+#[derive(Debug, Clone)]
+pub struct FleetScaleRow {
+    /// Tenants in this row.
+    pub tenants: usize,
+    /// Shard count the sharded run actually used.
+    pub shards_used: usize,
+    /// Epoch-loop seconds of the sequential run (init solves subtracted).
+    pub sequential_secs: f64,
+    /// Epoch-loop seconds of the sharded run (init solves subtracted).
+    pub sharded_secs: f64,
+    /// Whether the sharded report was bit-identical (modulo timing) to the
+    /// sequential one.
+    pub deterministic: bool,
+}
+
+impl FleetScaleRow {
+    /// Epochs attributed to the epoch loop (the first epoch belongs to the
+    /// one-epoch init twin and is subtracted out).
+    pub fn loop_epochs(&self) -> usize {
+        SCALING_EPOCHS - 1
+    }
+
+    /// Sequential tenant-epochs/sec.
+    pub fn sequential_teps(&self) -> f64 {
+        (self.tenants * self.loop_epochs()) as f64 / self.sequential_secs.max(1e-9)
+    }
+
+    /// Sharded tenant-epochs/sec — the headline metric.
+    pub fn sharded_teps(&self) -> f64 {
+        (self.tenants * self.loop_epochs()) as f64 / self.sharded_secs.max(1e-9)
+    }
+
+    /// Sharded-over-sequential speedup.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_secs / self.sharded_secs.max(1e-9)
+    }
+}
+
+/// The outcome of the sweep.
+#[derive(Debug, Clone)]
+pub struct FleetScaleTable {
+    /// Scenario name (of the largest row).
+    pub scenario: String,
+    /// Worker threads rayon reports available.
+    pub cores: usize,
+    /// One row per fleet size, in spec order.
+    pub rows: Vec<FleetScaleRow>,
+}
+
+impl FleetScaleTable {
+    /// Whether every row reproduced the sequential report exactly.
+    pub fn all_deterministic(&self) -> bool {
+        self.rows.iter().all(|row| row.deterministic)
+    }
+}
+
+/// Epoch-loop seconds of one `(scenario, policy)` pair: minimum full-run
+/// wall-time minus minimum one-epoch wall-time, over `trials` trials each.
+fn time_epoch_loop(
+    tenants: usize,
+    seed: u64,
+    policy_of: impl Fn(FleetPolicy) -> FleetPolicy,
+    trials: usize,
+) -> SolveResult<(f64, rental_fleet::FleetReport)> {
+    let solver = IlpSolver::new();
+    let mut best_full = f64::INFINITY;
+    let mut best_one = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..trials.max(1) {
+        let full = scaling_fleet(tenants, seed);
+        let start = Instant::now();
+        let full_report =
+            FleetController::new(policy_of(full.policy)).run(&solver, &full.tenants)?;
+        best_full = best_full.min(start.elapsed().as_secs_f64());
+        report = Some(full_report);
+
+        let one = scaling_fleet_one_epoch(tenants, seed);
+        let start = Instant::now();
+        FleetController::new(policy_of(one.policy)).run(&solver, &one.tenants)?;
+        best_one = best_one.min(start.elapsed().as_secs_f64());
+    }
+    Ok((
+        (best_full - best_one).max(1e-9),
+        report.expect("trials >= 1"),
+    ))
+}
+
+/// Runs the sequential-vs-sharded scaling sweep.
+///
+/// # Errors
+///
+/// Propagates solver failures from the controller.
+pub fn run_fleet_scale_experiment(spec: &FleetScaleSpec) -> SolveResult<FleetScaleTable> {
+    let mut rows = Vec::with_capacity(spec.sizes.len());
+    let mut scenario_name = String::new();
+    for &tenants in &spec.sizes {
+        scenario_name = scaling_fleet(tenants, spec.seed).name;
+        let (sequential_secs, sequential_report) = time_epoch_loop(
+            tenants,
+            spec.seed,
+            |p| FleetPolicy {
+                shards: Some(1),
+                ..p
+            },
+            spec.trials,
+        )?;
+        let (sharded_secs, sharded_report) = time_epoch_loop(
+            tenants,
+            spec.seed,
+            |p| FleetPolicy {
+                shards: spec.shards,
+                ..p
+            },
+            spec.trials,
+        )?;
+        let shards_used = FleetPolicy {
+            shards: spec.shards,
+            ..scaling_fleet(tenants, spec.seed).policy
+        }
+        .shard_count(tenants);
+        rows.push(FleetScaleRow {
+            tenants,
+            shards_used,
+            sequential_secs,
+            sharded_secs,
+            deterministic: sequential_report.matches_modulo_timing(&sharded_report),
+        });
+    }
+    Ok(FleetScaleTable {
+        scenario: scenario_name,
+        cores: rayon::current_num_threads(),
+        rows,
+    })
+}
+
+/// Renders the scaling sweep as Markdown.
+pub fn fleet_scale_markdown(table: &FleetScaleTable) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| tenants | shards | sequential s | sharded s | seq teps | sharded teps | speedup | \
+         deterministic |\n",
+    );
+    out.push_str("|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    for row in &table.rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {:.0} | {:.0} | {:.2}x | {} |\n",
+            row.tenants,
+            row.shards_used,
+            row.sequential_secs,
+            row.sharded_secs,
+            row.sequential_teps(),
+            row.sharded_teps(),
+            row.speedup(),
+            if row.deterministic { "yes" } else { "NO" },
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} epoch-loop epochs per row on {} worker threads; teps = tenant-epochs/sec with the \
+         initial solve fan-out subtracted\n",
+        SCALING_EPOCHS - 1,
+        table.cores,
+    ));
+    out
+}
+
+/// Renders the scaling sweep as CSV.
+pub fn fleet_scale_csv(table: &FleetScaleTable) -> String {
+    let mut out = String::from(
+        "tenants,shards,sequential_secs,sharded_secs,sequential_teps,sharded_teps,speedup,\
+         deterministic\n",
+    );
+    for row in &table.rows {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.1},{:.1},{:.3},{}\n",
+            row.tenants,
+            row.shards_used,
+            row.sequential_secs,
+            row.sharded_secs,
+            row.sequential_teps(),
+            row.sharded_teps(),
+            row.speedup(),
+            row.deterministic,
+        ));
+    }
+    out
+}
+
+/// Renders the scaling sweep as JSON lines: one object per fleet size.
+pub fn fleet_scale_json(table: &FleetScaleTable) -> String {
+    let mut out = String::new();
+    for row in &table.rows {
+        out.push_str(
+            &rental_obs::json::JsonRow::new()
+                .str("record", "fleet_scale")
+                .str("scenario", &table.scenario)
+                .usize("cores", table.cores)
+                .usize("tenants", row.tenants)
+                .usize("shards", row.shards_used)
+                .usize("loop_epochs", row.loop_epochs())
+                .f64("sequential_secs", row.sequential_secs)
+                .f64("sharded_secs", row.sharded_secs)
+                .f64("sequential_teps", row.sequential_teps())
+                .f64("sharded_teps", row.sharded_teps())
+                .f64("speedup", row.speedup())
+                .bool("deterministic", row.deterministic)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_sweep_measures_and_stays_deterministic() {
+        let spec = FleetScaleSpec {
+            sizes: vec![96],
+            seed: 7,
+            shards: Some(4),
+            trials: 1,
+        };
+        let table = run_fleet_scale_experiment(&spec).unwrap();
+        assert_eq!(table.rows.len(), 1);
+        let row = &table.rows[0];
+        assert_eq!(row.shards_used, 4);
+        assert!(row.sequential_teps() > 0.0);
+        assert!(row.sharded_teps() > 0.0);
+        assert!(table.all_deterministic());
+        let markdown = fleet_scale_markdown(&table);
+        assert!(markdown.contains("| 96 |"));
+        let csv = fleet_scale_csv(&table);
+        assert_eq!(csv.lines().count(), 2);
+        let json = fleet_scale_json(&table);
+        assert!(json.contains("\"record\":\"fleet_scale\""));
+    }
+}

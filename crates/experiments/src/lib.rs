@@ -30,6 +30,10 @@
 //!   (snapshot-cadence sweep), measuring persistence overhead and on-disk
 //!   footprint, then killed mid-run and restarted from disk with the resumed
 //!   report held bit-for-bit against the uninterrupted run;
+//! * [`fleet_scale`] — the scaling lane: the plateau-shift scaling fleet at
+//!   10³–10⁴ tenants, sequential loop vs sharded epoch pipelines
+//!   (`FleetPolicy::shards`), reporting tenant-epochs/sec, speedup and the
+//!   bit-identity of the sharded report;
 //! * [`fleet_obs`] — the observability lane: the chaos-wrapped
 //!   failure-coupled fleet served with the `rental-obs` recorder installed
 //!   at every layer, reporting the per-stage epoch breakdown, the top-k
@@ -54,6 +58,7 @@ pub mod fleet_deadline;
 pub mod fleet_failure;
 pub mod fleet_obs;
 pub mod fleet_recovery;
+pub mod fleet_scale;
 pub mod lp_large;
 pub mod report;
 pub mod runner;
@@ -81,6 +86,10 @@ pub use fleet_obs::{
 pub use fleet_recovery::{
     fleet_recovery_csv, fleet_recovery_json, fleet_recovery_markdown,
     run_fleet_recovery_experiment, FleetRecoveryRow, FleetRecoverySpec, FleetRecoveryTable,
+};
+pub use fleet_scale::{
+    fleet_scale_csv, fleet_scale_json, fleet_scale_markdown, run_fleet_scale_experiment,
+    FleetScaleRow, FleetScaleSpec, FleetScaleTable,
 };
 pub use lp_large::{
     lp_large_json, lp_large_markdown, lp_large_rows_json, run_lp_large, LpLargeRow, LpLargeSpec,

@@ -6,10 +6,24 @@
 //! shared worker pool, and (3) adopts a freshly solved plan only when its
 //! projected remaining-horizon savings beat the switching cost. See the crate
 //! docs for how this maps onto §I's streaming model.
+//!
+//! # Sharded epoch pipelines
+//!
+//! The per-tenant halves of each epoch — trace advancement, shift detection
+//! and the memoized what-if probes — are embarrassingly parallel, so large
+//! fleets run them as **sharded pipelines** on the shared worker pool (see
+//! [`FleetPolicy::shards`]): tenants partition into contiguous index-range
+//! shards, each shard advances its tenants independently, and all shards
+//! meet at a single deterministic **merge–arbitrate–solve barrier** per
+//! epoch where pool arbitration, the batched solver fan-outs and every
+//! flight-recorder event live. Shard outputs concatenate in shard order —
+//! which *is* tenant-index order — so the controller's decisions, its
+//! [`FleetReport`] and its event sequence are bit-identical (modulo the
+//! [`StageTimes`] family) at every shard count, including one.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use rental_capacity::{
     coverage_bound, degrade_to_feasible, CapacityConfig, CapacityPool, CappedOutcome, UNLIMITED_CAP,
@@ -82,6 +96,15 @@ pub struct FleetPolicy {
     /// retried after 1, 2, 4, … epochs, clamped to this cap — deferred,
     /// never dropped.
     pub backoff_cap: usize,
+    /// Number of per-tenant pipeline shards the epoch loop fans out over.
+    /// `Some(1)` **is** the sequential controller (the same code path, not
+    /// an emulation); `None` (the default) auto-sizes — one shard per
+    /// solver worker once the fleet is large enough to amortise the
+    /// fan-out, sequential below that. Shards merge at one deterministic
+    /// barrier per epoch in tenant-index order, so the report is
+    /// bit-identical (modulo the [`StageTimes`] timing family) at every
+    /// shard count.
+    pub shards: Option<usize>,
 }
 
 impl Default for FleetPolicy {
@@ -98,9 +121,14 @@ impl Default for FleetPolicy {
             threads: None,
             epoch_budget: None,
             backoff_cap: 8,
+            shards: None,
         }
     }
 }
+
+/// Fleets below this many tenants per shard stay sequential under the auto
+/// shard policy: the per-epoch fan-out costs more than it parallelises.
+const MIN_TENANTS_PER_SHARD: usize = 64;
 
 /// The next capped-exponential backoff step (in epochs): 1, 2, 4, …,
 /// clamped to `cap`.
@@ -173,6 +201,132 @@ impl FleetPolicy {
             .sum();
         self.switching_cost + self.per_machine_switching_cost * delta as f64
     }
+
+    /// Resolves the shard count of the per-tenant epoch pipelines for a
+    /// fleet of `tenants`: an explicit [`FleetPolicy::shards`] clamped to
+    /// the fleet size, or (auto) one shard per solver worker once every
+    /// shard has at least [`MIN_TENANTS_PER_SHARD`] tenants to advance.
+    pub fn shard_count(&self, tenants: usize) -> usize {
+        let cap = tenants.max(1);
+        match self.shards {
+            Some(n) => n.clamp(1, cap),
+            None => {
+                let workers = self
+                    .threads
+                    .unwrap_or_else(rayon::current_num_threads)
+                    .max(1);
+                (tenants / MIN_TENANTS_PER_SHARD).clamp(1, workers).min(cap)
+            }
+        }
+    }
+}
+
+/// Whether a plan's per-type machine counts fit inside per-type caps
+/// ([`UNLIMITED_CAP`] entries impose nothing) — the one fit test shared by
+/// the failure path's futility check, the pool-aware shift re-solve filter
+/// and the adoption guard, so they cannot drift apart.
+fn fits_caps(counts: &[u64], caps: &[u64]) -> bool {
+    counts
+        .iter()
+        .zip(caps)
+        .all(|(&count, &cap)| cap == UNLIMITED_CAP || count <= cap)
+}
+
+/// Runs `f` once per tenant, fanned out over `shards` contiguous shards of
+/// the state slice on the shared worker pool, returning the per-tenant
+/// results **in tenant-index order**.
+///
+/// This is the deterministic backbone of the sharded epoch loop. Shards are
+/// contiguous index ranges, so concatenating their outputs in shard order
+/// *is* tenant-index order, and every cross-tenant effect — pool
+/// arbitration, solver fan-outs, flight-recorder events — stays with the
+/// caller at the barrier after this returns. `f` receives a shard-local
+/// [`StageTimes`] accumulator; the accumulators merge into `epoch_times` at
+/// the barrier, and when `shard_span` is given each shard's accumulated
+/// seconds are emitted as one span, plus the merge-barrier wait (fan-out
+/// wall time past the busiest shard) under `fleet.span.merge_wait`.
+/// Counters and spans may be emitted from inside `f` (the sink's registry
+/// merges its thread-local shards on snapshot); flight-recorder events must
+/// not be.
+///
+/// One shard short-circuits to a plain sequential loop over the same
+/// closure, so `FleetPolicy { shards: Some(1) }` runs today's sequential
+/// controller rather than an emulation of it.
+fn for_each_tenant_sharded<'a, R, F>(
+    states: &mut [TenantState<'a>],
+    shards: usize,
+    sink: &dyn TelemetrySink,
+    epoch_times: &mut StageTimes,
+    shard_span: Option<&'static str>,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut TenantState<'a>, &mut StageTimes) -> R + Sync,
+{
+    let len = states.len();
+    let shards = shards.clamp(1, len.max(1));
+    if shards <= 1 {
+        let mut times = StageTimes::zero();
+        let out = states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, state)| f(i, state, &mut times))
+            .collect();
+        if let Some(name) = shard_span {
+            sink.span(name, times.total());
+        }
+        epoch_times.merge(&times);
+        return out;
+    }
+    let chunk = len.div_ceil(shards);
+    // Hand each worker exclusive `&mut` access to its own contiguous shard:
+    // the slice splits up front, and the per-shard mutex lets the `Fn + Sync`
+    // closure below reclaim mutable access from a shared reference. Each
+    // mutex is locked exactly once, by the worker that drew its index.
+    let shard_slices: Vec<Mutex<(usize, &mut [TenantState<'a>])>> = states
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(s, slice)| Mutex::new((s * chunk, slice)))
+        .collect();
+    let fan_out = Instant::now();
+    let shard_results = rayon::parallel_map_indexed(shard_slices.len(), Some(shards), |s| {
+        let mut guard = shard_slices[s].lock().expect("shard slice poisoned");
+        let (offset, slice) = &mut *guard;
+        let busy = Instant::now();
+        let mut times = StageTimes::zero();
+        let out: Vec<R> = slice
+            .iter_mut()
+            .enumerate()
+            .map(|(k, state)| f(*offset + k, state, &mut times))
+            .collect();
+        (out, times, busy.elapsed().as_secs_f64())
+    });
+    let wall = fan_out.elapsed().as_secs_f64();
+    let mut merged = Vec::with_capacity(len);
+    let mut busiest = 0.0f64;
+    for (out, times, busy) in shard_results {
+        if let Some(name) = shard_span {
+            sink.span(name, times.total());
+        }
+        epoch_times.merge(&times);
+        busiest = busiest.max(busy);
+        merged.extend(out);
+    }
+    sink.span("fleet.span.merge_wait", (wall - busiest).max(0.0));
+    merged
+}
+
+/// One tenant due for a keep-vs-switch decision this epoch, as produced by
+/// the sharded probe pass. `keep: None` marks a forced re-solve (the
+/// current mix cannot carry the demand); `caps` carries the tenant's pool
+/// caps when a finite quota constrains what it may adopt.
+struct DueTenant {
+    tenant: usize,
+    rho: Throughput,
+    keep: Option<f64>,
+    remaining_hours: f64,
+    caps: Option<Vec<u64>>,
 }
 
 /// Quantizes a demand rate into a provisioning target: head-room applied,
@@ -854,6 +1008,8 @@ impl FleetController {
         let scaling = &env.scaling;
         let sink = self.telemetry.as_ref();
         sink.counter("fleet.epochs", 1);
+        let shards = policy.shard_count(states.len());
+        let mut coupled = coupled;
         // (0) Rent this epoch's fleets under the current mixes. A tenant
         // whose own trace has ended stops being billed (and counted) —
         // its per-tenant baselines only cover its own trace, too.
@@ -862,14 +1018,16 @@ impl FleetController {
         // (desired fleets plus outage replacements, granted against the
         // quotas) and detect throughput-violated epochs; `failure_due`
         // collects the tenants whose violation warrants a
-        // capacity-constrained re-solve.
+        // capacity-constrained re-solve. The per-tenant halves run as
+        // sharded passes around the arbitration barrier — the pool itself
+        // mutates only at the barrier, and events fire only there.
         let mut failure_due: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
         let arbitrate_span = SpanTimer::start(Stage::Arbitrate);
-        match coupled {
+        match coupled.as_deref_mut() {
             None => {
-                for state in states.iter_mut() {
+                for_each_tenant_sharded(states, shards, sink, epoch_times, None, |_, state, _| {
                     let Some(&rate) = state.peaks.get(epoch) else {
-                        continue;
+                        return;
                     };
                     let fleet = state
                         .mix
@@ -877,7 +1035,7 @@ impl FleetController {
                     let cost = state.scaler.cost_rate(fleet) * policy.epoch;
                     state.rental_cost += cost;
                     state.epoch_costs.push(cost);
-                }
+                });
             }
             Some(cs) => {
                 let window_start = epoch as f64 * policy.epoch;
@@ -886,25 +1044,31 @@ impl FleetController {
                 // replacement per machine known down at the window start
                 // (the "repair" half of fleet-with-repair). Ended
                 // tenants release their holdings.
-                let mut desired: Vec<Vec<u64>> = Vec::with_capacity(states.len());
-                for (i, state) in states.iter_mut().enumerate() {
-                    let num_types = state.spec.instance.num_types();
-                    let Some(&rate) = state.peaks.get(epoch) else {
-                        desired.push(vec![0; num_types]);
-                        continue;
-                    };
-                    let mut fleet = state
-                        .mix
-                        .step(&state.scaler, rate, policy.scale_down_patience)
-                        .to_vec();
-                    if failures_enabled {
-                        for (q, count) in fleet.iter_mut().enumerate() {
-                            *count +=
-                                cs.traces[i].machines_down_among(TypeId(q), *count, window_start);
+                let traces = &cs.traces;
+                let desired: Vec<Vec<u64>> = for_each_tenant_sharded(
+                    states,
+                    shards,
+                    sink,
+                    epoch_times,
+                    None,
+                    |i, state, _| {
+                        let num_types = state.spec.instance.num_types();
+                        let Some(&rate) = state.peaks.get(epoch) else {
+                            return vec![0; num_types];
+                        };
+                        let mut fleet = state
+                            .mix
+                            .step(&state.scaler, rate, policy.scale_down_patience)
+                            .to_vec();
+                        if failures_enabled {
+                            for (q, count) in fleet.iter_mut().enumerate() {
+                                *count +=
+                                    traces[i].machines_down_among(TypeId(q), *count, window_start);
+                            }
                         }
-                    }
-                    desired.push(fleet);
-                }
+                        fleet
+                    },
+                );
                 // Under chaos, a delayed decision re-arbitrates on the
                 // previous epoch's desired fleets — tenants then serve
                 // the epoch on stale grants.
@@ -935,83 +1099,120 @@ impl FleetController {
                         .fold(0.0, |a: f64, &u| a.max(u));
                     sink.gauge("fleet.pool.peak_utilization", peak);
                 }
-                for (i, state) in states.iter_mut().enumerate() {
-                    let Some(&rate) = state.peaks.get(epoch) else {
+                // A violated epoch observed by the sharded billing pass:
+                // the rate for the barrier's SloViolation event, plus the
+                // `(ρ', caps)` of a warranted capacity-constrained
+                // re-solve.
+                struct SloEpoch {
+                    rate: f64,
+                    resolve: Option<(Throughput, Vec<u64>)>,
+                }
+                let pool = &cs.pool;
+                let violations: Vec<Option<SloEpoch>> = for_each_tenant_sharded(
+                    states,
+                    shards,
+                    sink,
+                    epoch_times,
+                    None,
+                    |i, state, _| {
+                        let &rate = state.peaks.get(epoch)?;
+                        let granted = &grants[i];
+                        let cost = state.scaler.cost_rate(granted) * policy.epoch;
+                        state.rental_cost += cost;
+                        state.epoch_costs.push(cost);
+                        // Surviving capacity: the granted machines minus the
+                        // worst simultaneous outage among them this epoch.
+                        let available: Vec<u64> = granted
+                            .iter()
+                            .enumerate()
+                            .map(|(q, &count)| {
+                                count.saturating_sub(traces[i].peak_down_among(
+                                    TypeId(q),
+                                    count,
+                                    window_start,
+                                    window_end,
+                                ))
+                            })
+                            .collect();
+                        if !state.scaler.violates(rate, &available) {
+                            // A healthy epoch closes the outage episode; the
+                            // next violation is a new situation to solve.
+                            state.last_failure_solve = None;
+                            return None;
+                        }
+                        state.slo_violations += 1;
+                        sink.counter("fleet.slo_violations", 1);
+                        if !(policy.resolve && failure_resolve) {
+                            return Some(SloEpoch {
+                                rate,
+                                resolve: None,
+                            });
+                        }
+                        let rho = quantize_target(rate, serve_headroom, state.granularity);
+                        if rho == 0 {
+                            return Some(SloEpoch {
+                                rate,
+                                resolve: None,
+                            });
+                        }
+                        // A deferred tenant keeps its current plan until its
+                        // backoff window ends; the violation is still
+                        // counted above.
+                        if epoch < state.deferred_until {
+                            state.deferred_resolves += 1;
+                            return Some(SloEpoch {
+                                rate,
+                                resolve: None,
+                            });
+                        }
+                        // Effective caps for the re-solve: holdings plus
+                        // residual quota, minus machines still down at the
+                        // epoch's end (lost capacity for the outage's
+                        // duration).
+                        let caps: Vec<u64> = pool
+                            .caps_for(i)
+                            .iter()
+                            .enumerate()
+                            .map(|(q, &cap)| {
+                                if cap == UNLIMITED_CAP {
+                                    UNLIMITED_CAP
+                                } else {
+                                    cap.saturating_sub(traces[i].machines_down_among(
+                                        TypeId(q),
+                                        granted[q],
+                                        window_end,
+                                    ))
+                                }
+                            })
+                            .collect();
+                        // Re-solving an unchanged outage situation cannot
+                        // produce a new answer; only count the violation.
+                        let unchanged = matches!(
+                            &state.last_failure_solve,
+                            Some((r, c)) if *r == rho && *c == caps
+                        );
+                        Some(SloEpoch {
+                            rate,
+                            resolve: (!unchanged).then_some((rho, caps)),
+                        })
+                    },
+                );
+                // Barrier: flight-recorder events fire here, in
+                // tenant-index order, never from shard workers.
+                for (i, slo) in violations.into_iter().enumerate() {
+                    let Some(slo) = slo else {
                         continue;
                     };
-                    let granted = &grants[i];
-                    let cost = state.scaler.cost_rate(granted) * policy.epoch;
-                    state.rental_cost += cost;
-                    state.epoch_costs.push(cost);
-                    // Surviving capacity: the granted machines minus the
-                    // worst simultaneous outage among them this epoch.
-                    let available: Vec<u64> = granted
-                        .iter()
-                        .enumerate()
-                        .map(|(q, &count)| {
-                            count.saturating_sub(cs.traces[i].peak_down_among(
-                                TypeId(q),
-                                count,
-                                window_start,
-                                window_end,
-                            ))
-                        })
-                        .collect();
-                    if !state.scaler.violates(rate, &available) {
-                        // A healthy epoch closes the outage episode; the
-                        // next violation is a new situation to solve.
-                        state.last_failure_solve = None;
-                        continue;
-                    }
-                    state.slo_violations += 1;
-                    sink.counter("fleet.slo_violations", 1);
                     if sink.enabled() {
                         sink.event(
                             EventKind::SloViolation,
                             epoch,
                             Some(i),
-                            rate,
+                            slo.rate,
                             "surviving capacity below demand",
                         );
                     }
-                    if !(policy.resolve && failure_resolve) {
-                        continue;
-                    }
-                    let rho = quantize_target(rate, serve_headroom, state.granularity);
-                    if rho == 0 {
-                        continue;
-                    }
-                    // A deferred tenant keeps its current plan until its
-                    // backoff window ends; the violation is still
-                    // counted above.
-                    if epoch < state.deferred_until {
-                        state.deferred_resolves += 1;
-                        continue;
-                    }
-                    // Effective caps for the re-solve: holdings plus
-                    // residual quota, minus machines still down at the
-                    // epoch's end (lost capacity for the outage's
-                    // duration).
-                    let caps: Vec<u64> = cs
-                        .pool
-                        .caps_for(i)
-                        .iter()
-                        .enumerate()
-                        .map(|(q, &cap)| {
-                            if cap == UNLIMITED_CAP {
-                                UNLIMITED_CAP
-                            } else {
-                                cap.saturating_sub(cs.traces[i].machines_down_among(
-                                    TypeId(q),
-                                    granted[q],
-                                    window_end,
-                                ))
-                            }
-                        })
-                        .collect();
-                    // Re-solving an unchanged outage situation cannot
-                    // produce a new answer; only count the violation.
-                    if state.last_failure_solve.as_ref() != Some(&(rho, caps.clone())) {
+                    if let Some((rho, caps)) = slo.resolve {
                         failure_due.push((i, rho, caps));
                     }
                 }
@@ -1039,13 +1240,7 @@ impl FleetController {
                 // transient outage the replacement renting already
                 // handles; otherwise adopt it without re-solving.
                 let fitting_known: Option<Solution> = states[i].known.get(&rho).and_then(|kp| {
-                    kp.outcome
-                        .solution
-                        .allocation
-                        .machine_counts()
-                        .iter()
-                        .zip(&caps)
-                        .all(|(&count, &cap)| cap == UNLIMITED_CAP || count <= cap)
+                    fits_caps(kp.outcome.solution.allocation.machine_counts(), &caps)
                         .then(|| kp.outcome.solution.clone())
                 });
                 if let Some(solution) = fitting_known {
@@ -1235,6 +1430,15 @@ impl FleetController {
         if !policy.resolve {
             return Ok(());
         }
+        // Pool-aware shift re-solves: under a finite quota the ordinary
+        // keep-vs-switch path sees the same holdings-plus-residual caps the
+        // failure path uses, so it can never adopt a plan the pool must
+        // refuse at the next arbitration. An unlimited pool imposes
+        // nothing, keeping `run_with_capacity` with
+        // [`CapacityConfig::unconstrained`] bit-identical to `run`.
+        let pool_caps = coupled
+            .as_deref()
+            .and_then(|cs| (!cs.pool.is_unlimited()).then_some(&cs.pool));
         // Each tenant projects over *its own* remaining trace — savings
         // past a tenant's last billed epoch do not exist, so they must
         // not tip a switching decision.
@@ -1252,77 +1456,120 @@ impl FleetController {
             ) + entry.fresh.total(RentalHorizon::hours(remaining_hours))
         };
 
-        // (1) Shift detection + what-if probes. `keep: None` marks a
-        // forced re-solve (the current mix cannot carry the demand). Each
-        // due entry carries the tenant's own remaining horizon (hours).
-        let mut due: Vec<(usize, Throughput, Option<f64>, f64)> = Vec::new();
-        for (i, state) in states.iter_mut().enumerate() {
-            let rate = state.peaks.get(epoch).copied().unwrap_or(0.0);
-            let rho = quantize_target(rate, serve_headroom, state.granularity);
-            if rho == 0 {
-                continue;
-            }
-            let remaining_hours = tenant_remaining(state);
-            if remaining_hours <= 0.0 {
-                continue;
-            }
-            // A deferred tenant sits out its backoff window: it keeps
-            // its current plan, and the suppressed re-solve is counted.
-            if epoch < state.deferred_until {
-                state.deferred_resolves += 1;
-                continue;
-            }
-            if !state.mix_carries_demand() {
-                // A zero mix cannot carry any demand: re-solving is not
-                // optional, no probe needed.
-                due.push((i, rho, None, remaining_hours));
-                continue;
-            }
-            let shift = (rho as f64 - state.solved_target as f64).abs()
-                > policy.shift_threshold * state.solved_target.max(1) as f64;
-            if !shift {
-                continue;
-            }
-            let probe_span = SpanTimer::start(Stage::Probe);
-            state.probes += 1;
-            if !state.probe_cache.contains_key(&rho) {
-                let entry = ProbeEntry::new(
-                    &state.spec.instance,
-                    &state.scaler,
-                    state.solved_target,
-                    rho,
-                    self.billing.as_ref(),
+        // (1) Shift detection + what-if probes — the sharded half of the
+        // epoch. Each shard advances its own tenants and builds their due
+        // entries (`keep: None` marks a forced re-solve: the current mix
+        // cannot carry the demand; each entry carries the tenant's own
+        // remaining horizon in hours); the entries concatenate in
+        // tenant-index order at the barrier.
+        let billing = self.billing.as_ref();
+        let due: Vec<DueTenant> = for_each_tenant_sharded(
+            states,
+            shards,
+            sink,
+            epoch_times,
+            Some("fleet.span.shard_probe"),
+            |i, state, times| {
+                let rate = state.peaks.get(epoch).copied().unwrap_or(0.0);
+                let rho = quantize_target(rate, serve_headroom, state.granularity);
+                if rho == 0 {
+                    return None;
+                }
+                let remaining_hours = tenant_remaining(state);
+                if remaining_hours <= 0.0 {
+                    return None;
+                }
+                // A deferred tenant sits out its backoff window: it keeps
+                // its current plan, and the suppressed re-solve is counted.
+                if epoch < state.deferred_until {
+                    state.deferred_resolves += 1;
+                    return None;
+                }
+                if !state.mix_carries_demand() {
+                    // A zero mix cannot carry any demand: re-solving is not
+                    // optional, no probe needed.
+                    return Some(DueTenant {
+                        tenant: i,
+                        rho,
+                        keep: None,
+                        remaining_hours,
+                        caps: pool_caps.map(|pool| pool.caps_for(i)),
+                    });
+                }
+                let shift = (rho as f64 - state.solved_target as f64).abs()
+                    > policy.shift_threshold * state.solved_target.max(1) as f64;
+                if !shift {
+                    return None;
+                }
+                let probe_span = SpanTimer::start(Stage::Probe);
+                state.probes += 1;
+                if !state.probe_cache.contains_key(&rho) {
+                    let entry = ProbeEntry::new(
+                        &state.spec.instance,
+                        &state.scaler,
+                        state.solved_target,
+                        rho,
+                        billing,
+                    );
+                    state.probe_cache.insert(rho, entry);
+                }
+                let keep_projected = keep_projection(
+                    &state.probe_cache[&rho],
+                    state.adopted_epoch,
+                    remaining_hours,
                 );
-                state.probe_cache.insert(rho, entry);
-            }
-            let keep_projected = keep_projection(
-                &state.probe_cache[&rho],
-                state.adopted_epoch,
-                remaining_hours,
-            );
-            let reference_rate = state
-                .known
-                .get(&rho)
-                .map_or(rho as f64 * state.min_unit_cost, |k| {
-                    k.outcome.cost() as f64
-                });
-            let reference_projected = reference_rate * remaining_hours;
-            let worth_probing = keep_projected > (1.0 + policy.probe_epsilon) * reference_projected
-                && keep_projected - reference_projected > policy.switching_cost;
-            let seconds = probe_span.stop();
-            charge_stage(state, epoch_times, sink, Stage::Probe, seconds);
-            if worth_probing {
-                due.push((i, rho, Some(keep_projected), remaining_hours));
+                let reference_rate = state
+                    .known
+                    .get(&rho)
+                    .map_or(rho as f64 * state.min_unit_cost, |k| {
+                        k.outcome.cost() as f64
+                    });
+                let reference_projected = reference_rate * remaining_hours;
+                let worth_probing = keep_projected
+                    > (1.0 + policy.probe_epsilon) * reference_projected
+                    && keep_projected - reference_projected > policy.switching_cost;
+                let seconds = probe_span.stop();
+                charge_stage(state, times, sink, Stage::Probe, seconds);
+                worth_probing.then(|| DueTenant {
+                    tenant: i,
+                    rho,
+                    keep: Some(keep_projected),
+                    remaining_hours,
+                    caps: pool_caps.map(|pool| pool.caps_for(i)),
+                })
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // (2) The solve barrier: one batched warm-started fan-out for every
+        // due tenant whose target has not been solved before, plus — under
+        // a finite pool — one capacity-constrained fan-out for due tenants
+        // whose known plan (if any) does not fit their caps. One epoch
+        // budget splits across the combined pending set.
+        let mut to_solve: Vec<(usize, Throughput)> = Vec::new();
+        let mut capped_solve: Vec<(usize, Throughput, Vec<u64>)> = Vec::new();
+        for d in &due {
+            let known = states[d.tenant].known.get(&d.rho);
+            match &d.caps {
+                None => {
+                    if known.is_none() {
+                        to_solve.push((d.tenant, d.rho));
+                    }
+                }
+                Some(caps) => {
+                    let fits = known
+                        .map(|kp| fits_caps(kp.outcome.solution.allocation.machine_counts(), caps));
+                    if fits != Some(true) {
+                        capped_solve.push((d.tenant, d.rho, caps.clone()));
+                    }
+                }
             }
         }
-
-        // (2) One batched warm-started fan-out for every due tenant whose
-        // target has not been solved before.
-        let to_solve: Vec<(usize, Throughput)> = due
-            .iter()
-            .filter(|&&(i, rho, _, _)| !states[i].known.contains_key(&rho))
-            .map(|&(i, rho, _, _)| (i, rho))
-            .collect();
+        let split_budget = policy
+            .epoch_budget
+            .map(|b| b.split((to_solve.len() + capped_solve.len()).max(1)));
         if !to_solve.is_empty() {
             let items: Vec<WarmBatchItem<'_>> = to_solve
                 .iter()
@@ -1330,13 +1577,8 @@ impl FleetController {
                     WarmBatchItem::new(&states[i].spec.instance, rho, states[i].prior.as_ref())
                 })
                 .collect();
-            let results = match policy.epoch_budget {
-                Some(budget) => solve_warm_batch_budgeted(
-                    solver,
-                    &items,
-                    &budget.split(to_solve.len().max(1)),
-                    policy.threads,
-                ),
+            let results = match &split_budget {
+                Some(budget) => solve_warm_batch_budgeted(solver, &items, budget, policy.threads),
                 None => solve_warm_batch_timed(solver, &items, policy.threads),
             };
             for (&(i, rho), (result, elapsed)) in to_solve.iter().zip(results) {
@@ -1380,19 +1622,92 @@ impl FleetController {
             }
         }
 
+        // The capped fan-out mirrors the warm one, with two deliberate
+        // differences: the capped optimum's lower bound is *not* adopted as
+        // a warm-start prior (a cap-constrained bound is no floor for later
+        // uncapped targets), and a failed solve defers the tenant — the
+        // failure path owns degraded serving, not the shift path.
+        if let (Some(resolver), false) = (caps_solver, capped_solve.is_empty()) {
+            let items: Vec<CapsBatchItem<'_>> = capped_solve
+                .iter()
+                .map(|&(i, rho, ref caps)| {
+                    CapsBatchItem::new(
+                        &states[i].spec.instance,
+                        rho,
+                        caps,
+                        states[i].prior.as_ref(),
+                    )
+                })
+                .collect();
+            let results = resolver.caps_batch(&items, split_budget.as_ref(), policy.threads);
+            drop(items);
+            for ((i, rho, caps), (result, elapsed)) in capped_solve.into_iter().zip(results) {
+                let state = &mut states[i];
+                charge_stage(
+                    state,
+                    epoch_times,
+                    sink,
+                    Stage::Solve,
+                    elapsed.as_secs_f64(),
+                );
+                match result {
+                    Ok(outcome) => {
+                        state.effort.record(&outcome);
+                        state.resolves += 1;
+                        sink.counter("fleet.resolves", 1);
+                        if outcome.exhausted {
+                            state.budget_exhausted_epochs += 1;
+                        }
+                        close_backoff(state);
+                        debug_certify(&state.spec.instance, &outcome.solution, Some(&caps));
+                        let cache = self.plan_cache(&state.spec.instance, &outcome.solution)?;
+                        state.learn(rho, KnownPlan { outcome, cache });
+                    }
+                    Err(
+                        err @ (SolveError::BudgetExhausted { .. }
+                        | SolveError::NoSolutionFound { .. }),
+                    ) => {
+                        // The quota cannot carry the shifted target right
+                        // now (or the budget ran out): keep the current
+                        // plan and re-queue with backoff.
+                        if matches!(err, SolveError::BudgetExhausted { .. }) {
+                            state.budget_exhausted_epochs += 1;
+                        }
+                        defer(state, epoch, policy.backoff_cap);
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+
         // (3) Keep-vs-switch decisions under the switching-cost
         // hysteresis, one per due tenant. The charge the candidate must
         // beat is the flat cost plus the per-machine-delta cost of the
         // machines that actually change between the kept fleet (current
         // mix rescaled to ρ') and the candidate's fleet.
         let adopt_span = SpanTimer::start(Stage::Adopt);
-        for (i, rho, keep_projected, remaining_hours) in due {
+        for DueTenant {
+            tenant: i,
+            rho,
+            keep: keep_projected,
+            remaining_hours,
+            caps,
+        } in due
+        {
             let state = &mut states[i];
             // A deferred re-solve left no plan at ρ': the tenant keeps
             // its current plan; the backoff schedule re-queues it.
             let Some(known) = state.known.get(&rho) else {
                 continue;
             };
+            // Under a finite pool a candidate exceeding the tenant's caps
+            // is not adoptable — the capped re-solve above either replaced
+            // it or deferred the tenant — so it is skipped like a deferral.
+            if caps.as_ref().is_some_and(|caps| {
+                !fits_caps(known.outcome.solution.allocation.machine_counts(), caps)
+            }) {
+                continue;
+            }
             let switch_projected = known.cache.total(RentalHorizon::hours(remaining_hours));
             let kept_fleet = state.scaler.required_for_target(rho as f64);
             let charge = policy.switching_charge(

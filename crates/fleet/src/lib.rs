@@ -52,6 +52,29 @@
 //! [`rental_capacity::CapacityConfig::unconstrained`] the coupled path is
 //! bit-identical to [`FleetController::run`].
 //!
+//! ## Sharded epoch pipelines
+//!
+//! At fleet scale (10³–10⁴ tenants) the per-tenant epoch work — trace
+//! advancement, shift detection, memoized what-if probes, grant billing —
+//! dominates the loop, and it is embarrassingly parallel: no tenant reads
+//! another's state. [`FleetPolicy::shards`] partitions the tenants into
+//! contiguous index-order shards that run those stages concurrently on the
+//! shared rayon pool, then meet at a **single deterministic barrier per
+//! epoch** where everything cross-tenant happens sequentially: capacity
+//! arbitration on the shared [`rental_capacity::CapacityPool`], the batched
+//! ILP fan-outs, plan adoption and flight-recorder events. Shard results
+//! merge in tenant-index order and per-shard [`rental_obs::StageTimes`] sum
+//! associatively into the epoch row, so the report at *every* shard count is
+//! bit-identical (modulo the wall-clock timing family) to the sequential
+//! loop — `shards: Some(1)` *is* the sequential loop, not an emulation, and
+//! the `fleet_sharding` property tests pin the equivalence for `run`,
+//! `run_with_capacity`, `run_with_chaos` and a kill-and-resume
+//! `run_resumable` at shard counts {1, 2, 8}. `shards: None` (the default)
+//! auto-sizes: roughly one shard per 64 tenants, clamped to the worker
+//! count, so small fleets keep the zero-overhead sequential path. The
+//! `fleet_scaling` bench sweeps 1k/4k/16k tenants and reports
+//! **tenant-epochs/sec** to `BENCH_fleet_scaling.json`.
+//!
 //! ## Deadlines, anytime incumbents and the degradation ladder
 //!
 //! [`FleetPolicy::epoch_budget`] caps the solving work spent per epoch: the
@@ -183,7 +206,8 @@ pub use persist::{PersistError, PersistOptions, PersistResult, RunOutcome};
 pub use rental_capacity::CapacityConfig;
 pub use report::{AdoptionRecord, FleetReport, SolverEffort, TenantReport};
 pub use scenario::{
-    diurnal_spike_fleet, failure_coupled_fleet, fleet_instance_config, FleetScenario,
-    ACCEPTANCE_SEED,
+    diurnal_spike_fleet, failure_coupled_fleet, fleet_instance_config, scaling_fleet,
+    scaling_fleet_one_epoch, scaling_instance_config, FleetScenario, ACCEPTANCE_SEED,
+    SCALING_EPOCHS,
 };
 pub use tenant::TenantSpec;

@@ -34,6 +34,14 @@
 //! only through [`rental_capacity::CapacityPool::restore_ledger`]'s quota
 //! invariants. A corrupted store can therefore cost re-execution time, but
 //! never a panic and never an over-grant.
+//!
+//! **Sharding is resume-transparent.** The shard fan-out knob
+//! ([`crate::FleetPolicy::shards`]) lives in the policy, not the store:
+//! resumed runs drive the same sharded `epoch_step` as the original, and
+//! because every shard count produces bit-identical decision state, a run
+//! journaled under one shard count may be resumed under another (or on a
+//! machine with a different core count) without divergence — the
+//! `fleet_sharding` kill-and-resume property test pins exactly this.
 
 use std::io;
 use std::time::Duration;

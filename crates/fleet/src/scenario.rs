@@ -104,6 +104,91 @@ pub fn diurnal_spike_fleet(num_tenants: usize, seed: u64) -> FleetScenario {
     }
 }
 
+/// Epoch count of the [`scaling_fleet`] scenario's full traces.
+pub const SCALING_EPOCHS: usize = 24;
+
+/// The instance generator configuration of the controller-scaling fleet:
+/// deliberately tiny applications (the initial ILP solves in well under a
+/// millisecond) so fleets of 16k tenants measure the epoch *loop*, not the
+/// solver.
+pub fn scaling_instance_config() -> GeneratorConfig {
+    GeneratorConfig {
+        num_recipes: 4,
+        tasks_per_recipe: 2..=3,
+        mutation_percent: 50,
+        num_types: 4,
+        throughput_range: 10..=100,
+        cost_range: 1..=100,
+        edge_probability: 0.3,
+    }
+}
+
+fn scaling_fleet_with_epochs(num_tenants: usize, seed: u64, epochs: usize) -> FleetScenario {
+    const DISTINCT_INSTANCES: usize = 32;
+    let instances: Vec<_> = (0..DISTINCT_INSTANCES.min(num_tenants.max(1)))
+        .map(|k| {
+            InstanceGenerator::new(scaling_instance_config(), seed ^ (k as u64 + 1))
+                .generate_instance()
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1E);
+    let tenants = (0..num_tenants)
+        .map(|i| {
+            let base = rng.random_range(40.0..80.0);
+            // Three well-separated plateaus, one epoch each, cycled: every
+            // epoch shifts the quantized target far beyond the default 5%
+            // shift threshold, so every tenant probes every epoch.
+            let plateaus = [base, base * 1.5, base * 2.0];
+            let segments: Vec<_> = (0..epochs)
+                .map(|h| rental_stream::TraceSegment {
+                    duration: 1.0,
+                    rate: plateaus[h % plateaus.len()],
+                })
+                .collect();
+            TenantSpec::new(
+                format!("scale-{i}"),
+                instances[i % instances.len()].clone(),
+                WorkloadTrace::new(segments),
+            )
+        })
+        .collect();
+    FleetScenario {
+        name: format!("scaling-{num_tenants}"),
+        tenants,
+        policy: FleetPolicy {
+            epoch: 1.0,
+            // Prohibitive: the adoption hysteresis always keeps the current
+            // plan, so the epoch loop never re-solves and a run measures
+            // controller throughput, not solver throughput.
+            switching_cost: 1e12,
+            ..FleetPolicy::default()
+        },
+    }
+}
+
+/// The controller-scaling fleet: `num_tenants` tenants over
+/// [`SCALING_EPOCHS`] one-hour epochs whose demand cycles over three
+/// well-separated plateaus under a prohibitive switching cost. Every tenant
+/// probes every epoch (the cycling always exceeds the shift threshold) but
+/// none ever re-solves or adopts, so a run exercises exactly the sharded
+/// per-tenant pipelines — trace advancement, shift detection, memoized
+/// what-if probes — with the initial solve fan-out as the only solver work.
+/// Instances cycle over a small pool of distinct tiny applications so a
+/// 16k-tenant fleet stays cheap to build; everything is deterministic per
+/// seed.
+pub fn scaling_fleet(num_tenants: usize, seed: u64) -> FleetScenario {
+    scaling_fleet_with_epochs(num_tenants, seed, SCALING_EPOCHS)
+}
+
+/// The same scaling fleet truncated to its **first epoch**: identical
+/// tenants, identical initial solve fan-out, no epoch loop beyond the first
+/// tick. Subtracting its wall time from the full run's isolates pure
+/// epoch-loop throughput — the **tenant-epochs/sec** headline of
+/// `BENCH_fleet_scaling.json` — from the init cost both runs share.
+pub fn scaling_fleet_one_epoch(num_tenants: usize, seed: u64) -> FleetScenario {
+    scaling_fleet_with_epochs(num_tenants, seed, 1)
+}
+
 /// The failure-coupled acceptance scenario: the diurnal+spike fleet plus a
 /// [`CapacityConfig`] with machine failures (`mtbf` / `repair_time` hours)
 /// and **finite per-type quotas** sized off the tenants' availability-adjusted
@@ -182,6 +267,33 @@ mod tests {
         // The spike overlay keeps the diurnal peaks and adds overshoots.
         let spiky = &scenario.tenants[1];
         assert!(spiky.trace.peak_rate() > scenario.tenants[0].trace.peak_rate() * 0.5);
+    }
+
+    #[test]
+    fn scaling_fleet_is_deterministic_and_truncates_cleanly() {
+        let a = scaling_fleet(40, 7);
+        let b = scaling_fleet(40, 7);
+        assert_eq!(a.tenants, b.tenants);
+        // The one-epoch variant shares instances and first-epoch rates with
+        // the full fleet (same initial solve fan-out), with a single tick.
+        let one = scaling_fleet_one_epoch(40, 7);
+        assert_eq!(one.tenants.len(), 40);
+        for (full, first) in a.tenants.iter().zip(&one.tenants) {
+            assert_eq!(full.instance, first.instance);
+            assert_eq!(full.trace.rate_at(0.5), first.trace.rate_at(0.5));
+            assert!((first.trace.duration() - 1.0).abs() < 1e-9);
+        }
+        // Instances cycle over the small distinct pool; every epoch's
+        // plateau clears the default shift threshold from its neighbours.
+        assert_eq!(a.tenants[0].instance, a.tenants[32].instance);
+        assert_ne!(a.tenants[0].instance, a.tenants[1].instance);
+        let trace = &a.tenants[0].trace;
+        assert!((trace.duration() - SCALING_EPOCHS as f64).abs() < 1e-9);
+        for h in 1..SCALING_EPOCHS {
+            let prev = trace.rate_at(h as f64 - 0.5);
+            let here = trace.rate_at(h as f64 + 0.5);
+            assert!((here - prev).abs() > 0.25 * prev.min(here));
+        }
     }
 
     #[test]

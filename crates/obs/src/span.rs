@@ -6,6 +6,12 @@
 //! one region; [`StageTimes`] accumulates the per-stage totals that end up
 //! in `TenantReport`/`FleetReport` (the single "timing" field family masked
 //! by report equivalence checks).
+//!
+//! Under the controller's **sharded** epoch pipelines each shard worker
+//! accumulates into its own `StageTimes` and the shards
+//! [`merge`](StageTimes::merge) into the epoch's row at the per-epoch
+//! barrier — stage *seconds* sum associatively, so the merged breakdown is
+//! independent of the shard count even though wall-clock overlap is not.
 
 use std::time::Instant;
 
@@ -204,6 +210,31 @@ mod tests {
         assert!(elapsed > 0.0);
         assert_eq!(times.get(Stage::Adopt), elapsed);
         assert_eq!(times.total(), elapsed);
+    }
+
+    #[test]
+    fn shard_merges_are_shard_count_independent() {
+        // The sharded epoch loop splits one sequence of per-tenant charges
+        // across shard-local accumulators and merges them at the barrier:
+        // any partition of the same charges merges to the same row.
+        let charges: Vec<(Stage, f64)> = (0..12)
+            .map(|i| (Stage::ALL[i % Stage::COUNT], 0.125 * (i as f64 + 1.0)))
+            .collect();
+        let mut sequential = StageTimes::zero();
+        for &(stage, seconds) in &charges {
+            sequential.add(stage, seconds);
+        }
+        for shards in [1, 2, 3, 5] {
+            let mut merged = StageTimes::zero();
+            for chunk in charges.chunks(charges.len().div_ceil(shards)) {
+                let mut local = StageTimes::zero();
+                for &(stage, seconds) in chunk {
+                    local.add(stage, seconds);
+                }
+                merged.merge(&local);
+            }
+            assert_eq!(merged, sequential);
+        }
     }
 
     #[test]
