@@ -21,19 +21,31 @@
 //! * **noop overhead** < 1% of baseline wall-time;
 //! * **enabled overhead** < 5% of baseline wall-time.
 //!
+//! A fourth, **exporter-attached** variant binds the live scrape endpoint
+//! on the recorder and hammers `/metrics` from another thread while the
+//! epochs execute, pinning the operational-plane acceptance bars:
+//!
+//! * **scrape transparency**: the scraped-while-running report is still
+//!   bit-identical to the untelemetered reference;
+//! * **scrape cost**: the mean `/metrics` round-trip against the fully
+//!   populated recorder stays under [`SCRAPE_FLOOR`].
+//!
 //! Wall-times are the minimum over repeated whole runs — the noise-free
 //! estimate, same idiom as the `fleet_recovery` bench. One worker thread
 //! and a node-cap budget keep every run deterministic.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rental_fleet::{
     failure_coupled_fleet, FleetController, FleetPolicy, FleetReport, ACCEPTANCE_SEED,
 };
-use rental_obs::{install_scoped, NoopSink, Recorder};
+use rental_obs::{install_scoped, Exporter, NoopSink, Recorder};
 use rental_solvers::exact::IlpSolver;
 use rental_solvers::SolveBudget;
 
@@ -44,6 +56,12 @@ const TRIALS: usize = 7;
 const NOOP_FLOOR: f64 = 0.01;
 /// ISSUE-8 floor: live recorder within 5% of the untelemetered path.
 const ENABLED_FLOOR: f64 = 0.05;
+/// Sequential `/metrics` round-trips timed against the populated recorder.
+const SCRAPES: usize = 50;
+/// ISSUE-10 floor: mean scrape round-trip under 10 ms — a scrape merges
+/// the metric shards once and renders a few KiB of text; anything slower
+/// would make a 1 Hz scraper a tax on the serving host.
+const SCRAPE_FLOOR: f64 = 0.010;
 
 fn scenario() -> (
     Vec<rental_fleet::TenantSpec>,
@@ -67,6 +85,18 @@ fn run(
     controller
         .run_with_capacity(&IlpSolver::new(), tenants, config)
         .expect("the coupled run solves")
+}
+
+/// One blocking `GET /metrics` round-trip; `Some(body)` on a 200.
+fn scrape_metrics(addr: SocketAddr) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        .ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (head, body) = response.split_once("\r\n\r\n")?;
+    head.starts_with("HTTP/1.1 200").then(|| body.to_string())
 }
 
 /// Times one whole run.
@@ -164,11 +194,60 @@ fn bench_fleet_obs(c: &mut Criterion) {
     let events = recorder.flight().events().len();
     assert!(lp_solves > 0, "the ambient sink saw no LP solves");
 
+    // ------------------------------------------------------------------
+    // Exporter-attached run: scrape /metrics continuously from another
+    // thread while the epochs execute. Scrapes are read-only snapshots,
+    // so the report must still match the untelemetered reference.
+    // ------------------------------------------------------------------
+    let recorder = Arc::new(Recorder::new());
+    let exporter = Exporter::bind(recorder.clone(), "127.0.0.1:0").expect("ephemeral port binds");
+    let addr = exporter.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut scrapes = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                if scrape_metrics(addr).is_some() {
+                    scrapes += 1;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            scrapes
+        })
+    };
+    let exported_controller = FleetController::new(policy).with_telemetry(recorder.clone());
+    let guard = install_scoped(recorder.clone());
+    let exported_report = run(&exported_controller, &tenants, &config);
+    drop(guard);
+    stop.store(true, Ordering::SeqCst);
+    let live_scrapes = scraper.join().expect("the scraper thread joins");
+    let exported_identical = exported_report.matches_modulo_timing(&reference);
+    assert!(
+        exported_identical,
+        "the exporter-attached run diverged from the untelemetered path"
+    );
+
+    // Scrape cost against the now fully populated recorder.
+    let scrape_start = Instant::now();
+    for _ in 0..SCRAPES {
+        assert!(scrape_metrics(addr).is_some(), "scrape failed mid-timing");
+    }
+    let scrape_mean_seconds = scrape_start.elapsed().as_secs_f64() / SCRAPES as f64;
+    exporter.shutdown();
+    assert!(
+        scrape_mean_seconds < SCRAPE_FLOOR,
+        "mean /metrics round-trip {:.3} ms exceeds the {:.0} ms floor",
+        1e3 * scrape_mean_seconds,
+        1e3 * SCRAPE_FLOOR,
+    );
+
     let noop_overhead = noop_ratio - 1.0;
     let enabled_overhead = enabled_ratio - 1.0;
     println!(
         "fleet_obs summary: baseline {:.1} ms, noop {:.1} ms ({:+.2}%), recorder {:.1} ms \
-         ({:+.2}%) over {} epochs; {} counters, {} events captured",
+         ({:+.2}%) over {} epochs; {} counters, {} events captured; {} live scrapes, \
+         mean scrape {:.3} ms",
         1e3 * baseline_seconds,
         1e3 * noop_seconds,
         100.0 * noop_overhead,
@@ -177,6 +256,8 @@ fn bench_fleet_obs(c: &mut Criterion) {
         epochs,
         snapshot.counters.len(),
         events,
+        live_scrapes,
+        1e3 * scrape_mean_seconds,
     );
     assert!(
         noop_overhead < NOOP_FLOOR,
@@ -199,6 +280,8 @@ fn bench_fleet_obs(c: &mut Criterion) {
          {noop_overhead:.6},\n  \"enabled_overhead_fraction\": {enabled_overhead:.6},\n  \
          \"noop_floor\": {NOOP_FLOOR},\n  \"enabled_floor\": {ENABLED_FLOOR},\n  \
          \"noop_identical\": {noop_identical},\n  \"enabled_identical\": {enabled_identical},\n  \
+         \"exported_identical\": {exported_identical},\n  \"live_scrapes\": {live_scrapes},\n  \
+         \"scrape_mean_seconds\": {scrape_mean_seconds:.9},\n  \"scrape_floor\": {SCRAPE_FLOOR},\n  \
          \"counters_captured\": {},\n  \"events_captured\": {events}\n}}\n",
         snapshot.counters.len(),
     );

@@ -33,9 +33,14 @@
 //! * `--json`              emit JSON lines instead of Markdown (wins over --csv)
 //! * `--output-dir DIR`    also write every emitted table/series into DIR
 //! * `--threads N`         worker threads (default: all cores)
+//! * `--serve [ADDR]`      (fleet-obs) bind the live scrape exporter on ADDR
+//!   (default `127.0.0.1:9464`) before the run: `/metrics`, `/health` and
+//!   `/events` are curl-able while the chaotic fleet serves, and the process
+//!   keeps serving the final state after the run until interrupted
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use rental_experiments::{
     delta_sweep, escape_mechanisms, figure_csv, figure_json, figure_markdown, fleet_csv,
@@ -44,11 +49,11 @@ use rental_experiments::{
     fleet_obs_markdown, fleet_recovery_csv, fleet_recovery_json, fleet_recovery_markdown,
     fleet_scale_csv, fleet_scale_json, fleet_scale_markdown, lp_large_markdown, lp_large_rows_json,
     mutation_sweep, presets, run_experiment, run_fleet_deadline_experiment, run_fleet_experiment,
-    run_fleet_failure_experiment, run_fleet_obs_experiment, run_fleet_recovery_experiment,
-    run_fleet_scale_experiment, run_lp_large, run_table3, summary_json, table3_csv, table3_json,
-    table3_markdown, table3_targets, write_artifact, AblationResults, AblationSpec,
-    ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec, FleetFailureSpec, FleetObsSpec,
-    FleetRecoverySpec, FleetScaleSpec, LpLargeSpec, Metric,
+    run_fleet_failure_experiment, run_fleet_obs_experiment, run_fleet_obs_experiment_with,
+    run_fleet_recovery_experiment, run_fleet_scale_experiment, run_lp_large, run_table3,
+    summary_json, table3_csv, table3_json, table3_markdown, table3_targets, write_artifact,
+    AblationResults, AblationSpec, ExperimentResults, FleetDeadlineSpec, FleetExperimentSpec,
+    FleetFailureSpec, FleetObsSpec, FleetRecoverySpec, FleetScaleSpec, LpLargeSpec, Metric,
 };
 use rental_solvers::SuiteConfig;
 
@@ -63,6 +68,7 @@ struct Options {
     threads: Option<usize>,
     output_dir: Option<PathBuf>,
     tenants: usize,
+    serve: Option<String>,
 }
 
 impl Default for Options {
@@ -77,9 +83,13 @@ impl Default for Options {
             threads: None,
             output_dir: None,
             tenants: 16,
+            serve: None,
         }
     }
 }
+
+/// Default exporter address of `--serve` without an explicit one.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:9464";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options::default();
@@ -113,6 +123,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let value = iter.next().ok_or("--output-dir needs a value")?;
                 options.output_dir = Some(PathBuf::from(value));
             }
+            "--serve" => {
+                // The address operand is optional; a bare `--serve` binds
+                // the default. A `host:port` shape disambiguates the
+                // operand from a following command or flag.
+                let addr = match iter.peek() {
+                    Some(next) if next.contains(':') && !next.starts_with("--") => {
+                        iter.next().unwrap().clone()
+                    }
+                    _ => DEFAULT_SERVE_ADDR.to_string(),
+                };
+                options.serve = Some(addr);
+            }
             "--csv" => options.csv = true,
             "--json" => options.json = true,
             "--help" | "-h" => {
@@ -135,7 +157,7 @@ fn print_usage() {
          fleet-deadline|fleet-recovery|fleet-obs|fleet-scale|lp-large|all|\
          ablation-delta|ablation-escape|ablation-mutation> \
          [--configs N] [--seed S] [--ilp-time-limit SECS] [--csv] [--json] [--output-dir DIR] \
-         [--threads N] [--tenants N]"
+         [--threads N] [--tenants N] [--serve [ADDR]]"
     );
 }
 
@@ -406,7 +428,28 @@ fn emit_fleet_obs(options: &Options) -> Result<(), String> {
         "[repro] running the {}-tenant observed chaotic fleet (seed {}, threads {:?}) ...",
         spec.num_tenants, spec.seed, spec.threads
     );
-    let table = run_fleet_obs_experiment(&spec).map_err(|err| err.to_string())?;
+    // With --serve, the exporter binds *before* the run on the same
+    // recorder the controller writes into, so `/metrics`, `/health` and
+    // `/events` are scrapeable live while epochs execute. Scrapes are
+    // read-only snapshots: the report stays bit-identical either way.
+    let exporter = match &options.serve {
+        Some(addr) => {
+            let recorder = Arc::new(rental_obs::Recorder::new());
+            let exporter = rental_obs::Exporter::bind(recorder.clone(), addr.as_str())
+                .map_err(|err| format!("could not bind exporter on {addr}: {err}"))?;
+            eprintln!(
+                "[repro] exporter live on http://{} (/metrics /health /events)",
+                exporter.local_addr()
+            );
+            Some((exporter, recorder))
+        }
+        None => None,
+    };
+    let table = match &exporter {
+        Some((_, recorder)) => run_fleet_obs_experiment_with(&spec, recorder.clone()),
+        None => run_fleet_obs_experiment(&spec),
+    }
+    .map_err(|err| err.to_string())?;
     let markdown = fleet_obs_markdown(&table);
     let json = fleet_obs_json(&table);
     if options.json {
@@ -420,6 +463,15 @@ fn emit_fleet_obs(options: &Options) -> Result<(), String> {
     }
     persist(options, "fleet_obs.md", &markdown);
     persist(options, "fleet_obs.jsonl", &json);
+    if let Some((exporter, _)) = exporter {
+        eprintln!(
+            "[repro] run complete; still serving final state on http://{} — Ctrl-C to exit",
+            exporter.local_addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
     Ok(())
 }
 
@@ -736,6 +788,19 @@ mod tests {
         assert_eq!(options.command, "fleet-obs");
         assert!(options.json);
         assert!(!parse_args(&args(&["fleet-obs"])).unwrap().json);
+    }
+
+    #[test]
+    fn serve_flag_takes_an_optional_address() {
+        let defaulted = parse_args(&args(&["fleet-obs", "--serve"])).unwrap();
+        assert_eq!(defaulted.serve.as_deref(), Some(DEFAULT_SERVE_ADDR));
+        let explicit = parse_args(&args(&["fleet-obs", "--serve", "127.0.0.1:9999"])).unwrap();
+        assert_eq!(explicit.serve.as_deref(), Some("127.0.0.1:9999"));
+        // A following flag is not mistaken for an address operand.
+        let followed = parse_args(&args(&["fleet-obs", "--serve", "--json"])).unwrap();
+        assert_eq!(followed.serve.as_deref(), Some(DEFAULT_SERVE_ADDR));
+        assert!(followed.json);
+        assert!(parse_args(&args(&["fleet-obs"])).unwrap().serve.is_none());
     }
 
     #[test]

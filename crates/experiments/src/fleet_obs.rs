@@ -20,7 +20,10 @@ use std::sync::Arc;
 
 use rental_fleet::{failure_coupled_fleet, ChaosConfig, FleetController, FleetReport};
 use rental_obs::json::JsonRow;
-use rental_obs::{install_scoped, Event, MetricsSnapshot, Recorder, Stage};
+use rental_obs::{
+    install_scoped, AlertPolicy, AlertRule, Event, MetricsSnapshot, Recorder, Stage, TraceSummary,
+    TraceTree,
+};
 use rental_solvers::SolveResult;
 
 use crate::fleet_failure::failure_sweep_solver;
@@ -85,6 +88,8 @@ pub struct FleetObsTable {
     pub snapshot: MetricsSnapshot,
     /// The flight recorder's retained events, oldest first.
     pub events: Vec<Event>,
+    /// Per-epoch causal trace trees, oldest first.
+    pub traces: Vec<TraceTree>,
     /// Leaderboard size requested by the spec.
     pub top_k: usize,
 }
@@ -110,15 +115,34 @@ fn lane_chaos(seed: u64) -> ChaosConfig {
 /// Propagates solver failures from the controller (injected faults are
 /// absorbed by the degradation ladder, never propagated).
 pub fn run_fleet_obs_experiment(spec: &FleetObsSpec) -> SolveResult<FleetObsTable> {
+    run_fleet_obs_experiment_with(spec, Arc::new(Recorder::new()))
+}
+
+/// [`run_fleet_obs_experiment`] against a caller-provided [`Recorder`] —
+/// the entry point `repro fleet-obs --serve` uses so a live
+/// [`rental_obs::Exporter`] bound to the same recorder can be scraped
+/// while the run executes.
+///
+/// # Errors
+///
+/// Propagates solver failures from the controller (injected faults are
+/// absorbed by the degradation ladder, never propagated).
+pub fn run_fleet_obs_experiment_with(
+    spec: &FleetObsSpec,
+    recorder: Arc<Recorder>,
+) -> SolveResult<FleetObsTable> {
     let (scenario, config) =
         failure_coupled_fleet(spec.num_tenants, spec.seed, spec.mtbf, spec.repair_time);
     let mut policy = scenario.policy;
     policy.threads = spec.threads;
 
-    let recorder = Arc::new(Recorder::new());
-    // Global for the LP/solver layers, explicit for the controller.
+    // Global for the LP/solver layers, explicit for the controller. Alert
+    // rules on: the chaotic run gives the burn-rate and streak rules real
+    // transitions to show.
     let _guard = install_scoped(recorder.clone());
-    let controller = FleetController::new(policy).with_telemetry(recorder.clone());
+    let controller = FleetController::new(policy)
+        .with_telemetry(recorder.clone())
+        .with_alerts(AlertPolicy::default());
     let (report, stats) = controller.run_with_chaos(
         &failure_sweep_solver(),
         &scenario.tenants,
@@ -138,6 +162,7 @@ pub fn run_fleet_obs_experiment(spec: &FleetObsSpec) -> SolveResult<FleetObsTabl
         },
         snapshot: recorder.snapshot(),
         events: recorder.flight().events(),
+        traces: recorder.traces(),
         top_k: spec.top_k,
     })
 }
@@ -177,6 +202,70 @@ pub fn fleet_obs_markdown(table: &FleetObsTable) -> String {
             1e6 * seconds / epochs,
         ));
     }
+
+    // Per-epoch critical path: which chain bounded each epoch, and how
+    // much of it was the merge barrier (the ROADMAP's `merge_wait`
+    // question, answered with a number).
+    const MAX_PATH_ROWS: usize = 32;
+    let skipped = table.traces.len().saturating_sub(MAX_PATH_ROWS);
+    out.push_str("\ncritical path per epoch");
+    if skipped > 0 {
+        out.push_str(&format!(" (first {skipped} epochs elided)"));
+    }
+    out.push_str(":\n");
+    out.push_str("| epoch | wall (µs) | attributed (µs) | dominant | probe shards | barrier (µs) | barrier share |\n");
+    out.push_str("|---:|---:|---:|---|---:|---:|---:|\n");
+    for tree in table.traces.iter().skip(skipped) {
+        let path = tree.critical_path();
+        let dominant = path.dominant().map_or("-", |s| s.name);
+        let shards = path
+            .steps
+            .iter()
+            .find(|s| s.name == "shard_probe")
+            .map_or(0, |s| s.fanout);
+        out.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {} | {} | {:.1} | {:.1}% |\n",
+            path.trace_id,
+            1e6 * path.wall_seconds,
+            1e6 * path.attributed_seconds,
+            dominant,
+            shards,
+            1e6 * path.barrier_seconds,
+            100.0 * path.barrier_share(),
+        ));
+    }
+    let summary = TraceSummary::from_trees(&table.traces);
+    out.push_str(&format!(
+        "\naggregated over {} epochs: attributed {:.2} ms of {:.2} ms wall, \
+         barrier share {:.1}%; per step:",
+        summary.epochs,
+        1e3 * summary.attributed_seconds,
+        1e3 * summary.wall_seconds,
+        100.0 * summary.barrier_share(),
+    ));
+    for (name, seconds) in &summary.steps {
+        out.push_str(&format!(" {name} {:.2} ms,", 1e3 * seconds));
+    }
+    out.pop();
+    out.push('\n');
+
+    // Alert plane: totals plus the rules still firing at run end.
+    let counter = |name: &str| table.snapshot.counters.get(name).copied().unwrap_or(0);
+    let firing: Vec<&str> = AlertRule::ALL
+        .iter()
+        .filter(|rule| table.snapshot.gauges.get(rule.gauge_name()) == Some(&1.0))
+        .map(|rule| rule.name())
+        .collect();
+    out.push_str(&format!(
+        "\nalerts: {} fired, {} resolved; firing at run end: {}\n",
+        counter("obs.alerts_fired"),
+        counter("obs.alerts_resolved"),
+        if firing.is_empty() {
+            "none".to_string()
+        } else {
+            firing.join(", ")
+        },
+    ));
 
     // Solver-effort leaderboard.
     out.push_str("\n| rank | tenant | solves | nodes | LP iterations | work |\n");
@@ -250,6 +339,33 @@ pub fn fleet_obs_json(table: &FleetObsTable) -> String {
     );
     out.push('\n');
     out.push_str(&table.snapshot.to_jsonl());
+    for tree in &table.traces {
+        let path = tree.critical_path();
+        out.push_str(
+            &JsonRow::new()
+                .str("record", "critical_path")
+                .u64("epoch", path.trace_id)
+                .f64("wall_seconds", path.wall_seconds)
+                .f64("attributed_seconds", path.attributed_seconds)
+                .f64("barrier_seconds", path.barrier_seconds)
+                .f64("barrier_share", path.barrier_share())
+                .str("dominant", path.dominant().map_or("-", |s| s.name))
+                .finish(),
+        );
+        out.push('\n');
+    }
+    let summary = TraceSummary::from_trees(&table.traces);
+    out.push_str(
+        &JsonRow::new()
+            .str("record", "trace_summary")
+            .usize("epochs", summary.epochs)
+            .f64("wall_seconds", summary.wall_seconds)
+            .f64("attributed_seconds", summary.attributed_seconds)
+            .f64("barrier_seconds", summary.barrier_seconds)
+            .f64("barrier_share", summary.barrier_share())
+            .finish(),
+    );
+    out.push('\n');
     for event in &table.events {
         out.push_str(&event.to_json());
         out.push('\n');
@@ -296,13 +412,23 @@ mod tests {
                 > 0
         );
         assert!(!table.events.is_empty(), "a chaotic run records events");
+        assert!(!table.traces.is_empty(), "every epoch emits a trace tree");
+        assert!(table
+            .traces
+            .iter()
+            .all(|t| t.root().is_some_and(|r| r.name == "epoch")));
         let markdown = fleet_obs_markdown(&table);
         assert!(markdown.contains("| probe |"));
         assert!(markdown.contains("| persist |"));
+        assert!(markdown.contains("critical path per epoch"));
+        assert!(markdown.contains("barrier share"));
+        assert!(markdown.contains("alerts:"));
         assert!(markdown.contains("flight recorder"));
         let json = fleet_obs_json(&table);
         assert!(json.contains("\"record\":\"fleet\""));
         assert!(json.contains("\"record\":\"chaos\""));
+        assert!(json.contains("\"record\":\"critical_path\""));
+        assert!(json.contains("\"record\":\"trace_summary\""));
         assert!(json.contains("\"metric\":\"lp.solves\""));
     }
 
@@ -319,5 +445,20 @@ mod tests {
         assert_eq!(key(&a.events), key(&b.events));
         assert!(a.report.matches_modulo_timing(&b.report));
         assert_eq!(a.chaos, b.chaos);
+        // Trace-tree *structure* is deterministic (span names, parents and
+        // ids); only the measured seconds differ between runs.
+        type SpanShape = (u32, Option<u32>, &'static str);
+        let shape = |trees: &[TraceTree]| -> Vec<(u64, Vec<SpanShape>)> {
+            trees
+                .iter()
+                .map(|t| {
+                    (
+                        t.trace_id,
+                        t.spans.iter().map(|s| (s.id, s.parent, s.name)).collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(shape(&a.traces), shape(&b.traces));
     }
 }

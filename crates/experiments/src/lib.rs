@@ -80,8 +80,8 @@ pub use fleet_failure::{
     run_fleet_failure_experiment, FleetFailureRow, FleetFailureSpec, FleetFailureTable,
 };
 pub use fleet_obs::{
-    fleet_obs_json, fleet_obs_markdown, run_fleet_obs_experiment, ChaosSummary, FleetObsSpec,
-    FleetObsTable,
+    fleet_obs_json, fleet_obs_markdown, run_fleet_obs_experiment, run_fleet_obs_experiment_with,
+    ChaosSummary, FleetObsSpec, FleetObsTable,
 };
 pub use fleet_recovery::{
     fleet_recovery_csv, fleet_recovery_json, fleet_recovery_markdown,

@@ -31,7 +31,10 @@ use rental_capacity::{
 use rental_core::{
     Instance, PlannedMachine, ProvisioningPlan, RecipeId, Solution, Throughput, TypeId, TypeSummary,
 };
-use rental_obs::{EventKind, NoopSink, SpanTimer, Stage, StageTimes, TelemetrySink};
+use rental_obs::{
+    epoch_tree, AlertEngine, AlertPolicy, EpochObservation, EventKind, FanoutObs, NoopSink,
+    SpanTimer, Stage, StageTimes, TelemetrySink,
+};
 use rental_pricing::{HorizonCache, OnDemand, RentalHorizon, SegmentedBilling};
 use rental_solvers::batch::CapsBatchItem;
 use rental_solvers::batch::{
@@ -257,6 +260,7 @@ fn for_each_tenant_sharded<'a, R, F>(
     shards: usize,
     sink: &dyn TelemetrySink,
     epoch_times: &mut StageTimes,
+    fanout: &mut FanoutObs,
     shard_span: Option<&'static str>,
     f: F,
 ) -> Vec<R>
@@ -275,6 +279,7 @@ where
             .collect();
         if let Some(name) = shard_span {
             sink.span(name, times.total());
+            fanout.probe_shards.push(times.total());
         }
         epoch_times.merge(&times);
         return out;
@@ -308,12 +313,15 @@ where
     for (out, times, busy) in shard_results {
         if let Some(name) = shard_span {
             sink.span(name, times.total());
+            fanout.probe_shards.push(times.total());
         }
         epoch_times.merge(&times);
         busiest = busiest.max(busy);
         merged.extend(out);
     }
-    sink.span("fleet.span.merge_wait", (wall - busiest).max(0.0));
+    let merge_wait = (wall - busiest).max(0.0);
+    sink.span("fleet.span.merge_wait", merge_wait);
+    fanout.merge_wait += merge_wait;
     merged
 }
 
@@ -696,6 +704,10 @@ pub struct FleetController {
     /// from the sequential controller sites only, so an instrumented run's
     /// event sequence is deterministic.
     pub(crate) telemetry: Arc<dyn TelemetrySink>,
+    /// Optional alert rules, evaluated once per epoch at the sequential
+    /// barrier (see [`FleetController::with_alerts`]). `None` skips the
+    /// engine entirely.
+    pub(crate) alerts: Option<AlertPolicy>,
 }
 
 impl FleetController {
@@ -705,6 +717,7 @@ impl FleetController {
             policy,
             billing: Arc::new(OnDemand::hourly()),
             telemetry: Arc::new(NoopSink),
+            alerts: None,
         }
     }
 
@@ -719,6 +732,19 @@ impl FleetController {
     /// sink is bit-identical to the default [`NoopSink`] run.
     pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
         self.telemetry = sink;
+        self
+    }
+
+    /// Enables the [`AlertEngine`] with `policy`: burn-rate / streak /
+    /// exhaustion / checkpoint-lag rules evaluated once per epoch at the
+    /// sequential barrier. Alerts are pure telemetry — transitions become
+    /// flight-recorder events and gauges, never controller decisions — so
+    /// an alerted run stays bit-identical to an unalerted one (modulo the
+    /// [`StageTimes`] family). The engine evaluates epoch-indexed
+    /// cumulative totals only (no wall-clock), so a seeded run fires and
+    /// resolves the same alerts at the same epochs every time.
+    pub fn with_alerts(mut self, policy: AlertPolicy) -> Self {
+        self.alerts = Some(policy);
         self
     }
 
@@ -793,8 +819,11 @@ impl FleetController {
         let mut adoptions: Vec<AdoptionRecord> = Vec::new();
         let mut stale_desired: Option<Vec<Vec<u64>>> = None;
         let mut epoch_timing: Vec<StageTimes> = Vec::with_capacity(num_epochs);
+        let mut alert_engine = self.alert_engine();
         for epoch in 0..num_epochs {
             let mut epoch_times = StageTimes::zero();
+            let mut fanout = FanoutObs::default();
+            let wall = Instant::now();
             self.epoch_step(
                 solver,
                 caps_solver,
@@ -806,7 +835,17 @@ impl FleetController {
                 &mut adoptions,
                 &mut stale_desired,
                 &mut epoch_times,
+                &mut fanout,
             )?;
+            self.epoch_observe(
+                epoch,
+                wall.elapsed().as_secs_f64(),
+                &states,
+                &epoch_times,
+                &fanout,
+                alert_engine.as_mut(),
+                None,
+            );
             epoch_timing.push(epoch_times);
         }
         Ok(self.finish(
@@ -1001,6 +1040,7 @@ impl FleetController {
         adoptions: &mut Vec<AdoptionRecord>,
         stale_desired: &mut Option<Vec<Vec<u64>>>,
         epoch_times: &mut StageTimes,
+        fanout: &mut FanoutObs,
     ) -> SolveResult<()> {
         let policy = &self.policy;
         let (failures_enabled, availability) = (env.failures_enabled, env.availability);
@@ -1025,17 +1065,25 @@ impl FleetController {
         let arbitrate_span = SpanTimer::start(Stage::Arbitrate);
         match coupled.as_deref_mut() {
             None => {
-                for_each_tenant_sharded(states, shards, sink, epoch_times, None, |_, state, _| {
-                    let Some(&rate) = state.peaks.get(epoch) else {
-                        return;
-                    };
-                    let fleet = state
-                        .mix
-                        .step(&state.scaler, rate, policy.scale_down_patience);
-                    let cost = state.scaler.cost_rate(fleet) * policy.epoch;
-                    state.rental_cost += cost;
-                    state.epoch_costs.push(cost);
-                });
+                for_each_tenant_sharded(
+                    states,
+                    shards,
+                    sink,
+                    epoch_times,
+                    fanout,
+                    None,
+                    |_, state, _| {
+                        let Some(&rate) = state.peaks.get(epoch) else {
+                            return;
+                        };
+                        let fleet = state
+                            .mix
+                            .step(&state.scaler, rate, policy.scale_down_patience);
+                        let cost = state.scaler.cost_rate(fleet) * policy.epoch;
+                        state.rental_cost += cost;
+                        state.epoch_costs.push(cost);
+                    },
+                );
             }
             Some(cs) => {
                 let window_start = epoch as f64 * policy.epoch;
@@ -1050,6 +1098,7 @@ impl FleetController {
                     shards,
                     sink,
                     epoch_times,
+                    fanout,
                     None,
                     |i, state, _| {
                         let num_types = state.spec.instance.num_types();
@@ -1113,6 +1162,7 @@ impl FleetController {
                     shards,
                     sink,
                     epoch_times,
+                    fanout,
                     None,
                     |i, state, _| {
                         let &rate = state.peaks.get(epoch)?;
@@ -1468,6 +1518,7 @@ impl FleetController {
             shards,
             sink,
             epoch_times,
+            fanout,
             Some("fleet.span.shard_probe"),
             |i, state, times| {
                 let rate = state.peaks.get(epoch).copied().unwrap_or(0.0);
@@ -1756,6 +1807,51 @@ impl FleetController {
         }
         adopt_span.stop_into(epoch_times, sink);
         Ok(())
+    }
+
+    /// A fresh [`AlertEngine`] when alerts are configured. The engine is
+    /// rebuilt empty on crash-recovery resume — alert state is operational,
+    /// not part of the certified plan.
+    pub(crate) fn alert_engine(&self) -> Option<AlertEngine> {
+        self.alerts.clone().map(AlertEngine::new)
+    }
+
+    /// Per-epoch observability barrier, called once after [`Self::epoch_step`]
+    /// from every sequential epoch loop (plain runs and the persistence
+    /// driver alike). Publishes the epoch watermark, emits the epoch's
+    /// causal trace tree, and evaluates the alert rules. Everything here is
+    /// pure copy-out — no controller state is read back — so runs stay
+    /// bit-identical under any sink.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn epoch_observe(
+        &self,
+        epoch: usize,
+        wall_seconds: f64,
+        states: &[TenantState<'_>],
+        epoch_times: &StageTimes,
+        fanout: &FanoutObs,
+        alerts: Option<&mut AlertEngine>,
+        checkpoint_epoch: Option<usize>,
+    ) {
+        let sink = self.telemetry.as_ref();
+        sink.gauge("fleet.epoch_watermark", epoch as f64);
+        if sink.enabled() {
+            epoch_tree(epoch as u64, wall_seconds, epoch_times, fanout).emit(sink);
+        }
+        if let Some(engine) = alerts {
+            let observation = EpochObservation {
+                epoch,
+                active_tenants: states.iter().filter(|s| s.peaks.len() > epoch).count(),
+                slo_violations: states.iter().map(|s| s.slo_violations as u64).sum(),
+                degraded_resolves: states.iter().map(|s| s.degraded_resolves as u64).sum(),
+                budget_exhausted: states
+                    .iter()
+                    .map(|s| s.budget_exhausted_epochs as u64)
+                    .sum(),
+                checkpoint_epoch,
+            };
+            engine.observe(observation, sink);
+        }
     }
 
     /// Baselines and report assembly.

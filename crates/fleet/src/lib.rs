@@ -168,6 +168,46 @@
 //! [`FleetReport::telemetry`] renders the report as JSONL, and the
 //! full catalogue lives in `METRICS.md` at the workspace root.
 //!
+//! ## The live operational plane: exporter, trace trees and alerts
+//!
+//! Beyond post-hoc JSONL dumps, a running fleet is **live-observable**:
+//!
+//! * **Scrape endpoints** — attach an [`rental_obs::Exporter`] to the same
+//!   [`rental_obs::Recorder`] handed to
+//!   [`FleetController::with_telemetry`] and it serves, on a plain
+//!   `std::net::TcpListener` (any address, port 0 for ephemeral;
+//!   `repro fleet-obs --serve` defaults to `127.0.0.1:9464`):
+//!   `GET /metrics` (Prometheus text exposition — counters, gauges, and
+//!   the `fleet.span.*` histograms as cumulative `_bucket`/`_sum`/`_count`
+//!   families with `_p50`/`_p95`/`_p99` quantile gauges), `GET /health`
+//!   (liveness, the `fleet.epoch_watermark` last-completed-epoch gauge,
+//!   recovery-ladder state, flight-ring overflow, firing alerts) and
+//!   `GET /events` (the flight-recorder tail as JSONL).
+//! * **Causal trace trees** — each epoch emits one
+//!   [`rental_obs::TraceTree`] (`trace_id` = epoch) from the sequential
+//!   barrier: root `epoch`, one `shard_probe` child per probe shard
+//!   (parallel), then `merge_wait`, `arbitrate`, `solve`, `adopt`,
+//!   `persist`. The critical-path analyzer
+//!   ([`rental_obs::TraceTree::critical_path`]) attributes epoch wall-time
+//!   to its dominant chain and reports the **barrier share** — the
+//!   `merge_wait` fraction — per epoch and aggregated
+//!   ([`rental_obs::TraceSummary`]).
+//! * **Alerts** — [`FleetController::with_alerts`] evaluates an
+//!   [`rental_obs::AlertEngine`] once per epoch at the barrier:
+//!   multi-window SLO burn-rate, degraded-resolve streaks,
+//!   budget-exhaustion rate and checkpoint lag, emitting
+//!   `alert_fired`/`alert_resolved` events and `fleet.alert.*` gauges
+//!   that surface on `/health`.
+//!
+//! **Determinism contract**: the exporter is strictly read-only (each
+//! scrape merges the metric shards into one consistent snapshot and never
+//! touches controller state), trace trees and alert evaluations happen
+//! only at sequential barrier sites on epoch-indexed data, and none of it
+//! feeds a decision — so a run with the exporter attached, traces on and
+//! alerts firing is **bit-identical** (modulo the
+//! [`rental_obs::StageTimes`] family) to an untelemetered run, a property
+//! pinned by the `fleet_obs` bench floors in CI.
+//!
 //! Switching charges can also be **per-machine-delta**
 //! ([`FleetPolicy::per_machine_switching_cost`]): on adoption, only the
 //! machines that actually change between the kept and adopted fleets are
@@ -204,6 +244,7 @@ pub use chaos::{
 pub use controller::{initial_target, FleetController, FleetPolicy};
 pub use persist::{PersistError, PersistOptions, PersistResult, RunOutcome};
 pub use rental_capacity::CapacityConfig;
+pub use rental_obs::{AlertPolicy, AlertRule};
 pub use report::{AdoptionRecord, FleetReport, SolverEffort, TenantReport};
 pub use scenario::{
     diurnal_spike_fleet, failure_coupled_fleet, fleet_instance_config, scaling_fleet,

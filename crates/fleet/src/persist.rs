@@ -44,11 +44,11 @@
 //! `fleet_sharding` kill-and-resume property test pins exactly this.
 
 use std::io;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rental_capacity::{CapacityConfig, PoolLedger};
 use rental_core::{Allocation, Solution, Throughput, ThroughputSplit};
-use rental_obs::{EventKind, SpanTimer, Stage, StageTimes};
+use rental_obs::{EventKind, FanoutObs, SpanTimer, Stage, StageTimes};
 use rental_persist::{DecodeError, Decoder, Encoder, Store};
 use rental_solvers::solver::{CapacitySolver, SolveError, SolverOutcome, SweepPrior};
 use rental_stream::{FixedMixScaler, FixedMixState};
@@ -942,6 +942,10 @@ impl FleetController {
                 r.start_epoch as f64,
                 "resumed from checkpoint + journal replay",
             );
+            // Recovery-ladder state for `/health`: which epoch this process
+            // resumed from (absent on never-recovered runs).
+            self.telemetry
+                .gauge("fleet.recovery.resumed_epoch", r.start_epoch as f64);
         }
         let (mut states, mut coupled, mut adoptions, mut stale_desired, start_epoch) =
             match restored {
@@ -969,8 +973,15 @@ impl FleetController {
         // their rows restore as zero. Timing is the masked field family, so
         // the resumed report still matches the uninterrupted one.
         let mut epoch_timing: Vec<StageTimes> = vec![StageTimes::zero(); start_epoch];
+        // The alert engine restarts empty on resume (alert state is
+        // operational, not certified plan state); the checkpoint watermark
+        // feeds the checkpoint-lag rule.
+        let mut alert_engine = self.alert_engine();
+        let mut last_checkpoint_epoch = start_epoch;
         for epoch in start_epoch..num_epochs {
             let mut epoch_times = StageTimes::zero();
+            let mut fanout = FanoutObs::default();
+            let epoch_wall = Instant::now();
             let marks: Vec<(usize, usize)> = states
                 .iter()
                 .map(|s| (s.epoch_costs.len(), s.known_order.len()))
@@ -987,6 +998,7 @@ impl FleetController {
                 &mut adoptions,
                 &mut stale_desired,
                 &mut epoch_times,
+                &mut fanout,
             )?;
             let record = capture_record(
                 epoch,
@@ -1032,8 +1044,18 @@ impl FleetController {
                     counter,
                 );
                 store.write_snapshot((epoch + 1) as u64, &checkpoint.encode())?;
+                last_checkpoint_epoch = epoch + 1;
             }
             persist_span.stop_into(&mut epoch_times, self.telemetry.as_ref());
+            self.epoch_observe(
+                epoch,
+                epoch_wall.elapsed().as_secs_f64(),
+                &states,
+                &epoch_times,
+                &fanout,
+                alert_engine.as_mut(),
+                Some(last_checkpoint_epoch),
+            );
             epoch_timing.push(epoch_times);
         }
         Ok(RunOutcome::Completed(self.finish(

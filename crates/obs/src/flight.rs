@@ -26,6 +26,10 @@ pub enum EventKind {
     ChaosFault,
     /// A durable run resumed from persisted state.
     Recovery,
+    /// An alert rule started firing (detail = rule name).
+    AlertFired,
+    /// A firing alert rule returned below threshold (detail = rule name).
+    AlertResolved,
 }
 
 impl EventKind {
@@ -37,6 +41,8 @@ impl EventKind {
             EventKind::DegradedSolve => "degraded_solve",
             EventKind::ChaosFault => "chaos_fault",
             EventKind::Recovery => "recovery",
+            EventKind::AlertFired => "alert_fired",
+            EventKind::AlertResolved => "alert_resolved",
         }
     }
 }
@@ -148,6 +154,14 @@ impl FlightRecorder {
     /// Total events ever recorded (retained + evicted).
     pub fn total_recorded(&self) -> u64 {
         self.ring.lock().unwrap_or_else(|e| e.into_inner()).next_seq
+    }
+
+    /// Events evicted by ring overflow (total recorded − retained).
+    /// Surfaced as the `obs.events_dropped` counter so overflow is visible
+    /// instead of silent.
+    pub fn dropped(&self) -> u64 {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.next_seq - ring.events.len() as u64
     }
 
     /// Drops all retained events (the sequence counter keeps running).

@@ -29,19 +29,25 @@
 //! The full catalogue of metric, span and event names lives in the
 //! repository's `METRICS.md`.
 
+pub mod alert;
+pub mod export;
 pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
+pub use alert::{AlertEngine, AlertPolicy, AlertRule, AlertTransition, EpochObservation};
+pub use export::{render_health, render_prometheus, Exporter};
 pub use flight::{Event, EventKind, FlightRecorder};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::Recorder;
 pub use span::{SpanTimer, Stage, StageTimes};
+pub use trace::{epoch_tree, CriticalPath, FanoutObs, TraceSummary, TraceTree};
 
 /// Receiver of telemetry emissions. Every method has an empty default body,
 /// so an implementation overrides only what it cares about and [`NoopSink`]
@@ -85,6 +91,21 @@ pub trait TelemetrySink: Send + Sync {
         _tenant: Option<usize>,
         _value: f64,
         _detail: &str,
+    ) {
+    }
+
+    /// Records one span of a causal trace tree: `trace_id` groups the
+    /// spans of one tree (the fleet uses the epoch index), `span_id` is
+    /// unique within the tree, `parent` is `None` for the root. Emitted at
+    /// sequential barrier sites only; allocation-free.
+    #[inline]
+    fn trace_span(
+        &self,
+        _trace_id: u64,
+        _span_id: u32,
+        _parent: Option<u32>,
+        _name: &'static str,
+        _seconds: f64,
     ) {
     }
 }

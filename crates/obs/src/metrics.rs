@@ -150,6 +150,37 @@ impl Histogram {
         }
         self.max
     }
+
+    /// An estimate of the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation of the rank inside the bucket where the cumulative
+    /// count crosses it, clamped to the recorded `[min, max]`.
+    ///
+    /// **Error bound**: the true quantile lies in the same power-of-two
+    /// bucket `[2^(i-1), 2^i)` as the estimate, so the absolute error is
+    /// below the bucket width `2^(i-1)` and the relative error is below
+    /// 100% (in practice far less — the estimate assumes samples spread
+    /// uniformly across the bucket).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += bucket;
+            if (seen as f64) >= rank {
+                let (lo, hi) = Self::bucket_bounds(index);
+                let fraction = (rank - before as f64) / bucket as f64;
+                let estimate = lo as f64 + fraction * (hi - lo) as f64;
+                return estimate.clamp(self.min() as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
 }
 
 /// One thread's private slice of a registry: counters and histograms only
@@ -332,6 +363,9 @@ impl MetricsSnapshot {
                     .u64("min", histogram.min())
                     .u64("max", histogram.max())
                     .f64("mean", histogram.mean())
+                    .f64("p50", histogram.quantile(0.50))
+                    .f64("p95", histogram.quantile(0.95))
+                    .f64("p99", histogram.quantile(0.99))
                     .u64("p99_upper", histogram.quantile_upper_bound(0.99))
                     .finish(),
             );
@@ -371,6 +405,31 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 17);
         assert!((h.mean() - 7.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_crossing_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // The estimate must share a bucket with the exact quantile: the
+        // documented error bound.
+        for (q, exact) in [(0.50, 50u64), (0.95, 95), (0.99, 99)] {
+            let estimate = h.quantile(q);
+            let bucket = Histogram::bucket_index(exact);
+            let (lo, hi) = Histogram::bucket_bounds(bucket);
+            assert!(
+                estimate >= lo as f64 && estimate <= hi as f64,
+                "q={q}: estimate {estimate} outside bucket [{lo}, {hi})"
+            );
+        }
+        // Estimates are clamped to the observed range and ordered.
+        assert!(h.quantile(0.0) >= 1.0);
+        assert!(h.quantile(1.0) <= 100.0);
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
     }
 
     #[test]

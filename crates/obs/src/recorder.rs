@@ -1,24 +1,33 @@
 //! The default enabled [`TelemetrySink`]: a [`MetricsRegistry`] plus a
 //! [`FlightRecorder`], with a panic hook that dumps the event history.
 
+use std::collections::VecDeque;
 use std::io::Write;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::flight::{Event, EventKind, FlightRecorder};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::trace::{SpanRecord, TraceTree};
 use crate::TelemetrySink;
 
 /// Default flight-recorder capacity: enough to hold the tail of a degraded
 /// episode across a few hundred epochs without unbounded memory.
 pub const DEFAULT_EVENT_CAPACITY: usize = 512;
 
+/// Default trace-tree retention: one tree per epoch, so this covers the
+/// last few hundred epochs of a run.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
 /// A recording [`TelemetrySink`]: counters/gauges/histograms into a
 /// [`MetricsRegistry`], spans into microsecond histograms, events into a
-/// [`FlightRecorder`]. Share it as an `Arc` between the global sink, a
-/// `FleetController` and (optionally) the panic hook.
+/// [`FlightRecorder`], trace spans into per-`trace_id` [`TraceTree`]s.
+/// Share it as an `Arc` between the global sink, a `FleetController` and
+/// (optionally) the panic hook.
 pub struct Recorder {
     registry: MetricsRegistry,
     flight: FlightRecorder,
+    traces: Mutex<VecDeque<TraceTree>>,
+    trace_capacity: usize,
 }
 
 impl Default for Recorder {
@@ -38,6 +47,8 @@ impl Recorder {
         Recorder {
             registry: MetricsRegistry::new(),
             flight: FlightRecorder::new(capacity),
+            traces: Mutex::new(VecDeque::with_capacity(DEFAULT_TRACE_CAPACITY)),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -51,9 +62,26 @@ impl Recorder {
         &self.flight
     }
 
-    /// Merged snapshot of every metric shard.
+    /// The retained trace trees, oldest first (at most
+    /// [`DEFAULT_TRACE_CAPACITY`]).
+    pub fn traces(&self) -> Vec<TraceTree> {
+        self.traces
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Merged snapshot of every metric shard, with the flight recorder's
+    /// eviction count injected as the `obs.events_dropped` counter so ring
+    /// overflow flows into every rendering (JSONL, `/metrics`, `/health`).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.registry.snapshot()
+        let mut snapshot = self.registry.snapshot();
+        snapshot
+            .counters
+            .insert("obs.events_dropped".to_string(), self.flight.dropped());
+        snapshot
     }
 
     /// The metrics snapshot rendered as JSON lines.
@@ -127,6 +155,33 @@ impl TelemetrySink for Recorder {
             detail: detail.to_string(),
         });
     }
+
+    fn trace_span(
+        &self,
+        trace_id: u64,
+        span_id: u32,
+        parent: Option<u32>,
+        name: &'static str,
+        seconds: f64,
+    ) {
+        let mut traces = self.traces.lock().unwrap_or_else(|e| e.into_inner());
+        let tree = match traces.back_mut() {
+            Some(tree) if tree.trace_id == trace_id => tree,
+            _ => {
+                if traces.len() == self.trace_capacity {
+                    traces.pop_front();
+                }
+                traces.push_back(TraceTree::new(trace_id));
+                traces.back_mut().expect("just pushed")
+            }
+        };
+        tree.insert(SpanRecord {
+            id: span_id,
+            parent,
+            name,
+            seconds,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +209,29 @@ mod tests {
         assert_eq!(events[0].kind, EventKind::DegradedSolve);
         assert_eq!(events[0].tenant, Some(1));
         assert!(recorder.events_jsonl().contains("\"detail\":\"fallback\""));
+    }
+
+    #[test]
+    fn snapshot_injects_the_dropped_event_counter() {
+        let recorder = Recorder::with_event_capacity(2);
+        for epoch in 0..5 {
+            recorder.event(EventKind::Adoption, epoch, None, 0.0, "");
+        }
+        assert_eq!(recorder.snapshot().counters["obs.events_dropped"], 3);
+        assert_eq!(recorder.flight().dropped(), 3);
+    }
+
+    #[test]
+    fn trace_spans_rebuild_per_epoch_trees() {
+        let recorder = Recorder::new();
+        for trace_id in 0..3u64 {
+            recorder.trace_span(trace_id, 0, None, "epoch", 1.0);
+            recorder.trace_span(trace_id, 1, Some(0), "solve", 0.5);
+        }
+        let traces = recorder.traces();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[2].trace_id, 2);
+        assert_eq!(traces[2].spans.len(), 2);
+        assert_eq!(traces[2].root().unwrap().name, "epoch");
     }
 }

@@ -1,13 +1,14 @@
 //! Property tests of the telemetry substrate: histogram bucket boundaries
 //! (every value lands in its power-of-two bucket; merge is associative and
-//! lossless for counts and sums) and thread-sharded counter merge vs a
-//! sequential count.
+//! lossless for counts and sums), thread-sharded counter merge vs a
+//! sequential count, and flight-recorder ring wraparound (sequence numbers
+//! stay dense and monotone; retention and drop accounting match capacity).
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use rental_obs::{Histogram, MetricsRegistry};
+use rental_obs::{Event, EventKind, FlightRecorder, Histogram, MetricsRegistry};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -97,5 +98,41 @@ proptest! {
         prop_assert_eq!(snapshot.counters["prop.sharded"], expected);
         prop_assert_eq!(snapshot.histograms["prop.hist"].sum(), expected as u128);
         prop_assert!(registry.shard_count() >= 1);
+    }
+
+    #[test]
+    fn flight_recorder_wraparound_keeps_sequences_dense_and_counts_drops(
+        capacity in 1usize..24,
+        recorded in 0usize..96,
+    ) {
+        let recorder = FlightRecorder::new(capacity);
+        for i in 0..recorded {
+            recorder.record(Event {
+                seq: u64::MAX, // Overwritten by the recorder.
+                epoch: i,
+                tenant: None,
+                kind: EventKind::Adoption,
+                value: i as f64,
+                detail: String::new(),
+            });
+        }
+
+        // Retention: min(recorded, capacity) events survive, never more.
+        let events = recorder.events();
+        prop_assert_eq!(events.len(), recorded.min(capacity));
+        prop_assert_eq!(recorder.len(), events.len());
+        prop_assert!(events.len() <= recorder.capacity());
+
+        // Sequence numbers are dense, monotone, and end at recorded - 1:
+        // the retained window is exactly the newest suffix of the run.
+        for (offset, event) in events.iter().enumerate() {
+            let expected_seq = (recorded - events.len() + offset) as u64;
+            prop_assert_eq!(event.seq, expected_seq);
+            prop_assert_eq!(event.epoch, expected_seq as usize);
+        }
+
+        // Drop accounting: everything not retained was dropped.
+        prop_assert_eq!(recorder.total_recorded(), recorded as u64);
+        prop_assert_eq!(recorder.dropped(), (recorded - events.len()) as u64);
     }
 }

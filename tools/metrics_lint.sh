@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Metric-name drift lint, run by CI and locally from anywhere in the repo.
+#
+# Direction 1: every telemetry name the emitting library crates publish
+# (double-quoted dotted literal under a known prefix) must be documented
+# in METRICS.md. Direction 2: every name documented in METRICS.md must
+# still exist in the source — stale docs fail too.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Crates that emit through rental-obs. The experiments/bench crates are
+# consumers — and use artifact filenames like `fleet.csv` that would
+# false-positive — and crates/shims is vendored.
+EMITTING_SRC=(crates/lp/src crates/solvers/src crates/fleet/src crates/obs/src crates/capacity/src)
+
+# A metric name: known prefix, then one or more `.segment` parts. In the
+# source scan the closing quote must follow immediately, so bare prefix
+# literals like "fleet.span." or "fleet.alert." don't count as names.
+NAME_RE='(lp|mip|solver|fleet|obs)(\.[a-z0-9_]+)+'
+
+source_names=$(grep -rhoE "\"${NAME_RE}\"" "${EMITTING_SRC[@]}" --include='*.rs' \
+  | tr -d '"' | sort -u)
+# Docs side: require a non-identifier, non-path boundary before the
+# prefix so substrings like the `obs.json` inside `BENCH_fleet_obs.json`
+# or the `mip.rs` inside `src/mip.rs` don't register, then strip the
+# boundary character the match dragged in.
+doc_names=$(grep -ohE "(^|[^a-zA-Z0-9_./])${NAME_RE}" METRICS.md \
+  | sed -E 's/^[^a-z]+//' | sort -u)
+
+status=0
+missing_docs=$(comm -23 <(echo "$source_names") <(echo "$doc_names"))
+if [ -n "$missing_docs" ]; then
+  echo "metric names emitted in source but missing from METRICS.md:" >&2
+  echo "$missing_docs" >&2
+  status=1
+fi
+stale_docs=$(comm -13 <(echo "$source_names") <(echo "$doc_names"))
+if [ -n "$stale_docs" ]; then
+  echo "metric names documented in METRICS.md but absent from source:" >&2
+  echo "$stale_docs" >&2
+  status=1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "metrics lint: $(echo "$source_names" | grep -c .) names consistent between source and METRICS.md"
+fi
+exit "$status"
